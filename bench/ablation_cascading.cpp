@@ -1,0 +1,89 @@
+// Ablation (paper Sec. 5's anti-cascading rule): one split per insert vs
+// cascading splits, under a clustered insertion pattern that makes single
+// inserts want to split many levels at once. Measures the worst-case cost
+// of a single insert (the rule's target) and the transient overflow the
+// rule tolerates in exchange.
+#include <algorithm>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "lht/tree_stats.h"
+
+using namespace lht;
+
+namespace {
+
+struct Outcome {
+  common::u64 maxSplitsOneInsert = 0;
+  common::u64 totalMaintenanceLookups = 0;
+  size_t maxOverfullLeaves = 0;
+};
+
+Outcome run(bool cascading, size_t n, common::u32 theta) {
+  dht::LocalDht d;
+  core::LhtIndex::Options o;
+  o.thetaSplit = theta;
+  o.maxDepth = 30;
+  o.allowCascadingSplits = cascading;
+  core::LhtIndex idx(d, o);
+
+  Outcome out;
+  common::Pcg32 rng(3);
+  common::u64 lastSplits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Clustered keys: narrow bands force deep multi-level splits.
+    const double band = static_cast<double>(rng.below(8)) / 8.0;
+    const double key = band + rng.nextDouble() / 4096.0;
+    idx.insert({key, "c"});
+    const common::u64 splits = idx.meters().maintenance.splits;
+    out.maxSplitsOneInsert = std::max(out.maxSplitsOneInsert, splits - lastSplits);
+    lastSplits = splits;
+    if (i % 64 == 0) {
+      auto stats = core::TreeStats::collect(idx);
+      out.maxOverfullLeaves = std::max(out.maxOverfullLeaves, stats.overfullLeaves);
+    }
+  }
+  out.totalMaintenanceLookups = idx.meters().maintenance.dhtLookups;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("ablation_cascading",
+                      "one split per insert vs cascading splits");
+  flags.define("datasize", "8192", "records inserted (clustered keys)");
+  flags.define("theta", "32", "leaf split threshold");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const auto n = static_cast<size_t>(flags.getInt("datasize"));
+  const auto theta = static_cast<common::u32>(flags.getInt("theta"));
+
+  common::Table t({"policy", "max_splits_per_insert", "total_maint_lookups",
+                   "max_overfull_leaves"});
+  auto one = run(false, n, theta);
+  auto casc = run(true, n, theta);
+  t.addRow({std::string("one-split (paper)"),
+            static_cast<common::i64>(one.maxSplitsOneInsert),
+            static_cast<common::i64>(one.totalMaintenanceLookups),
+            static_cast<common::i64>(one.maxOverfullLeaves)});
+  t.addRow({std::string("cascading"),
+            static_cast<common::i64>(casc.maxSplitsOneInsert),
+            static_cast<common::i64>(casc.totalMaintenanceLookups),
+            static_cast<common::i64>(casc.maxOverfullLeaves)});
+  if (flags.getBool("csv")) {
+    t.printCsv(std::cout);
+  } else {
+    t.printPretty(std::cout, "Ablation: split policy under clustered inserts");
+  }
+  std::cout << "\nexpected: the paper's rule caps per-insert structural work "
+               "at one split (bounded latency) at the cost of transiently "
+               "overfull leaves; cascading clears overflow immediately but a "
+               "single insert can trigger a burst of splits. Total work "
+               "converges to the same order either way.\n";
+  return 0;
+}

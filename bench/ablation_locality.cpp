@@ -1,0 +1,96 @@
+// Ablation (paper Sec. 2): the over-DHT paradigm vs the locality-
+// preserving (LSH) paradigm. LPR gets range queries almost for free but
+// "DHTs with LSH have to sacrifice their load balance": under skewed keys
+// the dense-arc peers drown. LHT pays a small tree overhead and keeps the
+// uniform-hash balance at any skew.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "dht/chord.h"
+#include "lht/lht_index.h"
+#include "lht/naming.h"
+#include "lpr/lpr_index.h"
+#include "net/sim_network.h"
+#include "workload/generators.h"
+
+using namespace lht;
+
+namespace {
+
+/// Max share of all records stored on one Chord peer under LHT.
+double lhtMaxPeerShare(workload::Distribution dist, size_t n, size_t peers) {
+  net::SimNetwork net;
+  dht::ChordDht::Options dopts;
+  dopts.initialPeers = peers;
+  dopts.virtualNodes = 8;
+  dht::ChordDht dht(net, dopts);
+  core::LhtIndex idx(dht, {.thetaSplit = 100, .maxDepth = 28});
+  idx.insertBatch(workload::makeDataset(dist, n, 1));
+
+  std::map<common::u64, size_t> perRingPoint;
+  idx.forEachBucket([&](const core::LeafBucket& b) {
+    perRingPoint[dht.ownerOf(core::dhtKeyFor(b.label))] += b.records.size();
+  });
+  size_t best = 0;
+  for (const auto& [id, cnt] : perRingPoint) best = std::max(best, cnt);
+  return static_cast<double>(best) / static_cast<double>(n);
+}
+
+double lprMaxPeerShare(workload::Distribution dist, size_t n, size_t peers) {
+  lpr::LprIndex idx({.peers = peers, .seed = 1});
+  for (const auto& r : workload::makeDataset(dist, n, 1)) idx.insert(r);
+  return idx.maxPeerShare();
+}
+
+double lprRangeCost(workload::Distribution dist, size_t n, size_t peers) {
+  lpr::LprIndex idx({.peers = peers, .seed = 1});
+  for (const auto& r : workload::makeDataset(dist, n, 1)) idx.insert(r);
+  common::Pcg32 rng(2);
+  double total = 0;
+  for (int q = 0; q < 100; ++q) {
+    auto spec = workload::makeRange(0.1, rng);
+    total += static_cast<double>(idx.rangeQuery(spec.lo, spec.hi).stats.dhtLookups);
+  }
+  return total / 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("ablation_locality",
+                      "over-DHT (LHT) vs locality-preserving (LPR) paradigm");
+  flags.define("datasize", "16384", "records inserted");
+  flags.define("peers", "32", "peers per configuration");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const auto n = static_cast<size_t>(flags.getInt("datasize"));
+  const auto peers = static_cast<size_t>(flags.getInt("peers"));
+  const double fair = 1.0 / static_cast<double>(peers);
+
+  common::Table t({"dist", "lht_max_share", "lpr_max_share", "fair_share",
+                   "lpr_range_lookups"});
+  for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian,
+                    workload::Distribution::Zipf}) {
+    t.row()
+        .add(workload::distributionName(dist))
+        .add(lhtMaxPeerShare(dist, n, peers))
+        .add(lprMaxPeerShare(dist, n, peers))
+        .add(fair)
+        .add(lprRangeCost(dist, n, peers));
+  }
+  if (flags.getBool("csv")) {
+    t.printCsv(std::cout);
+  } else {
+    t.printPretty(std::cout, "Paradigm ablation: storage balance vs key skew (n=" +
+                                 std::to_string(n) + ", " +
+                                 std::to_string(peers) + " peers)");
+  }
+  std::cout << "\nexpected: LHT's max share stays near the fair share at any "
+               "skew (uniform hashing of bucket names); LPR's explodes under "
+               "gaussian/zipf keys even though its range queries are cheap — "
+               "the paper's argument for staying over the DHT\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig. 6 (paper Sec. 9.2): the average split fraction alpha.
+//
+//  Fig. 6a: average alpha vs data size, theta_split in {40, 160},
+//           uniform and gaussian data.
+//  Fig. 6b: average alpha vs theta_split at a fixed data size.
+//
+// Paper claim: alpha approaches 1/2; with the leaf label occupying one
+// record slot the uniform-data value is exactly 1/2 + 1/(2 theta).
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "sim/experiment.h"
+
+using namespace lht;
+
+namespace {
+
+double averageAlpha(sim::IndexKind kind, workload::Distribution dist, size_t n,
+                    common::u32 theta, int repeats) {
+  double sum = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.dist = dist;
+    cfg.dataSize = n;
+    cfg.theta = theta;
+    cfg.maxDepth = 26;
+    cfg.seed = static_cast<common::u64>(rep + 1);
+    sim::Experiment exp(cfg);
+    exp.build();
+    sum += exp.meters().alpha.mean();
+  }
+  return sum / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("fig6_alpha", "Fig. 6: average alpha of LHT splits");
+  flags.define("repeats", "3", "independent datasets per point");
+  flags.define("minpow", "9", "smallest data size = 2^minpow");
+  flags.define("maxpow", "15", "largest data size = 2^maxpow");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const int repeats = static_cast<int>(flags.getInt("repeats"));
+  const int minPow = static_cast<int>(flags.getInt("minpow"));
+  const int maxPow = static_cast<int>(flags.getInt("maxpow"));
+
+  // Fig. 6a: alpha vs data size.
+  common::Table a({"data_size", "uniform_t40", "uniform_t160", "gaussian_t40",
+                   "gaussian_t160", "closed_form_t40", "closed_form_t160"});
+  for (int p = minPow; p <= maxPow; ++p) {
+    const size_t n = size_t{1} << p;
+    a.row()
+        .add(static_cast<common::i64>(n))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Uniform, n, 40, repeats))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Uniform, n, 160, repeats))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Gaussian, n, 40, repeats))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Gaussian, n, 160, repeats))
+        .add(0.5 + 0.5 / 40.0)
+        .add(0.5 + 0.5 / 160.0);
+  }
+
+  // Fig. 6b: alpha vs theta at fixed data size 2^maxpow.
+  common::Table b({"theta_split", "uniform", "gaussian", "closed_form"});
+  for (common::u32 theta : {25u, 50u, 100u, 200u, 400u}) {
+    const size_t n = size_t{1} << maxPow;
+    b.row()
+        .add(static_cast<common::i64>(theta))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Uniform, n, theta, repeats))
+        .add(averageAlpha(sim::IndexKind::Lht, workload::Distribution::Gaussian, n, theta, repeats))
+        .add(0.5 + 0.5 / theta);
+  }
+
+  if (flags.getBool("csv")) {
+    a.printCsv(std::cout);
+    std::cout << "\n";
+    b.printCsv(std::cout);
+  } else {
+    a.printPretty(std::cout, "Fig. 6a: average alpha vs data size");
+    std::cout << "\n";
+    b.printPretty(std::cout, "Fig. 6b: average alpha vs theta_split (n = 2^" +
+                                 std::to_string(maxPow) + ")");
+  }
+  return 0;
+}

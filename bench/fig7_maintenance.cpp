@@ -1,0 +1,88 @@
+// Reproduces Fig. 7 (paper Sec. 9.2): cumulative maintenance cost while
+// progressively larger datasets are inserted, LHT vs PHT, theta = 100.
+//
+//  Fig. 7a: cumulative moved records vs data size  (LHT ~ 1/2 of PHT)
+//  Fig. 7b: cumulative maintenance DHT-lookups      (LHT ~ 1/4 of PHT)
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "cost/meter.h"
+#include "sim/experiment.h"
+
+using namespace lht;
+
+namespace {
+
+cost::Counters maintenanceAfterBuild(sim::IndexKind kind,
+                                     workload::Distribution dist, size_t n,
+                                     common::u32 theta, int repeats) {
+  cost::Counters total;
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.dist = dist;
+    cfg.dataSize = n;
+    cfg.theta = theta;
+    cfg.maxDepth = 26;
+    cfg.seed = static_cast<common::u64>(rep + 1);
+    sim::Experiment exp(cfg);
+    exp.build();
+    total += exp.meters().maintenance;
+  }
+  // Average over repeats.
+  total.dhtLookups /= repeats;
+  total.recordsMoved /= repeats;
+  total.splits /= repeats;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("fig7_maintenance", "Fig. 7: cumulative maintenance cost");
+  flags.define("repeats", "3", "independent datasets per point");
+  flags.define("theta", "100", "leaf split threshold (paper: 100)");
+  flags.define("minpow", "10", "smallest data size = 2^minpow");
+  flags.define("maxpow", "16", "largest data size = 2^maxpow");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const int repeats = static_cast<int>(flags.getInt("repeats"));
+  const auto theta = static_cast<common::u32>(flags.getInt("theta"));
+
+  for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian}) {
+    common::Table t({"data_size", "lht_moved", "pht_moved", "moved_ratio",
+                     "lht_lookups", "pht_lookups", "lookup_ratio"});
+    for (int p = static_cast<int>(flags.getInt("minpow"));
+         p <= static_cast<int>(flags.getInt("maxpow")); ++p) {
+      const size_t n = size_t{1} << p;
+      auto lht = maintenanceAfterBuild(sim::IndexKind::Lht, dist, n, theta, repeats);
+      auto pht = maintenanceAfterBuild(sim::IndexKind::PhtSequential, dist, n,
+                                       theta, repeats);
+      t.row()
+          .add(static_cast<common::i64>(n))
+          .add(static_cast<common::i64>(lht.recordsMoved))
+          .add(static_cast<common::i64>(pht.recordsMoved))
+          .add(pht.recordsMoved ? static_cast<double>(lht.recordsMoved) /
+                                      static_cast<double>(pht.recordsMoved)
+                                : 0.0)
+          .add(static_cast<common::i64>(lht.dhtLookups))
+          .add(static_cast<common::i64>(pht.dhtLookups))
+          .add(pht.dhtLookups ? static_cast<double>(lht.dhtLookups) /
+                                    static_cast<double>(pht.dhtLookups)
+                              : 0.0);
+    }
+    const std::string title = "Fig. 7 (" + workload::distributionName(dist) +
+                              "): cumulative maintenance, theta=" +
+                              std::to_string(theta);
+    if (flags.getBool("csv")) {
+      t.printCsv(std::cout);
+    } else {
+      t.printPretty(std::cout, title);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "paper claim: moved_ratio ~ 0.5 (Fig. 7a), lookup_ratio ~ 0.25 "
+               "(Fig. 7b)\n";
+  return 0;
+}

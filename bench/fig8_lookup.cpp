@@ -1,0 +1,80 @@
+// Reproduces Fig. 8 (paper Sec. 9.3): average DHT-lookups per LHT lookup
+// operation vs data size, D = 20, LHT vs PHT, uniform (8a) and gaussian (8b).
+//
+// Paper claims: both curves fluctuate with "valley points" where the tree
+// depth hits a binary-search sweet spot (e.g. uniform data size 2^12 ->
+// 2 lookups, 2^16 -> 3, 2^20 -> 1 for PHT-style search over D=20);
+// LHT averages ~20% below PHT on uniform data and ~30% on gaussian.
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "sim/experiment.h"
+
+using namespace lht;
+
+namespace {
+
+double avgLookupCost(sim::IndexKind kind, workload::Distribution dist, size_t n,
+                     common::u32 depth, size_t queries, int repeats) {
+  double sum = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.dist = dist;
+    cfg.dataSize = n;
+    cfg.theta = 100;  // the paper's default
+    cfg.maxDepth = depth;
+    cfg.seed = static_cast<common::u64>(rep + 1);
+    sim::Experiment exp(cfg);
+    exp.build();
+    sum += exp.measureLookups(queries).dhtLookups;
+  }
+  return sum / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("fig8_lookup", "Fig. 8: lookup performance, D=20");
+  flags.define("repeats", "3", "independent datasets per point");
+  flags.define("queries", "1000", "lookups per dataset (paper: 1000)");
+  flags.define("depth", "20", "a-priori maximum depth D (paper: 20)");
+  flags.define("minpow", "10", "smallest data size = 2^minpow");
+  flags.define("maxpow", "16", "largest data size = 2^maxpow");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const int repeats = static_cast<int>(flags.getInt("repeats"));
+  const auto queries = static_cast<size_t>(flags.getInt("queries"));
+  const auto depth = static_cast<common::u32>(flags.getInt("depth"));
+
+  for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian}) {
+    common::Table t({"data_size", "lht", "pht", "saving"});
+    for (int p = static_cast<int>(flags.getInt("minpow"));
+         p <= static_cast<int>(flags.getInt("maxpow")); ++p) {
+      const size_t n = size_t{1} << p;
+      const double lht =
+          avgLookupCost(sim::IndexKind::Lht, dist, n, depth, queries, repeats);
+      const double pht = avgLookupCost(sim::IndexKind::PhtSequential, dist, n,
+                                       depth, queries, repeats);
+      t.row()
+          .add(static_cast<common::i64>(n))
+          .add(lht)
+          .add(pht)
+          .add(pht > 0 ? 1.0 - lht / pht : 0.0);
+    }
+    const std::string title = "Fig. 8 (" + workload::distributionName(dist) +
+                              "): avg DHT-lookups per lookup, D=" +
+                              std::to_string(depth);
+    if (flags.getBool("csv")) {
+      t.printCsv(std::cout);
+    } else {
+      t.printPretty(std::cout, title);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "paper claim: LHT ~log2(D/2), PHT ~log2(D); saving ~20% "
+               "(uniform) / ~30% (gaussian), with valley points at data sizes "
+               "2^12 and 2^16\n";
+  return 0;
+}

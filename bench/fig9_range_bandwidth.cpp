@@ -1,0 +1,92 @@
+// Reproduces Fig. 9 (paper Sec. 9.4): range-query bandwidth — DHT-lookups
+// per range query — for LHT, PHT(sequential) and PHT(parallel).
+//
+//  Fig. 9a: vs data size at a fixed span.
+//  Fig. 9b: vs range span at a fixed data size.
+//
+// Paper claims: PHT(parallel) is the most expensive; LHT and PHT(sequential)
+// are near-optimal and nearly tied, LHT slightly lower.
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "sim/experiment.h"
+
+using namespace lht;
+
+namespace {
+
+double avgRangeLookups(sim::IndexKind kind, workload::Distribution dist,
+                       size_t n, double span, size_t queries, int repeats) {
+  double sum = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.dist = dist;
+    cfg.dataSize = n;
+    cfg.theta = 100;
+    cfg.maxDepth = 24;
+    cfg.seed = static_cast<common::u64>(rep + 1);
+    sim::Experiment exp(cfg);
+    exp.build();
+    sum += exp.measureRanges(span, queries).dhtLookups;
+  }
+  return sum / repeats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("fig9_range_bandwidth", "Fig. 9: range-query bandwidth");
+  flags.define("repeats", "3", "independent datasets per point");
+  flags.define("queries", "100", "range queries per dataset");
+  flags.define("span", "0.1", "fixed span for the data-size sweep");
+  flags.define("minpow", "10", "smallest data size = 2^minpow");
+  flags.define("maxpow", "15", "largest data size = 2^maxpow");
+  flags.define("sizepow", "14", "fixed data size = 2^sizepow for the span sweep");
+  flags.define("dist", "uniform", "uniform | gaussian | zipf");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const int repeats = static_cast<int>(flags.getInt("repeats"));
+  const auto queries = static_cast<size_t>(flags.getInt("queries"));
+  const auto dist = workload::parseDistribution(flags.getString("dist"));
+  const double span = flags.getDouble("span");
+
+  common::Table a({"data_size", "lht", "pht_seq", "pht_par"});
+  for (int p = static_cast<int>(flags.getInt("minpow"));
+       p <= static_cast<int>(flags.getInt("maxpow")); ++p) {
+    const size_t n = size_t{1} << p;
+    a.row()
+        .add(static_cast<common::i64>(n))
+        .add(avgRangeLookups(sim::IndexKind::Lht, dist, n, span, queries, repeats))
+        .add(avgRangeLookups(sim::IndexKind::PhtSequential, dist, n, span, queries, repeats))
+        .add(avgRangeLookups(sim::IndexKind::PhtParallel, dist, n, span, queries, repeats));
+  }
+
+  common::Table b({"span", "lht", "pht_seq", "pht_par"});
+  const size_t fixedN = size_t{1} << flags.getInt("sizepow");
+  for (double s : {0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5}) {
+    b.row()
+        .add(s)
+        .add(avgRangeLookups(sim::IndexKind::Lht, dist, fixedN, s, queries, repeats))
+        .add(avgRangeLookups(sim::IndexKind::PhtSequential, dist, fixedN, s, queries, repeats))
+        .add(avgRangeLookups(sim::IndexKind::PhtParallel, dist, fixedN, s, queries, repeats));
+  }
+
+  if (flags.getBool("csv")) {
+    a.printCsv(std::cout);
+    std::cout << "\n";
+    b.printCsv(std::cout);
+  } else {
+    a.printPretty(std::cout, "Fig. 9a (" + flags.getString("dist") +
+                                 "): DHT-lookups per range query vs data size, span=" +
+                                 flags.getString("span"));
+    std::cout << "\n";
+    b.printPretty(std::cout, "Fig. 9b (" + flags.getString("dist") +
+                                 "): DHT-lookups per range query vs span, n=2^" +
+                                 flags.getString("sizepow"));
+  }
+  std::cout << "\npaper claim: pht_par highest; lht <= pht_seq, both near the "
+               "optimal B lookups\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Load-balance experiment (paper Sec. 1: "due to uniform hashes, storage
+// load balance in DHTs can be easily achieved"). Measures how evenly LHT's
+// leaf buckets and their records spread over Chord peers, and the shape of
+// the partition tree that produced them.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "dht/chord.h"
+#include "lht/lht_index.h"
+#include "lht/tree_stats.h"
+#include "net/sim_network.h"
+#include "workload/generators.h"
+
+using namespace lht;
+
+int main(int argc, char** argv) {
+  common::Flags flags("table_load_balance", "bucket placement across peers");
+  flags.define("datasize", "16384", "records inserted");
+  flags.define("theta", "100", "leaf split threshold");
+  flags.define("csv", "false", "emit CSV instead of a pretty table");
+  if (!flags.parse(argc, argv)) return 1;
+  const auto n = static_cast<size_t>(flags.getInt("datasize"));
+  const auto theta = static_cast<common::u32>(flags.getInt("theta"));
+
+  common::Table t({"dist", "peers", "vnodes", "leaves", "mean_buckets_per_peer",
+                   "max_buckets_on_ring_point", "tree_depth_mean",
+                   "tree_depth_max"});
+  for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian,
+                    workload::Distribution::Zipf}) {
+    for (auto [peers, vnodes] : {std::pair<size_t, size_t>{16, 1},
+                                 std::pair<size_t, size_t>{16, 16},
+                                 std::pair<size_t, size_t>{64, 1},
+                                 std::pair<size_t, size_t>{64, 16}}) {
+      net::SimNetwork net;
+      dht::ChordDht::Options dopts;
+      dopts.initialPeers = peers;
+      dopts.virtualNodes = vnodes;
+      dht::ChordDht dht(net, dopts);
+      core::LhtIndex idx(dht, {.thetaSplit = theta, .maxDepth = 28});
+      auto data = workload::makeDataset(dist, n, 1);
+      idx.insertBatch(data);
+
+      auto stats = core::TreeStats::collect(idx);
+      std::vector<size_t> perPeer;
+      for (auto id : dht.nodeIds()) perPeer.push_back(dht.keysOn(id));
+      const size_t maxBuckets = *std::max_element(perPeer.begin(), perPeer.end());
+
+      t.row()
+          .add(workload::distributionName(dist))
+          .add(static_cast<common::i64>(peers))
+          .add(static_cast<common::i64>(vnodes))
+          .add(static_cast<common::i64>(stats.leafCount))
+          .add(static_cast<double>(stats.leafCount) / static_cast<double>(peers))
+          .add(static_cast<common::i64>(maxBuckets))
+          .add(stats.meanDepth)
+          .add(static_cast<common::i64>(stats.maxDepth));
+    }
+  }
+  if (flags.getBool("csv")) {
+    t.printCsv(std::cout);
+  } else {
+    t.printPretty(std::cout,
+                  "Storage load balance: LHT buckets over Chord peers (n=" +
+                      std::to_string(n) + ")");
+  }
+  std::cout << "\nexpected: buckets spread near-uniformly over peers even for "
+               "skewed key distributions, because the naming function's "
+               "output is uniform-hashed — the paper's load-balance argument\n";
+  return 0;
+}

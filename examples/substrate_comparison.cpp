@@ -1,0 +1,114 @@
+// Substrate independence demo (paper Sec. 1: LHT "is adaptable to any DHT
+// substrates"): the *identical* index code runs over four substrates —
+// LocalDht, a Chord ring, a Kademlia XOR space, and a Pastry prefix mesh —
+// producing identical query answers while each substrate pays its own
+// routing bill.
+//
+//   ./examples/substrate_comparison [--records 3000] [--peers 64]
+#include <iomanip>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "dht/can.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "dht/local_dht.h"
+#include "dht/pastry.h"
+#include "lht/lht_index.h"
+#include "net/sim_network.h"
+#include "workload/generators.h"
+
+namespace {
+
+struct RunResult {
+  size_t rangeRecords = 0;
+  double minKey = 0.0;
+  lht::common::u64 dhtLookups = 0;
+  lht::common::u64 hops = 0;
+  lht::common::u64 messages = 0;
+};
+
+RunResult runWorkload(lht::dht::Dht& dht, const lht::net::SimNetwork* net,
+                      const std::vector<lht::index::Record>& data) {
+  lht::core::LhtIndex index(dht, {.thetaSplit = 100, .maxDepth = 22});
+  for (const auto& r : data) index.insert(r);
+  RunResult out;
+  out.rangeRecords = index.rangeQuery(0.3, 0.7).records.size();
+  out.minKey = index.minRecord().record->key;
+  out.dhtLookups = dht.stats().lookups;
+  out.hops = dht.stats().hops;
+  out.messages = net != nullptr ? net->stats().messages : 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lht;
+  common::Flags flags("substrate_comparison", "one index, four substrates");
+  flags.define("records", "3000", "records inserted per substrate");
+  flags.define("peers", "64", "peers per simulated substrate");
+  if (!flags.parse(argc, argv)) return 1;
+  const auto peers = static_cast<size_t>(flags.getInt("peers"));
+  auto data = workload::makeDataset(workload::Distribution::Uniform,
+                                    static_cast<size_t>(flags.getInt("records")), 42);
+
+  dht::LocalDht local;
+  RunResult rLocal = runWorkload(local, nullptr, data);
+
+  net::SimNetwork chordNet;
+  dht::ChordDht chord(chordNet, {.initialPeers = peers});
+  RunResult rChord = runWorkload(chord, &chordNet, data);
+
+  net::SimNetwork kadNet;
+  dht::KademliaDht::Options kopts;
+  kopts.initialPeers = peers;
+  dht::KademliaDht kad(kadNet, kopts);
+  RunResult rKad = runWorkload(kad, &kadNet, data);
+
+  net::SimNetwork pastryNet;
+  dht::PastryDht::Options popts;
+  popts.initialPeers = peers;
+  dht::PastryDht pastry(pastryNet, popts);
+  RunResult rPastry = runWorkload(pastry, &pastryNet, data);
+
+  net::SimNetwork canNet;
+  dht::CanDht::Options copts;
+  copts.initialPeers = peers;
+  dht::CanDht can(canNet, copts);
+  RunResult rCan = runWorkload(can, &canNet, data);
+
+  std::cout << "same dataset, same LHT code, five substrates (" << peers
+            << " peers each):\n\n";
+  std::cout << std::left << std::setw(10) << "substrate" << std::right
+            << std::setw(14) << "DHT-lookups" << std::setw(12) << "hops"
+            << std::setw(12) << "hops/op" << std::setw(12) << "messages"
+            << std::setw(14) << "range hits" << std::setw(10) << "min key"
+            << "\n";
+  auto print = [](const char* name, const RunResult& r) {
+    std::cout << std::left << std::setw(10) << name << std::right
+              << std::setw(14) << r.dhtLookups << std::setw(12) << r.hops
+              << std::setw(12) << std::fixed << std::setprecision(2)
+              << static_cast<double>(r.hops) / static_cast<double>(r.dhtLookups)
+              << std::setw(12) << r.messages << std::setw(14) << r.rangeRecords
+              << std::setw(10) << std::setprecision(4) << r.minKey << "\n";
+  };
+  print("local", rLocal);
+  print("chord", rChord);
+  print("kademlia", rKad);
+  print("pastry", rPastry);
+  print("can-2d", rCan);
+
+  const bool agree = rLocal.rangeRecords == rChord.rangeRecords &&
+                     rChord.rangeRecords == rKad.rangeRecords &&
+                     rKad.rangeRecords == rPastry.rangeRecords &&
+                     rPastry.rangeRecords == rCan.rangeRecords &&
+                     rLocal.minKey == rPastry.minKey &&
+                     rLocal.minKey == rCan.minKey;
+  std::cout << "\nall substrates return identical answers: "
+            << (agree ? "yes" : "NO") << "\n";
+  std::cout << "DHT-lookup counts are identical by design (the index only "
+               "sees put/get); only the routing cost per lookup differs.\n";
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench binaries' --csv output.
+
+Usage:
+    python3 scripts/plot_figures.py [--build-dir build] [--out-dir plots]
+
+Runs each figure bench with --csv, parses the series, and renders one PNG
+per paper figure (requires matplotlib; prints the parsed tables and exits
+gracefully if it is unavailable).
+"""
+import argparse
+import csv
+import io
+import os
+import subprocess
+import sys
+
+FIGURES = {
+    "fig6_alpha": {"x": "data_size", "logx": True, "title": "Fig. 6a: average alpha"},
+    "fig7_maintenance": {"x": "data_size", "logx": True, "logy": True,
+                          "title": "Fig. 7: cumulative maintenance"},
+    "fig8_lookup": {"x": "data_size", "logx": True, "title": "Fig. 8: lookup cost"},
+    "fig9_range_bandwidth": {"x": "data_size", "logx": True,
+                              "title": "Fig. 9: range bandwidth"},
+    "fig10_range_latency": {"x": "data_size", "logx": True,
+                             "title": "Fig. 10: range latency"},
+}
+
+
+def run_bench(path):
+    out = subprocess.run([path, "--csv", "true"], capture_output=True, text=True,
+                         check=True)
+    return out.stdout
+
+
+def parse_blocks(text):
+    """Splits multi-table CSV output into a list of (header, rows)."""
+    blocks, current = [], []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or not ("," in line):
+            if current:
+                blocks.append(current)
+                current = []
+            continue
+        current.append(line)
+    if current:
+        blocks.append(current)
+    tables = []
+    for block in blocks:
+        reader = csv.reader(io.StringIO("\n".join(block)))
+        rows = list(reader)
+        if len(rows) >= 2:
+            tables.append((rows[0], rows[1:]))
+    return tables
+
+
+def numeric(v):
+    try:
+        return float(v)
+    except ValueError:
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out-dir", default="plots")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable: printing parsed tables only",
+              file=sys.stderr)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name, spec in FIGURES.items():
+        binary = os.path.join(args.build_dir, "bench", name)
+        if not os.path.exists(binary):
+            print(f"skip {name}: {binary} not built", file=sys.stderr)
+            continue
+        tables = parse_blocks(run_bench(binary))
+        for ti, (header, rows) in enumerate(tables):
+            if spec["x"] not in header:
+                continue
+            xi = header.index(spec["x"])
+            xs = [numeric(r[xi]) for r in rows]
+            if plt is None:
+                print(f"{name}[{ti}]: {header}")
+                for r in rows:
+                    print("   ", r)
+                continue
+            fig, ax = plt.subplots(figsize=(6, 4))
+            for ci, col in enumerate(header):
+                if ci == xi:
+                    continue
+                ys = [numeric(r[ci]) for r in rows]
+                if any(y is None for y in ys):
+                    continue
+                ax.plot(xs, ys, marker="o", label=col)
+            if spec.get("logx"):
+                ax.set_xscale("log", base=2)
+            if spec.get("logy"):
+                ax.set_yscale("log")
+            ax.set_xlabel(spec["x"])
+            ax.set_title(spec["title"] + (f" (table {ti + 1})" if ti else ""))
+            ax.legend(fontsize=8)
+            ax.grid(True, alpha=0.3)
+            out = os.path.join(args.out_dir, f"{name}_{ti}.png")
+            fig.tight_layout()
+            fig.savefig(out, dpi=130)
+            plt.close(fig)
+            print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

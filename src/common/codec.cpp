@@ -1,0 +1,54 @@
+#include "common/codec.h"
+
+namespace lht::common {
+
+bool Decoder::take(void* out, size_t n) {
+  if (data_.size() - pos_ < n) return false;
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::optional<u8> Decoder::getU8() {
+  u8 v;
+  if (!take(&v, sizeof(v))) return std::nullopt;
+  return v;
+}
+
+std::optional<u32> Decoder::getU32() {
+  u32 v;
+  if (!take(&v, sizeof(v))) return std::nullopt;
+  return v;
+}
+
+std::optional<u64> Decoder::getU64() {
+  u64 v;
+  if (!take(&v, sizeof(v))) return std::nullopt;
+  return v;
+}
+
+std::optional<double> Decoder::getDouble() {
+  double v;
+  if (!take(&v, sizeof(v))) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> Decoder::getString() {
+  auto n = getU32();
+  if (!n) return std::nullopt;
+  if (data_.size() - pos_ < *n) return std::nullopt;
+  std::string s(data_.substr(pos_, *n));
+  pos_ += *n;
+  return s;
+}
+
+std::optional<Label> Decoder::getLabel() {
+  auto len = getU32();
+  auto bits = getU64();
+  if (!len || !bits) return std::nullopt;
+  if (*len > Label::kMaxBits) return std::nullopt;
+  if (*len < 64 && (*bits >> *len) != 0) return std::nullopt;
+  return Label::fromBits(*bits, *len);
+}
+
+}  // namespace lht::common

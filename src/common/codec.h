@@ -1,0 +1,72 @@
+// Binary (de)serialization for values stored in the DHT.
+//
+// DHT peers store opaque byte strings; the index layers serialize leaf
+// buckets and trie nodes through this codec. Keeping the wire format explicit
+// lets the network simulator account bytes, and lets tests check round-trips.
+// Format: little-endian fixed-width integers, varint-free for simplicity,
+// length-prefixed strings.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/label.h"
+#include "common/types.h"
+
+namespace lht::common {
+
+/// Appends primitive values to a byte buffer.
+class Encoder {
+ public:
+  void putU8(u8 v) { buf_.push_back(static_cast<char>(v)); }
+  void putU32(u32 v) { putRaw(&v, sizeof(v)); }
+  void putU64(u64 v) { putRaw(&v, sizeof(v)); }
+  void putDouble(double v) { putRaw(&v, sizeof(v)); }
+  void putString(std::string_view s) {
+    putU32(static_cast<u32>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void putLabel(const Label& l) {
+    putU32(l.length());
+    putU64(l.bits());
+  }
+
+  /// Finishes encoding and releases the buffer.
+  [[nodiscard]] std::string take() && { return std::move(buf_); }
+  [[nodiscard]] const std::string& buffer() const { return buf_; }
+
+ private:
+  void putRaw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Reads primitive values back out. All getters return nullopt on underflow
+/// or malformed content rather than crashing: DHT values cross a (simulated)
+/// network boundary, so decoding must be total.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  std::optional<u8> getU8();
+  std::optional<u32> getU32();
+  std::optional<u64> getU64();
+  std::optional<double> getDouble();
+  std::optional<std::string> getString();
+  std::optional<Label> getLabel();
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  /// Whether the whole buffer was consumed.
+  [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool take(void* out, size_t n);
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lht::common

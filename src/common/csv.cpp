@@ -1,0 +1,73 @@
+#include "common/csv.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lht::common {
+
+Table::Table(std::vector<std::string> columns) : cols_(std::move(columns)) {
+  checkInvariant(!cols_.empty(), "Table: needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(cols_.size());
+  return *this;
+}
+
+Table& Table::add(Cell c) {
+  checkInvariant(!rows_.empty(), "Table::add: call row() first");
+  checkInvariant(rows_.back().size() < cols_.size(), "Table::add: row overflow");
+  rows_.back().push_back(std::move(c));
+  return *this;
+}
+
+Table& Table::addRow(std::vector<Cell> cells) {
+  checkInvariant(cells.size() == cols_.size(), "Table::addRow: arity mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string cellToString(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<i64>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::printPretty(std::ostream& os, const std::string& title) const {
+  std::vector<size_t> widths(cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) widths[i] = cols_[i].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    auto& t = text.emplace_back();
+    for (size_t i = 0; i < r.size(); ++i) {
+      t.push_back(cellToString(r[i]));
+      if (t.back().size() > widths[i]) widths[i] = t.back().size();
+    }
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  for (size_t i = 0; i < cols_.size(); ++i)
+    os << (i ? "  " : "") << std::setw(static_cast<int>(widths[i])) << cols_[i];
+  os << "\n";
+  for (const auto& t : text) {
+    for (size_t i = 0; i < t.size(); ++i)
+      os << (i ? "  " : "") << std::setw(static_cast<int>(widths[i])) << t[i];
+    os << "\n";
+  }
+}
+
+void Table::printCsv(std::ostream& os) const {
+  for (size_t i = 0; i < cols_.size(); ++i) os << (i ? "," : "") << cols_[i];
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (size_t i = 0; i < r.size(); ++i)
+      os << (i ? "," : "") << cellToString(r[i]);
+    os << "\n";
+  }
+}
+
+}  // namespace lht::common

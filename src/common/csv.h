@@ -1,0 +1,51 @@
+// Tabular output for the benchmark harness.
+//
+// Every bench binary prints the series behind one paper figure/table both as
+// an aligned console table (for humans) and CSV (for plotting). Columns are
+// declared once; rows are appended cell by cell.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::common {
+
+/// A cell is text, an integer, or a real value.
+using Cell = std::variant<std::string, i64, double>;
+
+/// A simple column-oriented table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; cells are filled with add().
+  Table& row();
+  /// Appends a cell to the current row. Must not exceed the column count.
+  Table& add(Cell c);
+
+  /// Convenience: appends a full row at once.
+  Table& addRow(std::vector<Cell> cells);
+
+  [[nodiscard]] size_t rowCount() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return cols_; }
+  [[nodiscard]] const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
+  /// Writes an aligned, human-readable table.
+  void printPretty(std::ostream& os, const std::string& title = "") const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our cell contents).
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Renders a cell as text (doubles with 4 significant decimals).
+std::string cellToString(const Cell& c);
+
+}  // namespace lht::common

@@ -1,0 +1,122 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace lht::common::hash {
+
+namespace {
+
+constexpr u64 kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr u64 kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr u64 kPrime3 = 0x165667B19E3779F9ull;
+constexpr u64 kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr u64 kPrime5 = 0x27D4EB2F165667C5ull;
+
+constexpr u64 rotl(u64 x, int r) { return (x << r) | (x >> (64 - r)); }
+
+u64 read64(const char* p) {
+  u64 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+u32 read32(const char* p) {
+  u32 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+u64 round64(u64 acc, u64 input) {
+  acc += input * kPrime2;
+  acc = rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+u64 mergeRound(u64 acc, u64 val) {
+  acc ^= round64(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+u64 avalanche(u64 h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+u64 xxhash64(std::string_view data, u64 seed) {
+  const char* p = data.data();
+  const char* end = p + data.size();
+  u64 h;
+
+  if (data.size() >= 32) {
+    u64 v1 = seed + kPrime1 + kPrime2;
+    u64 v2 = seed + kPrime2;
+    u64 v3 = seed;
+    u64 v4 = seed - kPrime1;
+    const char* limit = end - 32;
+    do {
+      v1 = round64(v1, read64(p));
+      v2 = round64(v2, read64(p + 8));
+      v3 = round64(v3, read64(p + 16));
+      v4 = round64(v4, read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = mergeRound(h, v1);
+    h = mergeRound(h, v2);
+    h = mergeRound(h, v3);
+    h = mergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<u64>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= round64(0, read64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<u64>(read32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<u64>(static_cast<unsigned char>(*p)) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+  return avalanche(h);
+}
+
+u64 xxhash64(u64 value, u64 seed) {
+  u64 h = seed + kPrime5 + 8;
+  h ^= round64(0, value);
+  h = rotl(h, 27) * kPrime1 + kPrime4;
+  return avalanche(h);
+}
+
+u64 fnv1a64(std::string_view data) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace lht::common::hash

@@ -1,0 +1,30 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lht::common {
+
+bool Interval::overlaps(const Interval& other) const {
+  if (empty() || other.empty()) return false;
+  return lo < other.hi && other.lo < hi;
+}
+
+bool Interval::subsetOf(const Interval& other) const {
+  if (empty()) return true;
+  return lo >= other.lo && hi <= other.hi;
+}
+
+Interval Interval::intersect(const Interval& other) const {
+  Interval out{std::max(lo, other.lo), std::min(hi, other.hi)};
+  if (out.hi < out.lo) out.hi = out.lo;
+  return out;
+}
+
+std::string Interval::str() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << ")";
+  return os.str();
+}
+
+}  // namespace lht::common

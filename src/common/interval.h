@@ -1,0 +1,51 @@
+// Half-open real intervals over the unit key space [0, 1).
+//
+// LHT indexes one-dimensional keys in [0, 1] (paper Sec. 3.1). Every tree
+// node covers a dyadic interval [a/2^d, (a+1)/2^d); queries carry arbitrary
+// half-open ranges. Both are modelled here.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace lht::common {
+
+/// Maps a data key in [0, 1] onto the half-open key space [0, 1): the
+/// boundary key 1.0 belongs to the last (rightmost) cell.
+inline double clampToUnit(double key) {
+  return key < 1.0 ? key : std::nextafter(1.0, 0.0);
+}
+
+/// A half-open interval [lo, hi). Empty when hi <= lo.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Whether `key` falls inside [lo, hi).
+  [[nodiscard]] bool contains(double key) const { return key >= lo && key < hi; }
+
+  /// Whether this interval has no points.
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+
+  /// Interval width (0 when empty).
+  [[nodiscard]] double width() const { return empty() ? 0.0 : hi - lo; }
+
+  /// Whether the two intervals share at least one point.
+  [[nodiscard]] bool overlaps(const Interval& other) const;
+
+  /// Whether this interval is fully contained in `other`.
+  [[nodiscard]] bool subsetOf(const Interval& other) const;
+
+  /// The common part of the two intervals (possibly empty).
+  [[nodiscard]] Interval intersect(const Interval& other) const;
+
+  /// Renders as "[lo, hi)".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// The full unit key space.
+inline Interval unitInterval() { return {0.0, 1.0}; }
+
+}  // namespace lht::common

@@ -1,0 +1,127 @@
+#include "common/label.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace lht::common {
+
+namespace {
+constexpr u64 lowMask(u32 n) { return n >= 64 ? ~0ull : ((1ull << n) - 1); }
+}  // namespace
+
+Label Label::fromBits(u64 bits, u32 len) {
+  checkInvariant(len <= kMaxBits, "Label::fromBits: length exceeds kMaxBits");
+  checkInvariant((bits & ~lowMask(len)) == 0, "Label::fromBits: stray high bits");
+  Label l;
+  l.bits_ = bits;
+  l.len_ = len;
+  return l;
+}
+
+Label Label::fromKey(double key, u32 depth) {
+  checkInvariant(depth >= 1 && depth <= kMaxBits, "Label::fromKey: bad depth");
+  checkInvariant(key >= 0.0 && key <= 1.0, "Label::fromKey: key outside [0,1]");
+  const u32 fracBits = depth - 1;
+  // floor(key * 2^fracBits), clamped so key == 1.0 maps to the last cell.
+  double scaled = std::ldexp(key, static_cast<int>(fracBits));
+  u64 v = scaled >= std::ldexp(1.0, static_cast<int>(fracBits))
+              ? lowMask(fracBits)
+              : static_cast<u64>(scaled);
+  return fromBits(v, depth);
+}
+
+std::optional<Label> Label::parse(std::string_view text) {
+  if (text.empty() || text.front() != '#') return std::nullopt;
+  text.remove_prefix(1);
+  if (text.size() > kMaxBits) return std::nullopt;
+  u64 bits = 0;
+  for (char c : text) {
+    if (c != '0' && c != '1') return std::nullopt;
+    bits = (bits << 1) | static_cast<u64>(c - '0');
+  }
+  return fromBits(bits, static_cast<u32>(text.size()));
+}
+
+int Label::bit(u32 i) const {
+  checkInvariant(i < len_, "Label::bit: index out of range");
+  return static_cast<int>((bits_ >> (len_ - 1 - i)) & 1);
+}
+
+int Label::lastBit() const {
+  checkInvariant(len_ > 0, "Label::lastBit: virtual root has no bits");
+  return static_cast<int>(bits_ & 1);
+}
+
+Label Label::child(int b) const {
+  checkInvariant(b == 0 || b == 1, "Label::child: bit must be 0 or 1");
+  checkInvariant(len_ < kMaxBits, "Label::child: label full");
+  return fromBits((bits_ << 1) | static_cast<u64>(b), len_ + 1);
+}
+
+Label Label::parent() const {
+  checkInvariant(len_ > 0, "Label::parent: virtual root has no parent");
+  return fromBits(bits_ >> 1, len_ - 1);
+}
+
+Label Label::sibling() const {
+  checkInvariant(len_ >= 2, "Label::sibling: root has no sibling");
+  return fromBits(bits_ ^ 1, len_);
+}
+
+Label Label::prefix(u32 n) const {
+  checkInvariant(n <= len_, "Label::prefix: longer than label");
+  return fromBits(bits_ >> (len_ - n), n);
+}
+
+bool Label::isPrefixOf(const Label& other) const {
+  if (len_ > other.len_) return false;
+  return (other.bits_ >> (other.len_ - len_)) == bits_;
+}
+
+u32 Label::trailingRunLength() const {
+  if (len_ == 0) return 0;
+  // Count trailing bits equal to the last bit by flipping when it is 1.
+  u64 v = (bits_ & 1) ? ~bits_ : bits_;
+  v &= lowMask(len_);
+  u32 run = (v == 0) ? len_ : static_cast<u32>(std::countr_zero(v));
+  return run > len_ ? len_ : run;
+}
+
+bool Label::isRightmostPath() const {
+  if (len_ == 0) return false;
+  if (bit(0) != 0) return false;
+  return bits_ == lowMask(len_ - 1);
+}
+
+Interval Label::interval() const {
+  if (len_ == 0) return unitInterval();
+  checkInvariant(bit(0) == 0, "Label::interval: real nodes start with '#0'");
+  const u32 fracBits = len_ - 1;
+  const double width = std::ldexp(1.0, -static_cast<int>(fracBits));
+  const double lo = static_cast<double>(bits_) * width;
+  return {lo, lo + width};
+}
+
+std::string Label::str() const {
+  std::string s = "#";
+  s.reserve(len_ + 1);
+  for (u32 i = 0; i < len_; ++i) s.push_back(static_cast<char>('0' + bit(i)));
+  return s;
+}
+
+std::strong_ordering operator<=>(const Label& a, const Label& b) {
+  const u32 n = a.len_ < b.len_ ? a.len_ : b.len_;
+  const u64 ah = n == 0 ? 0 : (a.bits_ >> (a.len_ - n));
+  const u64 bh = n == 0 ? 0 : (b.bits_ >> (b.len_ - n));
+  if (ah != bh) return ah <=> bh;
+  return a.len_ <=> b.len_;
+}
+
+u64 Label::hashValue() const {
+  // Mix length in so "#0" and "#00" differ.
+  return hash::xxhash64(bits_ * 0x9E3779B97F4A7C15ull + len_, /*seed=*/len_);
+}
+
+}  // namespace lht::common

@@ -1,0 +1,123 @@
+// Tree-node labels for binary space-partition tries (paper Sec. 3.2).
+//
+// Every node in the space partition tree carries a label: the virtual root
+// is "#", and each further character is the bit of the edge taken from the
+// parent (0 = left, 1 = right). The edge between the virtual root and the
+// regular root is labelled 0, so the regular root is "#0" and every real
+// tree node's label starts with "#0".
+//
+// A Label stores only the bit string after '#', packed into a u64
+// (most-significant stored bit = the bit right after '#'). The virtual root
+// is the empty label. The paper's "label length" counts the '#' character;
+// Label::length() counts bits only, i.e. paperLength = length() + 1.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace lht::common {
+
+class Label {
+ public:
+  /// Maximum number of bits a label may hold. Kept below the double mantissa
+  /// width so dyadic interval bounds stay exact.
+  static constexpr u32 kMaxBits = 52;
+
+  /// Constructs the virtual root "#" (empty bit string).
+  constexpr Label() = default;
+
+  /// Constructs from `len` bits packed in the low bits of `bits`
+  /// (most-significant of those = first edge below '#').
+  static Label fromBits(u64 bits, u32 len);
+
+  /// The regular root "#0".
+  static Label root() { return fromBits(0, 1); }
+
+  /// The binary string mu(key, depth) of paper Sec. 5: a `depth`-bit label
+  /// whose first bit is 0 (root edge) followed by the first depth-1 bits of
+  /// key's binary fraction. Every possible leaf covering `key` (up to tree
+  /// depth `depth`) is a prefix of the result. Requires key in [0, 1].
+  static Label fromKey(double key, u32 depth);
+
+  /// Parses "#0110"-style strings; rejects malformed input.
+  static std::optional<Label> parse(std::string_view text);
+
+  /// Number of bits after '#'. 0 means the virtual root.
+  [[nodiscard]] u32 length() const { return len_; }
+
+  /// True for the virtual root "#".
+  [[nodiscard]] bool isVirtualRoot() const { return len_ == 0; }
+
+  /// The packed bit value (low `length()` bits).
+  [[nodiscard]] u64 bits() const { return bits_; }
+
+  /// Bit at position `i` (0 = first edge below '#'). Requires i < length().
+  [[nodiscard]] int bit(u32 i) const;
+
+  /// The final bit. Requires a non-empty label.
+  [[nodiscard]] int lastBit() const;
+
+  /// Child label with edge bit `b` (0 or 1).
+  [[nodiscard]] Label child(int b) const;
+
+  /// Parent label. Requires a non-empty label.
+  [[nodiscard]] Label parent() const;
+
+  /// The sibling (same parent, last bit flipped). Requires length() >= 2:
+  /// the regular root "#0" has no sibling.
+  [[nodiscard]] Label sibling() const;
+
+  /// The first `n` bits. Requires n <= length().
+  [[nodiscard]] Label prefix(u32 n) const;
+
+  /// Whether this label is a (non-strict) prefix of `other`.
+  [[nodiscard]] bool isPrefixOf(const Label& other) const;
+
+  /// Number of trailing bits equal to lastBit() (0 for the virtual root).
+  [[nodiscard]] u32 trailingRunLength() const;
+
+  /// Whether the label matches #00* — i.e. it lies on the leftmost path of
+  /// the tree (includes "#0" and "#").
+  [[nodiscard]] bool isLeftmostPath() const { return bits_ == 0; }
+
+  /// Whether the label matches #01* — the rightmost path: root edge 0 then
+  /// only 1-edges (includes "#0").
+  [[nodiscard]] bool isRightmostPath() const;
+
+  /// The dyadic key interval this tree node covers. "#" and "#0" both cover
+  /// [0, 1). Requires the first bit (if any) to be 0, as for all real nodes.
+  [[nodiscard]] Interval interval() const;
+
+  /// Whether `key` falls in interval().
+  [[nodiscard]] bool covers(double key) const { return interval().contains(key); }
+
+  /// Renders as '#' followed by the bits, e.g. "#0110".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Label&, const Label&) = default;
+
+  /// Orders by (depth-first) position: prefix-free labels compare by their
+  /// leftmost differing bit; a prefix sorts before its extensions.
+  friend std::strong_ordering operator<=>(const Label& a, const Label& b);
+
+  /// Stable 64-bit hash of the label (for DHT keys and hash maps).
+  [[nodiscard]] u64 hashValue() const;
+
+ private:
+  u64 bits_ = 0;
+  u32 len_ = 0;
+};
+
+}  // namespace lht::common
+
+template <>
+struct std::hash<lht::common::Label> {
+  size_t operator()(const lht::common::Label& l) const noexcept {
+    return static_cast<size_t>(l.hashValue());
+  }
+};

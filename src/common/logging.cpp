@@ -1,0 +1,30 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace lht::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  std::cerr << "[" << levelName(level) << "] " << message << "\n";
+}
+
+}  // namespace lht::common

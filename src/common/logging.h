@@ -1,0 +1,44 @@
+// Lightweight leveled logging.
+//
+// The library is silent by default (level = Warn); simulations can raise
+// verbosity to trace DHT routing and index forwarding decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lht::common {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one log line (already filtered by level in the macro).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace lht::common
+
+#define LHT_LOG(level)                                       \
+  if (static_cast<int>(::lht::common::LogLevel::level) <     \
+      static_cast<int>(::lht::common::logLevel())) {         \
+  } else                                                     \
+    ::lht::common::detail::LogLine(::lht::common::LogLevel::level)

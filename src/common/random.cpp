@@ -1,0 +1,77 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace lht::common {
+
+Pcg32::Pcg32(u64 seed, u64 stream) {
+  inc_ = (stream << 1) | 1;
+  state_ = 0;
+  next();
+  state_ += hash::splitmix64(seed);
+  next();
+}
+
+u32 Pcg32::next() {
+  u64 old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  u32 xorshifted = static_cast<u32>(((old >> 18) ^ old) >> 27);
+  u32 rot = static_cast<u32>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+u64 Pcg32::next64() { return (static_cast<u64>(next()) << 32) | next(); }
+
+u32 Pcg32::below(u32 bound) {
+  // Lemire-style rejection to stay unbiased.
+  u32 threshold = (-bound) % bound;
+  for (;;) {
+    u32 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::nextDouble() {
+  return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double Gaussian::sample(Pcg32& rng) {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return mean_ + stddev_ * spare_;
+  }
+  double u1, u2;
+  do {
+    u1 = rng.nextDouble();
+  } while (u1 <= 1e-300);
+  u2 = rng.nextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double twoPi = 6.283185307179586;
+  spare_ = mag * std::sin(twoPi * u2);
+  hasSpare_ = true;
+  return mean_ + stddev_ * mag * std::cos(twoPi * u2);
+}
+
+Zipf::Zipf(u32 n, double s) {
+  checkInvariant(n > 0, "Zipf: n must be positive");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (u32 k = 1; k <= n; ++k) sum += 1.0 / std::pow(static_cast<double>(k), s);
+  double acc = 0.0;
+  for (u32 k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s) / sum;
+    cdf_[k - 1] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+u32 Zipf::sample(Pcg32& rng) const {
+  double u = rng.nextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<u32>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace lht::common

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generation for workloads and simulations.
+//
+// All experiments are seeded, so every figure in EXPERIMENTS.md is exactly
+// reproducible. PCG32 is small, fast, and statistically solid; the
+// distributions on top of it cover everything the paper's evaluation needs
+// (uniform and gaussian keys, Sec. 9.1) plus a Zipf extension.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::common {
+
+/// PCG32 (O'Neill). 64-bit state, 32-bit output, seedable streams.
+class Pcg32 {
+ public:
+  explicit Pcg32(u64 seed = 0x853c49e6748fea9bull, u64 stream = 0xda3e39cb94b95bdbull);
+
+  /// Next 32 uniform random bits.
+  u32 next();
+
+  /// Next 64 uniform random bits.
+  u64 next64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  u32 below(u32 bound);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+ private:
+  u64 state_;
+  u64 inc_;
+};
+
+/// Uniform real values in [lo, hi).
+class UniformReal {
+ public:
+  UniformReal(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double sample(Pcg32& rng) const { return lo_ + (hi_ - lo_) * rng.nextDouble(); }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Gaussian via Box-Muller (cached spare value).
+class Gaussian {
+ public:
+  Gaussian(double mean, double stddev) : mean_(mean), stddev_(stddev) {}
+  double sample(Pcg32& rng);
+
+ private:
+  double mean_, stddev_;
+  bool hasSpare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-distributed ranks in [1, n] with exponent s (precomputed CDF).
+class Zipf {
+ public:
+  Zipf(u32 n, double s);
+  u32 sample(Pcg32& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lht::common

@@ -1,0 +1,27 @@
+// Basic shared type aliases and small vocabulary types.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lht::common {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Thrown when an internal invariant is violated. Invariant failures are
+/// programming errors, not recoverable conditions, so we fail loudly.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Checks an invariant; throws InvariantError with `msg` when it fails.
+inline void checkInvariant(bool ok, const char* msg) {
+  if (!ok) throw InvariantError(msg);
+}
+
+}  // namespace lht::common

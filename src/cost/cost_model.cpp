@@ -1,0 +1,27 @@
+#include "cost/cost_model.h"
+
+namespace lht::cost {
+
+double CostModel::gamma() const {
+  return static_cast<double>(thetaSplit) * i / j;
+}
+
+double CostModel::psiLht() const {
+  return 0.5 * static_cast<double>(thetaSplit) * i + 1.0 * j;
+}
+
+double CostModel::psiPht() const {
+  return static_cast<double>(thetaSplit) * i + 4.0 * j;
+}
+
+double CostModel::savingRatio() const {
+  const double g = gamma();
+  return (0.5 * g + 3.0) / (g + 4.0);
+}
+
+double CostModel::price(const Counters& c) const {
+  return static_cast<double>(c.recordsMoved) * i +
+         static_cast<double>(c.dhtLookups) * j;
+}
+
+}  // namespace lht::cost

@@ -1,0 +1,37 @@
+// The paper's analytical maintenance cost model (Sec. 8).
+//
+// Moving one data record costs i units (record size); one DHT-lookup costs
+// j units (grows with network scale, typically O(log N) physical hops).
+// Per-split costs:  Psi_LHT = 1/2 theta i + 1 j   (Eq. 1)
+//                   Psi_PHT =     theta i + 4 j   (Eq. 2)
+// Saving ratio:     1 - Psi_LHT/Psi_PHT = (1/2 gamma + 3) / (gamma + 4),
+// with gamma = theta i / j; it ranges in (50%, 75%) (Eq. 3).
+#pragma once
+
+#include "common/types.h"
+#include "cost/meter.h"
+
+namespace lht::cost {
+
+struct CostModel {
+  double i = 1.0;                ///< cost of moving one record
+  double j = 1.0;                ///< cost of one DHT-lookup
+  common::u32 thetaSplit = 100;  ///< leaf capacity threshold
+
+  /// gamma = theta * i / j.
+  [[nodiscard]] double gamma() const;
+
+  /// Eq. 1: average LHT cost per leaf split.
+  [[nodiscard]] double psiLht() const;
+
+  /// Eq. 2: average PHT cost per leaf split.
+  [[nodiscard]] double psiPht() const;
+
+  /// Eq. 3: LHT's maintenance saving ratio vs PHT, in (0.5, 0.75).
+  [[nodiscard]] double savingRatio() const;
+
+  /// Prices a measured counter set under this model.
+  [[nodiscard]] double price(const Counters& c) const;
+};
+
+}  // namespace lht::cost

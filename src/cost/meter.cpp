@@ -1,0 +1,20 @@
+#include "cost/meter.h"
+
+namespace lht::cost {
+
+Counters& Counters::operator+=(const Counters& o) {
+  dhtLookups += o.dhtLookups;
+  recordsMoved += o.recordsMoved;
+  splits += o.splits;
+  merges += o.merges;
+  return *this;
+}
+
+void MeterSet::reset() {
+  insertion.reset();
+  maintenance.reset();
+  query.reset();
+  alpha.reset();
+}
+
+}  // namespace lht::cost

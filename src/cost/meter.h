@@ -1,0 +1,70 @@
+// Cost accounting for over-DHT index operations.
+//
+// The paper's cost model (Sec. 8.1) charges i units per data record moved
+// and j units per DHT-lookup. Indexes meter the two quantities separately,
+// split by operation category so Fig. 7 (maintenance only) and Fig. 8/9
+// (query only) can each be read off directly.
+#pragma once
+
+#include "common/types.h"
+
+namespace lht::cost {
+
+using common::u64;
+
+/// Raw counters for one operation category.
+struct Counters {
+  u64 dhtLookups = 0;    ///< routed DHT operations
+  u64 recordsMoved = 0;  ///< records shipped between peers
+  u64 splits = 0;        ///< leaf splits performed
+  u64 merges = 0;        ///< leaf merges performed
+
+  void reset() { *this = Counters{}; }
+  Counters& operator+=(const Counters& o);
+  friend Counters operator+(Counters a, const Counters& b) { return a += b; }
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// Per-operation result statistics: bandwidth (DHT-lookups) and latency
+/// (parallel steps — the longest chain of dependent DHT-lookups, paper
+/// Sec. 9.4's "paralleled steps").
+struct OpStats {
+  u64 dhtLookups = 0;
+  u64 parallelSteps = 0;
+  u64 bucketsTouched = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    dhtLookups += o.dhtLookups;
+    parallelSteps += o.parallelSteps;
+    bucketsTouched += o.bucketsTouched;
+    return *this;
+  }
+};
+
+/// Running average of the split fraction alpha (paper Sec. 8.2 / Fig. 6):
+/// the remote bucket's share of the splitting bucket's contents.
+struct AlphaStats {
+  u64 samples = 0;
+  double sum = 0.0;
+
+  void record(double alpha) {
+    samples += 1;
+    sum += alpha;
+  }
+  [[nodiscard]] double mean() const {
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+  }
+  void reset() { *this = AlphaStats{}; }
+};
+
+/// The full meter set every index exposes.
+struct MeterSet {
+  Counters insertion;    ///< locating the target bucket + shipping the record
+  Counters maintenance;  ///< structural adjustment: splits and merges
+  Counters query;        ///< find / range / min / max
+  AlphaStats alpha;
+
+  void reset();
+};
+
+}  // namespace lht::cost

@@ -1,0 +1,104 @@
+// CAN — Content-Addressable Network substrate (Ratnasamy et al. [17]).
+//
+// Fourth substrate, completing the paper's list of DHT families (ring,
+// XOR, prefix, coordinate space). Keys hash to points in a 2-d unit torus;
+// each peer owns a rectangular zone of a binary space partition. Routing
+// is greedy geographic forwarding through zone neighbors (O(sqrt N) hops
+// for 2 dimensions — CAN's signature trade-off, visibly costlier than the
+// logarithmic substrates in examples/substrate_comparison).
+//
+// Zones are managed with CAN's real protocol shapes: a join splits the
+// zone containing the joiner's point along its longer side; a leave uses
+// CAN's takeover rule — merge with the sibling zone if it is undivided,
+// otherwise the deepest sibling *pair* donates one peer to adopt the
+// vacated zone, so zones always remain rectangles of the partition tree.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/dht.h"
+#include "net/sim_network.h"
+
+namespace lht::dht {
+
+class CanDht final : public Dht {
+ public:
+  struct Options {
+    size_t initialPeers = 32;
+    common::u64 seed = 1;
+    bool randomEntry = true;
+  };
+
+  CanDht(net::SimNetwork& network, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override;
+
+  /// Adds a peer: splits the zone containing its random point.
+  common::u64 join(const std::string& name);
+  /// Removes a peer via CAN's takeover rule. Requires >= 2 peers.
+  void leave(common::u64 peerId);
+
+  [[nodiscard]] size_t peerCount() const { return owners_.size(); }
+  [[nodiscard]] std::vector<common::u64> peerIds() const;
+  [[nodiscard]] common::u64 ownerOf(const Key& key) const;
+
+  /// Validates the partition (zones tile the torus exactly, one zone per
+  /// peer, every key in the right zone, neighbor lists symmetric).
+  [[nodiscard]] bool checkZones() const;
+
+ private:
+  /// Axis-aligned zone rectangle, half-open.
+  struct ZRect {
+    double xlo = 0, xhi = 1, ylo = 0, yhi = 1;
+    [[nodiscard]] bool contains(double x, double y) const {
+      return x >= xlo && x < xhi && y >= ylo && y < yhi;
+    }
+  };
+
+  /// Node of the zone partition tree; leaves are live zones.
+  struct ZNode {
+    ZRect rect;
+    int splitDim = -1;  // -1: leaf
+    std::unique_ptr<ZNode> left, right;
+    ZNode* parent = nullptr;
+    common::u64 owner = 0;  // leaves only
+  };
+
+  struct PeerState {
+    net::PeerId netId = net::kInvalidPeer;
+    ZNode* zone = nullptr;
+    std::unordered_map<Key, Value> store;
+    std::vector<common::u64> neighbors;  // owners of edge-adjacent zones
+  };
+
+  static void keyPoint(const Key& key, double& x, double& y);
+  [[nodiscard]] ZNode* zoneAt(double x, double y) const;
+  [[nodiscard]] common::u64 ownerAt(double x, double y) const;
+  void splitZone(ZNode* leaf, common::u64 newOwner, double px, double py);
+  [[nodiscard]] ZNode* deepestLeafPair() const;
+  void collectLeaves(ZNode* node, std::vector<ZNode*>& out) const;
+  void rebuildNeighbors();
+  void rehomeAllKeys();
+  /// Torus distance from point to rectangle (0 when inside).
+  [[nodiscard]] static double torusDistToRect(double x, double y, const ZRect& r);
+  common::u64 route(double x, double y, u64 requestBytes);
+  PeerState& peer(common::u64 id);
+  const PeerState& peer(common::u64 id) const;
+
+  net::SimNetwork& net_;
+  Options opts_;
+  common::Pcg32 rng_;
+  std::unique_ptr<ZNode> root_;
+  std::unordered_map<common::u64, PeerState> owners_;
+  common::u64 nextPeerId_ = 1;
+};
+
+}  // namespace lht::dht

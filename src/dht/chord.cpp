@@ -1,0 +1,364 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace lht::dht {
+
+using common::u64;
+
+namespace {
+
+/// Whether x lies in the half-open ring interval (a, b] (clockwise).
+bool inRangeOpenClosed(u64 x, u64 a, u64 b) {
+  if (a == b) return true;  // the whole ring (single-node case)
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+/// Whether x lies in the open ring interval (a, b) (clockwise).
+bool inRangeOpen(u64 x, u64 a, u64 b) {
+  if (a == b) return x != a;
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+}  // namespace
+
+ChordDht::ChordDht(net::SimNetwork& network, Options options)
+    : net_(network), opts_(options), rng_(options.seed, /*stream=*/0x9E37u) {
+  common::checkInvariant(opts_.initialPeers >= 1, "ChordDht: need >= 1 peer");
+  common::checkInvariant(opts_.virtualNodes >= 1, "ChordDht: need >= 1 vnode");
+  for (size_t i = 0; i < opts_.initialPeers; ++i) {
+    join("peer-" + std::to_string(i));
+  }
+}
+
+u64 ChordDht::join(const std::string& name) {
+  const net::PeerId peer = net_.addPeer(name);
+  u64 firstId = 0;
+  for (size_t v = 0; v < opts_.virtualNodes; ++v) {
+    u64 id = common::hash::xxhash64(name + "#" + std::to_string(v), opts_.seed);
+    // Extremely unlikely collision: perturb deterministically until free.
+    while (nodes_.count(id) != 0) id = common::hash::splitmix64(id);
+    Node node;
+    node.id = id;
+    node.peer = peer;
+    nodes_.emplace(id, std::move(node));
+    if (v == 0) firstId = id;
+  }
+  rebuildFingers();
+  // Pull over every key the new ring points now own.
+  for (auto& [id, node] : nodes_) {
+    if (node.peer == peer) continue;
+    std::vector<Key> moving;
+    for (const auto& [k, v] : node.store) {
+      if (nodeById(ownerOfId(common::hash::xxhash64(k, 0))).peer == peer) {
+        moving.push_back(k);
+      }
+    }
+    for (const auto& k : moving) {
+      auto nh = node.store.extract(k);
+      Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
+      net_.send(node.peer, owner.peer, k.size() + nh.mapped().size());
+      owner.store.insert(std::move(nh));
+    }
+  }
+  rebuildReplicas();
+  return firstId;
+}
+
+void ChordDht::leave(u64 nodeId) { removePeer(nodeId, /*graceful=*/true); }
+
+void ChordDht::fail(u64 nodeId) { removePeer(nodeId, /*graceful=*/false); }
+
+void ChordDht::removePeer(u64 nodeId, bool graceful) {
+  common::checkInvariant(peerCount() >= 2, "ChordDht::removePeer: last peer");
+  const net::PeerId peer = nodeById(nodeId).peer;
+
+  std::vector<u64> ids;
+  std::vector<std::pair<Key, Value>> orphans;
+  for (auto& [id, node] : nodes_) {
+    if (node.peer != peer) continue;
+    ids.push_back(id);
+    if (graceful) {
+      for (auto& [k, v] : node.store) orphans.emplace_back(k, std::move(v));
+    }
+  }
+  for (u64 id : ids) nodes_.erase(id);
+  rebuildFingers();
+
+  if (graceful) {
+    // The departing peer pushes its primaries to their new owners.
+    for (auto& [k, v] : orphans) {
+      Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
+      net_.send(peer, owner.peer, k.size() + v.size());
+      owner.store[k] = std::move(v);
+    }
+  } else {
+    // Ungraceful: the peer's primaries and replicas are gone. Promote
+    // surviving replicas whose primary died onto the new owners.
+    std::vector<std::pair<Key, Value>> recovered;
+    for (auto& [id, node] : nodes_) {
+      for (const auto& [k, v] : node.replicas) {
+        const u64 owner = ownerOfId(common::hash::xxhash64(k, 0));
+        if (nodeById(owner).store.count(k) == 0) recovered.emplace_back(k, v);
+      }
+    }
+    for (auto& [k, v] : recovered) {
+      Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
+      owner.store[k] = std::move(v);
+    }
+  }
+  net_.setOnline(peer, false);
+  rebuildReplicas();
+}
+
+size_t ChordDht::peerCount() const {
+  std::vector<net::PeerId> peers;
+  for (const auto& [id, node] : nodes_) peers.push_back(node.peer);
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers.size();
+}
+
+std::vector<u64> ChordDht::nodeIds() const {
+  std::vector<u64> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+u64 ChordDht::ownerOf(const Key& key) const {
+  return ownerOfId(common::hash::xxhash64(key, 0));
+}
+
+size_t ChordDht::keysOn(u64 nodeId) const { return nodeById(nodeId).store.size(); }
+
+ChordDht::Node& ChordDht::nodeById(u64 id) {
+  auto it = nodes_.find(id);
+  common::checkInvariant(it != nodes_.end(), "ChordDht: unknown node id");
+  return it->second;
+}
+
+const ChordDht::Node& ChordDht::nodeById(u64 id) const {
+  auto it = nodes_.find(id);
+  common::checkInvariant(it != nodes_.end(), "ChordDht: unknown node id");
+  return it->second;
+}
+
+u64 ChordDht::successorOf(u64 id) const {
+  auto it = nodes_.upper_bound(id);
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it->first;
+}
+
+u64 ChordDht::ownerOfId(u64 keyId) const {
+  auto it = nodes_.lower_bound(keyId);  // first node id >= keyId
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it->first;
+}
+
+std::vector<u64> ChordDht::successorsOf(u64 id, size_t count) const {
+  // Collect ring points of `count` *distinct other peers*: replicas on the
+  // owner's own virtual nodes would die with it.
+  std::vector<u64> out;
+  std::vector<net::PeerId> seen{nodeById(id).peer};
+  const size_t limit = std::min(count, peerCount() - 1);
+  u64 cur = id;
+  while (out.size() < limit) {
+    cur = successorOf(cur);
+    const net::PeerId p = nodeById(cur).peer;
+    if (std::find(seen.begin(), seen.end(), p) == seen.end()) {
+      seen.push_back(p);
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+void ChordDht::pushReplicas(const Node& owner, const Key& key, const Value& value) {
+  if (opts_.replication <= 1) return;
+  for (u64 sid : successorsOf(owner.id, opts_.replication - 1)) {
+    Node& holder = nodeById(sid);
+    net_.send(owner.peer, holder.peer, key.size() + value.size());
+    holder.replicas[key] = value;
+  }
+}
+
+void ChordDht::dropReplicas(const Key& key) {
+  if (opts_.replication <= 1) return;
+  for (auto& [id, node] : nodes_) node.replicas.erase(key);
+}
+
+void ChordDht::rebuildReplicas() {
+  if (opts_.replication <= 1) return;
+  for (auto& [id, node] : nodes_) node.replicas.clear();
+  for (auto& [id, node] : nodes_) {
+    for (const auto& [k, v] : node.store) {
+      pushReplicas(node, k, v);
+    }
+  }
+}
+
+void ChordDht::rebuildFingers() {
+  for (auto& [id, node] : nodes_) {
+    node.fingers.clear();
+    node.fingers.reserve(64);
+    for (int k = 0; k < 64; ++k) {
+      u64 target = id + (1ull << k);  // wraps naturally mod 2^64
+      u64 f = ownerOfId(target);
+      if (node.fingers.empty() || node.fingers.back() != f)
+        node.fingers.push_back(f);
+    }
+  }
+}
+
+u64 ChordDht::route(u64 keyId, u64 requestBytes) {
+  common::checkInvariant(!nodes_.empty(), "ChordDht: empty ring");
+  stats_.lookups += 1;
+
+  // Pick the entry peer (the querying client's gateway into the ring).
+  auto it = nodes_.begin();
+  if (opts_.randomEntry && nodes_.size() > 1) {
+    std::advance(it, rng_.below(static_cast<common::u32>(nodes_.size())));
+  }
+  u64 cur = it->first;
+  stats_.hops += 1;  // client -> entry peer
+
+  for (;;) {
+    u64 succ = successorOf(cur);
+    if (inRangeOpenClosed(keyId, cur, succ)) {
+      if (succ != cur) {
+        net_.send(nodeById(cur).peer, nodeById(succ).peer, requestBytes);
+        stats_.hops += 1;
+      }
+      return succ;
+    }
+    // Forward to the closest preceding finger of keyId.
+    const Node& node = nodeById(cur);
+    u64 next = succ;
+    for (auto fit = node.fingers.rbegin(); fit != node.fingers.rend(); ++fit) {
+      if (inRangeOpen(*fit, cur, keyId)) {
+        next = *fit;
+        break;
+      }
+    }
+    if (next == cur) next = succ;  // guarantee progress
+    net_.send(node.peer, nodeById(next).peer, requestBytes);
+    stats_.hops += 1;
+    cur = next;
+  }
+}
+
+void ChordDht::put(const Key& key, Value value) {
+  stats_.puts += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
+  accountValueBytes(value.size());
+  Node& node = nodeById(owner);
+  node.store[key] = std::move(value);
+  pushReplicas(node, key, node.store[key]);
+}
+
+std::optional<Value> ChordDht::get(const Key& key) {
+  stats_.gets += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  const Node& node = nodeById(owner);
+  auto it = node.store.find(key);
+  if (it == node.store.end()) return std::nullopt;
+  accountValueBytes(it->second.size());
+  return it->second;
+}
+
+bool ChordDht::remove(const Key& key) {
+  stats_.removes += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  const bool existed = nodeById(owner).store.erase(key) > 0;
+  if (existed) dropReplicas(key);
+  return existed;
+}
+
+bool ChordDht::apply(const Key& key, const Mutator& fn) {
+  stats_.applies += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  Node& node = nodeById(owner);
+  auto it = node.store.find(key);
+  const bool existed = it != node.store.end();
+  std::optional<Value> v;
+  if (existed) v = std::move(it->second);
+  fn(v);
+  if (v.has_value()) {
+    accountValueBytes(v->size());
+    node.store[key] = std::move(*v);
+    pushReplicas(node, key, node.store[key]);
+  } else if (existed) {
+    node.store.erase(key);
+    dropReplicas(key);
+  }
+  return existed;
+}
+
+void ChordDht::storeDirect(const Key& key, Value value) {
+  u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
+  Node& node = nodeById(owner);
+  node.store[key] = std::move(value);
+  pushReplicas(node, key, node.store[key]);
+}
+
+size_t ChordDht::size() const {
+  size_t n = 0;
+  for (const auto& [id, node] : nodes_) n += node.store.size();
+  return n;
+}
+
+bool ChordDht::checkRing() const {
+  // Every stored key must sit on its owner.
+  for (const auto& [id, node] : nodes_) {
+    for (const auto& [k, v] : node.store) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;
+    }
+  }
+  // Finger entries must be the true successors of their targets.
+  for (const auto& [id, node] : nodes_) {
+    size_t fi = 0;
+    u64 prev = ~0ull;
+    for (int k = 0; k < 64; ++k) {
+      u64 expect = ownerOfId(id + (1ull << k));
+      if (expect != prev) {
+        if (fi >= node.fingers.size() || node.fingers[fi] != expect) return false;
+        prev = expect;
+        ++fi;
+      }
+    }
+    if (fi != node.fingers.size()) return false;
+  }
+  return true;
+}
+
+bool ChordDht::checkReplication() const {
+  if (opts_.replication <= 1) return true;
+  const size_t copies = std::min(opts_.replication, peerCount()) - 1;
+  size_t expectedReplicas = 0;
+  size_t actualReplicas = 0;
+  for (const auto& [id, node] : nodes_) {
+    expectedReplicas += node.store.size() * copies;
+    actualReplicas += node.replicas.size();
+    // Every primary must be present on each of its owner's successors.
+    auto succ = successorsOf(id, copies);
+    for (const auto& [k, v] : node.store) {
+      for (u64 sid : succ) {
+        auto hit = nodeById(sid).replicas.find(k);
+        if (hit == nodeById(sid).replicas.end() || hit->second != v) return false;
+      }
+    }
+    // Every replica must back a live primary somewhere.
+    for (const auto& [k, v] : node.replicas) {
+      const u64 owner = ownerOfId(common::hash::xxhash64(k, 0));
+      if (nodeById(owner).store.count(k) == 0) return false;
+    }
+  }
+  return expectedReplicas == actualReplicas;
+}
+
+}  // namespace lht::dht

@@ -1,0 +1,128 @@
+// Chord-style ring DHT with finger-table routing.
+//
+// Stands in for the Bamboo deployment of the paper's testbed (both are
+// ring-geometry DHTs; see DESIGN.md substitutions). Peers and keys are
+// hashed with xxHash64 onto a 2^64 identifier ring; a key is owned by its
+// successor peer. Lookups route iteratively through finger tables in
+// O(log N) hops, every hop accounted on the SimNetwork. Joins and leaves
+// hand keys off to the new owner, so the stored state stays consistent
+// under churn.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/dht.h"
+#include "net/sim_network.h"
+
+namespace lht::dht {
+
+class ChordDht final : public Dht {
+ public:
+  struct Options {
+    size_t initialPeers = 32;   ///< ring size at construction
+    common::u64 seed = 1;       ///< peer naming / entry-point randomness
+    bool randomEntry = true;    ///< route from a random peer per lookup
+    /// Copies of every key (1 = no replication). With r >= 2 the ring
+    /// keeps each key on its owner plus the r-1 following successors, so
+    /// data survives an *ungraceful* peer failure (see fail()). Replica
+    /// pushes cost messages but no extra DHT-lookups.
+    size_t replication = 1;
+    /// Ring points per physical peer. Consistent hashing with a single
+    /// point per peer leaves O(log N)-factor arc-length imbalance; v
+    /// virtual nodes shrink it toward uniform (classic Chord/Dynamo
+    /// technique). Each peer owns v independent ring ids.
+    size_t virtualNodes = 1;
+  };
+
+  ChordDht(net::SimNetwork& network, Options options);
+
+  // Dht interface ----------------------------------------------------------
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override;
+
+  // Membership -------------------------------------------------------------
+  /// Adds a peer named `name` (with Options::virtualNodes ring points);
+  /// keys it now owns move from their previous successors. Returns the
+  /// peer's first ring identifier.
+  common::u64 join(const std::string& name);
+
+  /// Gracefully removes the *peer* owning ring id `nodeId` — all of its
+  /// virtual nodes leave together and its keys move to their new owners.
+  /// Requires at least two peers.
+  void leave(common::u64 nodeId);
+
+  /// Ungraceful failure of the peer owning ring id `nodeId`: it vanishes
+  /// without handing anything off. Surviving replicas
+  /// (Options::replication >= 2) are promoted on the new owners; without
+  /// replication the failed peer's keys are lost. Requires >= two peers.
+  void fail(common::u64 nodeId);
+
+  /// Number of physical peers currently in the ring.
+  [[nodiscard]] size_t peerCount() const;
+
+  /// Ring ids of all current peers (sorted).
+  [[nodiscard]] std::vector<common::u64> nodeIds() const;
+
+  /// Ring id of the peer that owns `key` (no routing, no accounting).
+  [[nodiscard]] common::u64 ownerOf(const Key& key) const;
+
+  /// Number of keys stored on the peer with ring id `nodeId`.
+  [[nodiscard]] size_t keysOn(common::u64 nodeId) const;
+
+  /// Validates ring invariants (finger correctness, full key ownership).
+  /// Returns true when consistent; used by tests.
+  [[nodiscard]] bool checkRing() const;
+
+  /// Validates replica placement: every primary key is copied on exactly
+  /// the min(replication, peers) - 1 successors of its owner, and every
+  /// replica backs a live primary.
+  [[nodiscard]] bool checkReplication() const;
+
+ private:
+  struct Node {
+    common::u64 id = 0;
+    net::PeerId peer = net::kInvalidPeer;
+    std::vector<common::u64> fingers;  // finger[k] = successor(id + 2^k)
+    std::unordered_map<Key, Value> store;     // keys this node owns
+    std::unordered_map<Key, Value> replicas;  // copies held for predecessors
+  };
+
+  Node& nodeById(common::u64 id);
+  const Node& nodeById(common::u64 id) const;
+  [[nodiscard]] common::u64 successorOf(common::u64 id) const;  // first id > given (wrap)
+  [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
+  void rebuildFingers();
+  /// Removes all ring nodes of the peer owning `nodeId`. Gracefully
+  /// re-homes their primaries (leave) or drops them and recovers from
+  /// replicas (fail).
+  void removePeer(common::u64 nodeId, bool graceful);
+  /// The `count` ring nodes following `id` clockwise that belong to a
+  /// *different peer* than `id` (replicas on one's own virtual nodes would
+  /// not survive that peer's failure).
+  [[nodiscard]] std::vector<common::u64> successorsOf(common::u64 id,
+                                                      size_t count) const;
+  /// Pushes fresh copies of (key, value) from its owner to the replica set.
+  void pushReplicas(const Node& owner, const Key& key, const Value& value);
+  /// Drops `key`'s replicas everywhere (after a primary remove).
+  void dropReplicas(const Key& key);
+  /// Recomputes every replica placement from the primaries (after churn).
+  void rebuildReplicas();
+  /// Routes from a (random or fixed) entry peer to the owner of keyId,
+  /// accounting hops and messages. Returns the owner node id.
+  common::u64 route(common::u64 keyId, u64 requestBytes);
+  void accountValueBytes(u64 n) { stats_.valueBytesMoved += n; }
+
+  net::SimNetwork& net_;
+  Options opts_;
+  common::Pcg32 rng_;
+  std::map<common::u64, Node> nodes_;  // ordered by ring id
+};
+
+}  // namespace lht::dht

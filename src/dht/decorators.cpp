@@ -1,0 +1,86 @@
+#include "dht/decorators.h"
+
+#include <string>
+
+#include "common/types.h"
+
+namespace lht::dht {
+
+FlakyDht::FlakyDht(Dht& inner, double failProbability, common::u64 seed)
+    : inner_(inner), failProbability_(failProbability), rng_(seed, 0xF1A6u) {
+  common::checkInvariant(failProbability >= 0.0 && failProbability < 1.0,
+                         "FlakyDht: probability must be in [0, 1)");
+}
+
+void FlakyDht::maybeFail(const char* op) {
+  if (rng_.nextDouble() < failProbability_) {
+    injected_ += 1;
+    throw DhtError(std::string("FlakyDht: lost ") + op + " request");
+  }
+}
+
+void FlakyDht::put(const Key& key, Value value) {
+  maybeFail("put");
+  inner_.put(key, std::move(value));
+}
+
+std::optional<Value> FlakyDht::get(const Key& key) {
+  maybeFail("get");
+  return inner_.get(key);
+}
+
+bool FlakyDht::remove(const Key& key) {
+  maybeFail("remove");
+  return inner_.remove(key);
+}
+
+bool FlakyDht::apply(const Key& key, const Mutator& fn) {
+  maybeFail("apply");
+  return inner_.apply(key, fn);
+}
+
+void FlakyDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+RetryingDht::RetryingDht(Dht& inner, size_t maxAttempts)
+    : inner_(inner), maxAttempts_(maxAttempts) {
+  common::checkInvariant(maxAttempts >= 1, "RetryingDht: need >= 1 attempt");
+}
+
+template <typename F>
+auto RetryingDht::withRetries(F&& f) -> decltype(f()) {
+  for (size_t attempt = 1;; ++attempt) {
+    try {
+      return f();
+    } catch (const DhtError&) {
+      if (attempt >= maxAttempts_) throw;
+      retries_ += 1;
+    }
+  }
+}
+
+void RetryingDht::put(const Key& key, Value value) {
+  withRetries([&]() -> int {
+    inner_.put(key, value);
+    return 0;
+  });
+}
+
+std::optional<Value> RetryingDht::get(const Key& key) {
+  return withRetries([&] { return inner_.get(key); });
+}
+
+bool RetryingDht::remove(const Key& key) {
+  return withRetries([&] { return inner_.remove(key); });
+}
+
+bool RetryingDht::apply(const Key& key, const Mutator& fn) {
+  return withRetries([&] { return inner_.apply(key, fn); });
+}
+
+void RetryingDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+}  // namespace lht::dht

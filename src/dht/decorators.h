@@ -1,0 +1,81 @@
+// DHT decorators for failure injection and recovery.
+//
+// Real DHT requests get lost; over-DHT indexes assume the substrate
+// resolves that (the paper leaves robustness "to and well done by [the]
+// underlying DHT"). These decorators make the assumption testable:
+//
+//  * FlakyDht injects request-loss failures: with probability p an
+//    operation throws DhtError *before* executing, exactly like a lost
+//    request (never a lost reply, so retries are always safe — no
+//    duplicated mutations).
+//  * RetryingDht retries a failed operation up to maxAttempts times —
+//    the standard client-side answer, and what makes an index over a
+//    flaky substrate behave exactly like one over a reliable substrate.
+//
+// Stack them: RetryingDht retrying(flaky); LhtIndex idx(retrying, ...);
+#pragma once
+
+#include <stdexcept>
+
+#include "common/random.h"
+#include "dht/dht.h"
+
+namespace lht::dht {
+
+/// A lost DHT request.
+class DhtError : public std::runtime_error {
+ public:
+  explicit DhtError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FlakyDht final : public Dht {
+ public:
+  /// Fails each routed operation with probability `failProbability`
+  /// (deterministic given `seed`). storeDirect never fails (bootstrap).
+  FlakyDht(Dht& inner, double failProbability, common::u64 seed = 1);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// Failures injected so far.
+  [[nodiscard]] size_t injectedFailures() const { return injected_; }
+
+ private:
+  void maybeFail(const char* op);
+
+  Dht& inner_;
+  double failProbability_;
+  common::Pcg32 rng_;
+  size_t injected_ = 0;
+};
+
+class RetryingDht final : public Dht {
+ public:
+  /// Retries each operation up to `maxAttempts` times on DhtError, then
+  /// rethrows.
+  RetryingDht(Dht& inner, size_t maxAttempts = 8);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// Retries performed so far (failures absorbed).
+  [[nodiscard]] size_t retries() const { return retries_; }
+
+ private:
+  template <typename F>
+  auto withRetries(F&& f) -> decltype(f());
+
+  Dht& inner_;
+  size_t maxAttempts_;
+  size_t retries_ = 0;
+};
+
+}  // namespace lht::dht

@@ -1,0 +1,5 @@
+// Intentionally small: the interface is header-only; this translation unit
+// anchors the vtable.
+#include "dht/dht.h"
+
+namespace lht::dht {}  // namespace lht::dht

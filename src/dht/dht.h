@@ -1,0 +1,80 @@
+// Abstract DHT interface: the only substrate the indexes depend on.
+//
+// LHT (and PHT) are *over-DHT* schemes (paper Sec. 2): they use nothing but
+// the generic put/get interface of a DHT, so they run unchanged on any
+// substrate. Each routed operation below counts as exactly one "DHT-lookup"
+// — the paper's bandwidth unit — regardless of how many overlay hops the
+// substrate needs; hop counts are additionally recorded in DhtStats so the
+// cost-model constant j can be calibrated per substrate.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace lht::dht {
+
+using common::u64;
+
+/// Keys are flat strings (e.g. a serialized tree-node label); the substrate
+/// hashes them onto its identifier space (consistent hashing, paper Sec. 1).
+using Key = std::string;
+
+/// Values are opaque byte strings; the index layers own the serialization.
+using Value = std::string;
+
+/// Cumulative substrate counters.
+struct DhtStats {
+  u64 lookups = 0;      ///< routed operations: the paper's "DHT-lookup" unit
+  u64 hops = 0;         ///< total overlay routing hops behind those lookups
+  u64 gets = 0;         ///< lookups that were gets
+  u64 puts = 0;         ///< lookups that were puts
+  u64 applies = 0;      ///< lookups that were read-modify-writes
+  u64 removes = 0;      ///< lookups that were removes
+  u64 valueBytesMoved = 0;  ///< payload bytes shipped to/from storing peers
+  void reset() { *this = DhtStats{}; }
+};
+
+/// A read-modify-write body executed at the storing peer. It receives the
+/// stored value (disengaged when the key is absent) and may create, rewrite
+/// or erase it (reset() == erase).
+using Mutator = std::function<void(std::optional<Value>&)>;
+
+/// Generic DHT. Implementations must be deterministic given their seed so
+/// experiments reproduce exactly.
+class Dht {
+ public:
+  virtual ~Dht() = default;
+
+  /// Stores `value` at the peer responsible for `key`. One DHT-lookup.
+  virtual void put(const Key& key, Value value) = 0;
+
+  /// Fetches the value stored under `key`. One DHT-lookup.
+  virtual std::optional<Value> get(const Key& key) = 0;
+
+  /// Removes `key`. One DHT-lookup. Returns whether it was present.
+  virtual bool remove(const Key& key) = 0;
+
+  /// Routes to the responsible peer and runs `fn` there atomically.
+  /// One DHT-lookup. Returns whether the key existed before the call.
+  /// This models the paper's "DHT-put towards κ" of a single record: the
+  /// record travels to the peer; the bucket is rewritten locally.
+  virtual bool apply(const Key& key, const Mutator& fn) = 0;
+
+  /// Out-of-band bootstrap write: stores without routing or accounting.
+  /// Used only to seed initial index state (e.g. the root leaf bucket).
+  virtual void storeDirect(const Key& key, Value value) = 0;
+
+  /// Number of key/value pairs currently stored (all peers).
+  [[nodiscard]] virtual size_t size() const = 0;
+
+  [[nodiscard]] const DhtStats& stats() const { return stats_; }
+  void resetStats() { stats_.reset(); }
+
+ protected:
+  DhtStats stats_;
+};
+
+}  // namespace lht::dht

@@ -1,0 +1,230 @@
+#include "dht/kademlia.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.h"
+
+namespace lht::dht {
+
+using common::u64;
+
+namespace {
+/// Index of the highest bit where a and b differ; requires a != b.
+int topDifferingBit(u64 a, u64 b) { return 63 - std::countl_zero(a ^ b); }
+}  // namespace
+
+KademliaDht::KademliaDht(net::SimNetwork& network, Options options)
+    : net_(network), opts_(options), rng_(options.seed, /*stream=*/0x6b6164u) {
+  common::checkInvariant(opts_.initialPeers >= 1, "KademliaDht: need >= 1 peer");
+  common::checkInvariant(opts_.bucketSize >= 1, "KademliaDht: k must be >= 1");
+  for (size_t i = 0; i < opts_.initialPeers; ++i) {
+    join("kad-peer-" + std::to_string(i));
+  }
+}
+
+u64 KademliaDht::join(const std::string& name) {
+  u64 id = common::hash::xxhash64(name, opts_.seed ^ 0x6b61646cull);
+  while (nodes_.count(id) != 0) id = common::hash::splitmix64(id);
+  Node node;
+  node.id = id;
+  node.peer = net_.addPeer(name);
+  nodes_.emplace(id, std::move(node));
+  rebuildBuckets();
+  rehomeAllKeys();
+  return id;
+}
+
+void KademliaDht::leave(u64 nodeId) {
+  common::checkInvariant(nodes_.size() >= 2, "KademliaDht::leave: last peer");
+  auto it = nodes_.find(nodeId);
+  common::checkInvariant(it != nodes_.end(), "KademliaDht::leave: unknown node");
+  // Park the departing node's keys, drop it, then re-home.
+  std::unordered_map<Key, Value> orphans = std::move(it->second.store);
+  net::PeerId fromPeer = it->second.peer;
+  net_.setOnline(fromPeer, false);
+  nodes_.erase(it);
+  rebuildBuckets();
+  for (auto& [k, v] : orphans) {
+    Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
+    net_.send(fromPeer, owner.peer, k.size() + v.size());
+    owner.store.emplace(k, std::move(v));
+  }
+  rehomeAllKeys();
+}
+
+std::vector<u64> KademliaDht::nodeIds() const {
+  std::vector<u64> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+u64 KademliaDht::ownerOf(const Key& key) const {
+  return ownerOfId(common::hash::xxhash64(key, 0));
+}
+
+KademliaDht::Node& KademliaDht::nodeById(u64 id) {
+  auto it = nodes_.find(id);
+  common::checkInvariant(it != nodes_.end(), "KademliaDht: unknown node id");
+  return it->second;
+}
+
+const KademliaDht::Node& KademliaDht::nodeById(u64 id) const {
+  auto it = nodes_.find(id);
+  common::checkInvariant(it != nodes_.end(), "KademliaDht: unknown node id");
+  return it->second;
+}
+
+u64 KademliaDht::ownerOfId(u64 keyId) const {
+  u64 best = 0;
+  u64 bestDist = ~0ull;
+  bool first = true;
+  for (const auto& [id, n] : nodes_) {
+    u64 d = id ^ keyId;
+    if (first || d < bestDist) {
+      best = id;
+      bestDist = d;
+      first = false;
+    }
+  }
+  return best;
+}
+
+void KademliaDht::rebuildBuckets() {
+  for (auto& [id, node] : nodes_) {
+    node.buckets.assign(64, {});
+    for (const auto& [oid, other] : nodes_) {
+      if (oid == id) continue;
+      node.buckets[static_cast<size_t>(topDifferingBit(id, oid))].push_back(oid);
+    }
+    for (auto& bucket : node.buckets) {
+      std::sort(bucket.begin(), bucket.end(),
+                [id = id](u64 a, u64 b) { return (a ^ id) < (b ^ id); });
+      if (bucket.size() > opts_.bucketSize) bucket.resize(opts_.bucketSize);
+    }
+  }
+}
+
+void KademliaDht::rehomeAllKeys() {
+  // After membership changes, move any key whose closest node changed.
+  std::vector<std::pair<Key, Value>> moving;
+  for (auto& [id, node] : nodes_) {
+    std::vector<Key> out;
+    for (const auto& [k, v] : node.store) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) out.push_back(k);
+    }
+    for (const auto& k : out) {
+      auto nh = node.store.extract(k);
+      moving.emplace_back(nh.key(), std::move(nh.mapped()));
+    }
+  }
+  for (auto& [k, v] : moving) {
+    nodeById(ownerOfId(common::hash::xxhash64(k, 0))).store.emplace(k, std::move(v));
+  }
+}
+
+u64 KademliaDht::route(u64 keyId, u64 requestBytes) {
+  common::checkInvariant(!nodes_.empty(), "KademliaDht: no peers");
+  stats_.lookups += 1;
+  auto it = nodes_.begin();
+  if (opts_.randomEntry && nodes_.size() > 1) {
+    std::advance(it, rng_.below(static_cast<common::u32>(nodes_.size())));
+  }
+  u64 cur = it->first;
+  stats_.hops += 1;  // client -> entry peer
+
+  // Greedy descent: each node forwards to the contact in its routing table
+  // closest to the target, stopping when no contact is strictly closer.
+  // This provably terminates at the XOR-closest peer: if a closer peer o
+  // exists, the bucket for topDifferingBit(cur, o) is non-empty and every
+  // entry in it matches the key at that bit, hence is strictly closer.
+  for (;;) {
+    if (cur == keyId) return cur;
+    const Node& node = nodeById(cur);
+    u64 next = cur;
+    u64 nextDist = cur ^ keyId;
+    for (const auto& bucket : node.buckets) {
+      for (u64 cand : bucket) {
+        if ((cand ^ keyId) < nextDist) {
+          next = cand;
+          nextDist = cand ^ keyId;
+        }
+      }
+    }
+    if (next == cur) return cur;  // local minimum == global owner
+    net_.send(node.peer, nodeById(next).peer, requestBytes);
+    stats_.hops += 1;
+    cur = next;
+  }
+}
+
+void KademliaDht::put(const Key& key, Value value) {
+  stats_.puts += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
+  stats_.valueBytesMoved += value.size();
+  nodeById(owner).store[key] = std::move(value);
+}
+
+std::optional<Value> KademliaDht::get(const Key& key) {
+  stats_.gets += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  const Node& node = nodeById(owner);
+  auto it = node.store.find(key);
+  if (it == node.store.end()) return std::nullopt;
+  stats_.valueBytesMoved += it->second.size();
+  return it->second;
+}
+
+bool KademliaDht::remove(const Key& key) {
+  stats_.removes += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  return nodeById(owner).store.erase(key) > 0;
+}
+
+bool KademliaDht::apply(const Key& key, const Mutator& fn) {
+  stats_.applies += 1;
+  u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  Node& node = nodeById(owner);
+  auto it = node.store.find(key);
+  const bool existed = it != node.store.end();
+  std::optional<Value> v;
+  if (existed) v = std::move(it->second);
+  fn(v);
+  if (v.has_value()) {
+    stats_.valueBytesMoved += v->size();
+    node.store[key] = std::move(*v);
+  } else if (existed) {
+    node.store.erase(key);
+  }
+  return existed;
+}
+
+void KademliaDht::storeDirect(const Key& key, Value value) {
+  nodeById(ownerOfId(common::hash::xxhash64(key, 0))).store[key] = std::move(value);
+}
+
+size_t KademliaDht::size() const {
+  size_t n = 0;
+  for (const auto& [id, node] : nodes_) n += node.store.size();
+  return n;
+}
+
+bool KademliaDht::checkTables() const {
+  for (const auto& [id, node] : nodes_) {
+    for (const auto& [k, v] : node.store) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;
+    }
+    if (node.buckets.size() != 64) return false;
+    for (size_t b = 0; b < 64; ++b) {
+      for (u64 contact : node.buckets[b]) {
+        if (nodes_.count(contact) == 0) return false;
+        if (static_cast<size_t>(topDifferingBit(id, contact)) != b) return false;
+      }
+      if (node.buckets[b].size() > opts_.bucketSize) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lht::dht

@@ -1,0 +1,98 @@
+#include "dht/local_dht.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/codec.h"
+
+namespace lht::dht {
+
+namespace {
+constexpr common::u32 kSnapshotMagic = 0x4C444854;  // "LDHT"
+}  // namespace
+
+void LocalDht::put(const Key& key, Value value) {
+  stats_.lookups += 1;
+  stats_.puts += 1;
+  stats_.hops += 1;
+  stats_.valueBytesMoved += value.size();
+  store_[key] = std::move(value);
+}
+
+std::optional<Value> LocalDht::get(const Key& key) {
+  stats_.lookups += 1;
+  stats_.gets += 1;
+  stats_.hops += 1;
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  stats_.valueBytesMoved += it->second.size();
+  return it->second;
+}
+
+bool LocalDht::remove(const Key& key) {
+  stats_.lookups += 1;
+  stats_.removes += 1;
+  stats_.hops += 1;
+  return store_.erase(key) > 0;
+}
+
+bool LocalDht::apply(const Key& key, const Mutator& fn) {
+  stats_.lookups += 1;
+  stats_.applies += 1;
+  stats_.hops += 1;
+  auto it = store_.find(key);
+  const bool existed = it != store_.end();
+  std::optional<Value> v;
+  if (existed) v = std::move(it->second);
+  fn(v);
+  if (v.has_value()) {
+    store_[key] = std::move(*v);
+  } else if (existed) {
+    store_.erase(key);
+  }
+  return existed;
+}
+
+void LocalDht::storeDirect(const Key& key, Value value) {
+  store_[key] = std::move(value);
+}
+
+bool LocalDht::saveSnapshot(const std::string& path) const {
+  common::Encoder enc;
+  enc.putU32(kSnapshotMagic);
+  enc.putU32(static_cast<common::u32>(store_.size()));
+  for (const auto& [k, v] : store_) {
+    enc.putString(k);
+    enc.putString(v);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string& bytes = enc.buffer();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool LocalDht::loadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  common::Decoder dec(bytes);
+  auto magic = dec.getU32();
+  auto count = dec.getU32();
+  if (!magic || *magic != kSnapshotMagic || !count) return false;
+  std::unordered_map<Key, Value> fresh;
+  fresh.reserve(*count);
+  for (common::u32 i = 0; i < *count; ++i) {
+    auto k = dec.getString();
+    auto v = dec.getString();
+    if (!k || !v) return false;
+    fresh.emplace(std::move(*k), std::move(*v));
+  }
+  if (!dec.atEnd()) return false;
+  store_ = std::move(fresh);
+  return true;
+}
+
+}  // namespace lht::dht

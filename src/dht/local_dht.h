@@ -1,0 +1,37 @@
+// Single-process DHT backend: one flat map, one logical peer.
+//
+// Functionally identical to any real substrate (same put/get contract and
+// lookup accounting, 1 hop per lookup), with no routing cost. Used by unit
+// tests and by benches whose metric is DHT-lookup counts — which the paper
+// notes are independent of network scale (their footnote 5).
+#pragma once
+
+#include <unordered_map>
+
+#include "dht/dht.h"
+
+namespace lht::dht {
+
+class LocalDht final : public Dht {
+ public:
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return store_.size(); }
+
+  /// Persists the whole store to `path` (versioned binary format); an
+  /// index over a LocalDht can thus be snapshotted and reopened later.
+  /// Returns false on I/O failure. Unaccounted (administrative).
+  bool saveSnapshot(const std::string& path) const;
+
+  /// Replaces the store with a snapshot written by saveSnapshot. Returns
+  /// false (store untouched) on I/O failure or a malformed file.
+  bool loadSnapshot(const std::string& path);
+
+ private:
+  std::unordered_map<Key, Value> store_;
+};
+
+}  // namespace lht::dht

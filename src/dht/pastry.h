@@ -1,0 +1,85 @@
+// Pastry-style prefix-routing DHT (Rowstron & Druschel, [20] in the paper).
+//
+// Third substrate, completing the paper's list of deployment targets
+// (Chord-like ring, Kademlia XOR space, Pastry prefix routing). Peer ids
+// are 64-bit, read as 16 hexadecimal digits. A key belongs to the peer
+// whose id is numerically closest on the circular id space. Each node
+// keeps Pastry's two structures, built omnisciently by the simulator:
+//
+//  * a routing table: entry (row l, column d) is some node sharing the
+//    first l digits with this node and having digit d at position l;
+//  * a leaf set: the L/2 circularly nearest node ids on each side.
+//
+// Routing: if the key falls inside the leaf-set span, one hop to the
+// numerically closest member finishes (the owner is provably inside the
+// span). Otherwise forward via the routing-table entry matching one more
+// digit of the key — the shared-prefix length grows every hop, so routing
+// takes O(log_16 N) hops. When the required table entry's subtree is empty
+// (Pastry's "rare case"), the simulator hands the message directly to the
+// owner in one hop, standing in for Pastry's closest-known-node scan.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/dht.h"
+#include "net/sim_network.h"
+
+namespace lht::dht {
+
+class PastryDht final : public Dht {
+ public:
+  struct Options {
+    size_t initialPeers = 32;
+    common::u64 seed = 1;
+    size_t leafSetHalf = 4;  ///< L/2: leaf-set members per side
+    bool randomEntry = true;
+  };
+
+  PastryDht(net::SimNetwork& network, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override;
+
+  /// Adds a peer; keys it now owns move over. Returns its id.
+  common::u64 join(const std::string& name);
+  /// Gracefully removes a peer; its keys move to their new owners.
+  void leave(common::u64 nodeId);
+
+  [[nodiscard]] std::vector<common::u64> nodeIds() const;
+  [[nodiscard]] common::u64 ownerOf(const Key& key) const;
+
+  /// Validates routing-table and leaf-set invariants plus key placement.
+  [[nodiscard]] bool checkTables() const;
+
+ private:
+  struct Node {
+    common::u64 id = 0;
+    net::PeerId peer = net::kInvalidPeer;
+    // routing[l][d]: a node sharing l leading hex digits, digit d at l.
+    // 0 is used as "empty" (node ids of 0 are excluded at join).
+    common::u64 routing[16][16] = {};
+    std::vector<common::u64> leafSet;  // sorted circular neighbors, both sides
+    std::unordered_map<Key, Value> store;
+  };
+
+  Node& nodeById(common::u64 id);
+  const Node& nodeById(common::u64 id) const;
+  [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
+  void rebuildTables();
+  void rehomeAllKeys();
+  common::u64 route(common::u64 keyId, u64 requestBytes);
+
+  net::SimNetwork& net_;
+  Options opts_;
+  common::Pcg32 rng_;
+  std::map<common::u64, Node> nodes_;
+};
+
+}  // namespace lht::dht

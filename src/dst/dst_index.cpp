@@ -1,0 +1,186 @@
+#include "dst/dst_index.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/types.h"
+
+namespace lht::dst {
+
+using common::checkInvariant;
+using common::Interval;
+using common::Label;
+using common::u32;
+
+namespace {
+
+std::string serializeRecords(const std::vector<index::Record>& records) {
+  common::Encoder enc;
+  enc.putU32(static_cast<common::u32>(records.size()));
+  for (const auto& r : records) {
+    enc.putDouble(r.key);
+    enc.putString(r.payload);
+  }
+  return std::move(enc).take();
+}
+
+std::vector<index::Record> deserializeRecords(std::string_view bytes) {
+  common::Decoder dec(bytes);
+  auto count = dec.getU32();
+  checkInvariant(count.has_value(), "DstIndex: corrupt node value");
+  std::vector<index::Record> out;
+  out.reserve(*count);
+  for (common::u32 i = 0; i < *count; ++i) {
+    auto key = dec.getDouble();
+    auto payload = dec.getString();
+    checkInvariant(key && payload, "DstIndex: corrupt record");
+    out.push_back(index::Record{*key, std::move(*payload)});
+  }
+  return out;
+}
+
+}  // namespace
+
+DstIndex::DstIndex(dht::Dht& dht, Options options) : dht_(dht), opts_(options) {
+  checkInvariant(opts_.depth >= 2 && opts_.depth <= Label::kMaxBits,
+                 "DstIndex: bad depth");
+}
+
+index::UpdateResult DstIndex::insert(const index::Record& record) {
+  checkInvariant(record.key >= 0.0 && record.key <= 1.0,
+                 "DstIndex::insert: key outside [0,1]");
+  index::UpdateResult result;
+  result.ok = true;
+  const Label mu = Label::fromKey(record.key, opts_.depth);
+  // Replicate the record on every node of the leaf cell's ancestor path.
+  for (u32 len = 1; len <= opts_.depth; ++len) {
+    dht_.apply(mu.prefix(len).str(), [&](std::optional<dht::Value>& v) {
+      auto recs = v ? deserializeRecords(*v) : std::vector<index::Record>{};
+      recs.push_back(record);
+      v = serializeRecords(recs);
+    });
+    meters_.insertion.dhtLookups += 1;
+    meters_.insertion.recordsMoved += 1;
+  }
+  result.stats.dhtLookups = opts_.depth;
+  result.stats.parallelSteps = 1;  // the replica puts go out in parallel
+  recordCount_ += 1;
+  return result;
+}
+
+index::UpdateResult DstIndex::erase(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "DstIndex::erase: bad key");
+  index::UpdateResult result;
+  const Label mu = Label::fromKey(key, opts_.depth);
+  size_t removed = 0;
+  for (u32 len = 1; len <= opts_.depth; ++len) {
+    dht_.apply(mu.prefix(len).str(), [&](std::optional<dht::Value>& v) {
+      if (!v) return;
+      auto recs = deserializeRecords(*v);
+      auto it = std::remove_if(recs.begin(), recs.end(),
+                               [&](const index::Record& r) { return r.key == key; });
+      removed = static_cast<size_t>(recs.end() - it);  // same count per level
+      recs.erase(it, recs.end());
+      v = serializeRecords(recs);
+    });
+    meters_.insertion.dhtLookups += 1;
+  }
+  result.stats.dhtLookups = opts_.depth;
+  result.stats.parallelSteps = 1;
+  recordCount_ -= removed;
+  result.ok = removed > 0;
+  return result;
+}
+
+std::vector<index::Record> DstIndex::fetchRecords(const Label& node,
+                                                  cost::OpStats& st) {
+  st.dhtLookups += 1;
+  auto v = dht_.get(node.str());
+  if (!v) return {};
+  return deserializeRecords(*v);
+}
+
+index::FindResult DstIndex::find(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "DstIndex::find: bad key");
+  index::FindResult result;
+  // One lookup of the deepest cell suffices: it replicates everything above.
+  const Label cell = Label::fromKey(key, opts_.depth);
+  auto recs = fetchRecords(cell, result.stats);
+  for (const auto& r : recs) {
+    if (r.key == key) {
+      result.record = r;
+      break;
+    }
+  }
+  result.stats.parallelSteps = 1;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+void DstIndex::collectSegments(const Label& node, const Interval& range,
+                               std::vector<Label>& out) const {
+  const Interval iv = node.interval();
+  if (!iv.overlaps(range)) return;
+  if (iv.subsetOf(range) || node.length() == opts_.depth) {
+    out.push_back(node);
+    return;
+  }
+  collectSegments(node.child(0), range, out);
+  collectSegments(node.child(1), range, out);
+}
+
+std::vector<Label> DstIndex::canonicalSegments(double lo, double hi) const {
+  std::vector<Label> out;
+  if (hi <= lo) return out;
+  collectSegments(Label::root(), Interval{lo, hi}, out);
+  return out;
+}
+
+index::RangeResult DstIndex::rangeQuery(double lo, double hi) {
+  index::RangeResult result;
+  if (hi <= lo) return result;
+  checkInvariant(lo >= 0.0 && hi <= 1.0, "DstIndex::rangeQuery: bad bounds");
+  const Interval range{lo, hi};
+  // The canonical cover is computed locally (intervals are globally known),
+  // so all segment fetches go out in a single parallel step.
+  for (const Label& seg : canonicalSegments(lo, hi)) {
+    auto recs = fetchRecords(seg, result.stats);
+    result.stats.bucketsTouched += 1;
+    for (auto& r : recs) {
+      if (range.contains(r.key)) result.records.push_back(std::move(r));
+    }
+  }
+  result.stats.parallelSteps = 1;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  return result;
+}
+
+index::FindResult DstIndex::minRecord() {
+  index::FindResult result;
+  // The root replicates every record: one lookup, then a local scan.
+  auto recs = fetchRecords(Label::root(), result.stats);
+  const index::Record* best = nullptr;
+  for (const auto& r : recs) {
+    if (best == nullptr || r.key < best->key) best = &r;
+  }
+  if (best != nullptr) result.record = *best;
+  result.stats.parallelSteps = 1;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult DstIndex::maxRecord() {
+  index::FindResult result;
+  auto recs = fetchRecords(Label::root(), result.stats);
+  const index::Record* best = nullptr;
+  for (const auto& r : recs) {
+    if (best == nullptr || r.key > best->key) best = &r;
+  }
+  if (best != nullptr) result.record = *best;
+  result.stats.parallelSteps = 1;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+}  // namespace lht::dst

@@ -1,0 +1,53 @@
+// DST — Distributed Segment Tree baseline (Zheng et al. [24]; paper Sec. 2).
+//
+// A static segment tree over the key space: every record is replicated on
+// *all* of its leaf cell's ancestors, each tree node living in the DHT under
+// its label. Range queries decompose locally into O(log) canonical disjoint
+// segments and fetch them in one parallel step — excellent query latency —
+// but every insert pays D DHT-lookups and D record copies, which is exactly
+// the maintenance-inefficiency the paper contrasts LHT against. Included as
+// an ablation baseline (bench/ablation_dst).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/label.h"
+#include "dht/dht.h"
+#include "index/ordered_index.h"
+
+namespace lht::dst {
+
+class DstIndex final : public index::OrderedIndex {
+ public:
+  struct Options {
+    common::u32 depth = 12;  ///< levels of the static tree (leaf cells = 2^(depth-1))
+  };
+
+  DstIndex(dht::Dht& dht, Options options);
+
+  index::UpdateResult insert(const index::Record& record) override;
+  index::UpdateResult erase(double key) override;
+  index::FindResult find(double key) override;
+  index::RangeResult rangeQuery(double lo, double hi) override;
+  index::FindResult minRecord() override;
+  index::FindResult maxRecord() override;
+  [[nodiscard]] size_t recordCount() const override { return recordCount_; }
+
+  /// The canonical disjoint segment cover of [lo, hi) (exposed for tests).
+  [[nodiscard]] std::vector<common::Label> canonicalSegments(double lo,
+                                                             double hi) const;
+
+ private:
+  void collectSegments(const common::Label& node, const common::Interval& range,
+                       std::vector<common::Label>& out) const;
+  std::vector<index::Record> fetchRecords(const common::Label& node,
+                                          cost::OpStats& st);
+
+  dht::Dht& dht_;
+  Options opts_;
+  size_t recordCount_ = 0;
+};
+
+}  // namespace lht::dst

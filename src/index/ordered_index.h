@@ -1,0 +1,67 @@
+// The public interface shared by every distributed ordered index in this
+// library (LHT, the PHT baseline, the DST baseline, and the local oracle).
+//
+// All operations return the records they touched plus OpStats — the
+// bandwidth (DHT-lookups) and latency (parallel steps) of that single
+// operation — while cumulative category meters accumulate in meters().
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cost/meter.h"
+#include "index/record.h"
+
+namespace lht::index {
+
+/// Result of a find / min / max: the record (if any) plus operation stats.
+struct FindResult {
+  std::optional<Record> record;
+  cost::OpStats stats;
+};
+
+/// Result of a range query: all matching records plus operation stats.
+struct RangeResult {
+  std::vector<Record> records;
+  cost::OpStats stats;
+};
+
+/// Result of an insert or erase.
+struct UpdateResult {
+  bool ok = false;        ///< insert: always true; erase: whether found
+  cost::OpStats stats;    ///< cost of locating + shipping (not maintenance)
+  bool splitOrMerged = false;  ///< whether a structural adjustment happened
+};
+
+class OrderedIndex {
+ public:
+  virtual ~OrderedIndex() = default;
+
+  /// Inserts a record. May trigger at most one leaf split (paper Sec. 5).
+  virtual UpdateResult insert(const Record& record) = 0;
+
+  /// Removes all records with exactly this key. May trigger a merge.
+  virtual UpdateResult erase(double key) = 0;
+
+  /// Exact-match query: any record with exactly this key.
+  virtual FindResult find(double key) = 0;
+
+  /// All records with key in [lo, hi).
+  virtual RangeResult rangeQuery(double lo, double hi) = 0;
+
+  /// The record with the smallest / largest key.
+  virtual FindResult minRecord() = 0;
+  virtual FindResult maxRecord() = 0;
+
+  /// Total records currently indexed.
+  [[nodiscard]] virtual size_t recordCount() const = 0;
+
+  /// Cumulative cost meters (insertion / maintenance / query categories).
+  [[nodiscard]] const cost::MeterSet& meters() const { return meters_; }
+  void resetMeters() { meters_.reset(); }
+
+ protected:
+  cost::MeterSet meters_;
+};
+
+}  // namespace lht::index

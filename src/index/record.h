@@ -1,0 +1,24 @@
+// The data model (paper Sec. 3.1): a record is a data unit identified by a
+// distinct numeric data key in [0, 1]; the payload stands for the rest of
+// the tuple.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace lht::index {
+
+struct Record {
+  double key = 0.0;
+  std::string payload;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Orders records by key (ties by payload so sorting is total).
+inline bool recordLess(const Record& a, const Record& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.payload < b.payload;
+}
+
+}  // namespace lht::index

@@ -1,0 +1,40 @@
+#include "index/reference_index.h"
+
+namespace lht::index {
+
+UpdateResult ReferenceIndex::insert(const Record& record) {
+  store_.emplace(record.key, record.payload);
+  return {true, {}, false};
+}
+
+UpdateResult ReferenceIndex::erase(double key) {
+  return {store_.erase(key) > 0, {}, false};
+}
+
+FindResult ReferenceIndex::find(double key) {
+  auto it = store_.find(key);
+  if (it == store_.end()) return {std::nullopt, {}};
+  return {Record{it->first, it->second}, {}};
+}
+
+RangeResult ReferenceIndex::rangeQuery(double lo, double hi) {
+  RangeResult out;
+  for (auto it = store_.lower_bound(lo); it != store_.end() && it->first < hi; ++it) {
+    out.records.push_back(Record{it->first, it->second});
+  }
+  return out;
+}
+
+FindResult ReferenceIndex::minRecord() {
+  if (store_.empty()) return {std::nullopt, {}};
+  auto it = store_.begin();
+  return {Record{it->first, it->second}, {}};
+}
+
+FindResult ReferenceIndex::maxRecord() {
+  if (store_.empty()) return {std::nullopt, {}};
+  auto it = std::prev(store_.end());
+  return {Record{it->first, it->second}, {}};
+}
+
+}  // namespace lht::index

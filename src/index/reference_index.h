@@ -1,0 +1,26 @@
+// In-memory oracle index used by tests: a plain ordered multimap with the
+// same interface as the distributed indexes. Every distributed query result
+// is checked against this ground truth.
+#pragma once
+
+#include <map>
+
+#include "index/ordered_index.h"
+
+namespace lht::index {
+
+class ReferenceIndex final : public OrderedIndex {
+ public:
+  UpdateResult insert(const Record& record) override;
+  UpdateResult erase(double key) override;
+  FindResult find(double key) override;
+  RangeResult rangeQuery(double lo, double hi) override;
+  FindResult minRecord() override;
+  FindResult maxRecord() override;
+  [[nodiscard]] size_t recordCount() const override { return store_.size(); }
+
+ private:
+  std::multimap<double, std::string> store_;
+};
+
+}  // namespace lht::index

@@ -1,0 +1,79 @@
+#include "lht/bucket.h"
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "lht/naming.h"
+
+namespace lht::core {
+
+std::string LeafBucket::serialize() const {
+  common::Encoder enc;
+  enc.putLabel(label);
+  enc.putU32(static_cast<common::u32>(records.size()));
+  for (const auto& r : records) {
+    enc.putDouble(r.key);
+    enc.putString(r.payload);
+  }
+  return std::move(enc).take();
+}
+
+std::optional<LeafBucket> LeafBucket::deserialize(std::string_view bytes) {
+  common::Decoder dec(bytes);
+  auto label = dec.getLabel();
+  auto count = dec.getU32();
+  if (!label || !count) return std::nullopt;
+  // Each record takes at least 12 bytes (key + payload length prefix); an
+  // implausible count means a corrupt value — reject before reserving.
+  if (*count > dec.remaining() / 12) return std::nullopt;
+  LeafBucket b;
+  b.label = *label;
+  b.records.reserve(*count);
+  for (common::u32 i = 0; i < *count; ++i) {
+    auto key = dec.getDouble();
+    auto payload = dec.getString();
+    if (!key || !payload) return std::nullopt;
+    b.records.push_back(index::Record{*key, std::move(*payload)});
+  }
+  if (!dec.atEnd()) return std::nullopt;
+  return b;
+}
+
+LeafBucket splitBucket(LeafBucket& bucket) {
+  common::checkInvariant(bucket.label.length() >= 1, "splitBucket: bad label");
+  common::checkInvariant(bucket.label.length() < Label::kMaxBits,
+                         "splitBucket: label at maximum depth");
+  const Label oldLabel = bucket.label;
+  const double mid = 0.5 * (oldLabel.interval().lo + oldLabel.interval().hi);
+
+  LeafBucket left{oldLabel.child(0), {}};
+  LeafBucket right{oldLabel.child(1), {}};
+  for (auto& r : bucket.records) {
+    (r.key < mid ? left : right).records.push_back(std::move(r));
+  }
+
+  // Theorem 2: exactly one child is still named name(oldLabel) (stays on the
+  // current peer); the other is named oldLabel (moves). If the old label
+  // ends in 1, the local child is label·1; otherwise label·0.
+  const bool localIsRight = oldLabel.lastBit() == 1;
+  LeafBucket& local = localIsRight ? right : left;
+  LeafBucket& remote = localIsRight ? left : right;
+  common::checkInvariant(name(local.label) == name(oldLabel),
+                         "splitBucket: local child changed name");
+  common::checkInvariant(name(remote.label) == oldLabel,
+                         "splitBucket: remote child not named to old label");
+
+  LeafBucket out = std::move(remote);
+  bucket = std::move(local);
+  return out;
+}
+
+void splitBucketRecursively(LeafBucket& bucket, const SplitPolicy& policy,
+                            std::vector<LeafBucket>& remotes) {
+  if (!policy.shouldSplit(bucket)) return;
+  LeafBucket remote = splitBucket(bucket);
+  splitBucketRecursively(remote, policy, remotes);
+  remotes.push_back(std::move(remote));
+  splitBucketRecursively(bucket, policy, remotes);
+}
+
+}  // namespace lht::core

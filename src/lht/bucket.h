@@ -1,0 +1,67 @@
+// Leaf buckets (paper Sec. 3.3): the only materialized objects of LHT.
+//
+// A bucket stores its leaf label plus the data records whose keys fall in
+// the leaf's interval. The label field is what makes the scheme work: it
+// summarizes the peer's local view of the partition tree ("local tree"),
+// so no structural links ever need maintaining.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/label.h"
+#include "index/record.h"
+
+namespace lht::core {
+
+using common::Label;
+
+struct LeafBucket {
+  Label label;
+  std::vector<index::Record> records;
+
+  /// Size in "record slots": the stored records plus, when
+  /// `countLabelSlot`, one slot for the leaf label itself (the paper's
+  /// Sec. 9.2 accounting that yields average alpha = 1/2 + 1/(2 theta)).
+  [[nodiscard]] size_t effectiveSize(bool countLabelSlot) const {
+    return records.size() + (countLabelSlot ? 1 : 0);
+  }
+
+  /// Whether `key` falls inside this leaf's interval.
+  [[nodiscard]] bool covers(double key) const { return label.covers(key); }
+
+  /// Wire format for storage in the DHT.
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<LeafBucket> deserialize(std::string_view bytes);
+};
+
+/// Algorithm 1 (leaf split), the local part: splits `bucket` at its
+/// interval's median into the child that keeps the bucket's current DHT key
+/// (returned in-place in `bucket`) and the child that must be shipped to
+/// the peer responsible for the *old* label (returned). Theorem 2
+/// guarantees this assignment: if the old label ends in 1 the local child
+/// is label·1, otherwise label·0.
+LeafBucket splitBucket(LeafBucket& bucket);
+
+/// Split-trigger policy shared by the index and the bulk loader.
+struct SplitPolicy {
+  common::u32 thetaSplit = 100;
+  bool countLabelSlot = true;
+  common::u32 maxDepth = 20;
+
+  [[nodiscard]] bool shouldSplit(const LeafBucket& b) const {
+    if (b.effectiveSize(countLabelSlot) < thetaSplit) return false;
+    return b.label.length() < maxDepth;
+  }
+};
+
+/// Bulk-loading helper: splits `bucket` repeatedly until no produced bucket
+/// is saturated. The surviving local bucket stays in `bucket` (its DHT key
+/// is unchanged per Theorem 2); every other produced leaf is appended to
+/// `remotes`, each destined for exactly one DHT-put under its own name.
+void splitBucketRecursively(LeafBucket& bucket, const SplitPolicy& policy,
+                            std::vector<LeafBucket>& remotes);
+
+}  // namespace lht::core

@@ -1,0 +1,725 @@
+#include "lht/lht_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "lht/naming.h"
+
+namespace lht::core {
+
+using common::checkInvariant;
+using common::Interval;
+using common::Label;
+using common::u32;
+using common::u64;
+
+namespace {
+
+/// Decodes a stored bucket, failing loudly on corruption: a malformed value
+/// under an index key means the index layer itself wrote garbage.
+LeafBucket decodeBucket(const dht::Value& v) {
+  auto b = LeafBucket::deserialize(v);
+  checkInvariant(b.has_value(), "LhtIndex: corrupt bucket value in DHT");
+  return std::move(*b);
+}
+
+}  // namespace
+
+LhtIndex::LhtIndex(dht::Dht& dht, Options options) : dht_(dht), opts_(options) {
+  checkInvariant(opts_.thetaSplit >= 2, "LhtIndex: thetaSplit must be >= 2");
+  if (opts_.maxDepth > Label::kMaxBits) opts_.maxDepth = Label::kMaxBits;
+  checkInvariant(opts_.maxDepth >= 2, "LhtIndex: maxDepth must be >= 2");
+  if (opts_.mergeThreshold == 0) opts_.mergeThreshold = opts_.thetaSplit;
+  // The empty index: a single leaf "#0" covering [0,1), named "#".
+  LeafBucket root{Label::root(), {}};
+  dht_.storeDirect(dhtKeyFor(root.label), root.serialize());
+}
+
+std::optional<LeafBucket> LhtIndex::getBucket(const std::string& key,
+                                              cost::OpStats& st) {
+  st.dhtLookups += 1;
+  auto v = dht_.get(key);
+  if (!v) return std::nullopt;
+  return decodeBucket(*v);
+}
+
+bool LhtIndex::shouldSplit(const LeafBucket& b) const {
+  if (b.effectiveSize(opts_.countLabelSlot) < opts_.thetaSplit) return false;
+  return b.label.length() < opts_.maxDepth;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
+  LookupOutcome out;
+  key = common::clampToUnit(key);  // 1.0 belongs to the rightmost cell
+  const Label mu = Label::fromKey(key, opts_.maxDepth);
+
+  u32 shorter = 1;             // candidate leaf-label bit lengths
+  u32 longer = opts_.maxDepth; // (paper lengths 2..D+1 count the '#')
+  bool useHint = opts_.useDepthHint && depthHint_ != 0;
+  while (shorter <= longer) {
+    u32 mid = (shorter + longer) / 2;
+    if (useHint) {
+      // First probe at the last successful depth; leaf depths concentrate,
+      // so this usually resolves the search in one DHT-lookup.
+      mid = std::clamp(depthHint_, shorter, longer);
+      useHint = false;
+    }
+    const Label x = mu.prefix(mid);
+    const Label nm = name(x);
+    auto bucket = getBucket(nm.str(), out.stats);
+    if (!bucket) {
+      // No leaf is named nm: every prefix longer than nm shares this name
+      // (they all extend nm by a run of x's last bit), so only lengths up to
+      // |nm| remain candidates.
+      longer = nm.length();
+      if (longer < shorter) break;
+      continue;
+    }
+    if (bucket->covers(key)) {
+      depthHint_ = bucket->label.length();
+      out.bucket = std::move(bucket);
+      out.dhtKey = nm.str();
+      break;
+    }
+    // The name is taken by a different leaf, so x (and every shorter prefix,
+    // all being that leaf's ancestors) is internal; skip forward past all
+    // prefixes sharing x's name.
+    auto nn = nextName(x, mu);
+    if (!nn) break;  // D was too small for the actual tree
+    shorter = nn->length();
+  }
+  out.stats.parallelSteps = out.stats.dhtLookups;  // strictly sequential
+  if (out.bucket) out.stats.bucketsTouched = 1;
+  return out;
+}
+
+LhtIndex::LookupOutcome LhtIndex::lookup(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::lookup: key outside [0,1]");
+  return lookupInternal(key);
+}
+
+LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::lookupLinear: bad key");
+  LookupOutcome out;
+  key = common::clampToUnit(key);
+  const Label mu = Label::fromKey(key, opts_.maxDepth);
+  std::string lastTried;
+  for (u32 len = 1; len <= mu.length(); ++len) {
+    const std::string nm = name(mu.prefix(len)).str();
+    if (nm == lastTried) continue;  // same name as the previous prefix
+    lastTried = nm;
+    auto bucket = getBucket(nm, out.stats);
+    if (bucket && bucket->covers(key)) {
+      out.bucket = std::move(bucket);
+      out.dhtKey = nm;
+      break;
+    }
+  }
+  out.stats.parallelSteps = out.stats.dhtLookups;
+  if (out.bucket) out.stats.bucketsTouched = 1;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Insert (Sec. 5 + Algorithm 1)
+// ---------------------------------------------------------------------------
+
+index::UpdateResult LhtIndex::insert(const index::Record& record) {
+  checkInvariant(record.key >= 0.0 && record.key <= 1.0,
+                 "LhtIndex::insert: key outside [0,1]");
+  auto found = lookupInternal(record.key);
+  if (!found.bucket) found = lookupLinear(record.key);  // defensive fallback
+  checkInvariant(found.bucket.has_value(),
+                 "LhtIndex::insert: tree does not cover the key (D too small?)");
+
+  index::UpdateResult result;
+  result.ok = true;
+  result.stats = found.stats;
+  meters_.insertion.dhtLookups += found.stats.dhtLookups;
+
+  // Ship the record to the bucket's peer (the paper's "DHT-put towards
+  // kappa") and, when the leaf saturates, run Algorithm 1 right there: the
+  // local child overwrites the stored bucket in place, each remote child
+  // is handed back for a single DHT-put. At most one split per insert
+  // unless cascading splits are enabled (an ablation option).
+  std::vector<LeafBucket> remotes;
+  const bool existed = dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "LhtIndex::insert: bucket vanished");
+    LeafBucket b = decodeBucket(*v);
+    checkInvariant(b.covers(common::clampToUnit(record.key)),
+                   "LhtIndex::insert: stale bucket");
+    b.records.push_back(record);
+    if (shouldSplit(b)) {
+      if (opts_.allowCascadingSplits) {
+        const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
+                                 opts_.maxDepth};
+        splitBucketRecursively(b, policy, remotes);
+      } else {
+        remotes.push_back(splitBucket(b));
+      }
+    }
+    v = b.serialize();
+  });
+  checkInvariant(existed, "LhtIndex::insert: apply on missing bucket");
+  meters_.insertion.dhtLookups += 1;
+  meters_.insertion.recordsMoved += 1;
+  result.stats.dhtLookups += 1;
+  result.stats.parallelSteps += 1;
+  recordCount_ += 1;
+
+  for (const LeafBucket& remote : remotes) {
+    // Theorem 2: each remote child is named exactly its pre-split label.
+    dht_.put(dhtKeyFor(remote.label), remote.serialize());
+    meters_.maintenance.dhtLookups += 1;
+    meters_.maintenance.recordsMoved += remote.records.size();
+    meters_.maintenance.splits += 1;
+    result.splitOrMerged = true;
+  }
+  if (remotes.size() == 1) {
+    const double remoteSize =
+        static_cast<double>(remotes.front().effectiveSize(opts_.countLabelSlot));
+    meters_.alpha.record(remoteSize / static_cast<double>(opts_.thetaSplit));
+  }
+  return result;
+}
+
+index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
+  index::UpdateResult result;
+  result.ok = true;
+  if (records.empty()) return result;
+  for (const auto& r : records) {
+    checkInvariant(r.key >= 0.0 && r.key <= 1.0,
+                   "LhtIndex::insertBatch: key outside [0,1]");
+  }
+  std::sort(records.begin(), records.end(), index::recordLess);
+  const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot, opts_.maxDepth};
+
+  // One lookup + one apply per *touched leaf*: consecutive sorted records
+  // that land in the same leaf ride along for free.
+  size_t i = 0;
+  while (i < records.size()) {
+    auto found = lookupInternal(records[i].key);
+    if (!found.bucket) found = lookupLinear(records[i].key);
+    checkInvariant(found.bucket.has_value(), "LhtIndex::insertBatch: tree hole");
+    meters_.insertion.dhtLookups += found.stats.dhtLookups;
+    result.stats.dhtLookups += found.stats.dhtLookups;
+
+    const double leafHi = found.bucket->label.interval().hi;
+    size_t j = i;
+    while (j < records.size() && common::clampToUnit(records[j].key) < leafHi) ++j;
+
+    std::vector<LeafBucket> remotes;
+    dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
+      checkInvariant(v.has_value(), "LhtIndex::insertBatch: bucket vanished");
+      LeafBucket b = decodeBucket(*v);
+      b.records.insert(b.records.end(),
+                       std::make_move_iterator(records.begin() + static_cast<long>(i)),
+                       std::make_move_iterator(records.begin() + static_cast<long>(j)));
+      splitBucketRecursively(b, policy, remotes);
+      v = b.serialize();
+    });
+    meters_.insertion.dhtLookups += 1;
+    meters_.insertion.recordsMoved += j - i;
+    result.stats.dhtLookups += 1;
+    recordCount_ += j - i;
+
+    for (const auto& rb : remotes) {
+      dht_.put(dhtKeyFor(rb.label), rb.serialize());
+      meters_.maintenance.dhtLookups += 1;
+      meters_.maintenance.recordsMoved += rb.records.size();
+      meters_.maintenance.splits += 1;
+      result.splitOrMerged = true;
+    }
+    i = j;
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Successor / predecessor queries (extension)
+// ---------------------------------------------------------------------------
+
+index::FindResult LhtIndex::successorQuery(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::successorQuery: bad key");
+  auto found = lookupInternal(key);
+  checkInvariant(found.bucket.has_value(), "successorQuery: tree hole");
+  index::FindResult result;
+  result.stats = found.stats;
+  std::optional<LeafBucket> bucket = std::move(found.bucket);
+  while (bucket) {
+    const index::Record* best = nullptr;
+    for (const auto& r : bucket->records) {
+      if (r.key >= key && (best == nullptr || r.key < best->key)) best = &r;
+    }
+    if (best != nullptr) {
+      result.record = *best;
+      break;
+    }
+    if (bucket->label.isRightmostPath()) break;
+    const Label beta = rightNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);  // leftmost leaf of the next subtree
+    bucket = std::move(nb);
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult LhtIndex::predecessorQuery(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::predecessorQuery: bad key");
+  auto found = lookupInternal(key);
+  checkInvariant(found.bucket.has_value(), "predecessorQuery: tree hole");
+  index::FindResult result;
+  result.stats = found.stats;
+  std::optional<LeafBucket> bucket = std::move(found.bucket);
+  while (bucket) {
+    const index::Record* best = nullptr;
+    for (const auto& r : bucket->records) {
+      if (r.key < key && (best == nullptr || r.key > best->key)) best = &r;
+    }
+    if (best != nullptr) {
+      result.record = *best;
+      break;
+    }
+    if (bucket->label.isLeftmostPath()) break;
+    const Label beta = leftNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);  // rightmost leaf of the previous subtree
+    bucket = std::move(nb);
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Erase + merge (the dual of split)
+// ---------------------------------------------------------------------------
+
+index::UpdateResult LhtIndex::erase(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::erase: key outside [0,1]");
+  auto found = lookupInternal(key);
+  if (!found.bucket) found = lookupLinear(key);
+  checkInvariant(found.bucket.has_value(), "LhtIndex::erase: tree hole");
+
+  index::UpdateResult result;
+  result.stats = found.stats;
+  meters_.insertion.dhtLookups += found.stats.dhtLookups;
+
+  size_t removed = 0;
+  size_t remainingEffective = 0;
+  Label bucketLabel;
+  dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "LhtIndex::erase: bucket vanished");
+    LeafBucket b = decodeBucket(*v);
+    auto it = std::remove_if(b.records.begin(), b.records.end(),
+                             [&](const index::Record& r) { return r.key == key; });
+    removed = static_cast<size_t>(b.records.end() - it);
+    b.records.erase(it, b.records.end());
+    remainingEffective = b.effectiveSize(opts_.countLabelSlot);
+    bucketLabel = b.label;
+    v = b.serialize();
+  });
+  meters_.insertion.dhtLookups += 1;
+  result.stats.dhtLookups += 1;
+  result.stats.parallelSteps += 1;
+  recordCount_ -= removed;
+  result.ok = removed > 0;
+
+  if (result.ok && opts_.enableMerge && bucketLabel.length() >= 2 &&
+      remainingEffective < opts_.mergeThreshold) {
+    result.splitOrMerged = tryMerge(bucketLabel);
+  }
+  return result;
+}
+
+bool LhtIndex::tryMerge(const Label& bucketLabel) {
+  const Label sib = bucketLabel.sibling();
+  // The sibling participates only if it is itself a leaf, i.e. a bucket
+  // labelled exactly `sib` sits under name(sib).
+  cost::OpStats probe;
+  auto sibBucket = getBucket(dhtKeyFor(sib), probe);
+  meters_.maintenance.dhtLookups += probe.dhtLookups;
+  if (!sibBucket || sibBucket->label != sib) return false;
+
+  // Refresh our own bucket to get an exact combined size.
+  cost::OpStats self;
+  auto ownBucket = getBucket(dhtKeyFor(bucketLabel), self);
+  meters_.maintenance.dhtLookups += self.dhtLookups;
+  if (!ownBucket || ownBucket->label != bucketLabel) return false;
+
+  const size_t combined = ownBucket->records.size() + sibBucket->records.size() +
+                          (opts_.countLabelSlot ? 1 : 0);
+  if (combined >= opts_.mergeThreshold) return false;
+
+  // The merged leaf is the parent; one child's bucket already lives under
+  // the parent's name (the reverse of Theorem 2) and absorbs; the other is
+  // the donor and is dropped, its records moving over.
+  const Label parent = bucketLabel.parent();
+  const std::string parentKey = dhtKeyFor(parent);
+  const bool ownIsAbsorber = dhtKeyFor(bucketLabel) == parentKey;
+  const LeafBucket& donor = ownIsAbsorber ? *sibBucket : *ownBucket;
+  checkInvariant(dhtKeyFor(donor.label) != parentKey,
+                 "LhtIndex::tryMerge: both children named to parent");
+
+  // Drop the donor (its peer ships the records), then rewrite the absorber
+  // in place as the parent leaf.
+  std::vector<index::Record> moving;
+  dht_.apply(dhtKeyFor(donor.label), [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "LhtIndex::tryMerge: donor vanished");
+    LeafBucket b = decodeBucket(*v);
+    checkInvariant(b.label == donor.label, "LhtIndex::tryMerge: donor stale");
+    moving = std::move(b.records);
+    v.reset();  // erase
+  });
+  dht_.apply(parentKey, [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "LhtIndex::tryMerge: absorber vanished");
+    LeafBucket b = decodeBucket(*v);
+    b.label = parent;
+    b.records.insert(b.records.end(), std::make_move_iterator(moving.begin()),
+                     std::make_move_iterator(moving.end()));
+    v = b.serialize();
+  });
+  meters_.maintenance.dhtLookups += 2;
+  meters_.maintenance.recordsMoved += donor.records.size();
+  meters_.maintenance.merges += 1;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exact-match query
+// ---------------------------------------------------------------------------
+
+index::FindResult LhtIndex::find(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::find: key outside [0,1]");
+  auto found = lookupInternal(key);
+  index::FindResult result;
+  result.stats = found.stats;
+  meters_.query.dhtLookups += found.stats.dhtLookups;
+  if (found.bucket) {
+    for (const auto& r : found.bucket->records) {
+      if (r.key == key) {
+        result.record = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Range queries (Algorithms 3 and 4)
+// ---------------------------------------------------------------------------
+
+Label LhtIndex::computeLca(const Interval& range) const {
+  Label node = Label::root();
+  while (node.length() < opts_.maxDepth) {
+    const Interval iv = node.interval();
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    if (range.hi <= mid) {
+      node = node.child(0);
+    } else if (range.lo >= mid) {
+      node = node.child(1);
+    } else {
+      break;
+    }
+  }
+  return node;
+}
+
+u64 LhtIndex::fetchSubtreeEntry(const Label& branch, std::optional<LeafBucket>& out,
+                                cost::OpStats& st) {
+  // A lookup of the branch label itself reaches the subtree's entry leaf
+  // when the branch is internal; when the branch is itself a leaf the
+  // lookup fails — the paper's "at most one failed DHT-lookup" — and the
+  // leaf sits under its own name instead.
+  out = getBucket(branch.str(), st);
+  if (out) return 1;
+  out = getBucket(dhtKeyFor(branch), st);
+  return 2;
+}
+
+u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
+                           std::vector<index::Record>& out, cost::OpStats& st) {
+  st.bucketsTouched += 1;
+  for (const auto& r : bucket.records) {
+    if (range.contains(r.key)) out.push_back(r);
+  }
+  const Interval mine = bucket.label.interval();
+  u64 steps = 0;
+
+  // Sweep right: cover (mine.hi, range.hi) through the right branch nodes
+  // beta_1, beta_2, ... of the local tree. All fully covered branches are
+  // forwarded in parallel (the local tree names them all at once); only the
+  // final, partially covered branch may need the two-step entry.
+  if (range.hi > mine.hi) {
+    Label beta = bucket.label;
+    while (!beta.isRightmostPath()) {
+      beta = rightNeighbor(beta);
+      const Interval inv = beta.interval();
+      if (inv.lo >= range.hi) break;
+      if (inv.hi <= range.hi) {
+        // tau_i fully inside the range: one hop to its rightmost leaf,
+        // which is the leaf named name(beta). Never fails.
+        auto nb = getBucket(dhtKeyFor(beta), st);
+        checkInvariant(nb.has_value(), "forwardRange: missing covered branch");
+        steps = std::max(steps, 1 + forwardRange(*nb, inv, out, st));
+      } else {
+        // beta_k: partially covered; enter at its leftmost leaf.
+        std::optional<LeafBucket> nb;
+        const u64 hops = fetchSubtreeEntry(beta, nb, st);
+        checkInvariant(nb.has_value(), "forwardRange: missing final branch");
+        steps = std::max(steps, hops + forwardRange(*nb, inv.intersect(range), out, st));
+        break;
+      }
+    }
+  }
+
+  // Sweep left: the mirror image via the left neighbor function.
+  if (range.lo < mine.lo) {
+    Label beta = bucket.label;
+    while (!beta.isLeftmostPath()) {
+      beta = leftNeighbor(beta);
+      const Interval inv = beta.interval();
+      if (inv.hi <= range.lo) break;
+      if (inv.lo >= range.lo) {
+        // fully inside: one hop to the subtree's leftmost leaf, the leaf
+        // named name(beta).
+        auto nb = getBucket(dhtKeyFor(beta), st);
+        checkInvariant(nb.has_value(), "forwardRange: missing covered branch");
+        steps = std::max(steps, 1 + forwardRange(*nb, inv, out, st));
+      } else {
+        std::optional<LeafBucket> nb;
+        const u64 hops = fetchSubtreeEntry(beta, nb, st);
+        checkInvariant(nb.has_value(), "forwardRange: missing final branch");
+        steps = std::max(steps, hops + forwardRange(*nb, inv.intersect(range), out, st));
+        break;
+      }
+    }
+  }
+  return steps;
+}
+
+index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
+  index::RangeResult result;
+  if (hi <= lo) return result;
+  checkInvariant(lo >= 0.0 && hi <= 1.0, "LhtIndex::rangeQuery: bad bounds");
+  const Interval range{lo, hi};
+
+  // Algorithm 4: jump to the range's lowest common ancestor.
+  const Label lca = computeLca(range);
+  auto entry = getBucket(dhtKeyFor(lca), result.stats);
+  u64 steps = 1;
+
+  if (!entry) {
+    // Case 1: the whole range lies inside a single leaf; resolve with an
+    // exact lookup of the lower bound.
+    auto found = lookupInternal(lo);
+    checkInvariant(found.bucket.has_value(), "rangeQuery: tree hole");
+    result.stats.dhtLookups += found.stats.dhtLookups;
+    steps += found.stats.parallelSteps;
+    result.stats.bucketsTouched += 1;
+    for (const auto& r : found.bucket->records) {
+      if (range.contains(r.key)) result.records.push_back(r);
+    }
+  } else if (entry->label.interval().overlaps(range)) {
+    // Case 2: the entry leaf holds one of the range bounds; the recursive
+    // forwarding strategy applies directly.
+    steps += forwardRange(*entry, range, result.records, result.stats);
+  } else {
+    // Case 3: the entry leaf lies outside the range; both halves of the
+    // LCA contain part of it and are processed in parallel.
+    const Interval iv = lca.interval();
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    u64 half = 0;
+    std::optional<LeafBucket> nb;
+    u64 hops = fetchSubtreeEntry(lca.child(0), nb, result.stats);
+    checkInvariant(nb.has_value(), "rangeQuery: missing left half");
+    half = std::max(half, hops + forwardRange(*nb, range.intersect({iv.lo, mid}),
+                                              result.records, result.stats));
+    hops = fetchSubtreeEntry(lca.child(1), nb, result.stats);
+    checkInvariant(nb.has_value(), "rangeQuery: missing right half");
+    half = std::max(half, hops + forwardRange(*nb, range.intersect({mid, iv.hi}),
+                                              result.records, result.stats));
+    steps += half;
+  }
+
+  result.stats.parallelSteps = steps;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Min/Max (Theorem 3)
+// ---------------------------------------------------------------------------
+
+index::FindResult LhtIndex::minRecord() {
+  index::FindResult result;
+  // Theorem 3: the leaf holding the smallest key is labelled #00* and is
+  // therefore named "#": one DHT-lookup.
+  auto bucket = getBucket("#", result.stats);
+  checkInvariant(bucket.has_value(), "minRecord: leftmost leaf missing");
+  // Deletions may have emptied the leftmost leaf; sweep right (each hop one
+  // further DHT-lookup) until a record shows up.
+  while (bucket && bucket->records.empty() && !bucket->label.isRightmostPath()) {
+    const Label beta = rightNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);
+    bucket = std::move(nb);
+  }
+  if (bucket) {
+    const index::Record* best = nullptr;
+    for (const auto& r : bucket->records) {
+      if (best == nullptr || r.key < best->key) best = &r;
+    }
+    if (best != nullptr) result.record = *best;
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult LhtIndex::maxRecord() {
+  index::FindResult result;
+  // Theorem 3: the leaf holding the largest key is labelled #01* and is
+  // therefore named "#0". When the tree is a single leaf no node is named
+  // "#0" and the root leaf (under "#") answers instead.
+  auto bucket = getBucket("#0", result.stats);
+  if (!bucket) bucket = getBucket("#", result.stats);
+  checkInvariant(bucket.has_value(), "maxRecord: rightmost leaf missing");
+  while (bucket && bucket->records.empty() && !bucket->label.isLeftmostPath()) {
+    const Label beta = leftNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);
+    bucket = std::move(nb);
+  }
+  if (bucket) {
+    const index::Record* best = nullptr;
+    for (const auto& r : bucket->records) {
+      if (best == nullptr || r.key > best->key) best = &r;
+    }
+    if (best != nullptr) result.record = *best;
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::RangeResult LhtIndex::topMin(size_t k) {
+  index::RangeResult result;
+  if (k == 0) return result;
+  // Sweep leaves left to right: every record in a later bucket is larger
+  // than every record in an earlier one, so we may stop as soon as k
+  // records are collected.
+  auto bucket = getBucket("#", result.stats);
+  checkInvariant(bucket.has_value(), "topMin: leftmost leaf missing");
+  for (;;) {
+    result.stats.bucketsTouched += 1;
+    for (const auto& r : bucket->records) result.records.push_back(r);
+    if (result.records.size() >= k || bucket->label.isRightmostPath()) break;
+    const Label beta = rightNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);
+    checkInvariant(nb.has_value(), "topMin: broken leaf chain");
+    bucket = std::move(nb);
+  }
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  if (result.records.size() > k) result.records.resize(k);
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::RangeResult LhtIndex::topMax(size_t k) {
+  index::RangeResult result;
+  if (k == 0) return result;
+  auto bucket = getBucket("#0", result.stats);
+  if (!bucket) bucket = getBucket("#", result.stats);  // single-leaf tree
+  checkInvariant(bucket.has_value(), "topMax: rightmost leaf missing");
+  for (;;) {
+    result.stats.bucketsTouched += 1;
+    for (const auto& r : bucket->records) result.records.push_back(r);
+    if (result.records.size() >= k || bucket->label.isLeftmostPath()) break;
+    const Label beta = leftNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);
+    checkInvariant(nb.has_value(), "topMax: broken leaf chain");
+    bucket = std::move(nb);
+  }
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  if (result.records.size() > k) {
+    result.records.erase(result.records.begin(),
+                         result.records.end() - static_cast<long>(k));
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult LhtIndex::quantileQuery(double q) {
+  checkInvariant(q >= 0.0 && q <= 1.0, "LhtIndex::quantileQuery: q outside [0,1]");
+  index::FindResult result;
+  if (recordCount_ == 0) return result;
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(recordCount_ - 1));
+
+  // Sweep from whichever end is nearer to the target rank.
+  const bool fromLeft = rank <= recordCount_ / 2;
+  size_t remaining = fromLeft ? rank : recordCount_ - 1 - rank;
+
+  auto bucket = fromLeft ? getBucket("#", result.stats) : getBucket("#0", result.stats);
+  if (!fromLeft && !bucket) bucket = getBucket("#", result.stats);
+  checkInvariant(bucket.has_value(), "quantileQuery: end bucket missing");
+  for (;;) {
+    if (bucket->records.size() > remaining) {
+      // The target rank lies in this bucket: order its records locally.
+      std::vector<index::Record> recs = bucket->records;
+      std::sort(recs.begin(), recs.end(), index::recordLess);
+      result.record =
+          fromLeft ? recs[remaining] : recs[recs.size() - 1 - remaining];
+      break;
+    }
+    remaining -= bucket->records.size();
+    const bool atEnd = fromLeft ? bucket->label.isRightmostPath()
+                                : bucket->label.isLeftmostPath();
+    checkInvariant(!atEnd, "quantileQuery: ran past the end (count drift)");
+    const Label beta = fromLeft ? rightNeighbor(bucket->label)
+                                : leftNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, result.stats);
+    checkInvariant(nb.has_value(), "quantileQuery: broken leaf chain");
+    bucket = std::move(nb);
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+void LhtIndex::forEachBucket(const std::function<void(const LeafBucket&)>& fn) {
+  cost::OpStats scratch;
+  auto bucket = getBucket("#", scratch);
+  checkInvariant(bucket.has_value(), "forEachBucket: leftmost leaf missing");
+  for (;;) {
+    fn(*bucket);
+    if (bucket->label.isRightmostPath()) break;
+    const Label beta = rightNeighbor(bucket->label);
+    std::optional<LeafBucket> nb;
+    fetchSubtreeEntry(beta, nb, scratch);
+    checkInvariant(nb.has_value(), "forEachBucket: broken leaf chain");
+    bucket = std::move(nb);
+  }
+}
+
+}  // namespace lht::core

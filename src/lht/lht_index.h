@@ -1,0 +1,177 @@
+// LHT — the Low-maintenance Hash Tree index (the paper's core contribution).
+//
+// The index runs entirely on top of a generic DHT's put/get/apply interface.
+// State in the DHT: one entry per leaf bucket, keyed by name(label) (the
+// naming function f_n). The empty index is a single leaf "#0" covering
+// [0, 1), stored under "#".
+//
+// Operations (paper sections in brackets):
+//  * lookup  [5, Alg. 2]  — binary search over candidate prefix names,
+//    ~log(D/2) DHT-lookups; a linear-descent fallback is exposed for the
+//    ablation bench.
+//  * insert  [5]          — lookup + one DHT apply shipping the record; at
+//    most one split per insert (Alg. 1): the split rewrites the bucket
+//    locally and pushes exactly one remote child with one DHT-put.
+//  * erase               — lookup + apply; may merge the leaf with its
+//    sibling (the dual of a split: one child already has the parent's name).
+//  * rangeQuery [6, Alg. 3/4] — LCA jump, then recursive parallel
+//    forwarding along locally inferred branch nodes; <= B + 3 DHT-lookups
+//    for B result buckets.
+//  * min/max [7, Thm. 3]  — a single DHT-lookup of "#" resp. "#0".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/label.h"
+#include "dht/dht.h"
+#include "index/ordered_index.h"
+#include "lht/bucket.h"
+
+namespace lht::core {
+
+class LhtIndex final : public index::OrderedIndex {
+ public:
+  struct Options {
+    /// Leaf split threshold theta_split: a leaf splits when its effective
+    /// size (records, plus one slot for the label when countLabelSlot)
+    /// reaches this value.
+    common::u32 thetaSplit = 100;
+
+    /// D: the a-priori maximum tree depth the binary-search lookup assumes
+    /// (paper Sec. 5). Must be >= the depth the data actually produces.
+    common::u32 maxDepth = 20;
+
+    /// Paper Sec. 9.2 accounting: the leaf label occupies one record slot,
+    /// which makes the measured average alpha = 1/2 + 1/(2 theta).
+    bool countLabelSlot = true;
+
+    /// Merge two sibling leaves when their combined effective size drops
+    /// below this. 0 selects the paper's rule (< thetaSplit). Set
+    /// enableMerge=false to disable structural shrinking entirely.
+    common::u32 mergeThreshold = 0;
+    bool enableMerge = true;
+
+    /// Client-side optimization (off by default to keep the paper's
+    /// figures faithful): probe the depth of the last successful lookup
+    /// first. Tree depths concentrate around log(n/theta), so the first
+    /// probe usually hits and a lookup costs ~1 DHT-lookup instead of
+    /// ~log2(D/2). Falls back to the normal binary search on a miss; pure
+    /// client state, nothing extra is maintained in the DHT.
+    bool useDepthHint = false;
+
+    /// The paper restricts each insertion to at most one split (Sec. 5),
+    /// deferring residual overflow to later inserts. Enabling this lets an
+    /// insert split recursively until no bucket is saturated — an ablation
+    /// knob (bench/ablation_cascading) trading bounded per-insert cost for
+    /// transient overflow. Alpha statistics are only recorded for
+    /// single-split inserts, where the paper defines them.
+    bool allowCascadingSplits = false;
+  };
+
+  /// The index takes a reference to its substrate; the caller owns the DHT.
+  /// Seeds the root leaf via an unaccounted bootstrap write.
+  LhtIndex(dht::Dht& dht, Options options);
+
+  // OrderedIndex ------------------------------------------------------------
+  index::UpdateResult insert(const index::Record& record) override;
+  index::UpdateResult erase(double key) override;
+  index::FindResult find(double key) override;
+  index::RangeResult rangeQuery(double lo, double hi) override;
+  index::FindResult minRecord() override;
+  index::FindResult maxRecord() override;
+  [[nodiscard]] size_t recordCount() const override { return recordCount_; }
+
+  // Extensions beyond the paper's operation set -----------------------------
+
+  /// Bulk loading: inserts a batch in one pass. Records are sorted and
+  /// grouped by target leaf, so each touched leaf costs one lookup + one
+  /// apply regardless of how many records land in it; saturated leaves
+  /// split *recursively* on the storing peer (each produced remote bucket
+  /// still costs exactly one DHT-put, preserving the Theorem 2 economy).
+  /// Far cheaper than record-at-a-time insertion for large batches.
+  index::UpdateResult insertBatch(std::vector<index::Record> records);
+
+  /// The record with the smallest key >= `key` (nullopt if none). Costs a
+  /// lookup plus one neighbor hop per empty leaf crossed.
+  index::FindResult successorQuery(double key);
+
+  /// The record with the largest key < `key` (nullopt if none).
+  index::FindResult predecessorQuery(double key);
+
+  /// The k smallest / largest records, ascending by key (fewer when the
+  /// index holds fewer). Generalizes Theorem 3: the sweep starts at the
+  /// one-lookup min/max bucket and only crosses as many neighbor subtrees
+  /// as the answer spans.
+  index::RangeResult topMin(size_t k);
+  index::RangeResult topMax(size_t k);
+
+  /// The record at rank floor(q * (n-1)) by key order (q in [0, 1]): an
+  /// exact quantile. LHT keeps no rank information on internal nodes (they
+  /// are never materialized), so this honestly costs one DHT-lookup per
+  /// bucket crossed from the nearer end — O(min(q, 1-q) * B). nullopt on an
+  /// empty index.
+  index::FindResult quantileQuery(double q);
+
+  // LHT-specific observability ----------------------------------------------
+  struct LookupOutcome {
+    std::optional<LeafBucket> bucket;  ///< the leaf covering the key
+    std::string dhtKey;                ///< the name it is stored under
+    cost::OpStats stats;
+  };
+
+  /// Algorithm 2: binary search on candidate prefix names.
+  LookupOutcome lookup(double key);
+
+  /// Ablation baseline: tries every distinct candidate name from the root
+  /// down (O(D/2) DHT-lookups, always correct). Not used by the protocol.
+  LookupOutcome lookupLinear(double key);
+
+  /// Visits every leaf bucket left-to-right by chaining neighbor lookups
+  /// (min bucket first). Intended for tests and diagnostics; does not
+  /// touch the meters.
+  void forEachBucket(const std::function<void(const LeafBucket&)>& fn);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  /// One accounted DHT get, decoding the bucket if present.
+  std::optional<LeafBucket> getBucket(const std::string& key, cost::OpStats& st);
+
+  /// Shared walk for find/insert target resolution.
+  LookupOutcome lookupInternal(double key);
+
+  /// Recursive forwarding (Alg. 3, both sweep directions unified): collects
+  /// bucket ∩ range, then covers the uncovered remainder left and right of
+  /// the bucket through locally inferred branch nodes. Returns the latency
+  /// (longest dependent DHT-lookup chain) of the subtree of forwards; adds
+  /// all lookups to `st`.
+  common::u64 forwardRange(const LeafBucket& bucket, const common::Interval& range,
+                           std::vector<index::Record>& out, cost::OpStats& st);
+
+  /// Fetches the entry bucket for a branch/half label during range
+  /// processing: tries the label as a key (leftmost/rightmost named leaf of
+  /// that subtree), retrying name(label) when the label is itself a leaf
+  /// (the paper's "at most one failed DHT-lookup"). Returns the sequential
+  /// step count consumed (1 or 2).
+  common::u64 fetchSubtreeEntry(const Label& branch, std::optional<LeafBucket>& out,
+                                cost::OpStats& st);
+
+  /// The longest dyadic label whose interval contains [range.lo, range.hi).
+  [[nodiscard]] Label computeLca(const common::Interval& range) const;
+
+  /// Effective-size split trigger (see Options::countLabelSlot).
+  [[nodiscard]] bool shouldSplit(const LeafBucket& b) const;
+
+  /// Attempts the sibling merge after an erase. `bucketLabel` is the leaf
+  /// the erase landed in. Counted under meters_.maintenance.
+  bool tryMerge(const Label& bucketLabel);
+
+  dht::Dht& dht_;
+  Options opts_;
+  size_t recordCount_ = 0;
+  common::u32 depthHint_ = 0;  ///< bit length of the last found leaf
+};
+
+}  // namespace lht::core

@@ -1,0 +1,77 @@
+#include "lht/local_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/types.h"
+#include "lht/naming.h"
+
+namespace lht::core {
+
+LocalTree::LocalTree(Label leaf) : leaf_(leaf) {
+  common::checkInvariant(!leaf.isVirtualRoot() && leaf.bit(0) == 0,
+                         "LocalTree: label must start with the root edge 0");
+}
+
+std::vector<Label> LocalTree::ancestors() const {
+  std::vector<Label> out;
+  out.reserve(leaf_.length());
+  for (common::u32 n = 0; n < leaf_.length(); ++n) out.push_back(leaf_.prefix(n));
+  return out;
+}
+
+std::vector<Label> LocalTree::rightBranches() const {
+  std::vector<Label> out;
+  Label beta = leaf_;
+  while (!beta.isRightmostPath()) {
+    beta = rightNeighbor(beta);
+    out.push_back(beta);
+  }
+  return out;
+}
+
+std::vector<Label> LocalTree::leftBranches() const {
+  std::vector<Label> out;
+  Label beta = leaf_;
+  while (!beta.isLeftmostPath()) {
+    beta = leftNeighbor(beta);
+    out.push_back(beta);
+  }
+  return out;
+}
+
+std::vector<Label> LocalTree::allKnownNodes() const {
+  std::vector<Label> out = ancestors();
+  auto r = rightBranches();
+  auto l = leftBranches();
+  out.insert(out.end(), r.begin(), r.end());
+  out.insert(out.end(), l.begin(), l.end());
+  out.push_back(leaf_);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> LocalTree::rightPartitionValues() const {
+  std::vector<double> out;
+  out.push_back(leaf_.interval().hi);
+  for (const Label& beta : rightBranches()) out.push_back(beta.interval().hi);
+  return out;
+}
+
+std::string LocalTree::render() const {
+  std::ostringstream os;
+  os << "local tree of leaf " << leaf_.str() << "\n";
+  os << "  ancestors:";
+  for (const Label& a : ancestors()) os << " " << a.str();
+  os << "\n  left branches (near->far):";
+  for (const Label& b : leftBranches())
+    os << " " << b.str() << b.interval().str();
+  os << "\n  right branches (near->far):";
+  for (const Label& b : rightBranches())
+    os << " " << b.str() << b.interval().str();
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace lht::core

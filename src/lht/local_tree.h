@@ -1,0 +1,58 @@
+// Local tree summarization (paper Sec. 3.3, Fig. 3).
+//
+// A leaf's label alone determines a *local view* of the partition tree: all
+// of the leaf's ancestors (every proper prefix of the label) and every
+// branch node hanging off that ancestor path (a prefix with its next bit
+// flipped). The tree's fullness property guarantees every branch node
+// really exists, each rooting a "neighboring tree" of unknown depth. The
+// union of all leaves' local trees is the whole partition tree — which is
+// why leaf buckets alone summarize the global structure.
+//
+// The query algorithms only ever need the f_rn/f_ln walk, but this explicit
+// materialization backs tests, diagnostics and the worked examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/label.h"
+
+namespace lht::core {
+
+using common::Label;
+
+class LocalTree {
+ public:
+  /// Builds the local view of `leaf`'s label. Requires a real leaf
+  /// (non-virtual-root label starting with the root edge 0).
+  explicit LocalTree(Label leaf);
+
+  [[nodiscard]] const Label& leaf() const { return leaf_; }
+
+  /// Ancestors from the virtual root "#" down to the leaf's parent.
+  [[nodiscard]] std::vector<Label> ancestors() const;
+
+  /// Branch nodes (siblings of ancestors and of the leaf itself) whose
+  /// subtrees lie right of the leaf, ordered nearest-first: beta_1 =
+  /// rightNeighbor(leaf), beta_{i+1} = rightNeighbor(beta_i) (Fig. 5a).
+  [[nodiscard]] std::vector<Label> rightBranches() const;
+
+  /// Mirror image: branch nodes left of the leaf, nearest-first.
+  [[nodiscard]] std::vector<Label> leftBranches() const;
+
+  /// All labels inferable from the leaf label (ancestors + both branch
+  /// lists + the leaf), sorted; the leaf's complete local knowledge.
+  [[nodiscard]] std::vector<Label> allKnownNodes() const;
+
+  /// Partition values pv_i (paper Fig. 5a): the interval boundaries of the
+  /// right-branch subtrees, ascending, starting at the leaf's upper edge.
+  [[nodiscard]] std::vector<double> rightPartitionValues() const;
+
+  /// Multi-line ASCII rendering of the local view (for examples/debugging).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  Label leaf_;
+};
+
+}  // namespace lht::core

@@ -1,0 +1,57 @@
+#include "lht/naming.h"
+
+#include "common/types.h"
+
+namespace lht::core {
+
+using common::checkInvariant;
+using common::u32;
+
+Label name(const Label& leaf) {
+  checkInvariant(!leaf.isVirtualRoot(), "name: virtual root is not a leaf");
+  const u32 run = leaf.trailingRunLength();
+  return leaf.prefix(leaf.length() - run);
+}
+
+std::string dhtKeyFor(const Label& leaf) { return name(leaf).str(); }
+
+std::optional<Label> nextName(const Label& x, const Label& mu) {
+  checkInvariant(!x.isVirtualRoot(), "nextName: x must be non-empty");
+  checkInvariant(x.isPrefixOf(mu) && x.length() < mu.length(),
+                 "nextName: x must be a proper prefix of mu");
+  const int last = x.lastBit();
+  for (u32 p = x.length(); p < mu.length(); ++p) {
+    if (mu.bit(p) != last) return mu.prefix(p + 1);
+  }
+  return std::nullopt;
+}
+
+Label rightNeighbor(const Label& x) {
+  checkInvariant(!x.isVirtualRoot(), "rightNeighbor: virtual root has none");
+  if (x.isRightmostPath()) return x;
+  // Strip the trailing 1s; the result ends in 0 and (because x is not on the
+  // rightmost path) is at least 2 bits long, so it has a sibling.
+  u32 ones = 0;
+  while (ones < x.length() && x.bit(x.length() - 1 - ones) == 1) ++ones;
+  Label p0 = x.prefix(x.length() - ones);
+  return p0.sibling();  // p0 -> p1
+}
+
+Label leftNeighbor(const Label& x) {
+  checkInvariant(!x.isVirtualRoot(), "leftNeighbor: virtual root has none");
+  if (x.isLeftmostPath()) return x;
+  u32 zeros = 0;
+  while (zeros < x.length() && x.bit(x.length() - 1 - zeros) == 0) ++zeros;
+  Label p1 = x.prefix(x.length() - zeros);
+  return p1.sibling();  // p1 -> p0
+}
+
+Label namedLeafAtDepth(const Label& omega, u32 leafLen) {
+  checkInvariant(leafLen > omega.length(), "namedLeafAtDepth: leaf not deeper");
+  const int fill = (omega.isVirtualRoot() || omega.lastBit() == 1) ? 0 : 1;
+  Label leaf = omega;
+  while (leaf.length() < leafLen) leaf = leaf.child(fill);
+  return leaf;
+}
+
+}  // namespace lht::core

@@ -1,0 +1,65 @@
+// The LHT naming machinery (paper Definitions 1-3).
+//
+// These four pure functions on labels are the whole trick of LHT:
+//
+//  * name (f_n, Def. 1) strips the trailing run of equal bits from a leaf
+//    label. Theorem 1: it is a *bijection* from leaf labels to internal-node
+//    labels, so using name(leaf) as the DHT key organizes the partition
+//    tree's internal structure in the DHT key space with no bookkeeping.
+//    Theorem 2: when a leaf splits, one child keeps name(leaf) (it stays on
+//    the same peer) and the other is named exactly leaf — which is why a
+//    split costs a single DHT-lookup.
+//
+//  * nextName (f_nn, Def. 2) jumps past prefixes that share the current
+//    prefix's name, powering the O(log(D/2)) binary-search lookup.
+//
+//  * rightNeighbor / leftNeighbor (f_rn / f_ln, Def. 3) walk the branch
+//    nodes of a leaf's *local tree* — inferable from the leaf's own label —
+//    powering near-optimal range queries with zero maintained links.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/label.h"
+
+namespace lht::core {
+
+using common::Label;
+
+/// f_n (Def. 1): strips the trailing run of identical bits. Examples:
+/// f_n(#01100) = #011, f_n(#01011) = #010, f_n(#00) = #, f_n(#0) = #.
+/// Requires a non-virtual-root label.
+Label name(const Label& leaf);
+
+/// The DHT key under which the bucket for `leaf` is stored: name(leaf)
+/// rendered as text ("#011").
+std::string dhtKeyFor(const Label& leaf);
+
+/// f_nn (Def. 2): the shortest prefix of `mu` that is longer than `x` and
+/// has a different name — i.e. extend x up to and including the first bit of
+/// mu that differs from x's last bit. Example:
+/// f_nn(#0011, #0011100) = #001110.
+/// Requires x to be a non-empty proper prefix of mu. Returns nullopt when no
+/// differing bit exists before mu ends (possible only when the search depth
+/// D was chosen too small for the actual tree).
+std::optional<Label> nextName(const Label& x, const Label& mu);
+
+/// f_rn (Def. 3): the nearest branch node to the right. Maps p01* -> p1,
+/// and the rightmost path #01* to itself (no right neighbor).
+/// Requires a non-virtual-root label.
+Label rightNeighbor(const Label& x);
+
+/// Mirror of f_rn: maps p10* -> p0, and the leftmost path #00* to itself.
+/// Requires a non-virtual-root label.
+Label leftNeighbor(const Label& x);
+
+/// The unique leaf label that f_n maps to the internal label `omega`
+/// (the inverse bijection from Theorem 1's proof), assuming the subtree
+/// under omega reaches depth `leafLen`:
+///  - omega ending in 0  -> the rightmost leaf omega 11..1,
+///  - omega ending in 1 (or "#") -> the leftmost leaf omega 00..0.
+/// Exposed for tests and diagnostics; the protocol itself never needs it.
+Label namedLeafAtDepth(const Label& omega, common::u32 leafLen);
+
+}  // namespace lht::core

@@ -1,0 +1,51 @@
+#include "lht/tree_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lht::core {
+
+TreeStats TreeStats::collect(LhtIndex& index) {
+  TreeStats s;
+  s.minDepth = ~0u;
+  common::u64 depthSum = 0;
+  index.forEachBucket([&](const LeafBucket& b) {
+    const common::u32 depth = b.label.length();
+    s.leafCount += 1;
+    s.totalRecords += b.records.size();
+    depthSum += depth;
+    s.minDepth = std::min(s.minDepth, depth);
+    s.maxDepth = std::max(s.maxDepth, depth);
+    if (depth >= s.depthHistogram.size()) s.depthHistogram.resize(depth + 1);
+    s.depthHistogram[depth] += 1;
+    s.maxOccupancy = std::max(s.maxOccupancy, b.records.size());
+    if (b.records.empty()) s.emptyLeaves += 1;
+    if (b.effectiveSize(index.options().countLabelSlot) >=
+        index.options().thetaSplit) {
+      s.overfullLeaves += 1;
+    }
+  });
+  if (s.leafCount > 0) {
+    s.meanDepth = static_cast<double>(depthSum) / static_cast<double>(s.leafCount);
+    s.meanOccupancy =
+        static_cast<double>(s.totalRecords) / static_cast<double>(s.leafCount);
+  }
+  if (s.minDepth == ~0u) s.minDepth = 0;
+  return s;
+}
+
+std::string TreeStats::summary() const {
+  std::ostringstream os;
+  os << "leaves=" << leafCount << " records=" << totalRecords
+     << " depth[min/mean/max]=" << minDepth << "/" << meanDepth << "/" << maxDepth
+     << " occupancy[mean/max]=" << meanOccupancy << "/" << maxOccupancy
+     << " empty=" << emptyLeaves << " overfull=" << overfullLeaves << "\n";
+  os << "depth histogram:";
+  for (size_t d = 0; d < depthHistogram.size(); ++d) {
+    if (depthHistogram[d] != 0) os << " " << d << ":" << depthHistogram[d];
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace lht::core

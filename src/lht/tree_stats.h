@@ -1,0 +1,35 @@
+// Introspection over a live LHT: tree shape, bucket occupancy, and the
+// distribution of buckets across DHT peers. Backs the load-balance
+// experiments (the paper's intro claims DHT uniform hashing gives easy
+// storage load balance) and general diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "lht/lht_index.h"
+
+namespace lht::core {
+
+struct TreeStats {
+  size_t leafCount = 0;
+  size_t totalRecords = 0;
+  common::u32 minDepth = 0;       ///< shortest leaf label (bits)
+  common::u32 maxDepth = 0;       ///< deepest leaf label (bits)
+  double meanDepth = 0.0;
+  double meanOccupancy = 0.0;     ///< records per leaf
+  size_t maxOccupancy = 0;
+  size_t emptyLeaves = 0;
+  size_t overfullLeaves = 0;      ///< leaves at/above the split threshold
+  std::vector<size_t> depthHistogram;  ///< index = depth in bits
+
+  /// Walks every leaf bucket of `index` (left to right) and aggregates.
+  /// Read-only; does not touch the index meters.
+  static TreeStats collect(LhtIndex& index);
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace lht::core

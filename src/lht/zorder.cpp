@@ -1,0 +1,188 @@
+#include "lht/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/codec.h"
+#include "common/types.h"
+
+namespace lht::core {
+
+using common::checkInvariant;
+using common::Interval;
+using common::u32;
+using common::u64;
+
+namespace {
+
+u64 clampedScale(double v, u32 bits) {
+  checkInvariant(v >= 0.0 && v <= 1.0, "zorder: coordinate outside [0,1]");
+  const double scaled = std::ldexp(v, static_cast<int>(bits));
+  const double top = std::ldexp(1.0, static_cast<int>(bits));
+  return scaled >= top ? (1ull << bits) - 1 : static_cast<u64>(scaled);
+}
+
+}  // namespace
+
+double zEncode(double x, double y, u32 bitsPerDim) {
+  checkInvariant(bitsPerDim >= 1 && bitsPerDim <= 26, "zEncode: bad resolution");
+  const u64 xi = clampedScale(x, bitsPerDim);
+  const u64 yi = clampedScale(y, bitsPerDim);
+  u64 z = 0;
+  for (u32 b = 0; b < bitsPerDim; ++b) {
+    const u32 src = bitsPerDim - 1 - b;  // MSB first
+    z = (z << 1) | ((xi >> src) & 1);
+    z = (z << 1) | ((yi >> src) & 1);
+  }
+  return std::ldexp(static_cast<double>(z), -static_cast<int>(2 * bitsPerDim));
+}
+
+std::pair<double, double> zDecode(double z, u32 bitsPerDim) {
+  checkInvariant(bitsPerDim >= 1 && bitsPerDim <= 26, "zDecode: bad resolution");
+  const u64 zi = clampedScale(z, 2 * bitsPerDim);
+  u64 xi = 0, yi = 0;
+  for (u32 b = 0; b < bitsPerDim; ++b) {
+    const u32 src = 2 * (bitsPerDim - 1 - b);
+    xi = (xi << 1) | ((zi >> (src + 1)) & 1);
+    yi = (yi << 1) | ((zi >> src) & 1);
+  }
+  return {std::ldexp(static_cast<double>(xi), -static_cast<int>(bitsPerDim)),
+          std::ldexp(static_cast<double>(yi), -static_cast<int>(bitsPerDim))};
+}
+
+namespace {
+
+struct RangeBuilder {
+  const Rect& rect;
+  u32 maxLevel;
+  size_t maxRanges;
+  std::vector<Interval> out;
+
+  void visit(u32 level, double zlo, const Rect& cell) {
+    const bool overlap = cell.xlo < rect.xhi && rect.xlo < cell.xhi &&
+                         cell.ylo < rect.yhi && rect.ylo < cell.yhi;
+    if (!overlap) return;
+    const double cellSpan = std::ldexp(1.0, -static_cast<int>(2 * level));
+    const bool inside = cell.xlo >= rect.xlo && cell.xhi <= rect.xhi &&
+                        cell.ylo >= rect.ylo && cell.yhi <= rect.yhi;
+    if (inside || level == maxLevel || out.size() >= maxRanges) {
+      // Emit (merging with the previous range when contiguous).
+      if (!out.empty() && out.back().hi == zlo) {
+        out.back().hi = zlo + cellSpan;
+      } else {
+        out.push_back(Interval{zlo, zlo + cellSpan});
+      }
+      return;
+    }
+    const double xm = 0.5 * (cell.xlo + cell.xhi);
+    const double ym = 0.5 * (cell.ylo + cell.yhi);
+    const double q = cellSpan / 4.0;
+    // Z-order of the quadrants: (x bit, y bit) = 00, 01, 10, 11.
+    visit(level + 1, zlo + 0 * q, Rect{cell.xlo, xm, cell.ylo, ym});
+    visit(level + 1, zlo + 1 * q, Rect{cell.xlo, xm, ym, cell.yhi});
+    visit(level + 1, zlo + 2 * q, Rect{xm, cell.xhi, cell.ylo, ym});
+    visit(level + 1, zlo + 3 * q, Rect{xm, cell.xhi, ym, cell.yhi});
+  }
+};
+
+}  // namespace
+
+std::vector<Interval> zRangesForRect(const Rect& rect, u32 bitsPerDim,
+                                     size_t maxRanges) {
+  checkInvariant(rect.xhi > rect.xlo && rect.yhi > rect.ylo,
+                 "zRangesForRect: empty rectangle");
+  RangeBuilder builder{rect, bitsPerDim, maxRanges, {}};
+  builder.visit(0, 0.0, Rect{0.0, 1.0, 0.0, 1.0});
+  return std::move(builder.out);
+}
+
+Lht2dIndex::Lht2dIndex(dht::Dht& dht, Options options)
+    : opts_(options), lht_(dht, options.lht) {
+  checkInvariant(opts_.bitsPerDim >= 1 && opts_.bitsPerDim <= 26,
+                 "Lht2dIndex: bad resolution");
+}
+
+index::UpdateResult Lht2dIndex::insert(const Point2D& p) {
+  common::Encoder enc;
+  enc.putDouble(p.x);
+  enc.putDouble(p.y);
+  enc.putString(p.payload);
+  return lht_.insert(
+      index::Record{zEncode(p.x, p.y, opts_.bitsPerDim), std::move(enc).take()});
+}
+
+Lht2dIndex::RectResult Lht2dIndex::rectQuery(const Rect& rect) {
+  RectResult result;
+  const auto ranges = zRangesForRect(rect, opts_.bitsPerDim, opts_.maxRanges);
+  result.curveRanges = ranges.size();
+  u64 maxSteps = 0;
+  for (const auto& iv : ranges) {
+    auto rr = lht_.rangeQuery(iv.lo, iv.hi);
+    result.stats.dhtLookups += rr.stats.dhtLookups;
+    result.stats.bucketsTouched += rr.stats.bucketsTouched;
+    maxSteps = std::max(maxSteps, rr.stats.parallelSteps);
+    for (const auto& rec : rr.records) {
+      common::Decoder dec(rec.payload);
+      auto x = dec.getDouble();
+      auto y = dec.getDouble();
+      auto payload = dec.getString();
+      checkInvariant(x && y && payload, "Lht2dIndex: corrupt point payload");
+      if (rect.contains(*x, *y)) {
+        result.points.push_back(Point2D{*x, *y, std::move(*payload)});
+      }
+    }
+  }
+  // The per-range queries are independent and issued in parallel.
+  result.stats.parallelSteps = maxSteps;
+  return result;
+}
+
+Lht2dIndex::KnnResult Lht2dIndex::knnQuery(double x, double y, size_t k) {
+  checkInvariant(x >= 0.0 && x <= 1.0 && y >= 0.0 && y <= 1.0,
+                 "Lht2dIndex::knnQuery: point outside [0,1]^2");
+  KnnResult result;
+  if (k == 0) return result;
+
+  const auto dist2 = [&](const Point2D& p) {
+    const double dx = p.x - x;
+    const double dy = p.y - y;
+    return dx * dx + dy * dy;
+  };
+
+  // Start at roughly one Morton cell and double until the k-th nearest hit
+  // is closer than the box edge (so nothing outside can beat it), or the
+  // box covers the whole space.
+  double radius = std::ldexp(1.0, -static_cast<int>(opts_.bitsPerDim));
+  for (;;) {
+    result.rounds += 1;
+    Rect box{std::max(0.0, x - radius), std::min(1.0, x + radius),
+             std::max(0.0, y - radius), std::min(1.0, y + radius)};
+    auto rr = rectQuery(box);
+    result.stats += rr.stats;
+
+    const bool wholeSpace =
+        box.xlo == 0.0 && box.xhi == 1.0 && box.ylo == 0.0 && box.yhi == 1.0;
+    if (rr.points.size() >= k) {
+      std::sort(rr.points.begin(), rr.points.end(),
+                [&](const Point2D& a, const Point2D& b) {
+                  return dist2(a) < dist2(b);
+                });
+      rr.points.resize(k);
+      const double worst = std::sqrt(dist2(rr.points.back()));
+      if (worst <= radius || wholeSpace) {
+        result.points = std::move(rr.points);
+        return result;
+      }
+    } else if (wholeSpace) {
+      std::sort(rr.points.begin(), rr.points.end(),
+                [&](const Point2D& a, const Point2D& b) {
+                  return dist2(a) < dist2(b);
+                });
+      result.points = std::move(rr.points);
+      return result;
+    }
+    radius *= 2.0;
+  }
+}
+
+}  // namespace lht::core

@@ -1,0 +1,94 @@
+// Multi-dimensional indexing on top of LHT via a space-filling curve.
+//
+// The paper (Sec. 3.1, footnote 1) notes that the one-dimensional LHT can
+// serve as infrastructure for multi-dimensional indexing by applying an SFC,
+// as PHT does in [4]. This module implements that extension for 2-D points:
+// a Z-order (Morton) curve maps [0,1)^2 into the unit key space, a rectangle
+// query decomposes into a small set of curve intervals, and each interval
+// becomes one LHT range query.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+#include "index/ordered_index.h"
+#include "lht/lht_index.h"
+
+namespace lht::core {
+
+/// An axis-aligned query rectangle, half-open on both axes.
+struct Rect {
+  double xlo = 0.0, xhi = 0.0;
+  double ylo = 0.0, yhi = 0.0;
+
+  [[nodiscard]] bool contains(double x, double y) const {
+    return x >= xlo && x < xhi && y >= ylo && y < yhi;
+  }
+};
+
+/// Interleaves `bitsPerDim` bits of x and y (x contributes the higher bit of
+/// each pair) into a Z-order key in [0, 1). Requires x, y in [0, 1].
+double zEncode(double x, double y, common::u32 bitsPerDim);
+
+/// Inverse of zEncode: the lower-left corner of the Morton cell containing z.
+std::pair<double, double> zDecode(double z, common::u32 bitsPerDim);
+
+/// Decomposes `rect` into disjoint Z-order key intervals that exactly cover
+/// the Morton cells intersecting it, at `bitsPerDim` resolution. Recursion
+/// stops early once `maxRanges` candidate ranges exist (trading extra
+/// filtering for fewer range queries); adjacent ranges are merged.
+std::vector<common::Interval> zRangesForRect(const Rect& rect,
+                                             common::u32 bitsPerDim,
+                                             size_t maxRanges = 64);
+
+/// A 2-D point record.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+  std::string payload;
+};
+
+/// 2-D point index: LHT underneath, Z-order on top.
+class Lht2dIndex {
+ public:
+  struct Options {
+    LhtIndex::Options lht;
+    common::u32 bitsPerDim = 10;  ///< Morton resolution per axis
+    size_t maxRanges = 64;        ///< range-query decomposition budget
+  };
+
+  Lht2dIndex(dht::Dht& dht, Options options);
+
+  /// Inserts a point (coordinates in [0,1]^2).
+  index::UpdateResult insert(const Point2D& p);
+
+  /// All points inside `rect`, plus aggregate query stats.
+  struct RectResult {
+    std::vector<Point2D> points;
+    cost::OpStats stats;
+    size_t curveRanges = 0;  ///< how many 1-D range queries were issued
+  };
+  RectResult rectQuery(const Rect& rect);
+
+  /// The k points nearest (Euclidean) to (x, y), ascending by distance.
+  /// Expanding-box search: rectangle queries of doubling radius until the
+  /// k-th hit provably lies inside the searched box. `rounds` reports how
+  /// many expansions were needed.
+  struct KnnResult {
+    std::vector<Point2D> points;
+    cost::OpStats stats;
+    size_t rounds = 0;
+  };
+  KnnResult knnQuery(double x, double y, size_t k);
+
+  [[nodiscard]] const LhtIndex& underlying() const { return lht_; }
+
+ private:
+  Options opts_;
+  LhtIndex lht_;
+};
+
+}  // namespace lht::core

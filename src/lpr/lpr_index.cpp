@@ -1,0 +1,143 @@
+#include "lpr/lpr_index.h"
+
+#include <algorithm>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace lht::lpr {
+
+LprIndex::LprIndex(Options options) : opts_(options) {
+  common::checkInvariant(opts_.peers >= 1, "LprIndex: need >= 1 peer");
+  common::Pcg32 rng(opts_.seed, /*stream=*/0x1472u);
+  std::vector<double> cuts;
+  cuts.reserve(opts_.peers);
+  cuts.push_back(0.0);  // one peer anchors the start of the space
+  for (size_t i = 1; i < opts_.peers; ++i) cuts.push_back(rng.nextDouble());
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  peers_.resize(cuts.size());
+  for (size_t i = 0; i < cuts.size(); ++i) peers_[i].arcLo = cuts[i];
+}
+
+size_t LprIndex::peerFor(double key) const {
+  const double k = common::clampToUnit(key);
+  // Last peer whose arcLo <= k.
+  size_t lo = 0, hi = peers_.size();
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (peers_[mid].arcLo <= k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+index::UpdateResult LprIndex::insert(const index::Record& record) {
+  common::checkInvariant(record.key >= 0.0 && record.key <= 1.0,
+                         "LprIndex::insert: key outside [0,1]");
+  peers_[peerFor(record.key)].store.emplace(record.key, record.payload);
+  recordCount_ += 1;
+  index::UpdateResult result;
+  result.ok = true;
+  result.stats.dhtLookups = 1;  // route straight to the arc owner
+  result.stats.parallelSteps = 1;
+  meters_.insertion.dhtLookups += 1;
+  meters_.insertion.recordsMoved += 1;
+  return result;
+}
+
+index::UpdateResult LprIndex::erase(double key) {
+  common::checkInvariant(key >= 0.0 && key <= 1.0, "LprIndex::erase: bad key");
+  index::UpdateResult result;
+  auto& store = peers_[peerFor(key)].store;
+  const size_t removed = store.erase(key);
+  recordCount_ -= removed;
+  result.ok = removed > 0;
+  result.stats.dhtLookups = 1;
+  result.stats.parallelSteps = 1;
+  meters_.insertion.dhtLookups += 1;
+  return result;
+}
+
+index::FindResult LprIndex::find(double key) {
+  common::checkInvariant(key >= 0.0 && key <= 1.0, "LprIndex::find: bad key");
+  index::FindResult result;
+  result.stats.dhtLookups = 1;
+  result.stats.parallelSteps = 1;
+  const auto& store = peers_[peerFor(key)].store;
+  auto it = store.find(key);
+  if (it != store.end()) result.record = index::Record{it->first, it->second};
+  meters_.query.dhtLookups += 1;
+  return result;
+}
+
+index::RangeResult LprIndex::rangeQuery(double lo, double hi) {
+  index::RangeResult result;
+  if (hi <= lo) return result;
+  common::checkInvariant(lo >= 0.0 && hi <= 1.0, "LprIndex::rangeQuery: bad bounds");
+  // Locate the peer holding the lower bound, then walk successor arcs —
+  // locality preservation makes this the whole algorithm.
+  for (size_t p = peerFor(lo); p < peers_.size(); ++p) {
+    if (peers_[p].arcLo >= hi) break;
+    result.stats.dhtLookups += 1;
+    result.stats.bucketsTouched += 1;
+    const auto& store = peers_[p].store;
+    for (auto it = store.lower_bound(lo); it != store.end() && it->first < hi; ++it) {
+      result.records.push_back(index::Record{it->first, it->second});
+    }
+  }
+  // Arc walks are sequential peer-to-peer forwards.
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  return result;
+}
+
+index::FindResult LprIndex::minRecord() {
+  index::FindResult result;
+  for (const auto& peer : peers_) {
+    result.stats.dhtLookups += 1;
+    if (!peer.store.empty()) {
+      auto it = peer.store.begin();
+      result.record = index::Record{it->first, it->second};
+      break;
+    }
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult LprIndex::maxRecord() {
+  index::FindResult result;
+  for (auto it = peers_.rbegin(); it != peers_.rend(); ++it) {
+    result.stats.dhtLookups += 1;
+    if (!it->store.empty()) {
+      auto rec = std::prev(it->store.end());
+      result.record = index::Record{rec->first, rec->second};
+      break;
+    }
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+std::vector<size_t> LprIndex::recordsPerPeer() const {
+  std::vector<size_t> out;
+  out.reserve(peers_.size());
+  for (const auto& p : peers_) out.push_back(p.store.size());
+  return out;
+}
+
+double LprIndex::maxPeerShare() const {
+  if (recordCount_ == 0) return 0.0;
+  size_t best = 0;
+  for (const auto& p : peers_) best = std::max(best, p.store.size());
+  return static_cast<double>(best) / static_cast<double>(recordCount_);
+}
+
+}  // namespace lht::lpr

@@ -1,0 +1,63 @@
+// LPR — a Locality-Preserving Ring index (the paper's Sec. 2 alternative
+// paradigm: replace the uniform hash with a locality-sensitive mapping,
+// as in [8, 11, 15]).
+//
+// Keys are placed on the ring *by value* instead of by hash: peer ids
+// partition [0, 1) into arcs and a record lives on the peer whose arc
+// contains its data key. Range queries become trivially cheap — locate the
+// lower bound (one lookup) and walk successor peers — and no index tree is
+// needed at all. The price is exactly what the paper says these schemes
+// pay: "DHTs with LSH have to sacrifice their load balance" — skewed key
+// distributions pile records onto the peers owning the dense arcs, and
+// the scheme is substrate-dependent (it *is* its own overlay; it cannot be
+// deployed over a generic DHT's put/get interface).
+//
+// Implemented as a self-contained overlay (per the paradigm) with the same
+// OrderedIndex interface and cost accounting as the over-DHT schemes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "index/ordered_index.h"
+
+namespace lht::lpr {
+
+class LprIndex final : public index::OrderedIndex {
+ public:
+  struct Options {
+    size_t peers = 32;
+    common::u64 seed = 1;
+  };
+
+  explicit LprIndex(Options options);
+
+  index::UpdateResult insert(const index::Record& record) override;
+  index::UpdateResult erase(double key) override;
+  index::FindResult find(double key) override;
+  index::RangeResult rangeQuery(double lo, double hi) override;
+  index::FindResult minRecord() override;
+  index::FindResult maxRecord() override;
+  [[nodiscard]] size_t recordCount() const override { return recordCount_; }
+
+  /// Records held per peer, ascending by arc position (load-balance data).
+  [[nodiscard]] std::vector<size_t> recordsPerPeer() const;
+  /// Largest share of all records on one peer (1/peers would be perfect).
+  [[nodiscard]] double maxPeerShare() const;
+
+ private:
+  struct Peer {
+    double arcLo = 0.0;  ///< arc is [arcLo, next peer's arcLo)
+    std::multimap<double, std::string> store;
+  };
+
+  /// Index of the peer whose arc contains `key`.
+  [[nodiscard]] size_t peerFor(double key) const;
+
+  Options opts_;
+  std::vector<Peer> peers_;  // sorted by arcLo
+  size_t recordCount_ = 0;
+};
+
+}  // namespace lht::lpr

@@ -1,0 +1,70 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace lht::net {
+
+PeerId SimNetwork::addPeer(std::string name) {
+  peers_.push_back(Peer{std::move(name), true, {}});
+  return static_cast<PeerId>(peers_.size() - 1);
+}
+
+void SimNetwork::setOnline(PeerId id, bool online) {
+  common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
+  peers_[id].online = online;
+}
+
+bool SimNetwork::isOnline(PeerId id) const {
+  common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
+  return peers_[id].online;
+}
+
+bool SimNetwork::send(PeerId from, PeerId to, u64 bytes) {
+  common::checkInvariant(from < peers_.size() && to < peers_.size(),
+                         "SimNetwork::send: bad peer id");
+  if (!peers_[to].online) return false;
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  peers_[from].stats.messagesOut += 1;
+  peers_[from].stats.bytesOut += bytes;
+  peers_[to].stats.messagesIn += 1;
+  peers_[to].stats.bytesIn += bytes;
+  return true;
+}
+
+const std::string& SimNetwork::peerName(PeerId id) const {
+  common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
+  return peers_[id].name;
+}
+
+const PeerStats& SimNetwork::peerStats(PeerId id) const {
+  common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
+  return peers_[id].stats;
+}
+
+void SimNetwork::resetStats() {
+  stats_.reset();
+  for (auto& p : peers_) p.stats = PeerStats{};
+}
+
+double SimNetwork::meanPeerLoad() const {
+  u64 total = 0;
+  u64 online = 0;
+  for (const auto& p : peers_) {
+    if (!p.online) continue;
+    total += p.stats.messagesIn;
+    online += 1;
+  }
+  return online == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(online);
+}
+
+u64 SimNetwork::maxPeerLoad() const {
+  u64 best = 0;
+  for (const auto& p : peers_)
+    if (p.online) best = std::max(best, p.stats.messagesIn);
+  return best;
+}
+
+}  // namespace lht::net

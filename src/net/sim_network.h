@@ -1,0 +1,76 @@
+// Message-level network simulator.
+//
+// The DHT substrates route over this: every overlay hop is one message, and
+// the simulator accounts messages and bytes globally and per peer. The
+// paper's cost metrics (DHT-lookup counts, records moved) are network-scale
+// independent, but the hop/byte accounting lets us report the physical
+// bandwidth behind the cost-model constants i and j.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::net {
+
+using common::u32;
+using common::u64;
+
+/// Identifies a peer process in the simulation.
+using PeerId = u32;
+inline constexpr PeerId kInvalidPeer = ~0u;
+
+/// Global traffic counters.
+struct NetStats {
+  u64 messages = 0;
+  u64 bytes = 0;
+  void reset() { *this = NetStats{}; }
+};
+
+/// Per-peer traffic counters (for load-balance analysis).
+struct PeerStats {
+  u64 messagesIn = 0;
+  u64 messagesOut = 0;
+  u64 bytesIn = 0;
+  u64 bytesOut = 0;
+};
+
+/// Registry of peers plus synchronous message accounting. Peers can be
+/// marked offline (churn); sending to an offline peer is reported to the
+/// caller so substrates can exercise failure handling.
+class SimNetwork {
+ public:
+  /// Adds a peer and returns its id.
+  PeerId addPeer(std::string name);
+
+  /// Marks a peer offline/online (simulated churn).
+  void setOnline(PeerId id, bool online);
+  [[nodiscard]] bool isOnline(PeerId id) const;
+
+  /// Accounts one message of `bytes` payload from `from` to `to`.
+  /// Returns false (message dropped) when the destination is offline.
+  bool send(PeerId from, PeerId to, u64 bytes);
+
+  [[nodiscard]] size_t peerCount() const { return peers_.size(); }
+  [[nodiscard]] const std::string& peerName(PeerId id) const;
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const PeerStats& peerStats(PeerId id) const;
+  void resetStats();
+
+  /// Mean / max messages handled per online peer (load balance measure).
+  [[nodiscard]] double meanPeerLoad() const;
+  [[nodiscard]] u64 maxPeerLoad() const;
+
+ private:
+  struct Peer {
+    std::string name;
+    bool online = true;
+    PeerStats stats;
+  };
+  std::vector<Peer> peers_;
+  NetStats stats_;
+};
+
+}  // namespace lht::net

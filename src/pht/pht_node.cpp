@@ -1,0 +1,59 @@
+#include "pht/pht_node.h"
+
+#include "common/codec.h"
+
+namespace lht::pht {
+
+std::string PhtNode::serialize() const {
+  common::Encoder enc;
+  enc.putU8(static_cast<common::u8>(kind));
+  enc.putLabel(label);
+  enc.putU32(static_cast<common::u32>(records.size()));
+  for (const auto& r : records) {
+    enc.putDouble(r.key);
+    enc.putString(r.payload);
+  }
+  enc.putU8(prevLeaf.has_value() ? 1 : 0);
+  if (prevLeaf) enc.putLabel(*prevLeaf);
+  enc.putU8(nextLeaf.has_value() ? 1 : 0);
+  if (nextLeaf) enc.putLabel(*nextLeaf);
+  return std::move(enc).take();
+}
+
+std::optional<PhtNode> PhtNode::deserialize(std::string_view bytes) {
+  common::Decoder dec(bytes);
+  auto kind = dec.getU8();
+  auto label = dec.getLabel();
+  auto count = dec.getU32();
+  if (!kind || !label || !count || *kind > 1) return std::nullopt;
+  // Reject implausible record counts before reserving (corrupt values).
+  if (*count > dec.remaining() / 12) return std::nullopt;
+  PhtNode node;
+  node.kind = static_cast<Kind>(*kind);
+  node.label = *label;
+  node.records.reserve(*count);
+  for (common::u32 i = 0; i < *count; ++i) {
+    auto key = dec.getDouble();
+    auto payload = dec.getString();
+    if (!key || !payload) return std::nullopt;
+    node.records.push_back(index::Record{*key, std::move(*payload)});
+  }
+  auto hasPrev = dec.getU8();
+  if (!hasPrev) return std::nullopt;
+  if (*hasPrev) {
+    auto l = dec.getLabel();
+    if (!l) return std::nullopt;
+    node.prevLeaf = *l;
+  }
+  auto hasNext = dec.getU8();
+  if (!hasNext) return std::nullopt;
+  if (*hasNext) {
+    auto l = dec.getLabel();
+    if (!l) return std::nullopt;
+    node.nextLeaf = *l;
+  }
+  if (!dec.atEnd()) return std::nullopt;
+  return node;
+}
+
+}  // namespace lht::pht

@@ -1,0 +1,39 @@
+// Trie nodes of the PHT baseline (Prefix Hash Tree, [16, 4] in the paper).
+//
+// Unlike LHT, PHT maps *every* trie node (internal nodes included) into the
+// DHT directly under its own label. Leaves carry the records plus B+-tree
+// style links to the neighboring leaves; internal nodes are empty markers
+// that exist so the binary-search lookup can distinguish "internal" from
+// "nonexistent" prefixes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/label.h"
+#include "index/record.h"
+
+namespace lht::pht {
+
+using common::Label;
+
+struct PhtNode {
+  enum class Kind : common::u8 { Internal = 0, Leaf = 1 };
+
+  Kind kind = Kind::Leaf;
+  Label label;
+  std::vector<index::Record> records;  // leaves only
+  std::optional<Label> prevLeaf;       // B+ link to the left neighbor leaf
+  std::optional<Label> nextLeaf;       // B+ link to the right neighbor leaf
+
+  [[nodiscard]] bool isLeaf() const { return kind == Kind::Leaf; }
+  [[nodiscard]] size_t effectiveSize(bool countLabelSlot) const {
+    return records.size() + (countLabelSlot ? 1 : 0);
+  }
+
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<PhtNode> deserialize(std::string_view bytes);
+};
+
+}  // namespace lht::pht

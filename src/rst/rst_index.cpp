@@ -1,0 +1,210 @@
+#include "rst/rst_index.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace lht::rst {
+
+using common::checkInvariant;
+using common::Interval;
+using common::Label;
+using core::LeafBucket;
+
+namespace {
+
+LeafBucket decodeBucket(const dht::Value& v) {
+  auto b = LeafBucket::deserialize(v);
+  checkInvariant(b.has_value(), "RstIndex: corrupt bucket value in DHT");
+  return std::move(*b);
+}
+
+}  // namespace
+
+RstIndex::RstIndex(dht::Dht& dht, Options options) : dht_(dht), opts_(options) {
+  checkInvariant(opts_.thetaSplit >= 2, "RstIndex: thetaSplit must be >= 2");
+  if (opts_.maxDepth > Label::kMaxBits) opts_.maxDepth = Label::kMaxBits;
+  checkInvariant(opts_.peerCount >= 1, "RstIndex: peerCount must be >= 1");
+  leaves_.insert(Label::root());
+  LeafBucket root{Label::root(), {}};
+  dht_.storeDirect(root.label.str(), root.serialize());
+}
+
+const Label& RstIndex::leafCovering(double key) const {
+  // The structure is replicated locally, so this costs no DHT traffic.
+  // Leaves are disjoint and sorted in tree (DFS) order, in which the
+  // covering leaf is the last one not greater than the key's deepest path.
+  const double k = common::clampToUnit(key);
+  const Label probe = Label::fromKey(k, opts_.maxDepth);
+  auto it = leaves_.upper_bound(probe);
+  checkInvariant(it != leaves_.begin(), "RstIndex: no leaf covers key");
+  --it;
+  checkInvariant(it->covers(k), "RstIndex: structure out of sync");
+  return *it;
+}
+
+void RstIndex::chargeBroadcast() {
+  // Every peer's replica of the tree structure must be updated.
+  broadcasts_ += opts_.peerCount;
+  meters_.maintenance.dhtLookups += opts_.peerCount;
+}
+
+index::UpdateResult RstIndex::insert(const index::Record& record) {
+  checkInvariant(record.key >= 0.0 && record.key <= 1.0,
+                 "RstIndex::insert: key outside [0,1]");
+  const Label leaf = leafCovering(record.key);
+
+  index::UpdateResult result;
+  result.ok = true;
+
+  std::optional<LeafBucket> splitOld;
+  dht_.apply(leaf.str(), [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "RstIndex::insert: bucket vanished");
+    LeafBucket b = decodeBucket(*v);
+    b.records.push_back(record);
+    if (b.effectiveSize(opts_.countLabelSlot) >= opts_.thetaSplit &&
+        b.label.length() < opts_.maxDepth) {
+      splitOld = std::move(b);
+      v.reset();  // both children are re-keyed under their own labels
+    } else {
+      v = b.serialize();
+    }
+  });
+  meters_.insertion.dhtLookups += 1;
+  meters_.insertion.recordsMoved += 1;
+  result.stats.dhtLookups += 1;
+  result.stats.parallelSteps += 1;
+  recordCount_ += 1;
+
+  if (splitOld) {
+    const Label oldLabel = splitOld->label;
+    const Interval iv = oldLabel.interval();
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    LeafBucket left{oldLabel.child(0), {}};
+    LeafBucket right{oldLabel.child(1), {}};
+    for (auto& r : splitOld->records) {
+      (r.key < mid ? left : right).records.push_back(std::move(r));
+    }
+    dht_.put(left.label.str(), left.serialize());
+    dht_.put(right.label.str(), right.serialize());
+    meters_.maintenance.dhtLookups += 2;
+    meters_.maintenance.recordsMoved += left.records.size() + right.records.size();
+    meters_.maintenance.splits += 1;
+    leaves_.erase(oldLabel);
+    leaves_.insert(left.label);
+    leaves_.insert(right.label);
+    chargeBroadcast();  // every peer must learn the new structure
+    result.splitOrMerged = true;
+  }
+  return result;
+}
+
+index::UpdateResult RstIndex::erase(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "RstIndex::erase: key outside [0,1]");
+  const Label leaf = leafCovering(key);
+  index::UpdateResult result;
+  size_t removed = 0;
+  dht_.apply(leaf.str(), [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "RstIndex::erase: bucket vanished");
+    LeafBucket b = decodeBucket(*v);
+    auto it = std::remove_if(b.records.begin(), b.records.end(),
+                             [&](const index::Record& r) { return r.key == key; });
+    removed = static_cast<size_t>(b.records.end() - it);
+    b.records.erase(it, b.records.end());
+    v = b.serialize();
+  });
+  meters_.insertion.dhtLookups += 1;
+  result.stats.dhtLookups += 1;
+  result.stats.parallelSteps += 1;
+  recordCount_ -= removed;
+  result.ok = removed > 0;
+  return result;
+}
+
+index::FindResult RstIndex::find(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "RstIndex::find: key outside [0,1]");
+  index::FindResult result;
+  // One-hop exact match: the replicated structure names the leaf directly.
+  const Label leaf = leafCovering(key);
+  result.stats.dhtLookups = 1;
+  result.stats.parallelSteps = 1;
+  auto v = dht_.get(leaf.str());
+  if (v) {
+    result.stats.bucketsTouched = 1;
+    for (const auto& r : decodeBucket(*v).records) {
+      if (r.key == key) {
+        result.record = r;
+        break;
+      }
+    }
+  }
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::RangeResult RstIndex::rangeQuery(double lo, double hi) {
+  index::RangeResult result;
+  if (hi <= lo) return result;
+  checkInvariant(lo >= 0.0 && hi <= 1.0, "RstIndex::rangeQuery: bad bounds");
+  const Interval range{lo, hi};
+  // The client knows every overlapping leaf; all gets go out in parallel.
+  for (const auto& leaf : leaves_) {
+    if (!leaf.interval().overlaps(range)) continue;
+    result.stats.dhtLookups += 1;
+    auto v = dht_.get(leaf.str());
+    if (!v) continue;
+    result.stats.bucketsTouched += 1;
+    for (auto& r : decodeBucket(*v).records) {
+      if (range.contains(r.key)) result.records.push_back(std::move(r));
+    }
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups == 0 ? 0 : 1;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  return result;
+}
+
+index::FindResult RstIndex::minRecord() {
+  index::FindResult result;
+  // Walk the known leaves left to right until one holds a record.
+  for (const auto& leaf : leaves_) {
+    result.stats.dhtLookups += 1;
+    auto v = dht_.get(leaf.str());
+    if (!v) continue;
+    const LeafBucket b = decodeBucket(*v);
+    const index::Record* best = nullptr;
+    for (const auto& r : b.records) {
+      if (best == nullptr || r.key < best->key) best = &r;
+    }
+    if (best != nullptr) {
+      result.record = *best;
+      break;
+    }
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+index::FindResult RstIndex::maxRecord() {
+  index::FindResult result;
+  for (auto it = leaves_.rbegin(); it != leaves_.rend(); ++it) {
+    result.stats.dhtLookups += 1;
+    auto v = dht_.get(it->str());
+    if (!v) continue;
+    const LeafBucket b = decodeBucket(*v);
+    const index::Record* best = nullptr;
+    for (const auto& r : b.records) {
+      if (best == nullptr || r.key > best->key) best = &r;
+    }
+    if (best != nullptr) {
+      result.record = *best;
+      break;
+    }
+  }
+  result.stats.parallelSteps = result.stats.dhtLookups;
+  meters_.query.dhtLookups += result.stats.dhtLookups;
+  return result;
+}
+
+}  // namespace lht::rst

@@ -1,0 +1,65 @@
+// RST — Range Search Tree baseline (Gao & Steenkiste [9]; paper Sec. 2).
+//
+// The extreme point of the query-vs-maintenance trade-off the paper argues
+// against: RST replicates the *tree structural information to all peers*,
+// so every client knows the full partition tree. Queries are as cheap as
+// they can possibly get — exact match is one DHT-get straight to the right
+// leaf, a range query issues all B leaf gets in one parallel step — but
+// every structural change (leaf split or merge) must be broadcast to all N
+// peers: "a single leaf splitting could lead to a broadcasting to all
+// nodes, incurring extremely high bandwidth cost."
+//
+// The globally replicated structure is modelled as a client-side leaf set
+// (every peer has an identical copy); each split/merge charges the
+// broadcast: N maintenance DHT-lookups (one structure-update message per
+// peer) on top of the data movement.
+#pragma once
+
+#include <set>
+
+#include "common/label.h"
+#include "dht/dht.h"
+#include "index/ordered_index.h"
+#include "lht/bucket.h"
+
+namespace lht::rst {
+
+class RstIndex final : public index::OrderedIndex {
+ public:
+  struct Options {
+    common::u32 thetaSplit = 100;
+    common::u32 maxDepth = 20;
+    bool countLabelSlot = true;
+    /// Number of peers the structure is replicated on: the per-split
+    /// broadcast cost (the paper's scalability complaint).
+    size_t peerCount = 32;
+  };
+
+  RstIndex(dht::Dht& dht, Options options);
+
+  index::UpdateResult insert(const index::Record& record) override;
+  index::UpdateResult erase(double key) override;
+  index::FindResult find(double key) override;
+  index::RangeResult rangeQuery(double lo, double hi) override;
+  index::FindResult minRecord() override;
+  index::FindResult maxRecord() override;
+  [[nodiscard]] size_t recordCount() const override { return recordCount_; }
+
+  /// Structure-update broadcast messages sent so far (N per split/merge).
+  [[nodiscard]] common::u64 broadcasts() const { return broadcasts_; }
+
+  /// The globally known leaf set (every peer holds this copy).
+  [[nodiscard]] const std::set<common::Label>& leaves() const { return leaves_; }
+
+ private:
+  [[nodiscard]] const common::Label& leafCovering(double key) const;
+  void chargeBroadcast();
+
+  dht::Dht& dht_;
+  Options opts_;
+  std::set<common::Label> leaves_;  // the replicated structure
+  size_t recordCount_ = 0;
+  common::u64 broadcasts_ = 0;
+};
+
+}  // namespace lht::rst

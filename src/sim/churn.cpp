@@ -1,0 +1,45 @@
+#include "sim/churn.h"
+
+#include "common/types.h"
+
+namespace lht::sim {
+
+ChurnDriver::ChurnDriver(dht::ChordDht& dht, ChurnConfig config)
+    : dht_(dht), cfg_(config), rng_(config.seed, /*stream=*/0xC5u) {
+  common::checkInvariant(cfg_.period >= 1, "ChurnDriver: period must be >= 1");
+  common::checkInvariant(
+      cfg_.joinWeight + cfg_.leaveWeight + cfg_.failWeight > 0.0,
+      "ChurnDriver: all event weights are zero");
+}
+
+bool ChurnDriver::maybeChurn() {
+  counter_ += 1;
+  if (rng_.below(cfg_.period) != 0) return false;
+  churnOnce();
+  return true;
+}
+
+void ChurnDriver::churnOnce() {
+  const double total = cfg_.joinWeight + cfg_.leaveWeight + cfg_.failWeight;
+  double pick = rng_.nextDouble() * total;
+  const auto ids = dht_.nodeIds();
+  const bool canShrink = dht_.peerCount() > cfg_.minPeers;
+
+  if (pick < cfg_.joinWeight || !canShrink) {
+    dht_.join("churn-" + std::to_string(counter_) + "-" + std::to_string(joins_));
+    joins_ += 1;
+    return;
+  }
+  pick -= cfg_.joinWeight;
+  const common::u64 victim =
+      ids[rng_.below(static_cast<common::u32>(ids.size()))];
+  if (pick < cfg_.leaveWeight) {
+    dht_.leave(victim);
+    leaves_ += 1;
+  } else {
+    dht_.fail(victim);
+    fails_ += 1;
+  }
+}
+
+}  // namespace lht::sim

@@ -1,0 +1,52 @@
+// Peer-churn driver (the paper's motivation: "peers frequently join/leave
+// the networks"). Interleaves join / graceful-leave / ungraceful-fail
+// events with index operations on a Chord substrate, so experiments can
+// measure index behaviour and DHT recovery traffic under dynamism.
+#pragma once
+
+#include <string>
+
+#include "common/random.h"
+#include "dht/chord.h"
+
+namespace lht::sim {
+
+struct ChurnConfig {
+  /// Relative weights of the three event types when an event fires.
+  double joinWeight = 1.0;
+  double leaveWeight = 1.0;
+  double failWeight = 0.0;  ///< needs Options::replication >= 2 to be lossless
+  /// An event fires once per `period` calls to maybeChurn() on average.
+  common::u32 period = 50;
+  /// The ring never shrinks below this.
+  size_t minPeers = 4;
+  common::u64 seed = 1;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(dht::ChordDht& dht, ChurnConfig config);
+
+  /// Call between index operations; fires an event with probability
+  /// 1/period. Returns true when an event fired.
+  bool maybeChurn();
+
+  /// Forces one event of a random (weighted) type immediately.
+  void churnOnce();
+
+  [[nodiscard]] size_t joins() const { return joins_; }
+  [[nodiscard]] size_t leaves() const { return leaves_; }
+  [[nodiscard]] size_t fails() const { return fails_; }
+  [[nodiscard]] size_t events() const { return joins_ + leaves_ + fails_; }
+
+ private:
+  dht::ChordDht& dht_;
+  ChurnConfig cfg_;
+  common::Pcg32 rng_;
+  size_t joins_ = 0;
+  size_t leaves_ = 0;
+  size_t fails_ = 0;
+  size_t counter_ = 0;
+};
+
+}  // namespace lht::sim

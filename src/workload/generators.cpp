@@ -1,0 +1,62 @@
+#include "workload/generators.h"
+
+#include "common/types.h"
+
+namespace lht::workload {
+
+Distribution parseDistribution(const std::string& name) {
+  if (name == "uniform") return Distribution::Uniform;
+  if (name == "gaussian") return Distribution::Gaussian;
+  if (name == "zipf") return Distribution::Zipf;
+  throw common::InvariantError("unknown distribution: " + name);
+}
+
+std::string distributionName(Distribution d) {
+  switch (d) {
+    case Distribution::Uniform: return "uniform";
+    case Distribution::Gaussian: return "gaussian";
+    case Distribution::Zipf: return "zipf";
+  }
+  return "?";
+}
+
+KeyGenerator::KeyGenerator(Distribution dist, common::u64 seed)
+    : dist_(dist), rng_(seed, /*stream=*/0x776bu) {}
+
+double KeyGenerator::next() {
+  switch (dist_) {
+    case Distribution::Uniform:
+      return rng_.nextDouble();
+    case Distribution::Gaussian: {
+      for (;;) {
+        const double v = gaussian_.sample(rng_);
+        if (v >= 0.0 && v < 1.0) return v;
+      }
+    }
+    case Distribution::Zipf: {
+      // Rank -> grid cell, plus in-cell jitter so keys stay distinct-ish.
+      const double cell = static_cast<double>(zipf_.sample(rng_) - 1) / 1024.0;
+      return cell + rng_.nextDouble() / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<index::Record> makeDataset(Distribution dist, size_t n,
+                                       common::u64 seed) {
+  KeyGenerator gen(dist, seed);
+  std::vector<index::Record> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(index::Record{gen.next(), "r" + std::to_string(i)});
+  }
+  return out;
+}
+
+RangeSpec makeRange(double span, common::Pcg32& rng) {
+  common::checkInvariant(span > 0.0 && span <= 1.0, "makeRange: bad span");
+  const double lo = rng.nextDouble() * (1.0 - span);
+  return RangeSpec{lo, lo + span};
+}
+
+}  // namespace lht::workload

@@ -1,0 +1,53 @@
+// Workload generation (paper Sec. 9.1).
+//
+// Uniform datasets: keys ~ U[0, 1).
+// Gaussian datasets: keys ~ N(1/2, 1/6), which puts ~99.7% of mass in
+// [0, 1]; out-of-range draws are redrawn so keys stay valid (the paper
+// says "about 97% fall in [0,1]" — near the 3-sigma bound — and does not
+// state the handling; rejection keeps the shape without clamping spikes
+// at 0 and 1).
+// Zipf datasets (extension): heavy-skew key popularity over a grid.
+//
+// Range workloads follow the paper: the span u-l is fixed per experiment
+// and the lower bound l ~ U[0, 1 - span].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/record.h"
+
+namespace lht::workload {
+
+enum class Distribution { Uniform, Gaussian, Zipf };
+
+/// Parses "uniform" / "gaussian" / "zipf" (case-sensitive, bench CLI use).
+Distribution parseDistribution(const std::string& name);
+std::string distributionName(Distribution d);
+
+/// Deterministic stream of data keys in [0, 1].
+class KeyGenerator {
+ public:
+  KeyGenerator(Distribution dist, common::u64 seed);
+  double next();
+
+ private:
+  Distribution dist_;
+  common::Pcg32 rng_;
+  common::Gaussian gaussian_{0.5, 1.0 / 6.0};
+  common::Zipf zipf_{1024, 1.1};
+};
+
+/// A full dataset of n records (payloads are short synthetic strings).
+std::vector<index::Record> makeDataset(Distribution dist, size_t n,
+                                       common::u64 seed);
+
+/// A range query [lo, lo+span) with lo ~ U[0, 1-span].
+struct RangeSpec {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+RangeSpec makeRange(double span, common::Pcg32& rng);
+
+}  // namespace lht::workload

@@ -1,0 +1,77 @@
+// Workload traces: a serializable operation log that can be written to
+// disk, read back, and replayed against any OrderedIndex. Traces make
+// experiments repeatable across machines and let failure cases be captured
+// as regression artifacts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "cost/meter.h"
+#include "index/ordered_index.h"
+#include "workload/generators.h"
+
+namespace lht::workload {
+
+struct Operation {
+  enum class Kind : common::u8 {
+    Insert = 0,
+    Erase = 1,
+    Find = 2,
+    Range = 3,
+    Min = 4,
+    Max = 5,
+  };
+
+  Kind kind = Kind::Insert;
+  double key = 0.0;      ///< insert/erase/find key, or range lower bound
+  double hi = 0.0;       ///< range upper bound (Range only)
+  std::string payload;   ///< inserted payload (Insert only)
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// Serializes a trace (versioned binary format) and writes it to `path`.
+/// Returns false on I/O failure.
+bool writeTrace(const std::string& path, const std::vector<Operation>& ops);
+
+/// Reads a trace written by writeTrace. Returns nullopt on I/O failure or
+/// a malformed/incompatible file.
+std::optional<std::vector<Operation>> readTrace(const std::string& path);
+
+/// In-memory (de)serialization, exposed for tests and network use.
+std::string encodeTrace(const std::vector<Operation>& ops);
+std::optional<std::vector<Operation>> decodeTrace(std::string_view bytes);
+
+/// Mix weights for generated traces (normalized internally).
+struct TraceMix {
+  double insert = 0.6;
+  double erase = 0.1;
+  double find = 0.2;
+  double range = 0.1;
+  double minmax = 0.0;
+  double rangeSpan = 0.05;  ///< span of generated range queries
+};
+
+/// Generates a mixed operation trace with keys drawn from `dist`. Erases
+/// and finds target previously inserted keys when any exist.
+std::vector<Operation> makeMixedTrace(Distribution dist, size_t ops,
+                                      const TraceMix& mix, common::u64 seed);
+
+/// Aggregate results of replaying a trace.
+struct ReplayStats {
+  size_t inserts = 0;
+  size_t erases = 0;
+  size_t finds = 0;
+  size_t ranges = 0;
+  size_t minmaxes = 0;
+  size_t recordsReturned = 0;  ///< across finds + ranges + min/max
+  cost::OpStats totals;
+};
+
+/// Applies every operation to `index` in order.
+ReplayStats replay(index::OrderedIndex& index, const std::vector<Operation>& ops);
+
+}  // namespace lht::workload

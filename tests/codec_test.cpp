@@ -1,0 +1,87 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace lht::common {
+namespace {
+
+TEST(Codec, PrimitivesRoundTrip) {
+  Encoder enc;
+  enc.putU8(7);
+  enc.putU32(123456u);
+  enc.putU64(0xDEADBEEFCAFEBABEull);
+  enc.putDouble(0.62137);
+  enc.putString("hello world");
+  enc.putLabel(*Label::parse("#0110"));
+  std::string bytes = std::move(enc).take();
+
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.getU8(), u8{7});
+  EXPECT_EQ(dec.getU32(), 123456u);
+  EXPECT_EQ(dec.getU64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(dec.getDouble(), 0.62137);
+  EXPECT_EQ(dec.getString(), "hello world");
+  EXPECT_EQ(dec.getLabel(), *Label::parse("#0110"));
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Codec, EmptyStringRoundTrip) {
+  Encoder enc;
+  enc.putString("");
+  std::string bytes = std::move(enc).take();
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.getString(), "");
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Codec, UnderflowReturnsNullopt) {
+  Decoder dec("ab");
+  EXPECT_FALSE(dec.getU32().has_value());
+  Decoder dec2("");
+  EXPECT_FALSE(dec2.getU8().has_value());
+  EXPECT_FALSE(dec2.getDouble().has_value());
+  EXPECT_FALSE(dec2.getString().has_value());
+  EXPECT_FALSE(dec2.getLabel().has_value());
+}
+
+TEST(Codec, TruncatedStringRejected) {
+  Encoder enc;
+  enc.putString("hello");
+  std::string bytes = std::move(enc).take();
+  bytes.resize(bytes.size() - 2);
+  Decoder dec(bytes);
+  EXPECT_FALSE(dec.getString().has_value());
+}
+
+TEST(Codec, MalformedLabelRejected) {
+  // A label claiming bits above its declared length must be rejected.
+  Encoder enc;
+  enc.putU32(2);             // length 2
+  enc.putU64(0b101);         // three bits set
+  std::string bytes = std::move(enc).take();
+  Decoder dec(bytes);
+  EXPECT_FALSE(dec.getLabel().has_value());
+
+  Encoder enc2;
+  enc2.putU32(Label::kMaxBits + 1);
+  enc2.putU64(0);
+  std::string bytes2 = std::move(enc2).take();
+  Decoder dec2(bytes2);
+  EXPECT_FALSE(dec2.getLabel().has_value());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  Encoder enc;
+  enc.putU32(1);
+  enc.putU32(2);
+  std::string bytes = std::move(enc).take();
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.remaining(), 8u);
+  dec.getU32();
+  EXPECT_EQ(dec.remaining(), 4u);
+  dec.getU32();
+  EXPECT_TRUE(dec.atEnd());
+}
+
+}  // namespace
+}  // namespace lht::common

@@ -1,0 +1,85 @@
+// Tests for the analytical cost model (paper Sec. 8, Eqs. 1-3).
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lht::cost {
+namespace {
+
+TEST(CostModel, PsiFormulas) {
+  CostModel m{.i = 2.0, .j = 5.0, .thetaSplit = 100};
+  EXPECT_DOUBLE_EQ(m.psiLht(), 0.5 * 100 * 2.0 + 5.0);    // Eq. 1
+  EXPECT_DOUBLE_EQ(m.psiPht(), 100 * 2.0 + 4 * 5.0);      // Eq. 2
+  EXPECT_DOUBLE_EQ(m.gamma(), 100 * 2.0 / 5.0);
+}
+
+TEST(CostModel, SavingRatioEquivalentForms) {
+  // Eq. 3: 1 - Psi_LHT/Psi_PHT == (gamma/2 + 3) / (gamma + 4).
+  for (double gamma : {0.01, 0.5, 1.0, 10.0, 100.0, 10000.0}) {
+    CostModel m{.i = gamma, .j = 1.0, .thetaSplit = 1};
+    EXPECT_NEAR(m.savingRatio(), 1.0 - m.psiLht() / m.psiPht(), 1e-12) << gamma;
+  }
+}
+
+TEST(CostModel, SavingRatioBounds) {
+  // The paper's claim: savings of up to 75% and at least 50%.
+  // gamma -> 0 (tiny records / huge network): ratio -> 3/4.
+  CostModel tiny{.i = 1e-9, .j = 1.0, .thetaSplit = 1};
+  EXPECT_NEAR(tiny.savingRatio(), 0.75, 1e-6);
+  // gamma -> inf (huge records / free lookups): ratio -> 1/2.
+  CostModel huge{.i = 1e9, .j = 1.0, .thetaSplit = 1};
+  EXPECT_NEAR(huge.savingRatio(), 0.5, 1e-6);
+  // Monotone in between, always within (0.5, 0.75).
+  double prev = 0.76;
+  for (double gamma = 0.125; gamma <= 4096.0; gamma *= 2.0) {
+    CostModel m{.i = gamma, .j = 1.0, .thetaSplit = 1};
+    const double s = m.savingRatio();
+    EXPECT_GT(s, 0.5);
+    EXPECT_LT(s, 0.75);
+    EXPECT_LT(s, prev);  // strictly decreasing in gamma
+    prev = s;
+  }
+}
+
+TEST(CostModel, PriceCounters) {
+  CostModel m{.i = 3.0, .j = 7.0, .thetaSplit = 10};
+  Counters c;
+  c.recordsMoved = 4;
+  c.dhtLookups = 2;
+  EXPECT_DOUBLE_EQ(m.price(c), 4 * 3.0 + 2 * 7.0);
+}
+
+TEST(Counters, Arithmetic) {
+  Counters a{.dhtLookups = 1, .recordsMoved = 2, .splits = 3, .merges = 4};
+  Counters b{.dhtLookups = 10, .recordsMoved = 20, .splits = 30, .merges = 40};
+  Counters c = a + b;
+  EXPECT_EQ(c.dhtLookups, 11u);
+  EXPECT_EQ(c.recordsMoved, 22u);
+  EXPECT_EQ(c.splits, 33u);
+  EXPECT_EQ(c.merges, 44u);
+  c.reset();
+  EXPECT_EQ(c, Counters{});
+}
+
+TEST(AlphaStats, MeanOfSamples) {
+  AlphaStats a;
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  a.record(0.5);
+  a.record(0.7);
+  EXPECT_EQ(a.samples, 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.6);
+  a.reset();
+  EXPECT_EQ(a.samples, 0u);
+}
+
+TEST(OpStats, Accumulate) {
+  OpStats a{.dhtLookups = 2, .parallelSteps = 1, .bucketsTouched = 1};
+  OpStats b{.dhtLookups = 3, .parallelSteps = 2, .bucketsTouched = 4};
+  a += b;
+  EXPECT_EQ(a.dhtLookups, 5u);
+  EXPECT_EQ(a.parallelSteps, 3u);
+  EXPECT_EQ(a.bucketsTouched, 5u);
+}
+
+}  // namespace
+}  // namespace lht::cost

@@ -1,0 +1,114 @@
+// Tests for the DST ablation baseline: replication invariants, canonical
+// segment covers, and the insert-cost / query-latency trade-off.
+#include "dst/dst_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "workload/generators.h"
+
+namespace lht::dst {
+namespace {
+
+using common::Label;
+
+TEST(DstIndex, InsertReplicatesOnAllAncestors) {
+  dht::LocalDht d;
+  DstIndex idx(d, {.depth = 8});
+  idx.insert({0.3, "a"});
+  // Every prefix of mu(0.3, 8) holds the record.
+  const Label mu = Label::fromKey(0.3, 8);
+  for (common::u32 len = 1; len <= 8; ++len) {
+    EXPECT_TRUE(d.get(mu.prefix(len).str()).has_value()) << len;
+  }
+  EXPECT_EQ(idx.meters().insertion.dhtLookups, 8u);
+  EXPECT_EQ(idx.meters().insertion.recordsMoved, 8u);
+}
+
+TEST(DstIndex, FindAndErase) {
+  dht::LocalDht d;
+  DstIndex idx(d, {.depth = 10});
+  idx.insert({0.42, "answer"});
+  EXPECT_EQ(idx.find(0.42).record->payload, "answer");
+  EXPECT_EQ(idx.find(0.42).stats.dhtLookups, 1u);
+  EXPECT_TRUE(idx.erase(0.42).ok);
+  EXPECT_FALSE(idx.find(0.42).record.has_value());
+  EXPECT_FALSE(idx.erase(0.42).ok);
+  EXPECT_EQ(idx.recordCount(), 0u);
+}
+
+TEST(DstIndex, CanonicalSegmentsAreDisjointCover) {
+  dht::LocalDht d;
+  DstIndex idx(d, {.depth = 10});
+  common::Pcg32 rng(5);
+  for (int q = 0; q < 100; ++q) {
+    double lo = rng.nextDouble();
+    double hi = rng.nextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    if (hi <= lo) continue;
+    auto segs = idx.canonicalSegments(lo, hi);
+    ASSERT_FALSE(segs.empty());
+    // Segments are sorted, disjoint, and their union covers [lo, hi).
+    for (size_t i = 1; i < segs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(segs[i].interval().lo, segs[i - 1].interval().hi);
+    }
+    EXPECT_LE(segs.front().interval().lo, lo);
+    EXPECT_GE(segs.back().interval().hi, hi);
+    // O(log) segments: at most 2 per level.
+    EXPECT_LE(segs.size(), 2u * 10u);
+  }
+}
+
+TEST(DstIndex, RangeMatchesOracleWithOneStepLatency) {
+  dht::LocalDht d;
+  DstIndex idx(d, {.depth = 12});
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 800, 6);
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  common::Pcg32 rng(7);
+  for (int q = 0; q < 40; ++q) {
+    auto spec = workload::makeRange(0.2, rng);
+    auto mine = idx.rangeQuery(spec.lo, spec.hi);
+    auto truth = oracle.rangeQuery(spec.lo, spec.hi);
+    std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+    ASSERT_EQ(mine.records.size(), truth.records.size());
+    for (size_t i = 0; i < truth.records.size(); ++i) {
+      EXPECT_EQ(mine.records[i], truth.records[i]);
+    }
+    EXPECT_EQ(mine.stats.parallelSteps, 1u);
+  }
+}
+
+TEST(DstIndex, MinMaxFromRoot) {
+  dht::LocalDht d;
+  DstIndex idx(d, {.depth = 10});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 200, 8);
+  double lo = 2.0, hi = -1.0;
+  for (const auto& r : data) {
+    idx.insert(r);
+    lo = std::min(lo, r.key);
+    hi = std::max(hi, r.key);
+  }
+  EXPECT_DOUBLE_EQ(idx.minRecord().record->key, lo);
+  EXPECT_DOUBLE_EQ(idx.maxRecord().record->key, hi);
+  EXPECT_EQ(idx.minRecord().stats.dhtLookups, 1u);
+}
+
+TEST(DstIndex, InsertCostScalesWithDepthUnlikeLht) {
+  // The ablation point: DST pays `depth` lookups per insert.
+  for (common::u32 depth : {6u, 12u}) {
+    dht::LocalDht d;
+    DstIndex idx(d, {.depth = depth});
+    for (int i = 0; i < 50; ++i) idx.insert({(i + 0.5) / 50.0, "x"});
+    EXPECT_EQ(idx.meters().insertion.dhtLookups, 50u * depth);
+  }
+}
+
+}  // namespace
+}  // namespace lht::dst

@@ -1,0 +1,57 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace lht::common::hash {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(xxhash64("hello"), xxhash64("hello"));
+  EXPECT_EQ(xxhash64(u64{42}), xxhash64(u64{42}));
+  EXPECT_EQ(fnv1a64("hello"), fnv1a64("hello"));
+}
+
+TEST(Hash, SeedChangesOutput) {
+  EXPECT_NE(xxhash64("hello", 0), xxhash64("hello", 1));
+  EXPECT_NE(xxhash64(u64{42}, 0), xxhash64(u64{42}, 1));
+}
+
+TEST(Hash, DistinctInputsRarelyCollide) {
+  std::set<u64> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(xxhash64("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, AllLengthPathsCovered) {
+  // Exercise the >=32, 8-, 4-, and 1-byte tails of xxhash64.
+  std::set<u64> seen;
+  std::string s;
+  for (int len = 0; len <= 70; ++len) {
+    seen.insert(xxhash64(s));
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  EXPECT_EQ(seen.size(), 71u);
+}
+
+TEST(Hash, UniformityOfTopBit) {
+  // Roughly half of hashed integers should set the top bit.
+  int top = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (xxhash64(static_cast<u64>(i)) >> 63) ++top;
+  }
+  EXPECT_NEAR(static_cast<double>(top) / n, 0.5, 0.02);
+}
+
+TEST(Hash, SplitMix64Avalanches) {
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+}  // namespace
+}  // namespace lht::common::hash

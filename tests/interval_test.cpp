@@ -1,0 +1,51 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace lht::common {
+namespace {
+
+TEST(Interval, ContainsHalfOpen) {
+  Interval iv{0.25, 0.5};
+  EXPECT_TRUE(iv.contains(0.25));
+  EXPECT_TRUE(iv.contains(0.4999));
+  EXPECT_FALSE(iv.contains(0.5));
+  EXPECT_FALSE(iv.contains(0.2));
+}
+
+TEST(Interval, EmptyAndWidth) {
+  EXPECT_TRUE((Interval{0.5, 0.5}).empty());
+  EXPECT_TRUE((Interval{0.6, 0.5}).empty());
+  EXPECT_FALSE((Interval{0.0, 1.0}).empty());
+  EXPECT_DOUBLE_EQ((Interval{0.25, 0.75}).width(), 0.5);
+  EXPECT_DOUBLE_EQ((Interval{0.75, 0.25}).width(), 0.0);
+}
+
+TEST(Interval, Overlaps) {
+  Interval a{0.0, 0.5};
+  EXPECT_TRUE(a.overlaps({0.25, 0.75}));
+  EXPECT_FALSE(a.overlaps({0.5, 1.0}));  // touching only
+  EXPECT_FALSE(a.overlaps({0.6, 0.7}));
+  EXPECT_FALSE(a.overlaps({0.3, 0.3}));  // empty never overlaps
+}
+
+TEST(Interval, SubsetOf) {
+  EXPECT_TRUE((Interval{0.25, 0.5}).subsetOf({0.0, 1.0}));
+  EXPECT_TRUE((Interval{0.25, 0.5}).subsetOf({0.25, 0.5}));
+  EXPECT_FALSE((Interval{0.25, 0.6}).subsetOf({0.25, 0.5}));
+  EXPECT_TRUE((Interval{0.5, 0.5}).subsetOf({0.9, 1.0}));  // empty subset of anything
+}
+
+TEST(Interval, Intersect) {
+  Interval a{0.2, 0.8};
+  EXPECT_EQ(a.intersect({0.5, 1.0}), (Interval{0.5, 0.8}));
+  EXPECT_EQ(a.intersect({0.0, 0.1}).width(), 0.0);
+  EXPECT_EQ(a.intersect({0.0, 1.0}), a);
+}
+
+TEST(Interval, Str) {
+  EXPECT_EQ((Interval{0.0, 1.0}).str(), "[0, 1)");
+}
+
+}  // namespace
+}  // namespace lht::common

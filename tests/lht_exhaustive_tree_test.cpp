@@ -1,0 +1,176 @@
+// Exhaustive structural validation: enumerate EVERY full binary partition
+// tree up to depth 4 (677 shapes) plus a sample of deeper random trees,
+// materialize each directly in a DHT via the naming function, and check
+// that lookup, range queries, min/max and the leaf scan are exact on every
+// shape. Random-workload tests can miss pathological shapes (lopsided
+// chains, single leaves, full trees); enumeration cannot.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "lht/naming.h"
+#include "workload/generators.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+/// Enumerates all full binary trees rooted at "#0" with depth <= maxDepth,
+/// invoking fn with each tree's leaf-label set (sorted left to right).
+void enumerateTrees(common::u32 maxDepth,
+                    const std::function<void(const std::vector<Label>&)>& fn) {
+  // shapes(label, d) = all leaf sets of subtrees rooted at `label` with
+  // remaining depth d.
+  std::function<std::vector<std::vector<Label>>(Label, common::u32)> shapes =
+      [&](Label node, common::u32 depth) {
+        std::vector<std::vector<Label>> out;
+        out.push_back({node});  // node stays a leaf
+        if (depth > 0) {
+          auto lefts = shapes(node.child(0), depth - 1);
+          auto rights = shapes(node.child(1), depth - 1);
+          for (const auto& l : lefts) {
+            for (const auto& r : rights) {
+              std::vector<Label> combined = l;
+              combined.insert(combined.end(), r.begin(), r.end());
+              out.push_back(std::move(combined));
+            }
+          }
+        }
+        return out;
+      };
+  for (const auto& tree : shapes(Label::root(), maxDepth)) fn(tree);
+}
+
+/// Materializes `leaves` as an LHT state: every leaf bucket stored under
+/// its name, with two records just inside its interval edges.
+struct MaterializedTree {
+  dht::LocalDht dht;
+  std::unique_ptr<LhtIndex> index;
+  std::vector<index::Record> allRecords;
+
+  explicit MaterializedTree(const std::vector<Label>& leaves) {
+    index = std::make_unique<LhtIndex>(dht, LhtIndex::Options{
+                                                .thetaSplit = 100,
+                                                .maxDepth = 20,
+                                            });
+    for (const Label& leaf : leaves) {
+      const auto iv = leaf.interval();
+      LeafBucket b{leaf, {}};
+      b.records.push_back({iv.lo, "lo@" + leaf.str()});
+      b.records.push_back({iv.lo + iv.width() / 2, "mid@" + leaf.str()});
+      for (const auto& r : b.records) allRecords.push_back(r);
+      // The leftmost leaf's name is "#", overwriting the constructor's
+      // bootstrap root bucket — exactly as if the tree had grown to here.
+      dht.storeDirect(dhtKeyFor(leaf), b.serialize());
+    }
+    std::sort(allRecords.begin(), allRecords.end(), index::recordLess);
+  }
+};
+
+TEST(ExhaustiveTrees, LookupFindsTheCoveringLeafOnEveryShape) {
+  size_t treesChecked = 0;
+  enumerateTrees(4, [&](const std::vector<Label>& leaves) {
+    MaterializedTree t(leaves);
+    for (const Label& leaf : leaves) {
+      const auto iv = leaf.interval();
+      // Probe the interval's left edge, midpoint, and a point near the
+      // right edge: the lookup must land exactly on this leaf.
+      for (double key : {iv.lo, iv.lo + iv.width() / 2, iv.hi - iv.width() / 4}) {
+        auto out = t.index->lookup(key);
+        ASSERT_TRUE(out.bucket.has_value())
+            << "leaf " << leaf.str() << " key " << key;
+        ASSERT_EQ(out.bucket->label, leaf)
+            << "leaf " << leaf.str() << " key " << key << " tree #"
+            << treesChecked;
+        // Binary and linear lookup agree everywhere.
+        auto lin = t.index->lookupLinear(key);
+        ASSERT_EQ(lin.bucket->label, leaf);
+      }
+    }
+    ++treesChecked;
+  });
+  EXPECT_EQ(treesChecked, 677u);  // 1 + f(3)^2 with f(d) = 1 + f(d-1)^2
+}
+
+TEST(ExhaustiveTrees, LeafScanVisitsEveryLeafInOrder) {
+  enumerateTrees(3, [&](const std::vector<Label>& leaves) {
+    MaterializedTree t(leaves);
+    std::vector<Label> seen;
+    t.index->forEachBucket([&](const LeafBucket& b) { seen.push_back(b.label); });
+    ASSERT_EQ(seen, leaves);
+  });
+}
+
+TEST(ExhaustiveTrees, RangeQueriesExactOnEveryShape) {
+  enumerateTrees(3, [&](const std::vector<Label>& leaves) {
+    MaterializedTree t(leaves);
+    // Probe ranges: every pair of 1/8-grid points, covering single-leaf,
+    // multi-leaf, full-space, and boundary-aligned ranges.
+    for (int a = 0; a < 8; ++a) {
+      for (int b = a + 1; b <= 8; ++b) {
+        const double lo = a / 8.0;
+        const double hi = b / 8.0;
+        auto mine = t.index->rangeQuery(lo, hi);
+        std::vector<index::Record> expect;
+        for (const auto& r : t.allRecords) {
+          if (r.key >= lo && r.key < hi) expect.push_back(r);
+        }
+        ASSERT_EQ(mine.records.size(), expect.size())
+            << "[" << lo << "," << hi << ")";
+        for (size_t i = 0; i < expect.size(); ++i) {
+          ASSERT_EQ(mine.records[i], expect[i]);
+        }
+        if (mine.stats.bucketsTouched >= 2) {
+          ASSERT_LE(mine.stats.dhtLookups, mine.stats.bucketsTouched + 3);
+        }
+      }
+    }
+  });
+}
+
+TEST(ExhaustiveTrees, MinMaxOnEveryShape) {
+  enumerateTrees(3, [&](const std::vector<Label>& leaves) {
+    MaterializedTree t(leaves);
+    auto mn = t.index->minRecord();
+    auto mx = t.index->maxRecord();
+    ASSERT_TRUE(mn.record.has_value());
+    ASSERT_TRUE(mx.record.has_value());
+    EXPECT_EQ(*mn.record, t.allRecords.front());
+    EXPECT_EQ(*mx.record, t.allRecords.back());
+    EXPECT_EQ(mn.stats.dhtLookups, 1u);
+    // Max costs 1 lookup except on the single-leaf tree (fallback to "#").
+    EXPECT_LE(mx.stats.dhtLookups, leaves.size() == 1 ? 2u : 1u);
+  });
+}
+
+TEST(ExhaustiveTrees, DeepRandomChainsResolve) {
+  // Deep lopsided chains (the worst case for the binary search bounds):
+  // left and right combs plus random zig-zags to depth 18.
+  common::Pcg32 rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Label> leaves;
+    Label spine = Label::root();
+    const common::u32 depth = 10 + rng.below(8);
+    while (spine.length() < depth) {
+      int bit = trial == 0 ? 0 : (trial == 1 ? 1 : static_cast<int>(rng.below(2)));
+      leaves.push_back(spine.child(1 - bit));  // the off-spine leaf
+      spine = spine.child(bit);
+    }
+    leaves.push_back(spine);
+    std::sort(leaves.begin(), leaves.end());
+    MaterializedTree t(leaves);
+    for (const Label& leaf : leaves) {
+      const auto iv = leaf.interval();
+      auto out = t.index->lookup(iv.lo + iv.width() / 2);
+      ASSERT_TRUE(out.bucket.has_value());
+      ASSERT_EQ(out.bucket->label, leaf) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lht::core

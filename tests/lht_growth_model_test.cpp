@@ -1,0 +1,137 @@
+// Differential test of incremental tree growth (paper Sec. 4): the
+// distributed index, driven through DHT operations, must produce exactly
+// the partition tree that a direct in-memory simulation of the growth
+// rules produces — same leaf labels, same per-leaf record contents —
+// for any insertion order and distribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dht/local_dht.h"
+#include "lht/bucket.h"
+#include "lht/lht_index.h"
+#include "workload/generators.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+/// Centralized reference model of the growth rules: one-split-per-insert,
+/// median partition, effective-size trigger.
+class ReferenceTree {
+ public:
+  ReferenceTree(common::u32 theta, common::u32 maxDepth)
+      : theta_(theta), maxDepth_(maxDepth) {
+    leaves_.emplace(Label::root(), std::vector<index::Record>{});
+  }
+
+  void insert(const index::Record& r) {
+    const double k = common::clampToUnit(r.key);
+    auto it = findLeaf(k);
+    it->second.push_back(r);
+    const size_t effective = it->second.size() + 1;  // label slot
+    if (effective >= theta_ && it->first.length() < maxDepth_) {
+      const Label label = it->first;
+      const auto iv = label.interval();
+      const double mid = 0.5 * (iv.lo + iv.hi);
+      std::vector<index::Record> left, right;
+      for (auto& rec : it->second) {
+        (rec.key < mid ? left : right).push_back(std::move(rec));
+      }
+      leaves_.erase(it);
+      leaves_.emplace(label.child(0), std::move(left));
+      leaves_.emplace(label.child(1), std::move(right));
+    }
+  }
+
+  [[nodiscard]] const std::map<Label, std::vector<index::Record>>& leaves() const {
+    return leaves_;
+  }
+
+ private:
+  std::map<Label, std::vector<index::Record>>::iterator findLeaf(double k) {
+    const Label probe = Label::fromKey(k, Label::kMaxBits);
+    auto it = leaves_.upper_bound(probe);
+    EXPECT_NE(it, leaves_.begin());
+    --it;
+    EXPECT_TRUE(it->first.covers(k));
+    return it;
+  }
+
+  common::u32 theta_;
+  common::u32 maxDepth_;
+  std::map<Label, std::vector<index::Record>> leaves_;
+};
+
+class GrowthModel
+    : public ::testing::TestWithParam<std::tuple<workload::Distribution, int>> {};
+
+TEST_P(GrowthModel, DistributedGrowthMatchesReferenceExactly) {
+  auto [dist, seed] = GetParam();
+  const common::u32 theta = 8;
+  const common::u32 depth = 30;
+
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = theta, .maxDepth = depth});
+  ReferenceTree ref(theta, depth);
+
+  auto data = workload::makeDataset(dist, 1200, static_cast<common::u64>(seed));
+  for (const auto& r : data) {
+    idx.insert(r);
+    ref.insert(r);
+  }
+
+  // Collect the distributed tree's leaves left-to-right.
+  std::map<Label, std::vector<index::Record>> mine;
+  idx.forEachBucket([&](const LeafBucket& b) { mine.emplace(b.label, b.records); });
+
+  ASSERT_EQ(mine.size(), ref.leaves().size());
+  auto a = mine.begin();
+  auto b = ref.leaves().begin();
+  for (; a != mine.end(); ++a, ++b) {
+    ASSERT_EQ(a->first, b->first) << "leaf label mismatch";
+    auto ra = a->second;
+    auto rb = b->second;
+    std::sort(ra.begin(), ra.end(), index::recordLess);
+    std::sort(rb.begin(), rb.end(), index::recordLess);
+    ASSERT_EQ(ra.size(), rb.size()) << a->first.str();
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i], rb[i]) << a->first.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GrowthModel,
+    ::testing::Values(std::tuple{workload::Distribution::Uniform, 1},
+                      std::tuple{workload::Distribution::Uniform, 2},
+                      std::tuple{workload::Distribution::Gaussian, 3},
+                      std::tuple{workload::Distribution::Gaussian, 4},
+                      std::tuple{workload::Distribution::Zipf, 5},
+                      std::tuple{workload::Distribution::Zipf, 6}),
+    [](const auto& info) {
+      return workload::distributionName(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GrowthModel, SplitTimingMatchesTrigger) {
+  // The n-th insert splits iff the reference model says so: verified by
+  // comparing cumulative split counts step by step.
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 30});
+  ReferenceTree ref(8, 30);
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 600, 7);
+  size_t refLeaves = 1;
+  for (const auto& r : data) {
+    idx.insert(r);
+    ref.insert(r);
+    refLeaves = ref.leaves().size();
+    // splits = leaves - 1 in a full binary tree grown by splits only.
+    ASSERT_EQ(idx.meters().maintenance.splits, refLeaves - 1);
+  }
+}
+
+}  // namespace
+}  // namespace lht::core

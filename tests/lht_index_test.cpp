@@ -1,0 +1,303 @@
+// End-to-end tests of the LHT index against the in-memory oracle, on both
+// the LocalDht and the Chord substrate (the paper's "adaptable to any DHT").
+#include "lht/lht_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "lht/naming.h"
+#include "net/sim_network.h"
+#include "workload/generators.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+LhtIndex::Options smallOpts(common::u32 theta = 8, common::u32 depth = 20) {
+  LhtIndex::Options o;
+  o.thetaSplit = theta;
+  o.maxDepth = depth;
+  return o;
+}
+
+TEST(LhtIndex, EmptyIndexIsSingleRootLeaf) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts());
+  EXPECT_EQ(idx.recordCount(), 0u);
+  // The root leaf "#0" is stored under its name "#".
+  EXPECT_TRUE(d.get("#").has_value());
+  size_t buckets = 0;
+  idx.forEachBucket([&](const LeafBucket& b) {
+    EXPECT_EQ(b.label, Label::root());
+    ++buckets;
+  });
+  EXPECT_EQ(buckets, 1u);
+}
+
+TEST(LhtIndex, FindOnEmptyIndex) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts());
+  EXPECT_FALSE(idx.find(0.5).record.has_value());
+  EXPECT_FALSE(idx.minRecord().record.has_value());
+  EXPECT_FALSE(idx.maxRecord().record.has_value());
+  EXPECT_TRUE(idx.rangeQuery(0.0, 1.0).records.empty());
+}
+
+TEST(LhtIndex, InsertThenFind) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts());
+  idx.insert({0.3, "a"});
+  idx.insert({0.7, "b"});
+  EXPECT_EQ(idx.recordCount(), 2u);
+  auto fa = idx.find(0.3);
+  ASSERT_TRUE(fa.record.has_value());
+  EXPECT_EQ(fa.record->payload, "a");
+  EXPECT_FALSE(idx.find(0.5).record.has_value());
+}
+
+TEST(LhtIndex, BoundaryKeysAccepted) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts());
+  idx.insert({0.0, "zero"});
+  idx.insert({1.0, "one"});
+  EXPECT_TRUE(idx.find(0.0).record.has_value());
+  EXPECT_TRUE(idx.find(1.0).record.has_value());
+  EXPECT_THROW(idx.insert({1.5, "bad"}), common::InvariantError);
+  EXPECT_THROW(idx.insert({-0.1, "bad"}), common::InvariantError);
+}
+
+/// Structural invariants after arbitrary growth: leaf intervals tile [0, 1)
+/// exactly (double-root fullness), every bucket is stored under its name,
+/// and every record sits in the leaf covering its key.
+void checkStructure(dht::Dht& d, LhtIndex& idx) {
+  std::vector<LeafBucket> buckets;
+  idx.forEachBucket([&](const LeafBucket& b) { buckets.push_back(b); });
+  ASSERT_FALSE(buckets.empty());
+  double edge = 0.0;
+  std::set<std::string> names;
+  size_t records = 0;
+  for (const auto& b : buckets) {
+    const auto iv = b.label.interval();
+    EXPECT_DOUBLE_EQ(iv.lo, edge) << b.label.str();
+    edge = iv.hi;
+    auto stored = d.get(dhtKeyFor(b.label));
+    ASSERT_TRUE(stored.has_value()) << b.label.str();
+    auto decoded = LeafBucket::deserialize(*stored);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->label, b.label);
+    EXPECT_TRUE(names.insert(dhtKeyFor(b.label)).second) << "duplicate name";
+    for (const auto& r : b.records) {
+      EXPECT_TRUE(b.covers(r.key)) << b.label.str() << " " << r.key;
+      ++records;
+    }
+  }
+  EXPECT_DOUBLE_EQ(edge, 1.0);
+  EXPECT_EQ(records, idx.recordCount());
+}
+
+TEST(LhtIndex, StructureInvariantsUnderUniformGrowth) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 500, 3);
+  for (const auto& r : data) idx.insert(r);
+  checkStructure(d, idx);
+}
+
+TEST(LhtIndex, StructureInvariantsUnderGaussianGrowth) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(8, 30));
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 500, 4);
+  for (const auto& r : data) idx.insert(r);
+  checkStructure(d, idx);
+}
+
+TEST(LhtIndex, LookupMatchesBinaryAndLinear) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 400, 5);
+  for (const auto& r : data) idx.insert(r);
+  common::Pcg32 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double key = rng.nextDouble();
+    auto bin = idx.lookup(key);
+    auto lin = idx.lookupLinear(key);
+    ASSERT_TRUE(bin.bucket.has_value());
+    ASSERT_TRUE(lin.bucket.has_value());
+    EXPECT_EQ(bin.bucket->label, lin.bucket->label) << key;
+    EXPECT_EQ(bin.dhtKey, lin.dhtKey);
+    EXPECT_TRUE(bin.bucket->covers(key));
+  }
+}
+
+TEST(LhtIndex, LookupCostIsLogOfHalfD) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(8, 20));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 2000, 8);
+  for (const auto& r : data) idx.insert(r);
+  common::Pcg32 rng(9);
+  double total = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(idx.lookup(rng.nextDouble()).stats.dhtLookups);
+  }
+  // Sec. 5: ~log2(D/2) ~ 3.3 for D=20; allow generous slack but far below D.
+  EXPECT_LT(total / n, 6.0);
+  EXPECT_GE(total / n, 1.0);
+}
+
+TEST(LhtIndex, AgreesWithOracleOnMixedWorkload) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(6));
+  index::ReferenceIndex oracle;
+  common::Pcg32 rng(12);
+  for (int step = 0; step < 1500; ++step) {
+    const double key = rng.nextDouble();
+    if (rng.below(4) != 0) {
+      index::Record r{key, "p" + std::to_string(step)};
+      idx.insert(r);
+      oracle.insert(r);
+    } else {
+      // Erase a key that may or may not exist: pick an existing one half
+      // the time through the oracle's nearest record.
+      auto probe = oracle.rangeQuery(key, 1.0);
+      const double victim = probe.records.empty() ? key : probe.records.front().key;
+      EXPECT_EQ(idx.erase(victim).ok, oracle.erase(victim).ok) << step;
+    }
+    ASSERT_EQ(idx.recordCount(), oracle.recordCount()) << step;
+  }
+  // Full content equality via a whole-space range query.
+  auto mine = idx.rangeQuery(0.0, 1.0);
+  auto truth = oracle.rangeQuery(0.0, 1.0);
+  ASSERT_EQ(mine.records.size(), truth.records.size());
+  std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+  for (size_t i = 0; i < mine.records.size(); ++i) {
+    EXPECT_EQ(mine.records[i], truth.records[i]) << i;
+  }
+  checkStructure(d, idx);
+}
+
+TEST(LhtIndex, MinMaxMatchTheorem3) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 600, 15);
+  double lo = 2.0, hi = -1.0;
+  for (const auto& r : data) {
+    idx.insert(r);
+    lo = std::min(lo, r.key);
+    hi = std::max(hi, r.key);
+  }
+  auto mn = idx.minRecord();
+  auto mx = idx.maxRecord();
+  ASSERT_TRUE(mn.record.has_value());
+  ASSERT_TRUE(mx.record.has_value());
+  EXPECT_DOUBLE_EQ(mn.record->key, lo);
+  EXPECT_DOUBLE_EQ(mx.record->key, hi);
+  // Theorem 3: one DHT-lookup each once the tree has grown.
+  EXPECT_EQ(mn.stats.dhtLookups, 1u);
+  EXPECT_EQ(mx.stats.dhtLookups, 1u);
+}
+
+TEST(LhtIndex, MinMaxOnSingleLeafTree) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(100));
+  idx.insert({0.4, "a"});
+  idx.insert({0.6, "b"});
+  EXPECT_DOUBLE_EQ(idx.minRecord().record->key, 0.4);
+  // "#0" is not a name yet; maxRecord falls back to "#".
+  auto mx = idx.maxRecord();
+  EXPECT_DOUBLE_EQ(mx.record->key, 0.6);
+  EXPECT_EQ(mx.stats.dhtLookups, 2u);
+}
+
+TEST(LhtIndex, MinSurvivesEmptiedLeftmostLeaf) {
+  dht::LocalDht d;
+  LhtIndex::Options o = smallOpts(4);
+  o.enableMerge = false;  // keep the empty leaf around
+  LhtIndex idx(d, o);
+  for (double k : {0.01, 0.02, 0.03, 0.6, 0.7, 0.8, 0.9}) idx.insert({k, "x"});
+  for (double k : {0.01, 0.02, 0.03}) idx.erase(k);
+  auto mn = idx.minRecord();
+  ASSERT_TRUE(mn.record.has_value());
+  EXPECT_DOUBLE_EQ(mn.record->key, 0.6);
+}
+
+TEST(LhtIndex, WorksOnChordSubstrate) {
+  net::SimNetwork net;
+  dht::ChordDht::Options copts;
+  copts.initialPeers = 24;
+  dht::ChordDht d(net, copts);
+  LhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 300, 21);
+  index::ReferenceIndex oracle;
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  auto mine = idx.rangeQuery(0.2, 0.8);
+  auto truth = oracle.rangeQuery(0.2, 0.8);
+  EXPECT_EQ(mine.records.size(), truth.records.size());
+  EXPECT_TRUE(d.checkRing());
+}
+
+TEST(LhtIndex, WorksOnKademliaSubstrate) {
+  net::SimNetwork net;
+  dht::KademliaDht::Options kopts;
+  kopts.initialPeers = 24;
+  dht::KademliaDht d(net, kopts);
+  LhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 300, 22);
+  index::ReferenceIndex oracle;
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  auto mine = idx.rangeQuery(0.3, 0.7);
+  auto truth = oracle.rangeQuery(0.3, 0.7);
+  EXPECT_EQ(mine.records.size(), truth.records.size());
+}
+
+TEST(LhtIndex, SurvivesChordChurnBetweenOperations) {
+  net::SimNetwork net;
+  dht::ChordDht::Options copts;
+  copts.initialPeers = 12;
+  dht::ChordDht d(net, copts);
+  LhtIndex idx(d, smallOpts(8));
+  index::ReferenceIndex oracle;
+  common::Pcg32 rng(33);
+  for (int step = 0; step < 400; ++step) {
+    index::Record r{rng.nextDouble(), "p" + std::to_string(step)};
+    idx.insert(r);
+    oracle.insert(r);
+    if (step % 40 == 20) d.join("late-" + std::to_string(step));
+    if (step % 40 == 39) {
+      auto ids = d.nodeIds();
+      d.leave(ids[rng.below(static_cast<common::u32>(ids.size()))]);
+    }
+  }
+  EXPECT_TRUE(d.checkRing());
+  auto mine = idx.rangeQuery(0.0, 1.0);
+  EXPECT_EQ(mine.records.size(), oracle.recordCount());
+}
+
+TEST(LhtIndex, DuplicateKeysSupported) {
+  dht::LocalDht d;
+  LhtIndex idx(d, smallOpts(4));
+  for (int i = 0; i < 10; ++i) idx.insert({0.5, "dup" + std::to_string(i)});
+  EXPECT_EQ(idx.recordCount(), 10u);
+  auto rr = idx.rangeQuery(0.5, 0.500001);
+  EXPECT_EQ(rr.records.size(), 10u);
+  EXPECT_TRUE(idx.erase(0.5).ok);
+  EXPECT_EQ(idx.recordCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lht::core

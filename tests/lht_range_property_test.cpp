@@ -1,0 +1,154 @@
+// Property tests for range queries (paper Sec. 6): completeness against the
+// oracle on randomized trees and workloads, plus the B+3 bandwidth bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "lht/lht_index.h"
+#include "workload/generators.h"
+
+namespace lht::core {
+namespace {
+
+struct RangeCase {
+  workload::Distribution dist;
+  size_t n;
+  common::u32 theta;
+  common::u64 seed;
+};
+
+class LhtRangeProperty : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(LhtRangeProperty, MatchesOracleOnRandomRanges) {
+  const RangeCase& c = GetParam();
+  dht::LocalDht d;
+  LhtIndex::Options o;
+  o.thetaSplit = c.theta;
+  o.maxDepth = 30;
+  LhtIndex idx(d, o);
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(c.dist, c.n, c.seed);
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+
+  common::Pcg32 rng(c.seed ^ 0xABCDu);
+  for (int q = 0; q < 120; ++q) {
+    // Random spans across four orders of magnitude, plus boundary-aligned
+    // and degenerate ranges.
+    double lo, hi;
+    switch (q % 5) {
+      case 0: {
+        const double span = std::pow(2.0, -1.0 - static_cast<double>(rng.below(10)));
+        auto spec = workload::makeRange(span, rng);
+        lo = spec.lo;
+        hi = spec.hi;
+        break;
+      }
+      case 1:  // dyadic-aligned bounds, the tree's own cut points
+        lo = static_cast<double>(rng.below(16)) / 16.0;
+        hi = lo + static_cast<double>(1 + rng.below(4)) / 16.0;
+        hi = std::min(hi, 1.0);
+        break;
+      case 2:  // whole space
+        lo = 0.0;
+        hi = 1.0;
+        break;
+      case 3:  // tiny range around an existing key
+        lo = data[rng.below(static_cast<common::u32>(data.size()))].key;
+        hi = std::min(1.0, lo + 1e-9);
+        break;
+      default:  // random pair
+        lo = rng.nextDouble();
+        hi = rng.nextDouble();
+        if (lo > hi) std::swap(lo, hi);
+        break;
+    }
+    if (hi <= lo) continue;
+    auto mine = idx.rangeQuery(lo, hi);
+    auto truth = oracle.rangeQuery(lo, hi);
+    std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+    ASSERT_EQ(mine.records.size(), truth.records.size())
+        << "[" << lo << ", " << hi << ") q=" << q;
+    for (size_t i = 0; i < mine.records.size(); ++i) {
+      ASSERT_EQ(mine.records[i], truth.records[i]) << i;
+    }
+    // Paper Sec. 6.3: at most B + 3 DHT-lookups for B >= 2 result buckets
+    // (a single-leaf range degenerates to an exact-match lookup instead).
+    if (mine.stats.bucketsTouched >= 2) {
+      EXPECT_LE(mine.stats.dhtLookups, mine.stats.bucketsTouched + 3)
+          << "[" << lo << ", " << hi << ")";
+    }
+    // Latency never exceeds bandwidth, and both are positive.
+    EXPECT_LE(mine.stats.parallelSteps, mine.stats.dhtLookups);
+    EXPECT_GE(mine.stats.dhtLookups, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LhtRangeProperty,
+    ::testing::Values(
+        RangeCase{workload::Distribution::Uniform, 100, 4, 1},
+        RangeCase{workload::Distribution::Uniform, 1000, 8, 2},
+        RangeCase{workload::Distribution::Uniform, 3000, 16, 3},
+        RangeCase{workload::Distribution::Gaussian, 100, 4, 4},
+        RangeCase{workload::Distribution::Gaussian, 1000, 8, 5},
+        RangeCase{workload::Distribution::Gaussian, 3000, 16, 6},
+        RangeCase{workload::Distribution::Zipf, 1000, 8, 7},
+        RangeCase{workload::Distribution::Uniform, 1, 4, 8},
+        RangeCase{workload::Distribution::Uniform, 20000, 64, 9}),
+    [](const auto& info) {
+      const RangeCase& c = info.param;
+      return workload::distributionName(c.dist) + "_n" + std::to_string(c.n) +
+             "_t" + std::to_string(c.theta);
+    });
+
+TEST(LhtRange, EmptyAndDegenerateRanges) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 200, 10);
+  for (const auto& r : data) idx.insert(r);
+  EXPECT_TRUE(idx.rangeQuery(0.5, 0.5).records.empty());
+  EXPECT_TRUE(idx.rangeQuery(0.7, 0.3).records.empty());
+  EXPECT_EQ(idx.rangeQuery(0.5, 0.5).stats.dhtLookups, 0u);
+}
+
+TEST(LhtRange, SingleLeafRangeIsCheap) {
+  // Case 1 of Algorithm 4: range within one leaf resolves via exact lookup.
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 500, 11);
+  for (const auto& r : data) idx.insert(r);
+  auto rr = idx.rangeQuery(0.5, 0.5 + 1e-12);
+  EXPECT_LE(rr.stats.dhtLookups, 8u);  // ~1 + log(D/2)
+}
+
+TEST(LhtRange, ResultsAreSortedByKey) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 800, 12);
+  for (const auto& r : data) idx.insert(r);
+  auto rr = idx.rangeQuery(0.1, 0.9);
+  EXPECT_TRUE(std::is_sorted(
+      rr.records.begin(), rr.records.end(),
+      [](const auto& a, const auto& b) { return a.key < b.key; }));
+}
+
+TEST(LhtRange, LatencyIsLogarithmicNotLinear) {
+  // A wide range over many buckets must resolve in far fewer parallel steps
+  // than buckets (the whole point of the local-tree fan-out).
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 24});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 8000, 13);
+  for (const auto& r : data) idx.insert(r);
+  auto rr = idx.rangeQuery(0.05, 0.95);
+  ASSERT_GT(rr.stats.bucketsTouched, 100u);
+  EXPECT_LT(rr.stats.parallelSteps, rr.stats.bucketsTouched / 4);
+}
+
+}  // namespace
+}  // namespace lht::core

@@ -1,0 +1,77 @@
+// Tests for the top-k extension of Theorem 3's min/max queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "workload/generators.h"
+
+namespace lht::core {
+namespace {
+
+TEST(TopK, MatchesSortedOracle) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 24});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 700, 1);
+  for (const auto& r : data) idx.insert(r);
+  std::sort(data.begin(), data.end(), index::recordLess);
+
+  for (size_t k : {1u, 5u, 23u, 100u}) {
+    auto mins = idx.topMin(k);
+    ASSERT_EQ(mins.records.size(), k);
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(mins.records[i], data[i]) << k;
+
+    auto maxs = idx.topMax(k);
+    ASSERT_EQ(maxs.records.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(maxs.records[i], data[data.size() - k + i]) << k;
+    }
+  }
+}
+
+TEST(TopK, KLargerThanIndexReturnsEverything) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  for (double key : {0.3, 0.5, 0.9}) idx.insert({key, "x"});
+  EXPECT_EQ(idx.topMin(100).records.size(), 3u);
+  EXPECT_EQ(idx.topMax(100).records.size(), 3u);
+}
+
+TEST(TopK, ZeroKIsFree) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  idx.insert({0.5, "x"});
+  auto r = idx.topMin(0);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.stats.dhtLookups, 0u);
+}
+
+TEST(TopK, CostScalesWithAnswerNotIndex) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 24});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 4000, 2);
+  for (const auto& r : data) idx.insert(r);
+  // k smaller than one bucket: a single DHT-lookup, like Theorem 3.
+  EXPECT_EQ(idx.topMin(3).stats.dhtLookups, 1u);
+  EXPECT_EQ(idx.topMax(3).stats.dhtLookups, 1u);
+  // k spanning a few buckets: a handful of lookups, far below the ~500
+  // buckets in the index.
+  auto r = idx.topMin(40);
+  EXPECT_LE(r.stats.dhtLookups, 16u);
+}
+
+TEST(TopK, ResultsAscendByKey) {
+  dht::LocalDht d;
+  LhtIndex idx(d, {.thetaSplit = 4, .maxDepth = 24});
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 300, 3);
+  for (const auto& r : data) idx.insert(r);
+  for (auto res : {idx.topMin(50), idx.topMax(50)}) {
+    EXPECT_TRUE(std::is_sorted(
+        res.records.begin(), res.records.end(),
+        [](const auto& a, const auto& b) { return a.key < b.key; }));
+  }
+}
+
+}  // namespace
+}  // namespace lht::core

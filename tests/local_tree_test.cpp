@@ -1,0 +1,85 @@
+// Tests for the local tree summarization (paper Fig. 3 / Fig. 5a).
+#include "lht/local_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "lht/naming.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+Label L(const char* text) { return *Label::parse(text); }
+
+TEST(LocalTree, AncestorsOfPaperExampleLeaf) {
+  // Fig. 3b: leaf #0100.
+  LocalTree t(L("#0100"));
+  auto anc = t.ancestors();
+  ASSERT_EQ(anc.size(), 4u);
+  EXPECT_EQ(anc[0], Label());        // virtual root #
+  EXPECT_EQ(anc[1], L("#0"));
+  EXPECT_EQ(anc[2], L("#01"));
+  EXPECT_EQ(anc[3], L("#010"));
+}
+
+TEST(LocalTree, BranchNodesAreSiblingsAlongThePath) {
+  LocalTree t(L("#0100"));
+  auto right = t.rightBranches();
+  // f_rn(#0100) = #0101, then f_rn(#0101) = #011 (rightmost reached).
+  ASSERT_EQ(right.size(), 2u);
+  EXPECT_EQ(right[0], L("#0101"));
+  EXPECT_EQ(right[1], L("#011"));
+  auto left = t.leftBranches();
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0], L("#00"));
+}
+
+TEST(LocalTree, BranchIntervalsTileTheRestOfSpace) {
+  // The leaf's interval plus all branch intervals partition [0, 1).
+  for (const char* text : {"#0100", "#00110", "#01111", "#0000", "#01"}) {
+    LocalTree t(L(text));
+    double total = t.leaf().interval().width();
+    for (const Label& b : t.rightBranches()) total += b.interval().width();
+    for (const Label& b : t.leftBranches()) total += b.interval().width();
+    EXPECT_DOUBLE_EQ(total, 1.0) << text;
+  }
+}
+
+TEST(LocalTree, RightPartitionValuesAscend) {
+  LocalTree t(L("#0100"));
+  auto pv = t.rightPartitionValues();
+  ASSERT_GE(pv.size(), 2u);
+  EXPECT_DOUBLE_EQ(pv.front(), t.leaf().interval().hi);
+  for (size_t i = 1; i < pv.size(); ++i) EXPECT_GT(pv[i], pv[i - 1]);
+  EXPECT_DOUBLE_EQ(pv.back(), 1.0);
+}
+
+TEST(LocalTree, RootLeafHasNoBranches) {
+  LocalTree t(Label::root());
+  EXPECT_TRUE(t.rightBranches().empty());
+  EXPECT_TRUE(t.leftBranches().empty());
+  EXPECT_EQ(t.ancestors().size(), 1u);  // just "#"
+}
+
+TEST(LocalTree, AllKnownNodesContainsEverything) {
+  LocalTree t(L("#0100"));
+  auto all = t.allKnownNodes();
+  for (const char* expect : {"#", "#0", "#01", "#010", "#0100", "#0101", "#011", "#00"}) {
+    EXPECT_NE(std::find(all.begin(), all.end(), L(expect)), all.end()) << expect;
+  }
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(LocalTree, RenderMentionsTheLeaf) {
+  LocalTree t(L("#0100"));
+  EXPECT_NE(t.render().find("#0100"), std::string::npos);
+}
+
+TEST(LocalTree, RejectsVirtualRoot) {
+  EXPECT_THROW(LocalTree{Label()}, common::InvariantError);
+}
+
+}  // namespace
+}  // namespace lht::core

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lht::common {
+namespace {
+
+TEST(Logging, LevelGateControlsEmission) {
+  const LogLevel old = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  int evaluations = 0;
+  // The macro must not evaluate its stream arguments below the gate.
+  LHT_LOG(Debug) << "dropped " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  LHT_LOG(Error) << "emitted " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+  setLogLevel(old);
+}
+
+TEST(Logging, AllLevelsRoundTrip) {
+  const LogLevel old = logLevel();
+  for (LogLevel l : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                     LogLevel::Warn, LogLevel::Error}) {
+    setLogLevel(l);
+    EXPECT_EQ(logLevel(), l);
+  }
+  setLogLevel(old);
+}
+
+}  // namespace
+}  // namespace lht::common

@@ -1,0 +1,89 @@
+// Tests for the locality-preserving ring baseline and the load-balance
+// claim the paper makes against that paradigm.
+#include "lpr/lpr_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/reference_index.h"
+#include "workload/generators.h"
+
+namespace lht::lpr {
+namespace {
+
+TEST(LprIndex, MatchesOracleOnAllQueryTypes) {
+  LprIndex idx({.peers = 24, .seed = 2});
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 800, 3);
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  common::Pcg32 rng(4);
+  for (int q = 0; q < 60; ++q) {
+    auto spec = workload::makeRange(0.2, rng);
+    auto mine = idx.rangeQuery(spec.lo, spec.hi);
+    auto truth = oracle.rangeQuery(spec.lo, spec.hi);
+    std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+    ASSERT_EQ(mine.records.size(), truth.records.size());
+    for (size_t i = 0; i < truth.records.size(); ++i) {
+      EXPECT_EQ(mine.records[i], truth.records[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(idx.minRecord().record->key, oracle.minRecord().record->key);
+  EXPECT_DOUBLE_EQ(idx.maxRecord().record->key, oracle.maxRecord().record->key);
+  EXPECT_TRUE(idx.find(data[5].key).record.has_value());
+  EXPECT_TRUE(idx.erase(data[5].key).ok);
+  EXPECT_EQ(idx.recordCount(), oracle.recordCount() - 1);
+}
+
+TEST(LprIndex, RangeCostIsArcWalk) {
+  LprIndex idx({.peers = 32, .seed = 5});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 2000, 6);
+  for (const auto& r : data) idx.insert(r);
+  // Inserts are a single lookup: no tree, no splits, no maintenance.
+  EXPECT_EQ(idx.meters().insertion.dhtLookups, 2000u);
+  EXPECT_EQ(idx.meters().maintenance.dhtLookups, 0u);
+  auto rr = idx.rangeQuery(0.25, 0.5);
+  // ~1/4 of 32 arcs walked.
+  EXPECT_LE(rr.stats.dhtLookups, 14u);
+  EXPECT_GE(rr.stats.dhtLookups, 3u);
+}
+
+TEST(LprIndex, UniformKeysBalanceReasonably) {
+  LprIndex idx({.peers = 32, .seed = 7});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 20000, 8);
+  for (const auto& r : data) idx.insert(r);
+  // Random arc lengths give an O(log N / N) worst arc — bounded, if not
+  // perfect (fair share here is ~3.1%).
+  EXPECT_LT(idx.maxPeerShare(), 0.25);
+}
+
+TEST(LprIndex, SkewedKeysBreakLoadBalance) {
+  // The paper's claim against the LSH paradigm: under skew, the peers
+  // owning the dense arcs take a grossly unfair share.
+  LprIndex uniformIdx({.peers = 32, .seed = 9});
+  LprIndex skewIdx({.peers = 32, .seed = 9});
+  auto uniformData = workload::makeDataset(workload::Distribution::Uniform, 20000, 10);
+  auto skewData = workload::makeDataset(workload::Distribution::Zipf, 20000, 10);
+  for (const auto& r : uniformData) uniformIdx.insert(r);
+  for (const auto& r : skewData) skewIdx.insert(r);
+  // The dense-arc owner under zipf holds several times the uniform maximum.
+  EXPECT_GT(skewIdx.maxPeerShare(), 2.0 * uniformIdx.maxPeerShare());
+  EXPECT_GT(skewIdx.maxPeerShare(), 0.3);  // one peer drowns
+}
+
+TEST(LprIndex, EmptyAndBoundary) {
+  LprIndex idx({.peers = 8, .seed = 11});
+  EXPECT_FALSE(idx.minRecord().record.has_value());
+  EXPECT_TRUE(idx.rangeQuery(0.0, 1.0).records.empty());
+  idx.insert({0.0, "zero"});
+  idx.insert({1.0, "one"});
+  EXPECT_TRUE(idx.find(0.0).record.has_value());
+  EXPECT_TRUE(idx.find(1.0).record.has_value());
+  EXPECT_DOUBLE_EQ(idx.maxRecord().record->key, 1.0);
+}
+
+}  // namespace
+}  // namespace lht::lpr

@@ -1,0 +1,181 @@
+// Tests for the naming machinery: Definitions 1-3 and Theorems 1-2.
+#include "lht/naming.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+using common::u32;
+
+Label L(const char* text) {
+  auto l = Label::parse(text);
+  EXPECT_TRUE(l.has_value()) << text;
+  return *l;
+}
+
+TEST(Naming, PaperExamples) {
+  // Sec. 3.4: f_n(#01100) = #011, f_n(#01011) = #010.
+  EXPECT_EQ(name(L("#01100")), L("#011"));
+  EXPECT_EQ(name(L("#01011")), L("#010"));
+  // Fig. 4: f_n(#01111) = #0.
+  EXPECT_EQ(name(L("#01111")), L("#0"));
+  // Def. 1's third case: #00* maps to the virtual root #.
+  EXPECT_EQ(name(L("#00")), L("#"));
+  EXPECT_EQ(name(L("#0")), L("#"));
+  EXPECT_EQ(name(L("#000")), L("#"));
+}
+
+TEST(Naming, DhtKeyIsNameString) {
+  EXPECT_EQ(dhtKeyFor(L("#01100")), "#011");
+  EXPECT_EQ(dhtKeyFor(L("#0")), "#");
+}
+
+TEST(Naming, NextNamePaperExample) {
+  // Sec. 5: f_nn(#0011, #0011100) = #001110.
+  auto nn = nextName(L("#0011"), L("#0011100"));
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(*nn, L("#001110"));
+}
+
+TEST(Naming, NextNameSkipsSharedNames) {
+  // Every prefix between x and f_nn(x, mu) must share x's name.
+  const Label mu = L("#0011100110");
+  const Label x = L("#0011");
+  const Label nn = *nextName(x, mu);
+  for (u32 len = x.length() + 1; len < nn.length(); ++len) {
+    EXPECT_EQ(name(mu.prefix(len)), name(x)) << len;
+  }
+  EXPECT_NE(name(nn), name(x));
+}
+
+TEST(Naming, NextNameNoneWhenRunReachesEnd) {
+  EXPECT_FALSE(nextName(L("#01"), L("#0111")).has_value());
+  EXPECT_FALSE(nextName(L("#00"), L("#0000")).has_value());
+}
+
+TEST(Naming, RightNeighborDefinition) {
+  // Def. 3: x = p01* -> p1; the rightmost path maps to itself.
+  EXPECT_EQ(rightNeighbor(L("#00")), L("#01"));
+  EXPECT_EQ(rightNeighbor(L("#0011")), L("#01"));
+  EXPECT_EQ(rightNeighbor(L("#0100")), L("#0101"));
+  EXPECT_EQ(rightNeighbor(L("#01101")), L("#0111"));
+  EXPECT_EQ(rightNeighbor(L("#011")), L("#011"));  // rightmost
+  EXPECT_EQ(rightNeighbor(L("#0")), L("#0"));      // root is rightmost
+}
+
+TEST(Naming, LeftNeighborDefinition) {
+  EXPECT_EQ(leftNeighbor(L("#01")), L("#00"));
+  EXPECT_EQ(leftNeighbor(L("#0100")), L("#00"));
+  EXPECT_EQ(leftNeighbor(L("#0110")), L("#010"));
+  EXPECT_EQ(leftNeighbor(L("#000")), L("#000"));  // leftmost
+  EXPECT_EQ(leftNeighbor(L("#0")), L("#0"));
+}
+
+TEST(Naming, NeighborsCoverAdjacentIntervals) {
+  // rightNeighbor's subtree starts exactly where x's interval ends.
+  for (const char* text : {"#00", "#0011", "#0100", "#01010"}) {
+    const Label x = L(text);
+    const Label rn = rightNeighbor(x);
+    EXPECT_DOUBLE_EQ(rn.interval().lo, x.interval().hi) << text;
+  }
+  for (const char* text : {"#01", "#0110", "#0101", "#01011"}) {
+    const Label x = L(text);
+    const Label ln = leftNeighbor(x);
+    EXPECT_DOUBLE_EQ(ln.interval().hi, x.interval().lo) << text;
+  }
+}
+
+// --- Theorem 2: split keeps one child's name, names the other to the leaf --
+
+TEST(Naming, Theorem2SplitNames) {
+  common::Pcg32 rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Random leaf label of random depth.
+    const u32 len = 1 + rng.below(20);
+    Label leaf = Label::root();
+    while (leaf.length() < len) leaf = leaf.child(static_cast<int>(rng.below(2)));
+    const Label n0 = name(leaf.child(0));
+    const Label n1 = name(leaf.child(1));
+    // One child is named name(leaf), the other is named leaf itself.
+    if (leaf.lastBit() == 1) {
+      EXPECT_EQ(n0, leaf);
+      EXPECT_EQ(n1, name(leaf));
+    } else {
+      EXPECT_EQ(n0, name(leaf));
+      EXPECT_EQ(n1, leaf);
+    }
+  }
+}
+
+// --- Theorem 1: f_n is a bijection from leaves to internal nodes ----------
+
+/// Builds a random full binary tree (every internal node has 2 children)
+/// and returns (leaves, internals).
+std::pair<std::vector<Label>, std::vector<Label>> randomFullTree(
+    common::Pcg32& rng, u32 maxDepth, double splitProb) {
+  std::vector<Label> leaves;
+  std::vector<Label> internals;
+  std::vector<Label> frontier{Label::root()};
+  while (!frontier.empty()) {
+    Label node = frontier.back();
+    frontier.pop_back();
+    const bool split =
+        node.length() < maxDepth && rng.nextDouble() < splitProb;
+    if (split) {
+      internals.push_back(node);
+      frontier.push_back(node.child(0));
+      frontier.push_back(node.child(1));
+    } else {
+      leaves.push_back(node);
+    }
+  }
+  return {leaves, internals};
+}
+
+TEST(Naming, Theorem1BijectionOnRandomTrees) {
+  common::Pcg32 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [leaves, internals] = randomFullTree(rng, 14, 0.6);
+    // Omega = the internal labels plus the virtual root "#" (double-root).
+    std::set<Label> omega(internals.begin(), internals.end());
+    omega.insert(Label());
+
+    std::set<Label> images;
+    for (const Label& leaf : leaves) {
+      auto [it, fresh] = images.insert(name(leaf));
+      EXPECT_TRUE(fresh) << "duplicate name " << it->str();
+    }
+    // f_n maps Lambda onto Omega exactly (injective + same size + subset).
+    EXPECT_EQ(images.size(), leaves.size());
+    EXPECT_EQ(images, omega);
+  }
+}
+
+TEST(Naming, NamedLeafInverse) {
+  common::Pcg32 rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u32 len = 1 + rng.below(18);
+    Label leaf = Label::root();
+    while (leaf.length() < len) leaf = leaf.child(static_cast<int>(rng.below(2)));
+    const Label omega = name(leaf);
+    EXPECT_EQ(namedLeafAtDepth(omega, leaf.length()), leaf);
+  }
+}
+
+TEST(Naming, NameRejectsVirtualRoot) {
+  EXPECT_THROW(name(Label()), common::InvariantError);
+  EXPECT_THROW(rightNeighbor(Label()), common::InvariantError);
+  EXPECT_THROW(leftNeighbor(Label()), common::InvariantError);
+}
+
+}  // namespace
+}  // namespace lht::core

@@ -1,0 +1,123 @@
+// Reproduces the paper's worked examples verbatim, on the exact trees the
+// paper draws, asserting the same intermediate probes and results.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "lht/naming.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+Label L(const char* text) { return *Label::parse(text); }
+
+/// Stores the given leaves (with `payloadsAtMidpoints`) into a fresh index.
+std::unique_ptr<LhtIndex> materialize(dht::LocalDht& d,
+                                      const std::vector<const char*>& leaves,
+                                      common::u32 maxDepth) {
+  auto idx = std::make_unique<LhtIndex>(
+      d, LhtIndex::Options{.thetaSplit = 100, .maxDepth = maxDepth});
+  for (const char* text : leaves) {
+    LeafBucket b{L(text), {}};
+    const auto iv = b.label.interval();
+    b.records.push_back({iv.lo, std::string("lo@") + text});
+    b.records.push_back({iv.lo + iv.width() / 2, std::string("mid@") + text});
+    d.storeDirect(dhtKeyFor(b.label), b.serialize());
+  }
+  return idx;
+}
+
+TEST(PaperExamples, Figure2TreeLambdaOfKey) {
+  // Sec. 5: "In Fig. 2, lambda(0.4) = #001" — on the Fig. 2 tree the leaf
+  // covering 0.4 is #001.
+  EXPECT_TRUE(L("#001").covers(0.4));
+  // And mu(0.4, paper-length 6) = #00110 (see label_test for the string).
+  EXPECT_TRUE(L("#001").isPrefixOf(Label::fromKey(0.4, 5)));
+}
+
+TEST(PaperExamples, Section5LookupWalkthrough) {
+  // Sec. 5 example: lookup of 0.9 with paper-D = 14 on a tree whose target
+  // bucket is leaf #01110; the binary search resolves in exactly three
+  // DHT-gets: f_n(#0111001) = #011100 (fails), f_n(#011) = #0 (returns
+  // bucket #01111, not covering), then #0111 (returns the target #01110).
+  dht::LocalDht d;
+  // A tree consistent with Fig. 2: lambda(0.4) = #001, target leaf #01110.
+  auto idx = materialize(
+      d, {"#000", "#001", "#010", "#0110", "#01110", "#01111"}, /*bits=*/13);
+
+  auto out = idx->lookup(0.9);
+  ASSERT_TRUE(out.bucket.has_value());
+  EXPECT_EQ(out.bucket->label, L("#01110"));
+  EXPECT_EQ(out.dhtKey, "#0111");
+  EXPECT_EQ(out.stats.dhtLookups, 3u);  // the paper's three probes
+}
+
+TEST(PaperExamples, Section5NextNameSkip) {
+  // The walkthrough's note: "#0111 is also named to #0 and need not try
+  // again" — the next-name jump from #011 lands directly on #01110.
+  const Label mu = Label::fromKey(0.9, 13);
+  EXPECT_EQ(name(L("#0111")), L("#0"));
+  EXPECT_EQ(name(L("#011")), L("#0"));
+  auto nn = nextName(L("#011"), mu);
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(*nn, L("#01110"));
+}
+
+TEST(PaperExamples, Section62RangeQueryWalkthrough) {
+  // Sec. 6.2 example: range [0.2, 0.6) on the Fig. 5b tree. Any initiator
+  // computes LCA = #0 and looks up f_n(#0) = #; the returned bucket #000
+  // contains the lower bound; forwarding reaches names #00 and #01 (leaf
+  // buckets #0011 and #0100), and #0011 forwards leftward to #001 (bucket
+  // #0010). All four buckets in range are found.
+  dht::LocalDht d;
+  auto idx = materialize(
+      d, {"#000", "#0010", "#0011", "#0100", "#0101", "#011"}, /*bits=*/13);
+
+  EXPECT_EQ(dhtKeyFor(L("#000")), "#");          // LCA entry point
+  EXPECT_EQ(dhtKeyFor(L("#0011")), "#00");       // rightmost under #001
+  EXPECT_EQ(dhtKeyFor(L("#0100")), "#01");       // leftmost under #01
+  EXPECT_EQ(dhtKeyFor(L("#0010")), "#001");      // the leftward forward
+
+  auto rr = idx->rangeQuery(0.2, 0.6);
+  // Exactly the four buckets of the example, one DHT-lookup each (B
+  // lookups, the optimum; the bound is B + 3).
+  EXPECT_EQ(rr.stats.bucketsTouched, 4u);
+  EXPECT_EQ(rr.stats.dhtLookups, 4u);
+  // Every record of those buckets inside [0.2, 0.6) is returned; #000's
+  // records (keys 0.0 and 0.125) fall below the range and are filtered.
+  std::set<std::string> payloads;
+  for (const auto& r : rr.records) payloads.insert(r.payload);
+  EXPECT_TRUE(payloads.count("lo@#0010"));
+  EXPECT_TRUE(payloads.count("mid@#0010"));
+  EXPECT_TRUE(payloads.count("lo@#0011"));
+  EXPECT_TRUE(payloads.count("mid@#0011"));
+  EXPECT_TRUE(payloads.count("lo@#0100"));
+  EXPECT_TRUE(payloads.count("mid@#0100"));
+  EXPECT_FALSE(payloads.count("lo@#000"));
+  EXPECT_FALSE(payloads.count("mid@#000"));
+  EXPECT_EQ(rr.records.size(), 6u);
+}
+
+TEST(PaperExamples, Theorem3MinMaxKeys) {
+  // Sec. 7: "a DHT-lookup of # returns the result of a min query;
+  // a DHT-lookup of #0 returns the result of a max query."
+  dht::LocalDht d;
+  auto idx = materialize(
+      d, {"#000", "#001", "#010", "#0110", "#01110", "#01111"}, /*bits=*/13);
+  EXPECT_EQ(name(L("#000")), L("#"));     // leftmost leaf named #
+  EXPECT_EQ(name(L("#01111")), L("#0"));  // rightmost leaf named #0
+  auto mn = idx->minRecord();
+  auto mx = idx->maxRecord();
+  EXPECT_EQ(mn.stats.dhtLookups, 1u);
+  EXPECT_EQ(mx.stats.dhtLookups, 1u);
+  EXPECT_EQ(mn.record->payload, "lo@#000");
+  EXPECT_EQ(mx.record->payload, "mid@#01111");
+}
+
+}  // namespace
+}  // namespace lht::core

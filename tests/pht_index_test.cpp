@@ -1,0 +1,209 @@
+// Tests for the PHT baseline: trie structure, B+ links, both range
+// algorithms, and oracle agreement.
+#include "pht/pht_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/chord.h"
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "net/sim_network.h"
+#include "workload/generators.h"
+
+namespace lht::pht {
+namespace {
+
+using common::Label;
+
+PhtIndex::Options smallOpts(common::u32 theta = 8,
+                            PhtIndex::RangeMode mode = PhtIndex::RangeMode::Sequential) {
+  PhtIndex::Options o;
+  o.thetaSplit = theta;
+  o.maxDepth = 24;
+  o.rangeMode = mode;
+  return o;
+}
+
+TEST(PhtIndex, EmptyIndexIsRootLeaf) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts());
+  EXPECT_TRUE(d.get("#0").has_value());
+  EXPECT_FALSE(idx.find(0.5).record.has_value());
+  EXPECT_EQ(idx.recordCount(), 0u);
+}
+
+TEST(PhtIndex, InsertFindErase) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts());
+  idx.insert({0.25, "a"});
+  idx.insert({0.75, "b"});
+  EXPECT_EQ(idx.find(0.25).record->payload, "a");
+  EXPECT_TRUE(idx.erase(0.25).ok);
+  EXPECT_FALSE(idx.find(0.25).record.has_value());
+  EXPECT_FALSE(idx.erase(0.25).ok);
+}
+
+TEST(PhtIndex, SplitLeavesInternalMarker) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(4));
+  for (double k : {0.1, 0.2, 0.6, 0.7, 0.8}) idx.insert({k, "x"});
+  // The root must have split: "#0" is now an internal marker.
+  auto v = d.get("#0");
+  ASSERT_TRUE(v.has_value());
+  auto node = PhtNode::deserialize(*v);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_FALSE(node->isLeaf());
+  EXPECT_TRUE(d.get("#00").has_value());
+  EXPECT_TRUE(d.get("#01").has_value());
+}
+
+TEST(PhtIndex, LeafChainIsConsistent) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(6));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 600, 31);
+  for (const auto& r : data) idx.insert(r);
+
+  // Walk the chain: intervals must tile [0,1) and links must be symmetric.
+  std::vector<PhtNode> leaves;
+  idx.forEachLeaf([&](const PhtNode& n) { leaves.push_back(n); });
+  ASSERT_GT(leaves.size(), 4u);
+  double edge = 0.0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_DOUBLE_EQ(leaves[i].label.interval().lo, edge);
+    edge = leaves[i].label.interval().hi;
+    if (i > 0) {
+      ASSERT_TRUE(leaves[i].prevLeaf.has_value());
+      EXPECT_EQ(*leaves[i].prevLeaf, leaves[i - 1].label);
+      ASSERT_TRUE(leaves[i - 1].nextLeaf.has_value());
+      EXPECT_EQ(*leaves[i - 1].nextLeaf, leaves[i].label);
+    }
+  }
+  EXPECT_FALSE(leaves.front().prevLeaf.has_value());
+  EXPECT_FALSE(leaves.back().nextLeaf.has_value());
+  EXPECT_DOUBLE_EQ(edge, 1.0);
+}
+
+TEST(PhtIndex, LookupCostIsLogD) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 2000, 32);
+  for (const auto& r : data) idx.insert(r);
+  common::Pcg32 rng(33);
+  double total = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<double>(idx.lookup(rng.nextDouble()).stats.dhtLookups);
+  // log2(24) ~ 4.6; must stay well below D.
+  EXPECT_LT(total / n, 7.0);
+}
+
+class PhtOracleTest
+    : public ::testing::TestWithParam<std::pair<workload::Distribution, int>> {};
+
+TEST_P(PhtOracleTest, RangeQueriesMatchOracleBothModes) {
+  auto [dist, seed] = GetParam();
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(8));
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(dist, 1200, static_cast<common::u64>(seed));
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  common::Pcg32 rng(static_cast<common::u64>(seed) + 100);
+  for (int q = 0; q < 60; ++q) {
+    auto spec = workload::makeRange(0.01 + 0.4 * rng.nextDouble(), rng);
+    auto seq = idx.rangeSequential(spec.lo, spec.hi);
+    auto par = idx.rangeParallel(spec.lo, spec.hi);
+    auto truth = oracle.rangeQuery(spec.lo, spec.hi);
+    std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+    ASSERT_EQ(seq.records.size(), truth.records.size()) << q;
+    ASSERT_EQ(par.records.size(), truth.records.size()) << q;
+    for (size_t i = 0; i < truth.records.size(); ++i) {
+      EXPECT_EQ(seq.records[i], truth.records[i]);
+      EXPECT_EQ(par.records[i], truth.records[i]);
+    }
+    // Sequential: latency == bandwidth. Parallel: latency <= bandwidth.
+    EXPECT_EQ(seq.stats.parallelSteps, seq.stats.dhtLookups);
+    EXPECT_LE(par.stats.parallelSteps, par.stats.dhtLookups);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, PhtOracleTest,
+    ::testing::Values(std::pair{workload::Distribution::Uniform, 1},
+                      std::pair{workload::Distribution::Uniform, 2},
+                      std::pair{workload::Distribution::Gaussian, 3},
+                      std::pair{workload::Distribution::Gaussian, 4},
+                      std::pair{workload::Distribution::Zipf, 5}),
+    [](const auto& info) {
+      return workload::distributionName(info.param.first) + "_s" +
+             std::to_string(info.param.second);
+    });
+
+TEST(PhtIndex, ParallelCostsMoreBandwidthButLessLatency) {
+  // Fig. 9/10 shape on one instance.
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 4000, 40);
+  for (const auto& r : data) idx.insert(r);
+  auto seq = idx.rangeSequential(0.2, 0.7);
+  auto par = idx.rangeParallel(0.2, 0.7);
+  EXPECT_GT(par.stats.dhtLookups, seq.stats.dhtLookups);
+  EXPECT_LT(par.stats.parallelSteps, seq.stats.parallelSteps / 4);
+}
+
+TEST(PhtIndex, MinMax) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(8));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 500, 41);
+  double lo = 2.0, hi = -1.0;
+  for (const auto& r : data) {
+    idx.insert(r);
+    lo = std::min(lo, r.key);
+    hi = std::max(hi, r.key);
+  }
+  EXPECT_DOUBLE_EQ(idx.minRecord().record->key, lo);
+  EXPECT_DOUBLE_EQ(idx.maxRecord().record->key, hi);
+}
+
+TEST(PhtIndex, MergeRestoresLeaf) {
+  dht::LocalDht d;
+  PhtIndex idx(d, smallOpts(6));
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 300, 42);
+  for (const auto& r : data) idx.insert(r);
+  ASSERT_GT(idx.meters().maintenance.splits, 0u);
+  for (const auto& r : data) idx.erase(r.key);
+  EXPECT_EQ(idx.recordCount(), 0u);
+  EXPECT_GT(idx.meters().maintenance.merges, 0u);
+  // The chain still tiles [0,1).
+  std::vector<PhtNode> leaves;
+  idx.forEachLeaf([&](const PhtNode& n) { leaves.push_back(n); });
+  double edge = 0.0;
+  for (const auto& n : leaves) {
+    EXPECT_DOUBLE_EQ(n.label.interval().lo, edge);
+    edge = n.label.interval().hi;
+  }
+  EXPECT_DOUBLE_EQ(edge, 1.0);
+}
+
+TEST(PhtIndex, WorksOnChordSubstrate) {
+  net::SimNetwork net;
+  dht::ChordDht::Options copts;
+  copts.initialPeers = 16;
+  dht::ChordDht d(net, copts);
+  PhtIndex idx(d, smallOpts(8, PhtIndex::RangeMode::Parallel));
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 300, 43);
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  auto mine = idx.rangeQuery(0.1, 0.6);
+  EXPECT_EQ(mine.records.size(), oracle.rangeQuery(0.1, 0.6).records.size());
+}
+
+}  // namespace
+}  // namespace lht::pht

@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lht::common {
+namespace {
+
+TEST(Pcg32, DeterministicPerSeed) {
+  Pcg32 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    u32 va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool anyDiff = false;
+  Pcg32 a2(123);
+  for (int i = 0; i < 100; ++i) anyDiff |= (a2.next() != c.next());
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Pcg32, DoublesInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, BelowIsInRangeAndRoughlyUniform) {
+  Pcg32 rng(9);
+  int counts[7] = {};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    u32 v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    counts[v] += 1;
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 70);
+}
+
+TEST(Gaussian, MomentsMatch) {
+  Pcg32 rng(17);
+  Gaussian g(0.5, 1.0 / 6.0);
+  const int n = 200000;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = g.sample(rng);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(std::sqrt(var), 1.0 / 6.0, 0.005);
+}
+
+TEST(Gaussian, MostMassInUnitInterval) {
+  // Paper Sec. 9.1: N(1/2, 1/6) puts ~97%+ of keys in [0, 1].
+  Pcg32 rng(23);
+  Gaussian g(0.5, 1.0 / 6.0);
+  const int n = 100000;
+  int inside = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = g.sample(rng);
+    if (v >= 0.0 && v <= 1.0) ++inside;
+  }
+  EXPECT_GT(static_cast<double>(inside) / n, 0.97);
+}
+
+TEST(Zipf, RanksInRangeAndSkewed) {
+  Pcg32 rng(31);
+  Zipf z(100, 1.2);
+  int first = 0, last = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    u32 r = z.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    if (r == 1) ++first;
+    if (r == 100) ++last;
+  }
+  EXPECT_GT(first, 20 * (last + 1));  // rank 1 vastly more popular
+}
+
+}  // namespace
+}  // namespace lht::common

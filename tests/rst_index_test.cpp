@@ -1,0 +1,118 @@
+// Tests for the RST baseline: one-hop queries, structure replication, and
+// the broadcast-on-split cost that motivates LHT.
+#include "rst/rst_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "workload/generators.h"
+
+namespace lht::rst {
+namespace {
+
+RstIndex::Options smallOpts(common::u32 theta = 8, size_t peers = 32) {
+  RstIndex::Options o;
+  o.thetaSplit = theta;
+  o.maxDepth = 24;
+  o.peerCount = peers;
+  return o;
+}
+
+TEST(RstIndex, ExactMatchIsOneHop) {
+  dht::LocalDht d;
+  RstIndex idx(d, smallOpts());
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 500, 1);
+  for (const auto& r : data) idx.insert(r);
+  common::Pcg32 rng(2);
+  for (int q = 0; q < 100; ++q) {
+    auto res = idx.find(rng.nextDouble());
+    EXPECT_EQ(res.stats.dhtLookups, 1u);  // globally known structure
+  }
+  EXPECT_TRUE(idx.find(data[7].key).record.has_value());
+}
+
+TEST(RstIndex, RangeIsOneParallelStep) {
+  dht::LocalDht d;
+  RstIndex idx(d, smallOpts());
+  index::ReferenceIndex oracle;
+  auto data = workload::makeDataset(workload::Distribution::Gaussian, 800, 3);
+  for (const auto& r : data) {
+    idx.insert(r);
+    oracle.insert(r);
+  }
+  common::Pcg32 rng(4);
+  for (int q = 0; q < 60; ++q) {
+    auto spec = workload::makeRange(0.15, rng);
+    auto mine = idx.rangeQuery(spec.lo, spec.hi);
+    auto truth = oracle.rangeQuery(spec.lo, spec.hi);
+    std::sort(truth.records.begin(), truth.records.end(), index::recordLess);
+    ASSERT_EQ(mine.records.size(), truth.records.size()) << q;
+    for (size_t i = 0; i < truth.records.size(); ++i) {
+      EXPECT_EQ(mine.records[i], truth.records[i]);
+    }
+    EXPECT_EQ(mine.stats.parallelSteps, 1u);
+    EXPECT_EQ(mine.stats.dhtLookups, mine.stats.bucketsTouched);
+  }
+}
+
+TEST(RstIndex, SplitBroadcastsToAllPeers) {
+  // The paper's complaint made concrete: every split costs N structure
+  // messages, so maintenance scales with the network size.
+  for (size_t peers : {16u, 256u}) {
+    dht::LocalDht d;
+    RstIndex idx(d, smallOpts(8, peers));
+    auto data = workload::makeDataset(workload::Distribution::Uniform, 400, 5);
+    for (const auto& r : data) idx.insert(r);
+    const auto splits = idx.meters().maintenance.splits;
+    ASSERT_GT(splits, 10u);
+    EXPECT_EQ(idx.broadcasts(), splits * peers);
+    // Maintenance lookups = broadcast + 2 re-keyed children per split.
+    EXPECT_EQ(idx.meters().maintenance.dhtLookups, splits * (peers + 2));
+  }
+}
+
+TEST(RstIndex, StructureMatchesLeafSetInvariants) {
+  dht::LocalDht d;
+  RstIndex idx(d, smallOpts());
+  auto data = workload::makeDataset(workload::Distribution::Zipf, 600, 6);
+  for (const auto& r : data) idx.insert(r);
+  // The replicated leaf set tiles [0,1) exactly.
+  double edge = 0.0;
+  for (const auto& leaf : idx.leaves()) {
+    EXPECT_DOUBLE_EQ(leaf.interval().lo, edge);
+    edge = leaf.interval().hi;
+  }
+  EXPECT_DOUBLE_EQ(edge, 1.0);
+}
+
+TEST(RstIndex, MinMaxAndErase) {
+  dht::LocalDht d;
+  RstIndex idx(d, smallOpts());
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 300, 7);
+  double lo = 2.0, hi = -1.0;
+  for (const auto& r : data) {
+    idx.insert(r);
+    lo = std::min(lo, r.key);
+    hi = std::max(hi, r.key);
+  }
+  EXPECT_DOUBLE_EQ(idx.minRecord().record->key, lo);
+  EXPECT_DOUBLE_EQ(idx.maxRecord().record->key, hi);
+  EXPECT_TRUE(idx.erase(data[0].key).ok);
+  EXPECT_FALSE(idx.erase(data[0].key).ok);
+  EXPECT_EQ(idx.recordCount(), data.size() - 1);
+}
+
+TEST(RstIndex, BoundaryKeys) {
+  dht::LocalDht d;
+  RstIndex idx(d, smallOpts());
+  idx.insert({0.0, "zero"});
+  idx.insert({1.0, "one"});
+  EXPECT_TRUE(idx.find(0.0).record.has_value());
+  EXPECT_TRUE(idx.find(1.0).record.has_value());
+}
+
+}  // namespace
+}  // namespace lht::rst

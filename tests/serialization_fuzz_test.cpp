@@ -1,0 +1,118 @@
+// Robustness fuzzing: values cross a (simulated) network boundary, so
+// decoding must be total — corrupted, truncated, or random bytes must
+// yield a clean failure (nullopt), never a crash, hang, or wild read.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/codec.h"
+#include "common/random.h"
+#include "dst/dst_index.h"
+#include "lht/bucket.h"
+#include "pht/pht_node.h"
+
+namespace lht {
+namespace {
+
+core::LeafBucket sampleBucket() {
+  core::LeafBucket b{*common::Label::parse("#01101"), {}};
+  for (int i = 0; i < 20; ++i) {
+    b.records.push_back({0.84 + i * 0.001, "payload-" + std::to_string(i)});
+  }
+  return b;
+}
+
+pht::PhtNode sampleNode() {
+  pht::PhtNode n;
+  n.kind = pht::PhtNode::Kind::Leaf;
+  n.label = *common::Label::parse("#0010");
+  n.prevLeaf = *common::Label::parse("#000");
+  n.nextLeaf = *common::Label::parse("#0011");
+  for (int i = 0; i < 10; ++i) n.records.push_back({0.26 + i * 0.002, "r"});
+  return n;
+}
+
+TEST(SerializationFuzz, BucketSurvivesSingleByteCorruption) {
+  const std::string bytes = sampleBucket().serialize();
+  common::Pcg32 rng(1);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = bytes;
+    const size_t pos = rng.below(static_cast<common::u32>(mutated.size()));
+    mutated[pos] = static_cast<char>(rng.next() & 0xFF);
+    // Must decode cleanly to *something* or fail cleanly; either is fine —
+    // the requirement is totality, checked by simply not crashing, plus
+    // label sanity when it does decode.
+    auto out = core::LeafBucket::deserialize(mutated);
+    if (out) {
+      EXPECT_LE(out->label.length(), common::Label::kMaxBits);
+    }
+  }
+}
+
+TEST(SerializationFuzz, BucketRejectsEveryTruncation) {
+  const std::string bytes = sampleBucket().serialize();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto out = core::LeafBucket::deserialize(bytes.substr(0, cut));
+    EXPECT_FALSE(out.has_value()) << "truncation at " << cut;
+  }
+  // Trailing garbage must also be rejected (atEnd() check).
+  EXPECT_FALSE(core::LeafBucket::deserialize(bytes + "x").has_value());
+}
+
+TEST(SerializationFuzz, BucketRandomBytesNeverCrash) {
+  common::Pcg32 rng(2);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string junk;
+    const size_t len = rng.below(200);
+    junk.reserve(len);
+    for (size_t i = 0; i < len; ++i) junk.push_back(static_cast<char>(rng.next() & 0xFF));
+    auto out = core::LeafBucket::deserialize(junk);
+    if (out) {
+      EXPECT_LE(out->label.length(), common::Label::kMaxBits);
+    }
+  }
+}
+
+TEST(SerializationFuzz, PhtNodeTruncationAndCorruption) {
+  const std::string bytes = sampleNode().serialize();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(pht::PhtNode::deserialize(bytes.substr(0, cut)).has_value());
+  }
+  common::Pcg32 rng(3);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = bytes;
+    mutated[rng.below(static_cast<common::u32>(mutated.size()))] =
+        static_cast<char>(rng.next() & 0xFF);
+    (void)pht::PhtNode::deserialize(mutated);  // totality only
+  }
+}
+
+TEST(SerializationFuzz, RoundTripIsIdentity) {
+  // The positive side of the contract, on a spread of record counts.
+  for (int n : {0, 1, 7, 100}) {
+    core::LeafBucket b{*common::Label::parse("#010"), {}};
+    for (int i = 0; i < n; ++i) {
+      b.records.push_back({0.25 + i * 1e-4, std::string(i % 30, 'x')});
+    }
+    auto back = core::LeafBucket::deserialize(b.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->label, b.label);
+    ASSERT_EQ(back->records.size(), b.records.size());
+    for (size_t i = 0; i < b.records.size(); ++i) {
+      EXPECT_EQ(back->records[i], b.records[i]);
+    }
+  }
+}
+
+TEST(SerializationFuzz, DecoderNeverReadsPastEnd) {
+  // Adversarial length prefix: a string claiming 4GB of payload.
+  common::Encoder enc;
+  enc.putU32(0xFFFFFFFFu);
+  std::string bytes = std::move(enc).take();
+  bytes += "short";
+  common::Decoder dec(bytes);
+  EXPECT_FALSE(dec.getString().has_value());
+}
+
+}  // namespace
+}  // namespace lht

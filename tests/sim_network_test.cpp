@@ -1,0 +1,56 @@
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+namespace lht::net {
+namespace {
+
+TEST(SimNetwork, AccountsMessagesAndBytes) {
+  SimNetwork net;
+  PeerId a = net.addPeer("a");
+  PeerId b = net.addPeer("b");
+  EXPECT_TRUE(net.send(a, b, 100));
+  EXPECT_TRUE(net.send(b, a, 50));
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 150u);
+  EXPECT_EQ(net.peerStats(a).messagesOut, 1u);
+  EXPECT_EQ(net.peerStats(a).bytesIn, 50u);
+  EXPECT_EQ(net.peerStats(b).messagesIn, 1u);
+}
+
+TEST(SimNetwork, OfflinePeerDropsMessages) {
+  SimNetwork net;
+  PeerId a = net.addPeer("a");
+  PeerId b = net.addPeer("b");
+  net.setOnline(b, false);
+  EXPECT_FALSE(net.isOnline(b));
+  EXPECT_FALSE(net.send(a, b, 10));
+  EXPECT_EQ(net.stats().messages, 0u);
+  net.setOnline(b, true);
+  EXPECT_TRUE(net.send(a, b, 10));
+}
+
+TEST(SimNetwork, LoadStats) {
+  SimNetwork net;
+  PeerId a = net.addPeer("a");
+  PeerId b = net.addPeer("b");
+  PeerId c = net.addPeer("c");
+  net.send(a, b, 1);
+  net.send(a, b, 1);
+  net.send(a, c, 1);
+  EXPECT_EQ(net.maxPeerLoad(), 2u);
+  EXPECT_DOUBLE_EQ(net.meanPeerLoad(), 1.0);
+  net.resetStats();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.maxPeerLoad(), 0u);
+}
+
+TEST(SimNetwork, BadPeerIdRejected) {
+  SimNetwork net;
+  PeerId a = net.addPeer("a");
+  EXPECT_THROW(net.send(a, 99, 1), common::InvariantError);
+  EXPECT_THROW(net.peerName(99), common::InvariantError);
+}
+
+}  // namespace
+}  // namespace lht::net

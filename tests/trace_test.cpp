@@ -1,0 +1,125 @@
+// Tests for workload traces: encode/decode, file round-trip, generation
+// invariants, and replay equivalence across index implementations.
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dht/local_dht.h"
+#include "index/reference_index.h"
+#include "lht/lht_index.h"
+#include "pht/pht_index.h"
+
+namespace lht::workload {
+namespace {
+
+std::vector<Operation> sampleOps() {
+  return {
+      {Operation::Kind::Insert, 0.25, 0.0, "a"},
+      {Operation::Kind::Insert, 0.75, 0.0, "b"},
+      {Operation::Kind::Find, 0.25, 0.0, ""},
+      {Operation::Kind::Range, 0.2, 0.8, ""},
+      {Operation::Kind::Erase, 0.25, 0.0, ""},
+      {Operation::Kind::Min, 0.0, 0.0, ""},
+      {Operation::Kind::Max, 0.0, 0.0, ""},
+  };
+}
+
+TEST(Trace, EncodeDecodeRoundTrip) {
+  auto ops = sampleOps();
+  auto back = decodeTrace(encodeTrace(ops));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ops);
+}
+
+TEST(Trace, DecodeRejectsGarbage) {
+  EXPECT_FALSE(decodeTrace("").has_value());
+  EXPECT_FALSE(decodeTrace("not a trace").has_value());
+  auto bytes = encodeTrace(sampleOps());
+  EXPECT_FALSE(decodeTrace(bytes.substr(0, bytes.size() - 3)).has_value());
+  EXPECT_FALSE(decodeTrace(bytes + "x").has_value());
+  // Wrong magic.
+  bytes[0] = static_cast<char>(~bytes[0]);
+  EXPECT_FALSE(decodeTrace(bytes).has_value());
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::string path = "/tmp/lht_trace_test.bin";
+  auto ops = makeMixedTrace(Distribution::Uniform, 500, TraceMix{}, 3);
+  ASSERT_TRUE(writeTrace(path, ops));
+  auto back = readTrace(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ops);
+  std::remove(path.c_str());
+  EXPECT_FALSE(readTrace(path).has_value());
+}
+
+TEST(Trace, MixedTraceRespectsInvariants) {
+  TraceMix mix;
+  mix.insert = 0.5;
+  mix.erase = 0.2;
+  mix.find = 0.2;
+  mix.range = 0.1;
+  auto ops = makeMixedTrace(Distribution::Gaussian, 2000, mix, 7);
+  ASSERT_EQ(ops.size(), 2000u);
+  size_t liveCount = 0;
+  for (const auto& op : ops) {
+    if (op.kind == Operation::Kind::Insert) {
+      EXPECT_GE(op.key, 0.0);
+      EXPECT_LT(op.key, 1.0);
+      liveCount += 1;
+    } else if (op.kind == Operation::Kind::Erase) {
+      // Erases only ever target previously inserted keys.
+      ASSERT_GT(liveCount, 0u);
+      liveCount -= 1;
+    } else if (op.kind == Operation::Kind::Range) {
+      EXPECT_LT(op.key, op.hi);
+      EXPECT_NEAR(op.hi - op.key, mix.rangeSpan, 1e-12);
+    }
+  }
+  // Deterministic per seed.
+  EXPECT_EQ(makeMixedTrace(Distribution::Gaussian, 2000, mix, 7), ops);
+  EXPECT_NE(makeMixedTrace(Distribution::Gaussian, 2000, mix, 8), ops);
+}
+
+TEST(Trace, ReplayAgreesAcrossImplementations) {
+  TraceMix mix;
+  mix.erase = 0.15;
+  mix.range = 0.15;
+  mix.minmax = 0.05;
+  auto ops = makeMixedTrace(Distribution::Uniform, 1500, mix, 11);
+
+  dht::LocalDht d1, d2;
+  core::LhtIndex lht(d1, {.thetaSplit = 8, .maxDepth = 24});
+  pht::PhtIndex::Options po;
+  po.thetaSplit = 8;
+  po.maxDepth = 24;
+  pht::PhtIndex pht(d2, po);
+  index::ReferenceIndex oracle;
+
+  auto a = replay(lht, ops);
+  auto b = replay(pht, ops);
+  auto c = replay(oracle, ops);
+
+  // All three implementations must return identical result counts.
+  EXPECT_EQ(a.recordsReturned, c.recordsReturned);
+  EXPECT_EQ(b.recordsReturned, c.recordsReturned);
+  EXPECT_EQ(lht.recordCount(), oracle.recordCount());
+  EXPECT_EQ(pht.recordCount(), oracle.recordCount());
+  EXPECT_EQ(a.inserts, b.inserts);
+  EXPECT_EQ(a.ranges, c.ranges);
+  // The distributed indexes actually paid for their lookups.
+  EXPECT_GT(a.totals.dhtLookups, 0u);
+  EXPECT_GT(b.totals.dhtLookups, 0u);
+}
+
+TEST(Trace, ReplayOnEmptyTrace) {
+  dht::LocalDht d;
+  core::LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 20});
+  auto s = replay(idx, {});
+  EXPECT_EQ(s.inserts + s.erases + s.finds + s.ranges + s.minmaxes, 0u);
+}
+
+}  // namespace
+}  // namespace lht::workload

@@ -1,0 +1,74 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lht::workload {
+namespace {
+
+TEST(Workload, ParseDistributionNames) {
+  EXPECT_EQ(parseDistribution("uniform"), Distribution::Uniform);
+  EXPECT_EQ(parseDistribution("gaussian"), Distribution::Gaussian);
+  EXPECT_EQ(parseDistribution("zipf"), Distribution::Zipf);
+  EXPECT_THROW(parseDistribution("nope"), common::InvariantError);
+  EXPECT_EQ(distributionName(Distribution::Gaussian), "gaussian");
+}
+
+TEST(Workload, DatasetsAreDeterministicPerSeed) {
+  auto a = makeDataset(Distribution::Uniform, 100, 7);
+  auto b = makeDataset(Distribution::Uniform, 100, 7);
+  auto c = makeDataset(Distribution::Uniform, 100, 8);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Workload, AllKeysInUnitInterval) {
+  for (auto dist : {Distribution::Uniform, Distribution::Gaussian, Distribution::Zipf}) {
+    auto data = makeDataset(dist, 5000, 11);
+    for (const auto& r : data) {
+      ASSERT_GE(r.key, 0.0) << distributionName(dist);
+      ASSERT_LT(r.key, 1.0) << distributionName(dist);
+    }
+  }
+}
+
+TEST(Workload, GaussianConcentratesAtCenter) {
+  auto data = makeDataset(Distribution::Gaussian, 20000, 13);
+  int center = 0;
+  for (const auto& r : data) {
+    if (r.key >= 1.0 / 3 && r.key < 2.0 / 3) ++center;  // within 1 sigma
+  }
+  // ~68% within one sigma of the mean.
+  EXPECT_NEAR(static_cast<double>(center) / data.size(), 0.683, 0.02);
+}
+
+TEST(Workload, UniformIsFlat) {
+  auto data = makeDataset(Distribution::Uniform, 40000, 17);
+  int buckets[8] = {};
+  for (const auto& r : data) buckets[static_cast<int>(r.key * 8)] += 1;
+  for (int b : buckets) EXPECT_NEAR(b, 5000, 350);
+}
+
+TEST(Workload, RangeSpecRespectsSpan) {
+  common::Pcg32 rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    auto spec = makeRange(0.25, rng);
+    EXPECT_GE(spec.lo, 0.0);
+    EXPECT_LE(spec.hi, 1.0);
+    EXPECT_NEAR(spec.hi - spec.lo, 0.25, 1e-12);
+  }
+  EXPECT_THROW(makeRange(0.0, rng), common::InvariantError);
+  EXPECT_THROW(makeRange(1.5, rng), common::InvariantError);
+}
+
+TEST(Workload, PayloadsAreDistinct) {
+  auto data = makeDataset(Distribution::Uniform, 50, 23);
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NE(data[i].payload, data[i - 1].payload);
+  }
+}
+
+}  // namespace
+}  // namespace lht::workload
