@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cascading.dir/ablation_cascading.cpp.o"
+  "CMakeFiles/ablation_cascading.dir/ablation_cascading.cpp.o.d"
+  "ablation_cascading"
+  "ablation_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dst.dir/ablation_dst.cpp.o"
+  "CMakeFiles/ablation_dst.dir/ablation_dst.cpp.o.d"
+  "ablation_dst"
+  "ablation_dst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lookup_depth.dir/ablation_lookup_depth.cpp.o"
+  "CMakeFiles/ablation_lookup_depth.dir/ablation_lookup_depth.cpp.o.d"
+  "ablation_lookup_depth"
+  "ablation_lookup_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lookup_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

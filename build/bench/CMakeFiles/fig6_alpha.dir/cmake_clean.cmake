@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_alpha.dir/fig6_alpha.cpp.o"
+  "CMakeFiles/fig6_alpha.dir/fig6_alpha.cpp.o.d"
+  "fig6_alpha"
+  "fig6_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_maintenance.dir/fig7_maintenance.cpp.o"
+  "CMakeFiles/fig7_maintenance.dir/fig7_maintenance.cpp.o.d"
+  "fig7_maintenance"
+  "fig7_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

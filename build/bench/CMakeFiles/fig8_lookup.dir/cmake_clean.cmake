@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lookup.dir/fig8_lookup.cpp.o"
+  "CMakeFiles/fig8_lookup.dir/fig8_lookup.cpp.o.d"
+  "fig8_lookup"
+  "fig8_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

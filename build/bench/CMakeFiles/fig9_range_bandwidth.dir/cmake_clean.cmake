@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_range_bandwidth.dir/fig9_range_bandwidth.cpp.o"
+  "CMakeFiles/fig9_range_bandwidth.dir/fig9_range_bandwidth.cpp.o.d"
+  "fig9_range_bandwidth"
+  "fig9_range_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_range_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_minmax.dir/table_minmax.cpp.o"
+  "CMakeFiles/table_minmax.dir/table_minmax.cpp.o.d"
+  "table_minmax"
+  "table_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

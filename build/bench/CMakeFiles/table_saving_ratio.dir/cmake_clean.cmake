@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_saving_ratio.dir/table_saving_ratio.cpp.o"
+  "CMakeFiles/table_saving_ratio.dir/table_saving_ratio.cpp.o.d"
+  "table_saving_ratio"
+  "table_saving_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_saving_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/marketplace.cpp" "examples/CMakeFiles/marketplace.dir/marketplace.cpp.o" "gcc" "examples/CMakeFiles/marketplace.dir/marketplace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/lht_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lht_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/lht_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/lht/CMakeFiles/lht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pht/CMakeFiles/lht_pht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dst/CMakeFiles/lht_dst.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/lht_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpr/CMakeFiles/lht_lpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lht_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lht_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_database.dir/p2p_database.cpp.o"
+  "CMakeFiles/p2p_database.dir/p2p_database.cpp.o.d"
+  "p2p_database"
+  "p2p_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_zorder.dir/spatial_zorder.cpp.o"
+  "CMakeFiles/spatial_zorder.dir/spatial_zorder.cpp.o.d"
+  "spatial_zorder"
+  "spatial_zorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_comparison.dir/substrate_comparison.cpp.o"
+  "CMakeFiles/substrate_comparison.dir/substrate_comparison.cpp.o.d"
+  "substrate_comparison"
+  "substrate_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("dht")
+subdirs("index")
+subdirs("cost")
+subdirs("lht")
+subdirs("pht")
+subdirs("dst")
+subdirs("rst")
+subdirs("lpr")
+subdirs("db")
+subdirs("workload")
+subdirs("sim")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/codec.cpp" "src/common/CMakeFiles/lht_common.dir/codec.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/codec.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/lht_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/flags.cpp" "src/common/CMakeFiles/lht_common.dir/flags.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/flags.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/common/CMakeFiles/lht_common.dir/hash.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/hash.cpp.o.d"
+  "/root/repo/src/common/interval.cpp" "src/common/CMakeFiles/lht_common.dir/interval.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/interval.cpp.o.d"
+  "/root/repo/src/common/label.cpp" "src/common/CMakeFiles/lht_common.dir/label.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/label.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/lht_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/lht_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/lht_common.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

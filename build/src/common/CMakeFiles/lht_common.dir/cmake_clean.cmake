@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_common.dir/codec.cpp.o"
+  "CMakeFiles/lht_common.dir/codec.cpp.o.d"
+  "CMakeFiles/lht_common.dir/csv.cpp.o"
+  "CMakeFiles/lht_common.dir/csv.cpp.o.d"
+  "CMakeFiles/lht_common.dir/flags.cpp.o"
+  "CMakeFiles/lht_common.dir/flags.cpp.o.d"
+  "CMakeFiles/lht_common.dir/hash.cpp.o"
+  "CMakeFiles/lht_common.dir/hash.cpp.o.d"
+  "CMakeFiles/lht_common.dir/interval.cpp.o"
+  "CMakeFiles/lht_common.dir/interval.cpp.o.d"
+  "CMakeFiles/lht_common.dir/label.cpp.o"
+  "CMakeFiles/lht_common.dir/label.cpp.o.d"
+  "CMakeFiles/lht_common.dir/logging.cpp.o"
+  "CMakeFiles/lht_common.dir/logging.cpp.o.d"
+  "CMakeFiles/lht_common.dir/random.cpp.o"
+  "CMakeFiles/lht_common.dir/random.cpp.o.d"
+  "liblht_common.a"
+  "liblht_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/lht_cost.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lht_cost.dir/meter.cpp.o"
+  "CMakeFiles/lht_cost.dir/meter.cpp.o.d"
+  "liblht_cost.a"
+  "liblht_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_db.dir/table.cpp.o"
+  "CMakeFiles/lht_db.dir/table.cpp.o.d"
+  "liblht_db.a"
+  "liblht_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

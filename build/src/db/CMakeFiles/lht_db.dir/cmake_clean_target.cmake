@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblht_db.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_dht.dir/can.cpp.o"
+  "CMakeFiles/lht_dht.dir/can.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/chord.cpp.o"
+  "CMakeFiles/lht_dht.dir/chord.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/decorators.cpp.o"
+  "CMakeFiles/lht_dht.dir/decorators.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/dht.cpp.o"
+  "CMakeFiles/lht_dht.dir/dht.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/kademlia.cpp.o"
+  "CMakeFiles/lht_dht.dir/kademlia.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/local_dht.cpp.o"
+  "CMakeFiles/lht_dht.dir/local_dht.cpp.o.d"
+  "CMakeFiles/lht_dht.dir/pastry.cpp.o"
+  "CMakeFiles/lht_dht.dir/pastry.cpp.o.d"
+  "liblht_dht.a"
+  "liblht_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

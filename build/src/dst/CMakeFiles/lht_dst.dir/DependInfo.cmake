@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dst/dst_index.cpp" "src/dst/CMakeFiles/lht_dst.dir/dst_index.cpp.o" "gcc" "src/dst/CMakeFiles/lht_dst.dir/dst_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/lht_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/lht_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lht_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lht_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

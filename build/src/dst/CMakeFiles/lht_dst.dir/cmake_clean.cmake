@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_dst.dir/dst_index.cpp.o"
+  "CMakeFiles/lht_dst.dir/dst_index.cpp.o.d"
+  "liblht_dst.a"
+  "liblht_dst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

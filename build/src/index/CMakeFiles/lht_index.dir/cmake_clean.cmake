@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_index.dir/reference_index.cpp.o"
+  "CMakeFiles/lht_index.dir/reference_index.cpp.o.d"
+  "liblht_index.a"
+  "liblht_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

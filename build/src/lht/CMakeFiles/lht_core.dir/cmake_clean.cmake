@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_core.dir/bucket.cpp.o"
+  "CMakeFiles/lht_core.dir/bucket.cpp.o.d"
+  "CMakeFiles/lht_core.dir/lht_index.cpp.o"
+  "CMakeFiles/lht_core.dir/lht_index.cpp.o.d"
+  "CMakeFiles/lht_core.dir/local_tree.cpp.o"
+  "CMakeFiles/lht_core.dir/local_tree.cpp.o.d"
+  "CMakeFiles/lht_core.dir/naming.cpp.o"
+  "CMakeFiles/lht_core.dir/naming.cpp.o.d"
+  "CMakeFiles/lht_core.dir/tree_stats.cpp.o"
+  "CMakeFiles/lht_core.dir/tree_stats.cpp.o.d"
+  "CMakeFiles/lht_core.dir/zorder.cpp.o"
+  "CMakeFiles/lht_core.dir/zorder.cpp.o.d"
+  "liblht_core.a"
+  "liblht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_lpr.dir/lpr_index.cpp.o"
+  "CMakeFiles/lht_lpr.dir/lpr_index.cpp.o.d"
+  "liblht_lpr.a"
+  "liblht_lpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_lpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lht_lpr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_net.dir/sim_network.cpp.o"
+  "CMakeFiles/lht_net.dir/sim_network.cpp.o.d"
+  "liblht_net.a"
+  "liblht_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_pht.dir/pht_index.cpp.o"
+  "CMakeFiles/lht_pht.dir/pht_index.cpp.o.d"
+  "CMakeFiles/lht_pht.dir/pht_node.cpp.o"
+  "CMakeFiles/lht_pht.dir/pht_node.cpp.o.d"
+  "liblht_pht.a"
+  "liblht_pht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_pht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_rst.dir/rst_index.cpp.o"
+  "CMakeFiles/lht_rst.dir/rst_index.cpp.o.d"
+  "liblht_rst.a"
+  "liblht_rst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_rst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

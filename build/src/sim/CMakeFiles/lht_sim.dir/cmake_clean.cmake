@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_sim.dir/churn.cpp.o"
+  "CMakeFiles/lht_sim.dir/churn.cpp.o.d"
+  "CMakeFiles/lht_sim.dir/experiment.cpp.o"
+  "CMakeFiles/lht_sim.dir/experiment.cpp.o.d"
+  "liblht_sim.a"
+  "liblht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

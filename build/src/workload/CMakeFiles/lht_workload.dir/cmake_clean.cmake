@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lht_workload.dir/generators.cpp.o"
+  "CMakeFiles/lht_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/lht_workload.dir/trace.cpp.o"
+  "CMakeFiles/lht_workload.dir/trace.cpp.o.d"
+  "liblht_workload.a"
+  "liblht_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lht_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/can_test.cpp" "tests/CMakeFiles/lht_tests.dir/can_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/can_test.cpp.o.d"
+  "/root/repo/tests/chord_replication_test.cpp" "tests/CMakeFiles/lht_tests.dir/chord_replication_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/chord_replication_test.cpp.o.d"
+  "/root/repo/tests/chord_test.cpp" "tests/CMakeFiles/lht_tests.dir/chord_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/chord_test.cpp.o.d"
+  "/root/repo/tests/chord_vnodes_test.cpp" "tests/CMakeFiles/lht_tests.dir/chord_vnodes_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/chord_vnodes_test.cpp.o.d"
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/lht_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/lht_tests.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/cross_substrate_churn_test.cpp" "tests/CMakeFiles/lht_tests.dir/cross_substrate_churn_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/cross_substrate_churn_test.cpp.o.d"
+  "/root/repo/tests/csv_flags_test.cpp" "tests/CMakeFiles/lht_tests.dir/csv_flags_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/csv_flags_test.cpp.o.d"
+  "/root/repo/tests/db_table_test.cpp" "tests/CMakeFiles/lht_tests.dir/db_table_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/db_table_test.cpp.o.d"
+  "/root/repo/tests/decorators_test.cpp" "tests/CMakeFiles/lht_tests.dir/decorators_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/decorators_test.cpp.o.d"
+  "/root/repo/tests/dst_index_test.cpp" "tests/CMakeFiles/lht_tests.dir/dst_index_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/dst_index_test.cpp.o.d"
+  "/root/repo/tests/figure_regression_test.cpp" "tests/CMakeFiles/lht_tests.dir/figure_regression_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/figure_regression_test.cpp.o.d"
+  "/root/repo/tests/hash_test.cpp" "tests/CMakeFiles/lht_tests.dir/hash_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/hash_test.cpp.o.d"
+  "/root/repo/tests/index_conformance_test.cpp" "tests/CMakeFiles/lht_tests.dir/index_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/index_conformance_test.cpp.o.d"
+  "/root/repo/tests/interval_test.cpp" "tests/CMakeFiles/lht_tests.dir/interval_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/interval_test.cpp.o.d"
+  "/root/repo/tests/kademlia_test.cpp" "tests/CMakeFiles/lht_tests.dir/kademlia_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/kademlia_test.cpp.o.d"
+  "/root/repo/tests/label_test.cpp" "tests/CMakeFiles/lht_tests.dir/label_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/label_test.cpp.o.d"
+  "/root/repo/tests/lht_exhaustive_tree_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_exhaustive_tree_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_exhaustive_tree_test.cpp.o.d"
+  "/root/repo/tests/lht_extensions_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_extensions_test.cpp.o.d"
+  "/root/repo/tests/lht_growth_model_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_growth_model_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_growth_model_test.cpp.o.d"
+  "/root/repo/tests/lht_index_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_index_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_index_test.cpp.o.d"
+  "/root/repo/tests/lht_maintenance_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_maintenance_test.cpp.o.d"
+  "/root/repo/tests/lht_quantile_snapshot_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_quantile_snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_quantile_snapshot_test.cpp.o.d"
+  "/root/repo/tests/lht_range_property_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_range_property_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_range_property_test.cpp.o.d"
+  "/root/repo/tests/lht_topk_test.cpp" "tests/CMakeFiles/lht_tests.dir/lht_topk_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lht_topk_test.cpp.o.d"
+  "/root/repo/tests/local_dht_test.cpp" "tests/CMakeFiles/lht_tests.dir/local_dht_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/local_dht_test.cpp.o.d"
+  "/root/repo/tests/local_tree_test.cpp" "tests/CMakeFiles/lht_tests.dir/local_tree_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/local_tree_test.cpp.o.d"
+  "/root/repo/tests/logging_test.cpp" "tests/CMakeFiles/lht_tests.dir/logging_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/logging_test.cpp.o.d"
+  "/root/repo/tests/lpr_index_test.cpp" "tests/CMakeFiles/lht_tests.dir/lpr_index_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/lpr_index_test.cpp.o.d"
+  "/root/repo/tests/naming_test.cpp" "tests/CMakeFiles/lht_tests.dir/naming_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/naming_test.cpp.o.d"
+  "/root/repo/tests/paper_examples_test.cpp" "tests/CMakeFiles/lht_tests.dir/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/pastry_test.cpp" "tests/CMakeFiles/lht_tests.dir/pastry_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/pastry_test.cpp.o.d"
+  "/root/repo/tests/pht_index_test.cpp" "tests/CMakeFiles/lht_tests.dir/pht_index_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/pht_index_test.cpp.o.d"
+  "/root/repo/tests/random_test.cpp" "tests/CMakeFiles/lht_tests.dir/random_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/random_test.cpp.o.d"
+  "/root/repo/tests/rst_index_test.cpp" "tests/CMakeFiles/lht_tests.dir/rst_index_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/rst_index_test.cpp.o.d"
+  "/root/repo/tests/serialization_fuzz_test.cpp" "tests/CMakeFiles/lht_tests.dir/serialization_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/serialization_fuzz_test.cpp.o.d"
+  "/root/repo/tests/sim_network_test.cpp" "tests/CMakeFiles/lht_tests.dir/sim_network_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/sim_network_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/lht_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/lht_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/workload_test.cpp.o.d"
+  "/root/repo/tests/zorder_test.cpp" "tests/CMakeFiles/lht_tests.dir/zorder_test.cpp.o" "gcc" "tests/CMakeFiles/lht_tests.dir/zorder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/lht_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/lht_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/lht_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/lht/CMakeFiles/lht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pht/CMakeFiles/lht_pht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dst/CMakeFiles/lht_dst.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/lht_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpr/CMakeFiles/lht_lpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lht_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lht_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
