@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build and run the test suite in the normal configuration
+# AND under AddressSanitizer + UndefinedBehaviorSanitizer (the serializers,
+# decoders, and repair paths are exactly the code where silent memory bugs
+# would hide). Presets live in CMakePresets.json.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer pass (normal build + tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build (default) =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+echo "== ctest (default) =="
+ctest --preset default -j "$jobs"
+
+if [[ "$fast" -eq 0 ]]; then
+  echo "== configure + build (asan-ubsan) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs"
+  echo "== ctest (asan-ubsan) =="
+  ctest --preset asan-ubsan -j "$jobs"
+fi
+
+echo "check.sh: all green"

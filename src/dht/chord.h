@@ -67,6 +67,9 @@ class ChordDht final : public Dht {
   /// Number of physical peers currently in the ring.
   [[nodiscard]] size_t peerCount() const;
 
+  /// Copies kept of every key (Options::replication as configured).
+  [[nodiscard]] size_t replicationFactor() const { return opts_.replication; }
+
   /// Ring ids of all current peers (sorted).
   [[nodiscard]] std::vector<common::u64> nodeIds() const;
 

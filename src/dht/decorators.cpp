@@ -1,15 +1,32 @@
 #include "dht/decorators.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+#include <type_traits>
 
 #include "common/types.h"
 
 namespace lht::dht {
 
+const char* dhtOpName(DhtOp op) {
+  switch (op) {
+    case DhtOp::Put: return "put";
+    case DhtOp::Get: return "get";
+    case DhtOp::Remove: return "remove";
+    case DhtOp::Apply: return "apply";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FlakyDht — lost requests
+// ---------------------------------------------------------------------------
+
 FlakyDht::FlakyDht(Dht& inner, double failProbability, common::u64 seed)
     : inner_(inner), failProbability_(failProbability), rng_(seed, 0xF1A6u) {
-  common::checkInvariant(failProbability >= 0.0 && failProbability < 1.0,
-                         "FlakyDht: probability must be in [0, 1)");
+  common::checkInvariant(failProbability >= 0.0 && failProbability <= 1.0,
+                         "FlakyDht: probability must be in [0, 1]");
 }
 
 void FlakyDht::maybeFail(const char* op) {
@@ -43,43 +60,356 @@ void FlakyDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
 }
 
+// ---------------------------------------------------------------------------
+// LostReplyDht — the mutation lands, the acknowledgement does not
+// ---------------------------------------------------------------------------
+
+LostReplyDht::LostReplyDht(Dht& inner, double lossProbability, common::u64 seed)
+    : inner_(inner), lossProbability_(lossProbability), rng_(seed, 0x105Eu) {
+  common::checkInvariant(lossProbability >= 0.0 && lossProbability <= 1.0,
+                         "LostReplyDht: probability must be in [0, 1]");
+}
+
+void LostReplyDht::maybeDropReply(const char* op) {
+  if (rng_.nextDouble() < lossProbability_) {
+    injected_ += 1;
+    throw DhtError(std::string("LostReplyDht: lost ") + op + " reply");
+  }
+}
+
+void LostReplyDht::put(const Key& key, Value value) {
+  inner_.put(key, std::move(value));
+  maybeDropReply("put");
+}
+
+std::optional<Value> LostReplyDht::get(const Key& key) {
+  auto v = inner_.get(key);
+  maybeDropReply("get");
+  return v;
+}
+
+bool LostReplyDht::remove(const Key& key) {
+  const bool existed = inner_.remove(key);
+  maybeDropReply("remove");
+  return existed;
+}
+
+bool LostReplyDht::apply(const Key& key, const Mutator& fn) {
+  const bool existed = inner_.apply(key, fn);
+  maybeDropReply("apply");
+  return existed;
+}
+
+void LostReplyDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// LatencyDht
+// ---------------------------------------------------------------------------
+
+LatencyDht::LatencyDht(Dht& inner, net::SimClock& clock, Options options)
+    : inner_(inner), clock_(clock), opts_(options), rng_(options.seed, 0x1A7Eu) {}
+
+void LatencyDht::charge() {
+  common::u64 ms = opts_.baseMs;
+  if (opts_.jitterMs > 0) {
+    ms += rng_.below(static_cast<common::u32>(
+        std::min<common::u64>(opts_.jitterMs, 0xFFFFFFFEull) + 1));
+  }
+  injectedMs_ += ms;
+  clock_.advance(ms);
+}
+
+void LatencyDht::put(const Key& key, Value value) {
+  charge();
+  inner_.put(key, std::move(value));
+}
+
+std::optional<Value> LatencyDht::get(const Key& key) {
+  charge();
+  return inner_.get(key);
+}
+
+bool LatencyDht::remove(const Key& key) {
+  charge();
+  return inner_.remove(key);
+}
+
+bool LatencyDht::apply(const Key& key, const Mutator& fn) {
+  charge();
+  return inner_.apply(key, fn);
+}
+
+void LatencyDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// TimeoutDht
+// ---------------------------------------------------------------------------
+
+TimeoutDht::TimeoutDht(Dht& inner, net::SimClock& clock, common::u64 deadlineMs)
+    : inner_(inner), clock_(clock), deadlineMs_(deadlineMs) {
+  common::checkInvariant(deadlineMs >= 1, "TimeoutDht: deadline must be >= 1ms");
+}
+
+void TimeoutDht::checkDeadline(common::u64 startMs, const char* op) {
+  const common::u64 elapsed = clock_.nowMs() - startMs;
+  if (elapsed > deadlineMs_) {
+    timeouts_ += 1;
+    throw DhtTimeoutError(std::string("TimeoutDht: ") + op + " took " +
+                          std::to_string(elapsed) + "ms > " +
+                          std::to_string(deadlineMs_) + "ms deadline");
+  }
+}
+
+void TimeoutDht::put(const Key& key, Value value) {
+  const common::u64 t0 = clock_.nowMs();
+  inner_.put(key, std::move(value));
+  checkDeadline(t0, "put");
+}
+
+std::optional<Value> TimeoutDht::get(const Key& key) {
+  const common::u64 t0 = clock_.nowMs();
+  auto v = inner_.get(key);
+  checkDeadline(t0, "get");
+  return v;
+}
+
+bool TimeoutDht::remove(const Key& key) {
+  const common::u64 t0 = clock_.nowMs();
+  const bool existed = inner_.remove(key);
+  checkDeadline(t0, "remove");
+  return existed;
+}
+
+bool TimeoutDht::apply(const Key& key, const Mutator& fn) {
+  const common::u64 t0 = clock_.nowMs();
+  const bool existed = inner_.apply(key, fn);
+  checkDeadline(t0, "apply");
+  return existed;
+}
+
+void TimeoutDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// RetryingDht
+// ---------------------------------------------------------------------------
+
 RetryingDht::RetryingDht(Dht& inner, size_t maxAttempts)
-    : inner_(inner), maxAttempts_(maxAttempts) {
-  common::checkInvariant(maxAttempts >= 1, "RetryingDht: need >= 1 attempt");
+    : RetryingDht(inner, Options{.maxAttempts = maxAttempts}) {}
+
+RetryingDht::RetryingDht(Dht& inner, Options options)
+    : inner_(inner), opts_(options), rng_(options.seed, 0xBACC0FFu) {
+  common::checkInvariant(opts_.maxAttempts >= 1, "RetryingDht: need >= 1 attempt");
+  common::checkInvariant(opts_.jitter >= 0.0 && opts_.jitter <= 1.0,
+                         "RetryingDht: jitter must be in [0, 1]");
+  common::checkInvariant(opts_.backoffMultiplier >= 1.0,
+                         "RetryingDht: multiplier must be >= 1");
+}
+
+common::u64 RetryingDht::backoffDelayMs(size_t attempt) {
+  if (opts_.baseBackoffMs == 0) return 0;
+  // Exponential growth capped at maxBackoffMs: base * mult^(attempt-1).
+  double d = static_cast<double>(opts_.baseBackoffMs) *
+             std::pow(opts_.backoffMultiplier, static_cast<double>(attempt - 1));
+  d = std::min(d, static_cast<double>(opts_.maxBackoffMs));
+  // Deterministic jitter: keep (1-jitter) of the delay, re-draw the rest.
+  const double fixed = d * (1.0 - opts_.jitter);
+  const double jittered = d * opts_.jitter * rng_.nextDouble();
+  return static_cast<common::u64>(fixed + jittered);
 }
 
 template <typename F>
-auto RetryingDht::withRetries(F&& f) -> decltype(f()) {
+auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
   for (size_t attempt = 1;; ++attempt) {
     try {
-      return f();
-    } catch (const DhtError&) {
-      if (attempt >= maxAttempts_) throw;
+      auto done = [&] { histogram_[std::min(attempt, kHistogramBins) - 1] += 1; };
+      if constexpr (std::is_void_v<decltype(f())>) {
+        f();
+        done();
+        return;
+      } else {
+        auto r = f();
+        done();
+        return r;
+      }
+    } catch (const DhtError& e) {
+      lastError_ = e.what();
+      if (attempt >= opts_.maxAttempts) {
+        exhausted_ += 1;
+        throw DhtRetriesExhausted(
+            std::string("RetryingDht: ") + dhtOpName(op) + " failed after " +
+                std::to_string(attempt) + " attempts (last: " + e.what() + ")",
+            dhtOpName(op), attempt, e.what());
+      }
       retries_ += 1;
+      retriesPerOp_[static_cast<size_t>(op)] += 1;
+      const common::u64 wait = backoffDelayMs(attempt);
+      backoffWaitedMs_ += wait;
+      if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
     }
   }
 }
 
 void RetryingDht::put(const Key& key, Value value) {
-  withRetries([&]() -> int {
-    inner_.put(key, value);
-    return 0;
-  });
+  withRetries(DhtOp::Put, [&] { inner_.put(key, value); });
 }
 
 std::optional<Value> RetryingDht::get(const Key& key) {
-  return withRetries([&] { return inner_.get(key); });
+  return withRetries(DhtOp::Get, [&] { return inner_.get(key); });
 }
 
 bool RetryingDht::remove(const Key& key) {
-  return withRetries([&] { return inner_.remove(key); });
+  return withRetries(DhtOp::Remove, [&] { return inner_.remove(key); });
 }
 
 bool RetryingDht::apply(const Key& key, const Mutator& fn) {
-  return withRetries([&] { return inner_.apply(key, fn); });
+  return withRetries(DhtOp::Apply, [&] { return inner_.apply(key, fn); });
 }
 
 void RetryingDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreakerDht
+// ---------------------------------------------------------------------------
+
+CircuitBreakerDht::CircuitBreakerDht(Dht& inner, net::SimClock& clock,
+                                     Options options)
+    : inner_(inner), clock_(clock), opts_(options) {
+  common::checkInvariant(opts_.failureThreshold >= 1,
+                         "CircuitBreakerDht: threshold must be >= 1");
+}
+
+void CircuitBreakerDht::onSuccess() {
+  consecutiveFailures_ = 0;
+  state_ = State::Closed;
+}
+
+void CircuitBreakerDht::onFailure() {
+  if (state_ == State::HalfOpen) {
+    // The probe failed: straight back to open, cooldown restarts.
+    state_ = State::Open;
+    openedAtMs_ = clock_.nowMs();
+    return;
+  }
+  consecutiveFailures_ += 1;
+  if (consecutiveFailures_ >= opts_.failureThreshold) {
+    state_ = State::Open;
+    openedAtMs_ = clock_.nowMs();
+    timesOpened_ += 1;
+  }
+}
+
+template <typename F>
+auto CircuitBreakerDht::guarded(const char* op, F&& f) -> decltype(f()) {
+  if (state_ == State::Open) {
+    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
+      fastFailures_ += 1;
+      throw DhtCircuitOpenError(std::string("CircuitBreakerDht: ") + op +
+                                " rejected (circuit open)");
+    }
+    state_ = State::HalfOpen;  // cooldown elapsed: allow one probe through
+  }
+  try {
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      onSuccess();
+      return;
+    } else {
+      auto r = f();
+      onSuccess();
+      return r;
+    }
+  } catch (const DhtError&) {
+    onFailure();
+    throw;
+  }
+}
+
+void CircuitBreakerDht::put(const Key& key, Value value) {
+  guarded("put", [&] { inner_.put(key, value); });
+}
+
+std::optional<Value> CircuitBreakerDht::get(const Key& key) {
+  return guarded("get", [&] { return inner_.get(key); });
+}
+
+bool CircuitBreakerDht::remove(const Key& key) {
+  return guarded("remove", [&] { return inner_.remove(key); });
+}
+
+bool CircuitBreakerDht::apply(const Key& key, const Mutator& fn) {
+  return guarded("apply", [&] { return inner_.apply(key, fn); });
+}
+
+void CircuitBreakerDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// CrashDht
+// ---------------------------------------------------------------------------
+
+CrashDht::CrashDht(Dht& inner) : inner_(inner) {}
+
+void CrashDht::armAfterWrites(size_t allowedWrites) {
+  armed_ = true;
+  crashed_ = false;
+  allowedWrites_ = allowedWrites;
+  writesCompleted_ = 0;
+}
+
+void CrashDht::disarm() {
+  armed_ = false;
+  crashed_ = false;
+  writesCompleted_ = 0;
+}
+
+void CrashDht::beforeRead() {
+  if (crashed_) throw CrashError("CrashDht: client is down");
+}
+
+void CrashDht::beforeWrite() {
+  if (crashed_) throw CrashError("CrashDht: client is down");
+  if (armed_ && writesCompleted_ >= allowedWrites_) {
+    crashed_ = true;
+    throw CrashError("CrashDht: client crashed after " +
+                     std::to_string(writesCompleted_) + " writes");
+  }
+}
+
+void CrashDht::put(const Key& key, Value value) {
+  beforeWrite();
+  inner_.put(key, std::move(value));
+  writesCompleted_ += 1;
+}
+
+std::optional<Value> CrashDht::get(const Key& key) {
+  beforeRead();
+  return inner_.get(key);
+}
+
+bool CrashDht::remove(const Key& key) {
+  beforeWrite();
+  const bool existed = inner_.remove(key);
+  writesCompleted_ += 1;
+  return existed;
+}
+
+bool CrashDht::apply(const Key& key, const Mutator& fn) {
+  beforeWrite();
+  const bool existed = inner_.apply(key, fn);
+  writesCompleted_ += 1;
+  return existed;
+}
+
+void CrashDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
 }
 

@@ -1,37 +1,108 @@
-// DHT decorators for failure injection and recovery.
+// DHT decorators: failure injection and client-side recovery.
 //
 // Real DHT requests get lost; over-DHT indexes assume the substrate
 // resolves that (the paper leaves robustness "to and well done by [the]
-// underlying DHT"). These decorators make the assumption testable:
+// underlying DHT"). These decorators make the assumption testable, and
+// separate the two fundamentally different loss modes:
 //
-//  * FlakyDht injects request-loss failures: with probability p an
-//    operation throws DhtError *before* executing, exactly like a lost
-//    request (never a lost reply, so retries are always safe — no
-//    duplicated mutations).
-//  * RetryingDht retries a failed operation up to maxAttempts times —
-//    the standard client-side answer, and what makes an index over a
-//    flaky substrate behave exactly like one over a reliable substrate.
+//  * FlakyDht injects lost *requests*: with probability p an operation
+//    throws DhtError *before* executing. Retries are always safe — no
+//    mutation happened.
+//  * LostReplyDht injects lost *replies*: the operation executes at the
+//    storing peer, then the acknowledgement is dropped and the caller
+//    sees DhtError. A naive retry re-executes the mutation — this is the
+//    decorator that makes idempotence (bucket op tokens, lht/bucket.h)
+//    necessary rather than theoretical.
+//  * LatencyDht charges each routed operation simulated time on a shared
+//    SimClock (base + deterministic jitter).
+//  * TimeoutDht enforces a deadline against that clock: an operation
+//    whose inner call consumed more than the deadline throws
+//    DhtTimeoutError *after* executing — a timeout on a write that in
+//    fact landed is exactly a lost reply.
+//  * RetryingDht retries failed operations with exponential backoff and
+//    deterministic jitter, advancing the clock while "waiting", and keeps
+//    full diagnostics (per-op retry counts, attempt histogram, last
+//    error) instead of a bare rethrow.
+//  * CircuitBreakerDht fails fast after a run of consecutive failures and
+//    re-probes after a cooldown (half-open), protecting a client from
+//    hammering a dead substrate.
+//  * CrashDht kills the *client* between DHT writes: after a configured
+//    number of writes complete, every further operation throws
+//    CrashError (not a DhtError — no retry layer may absorb it). The
+//    fault campaign uses it to abandon multi-step index protocols at
+//    every intermediate step.
 //
-// Stack them: RetryingDht retrying(flaky); LhtIndex idx(retrying, ...);
+// Stack them: RetryingDht over CircuitBreakerDht over TimeoutDht over
+// LatencyDht over LostReplyDht over a real substrate.
 #pragma once
 
+#include <array>
 #include <stdexcept>
+#include <string>
 
 #include "common/random.h"
 #include "dht/dht.h"
+#include "net/sim_clock.h"
 
 namespace lht::dht {
 
-/// A lost DHT request.
+/// A lost DHT request or reply (base of every injectable DHT failure).
 class DhtError : public std::runtime_error {
  public:
   explicit DhtError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// An operation exceeded its deadline. The mutation may still have
+/// executed at the storing peer (lost-reply semantics).
+class DhtTimeoutError : public DhtError {
+ public:
+  explicit DhtTimeoutError(const std::string& what) : DhtError(what) {}
+};
+
+/// RetryingDht ran out of attempts. Carries what happened.
+class DhtRetriesExhausted : public DhtError {
+ public:
+  DhtRetriesExhausted(const std::string& what, std::string op, size_t attempts,
+                      std::string lastError)
+      : DhtError(what),
+        op_(std::move(op)),
+        attempts_(attempts),
+        lastError_(std::move(lastError)) {}
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] size_t attempts() const { return attempts_; }
+  [[nodiscard]] const std::string& lastError() const { return lastError_; }
+
+ private:
+  std::string op_;
+  size_t attempts_;
+  std::string lastError_;
+};
+
+/// CircuitBreakerDht is open: the operation was rejected without being
+/// attempted.
+class DhtCircuitOpenError : public DhtError {
+ public:
+  explicit DhtCircuitOpenError(const std::string& what) : DhtError(what) {}
+};
+
+/// A simulated client crash. Deliberately NOT a DhtError: retry layers
+/// absorb substrate failures, but nothing may absorb the death of the
+/// client itself.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Operation categories for per-op diagnostics.
+enum class DhtOp : size_t { Put = 0, Get = 1, Remove = 2, Apply = 3 };
+inline constexpr size_t kDhtOpCount = 4;
+const char* dhtOpName(DhtOp op);
+
 class FlakyDht final : public Dht {
  public:
   /// Fails each routed operation with probability `failProbability`
-  /// (deterministic given `seed`). storeDirect never fails (bootstrap).
+  /// *before* it executes (lost request), deterministic given `seed`.
+  /// storeDirect never fails (bootstrap).
   FlakyDht(Dht& inner, double failProbability, common::u64 seed = 1);
 
   void put(const Key& key, Value value) override;
@@ -53,11 +124,13 @@ class FlakyDht final : public Dht {
   size_t injected_ = 0;
 };
 
-class RetryingDht final : public Dht {
+class LostReplyDht final : public Dht {
  public:
-  /// Retries each operation up to `maxAttempts` times on DhtError, then
-  /// rethrows.
-  RetryingDht(Dht& inner, size_t maxAttempts = 8);
+  /// With probability `lossProbability` an operation *executes* on the
+  /// inner DHT and then throws DhtError — the mutation happened but the
+  /// caller cannot know. Deterministic given `seed`. storeDirect is
+  /// exempt (bootstrap).
+  LostReplyDht(Dht& inner, double lossProbability, common::u64 seed = 1);
 
   void put(const Key& key, Value value) override;
   std::optional<Value> get(const Key& key) override;
@@ -66,16 +139,216 @@ class RetryingDht final : public Dht {
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
 
-  /// Retries performed so far (failures absorbed).
+  /// Replies dropped so far (each one a successfully executed operation).
+  [[nodiscard]] size_t injectedLostReplies() const { return injected_; }
+
+ private:
+  void maybeDropReply(const char* op);
+
+  Dht& inner_;
+  double lossProbability_;
+  common::Pcg32 rng_;
+  size_t injected_ = 0;
+};
+
+class LatencyDht final : public Dht {
+ public:
+  struct Options {
+    common::u64 baseMs = 10;    ///< charged to every routed operation
+    common::u64 jitterMs = 0;   ///< plus uniform [0, jitterMs], deterministic
+    common::u64 seed = 1;
+  };
+
+  /// Advances `clock` by a sampled latency for each routed operation
+  /// (before it executes). storeDirect costs nothing.
+  LatencyDht(Dht& inner, net::SimClock& clock, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// Total simulated milliseconds injected so far.
+  [[nodiscard]] common::u64 injectedLatencyMs() const { return injectedMs_; }
+
+ private:
+  void charge();
+
+  Dht& inner_;
+  net::SimClock& clock_;
+  Options opts_;
+  common::Pcg32 rng_;
+  common::u64 injectedMs_ = 0;
+};
+
+class TimeoutDht final : public Dht {
+ public:
+  /// Throws DhtTimeoutError when an inner operation consumed more than
+  /// `deadlineMs` of simulated time. The throw happens *after* the inner
+  /// call returns: a timed-out write has still executed (lost reply).
+  TimeoutDht(Dht& inner, net::SimClock& clock, common::u64 deadlineMs);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// Deadline misses so far.
+  [[nodiscard]] size_t timeouts() const { return timeouts_; }
+
+ private:
+  void checkDeadline(common::u64 startMs, const char* op);
+
+  Dht& inner_;
+  net::SimClock& clock_;
+  common::u64 deadlineMs_;
+  size_t timeouts_ = 0;
+};
+
+class RetryingDht final : public Dht {
+ public:
+  struct Options {
+    size_t maxAttempts = 8;
+    /// First retry delay; 0 disables backoff entirely (immediate retry).
+    common::u64 baseBackoffMs = 0;
+    double backoffMultiplier = 2.0;
+    common::u64 maxBackoffMs = 10'000;
+    /// Fraction of each delay replaced by deterministic jitter: the delay
+    /// becomes d*(1-jitter) + uniform[0, d*jitter]. Avoids retry
+    /// synchronization across clients while staying reproducible.
+    double jitter = 0.5;
+    common::u64 seed = 1;
+    /// Backoff waits advance this clock when set (nullptr: waits are
+    /// tracked in backoffWaitedMs() but no clock moves).
+    net::SimClock* clock = nullptr;
+  };
+
+  /// Legacy shape: immediate retries, no backoff.
+  RetryingDht(Dht& inner, size_t maxAttempts = 8);
+  RetryingDht(Dht& inner, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  // Diagnostics --------------------------------------------------------------
+  /// Retries performed so far (failures absorbed), total and per op type.
   [[nodiscard]] size_t retries() const { return retries_; }
+  [[nodiscard]] size_t retriesFor(DhtOp op) const {
+    return retriesPerOp_[static_cast<size_t>(op)];
+  }
+  /// attemptHistogram()[k] = operations that succeeded on attempt k+1.
+  /// Attempts beyond the last bin are clamped into it.
+  static constexpr size_t kHistogramBins = 16;
+  [[nodiscard]] const std::array<common::u64, kHistogramBins>& attemptHistogram()
+      const {
+    return histogram_;
+  }
+  /// Operations that ran out of attempts, and the last error seen (from
+  /// any operation, most recent first).
+  [[nodiscard]] size_t exhausted() const { return exhausted_; }
+  [[nodiscard]] const std::string& lastError() const { return lastError_; }
+  /// Total simulated milliseconds spent in backoff waits.
+  [[nodiscard]] common::u64 backoffWaitedMs() const { return backoffWaitedMs_; }
 
  private:
   template <typename F>
-  auto withRetries(F&& f) -> decltype(f());
+  auto withRetries(DhtOp op, F&& f) -> decltype(f());
+  common::u64 backoffDelayMs(size_t attempt);
 
   Dht& inner_;
-  size_t maxAttempts_;
+  Options opts_;
+  common::Pcg32 rng_;
   size_t retries_ = 0;
+  std::array<size_t, kDhtOpCount> retriesPerOp_{};
+  std::array<common::u64, kHistogramBins> histogram_{};
+  size_t exhausted_ = 0;
+  std::string lastError_;
+  common::u64 backoffWaitedMs_ = 0;
+};
+
+class CircuitBreakerDht final : public Dht {
+ public:
+  struct Options {
+    /// Consecutive failures that trip the breaker open.
+    size_t failureThreshold = 5;
+    /// Simulated time the breaker stays open before a half-open probe.
+    common::u64 cooldownMs = 1'000;
+  };
+
+  enum class State { Closed, Open, HalfOpen };
+
+  CircuitBreakerDht(Dht& inner, net::SimClock& clock, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  [[nodiscard]] State state() const { return state_; }
+  /// Times the breaker tripped open.
+  [[nodiscard]] size_t timesOpened() const { return timesOpened_; }
+  /// Operations rejected without touching the inner DHT.
+  [[nodiscard]] size_t fastFailures() const { return fastFailures_; }
+
+ private:
+  template <typename F>
+  auto guarded(const char* op, F&& f) -> decltype(f());
+  void onSuccess();
+  void onFailure();
+
+  Dht& inner_;
+  net::SimClock& clock_;
+  Options opts_;
+  State state_ = State::Closed;
+  size_t consecutiveFailures_ = 0;
+  common::u64 openedAtMs_ = 0;
+  size_t timesOpened_ = 0;
+  size_t fastFailures_ = 0;
+};
+
+class CrashDht final : public Dht {
+ public:
+  explicit CrashDht(Dht& inner);
+
+  /// Arms the crash: exactly `allowedWrites` more writes (put/apply/
+  /// remove) are allowed to complete; the next write after that — and
+  /// every operation once crashed — throws CrashError before executing.
+  /// `allowedWrites = 0` kills the very next write.
+  void armAfterWrites(size_t allowedWrites);
+  void disarm();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Writes completed since the last arm/disarm (counts while disarmed
+  /// too, so callers can measure a protocol's write footprint).
+  [[nodiscard]] size_t writesCompleted() const { return writesCompleted_; }
+  void resetWriteCount() { writesCompleted_ = 0; }
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+ private:
+  void beforeWrite();
+  void beforeRead();
+
+  Dht& inner_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  size_t allowedWrites_ = 0;
+  size_t writesCompleted_ = 0;
 };
 
 }  // namespace lht::dht

@@ -1,38 +1,131 @@
 #include "lht/bucket.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 #include "common/types.h"
 #include "lht/naming.h"
 
 namespace lht::core {
 
-std::string LeafBucket::serialize() const {
-  common::Encoder enc;
-  enc.putLabel(label);
+namespace {
+
+// Wire format version. v2 added epoch, the applied-token window, and the
+// split/merge intent markers.
+constexpr common::u8 kBucketFormatVersion = 2;
+
+// Intent presence flags.
+constexpr common::u8 kHasSplitIntent = 1u << 0;
+constexpr common::u8 kHasMergeIntent = 1u << 1;
+
+void putRecords(common::Encoder& enc, const std::vector<index::Record>& records) {
   enc.putU32(static_cast<common::u32>(records.size()));
   for (const auto& r : records) {
     enc.putDouble(r.key);
     enc.putString(r.payload);
+  }
+}
+
+bool getRecords(common::Decoder& dec, std::vector<index::Record>& out) {
+  auto count = dec.getU32();
+  if (!count) return false;
+  // Each record takes at least 12 bytes (key + payload length prefix); an
+  // implausible count means a corrupt value — reject before reserving.
+  if (*count > dec.remaining() / 12) return false;
+  out.reserve(*count);
+  for (common::u32 i = 0; i < *count; ++i) {
+    auto key = dec.getDouble();
+    auto payload = dec.getString();
+    if (!key || !payload) return false;
+    out.push_back(index::Record{*key, std::move(*payload)});
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LeafBucket::hasApplied(common::u64 token) const {
+  if (token == 0) return false;
+  return std::find(appliedOps.begin(), appliedOps.end(), token) !=
+         appliedOps.end();
+}
+
+void LeafBucket::markApplied(common::u64 token) {
+  if (token == 0) return;
+  appliedOps.push_back(token);
+  if (appliedOps.size() > kAppliedOpsWindow) {
+    appliedOps.erase(appliedOps.begin(),
+                     appliedOps.end() - static_cast<long>(kAppliedOpsWindow));
+  }
+}
+
+std::string LeafBucket::serialize() const {
+  common::Encoder enc;
+  enc.putU8(kBucketFormatVersion);
+  enc.putLabel(label);
+  enc.putU64(epoch);
+  enc.putU32(static_cast<common::u32>(appliedOps.size()));
+  for (common::u64 t : appliedOps) enc.putU64(t);
+  putRecords(enc, records);
+  common::u8 flags = 0;
+  if (splitIntent) flags |= kHasSplitIntent;
+  if (mergeIntent) flags |= kHasMergeIntent;
+  enc.putU8(flags);
+  if (splitIntent) {
+    enc.putLabel(splitIntent->movedLabel);
+    enc.putU64(splitIntent->token);
+    putRecords(enc, splitIntent->moving);
+  }
+  if (mergeIntent) {
+    enc.putLabel(mergeIntent->donorLabel);
+    enc.putU64(mergeIntent->token);
+    putRecords(enc, mergeIntent->moving);
   }
   return std::move(enc).take();
 }
 
 std::optional<LeafBucket> LeafBucket::deserialize(std::string_view bytes) {
   common::Decoder dec(bytes);
+  auto version = dec.getU8();
+  if (!version || *version != kBucketFormatVersion) return std::nullopt;
   auto label = dec.getLabel();
-  auto count = dec.getU32();
-  if (!label || !count) return std::nullopt;
-  // Each record takes at least 12 bytes (key + payload length prefix); an
-  // implausible count means a corrupt value — reject before reserving.
-  if (*count > dec.remaining() / 12) return std::nullopt;
+  auto epoch = dec.getU64();
+  auto tokenCount = dec.getU32();
+  if (!label || !epoch || !tokenCount) return std::nullopt;
+  if (*tokenCount > kAppliedOpsWindow) return std::nullopt;
   LeafBucket b;
   b.label = *label;
-  b.records.reserve(*count);
-  for (common::u32 i = 0; i < *count; ++i) {
-    auto key = dec.getDouble();
-    auto payload = dec.getString();
-    if (!key || !payload) return std::nullopt;
-    b.records.push_back(index::Record{*key, std::move(*payload)});
+  b.epoch = *epoch;
+  b.appliedOps.reserve(*tokenCount);
+  for (common::u32 i = 0; i < *tokenCount; ++i) {
+    auto t = dec.getU64();
+    if (!t) return std::nullopt;
+    b.appliedOps.push_back(*t);
+  }
+  if (!getRecords(dec, b.records)) return std::nullopt;
+  auto flags = dec.getU8();
+  if (!flags || (*flags & ~(kHasSplitIntent | kHasMergeIntent)) != 0) {
+    return std::nullopt;
+  }
+  if (*flags & kHasSplitIntent) {
+    SplitIntent si;
+    auto moved = dec.getLabel();
+    auto token = dec.getU64();
+    if (!moved || !token) return std::nullopt;
+    si.movedLabel = *moved;
+    si.token = *token;
+    if (!getRecords(dec, si.moving)) return std::nullopt;
+    b.splitIntent = std::move(si);
+  }
+  if (*flags & kHasMergeIntent) {
+    MergeIntent mi;
+    auto donor = dec.getLabel();
+    auto token = dec.getU64();
+    if (!donor || !token) return std::nullopt;
+    mi.donorLabel = *donor;
+    mi.token = *token;
+    if (!getRecords(dec, mi.moving)) return std::nullopt;
+    b.mergeIntent = std::move(mi);
   }
   if (!dec.atEnd()) return std::nullopt;
   return b;
@@ -42,6 +135,8 @@ LeafBucket splitBucket(LeafBucket& bucket) {
   common::checkInvariant(bucket.label.length() >= 1, "splitBucket: bad label");
   common::checkInvariant(bucket.label.length() < Label::kMaxBits,
                          "splitBucket: label at maximum depth");
+  common::checkInvariant(bucket.clean(),
+                         "splitBucket: structural change already in flight");
   const Label oldLabel = bucket.label;
   const double mid = 0.5 * (oldLabel.interval().lo + oldLabel.interval().hi);
 
@@ -61,6 +156,11 @@ LeafBucket splitBucket(LeafBucket& bucket) {
                          "splitBucket: local child changed name");
   common::checkInvariant(name(remote.label) == oldLabel,
                          "splitBucket: remote child not named to old label");
+
+  // The staying child inherits the stored bucket's identity (epoch and
+  // token window continue); the shipped child starts a fresh history.
+  local.epoch = bucket.epoch;
+  local.appliedOps = std::move(bucket.appliedOps);
 
   LeafBucket out = std::move(remote);
   bucket = std::move(local);

@@ -4,6 +4,21 @@
 // the leaf's interval. The label field is what makes the scheme work: it
 // summarizes the peer's local view of the partition tree ("local tree"),
 // so no structural links ever need maintaining.
+//
+// Beyond the paper, each bucket carries the crash-consistency state of the
+// resilience layer:
+//
+//  * `epoch` counts every rewrite of the bucket (debugging / ordering aid).
+//  * `appliedOps` is a bounded window of recently applied client operation
+//    tokens. A client stamps each non-idempotent mutation (record insert)
+//    with a fresh token; when a lost reply makes the client retry, the
+//    re-executed mutator sees its token already recorded and becomes a
+//    no-op — exactly-once effects over an at-least-once channel.
+//  * `splitIntent` / `mergeIntent` are the write-ahead markers of the
+//    crash-consistent split/merge state machines (lht_index.cpp). While an
+//    intent is set, the records being moved live *inside the intent* (never
+//    only in a client's memory), so any reader that stumbles on a
+//    half-finished structural change has everything needed to complete it.
 #pragma once
 
 #include <optional>
@@ -18,9 +33,49 @@ namespace lht::core {
 
 using common::Label;
 
+/// Write-ahead marker for a split in flight: the staying child records
+/// which sibling must still be written, with the sibling's records kept
+/// durable here until the write is known to have landed.
+struct SplitIntent {
+  Label movedLabel;                    ///< label of the child being shipped
+  std::vector<index::Record> moving;   ///< its records, retained until done
+  common::u64 token = 0;               ///< idempotence token of the completion
+
+  friend bool operator==(const SplitIntent&, const SplitIntent&) = default;
+};
+
+/// Write-ahead marker for a merge in flight, held by the absorbing child
+/// (the one already stored under the parent's name): a durable copy of the
+/// donor's records, staged until the donor is deleted and the absorber is
+/// committed as the parent leaf.
+struct MergeIntent {
+  Label donorLabel;                    ///< the sibling being drained
+  std::vector<index::Record> moving;   ///< copy of the donor's records
+  common::u64 token = 0;
+
+  friend bool operator==(const MergeIntent&, const MergeIntent&) = default;
+};
+
 struct LeafBucket {
   Label label;
   std::vector<index::Record> records;
+  common::u64 epoch = 0;
+  std::vector<common::u64> appliedOps;  ///< newest last, bounded window
+  std::optional<SplitIntent> splitIntent;
+  std::optional<MergeIntent> mergeIntent;
+
+  /// How many op tokens a bucket remembers. Wide enough that a client's
+  /// retry horizon (one in-flight op at a time, bounded retry counts)
+  /// can never outrun it.
+  static constexpr size_t kAppliedOpsWindow = 32;
+
+  /// Whether `token` is in the applied window (0 is never recorded).
+  [[nodiscard]] bool hasApplied(common::u64 token) const;
+  /// Records `token`, evicting the oldest entry beyond the window.
+  void markApplied(common::u64 token);
+
+  /// No structural change in flight.
+  [[nodiscard]] bool clean() const { return !splitIntent && !mergeIntent; }
 
   /// Size in "record slots": the stored records plus, when
   /// `countLabelSlot`, one slot for the leaf label itself (the paper's
@@ -32,7 +87,7 @@ struct LeafBucket {
   /// Whether `key` falls inside this leaf's interval.
   [[nodiscard]] bool covers(double key) const { return label.covers(key); }
 
-  /// Wire format for storage in the DHT.
+  /// Wire format for storage in the DHT (versioned; see bucket.cpp).
   [[nodiscard]] std::string serialize() const;
   static std::optional<LeafBucket> deserialize(std::string_view bytes);
 };
@@ -42,7 +97,7 @@ struct LeafBucket {
 /// (returned in-place in `bucket`) and the child that must be shipped to
 /// the peer responsible for the *old* label (returned). Theorem 2
 /// guarantees this assignment: if the old label ends in 1 the local child
-/// is label·1, otherwise label·0.
+/// is label·1, otherwise label·0. Requires a clean bucket (no intent).
 LeafBucket splitBucket(LeafBucket& bucket);
 
 /// Split-trigger policy shared by the index and the bulk loader.

@@ -26,14 +26,24 @@ LeafBucket decodeBucket(const dht::Value& v) {
 
 }  // namespace
 
-LhtIndex::LhtIndex(dht::Dht& dht, Options options) : dht_(dht), opts_(options) {
+LhtIndex::LhtIndex(dht::Dht& dht, Options options)
+    : dht_(dht), opts_(options), tokenRng_(options.clientSeed, 0x70CE17u) {
   checkInvariant(opts_.thetaSplit >= 2, "LhtIndex: thetaSplit must be >= 2");
   if (opts_.maxDepth > Label::kMaxBits) opts_.maxDepth = Label::kMaxBits;
   checkInvariant(opts_.maxDepth >= 2, "LhtIndex: maxDepth must be >= 2");
   if (opts_.mergeThreshold == 0) opts_.mergeThreshold = opts_.thetaSplit;
-  // The empty index: a single leaf "#0" covering [0,1), named "#".
-  LeafBucket root{Label::root(), {}};
-  dht_.storeDirect(dhtKeyFor(root.label), root.serialize());
+  if (!opts_.attachExisting) {
+    // The empty index: a single leaf "#0" covering [0,1), named "#".
+    LeafBucket root{Label::root(), {}};
+    dht_.storeDirect(dhtKeyFor(root.label), root.serialize());
+  }
+}
+
+u64 LhtIndex::newToken() {
+  for (;;) {
+    const u64 t = tokenRng_.next64();
+    if (t != 0) return t;
+  }
 }
 
 std::optional<LeafBucket> LhtIndex::getBucket(const std::string& key,
@@ -50,7 +60,7 @@ bool LhtIndex::shouldSplit(const LeafBucket& b) const {
 }
 
 // ---------------------------------------------------------------------------
-// Lookup (Algorithm 2)
+// Lookup (Algorithm 2) + lookup-triggered repair
 // ---------------------------------------------------------------------------
 
 LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
@@ -58,44 +68,207 @@ LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
   key = common::clampToUnit(key);  // 1.0 belongs to the rightmost cell
   const Label mu = Label::fromKey(key, opts_.maxDepth);
 
-  u32 shorter = 1;             // candidate leaf-label bit lengths
-  u32 longer = opts_.maxDepth; // (paper lengths 2..D+1 count the '#')
-  bool useHint = opts_.useDepthHint && depthHint_ != 0;
-  while (shorter <= longer) {
-    u32 mid = (shorter + longer) / 2;
-    if (useHint) {
-      // First probe at the last successful depth; leaf depths concentrate,
-      // so this usually resolves the search in one DHT-lookup.
-      mid = std::clamp(depthHint_, shorter, longer);
-      useHint = false;
+  // The search restarts whenever a repair changes the tree under it. Any
+  // single restart completes at least one pending intent, and only a
+  // bounded number of intents can exist on a root-to-leaf path, so the
+  // restart budget is generous rather than load-bearing.
+  for (u32 attempt = 0; attempt <= 2 * opts_.maxDepth + 2; ++attempt) {
+    bool restart = false;
+    u32 shorter = 1;             // candidate leaf-label bit lengths
+    u32 longer = opts_.maxDepth; // (paper lengths 2..D+1 count the '#')
+    bool useHint = opts_.useDepthHint && depthHint_ != 0;
+    while (shorter <= longer) {
+      u32 mid = (shorter + longer) / 2;
+      if (useHint) {
+        // First probe at the last successful depth; leaf depths concentrate,
+        // so this usually resolves the search in one DHT-lookup.
+        mid = std::clamp(depthHint_, shorter, longer);
+        useHint = false;
+      }
+      const Label x = mu.prefix(mid);
+      const Label nm = name(x);
+      auto bucket = getBucket(nm.str(), out.stats);
+      if (!bucket) {
+        // No leaf is named nm: every prefix longer than nm shares this name
+        // (they all extend nm by a run of x's last bit), so only lengths up
+        // to |nm| remain candidates.
+        longer = nm.length();
+        if (longer < shorter) break;
+        continue;
+      }
+      if (!bucket->clean()) {
+        // A structural change died between steps here. Finish it and
+        // re-run the search against the repaired tree.
+        repairBucket(nm.str(), *bucket, out.stats);
+        restart = true;
+        break;
+      }
+      if (bucket->covers(key)) {
+        depthHint_ = bucket->label.length();
+        out.bucket = std::move(bucket);
+        out.dhtKey = nm.str();
+        break;
+      }
+      // The name is taken by a different leaf, so x (and every shorter
+      // prefix, all being that leaf's ancestors) is internal; skip forward
+      // past all prefixes sharing x's name.
+      auto nn = nextName(x, mu);
+      if (!nn) break;  // D was too small for the actual tree
+      shorter = nn->length();
     }
-    const Label x = mu.prefix(mid);
-    const Label nm = name(x);
-    auto bucket = getBucket(nm.str(), out.stats);
-    if (!bucket) {
-      // No leaf is named nm: every prefix longer than nm shares this name
-      // (they all extend nm by a run of x's last bit), so only lengths up to
-      // |nm| remain candidates.
-      longer = nm.length();
-      if (longer < shorter) break;
-      continue;
+    if (restart) continue;
+    if (!out.bucket) {
+      // The binary search fell into a hole — a leaf that should cover the
+      // key is missing. If a half-finished split/merge is responsible, the
+      // bucket holding its intent sits under one of the key's candidate
+      // prefix names; probe them all and retry.
+      if (repairProbe(key, out.stats)) continue;
     }
-    if (bucket->covers(key)) {
-      depthHint_ = bucket->label.length();
-      out.bucket = std::move(bucket);
-      out.dhtKey = nm.str();
-      break;
-    }
-    // The name is taken by a different leaf, so x (and every shorter prefix,
-    // all being that leaf's ancestors) is internal; skip forward past all
-    // prefixes sharing x's name.
-    auto nn = nextName(x, mu);
-    if (!nn) break;  // D was too small for the actual tree
-    shorter = nn->length();
+    break;
   }
   out.stats.parallelSteps = out.stats.dhtLookups;  // strictly sequential
   if (out.bucket) out.stats.bucketsTouched = 1;
   return out;
+}
+
+bool LhtIndex::repairProbe(double key, cost::OpStats& st) {
+  repairStats_.holeProbes += 1;
+  key = common::clampToUnit(key);
+  const Label mu = Label::fromKey(key, opts_.maxDepth);
+  bool repaired = false;
+  std::string lastTried;
+  for (u32 len = 1; len <= mu.length(); ++len) {
+    const std::string nm = name(mu.prefix(len)).str();
+    if (nm == lastTried) continue;
+    lastTried = nm;
+    auto bucket = getBucket(nm, st);
+    if (bucket && !bucket->clean()) repaired |= repairBucket(nm, *bucket, st);
+  }
+  return repaired;
+}
+
+bool LhtIndex::repairBucket(const std::string& key, const LeafBucket& bucket,
+                            cost::OpStats& st) {
+  bool repaired = false;
+  if (bucket.splitIntent) {
+    completeSplit(key, *bucket.splitIntent, st);
+    repairStats_.splitRepairs += 1;
+    repaired = true;
+  }
+  if (bucket.mergeIntent) {
+    completeMerge(key, *bucket.mergeIntent, st);
+    repairStats_.mergeRepairs += 1;
+    repaired = true;
+  }
+  return repaired;
+}
+
+void LhtIndex::completeSplit(const std::string& stayingKey,
+                             const SplitIntent& intent, cost::OpStats& st) {
+  // Step 2 of the split state machine: materialize the moved child under
+  // its own key. Create-if-absent: if a bucket already lives there, a
+  // previous attempt (possibly ours, its reply lost) already landed it —
+  // and it may have absorbed newer inserts — so it is never overwritten.
+  dht_.apply(dhtKeyFor(intent.movedLabel), [&](std::optional<dht::Value>& v) {
+    if (v.has_value()) return;
+    LeafBucket moved{intent.movedLabel, intent.moving};
+    moved.epoch = 1;
+    moved.markApplied(intent.token);
+    v = moved.serialize();
+  });
+  st.dhtLookups += 1;
+  meters_.maintenance.dhtLookups += 1;
+
+  // Step 3: clear the intent from the staying child. Guarded by the
+  // intent token so a stale retry cannot clear a newer intent.
+  dht_.apply(stayingKey, [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "completeSplit: staying bucket vanished");
+    LeafBucket b = decodeBucket(*v);
+    if (b.splitIntent && b.splitIntent->token == intent.token) {
+      b.splitIntent.reset();
+      b.epoch += 1;
+    }
+    v = b.serialize();
+  });
+  st.dhtLookups += 1;
+  meters_.maintenance.dhtLookups += 1;
+}
+
+void LhtIndex::completeMerge(const std::string& absorberKey,
+                             const MergeIntent& intent, cost::OpStats& st) {
+  const std::string donorKey = dhtKeyFor(intent.donorLabel);
+
+  // The staged copy may be stale: if the donor still exists it could have
+  // absorbed writes after the intent was recorded (a crash between the
+  // staging and the delete, followed by normal traffic). Refresh the copy
+  // from the live donor before destroying anything.
+  auto donorNow = getBucket(donorKey, st);
+  meters_.maintenance.dhtLookups += 1;
+  u64 token = intent.token;
+  if (donorNow && donorNow->label == intent.donorLabel) {
+    if (donorNow->records != intent.moving) {
+      token = newToken();
+      dht_.apply(absorberKey, [&](std::optional<dht::Value>& v) {
+        checkInvariant(v.has_value(), "completeMerge: absorber vanished");
+        LeafBucket b = decodeBucket(*v);
+        if (b.mergeIntent && b.mergeIntent->donorLabel == intent.donorLabel) {
+          b.mergeIntent->moving = donorNow->records;
+          b.mergeIntent->token = token;
+          b.epoch += 1;
+        }
+        v = b.serialize();
+      });
+      st.dhtLookups += 1;
+      meters_.maintenance.dhtLookups += 1;
+    }
+  }
+
+  // Delete the donor (idempotent: only a bucket still carrying the donor
+  // label is dropped; the staged copy is now authoritative).
+  std::vector<index::Record> moving =
+      donorNow && donorNow->label == intent.donorLabel ? donorNow->records
+                                                       : intent.moving;
+  dht_.apply(donorKey, [&](std::optional<dht::Value>& v) {
+    if (!v.has_value()) return;
+    LeafBucket b = decodeBucket(*v);
+    if (b.label == intent.donorLabel) v.reset();
+  });
+  st.dhtLookups += 1;
+  meters_.maintenance.dhtLookups += 1;
+
+  // Commit: the absorber becomes the parent leaf and takes the records.
+  dht_.apply(absorberKey, [&](std::optional<dht::Value>& v) {
+    checkInvariant(v.has_value(), "completeMerge: absorber vanished");
+    LeafBucket b = decodeBucket(*v);
+    if (b.mergeIntent && b.mergeIntent->donorLabel == intent.donorLabel) {
+      b.label = intent.donorLabel.parent();
+      b.records.insert(b.records.end(),
+                       std::make_move_iterator(moving.begin()),
+                       std::make_move_iterator(moving.end()));
+      b.mergeIntent.reset();
+      b.epoch += 1;
+    }
+    v = b.serialize();
+  });
+  st.dhtLookups += 1;
+  meters_.maintenance.dhtLookups += 1;
+  meters_.maintenance.recordsMoved += moving.size();
+}
+
+size_t LhtIndex::repairSweep() {
+  const RepairStats before = repairStats_;
+  cost::OpStats scratch;
+  double cursor = 0.0;
+  size_t guard = 0;
+  while (cursor < 1.0) {
+    checkInvariant(++guard < 1u << 22, "repairSweep: runaway walk");
+    auto out = lookupInternal(cursor);
+    checkInvariant(out.bucket.has_value(), "repairSweep: unrecoverable hole");
+    scratch += out.stats;
+    cursor = out.bucket->label.interval().hi;
+  }
+  return static_cast<size_t>((repairStats_.splitRepairs - before.splitRepairs) +
+                             (repairStats_.mergeRepairs - before.mergeRepairs));
 }
 
 LhtIndex::LookupOutcome LhtIndex::lookup(double key) {
@@ -147,22 +320,54 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   // local child overwrites the stored bucket in place, each remote child
   // is handed back for a single DHT-put. At most one split per insert
   // unless cascading splits are enabled (an ablation option).
+  //
+  // The apply is stamped with an idempotence token: if the substrate loses
+  // the *reply* and a retry layer re-executes the mutator, the second
+  // execution sees the token already recorded and leaves the bucket alone
+  // — the record lands exactly once.
+  //
+  // With crashConsistentSplits the split does not hand the moved child to
+  // the client: it is staged as a SplitIntent inside the rewritten bucket
+  // (step 1), then materialized (step 2) and acknowledged (step 3) by
+  // completeSplit. A crash between any two steps leaves a state any
+  // reader can finish.
   std::vector<LeafBucket> remotes;
+  std::optional<SplitIntent> pendingSplit;
+  const u64 token = newToken();
+  const u64 completionToken = newToken();
   const bool existed = dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
     checkInvariant(v.has_value(), "LhtIndex::insert: bucket vanished");
     LeafBucket b = decodeBucket(*v);
-    checkInvariant(b.covers(common::clampToUnit(record.key)),
-                   "LhtIndex::insert: stale bucket");
-    b.records.push_back(record);
-    if (shouldSplit(b)) {
-      if (opts_.allowCascadingSplits) {
-        const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
-                                 opts_.maxDepth};
-        splitBucketRecursively(b, policy, remotes);
-      } else {
-        remotes.push_back(splitBucket(b));
+    // A lost reply makes a retry layer re-execute this mutator; the token
+    // check turns the re-execution into a no-op, and the outputs captured
+    // by the execution that actually applied stay valid. The staleness
+    // invariant only holds on the applying execution: once the first
+    // execution split the bucket, the staying child no longer needs to
+    // cover the key.
+    if (!b.hasApplied(token)) {
+      checkInvariant(b.covers(common::clampToUnit(record.key)),
+                     "LhtIndex::insert: stale bucket");
+      remotes.clear();
+      b.records.push_back(record);
+      b.markApplied(token);
+      b.epoch += 1;
+      // A bucket still carrying an intent defers its split to a later
+      // insert, mirroring the paper's one-split-per-insert deferral.
+      if (b.clean() && shouldSplit(b)) {
+        if (opts_.allowCascadingSplits) {
+          const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
+                                   opts_.maxDepth};
+          splitBucketRecursively(b, policy, remotes);
+        } else if (opts_.crashConsistentSplits) {
+          LeafBucket moved = splitBucket(b);
+          b.splitIntent = SplitIntent{moved.label, std::move(moved.records),
+                                      completionToken};
+        } else {
+          remotes.push_back(splitBucket(b));
+        }
       }
     }
+    pendingSplit = b.splitIntent;
     v = b.serialize();
   });
   checkInvariant(existed, "LhtIndex::insert: apply on missing bucket");
@@ -179,6 +384,16 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
     meters_.maintenance.recordsMoved += remote.records.size();
     meters_.maintenance.splits += 1;
     result.splitOrMerged = true;
+  }
+  if (pendingSplit) {
+    const size_t movedCount = pendingSplit->moving.size();
+    completeSplit(found.dhtKey, *pendingSplit, result.stats);
+    meters_.maintenance.recordsMoved += movedCount;
+    meters_.maintenance.splits += 1;
+    result.splitOrMerged = true;
+    meters_.alpha.record(
+        static_cast<double>(movedCount + (opts_.countLabelSlot ? 1 : 0)) /
+        static_cast<double>(opts_.thetaSplit));
   }
   if (remotes.size() == 1) {
     const double remoteSize =
@@ -214,14 +429,21 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
     while (j < records.size() && common::clampToUnit(records[j].key) < leafHi) ++j;
 
     std::vector<LeafBucket> remotes;
+    const u64 token = newToken();
     dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
       checkInvariant(v.has_value(), "LhtIndex::insertBatch: bucket vanished");
       LeafBucket b = decodeBucket(*v);
-      b.records.insert(b.records.end(),
-                       std::make_move_iterator(records.begin() + static_cast<long>(i)),
-                       std::make_move_iterator(records.begin() + static_cast<long>(j)));
-      splitBucketRecursively(b, policy, remotes);
-      v = b.serialize();
+      if (!b.hasApplied(token)) {
+        remotes.clear();
+        b.records.insert(
+            b.records.end(),
+            std::make_move_iterator(records.begin() + static_cast<long>(i)),
+            std::make_move_iterator(records.begin() + static_cast<long>(j)));
+        b.markApplied(token);
+        b.epoch += 1;
+        splitBucketRecursively(b, policy, remotes);
+        v = b.serialize();
+      }
     });
     meters_.insertion.dhtLookups += 1;
     meters_.insertion.recordsMoved += j - i;
@@ -316,21 +538,29 @@ index::UpdateResult LhtIndex::erase(double key) {
   size_t removed = 0;
   size_t remainingEffective = 0;
   Label bucketLabel;
+  const u64 token = newToken();
   dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
     checkInvariant(v.has_value(), "LhtIndex::erase: bucket vanished");
     LeafBucket b = decodeBucket(*v);
-    auto it = std::remove_if(b.records.begin(), b.records.end(),
-                             [&](const index::Record& r) { return r.key == key; });
-    removed = static_cast<size_t>(b.records.end() - it);
-    b.records.erase(it, b.records.end());
-    remainingEffective = b.effectiveSize(opts_.countLabelSlot);
-    bucketLabel = b.label;
-    v = b.serialize();
+    // Token-guarded like insert: a lost-reply retry must neither remove
+    // twice (harmless here) nor clobber the outputs of the execution that
+    // actually removed the records.
+    if (!b.hasApplied(token)) {
+      auto it = std::remove_if(b.records.begin(), b.records.end(),
+                               [&](const index::Record& r) { return r.key == key; });
+      removed = static_cast<size_t>(b.records.end() - it);
+      b.records.erase(it, b.records.end());
+      b.markApplied(token);
+      b.epoch += 1;
+      remainingEffective = b.effectiveSize(opts_.countLabelSlot);
+      bucketLabel = b.label;
+      v = b.serialize();
+    }
   });
   meters_.insertion.dhtLookups += 1;
   result.stats.dhtLookups += 1;
   result.stats.parallelSteps += 1;
-  recordCount_ -= removed;
+  recordCount_ -= std::min(removed, recordCount_);
   result.ok = removed > 0;
 
   if (result.ok && opts_.enableMerge && bucketLabel.length() >= 2 &&
@@ -366,8 +596,41 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
   const std::string parentKey = dhtKeyFor(parent);
   const bool ownIsAbsorber = dhtKeyFor(bucketLabel) == parentKey;
   const LeafBucket& donor = ownIsAbsorber ? *sibBucket : *ownBucket;
+  const LeafBucket& absorber = ownIsAbsorber ? *ownBucket : *sibBucket;
   checkInvariant(dhtKeyFor(donor.label) != parentKey,
                  "LhtIndex::tryMerge: both children named to parent");
+
+  if (opts_.crashConsistentSplits) {
+    // Durable merge state machine: step 1 stages a copy of the donor's
+    // records as a MergeIntent inside the absorber (the records are in the
+    // DHT before anything is destroyed), steps 2–3 run in completeMerge
+    // (delete donor, commit absorber as the parent leaf). A crash or lost
+    // reply between any two steps is repaired by the next reader of the
+    // absorber.
+    if (!absorber.clean() || !donor.clean()) return false;
+    MergeIntent intent{donor.label, donor.records, newToken()};
+    bool staged = false;
+    dht_.apply(parentKey, [&](std::optional<dht::Value>& v) {
+      checkInvariant(v.has_value(), "LhtIndex::tryMerge: absorber vanished");
+      LeafBucket b = decodeBucket(*v);
+      if (b.mergeIntent && b.mergeIntent->token == intent.token) {
+        staged = true;  // lost-reply retry: our earlier execution landed
+        return;
+      }
+      staged = false;
+      if (!b.clean() || b.label != absorber.label) return;
+      b.mergeIntent = intent;
+      b.epoch += 1;
+      v = b.serialize();
+      staged = true;
+    });
+    meters_.maintenance.dhtLookups += 1;
+    if (!staged) return false;
+    cost::OpStats st;
+    completeMerge(parentKey, intent, st);
+    meters_.maintenance.merges += 1;
+    return true;
+  }
 
   // Drop the donor (its peer ships the records), then rewrite the absorber
   // in place as the parent leaf.

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/label.h"
+#include "common/random.h"
 #include "dht/dht.h"
 #include "index/ordered_index.h"
 #include "lht/bucket.h"
@@ -68,6 +69,27 @@ class LhtIndex final : public index::OrderedIndex {
     /// transient overflow. Alpha statistics are only recorded for
     /// single-split inserts, where the paper defines them.
     bool allowCascadingSplits = false;
+
+    /// Crash-consistent structural changes (DESIGN.md "Failure model &
+    /// recovery"). When enabled, splits and merges run as explicit state
+    /// machines whose intermediate states are always recoverable: the
+    /// records being moved are staged in an intent marker inside the
+    /// bucket that keeps the parent's DHT key, so a client crash or lost
+    /// reply at any step leaves enough state in the DHT for any later
+    /// reader to finish the job (lookup-triggered repair). Costs one
+    /// extra DHT-lookup per split (3 instead of 2 writes) and two extra
+    /// per merge. Off by default to keep the paper's cost figures exact.
+    bool crashConsistentSplits = false;
+
+    /// Reattach a client to an index that already lives in the DHT
+    /// instead of bootstrapping a fresh root leaf. recordCount() is
+    /// client-local and restarts at zero.
+    bool attachExisting = false;
+
+    /// Stream for this client's idempotence tokens. Two clients (or a
+    /// client and its post-crash successor) must use different seeds so
+    /// their tokens never collide inside a bucket's applied-op window.
+    common::u64 clientSeed = 1;
   };
 
   /// The index takes a reference to its substrate; the caller owns the DHT.
@@ -133,6 +155,23 @@ class LhtIndex final : public index::OrderedIndex {
   /// touch the meters.
   void forEachBucket(const std::function<void(const LeafBucket&)>& fn);
 
+  // Resilience --------------------------------------------------------------
+
+  /// Repair accounting (see repairSweep / the intent machinery).
+  struct RepairStats {
+    common::u64 splitRepairs = 0;   ///< half-finished splits completed
+    common::u64 mergeRepairs = 0;   ///< half-finished merges completed
+    common::u64 holeProbes = 0;     ///< linear probes run for missing leaves
+  };
+  [[nodiscard]] const RepairStats& repairStats() const { return repairStats_; }
+
+  /// Walks the whole key space with ordinary lookups, completing every
+  /// half-finished split/merge encountered (lookup-triggered repair is
+  /// also performed opportunistically by every normal operation; this
+  /// sweep guarantees even regions holding no records converge). Returns
+  /// the number of repairs completed.
+  size_t repairSweep();
+
   [[nodiscard]] const Options& options() const { return opts_; }
 
  private:
@@ -168,10 +207,41 @@ class LhtIndex final : public index::OrderedIndex {
   /// the erase landed in. Counted under meters_.maintenance.
   bool tryMerge(const Label& bucketLabel);
 
+  /// A fresh, never-zero idempotence token from this client's stream.
+  common::u64 newToken();
+
+  /// Completes the split recorded in `intent` for the staying bucket
+  /// stored under `stayingKey`: writes the moved child (create-if-absent,
+  /// never clobbers), then clears the intent. Idempotent; safe to re-run
+  /// after lost replies or by a different client. Lookups are counted
+  /// into `st` and meters_.maintenance.
+  void completeSplit(const std::string& stayingKey, const SplitIntent& intent,
+                     cost::OpStats& st);
+
+  /// Completes the merge recorded in the absorber stored under
+  /// `absorberKey`: refreshes the staged copy from the donor if it still
+  /// exists, deletes the donor, then commits the absorber as the parent
+  /// leaf. Idempotent.
+  void completeMerge(const std::string& absorberKey, const MergeIntent& intent,
+                     cost::OpStats& st);
+
+  /// Completes any intent carried by `bucket` (stored under `key`).
+  /// Returns true when a repair ran.
+  bool repairBucket(const std::string& key, const LeafBucket& bucket,
+                    cost::OpStats& st);
+
+  /// Last-resort repair discovery for a key the binary search could not
+  /// place: probes every candidate prefix name of `key` and repairs any
+  /// intent found. Returns true when something was repaired (the caller
+  /// should restart its search).
+  bool repairProbe(double key, cost::OpStats& st);
+
   dht::Dht& dht_;
   Options opts_;
   size_t recordCount_ = 0;
   common::u32 depthHint_ = 0;  ///< bit length of the last found leaf
+  common::Pcg32 tokenRng_;
+  RepairStats repairStats_;
 };
 
 }  // namespace lht::core

@@ -1,0 +1,30 @@
+// Simulated wall clock for the resilience layer.
+//
+// The network simulator is synchronous (a call *is* the round trip), so
+// latency, timeouts, and retry backoff cannot be observed from real time.
+// SimClock gives every latency-aware component one shared, deterministic
+// time source: latency decorators advance it as requests "take" time,
+// timeout decorators read it to enforce deadlines, and retry backoff
+// advances it while "waiting". Experiments stay exactly reproducible
+// because time only moves when a simulated cause moves it.
+#pragma once
+
+#include "common/types.h"
+
+namespace lht::net {
+
+class SimClock {
+ public:
+  /// Current simulated time in milliseconds since the clock's epoch.
+  [[nodiscard]] common::u64 nowMs() const { return nowMs_; }
+
+  /// Moves time forward (never backward).
+  void advance(common::u64 ms) { nowMs_ += ms; }
+
+  void reset() { nowMs_ = 0; }
+
+ private:
+  common::u64 nowMs_ = 0;
+};
+
+}  // namespace lht::net

@@ -31,7 +31,13 @@ bool SimNetwork::send(PeerId from, PeerId to, u64 bytes) {
   peers_[from].stats.bytesOut += bytes;
   peers_[to].stats.messagesIn += 1;
   peers_[to].stats.bytesIn += bytes;
+  if (clock_ != nullptr) clock_->advance(perHopLatencyMs_);
   return true;
+}
+
+void SimNetwork::attachClock(SimClock* clock, u64 perHopLatencyMs) {
+  clock_ = clock;
+  perHopLatencyMs_ = perHopLatencyMs;
 }
 
 const std::string& SimNetwork::peerName(PeerId id) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/sim_clock.h"
 
 namespace lht::net {
 
@@ -53,6 +54,13 @@ class SimNetwork {
   /// Returns false (message dropped) when the destination is offline.
   bool send(PeerId from, PeerId to, u64 bytes);
 
+  /// Latency hook: when a clock is attached, every delivered message
+  /// advances it by `perHopLatencyMs`, so substrate routing (one message
+  /// per overlay hop) accrues simulated time that timeout/backoff
+  /// decorators can observe. Detach by passing nullptr.
+  void attachClock(SimClock* clock, u64 perHopLatencyMs);
+  [[nodiscard]] SimClock* clock() const { return clock_; }
+
   [[nodiscard]] size_t peerCount() const { return peers_.size(); }
   [[nodiscard]] const std::string& peerName(PeerId id) const;
   [[nodiscard]] const NetStats& stats() const { return stats_; }
@@ -71,6 +79,8 @@ class SimNetwork {
   };
   std::vector<Peer> peers_;
   NetStats stats_;
+  SimClock* clock_ = nullptr;
+  u64 perHopLatencyMs_ = 0;
 };
 
 }  // namespace lht::net

@@ -8,8 +8,18 @@ ChurnDriver::ChurnDriver(dht::ChordDht& dht, ChurnConfig config)
     : dht_(dht), cfg_(config), rng_(config.seed, /*stream=*/0xC5u) {
   common::checkInvariant(cfg_.period >= 1, "ChurnDriver: period must be >= 1");
   common::checkInvariant(
+      cfg_.joinWeight >= 0.0 && cfg_.leaveWeight >= 0.0 && cfg_.failWeight >= 0.0,
+      "ChurnDriver: event weights must be non-negative");
+  common::checkInvariant(
       cfg_.joinWeight + cfg_.leaveWeight + cfg_.failWeight > 0.0,
       "ChurnDriver: all event weights are zero");
+  // An ungraceful fail() on an unreplicated ring silently loses every key
+  // the victim owned — a configuration that can only produce a confusing
+  // failure far from its cause. Reject it up front.
+  common::checkInvariant(
+      cfg_.failWeight == 0.0 || dht.replicationFactor() >= 2,
+      "ChurnDriver: failWeight > 0 requires Chord replication >= 2 "
+      "(ungraceful failures would lose data)");
 }
 
 bool ChurnDriver::maybeChurn() {

@@ -1,0 +1,374 @@
+// Tests for the resilience decorator stack (dht/decorators.h): lost-reply
+// semantics, simulated-clock latency and deadlines, backoff, the circuit
+// breaker, client crashes, stacking order, and cross-substrate determinism
+// of the injection streams. Companion to decorators_test.cpp (which covers
+// the original FlakyDht/RetryingDht pair).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dht/chord.h"
+#include "dht/decorators.h"
+#include "dht/local_dht.h"
+#include "net/sim_clock.h"
+#include "net/sim_network.h"
+#include "sim/churn.h"
+
+namespace lht::dht {
+namespace {
+
+/// Fails the first `failures` routed operations with DhtError, then lets
+/// everything through — the minimal scriptable inner for breaker/retry
+/// lifecycle tests.
+class ScriptedDht final : public Dht {
+ public:
+  ScriptedDht(Dht& inner, size_t failures) : inner_(inner), left_(failures) {}
+
+  void put(const Key& key, Value value) override {
+    step();
+    inner_.put(key, std::move(value));
+  }
+  std::optional<Value> get(const Key& key) override {
+    step();
+    return inner_.get(key);
+  }
+  bool remove(const Key& key) override {
+    step();
+    return inner_.remove(key);
+  }
+  bool apply(const Key& key, const Mutator& fn) override {
+    step();
+    return inner_.apply(key, fn);
+  }
+  void storeDirect(const Key& key, Value value) override {
+    inner_.storeDirect(key, std::move(value));
+  }
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+ private:
+  void step() {
+    if (left_ == 0) return;
+    left_ -= 1;
+    throw DhtError("ScriptedDht: scripted failure");
+  }
+
+  Dht& inner_;
+  size_t left_;
+};
+
+// ---------------------------------------------------------------------------
+// Lost replies
+// ---------------------------------------------------------------------------
+
+TEST(LostReply, MutationExecutesEvenThoughCallerSeesError) {
+  LocalDht store;
+  LostReplyDht lossy(store, /*lossProbability=*/1.0, /*seed=*/7);
+
+  EXPECT_THROW(lossy.put("k", "v"), DhtError);
+  // The defining property: the caller got an error, the write landed.
+  EXPECT_EQ(store.get("k"), std::optional<Value>("v"));
+
+  bool ran = false;
+  EXPECT_THROW(lossy.apply("k",
+                           [&](std::optional<Value>& v) {
+                             ran = true;
+                             v = "v2";
+                           }),
+               DhtError);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(store.get("k"), std::optional<Value>("v2"));
+
+  EXPECT_THROW(lossy.remove("k"), DhtError);
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_EQ(lossy.injectedLostReplies(), 3u);
+}
+
+TEST(LostReply, NaiveRetryDuplicatesAppends) {
+  // The motivating failure: retrying a lost-reply append without
+  // idempotence tokens applies it twice.
+  LocalDht store;
+  LostReplyDht lossy(store, 1.0, 3);
+  store.storeDirect("list", "");
+
+  const auto append = [](Dht& d) {
+    d.apply("list", [](std::optional<Value>& v) { *v += "x"; });
+  };
+  EXPECT_THROW(append(lossy), DhtError);  // executed, reply lost
+  append(store);                          // the naive "retry"
+  EXPECT_EQ(store.get("list"), std::optional<Value>("xx"));
+}
+
+// ---------------------------------------------------------------------------
+// Latency + timeouts on the simulated clock
+// ---------------------------------------------------------------------------
+
+TEST(Latency, ChargesClockPerRoutedOperation) {
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht lat(store, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+
+  lat.put("a", "1");
+  lat.get("a");
+  lat.storeDirect("b", "2");  // administrative: free
+  EXPECT_EQ(clock.nowMs(), 20u);
+  EXPECT_EQ(lat.injectedLatencyMs(), 20u);
+}
+
+TEST(Timeout, SlowWriteTimesOutButStillLands) {
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht slow(store, clock, {.baseMs = 50, .jitterMs = 0, .seed = 1});
+  TimeoutDht bounded(slow, clock, /*deadlineMs=*/20);
+
+  EXPECT_THROW(bounded.put("k", "v"), DhtTimeoutError);
+  EXPECT_EQ(store.get("k"), std::optional<Value>("v"));  // lost-reply shape
+  EXPECT_EQ(bounded.timeouts(), 1u);
+
+  TimeoutDht generous(slow, clock, /*deadlineMs=*/100);
+  EXPECT_NO_THROW(generous.put("k2", "v2"));
+  EXPECT_EQ(generous.timeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, ExponentialDelaysAdvanceTheClockDeterministically) {
+  net::SimClock clock;
+  LocalDht store;
+  ScriptedDht inner(store, /*failures=*/3);
+
+  RetryingDht::Options o;
+  o.maxAttempts = 4;
+  o.baseBackoffMs = 10;
+  o.backoffMultiplier = 2.0;
+  o.jitter = 0.0;  // pure exponential: 10, 20, 40
+  o.clock = &clock;
+  RetryingDht retry(inner, o);
+
+  retry.put("k", "v");
+  EXPECT_EQ(store.get("k"), std::optional<Value>("v"));
+  EXPECT_EQ(retry.retries(), 3u);
+  EXPECT_EQ(retry.backoffWaitedMs(), 70u);
+  EXPECT_EQ(clock.nowMs(), 70u);
+}
+
+TEST(Backoff, JitteredDelaysAreSeedDeterministic) {
+  auto run = [](common::u64 seed) {
+    LocalDht store;
+    ScriptedDht inner(store, 5);
+    RetryingDht::Options o;
+    o.maxAttempts = 8;
+    o.baseBackoffMs = 16;
+    o.jitter = 0.5;
+    o.seed = seed;
+    RetryingDht retry(inner, o);
+    retry.put("k", "v");
+    return retry.backoffWaitedMs();
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // jitter actually depends on the seed
+}
+
+TEST(Retrying, ExhaustionDiagnosticsSurviveTheThrow) {
+  LocalDht store;
+  FlakyDht dead(store, 1.0, 5);
+  RetryingDht retry(dead, /*maxAttempts=*/3);
+
+  try {
+    retry.put("k", "v");
+    FAIL() << "expected DhtRetriesExhausted";
+  } catch (const DhtRetriesExhausted& e) {
+    EXPECT_EQ(e.op(), "put");
+    EXPECT_EQ(e.attempts(), 3u);
+    EXPECT_FALSE(e.lastError().empty());
+  }
+  EXPECT_EQ(retry.exhausted(), 1u);
+  EXPECT_EQ(retry.retriesFor(DhtOp::Put), 2u);
+  EXPECT_FALSE(retry.lastError().empty());
+}
+
+TEST(Retrying, AttemptHistogramCountsSuccessesByAttempt) {
+  LocalDht store;
+  ScriptedDht inner(store, 2);  // first op needs 3 attempts, rest succeed
+  RetryingDht retry(inner, 8);
+
+  retry.put("a", "1");
+  retry.put("b", "2");
+  retry.get("a");
+
+  const auto& h = retry.attemptHistogram();
+  EXPECT_EQ(h[0], 2u);  // two first-attempt successes
+  EXPECT_EQ(h[2], 1u);  // one third-attempt success
+  EXPECT_EQ(retry.retries(), 2u);
+  EXPECT_EQ(retry.retriesFor(DhtOp::Put), 2u);
+  EXPECT_EQ(retry.retriesFor(DhtOp::Get), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreaker, OpensFastFailsAndRecloses) {
+  net::SimClock clock;
+  LocalDht store;
+  ScriptedDht inner(store, /*failures=*/3);
+  CircuitBreakerDht breaker(inner, clock,
+                            {.failureThreshold = 3, .cooldownMs = 100});
+
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(breaker.get("k"), DhtError);
+  EXPECT_EQ(breaker.state(), CircuitBreakerDht::State::Open);
+  EXPECT_EQ(breaker.timesOpened(), 1u);
+
+  // Open: rejected without touching the inner DHT.
+  EXPECT_THROW(breaker.put("k", "v"), DhtCircuitOpenError);
+  EXPECT_EQ(breaker.fastFailures(), 1u);
+  EXPECT_FALSE(store.get("k").has_value());
+
+  // After the cooldown a half-open probe goes through and re-closes.
+  clock.advance(100);
+  EXPECT_NO_THROW(breaker.put("k", "v"));
+  EXPECT_EQ(breaker.state(), CircuitBreakerDht::State::Closed);
+  EXPECT_EQ(store.get("k"), std::optional<Value>("v"));
+}
+
+// ---------------------------------------------------------------------------
+// Client crashes
+// ---------------------------------------------------------------------------
+
+TEST(Crash, KillsTheClientAfterTheConfiguredWrite) {
+  LocalDht store;
+  CrashDht crash(store);
+
+  crash.armAfterWrites(1);
+  crash.put("a", "1");  // allowed
+  EXPECT_THROW(crash.put("b", "2"), CrashError);
+  EXPECT_TRUE(crash.crashed());
+  EXPECT_THROW(crash.get("a"), CrashError);  // dead clients read nothing
+  EXPECT_EQ(store.get("a"), std::optional<Value>("1"));
+  EXPECT_FALSE(store.get("b").has_value());
+
+  crash.disarm();
+  EXPECT_NO_THROW(crash.put("b", "2"));
+  EXPECT_EQ(crash.writesCompleted(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stacking order
+// ---------------------------------------------------------------------------
+
+TEST(Stacking, FlakyAboveLatencyChargesOnlyExecutedAttempts) {
+  // Retrying over Flaky over Latency: a lost *request* never reaches the
+  // network, so failed attempts cost no simulated time and the N logical
+  // ops cost exactly N latency charges no matter how many retries ran.
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht lat(store, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+  FlakyDht flaky(lat, 0.3, 21);
+  RetryingDht retry(flaky, 64);
+
+  const size_t kOps = 50;
+  for (size_t i = 0; i < kOps; ++i) retry.put("k" + std::to_string(i), "v");
+
+  EXPECT_GT(retry.retries(), 0u);  // the flaky layer really did fail ops
+  EXPECT_EQ(lat.injectedLatencyMs(), 10u * kOps);
+}
+
+TEST(Stacking, FlakyBelowLatencyChargesEveryAttempt) {
+  // Same layers, swapped: Retrying over Latency over Flaky. Now every
+  // attempt — including the ones the flaky layer kills — pays for the
+  // network round-trip first.
+  net::SimClock clock;
+  LocalDht store;
+  FlakyDht flaky(store, 0.3, 21);
+  LatencyDht lat(flaky, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+  RetryingDht retry(lat, 64);
+
+  const size_t kOps = 50;
+  for (size_t i = 0; i < kOps; ++i) retry.put("k" + std::to_string(i), "v");
+
+  EXPECT_GT(retry.retries(), 0u);
+  EXPECT_EQ(lat.injectedLatencyMs(), 10u * (kOps + retry.retries()));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-substrate determinism
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FlakyFailurePatternIsSubstrateIndependent) {
+  // The injection stream depends only on (seed, op sequence), never on
+  // what the substrate underneath does — the same experiment on LocalDht
+  // and on a Chord ring sees byte-identical fault schedules.
+  auto failurePattern = [](Dht& substrate) {
+    FlakyDht flaky(substrate, 0.4, /*seed=*/77);
+    std::vector<bool> failed;
+    for (int i = 0; i < 200; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      try {
+        flaky.put(key, "v");
+        failed.push_back(false);
+      } catch (const DhtError&) {
+        failed.push_back(true);
+      }
+    }
+    return failed;
+  };
+
+  LocalDht local;
+  net::SimNetwork net;
+  ChordDht::Options co;
+  co.initialPeers = 16;
+  co.seed = 5;
+  ChordDht chord(net, co);
+
+  EXPECT_EQ(failurePattern(local), failurePattern(chord));
+}
+
+TEST(Determinism, LostReplyPatternIsSeedDeterministic) {
+  auto lossCount = [](common::u64 seed) {
+    LocalDht store;
+    LostReplyDht lossy(store, 0.25, seed);
+    size_t losses = 0;
+    for (int i = 0; i < 300; ++i) {
+      try {
+        lossy.put("k" + std::to_string(i), "v");
+      } catch (const DhtError&) {
+        losses += 1;
+      }
+    }
+    return losses;
+  };
+  EXPECT_EQ(lossCount(9), lossCount(9));
+  EXPECT_NE(lossCount(9), lossCount(10));
+}
+
+// ---------------------------------------------------------------------------
+// Churn configuration validation
+// ---------------------------------------------------------------------------
+
+TEST(ChurnValidation, RejectsFailuresOnUnreplicatedRing) {
+  net::SimNetwork net;
+  ChordDht::Options co;
+  co.initialPeers = 8;
+  co.replication = 1;
+  ChordDht unreplicated(net, co);
+
+  sim::ChurnConfig cfg;
+  cfg.failWeight = 1.0;
+  EXPECT_THROW(sim::ChurnDriver(unreplicated, cfg), common::InvariantError);
+
+  net::SimNetwork net2;
+  co.replication = 2;
+  ChordDht replicated(net2, co);
+  EXPECT_NO_THROW(sim::ChurnDriver(replicated, cfg));
+
+  cfg.failWeight = 0.0;  // no fail events: replication 1 is fine
+  EXPECT_NO_THROW(sim::ChurnDriver(unreplicated, cfg));
+
+  cfg.failWeight = -0.5;  // negative weights are always invalid
+  EXPECT_THROW(sim::ChurnDriver(replicated, cfg), common::InvariantError);
+}
+
+}  // namespace
+}  // namespace lht::dht
