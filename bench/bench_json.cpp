@@ -1,0 +1,228 @@
+// Machine-readable perf baseline for the client-side features introduced
+// with the batched pipeline: leaf-location cache, decoded-bucket store,
+// and batched range fan-out. Runs the SAME workload twice in one process —
+// once with everything off (paper-faithful engine) and once with
+// everything on — and emits both sides plus the speedups as JSON, so CI
+// can diff against the committed BENCH_PR2.json without parsing tables.
+//
+// Metrics per phase:
+//   lookup    exact-match finds: avg DHT-lookups, avg rounds, wall ns/op
+//   range     fixed-span queries: avg DHT-lookups, avg rounds, max rounds,
+//             max B+3 bound (rounds must stay within it), wall ns/op
+//   bulk      one insertBatch of fresh records into a built index: wall
+//             ns/record and DHT batch rounds used
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "workload/generators.h"
+
+using namespace lht;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PhaseStats {
+  double dhtLookups = 0.0;  ///< mean per operation
+  double rounds = 0.0;      ///< mean parallelSteps per operation
+  double nsPerOp = 0.0;
+  common::u64 maxRounds = 0;
+  common::u64 maxBound = 0;  ///< max over queries of bucketsTouched + 3
+};
+
+struct Config {
+  size_t n = 0;
+  common::u32 theta = 0;
+  size_t lookups = 0;
+  size_t rangeQueries = 0;
+  double span = 0.0;
+  size_t bulk = 0;
+  common::u64 seed = 0;
+};
+
+core::LhtIndex::Options indexOpts(const Config& cfg, bool optimized) {
+  core::LhtIndex::Options o;
+  o.thetaSplit = cfg.theta;
+  o.useLeafCache = optimized;
+  o.cacheDecodedBuckets = optimized;
+  o.batchFanout = optimized;
+  return o;
+}
+
+PhaseStats measureLookups(core::LhtIndex& idx, const Config& cfg) {
+  // One untimed warm pass so the optimized side measures the steady state
+  // (cache populated), not the fill; the baseline is unaffected.
+  common::Pcg32 warm(cfg.seed ^ 0xF00Dull, /*stream=*/7);
+  for (size_t i = 0; i < cfg.lookups; ++i) idx.find(warm.nextDouble());
+
+  common::Pcg32 rng(cfg.seed ^ 0xF00Dull, /*stream=*/7);
+  PhaseStats out;
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < cfg.lookups; ++i) {
+    auto res = idx.find(rng.nextDouble());
+    out.dhtLookups += static_cast<double>(res.stats.dhtLookups);
+    out.rounds += static_cast<double>(res.stats.parallelSteps);
+  }
+  const auto t1 = Clock::now();
+  const double n = static_cast<double>(cfg.lookups);
+  out.dhtLookups /= n;
+  out.rounds /= n;
+  out.nsPerOp = static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                        .count()) /
+                n;
+  return out;
+}
+
+PhaseStats measureRanges(core::LhtIndex& idx, const Config& cfg) {
+  common::Pcg32 rng(cfg.seed ^ 0xBEEFull, /*stream=*/11);
+  PhaseStats out;
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < cfg.rangeQueries; ++i) {
+    const auto spec = workload::makeRange(cfg.span, rng);
+    auto res = idx.rangeQuery(spec.lo, spec.hi);
+    out.dhtLookups += static_cast<double>(res.stats.dhtLookups);
+    out.rounds += static_cast<double>(res.stats.parallelSteps);
+    out.maxRounds = std::max(out.maxRounds, res.stats.parallelSteps);
+    out.maxBound = std::max(out.maxBound, res.stats.bucketsTouched + 3);
+  }
+  const auto t1 = Clock::now();
+  const double n = static_cast<double>(cfg.rangeQueries);
+  out.dhtLookups /= n;
+  out.rounds /= n;
+  out.nsPerOp = static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                        .count()) /
+                n;
+  return out;
+}
+
+/// Bulk-loads `cfg.bulk` fresh records into an index already holding the
+/// base dataset. Returns {ns per record, DHT batch rounds used}.
+std::pair<double, common::u64> measureBulk(const Config& cfg, bool optimized) {
+  dht::LocalDht store;
+  core::LhtIndex idx(store, indexOpts(cfg, optimized));
+  for (const auto& r : workload::makeDataset(workload::Distribution::Uniform,
+                                             cfg.n, cfg.seed)) {
+    idx.insert(r);
+  }
+  auto fresh = workload::makeDataset(workload::Distribution::Uniform, cfg.bulk,
+                                     cfg.seed ^ 0xB01Dull);
+  const auto before = store.stats().batchRounds;
+  const auto t0 = Clock::now();
+  auto result = idx.insertBatch(std::move(fresh));
+  const auto t1 = Clock::now();
+  if (!result.ok) {
+    std::cerr << "bench_json: bulk load failed\n";
+    std::exit(1);
+  }
+  const double ns = static_cast<double>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            t1 - t0)
+                            .count()) /
+                    static_cast<double>(cfg.bulk);
+  return {ns, store.stats().batchRounds - before};
+}
+
+void emitPhase(std::ostream& os, const char* indent, const PhaseStats& s,
+               bool withBound) {
+  os << indent << "\"dht_lookups_per_op\": " << s.dhtLookups << ",\n"
+     << indent << "\"rounds_per_op\": " << s.rounds << ",\n";
+  if (withBound) {
+    os << indent << "\"max_rounds\": " << s.maxRounds << ",\n"
+       << indent << "\"max_b_plus_3\": " << s.maxBound << ",\n";
+  }
+  os << indent << "\"ns_per_op\": " << s.nsPerOp << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("bench_json",
+                      "Emits BENCH_PR2.json: baseline vs cached+batched "
+                      "client, measured in one run");
+  flags.define("n", "16384", "records in the base dataset");
+  flags.define("theta", "100", "bucket split threshold");
+  flags.define("lookups", "20000", "exact-match finds per side");
+  flags.define("ranges", "300", "range queries per side");
+  flags.define("span", "0.05", "range-query span");
+  flags.define("bulk", "8192", "records per insertBatch for the bulk phase");
+  flags.define("seed", "1", "workload seed");
+  flags.define("out", "BENCH_PR2.json", "output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  Config cfg;
+  cfg.n = static_cast<size_t>(flags.getInt("n"));
+  cfg.theta = static_cast<common::u32>(flags.getInt("theta"));
+  cfg.lookups = static_cast<size_t>(flags.getInt("lookups"));
+  cfg.rangeQueries = static_cast<size_t>(flags.getInt("ranges"));
+  cfg.span = flags.getDouble("span");
+  cfg.bulk = static_cast<size_t>(flags.getInt("bulk"));
+  cfg.seed = static_cast<common::u64>(flags.getInt("seed"));
+
+  const auto dataset =
+      workload::makeDataset(workload::Distribution::Uniform, cfg.n, cfg.seed);
+
+  PhaseStats lookup[2], range[2];
+  double bulkNs[2];
+  common::u64 bulkRounds[2];
+  for (int side = 0; side < 2; ++side) {
+    const bool optimized = side == 1;
+    dht::LocalDht store;
+    core::LhtIndex idx(store, indexOpts(cfg, optimized));
+    for (const auto& r : dataset) idx.insert(r);
+    lookup[side] = measureLookups(idx, cfg);
+    range[side] = measureRanges(idx, cfg);
+    std::tie(bulkNs[side], bulkRounds[side]) = measureBulk(cfg, optimized);
+  }
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"lht_client_features\",\n"
+     << "  \"config\": {\"n\": " << cfg.n << ", \"theta\": " << cfg.theta
+     << ", \"lookups\": " << cfg.lookups << ", \"ranges\": " << cfg.rangeQueries
+     << ", \"span\": " << cfg.span << ", \"bulk\": " << cfg.bulk
+     << ", \"seed\": " << cfg.seed << "},\n";
+  for (int side = 0; side < 2; ++side) {
+    const char* name = side == 0 ? "baseline" : "optimized";
+    os << "  \"" << name << "\": {\n"
+       << "    \"lookup\": {\n";
+    emitPhase(os, "      ", lookup[side], false);
+    os << "    },\n"
+       << "    \"range\": {\n";
+    emitPhase(os, "      ", range[side], true);
+    os << "    },\n"
+       << "    \"bulk\": {\"ns_per_record\": " << bulkNs[side]
+       << ", \"batch_rounds\": " << bulkRounds[side] << "}\n"
+       << "  },\n";
+  }
+  os << "  \"speedup\": {\n"
+     << "    \"lookup_ns\": " << lookup[0].nsPerOp / lookup[1].nsPerOp << ",\n"
+     << "    \"lookup_dht\": " << lookup[0].dhtLookups / lookup[1].dhtLookups
+     << ",\n"
+     << "    \"range_ns\": " << range[0].nsPerOp / range[1].nsPerOp << ",\n"
+     << "    \"range_rounds\": " << range[0].rounds / range[1].rounds << ",\n"
+     << "    \"bulk_ns\": " << bulkNs[0] / bulkNs[1] << "\n"
+     << "  },\n"
+     << "  \"range_bound_holds\": "
+     << (range[1].maxRounds <= range[1].maxBound ? "true" : "false") << "\n"
+     << "}\n";
+
+  const std::string path = flags.getString("out");
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "bench_json: cannot write " << path << "\n";
+    return 1;
+  }
+  f << os.str();
+  std::cout << os.str();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}

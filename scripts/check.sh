@@ -4,15 +4,22 @@
 # decoders, and repair paths are exactly the code where silent memory bugs
 # would hide). Presets live in CMakePresets.json.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitizer pass (normal build + tests only)
+# After the test passes, builds the release preset and re-runs the JSON
+# perf bench, diffing its key metrics against the committed BENCH_PR2.json
+# baseline (warn-only: perf drift is reported, never fails the gate).
+#
+# Usage: scripts/check.sh [--fast] [--no-bench]
+#   --fast      skip the sanitizer pass (normal build + tests only)
+#   --no-bench  skip the release build + perf-baseline diff
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
+bench=1
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
+    --no-bench) bench=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -31,6 +38,18 @@ if [[ "$fast" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "$jobs"
   echo "== ctest (asan-ubsan) =="
   ctest --preset asan-ubsan -j "$jobs"
+fi
+
+if [[ "$bench" -eq 1 ]]; then
+  echo "== configure + build (release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_json
+  echo "== perf bench (release) vs committed BENCH_PR2.json (warn-only) =="
+  ./build-release/bench/bench_json --out=build-release/BENCH_PR2.json \
+    > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR2.json build-release/BENCH_PR2.json \
+    || echo "check.sh: WARNING: perf metrics drifted from the committed" \
+            "baseline (warn-only, see above)"
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench_json run against the committed baseline.
+
+Usage: diff_bench.py BASELINE.json FRESH.json
+
+Exits 1 (for the caller to warn on) when a key metric regressed beyond
+tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup)
+no longer holds. Wall-clock metrics get a generous tolerance — machines
+differ; the protocol-level counters must match exactly.
+"""
+import json
+import sys
+
+# (path, kind): "exact" counters must be bit-identical run to run;
+# "ratio" wall-clock metrics may drift by the given factor either way.
+CHECKS = [
+    (("baseline", "lookup", "dht_lookups_per_op"), "exact", None),
+    (("optimized", "lookup", "dht_lookups_per_op"), "exact", None),
+    (("baseline", "range", "dht_lookups_per_op"), "exact", None),
+    (("optimized", "range", "dht_lookups_per_op"), "exact", None),
+    (("optimized", "range", "max_rounds"), "exact", None),
+    (("speedup", "lookup_ns"), "ratio", 2.0),
+    (("speedup", "range_ns"), "ratio", 2.0),
+    (("speedup", "bulk_ns"), "ratio", 2.0),
+]
+
+
+def lookup(doc, path):
+    for key in path:
+        doc = doc[key]
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    bad = 0
+    for path, kind, tol in CHECKS:
+        name = ".".join(path)
+        try:
+            b, f_ = lookup(base, path), lookup(fresh, path)
+        except KeyError:
+            print(f"diff_bench: {name}: missing from one side")
+            bad += 1
+            continue
+        if kind == "exact":
+            if b != f_:
+                print(f"diff_bench: {name}: baseline {b} != fresh {f_}")
+                bad += 1
+        else:
+            if f_ <= 0 or b / f_ > tol or f_ / b > tol:
+                print(f"diff_bench: {name}: baseline {b:.1f} vs fresh {f_:.1f} "
+                      f"(beyond {tol}x tolerance)")
+                bad += 1
+
+    if not fresh.get("range_bound_holds", False):
+        print("diff_bench: fresh run violates the B+3 range-round bound")
+        bad += 1
+    if fresh["speedup"]["lookup_ns"] < 2.0:
+        print(f"diff_bench: lookup speedup {fresh['speedup']['lookup_ns']:.2f}x "
+              "fell below the 2x acceptance floor")
+        bad += 1
+
+    if bad:
+        return 1
+    print("diff_bench: fresh run consistent with the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

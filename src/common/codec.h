@@ -20,6 +20,13 @@ namespace lht::common {
 /// Appends primitive values to a byte buffer.
 class Encoder {
  public:
+  Encoder() = default;
+  /// Pre-sizes the buffer for a known serialized size (see e.g.
+  /// LeafBucket::serializedSize()) so encoding never reallocates.
+  explicit Encoder(size_t sizeHint) { buf_.reserve(sizeHint); }
+
+  void reserve(size_t sizeHint) { buf_.reserve(sizeHint); }
+
   void putU8(u8 v) { buf_.push_back(static_cast<char>(v)); }
   void putU32(u32 v) { putRaw(&v, sizeof(v)); }
   void putU64(u64 v) { putRaw(&v, sizeof(v)); }

@@ -1,0 +1,61 @@
+// Shared batch-round plumbing for the routed substrates.
+//
+// A multiGet/multiApply round issues independent requests, so a substrate
+// dispatches them concurrently: each entry still routes hop by hop (full
+// bandwidth accounting), but simulated time advances by the longest
+// entry's hop chain only — the critical-path RTT of the round. The
+// SimNetwork::ParallelRound scope implements the deferral; these helpers
+// run the per-entry loop with the same DhtError-to-outcome translation as
+// the base Dht implementation.
+#pragma once
+
+#include <vector>
+
+#include "dht/dht.h"
+#include "net/sim_network.h"
+
+namespace lht::dht::detail {
+
+template <typename Substrate>
+std::vector<GetOutcome> roundMultiGet(Substrate& substrate,
+                                      net::SimNetwork& net,
+                                      const std::vector<Key>& keys) {
+  std::vector<GetOutcome> out;
+  out.reserve(keys.size());
+  net::SimNetwork::ParallelRound round(net);
+  for (const Key& key : keys) {
+    round.nextEntry();
+    GetOutcome o;
+    try {
+      o.value = substrate.get(key);
+      o.ok = true;
+    } catch (const DhtError& e) {
+      o.error = e.what();
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+template <typename Substrate>
+std::vector<ApplyOutcome> roundMultiApply(Substrate& substrate,
+                                          net::SimNetwork& net,
+                                          const std::vector<ApplyRequest>& reqs) {
+  std::vector<ApplyOutcome> out;
+  out.reserve(reqs.size());
+  net::SimNetwork::ParallelRound round(net);
+  for (const ApplyRequest& req : reqs) {
+    round.nextEntry();
+    ApplyOutcome o;
+    try {
+      o.existed = substrate.apply(req.key, req.fn);
+      o.ok = true;
+    } catch (const DhtError& e) {
+      o.error = e.what();
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace lht::dht::detail

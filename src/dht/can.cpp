@@ -1,5 +1,7 @@
 #include "dht/can.h"
 
+#include "dht/batch_round.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -393,6 +395,19 @@ bool CanDht::checkZones() const {
     }
   }
   return true;
+}
+
+std::vector<GetOutcome> CanDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiGet(*this, net_, keys);
+}
+
+std::vector<ApplyOutcome> CanDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiApply(*this, net_, reqs);
 }
 
 }  // namespace lht::dht

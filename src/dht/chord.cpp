@@ -1,5 +1,7 @@
 #include "dht/chord.h"
 
+#include "dht/batch_round.h"
+
 #include <algorithm>
 
 #include "common/hash.h"
@@ -359,6 +361,19 @@ bool ChordDht::checkReplication() const {
     }
   }
   return expectedReplicas == actualReplicas;
+}
+
+std::vector<GetOutcome> ChordDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiGet(*this, net_, keys);
+}
+
+std::vector<ApplyOutcome> ChordDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiApply(*this, net_, reqs);
 }
 
 }  // namespace lht::dht

@@ -29,9 +29,16 @@ FlakyDht::FlakyDht(Dht& inner, double failProbability, common::u64 seed)
                          "FlakyDht: probability must be in [0, 1]");
 }
 
-void FlakyDht::maybeFail(const char* op) {
+bool FlakyDht::shouldFail() {
   if (rng_.nextDouble() < failProbability_) {
     injected_ += 1;
+    return true;
+  }
+  return false;
+}
+
+void FlakyDht::maybeFail(const char* op) {
+  if (shouldFail()) {
     throw DhtError(std::string("FlakyDht: lost ") + op + " request");
   }
 }
@@ -60,6 +67,53 @@ void FlakyDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
 }
 
+std::vector<GetOutcome> FlakyDht::multiGet(const std::vector<Key>& keys) {
+  std::vector<GetOutcome> out(keys.size());
+  if (keys.empty()) return out;
+  stats_.batchRounds += 1;
+  std::vector<size_t> surviving;
+  std::vector<Key> sub;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (shouldFail()) {
+      out[i].error = "FlakyDht: lost get request";
+    } else {
+      surviving.push_back(i);
+      sub.push_back(keys[i]);
+    }
+  }
+  if (!sub.empty()) {
+    auto innerOut = inner_.multiGet(sub);
+    for (size_t j = 0; j < surviving.size(); ++j) {
+      out[surviving[j]] = std::move(innerOut[j]);
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> FlakyDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  std::vector<ApplyOutcome> out(reqs.size());
+  if (reqs.empty()) return out;
+  stats_.batchRounds += 1;
+  std::vector<size_t> surviving;
+  std::vector<ApplyRequest> sub;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (shouldFail()) {
+      out[i].error = "FlakyDht: lost apply request";
+    } else {
+      surviving.push_back(i);
+      sub.push_back(reqs[i]);
+    }
+  }
+  if (!sub.empty()) {
+    auto innerOut = inner_.multiApply(sub);
+    for (size_t j = 0; j < surviving.size(); ++j) {
+      out[surviving[j]] = std::move(innerOut[j]);
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // LostReplyDht — the mutation lands, the acknowledgement does not
 // ---------------------------------------------------------------------------
@@ -70,9 +124,16 @@ LostReplyDht::LostReplyDht(Dht& inner, double lossProbability, common::u64 seed)
                          "LostReplyDht: probability must be in [0, 1]");
 }
 
-void LostReplyDht::maybeDropReply(const char* op) {
+bool LostReplyDht::shouldDrop() {
   if (rng_.nextDouble() < lossProbability_) {
     injected_ += 1;
+    return true;
+  }
+  return false;
+}
+
+void LostReplyDht::maybeDropReply(const char* op) {
+  if (shouldDrop()) {
     throw DhtError(std::string("LostReplyDht: lost ") + op + " reply");
   }
 }
@@ -102,6 +163,34 @@ bool LostReplyDht::apply(const Key& key, const Mutator& fn) {
 
 void LostReplyDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
+}
+
+std::vector<GetOutcome> LostReplyDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  auto out = inner_.multiGet(keys);
+  for (auto& o : out) {
+    if (o.ok && shouldDrop()) {
+      o.ok = false;
+      o.value.reset();
+      o.error = "LostReplyDht: lost get reply";
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> LostReplyDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  auto out = inner_.multiApply(reqs);
+  for (auto& o : out) {
+    if (o.ok && shouldDrop()) {
+      o.ok = false;
+      o.error = "LostReplyDht: lost apply reply";
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +232,21 @@ bool LatencyDht::apply(const Key& key, const Mutator& fn) {
 
 void LatencyDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
+}
+
+std::vector<GetOutcome> LatencyDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  charge();  // one critical-path RTT for the whole round
+  return inner_.multiGet(keys);
+}
+
+std::vector<ApplyOutcome> LatencyDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  charge();
+  return inner_.multiApply(reqs);
 }
 
 // ---------------------------------------------------------------------------
@@ -193,6 +297,46 @@ bool TimeoutDht::apply(const Key& key, const Mutator& fn) {
 
 void TimeoutDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
+}
+
+std::vector<GetOutcome> TimeoutDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  const common::u64 t0 = clock_.nowMs();
+  auto out = inner_.multiGet(keys);
+  const common::u64 elapsed = clock_.nowMs() - t0;
+  if (elapsed > deadlineMs_) {
+    timeouts_ += 1;  // one deadline, one miss — not one per entry
+    const std::string err = "TimeoutDht: batch get round took " +
+                            std::to_string(elapsed) + "ms > " +
+                            std::to_string(deadlineMs_) + "ms deadline";
+    for (auto& o : out) {
+      o.ok = false;
+      o.value.reset();
+      o.error = err;
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> TimeoutDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  const common::u64 t0 = clock_.nowMs();
+  auto out = inner_.multiApply(reqs);
+  const common::u64 elapsed = clock_.nowMs() - t0;
+  if (elapsed > deadlineMs_) {
+    timeouts_ += 1;
+    const std::string err = "TimeoutDht: batch apply round took " +
+                            std::to_string(elapsed) + "ms > " +
+                            std::to_string(deadlineMs_) + "ms deadline";
+    for (auto& o : out) {
+      o.ok = false;  // the round executed; only the acknowledgements are late
+      o.error = err;
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +419,93 @@ void RetryingDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
 }
 
+std::vector<GetOutcome> RetryingDht::multiGet(const std::vector<Key>& keys) {
+  std::vector<GetOutcome> out(keys.size());
+  if (keys.empty()) return out;
+  stats_.batchRounds += 1;
+  std::vector<size_t> pending(keys.size());
+  for (size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  for (size_t attempt = 1; !pending.empty(); ++attempt) {
+    std::vector<Key> sub;
+    sub.reserve(pending.size());
+    for (size_t idx : pending) sub.push_back(keys[idx]);
+    auto round = inner_.multiGet(sub);
+    std::vector<size_t> still;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t idx = pending[j];
+      if (round[j].ok) {
+        histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
+        out[idx] = std::move(round[j]);
+        continue;
+      }
+      lastError_ = round[j].error;
+      if (attempt >= opts_.maxAttempts) {
+        // Per-entry exhaustion: unlike the single-op path, the rest of
+        // the batch still lands, so report instead of throwing.
+        exhausted_ += 1;
+        out[idx].ok = false;
+        out[idx].error = "RetryingDht: get failed after " +
+                         std::to_string(attempt) +
+                         " attempts (last: " + round[j].error + ")";
+        continue;
+      }
+      retries_ += 1;
+      retriesPerOp_[static_cast<size_t>(DhtOp::Get)] += 1;
+      still.push_back(idx);
+    }
+    pending = std::move(still);
+    if (!pending.empty()) {
+      const common::u64 wait = backoffDelayMs(attempt);
+      backoffWaitedMs_ += wait;
+      if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> RetryingDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  std::vector<ApplyOutcome> out(reqs.size());
+  if (reqs.empty()) return out;
+  stats_.batchRounds += 1;
+  std::vector<size_t> pending(reqs.size());
+  for (size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  for (size_t attempt = 1; !pending.empty(); ++attempt) {
+    std::vector<ApplyRequest> sub;
+    sub.reserve(pending.size());
+    for (size_t idx : pending) sub.push_back(reqs[idx]);
+    auto round = inner_.multiApply(sub);
+    std::vector<size_t> still;
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t idx = pending[j];
+      if (round[j].ok) {
+        histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
+        out[idx] = std::move(round[j]);
+        continue;
+      }
+      lastError_ = round[j].error;
+      if (attempt >= opts_.maxAttempts) {
+        exhausted_ += 1;
+        out[idx].ok = false;
+        out[idx].error = "RetryingDht: apply failed after " +
+                         std::to_string(attempt) +
+                         " attempts (last: " + round[j].error + ")";
+        continue;
+      }
+      retries_ += 1;
+      retriesPerOp_[static_cast<size_t>(DhtOp::Apply)] += 1;
+      still.push_back(idx);
+    }
+    pending = std::move(still);
+    if (!pending.empty()) {
+      const common::u64 wait = backoffDelayMs(attempt);
+      backoffWaitedMs_ += wait;
+      if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // CircuitBreakerDht
 // ---------------------------------------------------------------------------
@@ -352,6 +583,60 @@ void CircuitBreakerDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
 }
 
+std::vector<GetOutcome> CircuitBreakerDht::multiGet(
+    const std::vector<Key>& keys) {
+  std::vector<GetOutcome> out;
+  if (keys.empty()) return out;
+  stats_.batchRounds += 1;
+  if (state_ == State::Open) {
+    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
+      fastFailures_ += keys.size();
+      out.resize(keys.size());
+      for (auto& o : out) {
+        o.error = "CircuitBreakerDht: get rejected (circuit open)";
+      }
+      return out;
+    }
+    state_ = State::HalfOpen;  // cooldown elapsed: allow one probe round
+  }
+  out = inner_.multiGet(keys);
+  bool allOk = true;
+  for (const auto& o : out) allOk = allOk && o.ok;
+  if (allOk) {
+    onSuccess();
+  } else {
+    onFailure();  // the round is one observation, success iff fully clean
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> CircuitBreakerDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  std::vector<ApplyOutcome> out;
+  if (reqs.empty()) return out;
+  stats_.batchRounds += 1;
+  if (state_ == State::Open) {
+    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
+      fastFailures_ += reqs.size();
+      out.resize(reqs.size());
+      for (auto& o : out) {
+        o.error = "CircuitBreakerDht: apply rejected (circuit open)";
+      }
+      return out;
+    }
+    state_ = State::HalfOpen;
+  }
+  out = inner_.multiApply(reqs);
+  bool allOk = true;
+  for (const auto& o : out) allOk = allOk && o.ok;
+  if (allOk) {
+    onSuccess();
+  } else {
+    onFailure();
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // CrashDht
 // ---------------------------------------------------------------------------
@@ -411,6 +696,43 @@ bool CrashDht::apply(const Key& key, const Mutator& fn) {
 
 void CrashDht::storeDirect(const Key& key, Value value) {
   inner_.storeDirect(key, std::move(value));
+}
+
+std::vector<GetOutcome> CrashDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  beforeRead();
+  stats_.batchRounds += 1;
+  return inner_.multiGet(keys);
+}
+
+std::vector<ApplyOutcome> CrashDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  if (crashed_) throw CrashError("CrashDht: client is down");
+  stats_.batchRounds += 1;
+  size_t allowed = reqs.size();
+  if (armed_) {
+    const size_t budget =
+        allowedWrites_ > writesCompleted_ ? allowedWrites_ - writesCompleted_ : 0;
+    allowed = std::min(allowed, budget);
+  }
+  std::vector<ApplyOutcome> out;
+  if (allowed == reqs.size()) {
+    out = inner_.multiApply(reqs);
+    writesCompleted_ += allowed;
+    return out;
+  }
+  // The crash strikes mid-round: the allowed prefix is already in flight
+  // and executes; the client dies before observing any outcome.
+  if (allowed > 0) {
+    std::vector<ApplyRequest> prefix(reqs.begin(),
+                                     reqs.begin() + static_cast<long>(allowed));
+    inner_.multiApply(prefix);
+    writesCompleted_ += allowed;
+  }
+  crashed_ = true;
+  throw CrashError("CrashDht: client crashed after " +
+                   std::to_string(writesCompleted_) + " writes (mid-batch)");
 }
 
 }  // namespace lht::dht

@@ -37,8 +37,8 @@
 #pragma once
 
 #include <array>
-#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "dht/dht.h"
@@ -46,52 +46,9 @@
 
 namespace lht::dht {
 
-/// A lost DHT request or reply (base of every injectable DHT failure).
-class DhtError : public std::runtime_error {
- public:
-  explicit DhtError(const std::string& what) : std::runtime_error(what) {}
-};
-
-/// An operation exceeded its deadline. The mutation may still have
-/// executed at the storing peer (lost-reply semantics).
-class DhtTimeoutError : public DhtError {
- public:
-  explicit DhtTimeoutError(const std::string& what) : DhtError(what) {}
-};
-
-/// RetryingDht ran out of attempts. Carries what happened.
-class DhtRetriesExhausted : public DhtError {
- public:
-  DhtRetriesExhausted(const std::string& what, std::string op, size_t attempts,
-                      std::string lastError)
-      : DhtError(what),
-        op_(std::move(op)),
-        attempts_(attempts),
-        lastError_(std::move(lastError)) {}
-  [[nodiscard]] const std::string& op() const { return op_; }
-  [[nodiscard]] size_t attempts() const { return attempts_; }
-  [[nodiscard]] const std::string& lastError() const { return lastError_; }
-
- private:
-  std::string op_;
-  size_t attempts_;
-  std::string lastError_;
-};
-
-/// CircuitBreakerDht is open: the operation was rejected without being
-/// attempted.
-class DhtCircuitOpenError : public DhtError {
- public:
-  explicit DhtCircuitOpenError(const std::string& what) : DhtError(what) {}
-};
-
-/// A simulated client crash. Deliberately NOT a DhtError: retry layers
-/// absorb substrate failures, but nothing may absorb the death of the
-/// client itself.
-class CrashError : public std::runtime_error {
- public:
-  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
-};
+// The failure taxonomy (DhtError, DhtTimeoutError, DhtRetriesExhausted,
+// DhtCircuitOpenError, CrashError) lives in dht/dht.h next to the batch
+// outcome types that carry the same errors per entry.
 
 /// Operation categories for per-op diagnostics.
 enum class DhtOp : size_t { Put = 0, Get = 1, Remove = 2, Apply = 3 };
@@ -112,11 +69,18 @@ class FlakyDht final : public Dht {
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
 
+  /// Per-entry lost requests: each entry independently fails *before*
+  /// execution; the survivors travel to the inner DHT as one round.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
+
   /// Failures injected so far.
   [[nodiscard]] size_t injectedFailures() const { return injected_; }
 
  private:
   void maybeFail(const char* op);
+  bool shouldFail();
 
   Dht& inner_;
   double failProbability_;
@@ -139,11 +103,19 @@ class LostReplyDht final : public Dht {
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
 
+  /// Per-entry lost replies: the whole round executes on the inner DHT,
+  /// then each entry's reply is independently dropped (ok=false, value
+  /// discarded) — the mutation/lookup happened regardless.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
+
   /// Replies dropped so far (each one a successfully executed operation).
   [[nodiscard]] size_t injectedLostReplies() const { return injected_; }
 
  private:
   void maybeDropReply(const char* op);
+  bool shouldDrop();
 
   Dht& inner_;
   double lossProbability_;
@@ -169,6 +141,12 @@ class LatencyDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// A batch round is dispatched concurrently: it is charged ONE sampled
+  /// latency (the critical-path RTT), not one per entry.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
 
   /// Total simulated milliseconds injected so far.
   [[nodiscard]] common::u64 injectedLatencyMs() const { return injectedMs_; }
@@ -196,6 +174,13 @@ class TimeoutDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// The deadline applies to the whole round (it is one critical-path
+  /// RTT). A missed deadline fails every entry in the round — but the
+  /// round has executed (lost-reply semantics), and counts as ONE timeout.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
 
   /// Deadline misses so far.
   [[nodiscard]] size_t timeouts() const { return timeouts_; }
@@ -237,6 +222,15 @@ class RetryingDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// Retries only the entries that failed: each attempt re-issues the
+  /// still-failing subset as one inner round, with backoff between
+  /// rounds. Unlike the single-op path this never throws
+  /// DhtRetriesExhausted — an exhausted entry stays ok=false so the rest
+  /// of the batch still lands.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
 
   // Diagnostics --------------------------------------------------------------
   /// Retries performed so far (failures absorbed), total and per op type.
@@ -294,6 +288,13 @@ class CircuitBreakerDht final : public Dht {
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
 
+  /// While open, the whole round fast-fails (every entry rejected, no
+  /// inner call). Otherwise the round counts as a single observation:
+  /// success iff every entry succeeded.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
+
   [[nodiscard]] State state() const { return state_; }
   /// Times the breaker tripped open.
   [[nodiscard]] size_t timesOpened() const { return timesOpened_; }
@@ -339,6 +340,14 @@ class CrashDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+
+  /// A crash can strike mid-round: if the armed write budget runs out
+  /// inside a multiApply, only the allowed prefix of entries is forwarded
+  /// (as one inner round) before CrashError — modelling a client that
+  /// dies while its batch is in flight.
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
 
  private:
   void beforeWrite();

@@ -1,5 +1,49 @@
-// Intentionally small: the interface is header-only; this translation unit
-// anchors the vtable.
 #include "dht/dht.h"
 
-namespace lht::dht {}  // namespace lht::dht
+namespace lht::dht {
+
+// Base batch rounds: sequential loops with per-entry error translation.
+// Substrates and decorators override these to add round-level latency and
+// fault semantics; the base keeps the contract (DhtError -> failed entry,
+// CrashError and everything else propagates).
+
+std::vector<GetOutcome> Dht::multiGet(const std::vector<Key>& keys) {
+  std::vector<GetOutcome> out;
+  out.reserve(keys.size());
+  if (keys.empty()) return out;
+  stats_.batchRounds += 1;
+  for (const Key& key : keys) {
+    GetOutcome o;
+    try {
+      o.value = get(key);
+      o.ok = true;
+    } catch (const DhtError& e) {
+      o.ok = false;
+      o.value.reset();
+      o.error = e.what();
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> Dht::multiApply(const std::vector<ApplyRequest>& reqs) {
+  std::vector<ApplyOutcome> out;
+  out.reserve(reqs.size());
+  if (reqs.empty()) return out;
+  stats_.batchRounds += 1;
+  for (const ApplyRequest& req : reqs) {
+    ApplyOutcome o;
+    try {
+      o.existed = apply(req.key, req.fn);
+      o.ok = true;
+    } catch (const DhtError& e) {
+      o.ok = false;
+      o.error = e.what();
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace lht::dht

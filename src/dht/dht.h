@@ -10,13 +10,62 @@
 
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
 namespace lht::dht {
 
 using common::u64;
+
+/// A lost DHT request or reply (base of every injectable DHT failure).
+class DhtError : public std::runtime_error {
+ public:
+  explicit DhtError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An operation exceeded its deadline. The mutation may still have
+/// executed at the storing peer (lost-reply semantics).
+class DhtTimeoutError : public DhtError {
+ public:
+  explicit DhtTimeoutError(const std::string& what) : DhtError(what) {}
+};
+
+/// RetryingDht ran out of attempts. Carries what happened.
+class DhtRetriesExhausted : public DhtError {
+ public:
+  DhtRetriesExhausted(const std::string& what, std::string op, size_t attempts,
+                      std::string lastError)
+      : DhtError(what),
+        op_(std::move(op)),
+        attempts_(attempts),
+        lastError_(std::move(lastError)) {}
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] size_t attempts() const { return attempts_; }
+  [[nodiscard]] const std::string& lastError() const { return lastError_; }
+
+ private:
+  std::string op_;
+  size_t attempts_;
+  std::string lastError_;
+};
+
+/// CircuitBreakerDht is open: the operation was rejected without being
+/// attempted.
+class DhtCircuitOpenError : public DhtError {
+ public:
+  explicit DhtCircuitOpenError(const std::string& what) : DhtError(what) {}
+};
+
+/// A simulated client crash. Deliberately NOT a DhtError: retry layers
+/// absorb substrate failures, but nothing may absorb the death of the
+/// client itself.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Keys are flat strings (e.g. a serialized tree-node label); the substrate
 /// hashes them onto its identifier space (consistent hashing, paper Sec. 1).
@@ -34,6 +83,7 @@ struct DhtStats {
   u64 applies = 0;      ///< lookups that were read-modify-writes
   u64 removes = 0;      ///< lookups that were removes
   u64 valueBytesMoved = 0;  ///< payload bytes shipped to/from storing peers
+  u64 batchRounds = 0;      ///< multiGet/multiApply rounds issued
   void reset() { *this = DhtStats{}; }
 };
 
@@ -41,6 +91,30 @@ struct DhtStats {
 /// stored value (disengaged when the key is absent) and may create, rewrite
 /// or erase it (reset() == erase).
 using Mutator = std::function<void(std::optional<Value>&)>;
+
+/// Per-entry result of one key inside a multiGet round. A batch never
+/// fails wholesale at the DHT layer: each entry reports its own outcome
+/// so callers can retry / repair exactly the entries that failed.
+struct GetOutcome {
+  bool ok = false;               ///< the entry's reply arrived
+  std::optional<Value> value;    ///< stored value (disengaged: key absent)
+  std::string error;             ///< failure description when !ok
+};
+
+/// Per-entry result of one read-modify-write inside a multiApply round.
+/// As with single-op lost replies, !ok does NOT imply the mutation did
+/// not execute — only that the acknowledgement never arrived.
+struct ApplyOutcome {
+  bool ok = false;               ///< the entry's acknowledgement arrived
+  bool existed = false;          ///< key existed before the call (valid when ok)
+  std::string error;             ///< failure description when !ok
+};
+
+/// One entry of a multiApply round.
+struct ApplyRequest {
+  Key key;
+  Mutator fn;
+};
 
 /// Generic DHT. Implementations must be deterministic given their seed so
 /// experiments reproduce exactly.
@@ -62,6 +136,25 @@ class Dht {
   /// This models the paper's "DHT-put towards κ" of a single record: the
   /// record travels to the peer; the bucket is rewritten locally.
   virtual bool apply(const Key& key, const Mutator& fn) = 0;
+
+  /// Issues every key as one *batch round*: the requests are independent,
+  /// so a substrate dispatches them concurrently and the round costs one
+  /// critical-path RTT of simulated time (the paper's parallel-forwarding
+  /// model, Alg. 3/4). Bandwidth accounting is unchanged — each entry is
+  /// still one DHT-lookup. Entries fail independently (lost replies,
+  /// timeouts); the round itself never throws DhtError. CrashError does
+  /// propagate — a dead client cannot observe partial outcomes.
+  ///
+  /// The base implementation loops get() per entry, translating DhtError
+  /// into a failed outcome; substrates and decorators override it to get
+  /// round-level latency/fault semantics.
+  virtual std::vector<GetOutcome> multiGet(const std::vector<Key>& keys);
+
+  /// Read-modify-write counterpart of multiGet: one round, independent
+  /// per-entry outcomes. A failed entry may still have executed at the
+  /// storing peer (lost-reply semantics), so mutators must be idempotent.
+  virtual std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs);
 
   /// Out-of-band bootstrap write: stores without routing or accounting.
   /// Used only to seed initial index state (e.g. the root leaf bucket).

@@ -1,5 +1,7 @@
 #include "dht/kademlia.h"
 
+#include "dht/batch_round.h"
+
 #include <algorithm>
 #include <bit>
 
@@ -225,6 +227,19 @@ bool KademliaDht::checkTables() const {
     }
   }
   return true;
+}
+
+std::vector<GetOutcome> KademliaDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiGet(*this, net_, keys);
+}
+
+std::vector<ApplyOutcome> KademliaDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiApply(*this, net_, reqs);
 }
 
 }  // namespace lht::dht

@@ -1,5 +1,7 @@
 #include "dht/pastry.h"
 
+#include "dht/batch_round.h"
+
 #include <algorithm>
 #include <bit>
 
@@ -296,6 +298,19 @@ bool PastryDht::checkTables() const {
     }
   }
   return true;
+}
+
+std::vector<GetOutcome> PastryDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiGet(*this, net_, keys);
+}
+
+std::vector<ApplyOutcome> PastryDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  return detail::roundMultiApply(*this, net_, reqs);
 }
 
 }  // namespace lht::dht

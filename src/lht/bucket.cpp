@@ -18,6 +18,12 @@ constexpr common::u8 kBucketFormatVersion = 2;
 constexpr common::u8 kHasSplitIntent = 1u << 0;
 constexpr common::u8 kHasMergeIntent = 1u << 1;
 
+size_t recordsSize(const std::vector<index::Record>& records) {
+  size_t n = 4;  // count
+  for (const auto& r : records) n += 8 + 4 + r.payload.size();
+  return n;
+}
+
 void putRecords(common::Encoder& enc, const std::vector<index::Record>& records) {
   enc.putU32(static_cast<common::u32>(records.size()));
   for (const auto& r : records) {
@@ -59,8 +65,21 @@ void LeafBucket::markApplied(common::u64 token) {
   }
 }
 
+size_t LeafBucket::serializedSize() const {
+  constexpr size_t kLabelSize = 4 + 8;  // length (u32) + bits (u64)
+  size_t n = 1;                         // format version
+  n += kLabelSize;                      // label
+  n += 8;                               // epoch
+  n += 4 + 8 * appliedOps.size();       // token window
+  n += recordsSize(records);
+  n += 1;                               // intent flags
+  if (splitIntent) n += kLabelSize + 8 + recordsSize(splitIntent->moving);
+  if (mergeIntent) n += kLabelSize + 8 + recordsSize(mergeIntent->moving);
+  return n;
+}
+
 std::string LeafBucket::serialize() const {
-  common::Encoder enc;
+  common::Encoder enc(serializedSize());
   enc.putU8(kBucketFormatVersion);
   enc.putLabel(label);
   enc.putU64(epoch);

@@ -87,6 +87,11 @@ struct LeafBucket {
   /// Whether `key` falls inside this leaf's interval.
   [[nodiscard]] bool covers(double key) const { return label.covers(key); }
 
+  /// Exact size of serialize()'s output, computed without encoding.
+  /// serialize() pre-sizes its buffer with this, so encoding a bucket
+  /// never reallocates.
+  [[nodiscard]] size_t serializedSize() const;
+
   /// Wire format for storage in the DHT (versioned; see bucket.cpp).
   [[nodiscard]] std::string serialize() const;
   static std::optional<LeafBucket> deserialize(std::string_view bytes);

@@ -1,0 +1,112 @@
+#include "lht/leaf_cache.h"
+
+#include <utility>
+
+#include "common/types.h"
+
+namespace lht::core {
+
+// ---------------------------------------------------------------------------
+// LeafCache
+// ---------------------------------------------------------------------------
+
+LeafCache::LeafCache(size_t capacity) : capacity_(capacity) {
+  common::checkInvariant(capacity >= 1, "LeafCache: capacity must be >= 1");
+}
+
+std::optional<LeafCache::Entry> LeafCache::find(double key) {
+  auto it = byLo_.upper_bound(key);
+  if (it == byLo_.begin()) {
+    misses_ += 1;
+    return std::nullopt;
+  }
+  --it;
+  if (!it->second.label.covers(key)) {
+    misses_ += 1;
+    return std::nullopt;
+  }
+  hits_ += 1;
+  return it->second;
+}
+
+void LeafCache::note(const common::Label& label, common::u64 epoch) {
+  invalidate(label.interval());
+  if (byLo_.size() >= capacity_) {
+    // Cheap overflow policy: flush. Leaf counts in our workloads sit far
+    // below any reasonable capacity, so this is a correctness valve, not a
+    // steady-state path.
+    byLo_.clear();
+    flushes_ += 1;
+  }
+  byLo_[label.interval().lo] = Entry{label, epoch};
+}
+
+void LeafCache::invalidate(const common::Interval& iv) {
+  auto it = byLo_.lower_bound(iv.lo);
+  // The entry starting left of iv.lo may still reach into iv.
+  if (it != byLo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.label.interval().hi > iv.lo) it = prev;
+  }
+  while (it != byLo_.end() && it->first < iv.hi) {
+    if (!it->second.label.interval().overlaps(iv)) {
+      ++it;
+      continue;
+    }
+    it = byLo_.erase(it);
+    invalidations_ += 1;
+  }
+}
+
+void LeafCache::clear() { byLo_.clear(); }
+
+// ---------------------------------------------------------------------------
+// BucketStore
+// ---------------------------------------------------------------------------
+
+BucketStore::BucketStore(bool enabled, size_t capacity)
+    : enabled_(enabled), capacity_(capacity) {
+  common::checkInvariant(capacity >= 1, "BucketStore: capacity must be >= 1");
+}
+
+BucketStore::Ref BucketStore::decode(const std::string& dhtKey,
+                                     const std::string& raw) {
+  if (enabled_) {
+    auto it = entries_.find(dhtKey);
+    if (it != entries_.end() && it->second.raw == raw) {
+      hits_ += 1;
+      return it->second.bucket;
+    }
+  }
+  misses_ += 1;
+  auto parsed = LeafBucket::deserialize(raw);
+  common::checkInvariant(parsed.has_value(),
+                         "BucketStore: stored bucket failed to decode");
+  auto ref = std::make_shared<const LeafBucket>(std::move(*parsed));
+  if (enabled_) {
+    if (entries_.size() >= capacity_ && entries_.find(dhtKey) == entries_.end()) {
+      entries_.clear();
+    }
+    entries_[dhtKey] = Entry{raw, ref};
+  }
+  return ref;
+}
+
+LeafBucket BucketStore::decodeCopy(const std::string& dhtKey,
+                                   const std::string& raw) {
+  return *decode(dhtKey, raw);
+}
+
+void BucketStore::note(const std::string& dhtKey, std::string raw,
+                       LeafBucket bucket) {
+  if (!enabled_) return;
+  if (entries_.size() >= capacity_ && entries_.find(dhtKey) == entries_.end()) {
+    entries_.clear();
+  }
+  entries_[dhtKey] =
+      Entry{std::move(raw), std::make_shared<const LeafBucket>(std::move(bucket))};
+}
+
+void BucketStore::forget(const std::string& dhtKey) { entries_.erase(dhtKey); }
+
+}  // namespace lht::core

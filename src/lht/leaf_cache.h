@@ -1,0 +1,115 @@
+// Client-side read-path caches for the LHT index (both default-off).
+//
+// LeafCache — leaf *location* cache: maps a key interval to the label of
+// the leaf last observed covering it. Because every leaf is stored under
+// name(label), a cached entry turns Algorithm 2's binary search (~log D
+// DHT-lookups) into a single get. Correctness never depends on freshness:
+// a hit is validated by the fetched bucket itself (does it still cover the
+// key? is it clean?), and a stale entry is simply invalidated and the
+// lookup falls back to the full binary search. This is the PHT-style
+// location cache subsuming the single-slot depth hint. Epochs (bucket wire
+// format v2) are remembered so callers can observe how stale an entry was.
+//
+// BucketStore — decoded-bucket cache: LHT stores buckets as opaque bytes,
+// so every read pays a full deserialize even when the bytes have not
+// changed. The store keys decoded buckets by DHT key and revalidates each
+// hit by comparing the raw bytes (a memcmp, not a decode): unchanged bytes
+// return the shared decoded value, changed bytes decode once and replace
+// it. Mutators copy-on-write, so shared values are never modified in
+// place.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/label.h"
+#include "common/types.h"
+#include "lht/bucket.h"
+
+namespace lht::core {
+
+class LeafCache {
+ public:
+  struct Entry {
+    common::Label label;
+    common::u64 epoch = 0;
+  };
+
+  explicit LeafCache(size_t capacity = 4096);
+
+  /// Greatest cached leaf whose interval covers `key`, if any.
+  [[nodiscard]] std::optional<Entry> find(double key);
+
+  /// Records an observed clean leaf. Entries overlapping its interval are
+  /// dropped first (sibling leaves that no longer exist after a merge).
+  void note(const common::Label& label, common::u64 epoch);
+
+  /// Drops every entry overlapping `iv` (after an observed or performed
+  /// split/merge whose old leaves covered `iv`).
+  void invalidate(const common::Interval& iv);
+
+  void clear();
+
+  [[nodiscard]] size_t size() const { return byLo_.size(); }
+  [[nodiscard]] common::u64 hits() const { return hits_; }
+  [[nodiscard]] common::u64 misses() const { return misses_; }
+  [[nodiscard]] common::u64 invalidations() const { return invalidations_; }
+  [[nodiscard]] common::u64 flushes() const { return flushes_; }
+
+ private:
+  size_t capacity_;
+  /// Leaf intervals partition [0, 1), so entries are ordered and
+  /// non-overlapping: the covering candidate for a key is the greatest
+  /// entry with lo <= key.
+  std::map<double, Entry> byLo_;
+  common::u64 hits_ = 0;
+  common::u64 misses_ = 0;
+  common::u64 invalidations_ = 0;
+  common::u64 flushes_ = 0;
+};
+
+class BucketStore {
+ public:
+  BucketStore(bool enabled, size_t capacity);
+
+  using Ref = std::shared_ptr<const LeafBucket>;
+
+  /// Decoded view of `raw` as stored under `dhtKey`. Hit: `raw` matches
+  /// the cached bytes and the shared decoded value is returned without
+  /// parsing. Miss: decodes (throwing InvariantError on corrupt bytes,
+  /// like the index's decode path always has) and caches.
+  Ref decode(const std::string& dhtKey, const std::string& raw);
+
+  /// Mutable copy for read-modify-write (copy-on-write: the shared cached
+  /// value is never mutated in place).
+  [[nodiscard]] LeafBucket decodeCopy(const std::string& dhtKey,
+                                      const std::string& raw);
+
+  /// Records the post-image of a write: `raw` is what was stored under
+  /// `dhtKey`, `bucket` its already-decoded form.
+  void note(const std::string& dhtKey, std::string raw, LeafBucket bucket);
+
+  /// Drops `dhtKey` (the stored value was erased).
+  void forget(const std::string& dhtKey);
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] common::u64 hits() const { return hits_; }
+  [[nodiscard]] common::u64 misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string raw;
+    Ref bucket;
+  };
+
+  bool enabled_;
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  common::u64 hits_ = 0;
+  common::u64 misses_ = 0;
+};
+
+}  // namespace lht::core

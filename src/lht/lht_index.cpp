@@ -1,6 +1,7 @@
 #include "lht/lht_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/types.h"
@@ -14,20 +15,13 @@ using common::Label;
 using common::u32;
 using common::u64;
 
-namespace {
-
-/// Decodes a stored bucket, failing loudly on corruption: a malformed value
-/// under an index key means the index layer itself wrote garbage.
-LeafBucket decodeBucket(const dht::Value& v) {
-  auto b = LeafBucket::deserialize(v);
-  checkInvariant(b.has_value(), "LhtIndex: corrupt bucket value in DHT");
-  return std::move(*b);
-}
-
-}  // namespace
-
 LhtIndex::LhtIndex(dht::Dht& dht, Options options)
-    : dht_(dht), opts_(options), tokenRng_(options.clientSeed, 0x70CE17u) {
+    : dht_(dht),
+      opts_(options),
+      tokenRng_(options.clientSeed, 0x70CE17u),
+      store_(options.cacheDecodedBuckets,
+             std::max<size_t>(1, options.leafCacheCapacity)),
+      leafCache_(std::max<size_t>(1, options.leafCacheCapacity)) {
   checkInvariant(opts_.thetaSplit >= 2, "LhtIndex: thetaSplit must be >= 2");
   if (opts_.maxDepth > Label::kMaxBits) opts_.maxDepth = Label::kMaxBits;
   checkInvariant(opts_.maxDepth >= 2, "LhtIndex: maxDepth must be >= 2");
@@ -46,12 +40,51 @@ u64 LhtIndex::newToken() {
   }
 }
 
-std::optional<LeafBucket> LhtIndex::getBucket(const std::string& key,
-                                              cost::OpStats& st) {
+LhtIndex::BucketRef LhtIndex::getBucketRef(const std::string& key,
+                                           cost::OpStats& st) {
   st.dhtLookups += 1;
   auto v = dht_.get(key);
-  if (!v) return std::nullopt;
-  return decodeBucket(*v);
+  if (!v) return nullptr;
+  auto ref = store_.decode(key, *v);
+  noteLeaf(*ref);
+  return ref;
+}
+
+void LhtIndex::noteLeaf(const LeafBucket& bucket) {
+  if (opts_.useLeafCache && bucket.clean()) {
+    leafCache_.note(bucket.label, bucket.epoch);
+  }
+}
+
+void LhtIndex::dropCached(const Interval& iv) {
+  if (opts_.useLeafCache) leafCache_.invalidate(iv);
+}
+
+dht::Mutator LhtIndex::makeBucketMutator(std::string key, BucketMutator fn) {
+  return [this, key = std::move(key), fn = std::move(fn)](std::optional<dht::Value>& v) {
+    std::optional<LeafBucket> b;
+    if (v.has_value()) b = store_.decodeCopy(key, *v);
+    if (!fn(b)) return;  // unchanged: the stored bytes stay as they are
+    if (b.has_value()) {
+      v = b->serialize();
+      store_.note(key, *v, std::move(*b));
+    } else {
+      v.reset();
+      store_.forget(key);
+    }
+  };
+}
+
+bool LhtIndex::applyBucket(const std::string& key, const BucketMutator& fn) {
+  return dht_.apply(key, makeBucketMutator(key, fn));
+}
+
+LhtIndex::LookupOutcome LhtIndex::toOutcome(LookupRef&& ref) {
+  LookupOutcome out;
+  out.dhtKey = std::move(ref.dhtKey);
+  out.stats = ref.stats;
+  if (ref.bucket) out.bucket = *ref.bucket;  // one copy, at the API boundary
+  return out;
 }
 
 bool LhtIndex::shouldSplit(const LeafBucket& b) const {
@@ -63,8 +96,8 @@ bool LhtIndex::shouldSplit(const LeafBucket& b) const {
 // Lookup (Algorithm 2) + lookup-triggered repair
 // ---------------------------------------------------------------------------
 
-LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
-  LookupOutcome out;
+LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
+  LookupRef out;
   key = common::clampToUnit(key);  // 1.0 belongs to the rightmost cell
   const Label mu = Label::fromKey(key, opts_.maxDepth);
 
@@ -74,6 +107,33 @@ LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
   // restart budget is generous rather than load-bearing.
   for (u32 attempt = 0; attempt <= 2 * opts_.maxDepth + 2; ++attempt) {
     bool restart = false;
+
+    // Location-cache fast path: a remembered leaf costs one DHT-lookup.
+    // The fetched bucket validates the entry (still covers the key, still
+    // clean); anything stale is invalidated and the binary search below
+    // takes over — the probe stays counted, correctness never depends on
+    // cache freshness.
+    if (opts_.useLeafCache) {
+      if (auto cached = leafCache_.find(key)) {
+        const std::string nm = dhtKeyFor(cached->label);
+        auto bucket = getBucketRef(nm, out.stats);
+        if (bucket && !bucket->clean()) {
+          dropCached(bucket->label.interval());
+          repairBucket(nm, *bucket, out.stats);
+          continue;  // restart against the repaired tree
+        }
+        if (bucket && bucket->covers(key)) {
+          depthHint_ = bucket->label.length();
+          out.bucket = std::move(bucket);
+          out.dhtKey = nm;
+          break;
+        }
+        // The leaf moved (split/merge elsewhere): drop the entry and fall
+        // back to the full search.
+        dropCached(cached->label.interval());
+      }
+    }
+
     u32 shorter = 1;             // candidate leaf-label bit lengths
     u32 longer = opts_.maxDepth; // (paper lengths 2..D+1 count the '#')
     bool useHint = opts_.useDepthHint && depthHint_ != 0;
@@ -87,7 +147,7 @@ LhtIndex::LookupOutcome LhtIndex::lookupInternal(double key) {
       }
       const Label x = mu.prefix(mid);
       const Label nm = name(x);
-      auto bucket = getBucket(nm.str(), out.stats);
+      auto bucket = getBucketRef(nm.str(), out.stats);
       if (!bucket) {
         // No leaf is named nm: every prefix longer than nm shares this name
         // (they all extend nm by a run of x's last bit), so only lengths up
@@ -135,13 +195,37 @@ bool LhtIndex::repairProbe(double key, cost::OpStats& st) {
   repairStats_.holeProbes += 1;
   key = common::clampToUnit(key);
   const Label mu = Label::fromKey(key, opts_.maxDepth);
-  bool repaired = false;
+  std::vector<std::string> names;
   std::string lastTried;
   for (u32 len = 1; len <= mu.length(); ++len) {
     const std::string nm = name(mu.prefix(len)).str();
     if (nm == lastTried) continue;
     lastTried = nm;
-    auto bucket = getBucket(nm, st);
+    names.push_back(nm);
+  }
+  bool repaired = false;
+  if (opts_.batchFanout) {
+    // All candidate prefix names in one round; the probe count is the same
+    // as the sequential scan, the critical path is one round-trip.
+    auto replies = dht_.multiGet(names);
+    st.dhtLookups += names.size();
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (!replies[i].ok) {
+        // Entry failed inside the round: fall back to a sequential probe
+        // of this name so injected faults degrade, not corrupt.
+        auto bucket = getBucketRef(names[i], st);
+        if (bucket && !bucket->clean()) repaired |= repairBucket(names[i], *bucket, st);
+        continue;
+      }
+      if (!replies[i].value.has_value()) continue;
+      auto bucket = store_.decode(names[i], *replies[i].value);
+      noteLeaf(*bucket);
+      if (!bucket->clean()) repaired |= repairBucket(names[i], *bucket, st);
+    }
+    return repaired;
+  }
+  for (const auto& nm : names) {
+    auto bucket = getBucketRef(nm, st);
     if (bucket && !bucket->clean()) repaired |= repairBucket(nm, *bucket, st);
   }
   return repaired;
@@ -169,29 +253,31 @@ void LhtIndex::completeSplit(const std::string& stayingKey,
   // its own key. Create-if-absent: if a bucket already lives there, a
   // previous attempt (possibly ours, its reply lost) already landed it —
   // and it may have absorbed newer inserts — so it is never overwritten.
-  dht_.apply(dhtKeyFor(intent.movedLabel), [&](std::optional<dht::Value>& v) {
-    if (v.has_value()) return;
+  applyBucket(dhtKeyFor(intent.movedLabel), [&](std::optional<LeafBucket>& ob) {
+    if (ob.has_value()) return false;
     LeafBucket moved{intent.movedLabel, intent.moving};
     moved.epoch = 1;
     moved.markApplied(intent.token);
-    v = moved.serialize();
+    ob = std::move(moved);
+    return true;
   });
   st.dhtLookups += 1;
   meters_.maintenance.dhtLookups += 1;
 
   // Step 3: clear the intent from the staying child. Guarded by the
   // intent token so a stale retry cannot clear a newer intent.
-  dht_.apply(stayingKey, [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "completeSplit: staying bucket vanished");
-    LeafBucket b = decodeBucket(*v);
-    if (b.splitIntent && b.splitIntent->token == intent.token) {
-      b.splitIntent.reset();
-      b.epoch += 1;
+  applyBucket(stayingKey, [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "completeSplit: staying bucket vanished");
+    if (ob->splitIntent && ob->splitIntent->token == intent.token) {
+      ob->splitIntent.reset();
+      ob->epoch += 1;
+      return true;
     }
-    v = b.serialize();
+    return false;
   });
   st.dhtLookups += 1;
   meters_.maintenance.dhtLookups += 1;
+  dropCached(intent.movedLabel.parent().interval());
 }
 
 void LhtIndex::completeMerge(const std::string& absorberKey,
@@ -202,21 +288,21 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
   // absorbed writes after the intent was recorded (a crash between the
   // staging and the delete, followed by normal traffic). Refresh the copy
   // from the live donor before destroying anything.
-  auto donorNow = getBucket(donorKey, st);
+  auto donorNow = getBucketRef(donorKey, st);
   meters_.maintenance.dhtLookups += 1;
   u64 token = intent.token;
   if (donorNow && donorNow->label == intent.donorLabel) {
     if (donorNow->records != intent.moving) {
       token = newToken();
-      dht_.apply(absorberKey, [&](std::optional<dht::Value>& v) {
-        checkInvariant(v.has_value(), "completeMerge: absorber vanished");
-        LeafBucket b = decodeBucket(*v);
-        if (b.mergeIntent && b.mergeIntent->donorLabel == intent.donorLabel) {
-          b.mergeIntent->moving = donorNow->records;
-          b.mergeIntent->token = token;
-          b.epoch += 1;
+      applyBucket(absorberKey, [&](std::optional<LeafBucket>& ob) {
+        checkInvariant(ob.has_value(), "completeMerge: absorber vanished");
+        if (ob->mergeIntent && ob->mergeIntent->donorLabel == intent.donorLabel) {
+          ob->mergeIntent->moving = donorNow->records;
+          ob->mergeIntent->token = token;
+          ob->epoch += 1;
+          return true;
         }
-        v = b.serialize();
+        return false;
       });
       st.dhtLookups += 1;
       meters_.maintenance.dhtLookups += 1;
@@ -228,18 +314,19 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
   std::vector<index::Record> moving =
       donorNow && donorNow->label == intent.donorLabel ? donorNow->records
                                                        : intent.moving;
-  dht_.apply(donorKey, [&](std::optional<dht::Value>& v) {
-    if (!v.has_value()) return;
-    LeafBucket b = decodeBucket(*v);
-    if (b.label == intent.donorLabel) v.reset();
+  applyBucket(donorKey, [&](std::optional<LeafBucket>& ob) {
+    if (!ob.has_value()) return false;
+    if (ob->label != intent.donorLabel) return false;
+    ob.reset();  // erase
+    return true;
   });
   st.dhtLookups += 1;
   meters_.maintenance.dhtLookups += 1;
 
   // Commit: the absorber becomes the parent leaf and takes the records.
-  dht_.apply(absorberKey, [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "completeMerge: absorber vanished");
-    LeafBucket b = decodeBucket(*v);
+  applyBucket(absorberKey, [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "completeMerge: absorber vanished");
+    LeafBucket& b = *ob;
     if (b.mergeIntent && b.mergeIntent->donorLabel == intent.donorLabel) {
       b.label = intent.donorLabel.parent();
       b.records.insert(b.records.end(),
@@ -247,12 +334,14 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
                        std::make_move_iterator(moving.end()));
       b.mergeIntent.reset();
       b.epoch += 1;
+      return true;
     }
-    v = b.serialize();
+    return false;
   });
   st.dhtLookups += 1;
   meters_.maintenance.dhtLookups += 1;
   meters_.maintenance.recordsMoved += moving.size();
+  dropCached(intent.donorLabel.parent().interval());
 }
 
 size_t LhtIndex::repairSweep() {
@@ -262,10 +351,55 @@ size_t LhtIndex::repairSweep() {
   size_t guard = 0;
   while (cursor < 1.0) {
     checkInvariant(++guard < 1u << 22, "repairSweep: runaway walk");
-    auto out = lookupInternal(cursor);
-    checkInvariant(out.bucket.has_value(), "repairSweep: unrecoverable hole");
-    scratch += out.stats;
-    cursor = out.bucket->label.interval().hi;
+    if (!opts_.batchFanout) {
+      auto out = lookupInternal(cursor);
+      checkInvariant(out.bucket != nullptr, "repairSweep: unrecoverable hole");
+      scratch += out.stats;
+      cursor = out.bucket->label.interval().hi;
+      continue;
+    }
+    // Batched sweep step: every candidate prefix name of the cursor in ONE
+    // round. The leaf covering the cursor is stored under one of these
+    // names, and so is any intent-holder responsible for a hole there.
+    const Label mu = Label::fromKey(common::clampToUnit(cursor), opts_.maxDepth);
+    std::vector<std::string> names;
+    std::string lastTried;
+    for (u32 len = 1; len <= mu.length(); ++len) {
+      const std::string nm = name(mu.prefix(len)).str();
+      if (nm == lastTried) continue;
+      lastTried = nm;
+      names.push_back(nm);
+    }
+    auto replies = dht_.multiGet(names);
+    scratch.dhtLookups += names.size();
+    bool repairedAny = false;
+    bool anyFailed = false;
+    BucketRef covering;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (!replies[i].ok) {
+        anyFailed = true;
+        continue;
+      }
+      if (!replies[i].value.has_value()) continue;
+      auto b = store_.decode(names[i], *replies[i].value);
+      noteLeaf(*b);
+      if (!b->clean()) {
+        repairedAny |= repairBucket(names[i], *b, scratch);
+        continue;
+      }
+      if (b->covers(common::clampToUnit(cursor))) covering = b;
+    }
+    if (repairedAny) continue;  // re-probe the same cursor post-repair
+    if (anyFailed || !covering) {
+      // Faulted round or no covering leaf surfaced: the sequential walker
+      // (with its retry/repair loop) resolves this cursor.
+      auto out = lookupInternal(cursor);
+      checkInvariant(out.bucket != nullptr, "repairSweep: unrecoverable hole");
+      scratch += out.stats;
+      cursor = out.bucket->label.interval().hi;
+      continue;
+    }
+    cursor = covering->label.interval().hi;
   }
   return static_cast<size_t>((repairStats_.splitRepairs - before.splitRepairs) +
                              (repairStats_.mergeRepairs - before.mergeRepairs));
@@ -273,12 +407,11 @@ size_t LhtIndex::repairSweep() {
 
 LhtIndex::LookupOutcome LhtIndex::lookup(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::lookup: key outside [0,1]");
-  return lookupInternal(key);
+  return toOutcome(lookupInternal(key));
 }
 
-LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
-  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::lookupLinear: bad key");
-  LookupOutcome out;
+LhtIndex::LookupRef LhtIndex::lookupLinearRef(double key) {
+  LookupRef out;
   key = common::clampToUnit(key);
   const Label mu = Label::fromKey(key, opts_.maxDepth);
   std::string lastTried;
@@ -286,7 +419,7 @@ LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
     const std::string nm = name(mu.prefix(len)).str();
     if (nm == lastTried) continue;  // same name as the previous prefix
     lastTried = nm;
-    auto bucket = getBucket(nm, out.stats);
+    auto bucket = getBucketRef(nm, out.stats);
     if (bucket && bucket->covers(key)) {
       out.bucket = std::move(bucket);
       out.dhtKey = nm;
@@ -298,6 +431,11 @@ LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
   return out;
 }
 
+LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
+  checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::lookupLinear: bad key");
+  return toOutcome(lookupLinearRef(key));
+}
+
 // ---------------------------------------------------------------------------
 // Insert (Sec. 5 + Algorithm 1)
 // ---------------------------------------------------------------------------
@@ -306,14 +444,15 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   checkInvariant(record.key >= 0.0 && record.key <= 1.0,
                  "LhtIndex::insert: key outside [0,1]");
   auto found = lookupInternal(record.key);
-  if (!found.bucket) found = lookupLinear(record.key);  // defensive fallback
-  checkInvariant(found.bucket.has_value(),
+  if (!found.bucket) found = lookupLinearRef(record.key);  // defensive fallback
+  checkInvariant(found.bucket != nullptr,
                  "LhtIndex::insert: tree does not cover the key (D too small?)");
 
   index::UpdateResult result;
   result.ok = true;
   result.stats = found.stats;
   meters_.insertion.dhtLookups += found.stats.dhtLookups;
+  const Interval preInterval = found.bucket->label.interval();
 
   // Ship the record to the bucket's peer (the paper's "DHT-put towards
   // kappa") and, when the leaf saturates, run Algorithm 1 right there: the
@@ -335,9 +474,10 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   std::optional<SplitIntent> pendingSplit;
   const u64 token = newToken();
   const u64 completionToken = newToken();
-  const bool existed = dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "LhtIndex::insert: bucket vanished");
-    LeafBucket b = decodeBucket(*v);
+  const bool existed = applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "LhtIndex::insert: bucket vanished");
+    LeafBucket& b = *ob;
+    bool changed = false;
     // A lost reply makes a retry layer re-execute this mutator; the token
     // check turns the re-execution into a no-op, and the outputs captured
     // by the execution that actually applied stay valid. The staleness
@@ -366,9 +506,10 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
           remotes.push_back(splitBucket(b));
         }
       }
+      changed = true;
     }
     pendingSplit = b.splitIntent;
-    v = b.serialize();
+    return changed;
   });
   checkInvariant(existed, "LhtIndex::insert: apply on missing bucket");
   meters_.insertion.dhtLookups += 1;
@@ -385,6 +526,7 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
     meters_.maintenance.splits += 1;
     result.splitOrMerged = true;
   }
+  if (!remotes.empty()) dropCached(preInterval);
   if (pendingSplit) {
     const size_t movedCount = pendingSplit->moving.size();
     completeSplit(found.dhtKey, *pendingSplit, result.stats);
@@ -412,6 +554,7 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
                    "LhtIndex::insertBatch: key outside [0,1]");
   }
   std::sort(records.begin(), records.end(), index::recordLess);
+  if (opts_.batchFanout) return insertBatchBatched(std::move(records));
   const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot, opts_.maxDepth};
 
   // One lookup + one apply per *touched leaf*: consecutive sorted records
@@ -419,31 +562,31 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
   size_t i = 0;
   while (i < records.size()) {
     auto found = lookupInternal(records[i].key);
-    if (!found.bucket) found = lookupLinear(records[i].key);
-    checkInvariant(found.bucket.has_value(), "LhtIndex::insertBatch: tree hole");
+    if (!found.bucket) found = lookupLinearRef(records[i].key);
+    checkInvariant(found.bucket != nullptr, "LhtIndex::insertBatch: tree hole");
     meters_.insertion.dhtLookups += found.stats.dhtLookups;
     result.stats.dhtLookups += found.stats.dhtLookups;
 
-    const double leafHi = found.bucket->label.interval().hi;
+    const Interval leafInterval = found.bucket->label.interval();
+    const double leafHi = leafInterval.hi;
     size_t j = i;
     while (j < records.size() && common::clampToUnit(records[j].key) < leafHi) ++j;
 
     std::vector<LeafBucket> remotes;
     const u64 token = newToken();
-    dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
-      checkInvariant(v.has_value(), "LhtIndex::insertBatch: bucket vanished");
-      LeafBucket b = decodeBucket(*v);
-      if (!b.hasApplied(token)) {
-        remotes.clear();
-        b.records.insert(
-            b.records.end(),
-            std::make_move_iterator(records.begin() + static_cast<long>(i)),
-            std::make_move_iterator(records.begin() + static_cast<long>(j)));
-        b.markApplied(token);
-        b.epoch += 1;
-        splitBucketRecursively(b, policy, remotes);
-        v = b.serialize();
-      }
+    applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
+      checkInvariant(ob.has_value(), "LhtIndex::insertBatch: bucket vanished");
+      LeafBucket& b = *ob;
+      if (b.hasApplied(token)) return false;
+      remotes.clear();
+      b.records.insert(
+          b.records.end(),
+          std::make_move_iterator(records.begin() + static_cast<long>(i)),
+          std::make_move_iterator(records.begin() + static_cast<long>(j)));
+      b.markApplied(token);
+      b.epoch += 1;
+      splitBucketRecursively(b, policy, remotes);
+      return true;
     });
     meters_.insertion.dhtLookups += 1;
     meters_.insertion.recordsMoved += j - i;
@@ -457,9 +600,115 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
       meters_.maintenance.splits += 1;
       result.splitOrMerged = true;
     }
+    if (!remotes.empty()) dropCached(leafInterval);
     i = j;
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
+  return result;
+}
+
+index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> records) {
+  index::UpdateResult result;
+  result.ok = true;
+  const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot, opts_.maxDepth};
+
+  // Pass 1 (sequential, cache-accelerated): resolve the target leaf of each
+  // sorted run. Groups are complete before any request captures a pointer
+  // into the vector, so the pointers stay stable.
+  struct Group {
+    std::string dhtKey;
+    Interval leafInterval;
+    size_t begin = 0;
+    size_t end = 0;
+    u64 token = 0;
+    std::vector<LeafBucket> remotes;
+  };
+  std::vector<Group> groups;
+  size_t i = 0;
+  while (i < records.size()) {
+    auto found = lookupInternal(records[i].key);
+    if (!found.bucket) found = lookupLinearRef(records[i].key);
+    checkInvariant(found.bucket != nullptr, "LhtIndex::insertBatch: tree hole");
+    meters_.insertion.dhtLookups += found.stats.dhtLookups;
+    result.stats.dhtLookups += found.stats.dhtLookups;
+    result.stats.parallelSteps += found.stats.parallelSteps;
+
+    const double leafHi = found.bucket->label.interval().hi;
+    size_t j = i;
+    while (j < records.size() && common::clampToUnit(records[j].key) < leafHi) ++j;
+    groups.push_back(Group{found.dhtKey, found.bucket->label.interval(), i, j,
+                           newToken(), {}});
+    i = j;
+  }
+
+  // Pass 2: ONE multiApply round ships every group to its leaf (splits run
+  // inside the mutators, children handed back per group).
+  std::vector<dht::ApplyRequest> reqs;
+  reqs.reserve(groups.size());
+  for (auto& g : groups) {
+    Group* gp = &g;
+    reqs.push_back(dht::ApplyRequest{
+        g.dhtKey,
+        makeBucketMutator(g.dhtKey, [this, gp, &records, policy](std::optional<LeafBucket>& ob) {
+          checkInvariant(ob.has_value(), "LhtIndex::insertBatch: bucket vanished");
+          LeafBucket& b = *ob;
+          if (b.hasApplied(gp->token)) return false;
+          gp->remotes.clear();
+          b.records.insert(b.records.end(),
+                           records.begin() + static_cast<long>(gp->begin),
+                           records.begin() + static_cast<long>(gp->end));
+          b.markApplied(gp->token);
+          b.epoch += 1;
+          splitBucketRecursively(b, policy, gp->remotes);
+          return true;
+        })});
+  }
+  auto applied = dht_.multiApply(reqs);
+  if (!reqs.empty()) result.stats.parallelSteps += 1;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!applied[g].ok) {
+      throw dht::DhtError("LhtIndex::insertBatch: apply round entry failed: " +
+                          applied[g].error);
+    }
+    meters_.insertion.dhtLookups += 1;
+    meters_.insertion.recordsMoved += groups[g].end - groups[g].begin;
+    result.stats.dhtLookups += 1;
+    recordCount_ += groups[g].end - groups[g].begin;
+  }
+
+  // Pass 3: ONE more round writes every split-off child (Theorem 2 names
+  // them; overwrite matches the sequential dht_.put).
+  std::vector<dht::ApplyRequest> puts;
+  for (auto& g : groups) {
+    if (!g.remotes.empty()) dropCached(g.leafInterval);
+    for (auto& rb : g.remotes) {
+      const std::string key = dhtKeyFor(rb.label);
+      const LeafBucket* rbp = &rb;
+      puts.push_back(dht::ApplyRequest{
+          key, makeBucketMutator(key, [rbp](std::optional<LeafBucket>& ob) {
+            ob = *rbp;
+            return true;
+          })});
+    }
+  }
+  if (!puts.empty()) {
+    auto putOut = dht_.multiApply(puts);
+    result.stats.parallelSteps += 1;
+    size_t k = 0;
+    for (const auto& g : groups) {
+      for (const auto& rb : g.remotes) {
+        if (!putOut[k].ok) {
+          throw dht::DhtError("LhtIndex::insertBatch: split put failed: " +
+                              putOut[k].error);
+        }
+        meters_.maintenance.dhtLookups += 1;
+        meters_.maintenance.recordsMoved += rb.records.size();
+        meters_.maintenance.splits += 1;
+        result.splitOrMerged = true;
+        ++k;
+      }
+    }
+  }
   return result;
 }
 
@@ -470,10 +719,10 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
 index::FindResult LhtIndex::successorQuery(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::successorQuery: bad key");
   auto found = lookupInternal(key);
-  checkInvariant(found.bucket.has_value(), "successorQuery: tree hole");
+  checkInvariant(found.bucket != nullptr, "successorQuery: tree hole");
   index::FindResult result;
   result.stats = found.stats;
-  std::optional<LeafBucket> bucket = std::move(found.bucket);
+  BucketRef bucket = std::move(found.bucket);
   while (bucket) {
     const index::Record* best = nullptr;
     for (const auto& r : bucket->records) {
@@ -485,7 +734,7 @@ index::FindResult LhtIndex::successorQuery(double key) {
     }
     if (bucket->label.isRightmostPath()) break;
     const Label beta = rightNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);  // leftmost leaf of the next subtree
     bucket = std::move(nb);
   }
@@ -497,10 +746,10 @@ index::FindResult LhtIndex::successorQuery(double key) {
 index::FindResult LhtIndex::predecessorQuery(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::predecessorQuery: bad key");
   auto found = lookupInternal(key);
-  checkInvariant(found.bucket.has_value(), "predecessorQuery: tree hole");
+  checkInvariant(found.bucket != nullptr, "predecessorQuery: tree hole");
   index::FindResult result;
   result.stats = found.stats;
-  std::optional<LeafBucket> bucket = std::move(found.bucket);
+  BucketRef bucket = std::move(found.bucket);
   while (bucket) {
     const index::Record* best = nullptr;
     for (const auto& r : bucket->records) {
@@ -512,7 +761,7 @@ index::FindResult LhtIndex::predecessorQuery(double key) {
     }
     if (bucket->label.isLeftmostPath()) break;
     const Label beta = leftNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);  // rightmost leaf of the previous subtree
     bucket = std::move(nb);
   }
@@ -528,8 +777,8 @@ index::FindResult LhtIndex::predecessorQuery(double key) {
 index::UpdateResult LhtIndex::erase(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::erase: key outside [0,1]");
   auto found = lookupInternal(key);
-  if (!found.bucket) found = lookupLinear(key);
-  checkInvariant(found.bucket.has_value(), "LhtIndex::erase: tree hole");
+  if (!found.bucket) found = lookupLinearRef(key);
+  checkInvariant(found.bucket != nullptr, "LhtIndex::erase: tree hole");
 
   index::UpdateResult result;
   result.stats = found.stats;
@@ -539,23 +788,22 @@ index::UpdateResult LhtIndex::erase(double key) {
   size_t remainingEffective = 0;
   Label bucketLabel;
   const u64 token = newToken();
-  dht_.apply(found.dhtKey, [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "LhtIndex::erase: bucket vanished");
-    LeafBucket b = decodeBucket(*v);
+  applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "LhtIndex::erase: bucket vanished");
+    LeafBucket& b = *ob;
     // Token-guarded like insert: a lost-reply retry must neither remove
     // twice (harmless here) nor clobber the outputs of the execution that
     // actually removed the records.
-    if (!b.hasApplied(token)) {
-      auto it = std::remove_if(b.records.begin(), b.records.end(),
-                               [&](const index::Record& r) { return r.key == key; });
-      removed = static_cast<size_t>(b.records.end() - it);
-      b.records.erase(it, b.records.end());
-      b.markApplied(token);
-      b.epoch += 1;
-      remainingEffective = b.effectiveSize(opts_.countLabelSlot);
-      bucketLabel = b.label;
-      v = b.serialize();
-    }
+    if (b.hasApplied(token)) return false;
+    auto it = std::remove_if(b.records.begin(), b.records.end(),
+                             [&](const index::Record& r) { return r.key == key; });
+    removed = static_cast<size_t>(b.records.end() - it);
+    b.records.erase(it, b.records.end());
+    b.markApplied(token);
+    b.epoch += 1;
+    remainingEffective = b.effectiveSize(opts_.countLabelSlot);
+    bucketLabel = b.label;
+    return true;
   });
   meters_.insertion.dhtLookups += 1;
   result.stats.dhtLookups += 1;
@@ -575,13 +823,13 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
   // The sibling participates only if it is itself a leaf, i.e. a bucket
   // labelled exactly `sib` sits under name(sib).
   cost::OpStats probe;
-  auto sibBucket = getBucket(dhtKeyFor(sib), probe);
+  auto sibBucket = getBucketRef(dhtKeyFor(sib), probe);
   meters_.maintenance.dhtLookups += probe.dhtLookups;
   if (!sibBucket || sibBucket->label != sib) return false;
 
   // Refresh our own bucket to get an exact combined size.
   cost::OpStats self;
-  auto ownBucket = getBucket(dhtKeyFor(bucketLabel), self);
+  auto ownBucket = getBucketRef(dhtKeyFor(bucketLabel), self);
   meters_.maintenance.dhtLookups += self.dhtLookups;
   if (!ownBucket || ownBucket->label != bucketLabel) return false;
 
@@ -610,19 +858,19 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
     if (!absorber.clean() || !donor.clean()) return false;
     MergeIntent intent{donor.label, donor.records, newToken()};
     bool staged = false;
-    dht_.apply(parentKey, [&](std::optional<dht::Value>& v) {
-      checkInvariant(v.has_value(), "LhtIndex::tryMerge: absorber vanished");
-      LeafBucket b = decodeBucket(*v);
+    applyBucket(parentKey, [&](std::optional<LeafBucket>& ob) {
+      checkInvariant(ob.has_value(), "LhtIndex::tryMerge: absorber vanished");
+      LeafBucket& b = *ob;
       if (b.mergeIntent && b.mergeIntent->token == intent.token) {
         staged = true;  // lost-reply retry: our earlier execution landed
-        return;
+        return false;
       }
       staged = false;
-      if (!b.clean() || b.label != absorber.label) return;
+      if (!b.clean() || b.label != absorber.label) return false;
       b.mergeIntent = intent;
       b.epoch += 1;
-      v = b.serialize();
       staged = true;
+      return true;
     });
     meters_.maintenance.dhtLookups += 1;
     if (!staged) return false;
@@ -635,24 +883,24 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
   // Drop the donor (its peer ships the records), then rewrite the absorber
   // in place as the parent leaf.
   std::vector<index::Record> moving;
-  dht_.apply(dhtKeyFor(donor.label), [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "LhtIndex::tryMerge: donor vanished");
-    LeafBucket b = decodeBucket(*v);
-    checkInvariant(b.label == donor.label, "LhtIndex::tryMerge: donor stale");
-    moving = std::move(b.records);
-    v.reset();  // erase
+  applyBucket(dhtKeyFor(donor.label), [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "LhtIndex::tryMerge: donor vanished");
+    checkInvariant(ob->label == donor.label, "LhtIndex::tryMerge: donor stale");
+    moving = std::move(ob->records);
+    ob.reset();  // erase
+    return true;
   });
-  dht_.apply(parentKey, [&](std::optional<dht::Value>& v) {
-    checkInvariant(v.has_value(), "LhtIndex::tryMerge: absorber vanished");
-    LeafBucket b = decodeBucket(*v);
-    b.label = parent;
-    b.records.insert(b.records.end(), std::make_move_iterator(moving.begin()),
-                     std::make_move_iterator(moving.end()));
-    v = b.serialize();
+  applyBucket(parentKey, [&](std::optional<LeafBucket>& ob) {
+    checkInvariant(ob.has_value(), "LhtIndex::tryMerge: absorber vanished");
+    ob->label = parent;
+    ob->records.insert(ob->records.end(), std::make_move_iterator(moving.begin()),
+                       std::make_move_iterator(moving.end()));
+    return true;
   });
   meters_.maintenance.dhtLookups += 2;
   meters_.maintenance.recordsMoved += donor.records.size();
   meters_.maintenance.merges += 1;
+  dropCached(parent.interval());
   return true;
 }
 
@@ -697,26 +945,22 @@ Label LhtIndex::computeLca(const Interval& range) const {
   return node;
 }
 
-u64 LhtIndex::fetchSubtreeEntry(const Label& branch, std::optional<LeafBucket>& out,
+u64 LhtIndex::fetchSubtreeEntry(const Label& branch, BucketRef& out,
                                 cost::OpStats& st) {
   // A lookup of the branch label itself reaches the subtree's entry leaf
   // when the branch is internal; when the branch is itself a leaf the
   // lookup fails — the paper's "at most one failed DHT-lookup" — and the
   // leaf sits under its own name instead.
-  out = getBucket(branch.str(), st);
+  out = getBucketRef(branch.str(), st);
   if (out) return 1;
-  out = getBucket(dhtKeyFor(branch), st);
+  out = getBucketRef(dhtKeyFor(branch), st);
   return 2;
 }
 
-u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
-                           std::vector<index::Record>& out, cost::OpStats& st) {
-  st.bucketsTouched += 1;
-  for (const auto& r : bucket.records) {
-    if (range.contains(r.key)) out.push_back(r);
-  }
+std::vector<LhtIndex::ForwardTarget> LhtIndex::forwardTargets(
+    const LeafBucket& bucket, const Interval& range) const {
+  std::vector<ForwardTarget> targets;
   const Interval mine = bucket.label.interval();
-  u64 steps = 0;
 
   // Sweep right: cover (mine.hi, range.hi) through the right branch nodes
   // beta_1, beta_2, ... of the local tree. All fully covered branches are
@@ -729,17 +973,9 @@ u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
       const Interval inv = beta.interval();
       if (inv.lo >= range.hi) break;
       if (inv.hi <= range.hi) {
-        // tau_i fully inside the range: one hop to its rightmost leaf,
-        // which is the leaf named name(beta). Never fails.
-        auto nb = getBucket(dhtKeyFor(beta), st);
-        checkInvariant(nb.has_value(), "forwardRange: missing covered branch");
-        steps = std::max(steps, 1 + forwardRange(*nb, inv, out, st));
+        targets.push_back(ForwardTarget{beta, inv, true});
       } else {
-        // beta_k: partially covered; enter at its leftmost leaf.
-        std::optional<LeafBucket> nb;
-        const u64 hops = fetchSubtreeEntry(beta, nb, st);
-        checkInvariant(nb.has_value(), "forwardRange: missing final branch");
-        steps = std::max(steps, hops + forwardRange(*nb, inv.intersect(range), out, st));
+        targets.push_back(ForwardTarget{beta, inv.intersect(range), false});
         break;
       }
     }
@@ -753,21 +989,99 @@ u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
       const Interval inv = beta.interval();
       if (inv.hi <= range.lo) break;
       if (inv.lo >= range.lo) {
-        // fully inside: one hop to the subtree's leftmost leaf, the leaf
-        // named name(beta).
-        auto nb = getBucket(dhtKeyFor(beta), st);
-        checkInvariant(nb.has_value(), "forwardRange: missing covered branch");
-        steps = std::max(steps, 1 + forwardRange(*nb, inv, out, st));
+        targets.push_back(ForwardTarget{beta, inv, true});
       } else {
-        std::optional<LeafBucket> nb;
-        const u64 hops = fetchSubtreeEntry(beta, nb, st);
-        checkInvariant(nb.has_value(), "forwardRange: missing final branch");
-        steps = std::max(steps, hops + forwardRange(*nb, inv.intersect(range), out, st));
+        targets.push_back(ForwardTarget{beta, inv.intersect(range), false});
         break;
       }
     }
   }
+  return targets;
+}
+
+u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
+                           std::vector<index::Record>& out, cost::OpStats& st) {
+  st.bucketsTouched += 1;
+  for (const auto& r : bucket.records) {
+    if (range.contains(r.key)) out.push_back(r);
+  }
+  u64 steps = 0;
+  for (const auto& t : forwardTargets(bucket, range)) {
+    if (t.covered) {
+      // tau_i fully inside the range: one hop to its rightmost (resp.
+      // leftmost) leaf, which is the leaf named name(beta). Never fails.
+      auto nb = getBucketRef(dhtKeyFor(t.branch), st);
+      checkInvariant(nb != nullptr, "forwardRange: missing covered branch");
+      steps = std::max(steps, 1 + forwardRange(*nb, t.clip, out, st));
+    } else {
+      // beta_k: partially covered; enter at its boundary leaf.
+      BucketRef nb;
+      const u64 hops = fetchSubtreeEntry(t.branch, nb, st);
+      checkInvariant(nb != nullptr, "forwardRange: missing final branch");
+      steps = std::max(steps, hops + forwardRange(*nb, t.clip, out, st));
+    }
+  }
   return steps;
+}
+
+void LhtIndex::expandBucket(const LeafBucket& bucket, const Interval& clip,
+                            std::vector<FanoutTask>& next,
+                            std::vector<index::Record>& out, cost::OpStats& st) {
+  st.bucketsTouched += 1;
+  for (const auto& r : bucket.records) {
+    if (clip.contains(r.key)) out.push_back(r);
+  }
+  for (const auto& t : forwardTargets(bucket, clip)) {
+    next.push_back(FanoutTask{t.branch, t.clip, t.covered, false});
+  }
+}
+
+u64 LhtIndex::runFanoutRounds(std::vector<FanoutTask> frontier,
+                              std::vector<index::Record>& out,
+                              cost::OpStats& st) {
+  u64 rounds = 0;
+  while (!frontier.empty()) {
+    rounds += 1;
+    std::vector<std::string> keys;
+    keys.reserve(frontier.size());
+    for (const auto& t : frontier) {
+      keys.push_back(t.covered || t.retryUnderName ? dhtKeyFor(t.branch)
+                                                   : t.branch.str());
+    }
+    auto replies = dht_.multiGet(keys);
+    st.dhtLookups += keys.size();
+    std::vector<FanoutTask> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      FanoutTask& t = frontier[i];
+      auto& reply = replies[i];
+      if (!reply.ok) {
+        throw dht::DhtError("LhtIndex: range fan-out entry failed: " + reply.error);
+      }
+      if (!reply.value.has_value()) {
+        checkInvariant(!t.covered, "forwardRange: missing covered branch");
+        checkInvariant(!t.retryUnderName, "forwardRange: missing final branch");
+        // The partial branch is itself a leaf (the paper's one failed
+        // DHT-lookup): re-fetch it under name(branch) next round. The
+        // extra round mirrors the sequential path's extra hop.
+        t.retryUnderName = true;
+        next.push_back(t);
+        continue;
+      }
+      auto bucket = store_.decode(keys[i], *reply.value);
+      noteLeaf(*bucket);
+      expandBucket(*bucket, t.clip, next, out, st);
+    }
+    frontier = std::move(next);
+  }
+  return rounds;
+}
+
+u64 LhtIndex::forwardRangeBatched(const LeafBucket& entry, const Interval& range,
+                                  std::vector<index::Record>& out,
+                                  cost::OpStats& st) {
+  std::vector<FanoutTask> frontier;
+  expandBucket(entry, range, frontier, out, st);
+  return runFanoutRounds(std::move(frontier), out, st);
 }
 
 index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
@@ -778,14 +1092,14 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
 
   // Algorithm 4: jump to the range's lowest common ancestor.
   const Label lca = computeLca(range);
-  auto entry = getBucket(dhtKeyFor(lca), result.stats);
+  auto entry = getBucketRef(dhtKeyFor(lca), result.stats);
   u64 steps = 1;
 
   if (!entry) {
     // Case 1: the whole range lies inside a single leaf; resolve with an
     // exact lookup of the lower bound.
     auto found = lookupInternal(lo);
-    checkInvariant(found.bucket.has_value(), "rangeQuery: tree hole");
+    checkInvariant(found.bucket != nullptr, "rangeQuery: tree hole");
     result.stats.dhtLookups += found.stats.dhtLookups;
     steps += found.stats.parallelSteps;
     result.stats.bucketsTouched += 1;
@@ -795,23 +1109,34 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
   } else if (entry->label.interval().overlaps(range)) {
     // Case 2: the entry leaf holds one of the range bounds; the recursive
     // forwarding strategy applies directly.
-    steps += forwardRange(*entry, range, result.records, result.stats);
+    steps += opts_.batchFanout
+                 ? forwardRangeBatched(*entry, range, result.records, result.stats)
+                 : forwardRange(*entry, range, result.records, result.stats);
   } else {
     // Case 3: the entry leaf lies outside the range; both halves of the
     // LCA contain part of it and are processed in parallel.
     const Interval iv = lca.interval();
     const double mid = 0.5 * (iv.lo + iv.hi);
-    u64 half = 0;
-    std::optional<LeafBucket> nb;
-    u64 hops = fetchSubtreeEntry(lca.child(0), nb, result.stats);
-    checkInvariant(nb.has_value(), "rangeQuery: missing left half");
-    half = std::max(half, hops + forwardRange(*nb, range.intersect({iv.lo, mid}),
-                                              result.records, result.stats));
-    hops = fetchSubtreeEntry(lca.child(1), nb, result.stats);
-    checkInvariant(nb.has_value(), "rangeQuery: missing right half");
-    half = std::max(half, hops + forwardRange(*nb, range.intersect({mid, iv.hi}),
-                                              result.records, result.stats));
-    steps += half;
+    if (opts_.batchFanout) {
+      std::vector<FanoutTask> frontier;
+      frontier.push_back(
+          FanoutTask{lca.child(0), range.intersect({iv.lo, mid}), false, false});
+      frontier.push_back(
+          FanoutTask{lca.child(1), range.intersect({mid, iv.hi}), false, false});
+      steps += runFanoutRounds(std::move(frontier), result.records, result.stats);
+    } else {
+      u64 half = 0;
+      BucketRef nb;
+      u64 hops = fetchSubtreeEntry(lca.child(0), nb, result.stats);
+      checkInvariant(nb != nullptr, "rangeQuery: missing left half");
+      half = std::max(half, hops + forwardRange(*nb, range.intersect({iv.lo, mid}),
+                                                result.records, result.stats));
+      hops = fetchSubtreeEntry(lca.child(1), nb, result.stats);
+      checkInvariant(nb != nullptr, "rangeQuery: missing right half");
+      half = std::max(half, hops + forwardRange(*nb, range.intersect({mid, iv.hi}),
+                                                result.records, result.stats));
+      steps += half;
+    }
   }
 
   result.stats.parallelSteps = steps;
@@ -828,13 +1153,13 @@ index::FindResult LhtIndex::minRecord() {
   index::FindResult result;
   // Theorem 3: the leaf holding the smallest key is labelled #00* and is
   // therefore named "#": one DHT-lookup.
-  auto bucket = getBucket("#", result.stats);
-  checkInvariant(bucket.has_value(), "minRecord: leftmost leaf missing");
+  auto bucket = getBucketRef("#", result.stats);
+  checkInvariant(bucket != nullptr, "minRecord: leftmost leaf missing");
   // Deletions may have emptied the leftmost leaf; sweep right (each hop one
   // further DHT-lookup) until a record shows up.
   while (bucket && bucket->records.empty() && !bucket->label.isRightmostPath()) {
     const Label beta = rightNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);
     bucket = std::move(nb);
   }
@@ -855,12 +1180,12 @@ index::FindResult LhtIndex::maxRecord() {
   // Theorem 3: the leaf holding the largest key is labelled #01* and is
   // therefore named "#0". When the tree is a single leaf no node is named
   // "#0" and the root leaf (under "#") answers instead.
-  auto bucket = getBucket("#0", result.stats);
-  if (!bucket) bucket = getBucket("#", result.stats);
-  checkInvariant(bucket.has_value(), "maxRecord: rightmost leaf missing");
+  auto bucket = getBucketRef("#0", result.stats);
+  if (!bucket) bucket = getBucketRef("#", result.stats);
+  checkInvariant(bucket != nullptr, "maxRecord: rightmost leaf missing");
   while (bucket && bucket->records.empty() && !bucket->label.isLeftmostPath()) {
     const Label beta = leftNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);
     bucket = std::move(nb);
   }
@@ -882,16 +1207,16 @@ index::RangeResult LhtIndex::topMin(size_t k) {
   // Sweep leaves left to right: every record in a later bucket is larger
   // than every record in an earlier one, so we may stop as soon as k
   // records are collected.
-  auto bucket = getBucket("#", result.stats);
-  checkInvariant(bucket.has_value(), "topMin: leftmost leaf missing");
+  auto bucket = getBucketRef("#", result.stats);
+  checkInvariant(bucket != nullptr, "topMin: leftmost leaf missing");
   for (;;) {
     result.stats.bucketsTouched += 1;
     for (const auto& r : bucket->records) result.records.push_back(r);
     if (result.records.size() >= k || bucket->label.isRightmostPath()) break;
     const Label beta = rightNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);
-    checkInvariant(nb.has_value(), "topMin: broken leaf chain");
+    checkInvariant(nb != nullptr, "topMin: broken leaf chain");
     bucket = std::move(nb);
   }
   std::sort(result.records.begin(), result.records.end(), index::recordLess);
@@ -904,17 +1229,17 @@ index::RangeResult LhtIndex::topMin(size_t k) {
 index::RangeResult LhtIndex::topMax(size_t k) {
   index::RangeResult result;
   if (k == 0) return result;
-  auto bucket = getBucket("#0", result.stats);
-  if (!bucket) bucket = getBucket("#", result.stats);  // single-leaf tree
-  checkInvariant(bucket.has_value(), "topMax: rightmost leaf missing");
+  auto bucket = getBucketRef("#0", result.stats);
+  if (!bucket) bucket = getBucketRef("#", result.stats);  // single-leaf tree
+  checkInvariant(bucket != nullptr, "topMax: rightmost leaf missing");
   for (;;) {
     result.stats.bucketsTouched += 1;
     for (const auto& r : bucket->records) result.records.push_back(r);
     if (result.records.size() >= k || bucket->label.isLeftmostPath()) break;
     const Label beta = leftNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);
-    checkInvariant(nb.has_value(), "topMax: broken leaf chain");
+    checkInvariant(nb != nullptr, "topMax: broken leaf chain");
     bucket = std::move(nb);
   }
   std::sort(result.records.begin(), result.records.end(), index::recordLess);
@@ -938,9 +1263,10 @@ index::FindResult LhtIndex::quantileQuery(double q) {
   const bool fromLeft = rank <= recordCount_ / 2;
   size_t remaining = fromLeft ? rank : recordCount_ - 1 - rank;
 
-  auto bucket = fromLeft ? getBucket("#", result.stats) : getBucket("#0", result.stats);
-  if (!fromLeft && !bucket) bucket = getBucket("#", result.stats);
-  checkInvariant(bucket.has_value(), "quantileQuery: end bucket missing");
+  auto bucket = fromLeft ? getBucketRef("#", result.stats)
+                         : getBucketRef("#0", result.stats);
+  if (!fromLeft && !bucket) bucket = getBucketRef("#", result.stats);
+  checkInvariant(bucket != nullptr, "quantileQuery: end bucket missing");
   for (;;) {
     if (bucket->records.size() > remaining) {
       // The target rank lies in this bucket: order its records locally.
@@ -956,9 +1282,9 @@ index::FindResult LhtIndex::quantileQuery(double q) {
     checkInvariant(!atEnd, "quantileQuery: ran past the end (count drift)");
     const Label beta = fromLeft ? rightNeighbor(bucket->label)
                                 : leftNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, result.stats);
-    checkInvariant(nb.has_value(), "quantileQuery: broken leaf chain");
+    checkInvariant(nb != nullptr, "quantileQuery: broken leaf chain");
     bucket = std::move(nb);
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
@@ -972,15 +1298,15 @@ index::FindResult LhtIndex::quantileQuery(double q) {
 
 void LhtIndex::forEachBucket(const std::function<void(const LeafBucket&)>& fn) {
   cost::OpStats scratch;
-  auto bucket = getBucket("#", scratch);
-  checkInvariant(bucket.has_value(), "forEachBucket: leftmost leaf missing");
+  auto bucket = getBucketRef("#", scratch);
+  checkInvariant(bucket != nullptr, "forEachBucket: leftmost leaf missing");
   for (;;) {
     fn(*bucket);
     if (bucket->label.isRightmostPath()) break;
     const Label beta = rightNeighbor(bucket->label);
-    std::optional<LeafBucket> nb;
+    BucketRef nb;
     fetchSubtreeEntry(beta, nb, scratch);
-    checkInvariant(nb.has_value(), "forEachBucket: broken leaf chain");
+    checkInvariant(nb != nullptr, "forEachBucket: broken leaf chain");
     bucket = std::move(nb);
   }
 }

@@ -23,12 +23,14 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/label.h"
 #include "common/random.h"
 #include "dht/dht.h"
 #include "index/ordered_index.h"
 #include "lht/bucket.h"
+#include "lht/leaf_cache.h"
 
 namespace lht::core {
 
@@ -80,6 +82,27 @@ class LhtIndex final : public index::OrderedIndex {
     /// extra DHT-lookup per split (3 instead of 2 writes) and two extra
     /// per merge. Off by default to keep the paper's cost figures exact.
     bool crashConsistentSplits = false;
+
+    /// Client-side leaf-location cache (off by default): remembers which
+    /// leaf label last covered each key interval, validated by the fetched
+    /// bucket itself, so a repeat lookup costs ~1 DHT-lookup instead of
+    /// Algorithm 2's ~log2(D/2). Subsumes useDepthHint (the cache is
+    /// consulted first; the hint still steers the fallback search).
+    /// Stale entries are detected and invalidated, never trusted.
+    bool useLeafCache = false;
+    size_t leafCacheCapacity = 4096;
+
+    /// Issue range fan-out, bulk-load applies, and repair probes as
+    /// multiGet/multiApply batch rounds (off by default). DHT-lookup
+    /// counts are unchanged; the critical path drops to one round-trip
+    /// per dependency level — the paper's parallel-forwarding model made
+    /// operational.
+    bool batchFanout = false;
+
+    /// Cache decoded buckets client-side keyed by DHT key, revalidated by
+    /// raw-bytes comparison (off by default). Removes the
+    /// deserialize-per-read wall-clock cost; mutators copy-on-write.
+    bool cacheDecodedBuckets = false;
 
     /// Reattach a client to an index that already lives in the DHT
     /// instead of bootstrapping a fresh root leaf. recordCount() is
@@ -174,12 +197,67 @@ class LhtIndex final : public index::OrderedIndex {
 
   [[nodiscard]] const Options& options() const { return opts_; }
 
+  /// Client-side cache observability (tests, benches).
+  [[nodiscard]] LeafCache& leafCache() { return leafCache_; }
+  [[nodiscard]] const BucketStore& bucketStore() const { return store_; }
+
  private:
-  /// One accounted DHT get, decoding the bucket if present.
-  std::optional<LeafBucket> getBucket(const std::string& key, cost::OpStats& st);
+  using BucketRef = BucketStore::Ref;
+
+  /// Internal lookup currency: a shared immutable view of the found
+  /// bucket (no copy per probe). The public LookupOutcome copies once at
+  /// the API boundary.
+  struct LookupRef {
+    BucketRef bucket;
+    std::string dhtKey;
+    cost::OpStats stats;
+  };
+  static LookupOutcome toOutcome(LookupRef&& ref);
+
+  /// One accounted DHT get, decoding through the bucket store and noting
+  /// observed clean leaves in the location cache.
+  BucketRef getBucketRef(const std::string& key, cost::OpStats& st);
+
+  /// A read-modify-write body over the *decoded* bucket. Returns whether
+  /// it changed the bucket; false leaves the stored bytes untouched.
+  /// Creation: engage the optional. Deletion: reset() it.
+  using BucketMutator = std::function<bool(std::optional<LeafBucket>&)>;
+
+  /// Wraps a BucketMutator into a dht::Mutator that decodes via the
+  /// bucket store (copy-on-write), re-serializes on change, and keeps the
+  /// store coherent. The single decode/serialize seam of the index.
+  dht::Mutator makeBucketMutator(std::string key, BucketMutator fn);
+
+  /// dht_.apply through makeBucketMutator. Returns whether the key
+  /// existed before the call.
+  bool applyBucket(const std::string& key, const BucketMutator& fn);
+
+  /// Records an observed clean leaf in the location cache.
+  void noteLeaf(const LeafBucket& bucket);
+  /// Invalidates location-cache entries overlapping `iv` (after a
+  /// split/merge whose old leaves covered it).
+  void dropCached(const common::Interval& iv);
 
   /// Shared walk for find/insert target resolution.
-  LookupOutcome lookupInternal(double key);
+  LookupRef lookupInternal(double key);
+  LookupRef lookupLinearRef(double key);
+
+  /// One pending forward of Algorithm 3: a branch node to enter, the
+  /// range clip to apply there, and whether the branch is fully covered
+  /// (entry under name(branch), guaranteed to exist) or the final
+  /// partially-covered branch (entry under the branch label itself, with
+  /// one possible failed lookup).
+  struct ForwardTarget {
+    Label branch;
+    common::Interval clip;
+    bool covered = false;
+  };
+
+  /// The branch nodes a bucket forwards a range to (Alg. 3, both sweep
+  /// directions). Pure local-tree computation, no DHT traffic; shared by
+  /// the sequential recursion and the batched breadth-first fan-out.
+  [[nodiscard]] std::vector<ForwardTarget> forwardTargets(
+      const LeafBucket& bucket, const common::Interval& range) const;
 
   /// Recursive forwarding (Alg. 3, both sweep directions unified): collects
   /// bucket ∩ range, then covers the uncovered remainder left and right of
@@ -189,12 +267,46 @@ class LhtIndex final : public index::OrderedIndex {
   common::u64 forwardRange(const LeafBucket& bucket, const common::Interval& range,
                            std::vector<index::Record>& out, cost::OpStats& st);
 
+  /// A ForwardTarget in flight in the batched fan-out; retryUnderName is
+  /// set after a partial branch's primary probe missed (the branch is
+  /// itself a leaf) and it must be re-fetched under name(branch) in the
+  /// next round.
+  struct FanoutTask {
+    Label branch;
+    common::Interval clip;
+    bool covered = false;
+    bool retryUnderName = false;
+  };
+
+  /// Collects bucket ∩ clip and enqueues the bucket's forward targets.
+  void expandBucket(const LeafBucket& bucket, const common::Interval& clip,
+                    std::vector<FanoutTask>& next,
+                    std::vector<index::Record>& out, cost::OpStats& st);
+
+  /// Batched Alg. 3: lockstep breadth-first rounds over the frontier, one
+  /// multiGet per round. Same DHT-lookups as the sequential recursion
+  /// (including the one failed probe per final branch, retried in the
+  /// next round); returns the number of rounds — the critical path.
+  common::u64 runFanoutRounds(std::vector<FanoutTask> frontier,
+                              std::vector<index::Record>& out, cost::OpStats& st);
+
+  /// expandBucket + runFanoutRounds from one entry bucket.
+  common::u64 forwardRangeBatched(const LeafBucket& entry,
+                                  const common::Interval& range,
+                                  std::vector<index::Record>& out,
+                                  cost::OpStats& st);
+
+  /// Bulk-load fast path: sequential per-leaf lookups, then ONE
+  /// multiApply round shipping every group and ONE more writing every
+  /// split-off child.
+  index::UpdateResult insertBatchBatched(std::vector<index::Record> records);
+
   /// Fetches the entry bucket for a branch/half label during range
   /// processing: tries the label as a key (leftmost/rightmost named leaf of
   /// that subtree), retrying name(label) when the label is itself a leaf
   /// (the paper's "at most one failed DHT-lookup"). Returns the sequential
   /// step count consumed (1 or 2).
-  common::u64 fetchSubtreeEntry(const Label& branch, std::optional<LeafBucket>& out,
+  common::u64 fetchSubtreeEntry(const Label& branch, BucketRef& out,
                                 cost::OpStats& st);
 
   /// The longest dyadic label whose interval contains [range.lo, range.hi).
@@ -242,6 +354,8 @@ class LhtIndex final : public index::OrderedIndex {
   common::u32 depthHint_ = 0;  ///< bit length of the last found leaf
   common::Pcg32 tokenRng_;
   RepairStats repairStats_;
+  BucketStore store_;
+  LeafCache leafCache_;
 };
 
 }  // namespace lht::core

@@ -31,9 +31,40 @@ bool SimNetwork::send(PeerId from, PeerId to, u64 bytes) {
   peers_[from].stats.bytesOut += bytes;
   peers_[to].stats.messagesIn += 1;
   peers_[to].stats.bytesIn += bytes;
-  if (clock_ != nullptr) clock_->advance(perHopLatencyMs_);
+  if (inParallelRound_) {
+    roundEntryMs_ += perHopLatencyMs_;
+  } else if (clock_ != nullptr) {
+    clock_->advance(perHopLatencyMs_);
+  }
   return true;
 }
+
+void SimNetwork::beginParallelRound() {
+  common::checkInvariant(!inParallelRound_,
+                         "SimNetwork: parallel rounds do not nest");
+  inParallelRound_ = true;
+  roundEntryMs_ = 0;
+  roundMaxMs_ = 0;
+}
+
+void SimNetwork::nextRoundEntry() {
+  roundMaxMs_ = std::max(roundMaxMs_, roundEntryMs_);
+  roundEntryMs_ = 0;
+}
+
+void SimNetwork::endParallelRound() {
+  nextRoundEntry();
+  inParallelRound_ = false;
+  if (clock_ != nullptr && roundMaxMs_ > 0) clock_->advance(roundMaxMs_);
+}
+
+SimNetwork::ParallelRound::ParallelRound(SimNetwork& net) : net_(net) {
+  net_.beginParallelRound();
+}
+
+SimNetwork::ParallelRound::~ParallelRound() { net_.endParallelRound(); }
+
+void SimNetwork::ParallelRound::nextEntry() { net_.nextRoundEntry(); }
 
 void SimNetwork::attachClock(SimClock* clock, u64 perHopLatencyMs) {
   clock_ = clock;

@@ -71,7 +71,33 @@ class SimNetwork {
   [[nodiscard]] double meanPeerLoad() const;
   [[nodiscard]] u64 maxPeerLoad() const;
 
+  /// Scoped parallel round: while one is alive, per-hop clock advances are
+  /// deferred and accumulated per entry; on destruction the clock advances
+  /// by the LONGEST entry's total hop latency (the critical path). This is
+  /// how a batch of independent requests costs one round-trip of simulated
+  /// time while bandwidth accounting (messages/bytes) stays per hop.
+  /// Rounds do not nest.
+  class ParallelRound {
+   public:
+    explicit ParallelRound(SimNetwork& net);
+    ~ParallelRound();
+    ParallelRound(const ParallelRound&) = delete;
+    ParallelRound& operator=(const ParallelRound&) = delete;
+
+    /// Starts the next entry of the round: the current entry's accumulated
+    /// latency is folded into the round maximum.
+    void nextEntry();
+
+   private:
+    SimNetwork& net_;
+  };
+
  private:
+  void beginParallelRound();
+  void endParallelRound();
+  void nextRoundEntry();
+
+  friend class ParallelRound;
   struct Peer {
     std::string name;
     bool online = true;
@@ -81,6 +107,9 @@ class SimNetwork {
   NetStats stats_;
   SimClock* clock_ = nullptr;
   u64 perHopLatencyMs_ = 0;
+  bool inParallelRound_ = false;
+  u64 roundEntryMs_ = 0;  ///< latency accumulated by the current entry
+  u64 roundMaxMs_ = 0;    ///< longest entry seen so far in the round
 };
 
 }  // namespace lht::net

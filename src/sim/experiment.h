@@ -31,6 +31,12 @@ struct ExperimentConfig {
   common::u64 seed = 1;
   bool countLabelSlot = true;
   size_t rstPeerCount = 32;  ///< broadcast fan-out for IndexKind::Rst
+
+  /// LHT client-side performance features (IndexKind::Lht only; the other
+  /// indexes ignore them). Default-off, matching LhtIndex::Options.
+  bool lhtUseLeafCache = false;
+  bool lhtBatchFanout = false;
+  bool lhtCacheDecodedBuckets = false;
 };
 
 /// Mean per-operation statistics over a measured workload.

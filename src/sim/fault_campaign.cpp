@@ -53,6 +53,9 @@ core::LhtIndex::Options indexOpts(const FaultCampaignConfig& cfg, bool attach,
   o.crashConsistentSplits = true;
   o.attachExisting = attach;
   o.clientSeed = clientSeed;
+  o.useLeafCache = cfg.useLeafCache;
+  o.batchFanout = cfg.batchFanout;
+  o.cacheDecodedBuckets = cfg.cacheDecodedBuckets;
   return o;
 }
 

@@ -41,6 +41,14 @@ struct FaultCampaignConfig {
   /// dropped (forcing a retry of an already-applied mutation).
   double lostReplyRate = 0.10;
   size_t maxAttempts = 12;
+
+  /// Client-side performance features under test (both the crashing client
+  /// and the recovering client run with them): the leaf-location cache,
+  /// batched multi-key rounds, and the decoded-bucket store. Default-off,
+  /// matching the index defaults; the campaign must pass either way.
+  bool useLeafCache = false;
+  bool batchFanout = false;
+  bool cacheDecodedBuckets = false;
 };
 
 struct FaultCampaignReport {

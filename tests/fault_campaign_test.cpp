@@ -31,6 +31,26 @@ TEST(FaultCampaign, EveryCrashStepRecoversToOracle) {
   EXPECT_GT(report.lostRepliesInjected, 0u);
 }
 
+TEST(FaultCampaign, PassesWithClientCacheAndBatchingEnabled) {
+  // The PR-2 client-side performance features (leaf-location cache, batched
+  // rounds, decoded-bucket store) must not weaken crash recovery: the same
+  // campaign, with every feature on for both the crashing and the
+  // recovering client, still converges to the oracle.
+  FaultCampaignConfig cfg;
+  cfg.seeds = 6;  // fewer seeds: this variant rides alongside the main run
+  cfg.useLeafCache = true;
+  cfg.batchFanout = true;
+  cfg.cacheDecodedBuckets = true;
+
+  const FaultCampaignReport report = runFaultCampaign(cfg);
+
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.splitCrashes, 0u);
+  EXPECT_GT(report.mergeCrashes, 0u);
+  EXPECT_GT(report.splitRepairs + report.mergeRepairs, 0u);
+}
+
 TEST(FaultCampaign, ReportIsDeterministic) {
   FaultCampaignConfig cfg;
   cfg.seeds = 2;

@@ -1,0 +1,207 @@
+// Batched multi-key rounds end to end: the batched range fan-out, bulk
+// load, and repair sweep must return exactly what the sequential paths
+// return at exactly the same DHT-lookup cost — only the critical path
+// (rounds of simultaneously issued requests) shrinks. Verified against
+// sequential twins and against the paper's range bound (<= B + 3 rounds).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dht/decorators.h"
+#include "dht/local_dht.h"
+#include "lht/lht_index.h"
+#include "net/sim_clock.h"
+#include "net/sim_network.h"
+
+namespace lht::core {
+namespace {
+
+std::vector<index::Record> distinctRecords(size_t n, common::u64 seed) {
+  common::Pcg32 rng(seed);
+  std::set<double> used;
+  std::vector<index::Record> recs;
+  while (recs.size() < n) {
+    const double k = rng.nextDouble();
+    if (k <= 0.0 || k >= 1.0 || !used.insert(k).second) continue;
+    recs.push_back(index::Record{k, "p" + std::to_string(recs.size())});
+  }
+  return recs;
+}
+
+LhtIndex::Options opts(bool batched, common::u32 theta = 8) {
+  LhtIndex::Options o;
+  o.thetaSplit = theta;
+  o.batchFanout = batched;
+  return o;
+}
+
+std::map<std::string, std::vector<index::Record>> shapeOf(LhtIndex& idx) {
+  std::map<std::string, std::vector<index::Record>> shape;
+  idx.forEachBucket([&](const LeafBucket& b) {
+    auto recs = b.records;
+    std::sort(recs.begin(), recs.end(), index::recordLess);
+    shape[b.label.str()] = std::move(recs);
+  });
+  return shape;
+}
+
+TEST(BatchedRange, MatchesSequentialRecordsAndLookupsExactly) {
+  dht::LocalDht seqStore;
+  dht::LocalDht batStore;
+  LhtIndex seq(seqStore, opts(false));
+  LhtIndex bat(batStore, opts(true));
+  for (const auto& r : distinctRecords(300, 5)) {
+    seq.insert(r);
+    bat.insert(r);
+  }
+
+  common::Pcg32 rng(9);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double a = rng.nextDouble();
+    const double b = rng.nextDouble();
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    auto rs = seq.rangeQuery(lo, hi);
+    auto rb = bat.rangeQuery(lo, hi);
+    ASSERT_EQ(rb.records.size(), rs.records.size()) << "[" << lo << "," << hi << ")";
+    for (size_t i = 0; i < rs.records.size(); ++i) {
+      EXPECT_EQ(rb.records[i], rs.records[i]);
+    }
+    // Same bandwidth (the paper's cost unit), same critical path: lockstep
+    // BFS rounds equal the longest dependent-fetch chain of the recursion.
+    EXPECT_EQ(rb.stats.dhtLookups, rs.stats.dhtLookups);
+    EXPECT_EQ(rb.stats.parallelSteps, rs.stats.parallelSteps);
+    EXPECT_EQ(rb.stats.bucketsTouched, rs.stats.bucketsTouched);
+  }
+  EXPECT_GT(batStore.stats().batchRounds, 0u);
+  EXPECT_EQ(seqStore.stats().batchRounds, 0u);
+}
+
+TEST(BatchedRange, RoundsStayWithinPaperBound) {
+  dht::LocalDht store;
+  LhtIndex idx(store, opts(true, 6));
+  for (const auto& r : distinctRecords(400, 13)) idx.insert(r);
+
+  common::Pcg32 rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double lo = rng.nextDouble() * 0.8;
+    const double hi = lo + rng.nextDouble() * (1.0 - lo);
+    if (hi <= lo) continue;
+    auto rr = idx.rangeQuery(lo, hi);
+    // Theorem/range bound: B buckets answered in at most B + 3 rounds
+    // (parallelSteps counts the LCA entry fetch plus the fan-out rounds).
+    EXPECT_LE(rr.stats.parallelSteps, rr.stats.bucketsTouched + 3)
+        << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(BatchedInsertBatch, BuildsTheIdenticalTree) {
+  const auto recs = distinctRecords(250, 17);
+  dht::LocalDht seqStore;
+  dht::LocalDht batStore;
+  LhtIndex seq(seqStore, opts(false, 6));
+  LhtIndex bat(batStore, opts(true, 6));
+
+  auto rs = seq.insertBatch(recs);
+  auto rb = bat.insertBatch(recs);
+  EXPECT_TRUE(rs.ok);
+  EXPECT_TRUE(rb.ok);
+  EXPECT_EQ(rb.splitOrMerged, rs.splitOrMerged);
+
+  const auto shapeSeq = shapeOf(seq);
+  const auto shapeBat = shapeOf(bat);
+  ASSERT_EQ(shapeBat.size(), shapeSeq.size());
+  for (const auto& [label, records] : shapeSeq) {
+    auto it = shapeBat.find(label);
+    ASSERT_NE(it, shapeBat.end()) << "leaf " << label << " missing in batched tree";
+    EXPECT_EQ(it->second, records) << "leaf " << label;
+  }
+  // All records land either way, findable afterwards.
+  for (const auto& r : recs) {
+    auto f = bat.find(r.key);
+    ASSERT_TRUE(f.record.has_value());
+    EXPECT_EQ(f.record->payload, r.payload);
+  }
+}
+
+TEST(BatchedInsertBatch, ShipsGroupsAndChildrenInTwoRounds) {
+  dht::LocalDht store;
+  LhtIndex idx(store, opts(true, 6));
+  auto result = idx.insertBatch(distinctRecords(120, 23));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.splitOrMerged);  // 120 records at theta 6 must split
+  // One multiApply round for the groups, one for the split-off children.
+  EXPECT_EQ(store.stats().batchRounds, 2u);
+}
+
+TEST(BatchedLatency, SimulatedTimeIsStepsTimesRoundTrip) {
+  net::SimClock clock;
+  dht::LocalDht store;
+  dht::LatencyDht lat(store, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+  LhtIndex idx(lat, opts(true));
+  for (const auto& r : distinctRecords(200, 41)) idx.insert(r);
+
+  common::Pcg32 rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double lo = rng.nextDouble() * 0.7;
+    const double hi = lo + 0.25;
+    const common::u64 before = clock.nowMs();
+    auto rr = idx.rangeQuery(lo, hi);
+    const common::u64 elapsed = clock.nowMs() - before;
+    // Every sequential probe costs one round-trip; every batch round costs
+    // ONE round-trip no matter how many keys it carries. parallelSteps is
+    // exactly the number of round-trips on the critical path.
+    EXPECT_EQ(elapsed, 10u * rr.stats.parallelSteps)
+        << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(BatchedRepairSweep, CleanTreeSweepsWithoutRepairs) {
+  dht::LocalDht store;
+  LhtIndex idx(store, opts(true, 6));
+  for (const auto& r : distinctRecords(150, 53)) idx.insert(r);
+  EXPECT_EQ(idx.repairSweep(), 0u);
+  EXPECT_GT(store.stats().batchRounds, 0u);  // the sweep probed in rounds
+}
+
+TEST(BatchedSubstrate, ChordMultiGetChargesCriticalPathOnly) {
+  net::SimNetwork net;
+  net::SimClock clock;
+  net.attachClock(&clock, /*perHopLatencyMs=*/5);
+  dht::ChordDht::Options co;
+  co.initialPeers = 16;
+  co.seed = 3;
+  dht::ChordDht chord(net, co);
+
+  chord.put("alpha", "1");
+  chord.put("beta", "2");
+
+  // Per-key sequential cost first.
+  common::u64 t0 = clock.nowMs();
+  ASSERT_EQ(chord.get("alpha"), std::optional<dht::Value>("1"));
+  const common::u64 costA = clock.nowMs() - t0;
+  t0 = clock.nowMs();
+  ASSERT_EQ(chord.get("beta"), std::optional<dht::Value>("2"));
+  const common::u64 costB = clock.nowMs() - t0;
+  ASSERT_GT(costA + costB, 0u);
+
+  // The batched round returns the same values but advances simulated time
+  // by the slowest entry, not the sum.
+  t0 = clock.nowMs();
+  auto out = chord.multiGet({"alpha", "beta"});
+  const common::u64 costRound = clock.nowMs() - t0;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].ok);
+  EXPECT_TRUE(out[1].ok);
+  EXPECT_EQ(out[0].value, std::optional<dht::Value>("1"));
+  EXPECT_EQ(out[1].value, std::optional<dht::Value>("2"));
+  EXPECT_EQ(costRound, std::max(costA, costB));
+}
+
+}  // namespace
+}  // namespace lht::core

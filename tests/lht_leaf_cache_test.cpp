@@ -1,0 +1,265 @@
+// Client-side leaf-location cache + decoded-bucket store: warm lookups
+// cost one DHT-lookup, stale entries (another client split or merged the
+// leaf) self-correct instead of returning wrong answers, and the decoded
+// store never changes observable behavior — only wall-clock cost.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/local_dht.h"
+#include "lht/leaf_cache.h"
+#include "lht/lht_index.h"
+
+namespace lht::core {
+namespace {
+
+using common::Label;
+
+LhtIndex::Options cachedOpts(common::u32 theta = 8) {
+  LhtIndex::Options o;
+  o.thetaSplit = theta;
+  o.useLeafCache = true;
+  o.cacheDecodedBuckets = true;
+  return o;
+}
+
+std::vector<index::Record> distinctRecords(size_t n, common::u64 seed) {
+  common::Pcg32 rng(seed);
+  std::set<double> used;
+  std::vector<index::Record> recs;
+  while (recs.size() < n) {
+    const double k = rng.nextDouble();
+    if (k <= 0.0 || k >= 1.0 || !used.insert(k).second) continue;
+    recs.push_back(index::Record{k, "p" + std::to_string(recs.size())});
+  }
+  return recs;
+}
+
+// ---------------------------------------------------------------------------
+// LeafCache in isolation
+// ---------------------------------------------------------------------------
+
+TEST(LeafCacheUnit, NoteFindInvalidateRoundTrip) {
+  LeafCache cache(8);
+  const Label l = *Label::parse("#001");  // [0.25, 0.5)
+  cache.note(l, 3);
+  auto e = cache.find(0.3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->label, l);
+  EXPECT_EQ(e->epoch, 3u);
+  EXPECT_FALSE(cache.find(0.7).has_value());
+  cache.invalidate(l.interval());
+  EXPECT_FALSE(cache.find(0.3).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(LeafCacheUnit, NotingAnAncestorDropsOverlappingEntries) {
+  LeafCache cache(8);
+  cache.note(*Label::parse("#000"), 1);  // [0, 0.25)
+  cache.note(*Label::parse("#001"), 1);  // [0.25, 0.5)
+  cache.note(*Label::parse("#01"), 1);   // [0.5, 1)
+  EXPECT_EQ(cache.size(), 3u);
+  // The two left leaves merged into their parent: noting it must evict both.
+  cache.note(*Label::parse("#00"), 2);  // [0, 0.5)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(0.3)->label, *Label::parse("#00"));
+}
+
+TEST(LeafCacheUnit, OverflowFlushesInsteadOfEvicting) {
+  LeafCache cache(2);
+  cache.note(*Label::parse("#000"), 1);
+  cache.note(*Label::parse("#001"), 1);
+  cache.note(*Label::parse("#01"), 1);  // third entry: capacity valve fires
+  EXPECT_EQ(cache.flushes(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // only the entry noted after the flush
+}
+
+// ---------------------------------------------------------------------------
+// BucketStore in isolation
+// ---------------------------------------------------------------------------
+
+TEST(BucketStoreUnit, RevalidatesByRawBytes) {
+  BucketStore store(/*enabled=*/true, 16);
+  LeafBucket b;
+  b.label = *Label::parse("#001");
+  b.records = {{0.3, "x"}};
+  const std::string raw = b.serialize();
+  auto r1 = store.decode("k", raw);
+  auto r2 = store.decode("k", raw);
+  EXPECT_EQ(r1.get(), r2.get());  // same shared decoded value, no reparse
+  EXPECT_EQ(store.hits(), 1u);
+
+  b.records.push_back({0.31, "y"});
+  auto r3 = store.decode("k", b.serialize());  // bytes changed: fresh decode
+  EXPECT_NE(r1.get(), r3.get());
+  EXPECT_EQ(r3->records.size(), 2u);
+  EXPECT_EQ(r1->records.size(), 1u);  // the old shared value is untouched
+}
+
+TEST(BucketStoreUnit, DisabledStoreStillDecodes) {
+  BucketStore store(/*enabled=*/false, 16);
+  LeafBucket b;
+  b.label = *Label::parse("#001");
+  b.records = {{0.3, "x"}};
+  const std::string raw = b.serialize();
+  auto r1 = store.decode("k", raw);
+  auto r2 = store.decode("k", raw);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_NE(r1.get(), r2.get());
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-enabled index behavior
+// ---------------------------------------------------------------------------
+
+TEST(LeafCacheIndex, WarmLookupCostsOneDhtLookup) {
+  dht::LocalDht store;
+  LhtIndex idx(store, cachedOpts());
+  const auto recs = distinctRecords(200, 7);
+  for (const auto& r : recs) idx.insert(r);
+
+  // First pass self-corrects any entries staled by the splits above.
+  for (const auto& r : recs) ASSERT_TRUE(idx.lookup(r.key).bucket.has_value());
+  // Second pass: every lookup is a single validated get.
+  for (const auto& r : recs) {
+    auto out = idx.lookup(r.key);
+    ASSERT_TRUE(out.bucket.has_value());
+    EXPECT_TRUE(out.bucket->covers(common::clampToUnit(r.key)));
+    EXPECT_EQ(out.stats.dhtLookups, 1u) << "key " << r.key;
+  }
+  EXPECT_GT(idx.leafCache().hits(), 0u);
+  EXPECT_GT(idx.bucketStore().hits(), 0u);
+}
+
+TEST(LeafCacheIndex, StaleEntryAcrossForeignSplitSelfCorrects) {
+  dht::LocalDht store;
+  LhtIndex::Options writerOpts;
+  writerOpts.thetaSplit = 8;
+  LhtIndex writer(store, writerOpts);
+  LhtIndex::Options readerOpts = cachedOpts(8);
+  readerOpts.attachExisting = true;
+  readerOpts.clientSeed = 99;
+  LhtIndex reader(store, readerOpts);
+
+  // Few records: one root leaf, which the reader caches for every key.
+  std::map<double, std::string> oracle;
+  for (const auto& r : distinctRecords(6, 3)) {
+    writer.insert(r);
+    oracle[r.key] = r.payload;
+  }
+  for (const auto& [k, v] : oracle) {
+    auto f = reader.find(k);
+    ASSERT_TRUE(f.record.has_value());
+  }
+  EXPECT_GT(reader.leafCache().size(), 0u);
+
+  // The writer splits the tree out from under the reader's cache.
+  for (const auto& r : distinctRecords(60, 4)) {
+    writer.insert(r);
+    oracle[r.key] = r.payload;
+  }
+  ASSERT_GT(writer.meters().maintenance.splits, 0u);
+
+  // Every lookup still lands on the right record; stale entries are dropped
+  // rather than trusted.
+  for (const auto& [k, v] : oracle) {
+    auto f = reader.find(k);
+    ASSERT_TRUE(f.record.has_value()) << "key " << k;
+    EXPECT_EQ(f.record->payload, v);
+  }
+  EXPECT_GE(reader.leafCache().invalidations(), 1u);
+}
+
+TEST(LeafCacheIndex, StaleEntryAcrossForeignMergeSelfCorrects) {
+  dht::LocalDht store;
+  LhtIndex::Options writerOpts;
+  writerOpts.thetaSplit = 6;
+  LhtIndex writer(store, writerOpts);
+  LhtIndex::Options readerOpts = cachedOpts(6);
+  readerOpts.attachExisting = true;
+  readerOpts.clientSeed = 17;
+  LhtIndex reader(store, readerOpts);
+
+  std::map<double, std::string> oracle;
+  const auto recs = distinctRecords(40, 11);
+  for (const auto& r : recs) {
+    writer.insert(r);
+    oracle[r.key] = r.payload;
+  }
+  // Warm the reader's cache against the fully split tree.
+  for (const auto& [k, v] : oracle) ASSERT_TRUE(reader.find(k).record.has_value());
+
+  // Drain the tree: merges delete donor leaves the reader has cached.
+  for (size_t i = 5; i < recs.size(); ++i) {
+    writer.erase(recs[i].key);
+    oracle.erase(recs[i].key);
+  }
+  ASSERT_GT(writer.meters().maintenance.merges, 0u);
+
+  for (const auto& [k, v] : oracle) {
+    auto f = reader.find(k);
+    ASSERT_TRUE(f.record.has_value()) << "key " << k;
+    EXPECT_EQ(f.record->payload, v);
+  }
+  // Erased keys stay gone through the reader's cache too.
+  for (size_t i = 5; i < recs.size(); ++i) {
+    EXPECT_FALSE(reader.find(recs[i].key).record.has_value());
+  }
+  EXPECT_GE(reader.leafCache().invalidations(), 1u);
+}
+
+TEST(LeafCacheIndex, OracleDifferentialWithAllFeaturesOn) {
+  dht::LocalDht store;
+  LhtIndex::Options o = cachedOpts(8);
+  o.batchFanout = true;
+  LhtIndex idx(store, o);
+
+  std::map<double, std::string> oracle;
+  common::Pcg32 rng(21);
+  for (int step = 0; step < 500; ++step) {
+    const double roll = rng.nextDouble();
+    const double key = common::clampToUnit(rng.nextDouble());
+    if (roll < 0.55) {
+      const std::string payload = "p" + std::to_string(step);
+      idx.insert(index::Record{key, payload});
+      oracle[key] = payload;
+    } else if (roll < 0.75 && !oracle.empty()) {
+      auto it = oracle.lower_bound(key);
+      if (it == oracle.end()) it = oracle.begin();
+      idx.erase(it->first);
+      oracle.erase(it);
+    } else if (roll < 0.9) {
+      auto f = idx.find(key);
+      auto it = oracle.find(key);
+      EXPECT_EQ(f.record.has_value(), it != oracle.end());
+      if (f.record && it != oracle.end()) {
+        EXPECT_EQ(f.record->payload, it->second);
+      }
+    } else {
+      const double lo = std::min(key, 0.9);
+      const double hi = std::min(1.0, lo + rng.nextDouble() * 0.3);
+      auto rr = idx.rangeQuery(lo, hi);
+      std::vector<double> expect;
+      for (auto it = oracle.lower_bound(lo); it != oracle.end() && it->first < hi; ++it) {
+        expect.push_back(it->first);
+      }
+      ASSERT_EQ(rr.records.size(), expect.size()) << "[" << lo << "," << hi << ")";
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(rr.records[i].key, expect[i]);
+      }
+    }
+  }
+  // The features actually ran: cache hits and batch rounds both nonzero.
+  EXPECT_GT(idx.leafCache().hits(), 0u);
+  EXPECT_GT(store.stats().batchRounds, 0u);
+}
+
+}  // namespace
+}  // namespace lht::core

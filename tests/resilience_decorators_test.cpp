@@ -370,5 +370,188 @@ TEST(ChurnValidation, RejectsFailuresOnUnreplicatedRing) {
   EXPECT_THROW(sim::ChurnDriver(replicated, cfg), common::InvariantError);
 }
 
+// ---------------------------------------------------------------------------
+// Batch rounds through the decorator stack
+// ---------------------------------------------------------------------------
+
+TEST(BatchRounds, FlakyFailsEntriesIndependently) {
+  LocalDht store;
+  for (int i = 0; i < 10; ++i) store.storeDirect("k" + std::to_string(i), "v");
+  FlakyDht flaky(store, 0.5, /*seed=*/42);
+
+  std::vector<Key> keys;
+  for (int i = 0; i < 10; ++i) keys.push_back("k" + std::to_string(i));
+  auto out = flaky.multiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  size_t ok = 0;
+  size_t failed = 0;
+  for (const auto& o : out) {
+    if (o.ok) {
+      ok += 1;
+      EXPECT_EQ(o.value, std::optional<Value>("v"));
+    } else {
+      failed += 1;
+      EXPECT_FALSE(o.error.empty());
+      EXPECT_FALSE(o.value.has_value());
+    }
+  }
+  // At p=0.5 over ten entries both outcomes appear: partial failure is
+  // per-entry, never all-or-nothing.
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(failed, 0u);
+  EXPECT_EQ(flaky.injectedFailures(), failed);
+}
+
+TEST(BatchRounds, LostReplyExecutesEntriesWhoseAcksDrop) {
+  LocalDht store;
+  LostReplyDht lossy(store, /*lossProbability=*/1.0, /*seed=*/5);
+
+  std::vector<ApplyRequest> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(ApplyRequest{
+        "k" + std::to_string(i),
+        [i](std::optional<Value>& v) { v = "v" + std::to_string(i); }});
+  }
+  auto out = lossy.multiApply(reqs);
+  ASSERT_EQ(out.size(), reqs.size());
+  for (const auto& o : out) EXPECT_FALSE(o.ok);  // every reply dropped
+  // ... but every mutation executed: the lost-reply shape, batched.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store.get("k" + std::to_string(i)),
+              std::optional<Value>("v" + std::to_string(i)));
+  }
+  EXPECT_EQ(lossy.injectedLostReplies(), 4u);
+}
+
+TEST(BatchRounds, RetryingRetriesOnlyTheFailedSubset) {
+  LocalDht store;
+  std::vector<Key> keys;
+  for (int i = 0; i < 5; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    store.storeDirect(keys.back(), "v" + std::to_string(i));
+  }
+  ScriptedDht inner(store, /*failures=*/2);  // first two entries of round 1
+  RetryingDht retry(inner, 8);
+
+  auto out = retry.multiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(out[i].ok);
+    EXPECT_EQ(out[i].value, std::optional<Value>("v" + std::to_string(i)));
+  }
+  // Round 1 succeeded for three entries; only the two scripted failures
+  // rode the second round.
+  EXPECT_EQ(retry.retries(), 2u);
+  const auto& h = retry.attemptHistogram();
+  EXPECT_EQ(h[0], 3u);
+  EXPECT_EQ(h[1], 2u);
+}
+
+TEST(BatchRounds, TimeoutTimesTheWholeRoundOnce) {
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht slow(store, clock, {.baseMs = 50, .jitterMs = 0, .seed = 1});
+  TimeoutDht bounded(slow, clock, /*deadlineMs=*/20);
+
+  std::vector<ApplyRequest> reqs;
+  reqs.push_back(ApplyRequest{"a", [](std::optional<Value>& v) { v = "1"; }});
+  reqs.push_back(ApplyRequest{"b", [](std::optional<Value>& v) { v = "2"; }});
+  auto out = bounded.multiApply(reqs);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].ok);
+  EXPECT_FALSE(out[1].ok);
+  // One deadline covers the round — a missed round is one timeout, not one
+  // per entry — and the writes still landed (lost-reply shape).
+  EXPECT_EQ(bounded.timeouts(), 1u);
+  EXPECT_EQ(store.get("a"), std::optional<Value>("1"));
+  EXPECT_EQ(store.get("b"), std::optional<Value>("2"));
+}
+
+TEST(BatchRounds, OpenBreakerFastFailsEveryEntry) {
+  net::SimClock clock;
+  LocalDht store;
+  store.storeDirect("k0", "v");
+  ScriptedDht inner(store, /*failures=*/3);
+  CircuitBreakerDht breaker(inner, clock,
+                            {.failureThreshold = 3, .cooldownMs = 100});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(breaker.get("k0"), DhtError);
+  ASSERT_EQ(breaker.state(), CircuitBreakerDht::State::Open);
+
+  auto out = breaker.multiGet({"k0", "k1", "k2", "k3"});
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& o : out) {
+    EXPECT_FALSE(o.ok);
+    EXPECT_FALSE(o.value.has_value());
+  }
+  EXPECT_EQ(breaker.fastFailures(), 4u);
+  EXPECT_EQ(breaker.state(), CircuitBreakerDht::State::Open);
+}
+
+TEST(BatchRounds, CrashMidBatchAppliesThePrefix) {
+  LocalDht store;
+  CrashDht crash(store);
+  crash.armAfterWrites(2);
+
+  std::vector<ApplyRequest> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(ApplyRequest{
+        "k" + std::to_string(i),
+        [i](std::optional<Value>& v) { v = "v" + std::to_string(i); }});
+  }
+  // The client dies partway through shipping the round: the entries it got
+  // out the door are applied, the rest never happened.
+  EXPECT_THROW(crash.multiApply(reqs), CrashError);
+  EXPECT_TRUE(crash.crashed());
+  EXPECT_EQ(store.get("k0"), std::optional<Value>("v0"));
+  EXPECT_EQ(store.get("k1"), std::optional<Value>("v1"));
+  EXPECT_FALSE(store.get("k2").has_value());
+  EXPECT_FALSE(store.get("k3").has_value());
+}
+
+TEST(BatchRounds, LatencyChargesOncePerRound) {
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht lat(store, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+
+  std::vector<Key> keys;
+  for (int i = 0; i < 10; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    store.storeDirect(keys.back(), "v");
+  }
+  lat.multiGet(keys);
+  EXPECT_EQ(clock.nowMs(), 10u);  // ten keys, one round-trip
+
+  std::vector<ApplyRequest> reqs;
+  for (int i = 0; i < 5; ++i) {
+    reqs.push_back(
+        ApplyRequest{"a" + std::to_string(i),
+                     [](std::optional<Value>& v) { v = "x"; }});
+  }
+  lat.multiApply(reqs);
+  EXPECT_EQ(clock.nowMs(), 20u);  // five applies, one more round-trip
+}
+
+TEST(BatchRounds, StackedFlakyOverLatencyChargesSurvivorsOneRound) {
+  // Entries the flaky layer kills never reach the network; the survivors
+  // ship together and cost one round-trip total.
+  net::SimClock clock;
+  LocalDht store;
+  LatencyDht lat(store, clock, {.baseMs = 10, .jitterMs = 0, .seed = 1});
+  FlakyDht flaky(lat, 0.5, /*seed=*/42);
+
+  std::vector<Key> keys;
+  for (int i = 0; i < 10; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    store.storeDirect(keys.back(), "v");
+  }
+  auto out = flaky.multiGet(keys);
+  size_t ok = 0;
+  for (const auto& o : out) ok += o.ok ? 1 : 0;
+  ASSERT_GT(ok, 0u);
+  ASSERT_LT(ok, keys.size());
+  EXPECT_EQ(clock.nowMs(), 10u);
+  EXPECT_EQ(lat.injectedLatencyMs(), 10u);
+}
+
 }  // namespace
 }  // namespace lht::dht

@@ -94,7 +94,9 @@ TEST(SerializationFuzz, RoundTripIsIdentity) {
     for (int i = 0; i < n; ++i) {
       b.records.push_back({0.25 + i * 1e-4, std::string(i % 30, 'x')});
     }
-    auto back = core::LeafBucket::deserialize(b.serialize());
+    const std::string bytes = b.serialize();
+    EXPECT_EQ(b.serializedSize(), bytes.size());
+    auto back = core::LeafBucket::deserialize(bytes);
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->label, b.label);
     ASSERT_EQ(back->records.size(), b.records.size());
@@ -102,6 +104,21 @@ TEST(SerializationFuzz, RoundTripIsIdentity) {
       EXPECT_EQ(back->records[i], b.records[i]);
     }
   }
+}
+
+TEST(SerializationFuzz, SerializedSizeMatchesWithIntents) {
+  // The reserve pre-pass must stay exact for every optional section.
+  core::LeafBucket b = sampleBucket();
+  b.appliedOps = {7, 9, 11};
+  EXPECT_EQ(b.serializedSize(), b.serialize().size());
+  b.splitIntent = core::SplitIntent{*common::Label::parse("#011010"),
+                                    {{0.85, "moving"}},
+                                    42};
+  EXPECT_EQ(b.serializedSize(), b.serialize().size());
+  b.mergeIntent = core::MergeIntent{*common::Label::parse("#01100"),
+                                    {{0.84, "staged"}, {0.841, ""}},
+                                    43};
+  EXPECT_EQ(b.serializedSize(), b.serialize().size());
 }
 
 TEST(SerializationFuzz, DecoderNeverReadsPastEnd) {
