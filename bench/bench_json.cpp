@@ -11,6 +11,14 @@
 //             max B+3 bound (rounds must stay within it), wall ns/op
 //   bulk      one insertBatch of fresh records into a built index: wall
 //             ns/record and DHT batch rounds used
+//
+// Each side also carries a "cost_attribution" block: the ambient metrics
+// registry (per-op counters/histograms, see DESIGN.md §9) plus the paper's
+// cost model pricing of the measured category meters. With --trace=PATH the
+// whole run additionally records a causal op trace and writes it as Chrome
+// trace-event JSON (load in chrome://tracing or ui.perfetto.dev). Tracing
+// adds per-op span bookkeeping, so traced ns/op numbers are for inspection,
+// not for baseline comparison.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -18,8 +26,10 @@
 
 #include "common/flags.h"
 #include "common/random.h"
+#include "cost/cost_model.h"
 #include "dht/local_dht.h"
 #include "lht/lht_index.h"
+#include "obs/obs.h"
 #include "workload/generators.h"
 
 using namespace lht;
@@ -130,6 +140,40 @@ std::pair<double, common::u64> measureBulk(const Config& cfg, bool optimized) {
   return {ns, store.stats().batchRounds - before};
 }
 
+/// Rebuilds the category meters from the ambient registry's lht.cost.*
+/// counters; the conformance suite asserts these track MeterSet exactly.
+cost::MeterSet metersFromRegistry(const obs::MetricsRegistry& reg) {
+  cost::MeterSet m;
+  m.insertion.dhtLookups = reg.counterValue("lht.cost.insertion.dht_lookups");
+  m.insertion.recordsMoved =
+      reg.counterValue("lht.cost.insertion.records_moved");
+  m.maintenance.dhtLookups =
+      reg.counterValue("lht.cost.maintenance.dht_lookups");
+  m.maintenance.recordsMoved =
+      reg.counterValue("lht.cost.maintenance.records_moved");
+  m.maintenance.splits = reg.counterValue("lht.cost.maintenance.splits");
+  m.maintenance.merges = reg.counterValue("lht.cost.maintenance.merges");
+  m.query.dhtLookups = reg.counterValue("lht.cost.query.dht_lookups");
+  return m;
+}
+
+void emitCostAttribution(std::ostream& os, const obs::MetricsRegistry& reg,
+                         const Config& cfg) {
+  const cost::CostModel model{1.0, 1.0, cfg.theta};
+  const auto b = model.breakdown(metersFromRegistry(reg));
+  os << "    \"cost_attribution\": {\n"
+     << "      \"model\": {\"i\": " << model.i << ", \"j\": " << model.j
+     << ", \"theta\": " << model.thetaSplit
+     << ", \"psi_lht\": " << model.psiLht() << "},\n"
+     << "      \"breakdown\": {\"insertion\": " << b.insertion
+     << ", \"maintenance\": " << b.maintenance << ", \"query\": " << b.query
+     << ", \"total\": " << b.total
+     << ", \"maintenance_per_split\": " << b.maintenancePerSplit << "},\n"
+     << "      \"metrics\":\n";
+  reg.writeJson(os, "      ");
+  os << "\n    }\n";
+}
+
 void emitPhase(std::ostream& os, const char* indent, const PhaseStats& s,
                bool withBound) {
   os << indent << "\"dht_lookups_per_op\": " << s.dhtLookups << ",\n"
@@ -155,6 +199,9 @@ int main(int argc, char** argv) {
   flags.define("bulk", "8192", "records per insertBatch for the bulk phase");
   flags.define("seed", "1", "workload seed");
   flags.define("out", "BENCH_PR2.json", "output path");
+  flags.define("trace", "",
+               "write a Chrome trace-event JSON of the whole run to this "
+               "path (empty = tracing off)");
   if (!flags.parse(argc, argv)) return 1;
 
   Config cfg;
@@ -169,11 +216,19 @@ int main(int argc, char** argv) {
   const auto dataset =
       workload::makeDataset(workload::Distribution::Uniform, cfg.n, cfg.seed);
 
+  const std::string tracePath = flags.getString("trace");
+  obs::Tracer tracerStore;
+  obs::Tracer* tracerPtr = tracePath.empty() ? nullptr : &tracerStore;
+
   PhaseStats lookup[2], range[2];
   double bulkNs[2];
   common::u64 bulkRounds[2];
+  obs::MetricsRegistry reg[2];
   for (int side = 0; side < 2; ++side) {
     const bool optimized = side == 1;
+    obs::ScopedObservability install(&reg[side], tracerPtr);
+    obs::SpanScope sideSpan(optimized ? "bench.optimized" : "bench.baseline",
+                            "bench");
     dht::LocalDht store;
     core::LhtIndex idx(store, indexOpts(cfg, optimized));
     for (const auto& r : dataset) idx.insert(r);
@@ -200,8 +255,9 @@ int main(int argc, char** argv) {
     emitPhase(os, "      ", range[side], true);
     os << "    },\n"
        << "    \"bulk\": {\"ns_per_record\": " << bulkNs[side]
-       << ", \"batch_rounds\": " << bulkRounds[side] << "}\n"
-       << "  },\n";
+       << ", \"batch_rounds\": " << bulkRounds[side] << "},\n";
+    emitCostAttribution(os, reg[side], cfg);
+    os << "  },\n";
   }
   os << "  \"speedup\": {\n"
      << "    \"lookup_ns\": " << lookup[0].nsPerOp / lookup[1].nsPerOp << ",\n"
@@ -224,5 +280,16 @@ int main(int argc, char** argv) {
   f << os.str();
   std::cout << os.str();
   std::cout << "wrote " << path << "\n";
+
+  if (tracerPtr != nullptr) {
+    std::ofstream tf(tracePath);
+    if (!tf) {
+      std::cerr << "bench_json: cannot write " << tracePath << "\n";
+      return 1;
+    }
+    tracerPtr->writeChromeTrace(tf);
+    std::cout << "wrote " << tracePath << " ("
+              << tracerPtr->spans().size() << " spans)\n";
+  }
   return 0;
 }

@@ -8,10 +8,17 @@
 // Paper claims: PHT(sequential) is an order of magnitude slower (the axis
 // breaks in the figure); LHT is the fastest, ~18% below PHT(parallel),
 // whose latency deteriorates on skewed (gaussian) data.
+//
+// --trace=PATH additionally records one LHT build + range-query run (at the
+// span-sweep data size) with the causal op tracer installed and writes it as
+// Chrome trace-event JSON — load in chrome://tracing or ui.perfetto.dev to
+// see the fan-out rounds under each rangeQuery span.
+#include <fstream>
 #include <iostream>
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "obs/obs.h"
 #include "sim/experiment.h"
 
 using namespace lht;
@@ -53,11 +60,42 @@ int main(int argc, char** argv) {
   flags.define("batched", "false",
                "issue LHT fan-out rounds as one multiGet per BFS level "
                "(same DHT-lookup totals; parallelSteps = rounds)");
+  flags.define("trace", "",
+               "write a Chrome trace-event JSON of one traced LHT run to "
+               "this path (empty = off)");
   if (!flags.parse(argc, argv)) return 1;
   gBatched = flags.getBool("batched");
   const int repeats = static_cast<int>(flags.getInt("repeats"));
   const auto queries = static_cast<size_t>(flags.getInt("queries"));
   const double span = flags.getDouble("span");
+
+  const std::string tracePath = flags.getString("trace");
+  if (!tracePath.empty()) {
+    obs::MetricsRegistry reg;
+    obs::Tracer tracer;
+    {
+      obs::ScopedObservability install(&reg, &tracer);
+      sim::ExperimentConfig cfg;
+      cfg.kind = sim::IndexKind::Lht;
+      cfg.dist = workload::Distribution::Uniform;
+      cfg.dataSize = size_t{1} << flags.getInt("sizepow");
+      cfg.theta = 100;
+      cfg.maxDepth = 24;
+      cfg.lhtBatchFanout = gBatched;
+      cfg.seed = 1;
+      sim::Experiment exp(cfg);
+      exp.build();
+      exp.measureRanges(span, queries);
+    }
+    std::ofstream tf(tracePath);
+    if (!tf) {
+      std::cerr << "fig10_range_latency: cannot write " << tracePath << "\n";
+      return 1;
+    }
+    tracer.writeChromeTrace(tf);
+    std::cout << "wrote " << tracePath << " (" << tracer.spans().size()
+              << " spans; load in chrome://tracing or ui.perfetto.dev)\n\n";
+  }
 
   for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian}) {
     common::Table a({"data_size", "lht", "pht_seq", "pht_par", "lht_vs_par"});

@@ -3,11 +3,17 @@
 //
 //  Fig. 7a: cumulative moved records vs data size  (LHT ~ 1/2 of PHT)
 //  Fig. 7b: cumulative maintenance DHT-lookups      (LHT ~ 1/4 of PHT)
+//
+// --metrics=true additionally installs the ambient metrics registry over
+// the whole sweep and dumps every per-op series (lht.*, dht.*, net.*; see
+// DESIGN.md §9) at the end — the full cost attribution behind the table.
 #include <iostream>
+#include <optional>
 
 #include "common/csv.h"
 #include "common/flags.h"
 #include "cost/meter.h"
+#include "obs/obs.h"
 #include "sim/experiment.h"
 
 using namespace lht;
@@ -46,9 +52,16 @@ int main(int argc, char** argv) {
   flags.define("minpow", "10", "smallest data size = 2^minpow");
   flags.define("maxpow", "16", "largest data size = 2^maxpow");
   flags.define("csv", "false", "emit CSV instead of a pretty table");
+  flags.define("metrics", "false",
+               "dump the ambient metrics registry (all per-op series) after "
+               "the sweep");
   if (!flags.parse(argc, argv)) return 1;
   const int repeats = static_cast<int>(flags.getInt("repeats"));
   const auto theta = static_cast<common::u32>(flags.getInt("theta"));
+
+  obs::MetricsRegistry reg;
+  std::optional<obs::ScopedObservability> install;
+  if (flags.getBool("metrics")) install.emplace(&reg, nullptr);
 
   for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian}) {
     common::Table t({"data_size", "lht_moved", "pht_moved", "moved_ratio",
@@ -84,5 +97,15 @@ int main(int argc, char** argv) {
   }
   std::cout << "paper claim: moved_ratio ~ 0.5 (Fig. 7a), lookup_ratio ~ 0.25 "
                "(Fig. 7b)\n";
+
+  if (flags.getBool("metrics")) {
+    std::cout << "\n";
+    if (flags.getBool("csv")) {
+      reg.writeCsv(std::cout);
+    } else {
+      reg.toTable().printPretty(
+          std::cout, "cost attribution (both indexes, whole sweep)");
+    }
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "lht/lht_index.h"
 #include "lht/naming.h"
 #include "lht/zorder.h"
+#include "obs/obs.h"
 #include "pht/pht_index.h"
 #include "workload/generators.h"
 
@@ -100,6 +101,27 @@ void BM_LhtFindWarm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LhtFindWarm);
+
+// Same workload as BM_LhtFindWarm with observability sinks installed:
+// the delta against the plain bench is the enabled-instrumentation cost
+// (metrics only, then metrics + span tracing). BM_LhtFindWarm itself runs
+// with nothing installed and must stay within 2% of its pre-obs baseline.
+void BM_LhtFindWarmObs(benchmark::State& state) {
+  dht::LocalDht d;
+  core::LhtIndex idx(d, {.thetaSplit = 100, .maxDepth = 24});
+  auto data = workload::makeDataset(workload::Distribution::Uniform, 1 << 14, 6);
+  for (const auto& r : data) idx.insert(r);
+  common::Pcg32 rng(7);
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer;
+  const bool trace = state.range(0) != 0;
+  obs::ScopedObservability install(&reg, trace ? &tracer : nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.find(rng.nextDouble()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LhtFindWarmObs)->Arg(0)->Arg(1);
 
 void BM_LhtRangeQueryWarm(benchmark::State& state) {
   dht::LocalDht d;

@@ -8,23 +8,36 @@
 # perf bench, diffing its key metrics against the committed BENCH_PR2.json
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
-# Usage: scripts/check.sh [--fast] [--no-bench]
+# Usage: scripts/check.sh [--fast] [--no-bench] [--coverage]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
+#   --coverage  also build the coverage preset, run the tests under it, and
+#               report line coverage for src/ (warn-only; needs gcov, and
+#               lcov when available for the per-directory summary)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 bench=1
+coverage=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
     --no-bench) bench=0 ;;
+    --coverage) coverage=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Build trees must never be committed: .gitignore covers build*/, and this
+# guard catches anything force-added in spite of it.
+if git ls-files -- 'build/*' 'build-*/*' | grep -q .; then
+  echo "check.sh: ERROR: build tree files are tracked by git:" >&2
+  git ls-files -- 'build/*' 'build-*/*' | head >&2
+  exit 1
+fi
 
 echo "== configure + build (default) =="
 cmake --preset default
@@ -50,6 +63,39 @@ if [[ "$bench" -eq 1 ]]; then
   python3 scripts/diff_bench.py BENCH_PR2.json build-release/BENCH_PR2.json \
     || echo "check.sh: WARNING: perf metrics drifted from the committed" \
             "baseline (warn-only, see above)"
+fi
+
+if [[ "$coverage" -eq 1 ]]; then
+  echo "== coverage build + tests (warn-only) =="
+  if ! command -v gcov > /dev/null; then
+    echo "check.sh: WARNING: gcov not found, skipping coverage pass"
+  else
+    cmake --preset coverage
+    cmake --build --preset coverage -j "$jobs" --target lht_tests
+    # Examples are not built in this tree (and run in the other passes);
+    # coverage comes from the unit/property suite alone.
+    ctest --preset coverage -j "$jobs" -E '^example_'
+    if command -v lcov > /dev/null; then
+      lcov --capture --directory build-coverage --output-file \
+        build-coverage/coverage.info --ignore-errors mismatch 2> /dev/null \
+        || true
+      lcov --extract build-coverage/coverage.info "*/src/*" --output-file \
+        build-coverage/coverage-src.info 2> /dev/null || true
+      lcov --summary build-coverage/coverage-src.info \
+        || echo "check.sh: WARNING: lcov summary failed (warn-only)"
+    else
+      # Raw gcov fallback: overall line rate across all src/ objects.
+      find build-coverage/src -name '*.gcda' \
+        -execdir gcov -n {} + 2> /dev/null \
+        | awk '/^Lines executed:/ {
+                 split($2, pct, ":"); sub(/%/, "", pct[2]);
+                 covered += pct[2] * $4 / 100; total += $4 }
+               END { if (total > 0)
+                 printf "check.sh: coverage (gcov, src/): %.1f%% of %d lines\n",
+                        100 * covered / total, total }'
+    fi
+    echo "check.sh: coverage pass is informational only (never gates)"
+  fi
 fi
 
 echo "check.sh: all green"

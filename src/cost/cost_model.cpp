@@ -24,4 +24,17 @@ double CostModel::price(const Counters& c) const {
          static_cast<double>(c.dhtLookups) * j;
 }
 
+CostModel::Breakdown CostModel::breakdown(const MeterSet& m) const {
+  Breakdown b;
+  b.insertion = price(m.insertion);
+  b.maintenance = price(m.maintenance);
+  b.query = price(m.query);
+  b.total = b.insertion + b.maintenance + b.query;
+  if (m.maintenance.splits > 0) {
+    b.maintenancePerSplit =
+        b.maintenance / static_cast<double>(m.maintenance.splits);
+  }
+  return b;
+}
+
 }  // namespace lht::cost

@@ -32,6 +32,18 @@ struct CostModel {
 
   /// Prices a measured counter set under this model.
   [[nodiscard]] double price(const Counters& c) const;
+
+  /// Per-category prices of a full meter set under this model, plus the
+  /// measured per-split maintenance cost for direct comparison against the
+  /// closed-form psiLht() / psiPht().
+  struct Breakdown {
+    double insertion = 0.0;
+    double maintenance = 0.0;
+    double query = 0.0;
+    double total = 0.0;
+    double maintenancePerSplit = 0.0;  ///< 0 when no splits occurred
+  };
+  [[nodiscard]] Breakdown breakdown(const MeterSet& m) const;
 };
 
 }  // namespace lht::cost

@@ -13,6 +13,7 @@
 
 #include "dht/dht.h"
 #include "net/sim_network.h"
+#include "obs/obs.h"
 
 namespace lht::dht::detail {
 
@@ -22,9 +23,15 @@ std::vector<GetOutcome> roundMultiGet(Substrate& substrate,
                                       const std::vector<Key>& keys) {
   std::vector<GetOutcome> out;
   out.reserve(keys.size());
+  obs::SpanScope span("dht.multiGet", "dht");
+  span.arg("entries", static_cast<u64>(keys.size()));
+  obs::count("dht.round.count");
+  obs::count("dht.round.entries", keys.size());
   net::SimNetwork::ParallelRound round(net);
   for (const Key& key : keys) {
     round.nextEntry();
+    obs::SpanScope entry("dht.round.entry", "dht");
+    obs::flow(span.id(), entry.id());
     GetOutcome o;
     try {
       o.value = substrate.get(key);
@@ -43,9 +50,15 @@ std::vector<ApplyOutcome> roundMultiApply(Substrate& substrate,
                                           const std::vector<ApplyRequest>& reqs) {
   std::vector<ApplyOutcome> out;
   out.reserve(reqs.size());
+  obs::SpanScope span("dht.multiApply", "dht");
+  span.arg("entries", static_cast<u64>(reqs.size()));
+  obs::count("dht.round.count");
+  obs::count("dht.round.entries", reqs.size());
   net::SimNetwork::ParallelRound round(net);
   for (const ApplyRequest& req : reqs) {
     round.nextEntry();
+    obs::SpanScope entry("dht.round.entry", "dht");
+    obs::flow(span.id(), entry.id());
     ApplyOutcome o;
     try {
       o.existed = substrate.apply(req.key, req.fn);

@@ -309,6 +309,7 @@ u64 CanDht::route(double x, double y, u64 requestBytes) {
 }
 
 void CanDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
   double x, y;
   keyPoint(key, x, y);
@@ -318,6 +319,7 @@ void CanDht::put(const Key& key, Value value) {
 }
 
 std::optional<Value> CanDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
   double x, y;
   keyPoint(key, x, y);
@@ -330,6 +332,7 @@ std::optional<Value> CanDht::get(const Key& key) {
 }
 
 bool CanDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
   double x, y;
   keyPoint(key, x, y);
@@ -338,6 +341,7 @@ bool CanDht::remove(const Key& key) {
 }
 
 bool CanDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
   double x, y;
   keyPoint(key, x, y);

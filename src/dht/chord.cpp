@@ -255,6 +255,7 @@ u64 ChordDht::route(u64 keyId, u64 requestBytes) {
 }
 
 void ChordDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   accountValueBytes(value.size());
@@ -264,6 +265,7 @@ void ChordDht::put(const Key& key, Value value) {
 }
 
 std::optional<Value> ChordDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   const Node& node = nodeById(owner);
@@ -274,6 +276,7 @@ std::optional<Value> ChordDht::get(const Key& key) {
 }
 
 bool ChordDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   const bool existed = nodeById(owner).store.erase(key) > 0;
@@ -282,6 +285,7 @@ bool ChordDht::remove(const Key& key) {
 }
 
 bool ChordDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   Node& node = nodeById(owner);

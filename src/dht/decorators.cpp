@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "common/types.h"
+#include "obs/obs.h"
 
 namespace lht::dht {
 
@@ -18,6 +19,34 @@ const char* dhtOpName(DhtOp op) {
   }
   return "?";
 }
+
+namespace {
+
+// Retry accounting feeds two distinct counter families: "<op>.logical" is
+// bumped once per caller-visible operation, "<op>.attempts" once per issue
+// of the request. The cost model prices logical operations only — retries
+// are resilience overhead, not index cost — so the two must never be mixed.
+const char* logicalCounterName(DhtOp op) {
+  switch (op) {
+    case DhtOp::Put: return "dht.put.logical";
+    case DhtOp::Get: return "dht.get.logical";
+    case DhtOp::Remove: return "dht.remove.logical";
+    case DhtOp::Apply: return "dht.apply.logical";
+  }
+  return "dht.?.logical";
+}
+
+const char* attemptCounterName(DhtOp op) {
+  switch (op) {
+    case DhtOp::Put: return "dht.put.attempts";
+    case DhtOp::Get: return "dht.get.attempts";
+    case DhtOp::Remove: return "dht.remove.attempts";
+    case DhtOp::Apply: return "dht.apply.attempts";
+  }
+  return "dht.?.attempts";
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FlakyDht — lost requests
@@ -32,6 +61,8 @@ FlakyDht::FlakyDht(Dht& inner, double failProbability, common::u64 seed)
 bool FlakyDht::shouldFail() {
   if (rng_.nextDouble() < failProbability_) {
     injected_ += 1;
+    obs::count("fault.lost_request");
+    obs::instantEvent("fault.lost_request", "fault");
     return true;
   }
   return false;
@@ -127,6 +158,8 @@ LostReplyDht::LostReplyDht(Dht& inner, double lossProbability, common::u64 seed)
 bool LostReplyDht::shouldDrop() {
   if (rng_.nextDouble() < lossProbability_) {
     injected_ += 1;
+    obs::count("fault.lost_reply");
+    obs::instantEvent("fault.lost_reply", "fault");
     return true;
   }
   return false;
@@ -207,6 +240,7 @@ void LatencyDht::charge() {
         std::min<common::u64>(opts_.jitterMs, 0xFFFFFFFEull) + 1));
   }
   injectedMs_ += ms;
+  obs::observeMs("net.rtt_ms", static_cast<double>(ms));
   clock_.advance(ms);
 }
 
@@ -262,6 +296,9 @@ void TimeoutDht::checkDeadline(common::u64 startMs, const char* op) {
   const common::u64 elapsed = clock_.nowMs() - startMs;
   if (elapsed > deadlineMs_) {
     timeouts_ += 1;
+    obs::count("dht.timeouts");
+    obs::instantEvent("dht.timeout", "dht",
+                      {obs::arg("op", op), obs::arg("elapsed_ms", elapsed)});
     throw DhtTimeoutError(std::string("TimeoutDht: ") + op + " took " +
                           std::to_string(elapsed) + "ms > " +
                           std::to_string(deadlineMs_) + "ms deadline");
@@ -307,6 +344,9 @@ std::vector<GetOutcome> TimeoutDht::multiGet(const std::vector<Key>& keys) {
   const common::u64 elapsed = clock_.nowMs() - t0;
   if (elapsed > deadlineMs_) {
     timeouts_ += 1;  // one deadline, one miss — not one per entry
+    obs::count("dht.timeouts");
+    obs::instantEvent("dht.timeout", "dht",
+                      {obs::arg("op", "multiGet"), obs::arg("elapsed_ms", elapsed)});
     const std::string err = "TimeoutDht: batch get round took " +
                             std::to_string(elapsed) + "ms > " +
                             std::to_string(deadlineMs_) + "ms deadline";
@@ -328,6 +368,9 @@ std::vector<ApplyOutcome> TimeoutDht::multiApply(
   const common::u64 elapsed = clock_.nowMs() - t0;
   if (elapsed > deadlineMs_) {
     timeouts_ += 1;
+    obs::count("dht.timeouts");
+    obs::instantEvent("dht.timeout", "dht",
+                      {obs::arg("op", "multiApply"), obs::arg("elapsed_ms", elapsed)});
     const std::string err = "TimeoutDht: batch apply round took " +
                             std::to_string(elapsed) + "ms > " +
                             std::to_string(deadlineMs_) + "ms deadline";
@@ -369,7 +412,9 @@ common::u64 RetryingDht::backoffDelayMs(size_t attempt) {
 
 template <typename F>
 auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
+  obs::count(logicalCounterName(op));
   for (size_t attempt = 1;; ++attempt) {
+    obs::count(attemptCounterName(op));
     try {
       auto done = [&] { histogram_[std::min(attempt, kHistogramBins) - 1] += 1; };
       if constexpr (std::is_void_v<decltype(f())>) {
@@ -385,6 +430,10 @@ auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
       lastError_ = e.what();
       if (attempt >= opts_.maxAttempts) {
         exhausted_ += 1;
+        obs::count("dht.retries_exhausted");
+        obs::instantEvent("dht.retries_exhausted", "dht",
+                          {obs::arg("op", dhtOpName(op)),
+                           obs::arg("attempts", static_cast<common::u64>(attempt))});
         throw DhtRetriesExhausted(
             std::string("RetryingDht: ") + dhtOpName(op) + " failed after " +
                 std::to_string(attempt) + " attempts (last: " + e.what() + ")",
@@ -392,6 +441,10 @@ auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
       }
       retries_ += 1;
       retriesPerOp_[static_cast<size_t>(op)] += 1;
+      obs::count("dht.retries");
+      obs::instantEvent("dht.retry", "dht",
+                        {obs::arg("op", dhtOpName(op)),
+                         obs::arg("attempt", static_cast<common::u64>(attempt))});
       const common::u64 wait = backoffDelayMs(attempt);
       backoffWaitedMs_ += wait;
       if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
@@ -423,12 +476,14 @@ std::vector<GetOutcome> RetryingDht::multiGet(const std::vector<Key>& keys) {
   std::vector<GetOutcome> out(keys.size());
   if (keys.empty()) return out;
   stats_.batchRounds += 1;
+  obs::count(logicalCounterName(DhtOp::Get), keys.size());
   std::vector<size_t> pending(keys.size());
   for (size_t i = 0; i < pending.size(); ++i) pending[i] = i;
   for (size_t attempt = 1; !pending.empty(); ++attempt) {
     std::vector<Key> sub;
     sub.reserve(pending.size());
     for (size_t idx : pending) sub.push_back(keys[idx]);
+    obs::count(attemptCounterName(DhtOp::Get), sub.size());
     auto round = inner_.multiGet(sub);
     std::vector<size_t> still;
     for (size_t j = 0; j < pending.size(); ++j) {
@@ -443,6 +498,7 @@ std::vector<GetOutcome> RetryingDht::multiGet(const std::vector<Key>& keys) {
         // Per-entry exhaustion: unlike the single-op path, the rest of
         // the batch still lands, so report instead of throwing.
         exhausted_ += 1;
+        obs::count("dht.retries_exhausted");
         out[idx].ok = false;
         out[idx].error = "RetryingDht: get failed after " +
                          std::to_string(attempt) +
@@ -451,6 +507,7 @@ std::vector<GetOutcome> RetryingDht::multiGet(const std::vector<Key>& keys) {
       }
       retries_ += 1;
       retriesPerOp_[static_cast<size_t>(DhtOp::Get)] += 1;
+      obs::count("dht.retries");
       still.push_back(idx);
     }
     pending = std::move(still);
@@ -468,12 +525,14 @@ std::vector<ApplyOutcome> RetryingDht::multiApply(
   std::vector<ApplyOutcome> out(reqs.size());
   if (reqs.empty()) return out;
   stats_.batchRounds += 1;
+  obs::count(logicalCounterName(DhtOp::Apply), reqs.size());
   std::vector<size_t> pending(reqs.size());
   for (size_t i = 0; i < pending.size(); ++i) pending[i] = i;
   for (size_t attempt = 1; !pending.empty(); ++attempt) {
     std::vector<ApplyRequest> sub;
     sub.reserve(pending.size());
     for (size_t idx : pending) sub.push_back(reqs[idx]);
+    obs::count(attemptCounterName(DhtOp::Apply), sub.size());
     auto round = inner_.multiApply(sub);
     std::vector<size_t> still;
     for (size_t j = 0; j < pending.size(); ++j) {
@@ -486,6 +545,7 @@ std::vector<ApplyOutcome> RetryingDht::multiApply(
       lastError_ = round[j].error;
       if (attempt >= opts_.maxAttempts) {
         exhausted_ += 1;
+        obs::count("dht.retries_exhausted");
         out[idx].ok = false;
         out[idx].error = "RetryingDht: apply failed after " +
                          std::to_string(attempt) +
@@ -494,6 +554,7 @@ std::vector<ApplyOutcome> RetryingDht::multiApply(
       }
       retries_ += 1;
       retriesPerOp_[static_cast<size_t>(DhtOp::Apply)] += 1;
+      obs::count("dht.retries");
       still.push_back(idx);
     }
     pending = std::move(still);
@@ -527,6 +588,7 @@ void CircuitBreakerDht::onFailure() {
     // The probe failed: straight back to open, cooldown restarts.
     state_ = State::Open;
     openedAtMs_ = clock_.nowMs();
+    obs::instantEvent("breaker.reopened", "breaker");
     return;
   }
   consecutiveFailures_ += 1;
@@ -534,6 +596,9 @@ void CircuitBreakerDht::onFailure() {
     state_ = State::Open;
     openedAtMs_ = clock_.nowMs();
     timesOpened_ += 1;
+    obs::count("breaker.opened");
+    obs::instantEvent("breaker.opened", "breaker",
+                      {obs::arg("failures", consecutiveFailures_)});
   }
 }
 
@@ -542,10 +607,12 @@ auto CircuitBreakerDht::guarded(const char* op, F&& f) -> decltype(f()) {
   if (state_ == State::Open) {
     if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
       fastFailures_ += 1;
+      obs::count("breaker.fast_fail");
       throw DhtCircuitOpenError(std::string("CircuitBreakerDht: ") + op +
                                 " rejected (circuit open)");
     }
     state_ = State::HalfOpen;  // cooldown elapsed: allow one probe through
+    obs::instantEvent("breaker.half_open", "breaker");
   }
   try {
     if constexpr (std::is_void_v<decltype(f())>) {
@@ -591,6 +658,7 @@ std::vector<GetOutcome> CircuitBreakerDht::multiGet(
   if (state_ == State::Open) {
     if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
       fastFailures_ += keys.size();
+      obs::count("breaker.fast_fail", keys.size());
       out.resize(keys.size());
       for (auto& o : out) {
         o.error = "CircuitBreakerDht: get rejected (circuit open)";
@@ -618,6 +686,7 @@ std::vector<ApplyOutcome> CircuitBreakerDht::multiApply(
   if (state_ == State::Open) {
     if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
       fastFailures_ += reqs.size();
+      obs::count("breaker.fast_fail", reqs.size());
       out.resize(reqs.size());
       for (auto& o : out) {
         o.error = "CircuitBreakerDht: apply rejected (circuit open)";
@@ -664,6 +733,9 @@ void CrashDht::beforeWrite() {
   if (crashed_) throw CrashError("CrashDht: client is down");
   if (armed_ && writesCompleted_ >= allowedWrites_) {
     crashed_ = true;
+    obs::count("fault.crash");
+    obs::instantEvent("fault.crash", "fault",
+                      {obs::arg("writes_completed", writesCompleted_)});
     throw CrashError("CrashDht: client crashed after " +
                      std::to_string(writesCompleted_) + " writes");
   }
@@ -731,6 +803,9 @@ std::vector<ApplyOutcome> CrashDht::multiApply(
     writesCompleted_ += allowed;
   }
   crashed_ = true;
+  obs::count("fault.crash");
+  obs::instantEvent("fault.crash", "fault",
+                    {obs::arg("writes_completed", writesCompleted_)});
   throw CrashError("CrashDht: client crashed after " +
                    std::to_string(writesCompleted_) + " writes (mid-batch)");
 }

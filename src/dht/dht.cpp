@@ -1,18 +1,46 @@
 #include "dht/dht.h"
 
+#include "obs/obs.h"
+
 namespace lht::dht {
+
+Dht::RoutedOpScope::RoutedOpScope(Dht& dht, const char* spanName,
+                                  const Key& key)
+    : dht_(dht), hops0_(dht.stats_.hops), span_(spanName, "dht") {
+  if (span_.enabled()) span_.arg("key", key);
+  if (obs::metrics() != nullptr) {
+    obs::count(std::string(spanName) + ".raw");
+  }
+}
+
+Dht::RoutedOpScope::~RoutedOpScope() {
+  const u64 hops = dht_.stats_.hops - hops0_;
+  if (obs::metrics() != nullptr) {
+    if (hops != 0) obs::count("dht.hops", hops);
+    obs::observe("dht.hops_per_op", static_cast<double>(hops));
+  }
+  span_.arg("hops", hops);
+}
 
 // Base batch rounds: sequential loops with per-entry error translation.
 // Substrates and decorators override these to add round-level latency and
 // fault semantics; the base keeps the contract (DhtError -> failed entry,
-// CrashError and everything else propagates).
+// CrashError and everything else propagates). Each entry gets its own span
+// flow-linked to the round span, so a trace shows which logical batch a
+// routed op belonged to even after decorators re-issue entries.
 
 std::vector<GetOutcome> Dht::multiGet(const std::vector<Key>& keys) {
   std::vector<GetOutcome> out;
   out.reserve(keys.size());
   if (keys.empty()) return out;
   stats_.batchRounds += 1;
+  obs::SpanScope round("dht.multiGet", "dht");
+  round.arg("entries", static_cast<u64>(keys.size()));
+  obs::count("dht.round.count");
+  obs::count("dht.round.entries", keys.size());
   for (const Key& key : keys) {
+    obs::SpanScope entry("dht.round.entry", "dht");
+    obs::flow(round.id(), entry.id());
     GetOutcome o;
     try {
       o.value = get(key);
@@ -32,7 +60,13 @@ std::vector<ApplyOutcome> Dht::multiApply(const std::vector<ApplyRequest>& reqs)
   out.reserve(reqs.size());
   if (reqs.empty()) return out;
   stats_.batchRounds += 1;
+  obs::SpanScope round("dht.multiApply", "dht");
+  round.arg("entries", static_cast<u64>(reqs.size()));
+  obs::count("dht.round.count");
+  obs::count("dht.round.entries", reqs.size());
   for (const ApplyRequest& req : reqs) {
+    obs::SpanScope entry("dht.round.entry", "dht");
+    obs::flow(round.id(), entry.id());
     ApplyOutcome o;
     try {
       o.existed = apply(req.key, req.fn);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/obs.h"
 
 namespace lht::dht {
 
@@ -167,6 +168,26 @@ class Dht {
   void resetStats() { stats_.reset(); }
 
  protected:
+  /// RAII scope a substrate opens around one routed operation. Emits a
+  /// substrate-level trace span (named e.g. "dht.get") carrying the key and
+  /// the overlay hop count (delta of stats_.hops across the scope), and
+  /// bumps the raw per-op counter "<spanName>.raw" plus the "dht.hops"
+  /// total. "Raw" counts every executed attempt — the Retrying decorator
+  /// separately counts each *logical* operation exactly once, so retries
+  /// never inflate the cost-model's DHT-lookup metric.
+  class RoutedOpScope {
+   public:
+    RoutedOpScope(Dht& dht, const char* spanName, const Key& key);
+    ~RoutedOpScope();
+    RoutedOpScope(const RoutedOpScope&) = delete;
+    RoutedOpScope& operator=(const RoutedOpScope&) = delete;
+
+   private:
+    Dht& dht_;
+    u64 hops0_;
+    obs::SpanScope span_;
+  };
+
   DhtStats stats_;
 };
 

@@ -162,6 +162,7 @@ u64 KademliaDht::route(u64 keyId, u64 requestBytes) {
 }
 
 void KademliaDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
@@ -169,6 +170,7 @@ void KademliaDht::put(const Key& key, Value value) {
 }
 
 std::optional<Value> KademliaDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   const Node& node = nodeById(owner);
@@ -179,12 +181,14 @@ std::optional<Value> KademliaDht::get(const Key& key) {
 }
 
 bool KademliaDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   return nodeById(owner).store.erase(key) > 0;
 }
 
 bool KademliaDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   Node& node = nodeById(owner);

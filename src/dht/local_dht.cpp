@@ -12,6 +12,7 @@ constexpr common::u32 kSnapshotMagic = 0x4C444854;  // "LDHT"
 }  // namespace
 
 void LocalDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
   stats_.lookups += 1;
   stats_.puts += 1;
   stats_.hops += 1;
@@ -20,6 +21,7 @@ void LocalDht::put(const Key& key, Value value) {
 }
 
 std::optional<Value> LocalDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
   stats_.lookups += 1;
   stats_.gets += 1;
   stats_.hops += 1;
@@ -30,6 +32,7 @@ std::optional<Value> LocalDht::get(const Key& key) {
 }
 
 bool LocalDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
   stats_.lookups += 1;
   stats_.removes += 1;
   stats_.hops += 1;
@@ -37,6 +40,7 @@ bool LocalDht::remove(const Key& key) {
 }
 
 bool LocalDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
   stats_.lookups += 1;
   stats_.applies += 1;
   stats_.hops += 1;

@@ -229,6 +229,7 @@ u64 PastryDht::route(u64 keyId, u64 requestBytes) {
 }
 
 void PastryDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
@@ -236,6 +237,7 @@ void PastryDht::put(const Key& key, Value value) {
 }
 
 std::optional<Value> PastryDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   const Node& node = nodeById(owner);
@@ -246,12 +248,14 @@ std::optional<Value> PastryDht::get(const Key& key) {
 }
 
 bool PastryDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   return nodeById(owner).store.erase(key) > 0;
 }
 
 bool PastryDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   Node& node = nodeById(owner);

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/types.h"
 #include "lht/naming.h"
+#include "obs/obs.h"
 
 namespace lht::core {
 
@@ -38,6 +39,63 @@ u64 LhtIndex::newToken() {
     const u64 t = tokenRng_.next64();
     if (t != 0) return t;
   }
+}
+
+void LhtIndex::chargeInsertion(u64 lookups, u64 recordsMoved) {
+  meters_.insertion.dhtLookups += lookups;
+  meters_.insertion.recordsMoved += recordsMoved;
+  if (obs::metrics() != nullptr) {
+    if (lookups != 0) obs::count("lht.cost.insertion.dht_lookups", lookups);
+    if (recordsMoved != 0) {
+      obs::count("lht.cost.insertion.records_moved", recordsMoved);
+    }
+  }
+}
+
+void LhtIndex::chargeMaintenance(u64 lookups, u64 recordsMoved) {
+  meters_.maintenance.dhtLookups += lookups;
+  meters_.maintenance.recordsMoved += recordsMoved;
+  if (obs::metrics() != nullptr) {
+    if (lookups != 0) obs::count("lht.cost.maintenance.dht_lookups", lookups);
+    if (recordsMoved != 0) {
+      obs::count("lht.cost.maintenance.records_moved", recordsMoved);
+    }
+  }
+}
+
+void LhtIndex::chargeQuery(u64 lookups) {
+  meters_.query.dhtLookups += lookups;
+  if (lookups != 0) obs::count("lht.cost.query.dht_lookups", lookups);
+}
+
+void LhtIndex::noteSplit() {
+  meters_.maintenance.splits += 1;
+  obs::count("lht.cost.maintenance.splits");
+  obs::instantEvent("lht.split", "lht");
+}
+
+void LhtIndex::noteMerge() {
+  meters_.maintenance.merges += 1;
+  obs::count("lht.cost.maintenance.merges");
+  obs::instantEvent("lht.merge", "lht");
+}
+
+void LhtIndex::recordAlpha(double alpha) {
+  meters_.alpha.record(alpha);
+  obs::MetricsRegistry* m = obs::metrics();
+  if (m != nullptr) {
+    m->histogram("lht.alpha", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+        .observe(alpha);
+  }
+}
+
+void LhtIndex::noteOp(const char* op, const cost::OpStats& st) {
+  obs::MetricsRegistry* m = obs::metrics();
+  if (m == nullptr) return;
+  const std::string base(op);
+  m->counter(base + ".count").add(1);
+  m->histogram(base + ".dht_lookups").observe(static_cast<double>(st.dhtLookups));
+  m->histogram(base + ".rounds").observe(static_cast<double>(st.parallelSteps));
 }
 
 LhtIndex::BucketRef LhtIndex::getBucketRef(const std::string& key,
@@ -262,7 +320,7 @@ void LhtIndex::completeSplit(const std::string& stayingKey,
     return true;
   });
   st.dhtLookups += 1;
-  meters_.maintenance.dhtLookups += 1;
+  chargeMaintenance(1, 0);
 
   // Step 3: clear the intent from the staying child. Guarded by the
   // intent token so a stale retry cannot clear a newer intent.
@@ -276,7 +334,7 @@ void LhtIndex::completeSplit(const std::string& stayingKey,
     return false;
   });
   st.dhtLookups += 1;
-  meters_.maintenance.dhtLookups += 1;
+  chargeMaintenance(1, 0);
   dropCached(intent.movedLabel.parent().interval());
 }
 
@@ -289,7 +347,7 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
   // staging and the delete, followed by normal traffic). Refresh the copy
   // from the live donor before destroying anything.
   auto donorNow = getBucketRef(donorKey, st);
-  meters_.maintenance.dhtLookups += 1;
+  chargeMaintenance(1, 0);
   u64 token = intent.token;
   if (donorNow && donorNow->label == intent.donorLabel) {
     if (donorNow->records != intent.moving) {
@@ -305,7 +363,7 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
         return false;
       });
       st.dhtLookups += 1;
-      meters_.maintenance.dhtLookups += 1;
+      chargeMaintenance(1, 0);
     }
   }
 
@@ -321,7 +379,7 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
     return true;
   });
   st.dhtLookups += 1;
-  meters_.maintenance.dhtLookups += 1;
+  chargeMaintenance(1, 0);
 
   // Commit: the absorber becomes the parent leaf and takes the records.
   applyBucket(absorberKey, [&](std::optional<LeafBucket>& ob) {
@@ -339,8 +397,7 @@ void LhtIndex::completeMerge(const std::string& absorberKey,
     return false;
   });
   st.dhtLookups += 1;
-  meters_.maintenance.dhtLookups += 1;
-  meters_.maintenance.recordsMoved += moving.size();
+  chargeMaintenance(1, moving.size());
   dropCached(intent.donorLabel.parent().interval());
 }
 
@@ -443,6 +500,7 @@ LhtIndex::LookupOutcome LhtIndex::lookupLinear(double key) {
 index::UpdateResult LhtIndex::insert(const index::Record& record) {
   checkInvariant(record.key >= 0.0 && record.key <= 1.0,
                  "LhtIndex::insert: key outside [0,1]");
+  obs::SpanScope span("lht.insert", "lht");
   auto found = lookupInternal(record.key);
   if (!found.bucket) found = lookupLinearRef(record.key);  // defensive fallback
   checkInvariant(found.bucket != nullptr,
@@ -451,7 +509,7 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   index::UpdateResult result;
   result.ok = true;
   result.stats = found.stats;
-  meters_.insertion.dhtLookups += found.stats.dhtLookups;
+  chargeInsertion(found.stats.dhtLookups, 0);
   const Interval preInterval = found.bucket->label.interval();
 
   // Ship the record to the bucket's peer (the paper's "DHT-put towards
@@ -512,8 +570,7 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
     return changed;
   });
   checkInvariant(existed, "LhtIndex::insert: apply on missing bucket");
-  meters_.insertion.dhtLookups += 1;
-  meters_.insertion.recordsMoved += 1;
+  chargeInsertion(1, 1);
   result.stats.dhtLookups += 1;
   result.stats.parallelSteps += 1;
   recordCount_ += 1;
@@ -521,27 +578,28 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   for (const LeafBucket& remote : remotes) {
     // Theorem 2: each remote child is named exactly its pre-split label.
     dht_.put(dhtKeyFor(remote.label), remote.serialize());
-    meters_.maintenance.dhtLookups += 1;
-    meters_.maintenance.recordsMoved += remote.records.size();
-    meters_.maintenance.splits += 1;
+    chargeMaintenance(1, remote.records.size());
+    noteSplit();
     result.splitOrMerged = true;
   }
   if (!remotes.empty()) dropCached(preInterval);
   if (pendingSplit) {
     const size_t movedCount = pendingSplit->moving.size();
     completeSplit(found.dhtKey, *pendingSplit, result.stats);
-    meters_.maintenance.recordsMoved += movedCount;
-    meters_.maintenance.splits += 1;
+    chargeMaintenance(0, movedCount);
+    noteSplit();
     result.splitOrMerged = true;
-    meters_.alpha.record(
+    recordAlpha(
         static_cast<double>(movedCount + (opts_.countLabelSlot ? 1 : 0)) /
         static_cast<double>(opts_.thetaSplit));
   }
   if (remotes.size() == 1) {
     const double remoteSize =
         static_cast<double>(remotes.front().effectiveSize(opts_.countLabelSlot));
-    meters_.alpha.record(remoteSize / static_cast<double>(opts_.thetaSplit));
+    recordAlpha(remoteSize / static_cast<double>(opts_.thetaSplit));
   }
+  noteOp("lht.insert", result.stats);
+  span.arg("dht_lookups", result.stats.dhtLookups);
   return result;
 }
 
@@ -555,6 +613,8 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
   }
   std::sort(records.begin(), records.end(), index::recordLess);
   if (opts_.batchFanout) return insertBatchBatched(std::move(records));
+  obs::SpanScope span("lht.insertBatch", "lht");
+  span.arg("records", static_cast<u64>(records.size()));
   const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot, opts_.maxDepth};
 
   // One lookup + one apply per *touched leaf*: consecutive sorted records
@@ -564,7 +624,7 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
     auto found = lookupInternal(records[i].key);
     if (!found.bucket) found = lookupLinearRef(records[i].key);
     checkInvariant(found.bucket != nullptr, "LhtIndex::insertBatch: tree hole");
-    meters_.insertion.dhtLookups += found.stats.dhtLookups;
+    chargeInsertion(found.stats.dhtLookups, 0);
     result.stats.dhtLookups += found.stats.dhtLookups;
 
     const Interval leafInterval = found.bucket->label.interval();
@@ -588,28 +648,29 @@ index::UpdateResult LhtIndex::insertBatch(std::vector<index::Record> records) {
       splitBucketRecursively(b, policy, remotes);
       return true;
     });
-    meters_.insertion.dhtLookups += 1;
-    meters_.insertion.recordsMoved += j - i;
+    chargeInsertion(1, j - i);
     result.stats.dhtLookups += 1;
     recordCount_ += j - i;
 
     for (const auto& rb : remotes) {
       dht_.put(dhtKeyFor(rb.label), rb.serialize());
-      meters_.maintenance.dhtLookups += 1;
-      meters_.maintenance.recordsMoved += rb.records.size();
-      meters_.maintenance.splits += 1;
+      chargeMaintenance(1, rb.records.size());
+      noteSplit();
       result.splitOrMerged = true;
     }
     if (!remotes.empty()) dropCached(leafInterval);
     i = j;
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
+  noteOp("lht.insertBatch", result.stats);
   return result;
 }
 
 index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> records) {
   index::UpdateResult result;
   result.ok = true;
+  obs::SpanScope span("lht.insertBatch", "lht");
+  span.arg("records", static_cast<u64>(records.size()));
   const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot, opts_.maxDepth};
 
   // Pass 1 (sequential, cache-accelerated): resolve the target leaf of each
@@ -629,7 +690,7 @@ index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> reco
     auto found = lookupInternal(records[i].key);
     if (!found.bucket) found = lookupLinearRef(records[i].key);
     checkInvariant(found.bucket != nullptr, "LhtIndex::insertBatch: tree hole");
-    meters_.insertion.dhtLookups += found.stats.dhtLookups;
+    chargeInsertion(found.stats.dhtLookups, 0);
     result.stats.dhtLookups += found.stats.dhtLookups;
     result.stats.parallelSteps += found.stats.parallelSteps;
 
@@ -670,8 +731,7 @@ index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> reco
       throw dht::DhtError("LhtIndex::insertBatch: apply round entry failed: " +
                           applied[g].error);
     }
-    meters_.insertion.dhtLookups += 1;
-    meters_.insertion.recordsMoved += groups[g].end - groups[g].begin;
+    chargeInsertion(1, groups[g].end - groups[g].begin);
     result.stats.dhtLookups += 1;
     recordCount_ += groups[g].end - groups[g].begin;
   }
@@ -701,14 +761,14 @@ index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> reco
           throw dht::DhtError("LhtIndex::insertBatch: split put failed: " +
                               putOut[k].error);
         }
-        meters_.maintenance.dhtLookups += 1;
-        meters_.maintenance.recordsMoved += rb.records.size();
-        meters_.maintenance.splits += 1;
+        chargeMaintenance(1, rb.records.size());
+        noteSplit();
         result.splitOrMerged = true;
         ++k;
       }
     }
   }
+  noteOp("lht.insertBatch", result.stats);
   return result;
 }
 
@@ -718,6 +778,7 @@ index::UpdateResult LhtIndex::insertBatchBatched(std::vector<index::Record> reco
 
 index::FindResult LhtIndex::successorQuery(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::successorQuery: bad key");
+  obs::SpanScope span("lht.successorQuery", "lht");
   auto found = lookupInternal(key);
   checkInvariant(found.bucket != nullptr, "successorQuery: tree hole");
   index::FindResult result;
@@ -739,12 +800,14 @@ index::FindResult LhtIndex::successorQuery(double key) {
     bucket = std::move(nb);
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.successorQuery", result.stats);
   return result;
 }
 
 index::FindResult LhtIndex::predecessorQuery(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::predecessorQuery: bad key");
+  obs::SpanScope span("lht.predecessorQuery", "lht");
   auto found = lookupInternal(key);
   checkInvariant(found.bucket != nullptr, "predecessorQuery: tree hole");
   index::FindResult result;
@@ -766,7 +829,8 @@ index::FindResult LhtIndex::predecessorQuery(double key) {
     bucket = std::move(nb);
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.predecessorQuery", result.stats);
   return result;
 }
 
@@ -776,13 +840,14 @@ index::FindResult LhtIndex::predecessorQuery(double key) {
 
 index::UpdateResult LhtIndex::erase(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::erase: key outside [0,1]");
+  obs::SpanScope span("lht.erase", "lht");
   auto found = lookupInternal(key);
   if (!found.bucket) found = lookupLinearRef(key);
   checkInvariant(found.bucket != nullptr, "LhtIndex::erase: tree hole");
 
   index::UpdateResult result;
   result.stats = found.stats;
-  meters_.insertion.dhtLookups += found.stats.dhtLookups;
+  chargeInsertion(found.stats.dhtLookups, 0);
 
   size_t removed = 0;
   size_t remainingEffective = 0;
@@ -805,7 +870,7 @@ index::UpdateResult LhtIndex::erase(double key) {
     bucketLabel = b.label;
     return true;
   });
-  meters_.insertion.dhtLookups += 1;
+  chargeInsertion(1, 0);
   result.stats.dhtLookups += 1;
   result.stats.parallelSteps += 1;
   recordCount_ -= std::min(removed, recordCount_);
@@ -815,6 +880,7 @@ index::UpdateResult LhtIndex::erase(double key) {
       remainingEffective < opts_.mergeThreshold) {
     result.splitOrMerged = tryMerge(bucketLabel);
   }
+  noteOp("lht.erase", result.stats);
   return result;
 }
 
@@ -824,13 +890,13 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
   // labelled exactly `sib` sits under name(sib).
   cost::OpStats probe;
   auto sibBucket = getBucketRef(dhtKeyFor(sib), probe);
-  meters_.maintenance.dhtLookups += probe.dhtLookups;
+  chargeMaintenance(probe.dhtLookups, 0);
   if (!sibBucket || sibBucket->label != sib) return false;
 
   // Refresh our own bucket to get an exact combined size.
   cost::OpStats self;
   auto ownBucket = getBucketRef(dhtKeyFor(bucketLabel), self);
-  meters_.maintenance.dhtLookups += self.dhtLookups;
+  chargeMaintenance(self.dhtLookups, 0);
   if (!ownBucket || ownBucket->label != bucketLabel) return false;
 
   const size_t combined = ownBucket->records.size() + sibBucket->records.size() +
@@ -872,11 +938,11 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
       staged = true;
       return true;
     });
-    meters_.maintenance.dhtLookups += 1;
+    chargeMaintenance(1, 0);
     if (!staged) return false;
     cost::OpStats st;
     completeMerge(parentKey, intent, st);
-    meters_.maintenance.merges += 1;
+    noteMerge();
     return true;
   }
 
@@ -897,9 +963,8 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
                        std::make_move_iterator(moving.end()));
     return true;
   });
-  meters_.maintenance.dhtLookups += 2;
-  meters_.maintenance.recordsMoved += donor.records.size();
-  meters_.maintenance.merges += 1;
+  chargeMaintenance(2, donor.records.size());
+  noteMerge();
   dropCached(parent.interval());
   return true;
 }
@@ -910,10 +975,11 @@ bool LhtIndex::tryMerge(const Label& bucketLabel) {
 
 index::FindResult LhtIndex::find(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::find: key outside [0,1]");
+  obs::SpanScope span("lht.find", "lht");
   auto found = lookupInternal(key);
   index::FindResult result;
   result.stats = found.stats;
-  meters_.query.dhtLookups += found.stats.dhtLookups;
+  chargeQuery(found.stats.dhtLookups);
   if (found.bucket) {
     for (const auto& r : found.bucket->records) {
       if (r.key == key) {
@@ -922,6 +988,7 @@ index::FindResult LhtIndex::find(double key) {
       }
     }
   }
+  noteOp("lht.find", result.stats);
   return result;
 }
 
@@ -1088,6 +1155,9 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
   index::RangeResult result;
   if (hi <= lo) return result;
   checkInvariant(lo >= 0.0 && hi <= 1.0, "LhtIndex::rangeQuery: bad bounds");
+  obs::SpanScope span("lht.rangeQuery", "lht");
+  span.arg("lo", lo);
+  span.arg("hi", hi);
   const Interval range{lo, hi};
 
   // Algorithm 4: jump to the range's lowest common ancestor.
@@ -1140,8 +1210,9 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
   }
 
   result.stats.parallelSteps = steps;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
   std::sort(result.records.begin(), result.records.end(), index::recordLess);
+  noteOp("lht.rangeQuery", result.stats);
   return result;
 }
 
@@ -1151,6 +1222,7 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
 
 index::FindResult LhtIndex::minRecord() {
   index::FindResult result;
+  obs::SpanScope span("lht.minRecord", "lht");
   // Theorem 3: the leaf holding the smallest key is labelled #00* and is
   // therefore named "#": one DHT-lookup.
   auto bucket = getBucketRef("#", result.stats);
@@ -1171,12 +1243,14 @@ index::FindResult LhtIndex::minRecord() {
     if (best != nullptr) result.record = *best;
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.minRecord", result.stats);
   return result;
 }
 
 index::FindResult LhtIndex::maxRecord() {
   index::FindResult result;
+  obs::SpanScope span("lht.maxRecord", "lht");
   // Theorem 3: the leaf holding the largest key is labelled #01* and is
   // therefore named "#0". When the tree is a single leaf no node is named
   // "#0" and the root leaf (under "#") answers instead.
@@ -1197,13 +1271,16 @@ index::FindResult LhtIndex::maxRecord() {
     if (best != nullptr) result.record = *best;
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.maxRecord", result.stats);
   return result;
 }
 
 index::RangeResult LhtIndex::topMin(size_t k) {
   index::RangeResult result;
   if (k == 0) return result;
+  obs::SpanScope span("lht.topMin", "lht");
+  span.arg("k", static_cast<u64>(k));
   // Sweep leaves left to right: every record in a later bucket is larger
   // than every record in an earlier one, so we may stop as soon as k
   // records are collected.
@@ -1222,13 +1299,16 @@ index::RangeResult LhtIndex::topMin(size_t k) {
   std::sort(result.records.begin(), result.records.end(), index::recordLess);
   if (result.records.size() > k) result.records.resize(k);
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.topMin", result.stats);
   return result;
 }
 
 index::RangeResult LhtIndex::topMax(size_t k) {
   index::RangeResult result;
   if (k == 0) return result;
+  obs::SpanScope span("lht.topMax", "lht");
+  span.arg("k", static_cast<u64>(k));
   auto bucket = getBucketRef("#0", result.stats);
   if (!bucket) bucket = getBucketRef("#", result.stats);  // single-leaf tree
   checkInvariant(bucket != nullptr, "topMax: rightmost leaf missing");
@@ -1248,7 +1328,8 @@ index::RangeResult LhtIndex::topMax(size_t k) {
                          result.records.end() - static_cast<long>(k));
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.topMax", result.stats);
   return result;
 }
 
@@ -1256,6 +1337,8 @@ index::FindResult LhtIndex::quantileQuery(double q) {
   checkInvariant(q >= 0.0 && q <= 1.0, "LhtIndex::quantileQuery: q outside [0,1]");
   index::FindResult result;
   if (recordCount_ == 0) return result;
+  obs::SpanScope span("lht.quantileQuery", "lht");
+  span.arg("q", q);
   const size_t rank =
       static_cast<size_t>(q * static_cast<double>(recordCount_ - 1));
 
@@ -1288,7 +1371,8 @@ index::FindResult LhtIndex::quantileQuery(double q) {
     bucket = std::move(nb);
   }
   result.stats.parallelSteps = result.stats.dhtLookups;
-  meters_.query.dhtLookups += result.stats.dhtLookups;
+  chargeQuery(result.stats.dhtLookups);
+  noteOp("lht.quantileQuery", result.stats);
   return result;
 }
 

@@ -322,6 +322,21 @@ class LhtIndex final : public index::OrderedIndex {
   /// A fresh, never-zero idempotence token from this client's stream.
   common::u64 newToken();
 
+  // Single instrumentation path for the paper's cost categories: every
+  // charge lands in meters_ AND mirrors into the ambient obs registry
+  // under "lht.cost.<category>.<field>", so the closed-form Ψ can be
+  // checked against either view. Splits/merges additionally emit trace
+  // events.
+  void chargeInsertion(common::u64 lookups, common::u64 recordsMoved);
+  void chargeMaintenance(common::u64 lookups, common::u64 recordsMoved);
+  void chargeQuery(common::u64 lookups);
+  void noteSplit();
+  void noteMerge();
+  void recordAlpha(double alpha);
+  /// Per-op metrics under `op` (e.g. "lht.find"): a ".count" counter and
+  /// ".dht_lookups"/".rounds" histograms. No-op when metrics are off.
+  void noteOp(const char* op, const cost::OpStats& st);
+
   /// Completes the split recorded in `intent` for the staying bucket
   /// stored under `stayingKey`: writes the moved child (create-if-absent,
   /// never clobbers), then clears the intent. Idempotent; safe to re-run

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/types.h"
+#include "obs/obs.h"
 
 namespace lht::net {
 
@@ -24,9 +25,16 @@ bool SimNetwork::isOnline(PeerId id) const {
 bool SimNetwork::send(PeerId from, PeerId to, u64 bytes) {
   common::checkInvariant(from < peers_.size() && to < peers_.size(),
                          "SimNetwork::send: bad peer id");
-  if (!peers_[to].online) return false;
+  if (!peers_[to].online) {
+    obs::count("net.drops");
+    return false;
+  }
   stats_.messages += 1;
   stats_.bytes += bytes;
+  if (obs::metrics() != nullptr) {
+    obs::count("net.messages");
+    obs::count("net.bytes", bytes);
+  }
   peers_[from].stats.messagesOut += 1;
   peers_[from].stats.bytesOut += bytes;
   peers_[to].stats.messagesIn += 1;
@@ -55,6 +63,9 @@ void SimNetwork::nextRoundEntry() {
 void SimNetwork::endParallelRound() {
   nextRoundEntry();
   inParallelRound_ = false;
+  // Critical-path RTT of the whole round: this is the simulated time the
+  // batch actually costs, so it is what the round histogram records.
+  obs::observeMs("net.round_rtt_ms", static_cast<double>(roundMaxMs_));
   if (clock_ != nullptr && roundMaxMs_ > 0) clock_->advance(roundMaxMs_);
 }
 

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/types.h"
+
+namespace lht::obs {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1, 0) {
+  common::checkInvariant(
+      std::is_sorted(bounds_.begin(), bounds_.end()),
+      "Histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  count_ += 1;
+  sum_ += v;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, ceil) in the sorted sample.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(q * static_cast<double>(count_) + 0.9999999));
+  u64 seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Overflow bucket has no upper bound; report the observed max.
+      return b < bounds_.size() ? std::min(bounds_[b], max_) : max_;
+    }
+  }
+  return max_;
+}
+
+std::vector<double> defaultCountBounds() {
+  std::vector<double> b;
+  for (int v = 0; v <= 32; ++v) b.push_back(static_cast<double>(v));
+  for (double v = 48; v <= 4096; v *= 2) {
+    b.push_back(v);
+    b.push_back(v * 4.0 / 3.0);
+  }
+  std::sort(b.begin(), b.end());
+  return b;
+}
+
+std::vector<double> defaultLatencyBoundsMs() {
+  std::vector<double> b;
+  for (double v = 0.25; v <= 32768; v *= 2) {
+    b.push_back(v);
+    b.push_back(v * 1.5);
+  }
+  std::sort(b.begin(), b.end());
+  return b;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, defaultCountBounds());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+u64 MetricsRegistry::counterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+const Histogram* MetricsRegistry::findHistogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+common::Table MetricsRegistry::toTable() const {
+  common::Table t({"series", "kind", "count", "value", "p50", "p95", "p99"});
+  for (const auto& [name, c] : counters_) {
+    t.addRow({name, "counter", static_cast<common::i64>(c.value),
+              static_cast<common::i64>(c.value), "", "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.addRow({name, "gauge", static_cast<common::i64>(1), g.value, "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.addRow({name, "histogram", static_cast<common::i64>(h.count()), h.sum(),
+              h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)});
+  }
+  return t;
+}
+
+void MetricsRegistry::writeCsv(std::ostream& os) const { toTable().printCsv(os); }
+
+void MetricsRegistry::writeJson(std::ostream& os,
+                                const std::string& indent) const {
+  os << indent << "{\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    sep();
+    os << indent << "  \"" << name << "\": " << c.value;
+  }
+  for (const auto& [name, g] : gauges_) {
+    sep();
+    os << indent << "  \"" << name << "\": " << g.value;
+  }
+  for (const auto& [name, h] : histograms_) {
+    sep();
+    os << indent << "  \"" << name << "\": {\"count\": " << h.count()
+       << ", \"sum\": " << h.sum() << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.quantile(0.50) << ", \"p95\": " << h.quantile(0.95)
+       << ", \"p99\": " << h.quantile(0.99) << ", \"max\": " << h.max() << "}";
+  }
+  os << "\n" << indent << "}";
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace lht::obs

@@ -1,0 +1,46 @@
+#include "obs/obs.h"
+
+namespace lht::obs {
+
+namespace detail {
+thread_local MetricsRegistry* tlsMetrics = nullptr;
+thread_local Tracer* tlsTracer = nullptr;
+thread_local u64 tlsCurrentSpan = 0;
+}  // namespace detail
+
+ScopedObservability::ScopedObservability(MetricsRegistry* m, Tracer* t)
+    : prevMetrics_(detail::tlsMetrics),
+      prevTracer_(detail::tlsTracer),
+      prevSpan_(detail::tlsCurrentSpan) {
+  detail::tlsMetrics = m;
+  detail::tlsTracer = t;
+  detail::tlsCurrentSpan = 0;
+}
+
+ScopedObservability::~ScopedObservability() {
+  detail::tlsMetrics = prevMetrics_;
+  detail::tlsTracer = prevTracer_;
+  detail::tlsCurrentSpan = prevSpan_;
+}
+
+void SpanScope::open(const char* name, const char* cat) {
+  tracer_ = detail::tlsTracer;
+  prev_ = detail::tlsCurrentSpan;
+  id_ = tracer_->beginSpan(name, cat, prev_);
+  detail::tlsCurrentSpan = id_;
+}
+
+void SpanScope::close() {
+  tracer_->endSpan(id_);
+  detail::tlsCurrentSpan = prev_;
+}
+
+void instantEvent(const char* name, const char* cat,
+                  std::initializer_list<TraceArg> args) {
+  Tracer* t = detail::tlsTracer;
+  if (t == nullptr) return;
+  t->instant(name, cat, detail::tlsCurrentSpan,
+             std::vector<TraceArg>(args.begin(), args.end()));
+}
+
+}  // namespace lht::obs

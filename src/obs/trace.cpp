@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace lht::obs {
+
+namespace {
+
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Chrome trace timestamps are microseconds; fractional values are allowed,
+/// so we keep nanosecond precision.
+double toUs(u64 ns) { return static_cast<double>(ns) / 1000.0; }
+
+void writeArgs(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << jsonEscape(args[i].key) << "\":";
+    if (args[i].quoted) {
+      os << "\"" << jsonEscape(args[i].value) << "\"";
+    } else {
+      os << args[i].value;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string value) {
+  return {std::move(key), std::move(value), true};
+}
+TraceArg arg(std::string key, const char* value) {
+  return {std::move(key), value, true};
+}
+TraceArg arg(std::string key, u64 value) {
+  return {std::move(key), std::to_string(value), false};
+}
+TraceArg arg(std::string key, double value) {
+  return {std::move(key), formatDouble(value), false};
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+u64 Tracer::nowNs() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+u64 Tracer::beginSpan(std::string name, const char* cat, u64 parent) {
+  const u64 id = nextId_++;
+  spanIndex_.emplace(id, spans_.size());
+  Span s;
+  s.id = id;
+  s.parent = parent;
+  s.name = std::move(name);
+  s.cat = cat;
+  s.startNs = nowNs();
+  spans_.push_back(std::move(s));
+  openSpans_ += 1;
+  return id;
+}
+
+void Tracer::endSpan(u64 id) {
+  const auto it = spanIndex_.find(id);
+  if (it == spanIndex_.end()) return;
+  Span& s = spans_[it->second];
+  if (s.endNs != 0) return;
+  s.endNs = nowNs();
+  // Zero-duration spans are legal in the trace format but collapse to
+  // invisible slivers; clamp to 1ns so every op stays selectable.
+  if (s.endNs == s.startNs) s.endNs += 1;
+  openSpans_ -= 1;
+}
+
+void Tracer::addSpanArg(u64 id, TraceArg a) {
+  const auto it = spanIndex_.find(id);
+  if (it == spanIndex_.end()) return;
+  spans_[it->second].args.push_back(std::move(a));
+}
+
+void Tracer::instant(std::string name, const char* cat, u64 parent,
+                     std::vector<TraceArg> args) {
+  Instant i;
+  i.name = std::move(name);
+  i.cat = cat;
+  i.parent = parent;
+  i.tsNs = nowNs();
+  i.args = std::move(args);
+  instants_.push_back(std::move(i));
+}
+
+void Tracer::flow(u64 fromSpan, u64 toSpan) {
+  flows_.push_back({fromSpan, toSpan});
+}
+
+const Tracer::Span* Tracer::findSpan(u64 id) const {
+  const auto it = spanIndex_.find(id);
+  return it == spanIndex_.end() ? nullptr : &spans_[it->second];
+}
+
+void Tracer::writeChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& s : spans_) {
+    sep();
+    const u64 endNs = s.endNs == 0 ? s.startNs + 1 : s.endNs;
+    os << "{\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\"" << s.cat
+       << "\",\"ph\":\"X\",\"ts\":" << formatDouble(toUs(s.startNs))
+       << ",\"dur\":" << formatDouble(toUs(endNs - s.startNs))
+       << ",\"pid\":1,\"tid\":1,";
+    writeArgs(os, s.args);
+    os << "}";
+  }
+  for (const auto& i : instants_) {
+    sep();
+    os << "{\"name\":\"" << jsonEscape(i.name) << "\",\"cat\":\"" << i.cat
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << formatDouble(toUs(i.tsNs))
+       << ",\"pid\":1,\"tid\":1,";
+    writeArgs(os, i.args);
+    os << "}";
+  }
+  // A flow arrow is a "s"/"f" pair sharing an id; each endpoint binds to the
+  // slice that starts at its ts, so we anchor both at span starts.
+  u64 flowId = 0;
+  for (const auto& f : flows_) {
+    const Span* from = findSpan(f.fromSpan);
+    const Span* to = findSpan(f.toSpan);
+    if (from == nullptr || to == nullptr) continue;
+    flowId += 1;
+    sep();
+    os << "{\"name\":\"link\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << flowId
+       << ",\"ts\":" << formatDouble(toUs(from->startNs))
+       << ",\"pid\":1,\"tid\":1,\"args\":{}}";
+    sep();
+    os << "{\"name\":\"link\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+       << "\"id\":" << flowId
+       << ",\"ts\":" << formatDouble(toUs(to->startNs))
+       << ",\"pid\":1,\"tid\":1,\"args\":{}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::writeCsv(std::ostream& os) const {
+  common::Table t({"id", "parent", "name", "cat", "start_us", "dur_us", "args"});
+  for (const auto& s : spans_) {
+    const u64 endNs = s.endNs == 0 ? s.startNs + 1 : s.endNs;
+    std::ostringstream args;
+    for (size_t i = 0; i < s.args.size(); ++i) {
+      if (i) args << ";";
+      args << s.args[i].key << "=" << s.args[i].value;
+    }
+    t.addRow({static_cast<common::i64>(s.id),
+              static_cast<common::i64>(s.parent), s.name, std::string(s.cat),
+              toUs(s.startNs), toUs(endNs - s.startNs), args.str()});
+  }
+  t.printCsv(os);
+}
+
+void Tracer::clear() {
+  nextId_ = 1;
+  openSpans_ = 0;
+  spans_.clear();
+  spanIndex_.clear();
+  instants_.clear();
+  flows_.clear();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace lht::obs

@@ -3,6 +3,7 @@
 #include "common/types.h"
 #include "dst/dst_index.h"
 #include "lht/lht_index.h"
+#include "obs/obs.h"
 #include "pht/pht_index.h"
 #include "rst/rst_index.h"
 
@@ -72,11 +73,18 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(cfg) {
 }
 
 void Experiment::build() {
+  // Phase spans let a trace of a fig driver attribute every nested DHT/net
+  // span to build vs measurement time.
+  obs::SpanScope span("sim.build", "sim");
+  span.arg("index", indexKindName(cfg_.kind));
+  span.arg("n", static_cast<common::u64>(cfg_.dataSize));
   auto dataset = workload::makeDataset(cfg_.dist, cfg_.dataSize, cfg_.seed);
   for (const auto& r : dataset) index_->insert(r);
 }
 
 AvgStats Experiment::measureLookups(size_t count) {
+  obs::SpanScope span("sim.measureLookups", "sim");
+  span.arg("count", static_cast<common::u64>(count));
   common::Pcg32 rng(cfg_.seed ^ 0xF00Dull, /*stream=*/7);
   AvgStats avg;
   for (size_t i = 0; i < count; ++i) {
@@ -93,6 +101,9 @@ AvgStats Experiment::measureLookups(size_t count) {
 }
 
 AvgStats Experiment::measureRanges(double span, size_t count) {
+  obs::SpanScope phase("sim.measureRanges", "sim");
+  phase.arg("span", span);
+  phase.arg("count", static_cast<common::u64>(count));
   common::Pcg32 rng(cfg_.seed ^ 0xBEEFull, /*stream=*/11);
   AvgStats avg;
   for (size_t i = 0; i < count; ++i) {

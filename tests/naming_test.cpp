@@ -177,5 +177,109 @@ TEST(Naming, NameRejectsVirtualRoot) {
   EXPECT_THROW(leftNeighbor(Label()), common::InvariantError);
 }
 
+// --- Exhaustive Theorem-1 machinery checks to depth 12 ---------------------
+//
+// The random-tree tests above sample the label space; these enumerate it:
+// every real label (first bit 0, per the "#0" regular root convention) up
+// to 12 bits — all 2^12 - 1 of them — through f_n, f_nn, f_rn, and f_ln.
+
+constexpr u32 kExhaustiveDepth = 12;
+
+/// The real label of `len` bits whose bits after the leading 0 are the low
+/// len-1 bits of `rest`. Requires rest < 2^(len-1).
+Label realLabel(u32 len, common::u64 rest) { return Label::fromBits(rest, len); }
+
+TEST(Naming, Theorem1ExhaustiveBijectionPerDepth) {
+  // In the perfect tree whose leaves all sit at depth d, f_n must map the
+  // 2^(d-1) leaves one-to-one onto the 2^(d-1) - 1 internal labels (every
+  // real label shorter than d) plus the virtual root "#" (the "double
+  // root" of Theorem 1).
+  for (u32 d = 1; d <= kExhaustiveDepth; ++d) {
+    std::set<Label> omega;
+    omega.insert(Label());  // virtual root
+    for (u32 len = 1; len < d; ++len) {
+      for (common::u64 rest = 0; rest < (1ull << (len - 1)); ++rest) {
+        omega.insert(realLabel(len, rest));
+      }
+    }
+
+    std::set<Label> images;
+    for (common::u64 rest = 0; rest < (1ull << (d - 1)); ++rest) {
+      const Label leaf = realLabel(d, rest);
+      const Label omegaLabel = name(leaf);
+      EXPECT_TRUE(images.insert(omegaLabel).second)
+          << "depth " << d << ": duplicate name " << omegaLabel.str();
+      // f_n inverts exactly through namedLeafAtDepth.
+      EXPECT_EQ(namedLeafAtDepth(omegaLabel, d), leaf) << leaf.str();
+    }
+    EXPECT_EQ(images, omega) << "depth " << d;
+  }
+}
+
+TEST(Naming, ExhaustiveNextNameConsistency) {
+  // f_nn(x, mu) is the shortest prefix of mu longer than x whose name
+  // differs from x's; every prefix in between shares x's name, and when
+  // f_nn is empty no longer prefix of mu changes name at all.
+  for (u32 muLen = 2; muLen <= kExhaustiveDepth; ++muLen) {
+    for (common::u64 rest = 0; rest < (1ull << (muLen - 1)); ++rest) {
+      const Label mu = realLabel(muLen, rest);
+      for (u32 xLen = 1; xLen < muLen; ++xLen) {
+        const Label x = mu.prefix(xLen);
+        const auto nn = nextName(x, mu);
+        if (nn) {
+          ASSERT_GT(nn->length(), xLen);
+          ASSERT_LE(nn->length(), muLen);
+          EXPECT_EQ(*nn, mu.prefix(nn->length()));
+          EXPECT_NE(name(*nn), name(x)) << mu.str() << " from " << x.str();
+          for (u32 len = xLen + 1; len < nn->length(); ++len) {
+            EXPECT_EQ(name(mu.prefix(len)), name(x)) << mu.str();
+          }
+        } else {
+          for (u32 len = xLen + 1; len <= muLen; ++len) {
+            EXPECT_EQ(name(mu.prefix(len)), name(x))
+                << mu.str() << " from " << x.str();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Naming, ExhaustiveNeighborsMatchBruteForceAndIntervals) {
+  // Def. 3 brute force: strip trailing 1s (right) / 0s (left), then flip
+  // the exposed last bit. If stripping reaches the root edge the label is
+  // on the tree's rightmost/leftmost path and maps to itself.
+  for (u32 len = 1; len <= kExhaustiveDepth; ++len) {
+    for (common::u64 rest = 0; rest < (1ull << (len - 1)); ++rest) {
+      const common::u64 bits = rest;  // full bit string, leading 0 implicit
+      const Label x = realLabel(len, rest);
+
+      u32 rLen = len;
+      while (rLen > 1 && ((bits >> (len - rLen)) & 1u) == 1u) --rLen;
+      const bool rightEdge = rLen == 1;  // x was #01...1 (or #0)
+      const Label expectedRight =
+          rightEdge ? x : realLabel(rLen, (bits >> (len - rLen)) | 1u);
+      EXPECT_EQ(rightNeighbor(x), expectedRight) << x.str();
+      EXPECT_EQ(x.isRightmostPath(), rightEdge) << x.str();
+      if (!rightEdge) {
+        EXPECT_DOUBLE_EQ(expectedRight.interval().lo, x.interval().hi)
+            << x.str();
+      }
+
+      u32 lLen = len;
+      while (lLen > 1 && ((bits >> (len - lLen)) & 1u) == 0u) --lLen;
+      const bool leftEdge = lLen == 1 && ((bits >> (len - 1)) & 1u) == 0u;
+      const Label expectedLeft =
+          leftEdge ? x : realLabel(lLen, (bits >> (len - lLen)) & ~1ull);
+      EXPECT_EQ(leftNeighbor(x), expectedLeft) << x.str();
+      EXPECT_EQ(x.isLeftmostPath(), leftEdge) << x.str();
+      if (!leftEdge) {
+        EXPECT_DOUBLE_EQ(expectedLeft.interval().hi, x.interval().lo)
+            << x.str();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lht::core

@@ -1,0 +1,149 @@
+// Tests for the metrics half of the observability layer: counters, gauges,
+// fixed-bucket histograms with quantile export, and the registry exporters.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/types.h"
+#include "obs/obs.h"
+
+namespace lht::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(2.5);  // last write wins
+  EXPECT_EQ(reg.counterValue("a"), 5u);
+  EXPECT_EQ(reg.counterValue("never-touched"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("g").value, 2.5);
+}
+
+TEST(Metrics, HistogramStatsOnKnownData) {
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Bounds enumerate every decade, so the estimates are exact decades.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);  // rank clamps to the first sample
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Metrics, HistogramQuantileNeverExceedsObservedMax) {
+  Histogram h({10, 100, 1000});
+  h.observe(3);
+  h.observe(4);
+  // Both samples land in the <=10 bucket; the bound (10) overstates the
+  // data, so the estimate is clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+}
+
+TEST(Metrics, HistogramOverflowBucket) {
+  Histogram h({1, 2});
+  h.observe(50);
+  ASSERT_EQ(h.bucketCounts().size(), 3u);
+  EXPECT_EQ(h.bucketCounts()[2], 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);  // overflow reports the max
+}
+
+TEST(Metrics, HistogramEmptyIsZero) {
+  Histogram h(defaultCountBounds());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Metrics, DefaultBoundsAreStrictlyAscending) {
+  for (const auto& bounds : {defaultCountBounds(), defaultLatencyBoundsMs()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]) << i;
+    }
+  }
+}
+
+TEST(Metrics, FirstHistogramCallFixesBounds) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1, 2, 3});
+  reg.histogram("h", {100});  // ignored: layout already fixed
+  EXPECT_EQ(reg.histograms().at("h").bounds().size(), 3u);
+}
+
+TEST(Metrics, CsvExportListsEverySeries) {
+  MetricsRegistry reg;
+  reg.counter("dht.get.raw").add(7);
+  reg.gauge("lht.depth").set(3);
+  reg.histogram("lht.find.dht_lookups").observe(2);
+  std::ostringstream os;
+  reg.writeCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("dht.get.raw"), std::string::npos);
+  EXPECT_NE(csv.find("lht.depth"), std::string::npos);
+  EXPECT_NE(csv.find("lht.find.dht_lookups"), std::string::npos);
+  EXPECT_NE(csv.find("counter"), std::string::npos);
+  EXPECT_NE(csv.find("gauge"), std::string::npos);
+  EXPECT_NE(csv.find("histogram"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportShape) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3);
+  reg.histogram("h").observe(5);
+  std::ostringstream os;
+  reg.writeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"c\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3);
+  reg.histogram("h").observe(5);
+  reg.reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+// --- Ambient helpers -------------------------------------------------------
+
+TEST(Metrics, AmbientHelpersNoOpWhenUninstalled) {
+  ASSERT_EQ(metrics(), nullptr);
+  count("x");          // must not crash
+  gaugeSet("y", 1.0);  // must not crash
+  observe("z", 2.0);   // must not crash
+}
+
+TEST(Metrics, ScopedObservabilityInstallsAndRestores) {
+  MetricsRegistry reg;
+  {
+    ScopedObservability install(&reg, nullptr);
+    EXPECT_EQ(metrics(), &reg);
+    count("scoped", 2);
+    MetricsRegistry inner;
+    {
+      ScopedObservability nested(&inner, nullptr);
+      count("scoped", 5);  // goes to the nested registry
+    }
+    EXPECT_EQ(metrics(), &reg);  // nesting restores the outer sink
+    count("scoped");
+  }
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(reg.counterValue("scoped"), 3u);
+}
+
+}  // namespace
+}  // namespace lht::obs

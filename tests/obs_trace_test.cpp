@@ -1,0 +1,253 @@
+// Tests for the tracing half of the observability layer: span nesting,
+// instants, flows, and the Chrome trace-event exporter.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace lht::obs {
+namespace {
+
+// Minimal JSON syntax checker: enough grammar to certify that the exported
+// trace is loadable (balanced structures, quoted strings, legal literals).
+// Not a validator of Chrome's schema — the schema bits are asserted
+// separately by substring.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) return false;
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(Trace, SpanLifecycleAndParentage) {
+  Tracer t;
+  const u64 outer = t.beginSpan("outer", "test", 0);
+  const u64 inner = t.beginSpan("inner", "test", outer);
+  EXPECT_EQ(t.openSpanCount(), 2u);
+  t.endSpan(inner);
+  t.endSpan(outer);
+  EXPECT_EQ(t.openSpanCount(), 0u);
+
+  ASSERT_EQ(t.spans().size(), 2u);
+  const Tracer::Span* in = t.findSpan(inner);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->parent, outer);
+  EXPECT_GE(in->endNs, in->startNs);
+  EXPECT_GT(in->endNs, 0u);
+}
+
+TEST(Trace, SpanScopeThreadsParentAutomatically) {
+  Tracer t;
+  MetricsRegistry reg;
+  u64 outerId = 0;
+  u64 innerId = 0;
+  {
+    ScopedObservability install(&reg, &t);
+    SpanScope outer("outer", "test");
+    outerId = outer.id();
+    EXPECT_TRUE(outer.enabled());
+    EXPECT_EQ(currentSpan(), outerId);
+    {
+      SpanScope inner("inner", "test");
+      innerId = inner.id();
+      inner.arg("k", static_cast<u64>(7));
+    }
+    EXPECT_EQ(currentSpan(), outerId);  // inner close restores the parent
+  }
+  const Tracer::Span* in = t.findSpan(innerId);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->parent, outerId);
+  ASSERT_EQ(in->args.size(), 1u);
+  EXPECT_EQ(in->args[0].key, "k");
+  EXPECT_EQ(in->args[0].value, "7");
+}
+
+TEST(Trace, SpanScopeDisabledIsInert) {
+  ASSERT_EQ(tracer(), nullptr);
+  SpanScope span("nothing", "test");
+  EXPECT_FALSE(span.enabled());
+  EXPECT_EQ(span.id(), 0u);
+  span.arg("k", 1.0);  // must not crash
+  flow(1, 2);          // must not crash
+  instantEvent("e", "test");
+}
+
+TEST(Trace, InstantsAndFlowsRecorded) {
+  Tracer t;
+  const u64 a = t.beginSpan("a", "test", 0);
+  const u64 b = t.beginSpan("b", "test", 0);
+  t.instant("tick", "test", a, {arg("why", "because")});
+  t.flow(a, b);
+  t.endSpan(b);
+  t.endSpan(a);
+  ASSERT_EQ(t.instants().size(), 1u);
+  EXPECT_EQ(t.instants()[0].parent, a);
+  ASSERT_EQ(t.flows().size(), 1u);
+  EXPECT_EQ(t.flows()[0].fromSpan, a);
+  EXPECT_EQ(t.flows()[0].toSpan, b);
+}
+
+TEST(Trace, ChromeTraceIsValidJsonWithSchemaMarkers) {
+  Tracer t;
+  const u64 round = t.beginSpan("dht.multiGet", "dht", 0);
+  const u64 entry = t.beginSpan("dht.round.entry", "dht", round);
+  t.flow(round, entry);
+  t.instant("dht.retry", "dht", entry, {arg("op", "get"), arg("attempt", u64(2))});
+  t.addSpanArg(round, arg("entries", u64(3)));
+  t.addSpanArg(round, arg("note", "quote\"and\\slash\n"));
+  t.endSpan(entry);
+  t.endSpan(round);
+
+  std::ostringstream os;
+  t.writeChromeTrace(os);
+  const std::string json = os.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // complete spans
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);   // flow start
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);   // flow finish
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);   // flows bind to
+                                                             // enclosing slice
+  EXPECT_NE(json.find("dht.multiGet"), std::string::npos);
+}
+
+TEST(Trace, CsvExportOneRowPerSpan) {
+  Tracer t;
+  t.endSpan(t.beginSpan("one", "test", 0));
+  t.endSpan(t.beginSpan("two", "test", 0));
+  std::ostringstream os;
+  t.writeCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("one"), std::string::npos);
+  EXPECT_NE(csv.find("two"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Tracer t;
+  t.endSpan(t.beginSpan("s", "test", 0));
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_TRUE(t.instants().empty());
+  EXPECT_TRUE(t.flows().empty());
+  EXPECT_EQ(t.openSpanCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lht::obs
