@@ -1,0 +1,178 @@
+// Concurrent-fleet scaling sweep (DESIGN.md §10): the SAME mixed
+// insert/find/range workload is driven through 1, 2, 4 and 8 concurrent
+// clients (one pool worker per client) and the aggregate throughput is
+// reported in BOTH time domains:
+//
+//   ops_per_sim_sec   simulated-time throughput. Each client owns a
+//                     private SimClock charged ~10ms per DHT hop by its
+//                     LatencyDht, and the fleet's elapsed simulated time
+//                     is the MAX over client clocks (the critical path).
+//                     Splitting a fixed trace over N clients divides each
+//                     clock's share of the work, so this axis measures
+//                     real concurrency of the engine and is the primary
+//                     scaling metric — deterministic, machine-independent.
+//   ops_per_wall_sec  wall-clock throughput, reported for context. On the
+//                     single-core CI container it does NOT scale with
+//                     threads and is never gated on.
+//
+// Per-op-kind latency percentiles (p50/p95/p99, simulated ms) come from
+// the fleet's merged "fleet.op.*.sim_ms" histograms. The "scaling" block
+// asserts threads=8 achieves > 2.5x the threads=1 sim throughput.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/flags.h"
+#include "dht/decorators.h"
+#include "dht/local_dht.h"
+#include "exec/client_fleet.h"
+#include "exec/thread_pool.h"
+#include "workload/trace.h"
+
+using namespace lht;
+
+namespace {
+
+struct SweepPoint {
+  size_t threads = 0;
+  exec::FleetResult result;
+};
+
+void emitKind(std::ostream& os, const obs::MetricsRegistry& reg,
+              const char* kind, bool& first) {
+  const std::string series = std::string("fleet.op.") + kind + ".sim_ms";
+  const auto* h = reg.findHistogram(series);
+  if (h == nullptr || h->count() == 0) return;
+  if (!first) os << ",\n";
+  first = false;
+  os << "        \"" << kind << "\": {\"count\": " << h->count()
+     << ", \"p50\": " << h->quantile(0.50)
+     << ", \"p95\": " << h->quantile(0.95)
+     << ", \"p99\": " << h->quantile(0.99) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("bench_scaling",
+                      "Emits BENCH_PR4.json: fleet throughput vs client "
+                      "count in the simulated-time domain");
+  flags.define("ops", "6000", "operations in the shared trace");
+  flags.define("theta", "32", "bucket split threshold");
+  flags.define("seed", "41", "workload + decorator seed");
+  flags.define("base-ms", "10", "per-hop simulated latency");
+  flags.define("jitter-ms", "4", "per-hop simulated jitter");
+  flags.define("out", "BENCH_PR4.json", "output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const size_t ops = static_cast<size_t>(flags.getInt("ops"));
+  const common::u64 seed = static_cast<common::u64>(flags.getInt("seed"));
+  const common::u64 baseMs = static_cast<common::u64>(flags.getInt("base-ms"));
+  const common::u64 jitterMs =
+      static_cast<common::u64>(flags.getInt("jitter-ms"));
+
+  workload::TraceMix mix;
+  mix.insert = 0.50;
+  mix.erase = 0.0;  // grow-only: splits dominate the structural churn
+  mix.find = 0.35;
+  mix.range = 0.15;
+  mix.minmax = 0.0;
+  mix.rangeSpan = 0.02;
+  const auto trace =
+      workload::makeMixedTrace(workload::Distribution::Uniform, ops, mix, seed);
+
+  std::vector<SweepPoint> sweep;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    dht::LocalDht base;
+    exec::FleetOptions opts;
+    opts.clients = threads;
+    opts.chunkSize = 16;
+    opts.clientSeedBase = 1000 + seed;
+    opts.index.thetaSplit = static_cast<common::u32>(flags.getInt("theta"));
+    opts.index.crashConsistentSplits = true;  // concurrent splits stay atomic
+    exec::ClientFleet fleet(
+        [&](size_t i, net::SimClock& clock) {
+          exec::ClientStack stack;
+          auto latency = std::make_unique<dht::LatencyDht>(
+              base, clock,
+              dht::LatencyDht::Options{.baseMs = baseMs,
+                                       .jitterMs = jitterMs,
+                                       .seed = seed * 31 + i});
+          stack.top = latency.get();
+          stack.layers.push_back(std::move(latency));
+          return stack;
+        },
+        opts);
+    exec::WorkStealingPool pool(threads);
+    SweepPoint point;
+    point.threads = threads;
+    point.result = fleet.run(trace, pool);
+    std::cerr << "threads=" << threads
+              << " sim_ms=" << point.result.elapsedSimMs
+              << " wall_ms=" << point.result.elapsedWallMs
+              << " steals=" << point.result.steals << "\n";
+    sweep.push_back(std::move(point));
+  }
+
+  const auto simOpsPerSec = [](const SweepPoint& p) {
+    return 1000.0 * static_cast<double>(p.result.opsTotal) /
+           static_cast<double>(p.result.elapsedSimMs);
+  };
+  const double scale = simOpsPerSec(sweep.back()) / simOpsPerSec(sweep.front());
+  const double threshold = 2.5;
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"lht_concurrent_scaling\",\n"
+     << "  \"config\": {\"ops\": " << ops << ", \"theta\": "
+     << flags.getInt("theta") << ", \"seed\": " << seed
+     << ", \"base_ms\": " << baseMs << ", \"jitter_ms\": " << jitterMs
+     << "},\n"
+     << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& p = sweep[i];
+    os << "    {\"threads\": " << p.threads
+       << ", \"clients\": " << p.threads
+       << ", \"ops\": " << p.result.opsTotal
+       << ", \"ops_failed\": " << p.result.opsFailed
+       << ", \"steals\": " << p.result.steals << ",\n"
+       << "     \"elapsed_sim_ms\": " << p.result.elapsedSimMs
+       << ", \"elapsed_wall_ms\": " << p.result.elapsedWallMs << ",\n"
+       << "     \"ops_per_sim_sec\": " << simOpsPerSec(p)
+       << ", \"ops_per_wall_sec\": "
+       << 1000.0 * static_cast<double>(p.result.opsTotal) /
+              p.result.elapsedWallMs
+       << ",\n"
+       << "     \"latency_sim_ms\": {\n";
+    bool first = true;
+    for (const char* kind : {"insert", "find", "range"}) {
+      emitKind(os, p.result.metrics, kind, first);
+    }
+    os << "\n     }}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"scaling\": {\"threads8_vs_1_sim\": " << scale
+     << ", \"threshold\": " << threshold
+     << ", \"pass\": " << (scale > threshold ? "true" : "false") << "}\n"
+     << "}\n";
+
+  const std::string path = flags.getString("out");
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "bench_scaling: cannot write " << path << "\n";
+    return 1;
+  }
+  f << os.str();
+  std::cout << os.str();
+  std::cout << "wrote " << path << "\n";
+  if (scale <= threshold) {
+    std::cerr << "bench_scaling: FAIL: threads=8 sim speedup " << scale
+              << " <= " << threshold << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -38,7 +38,7 @@ RunResult runWorkload(lht::dht::Dht& dht, const lht::net::SimNetwork* net,
   out.minKey = index.minRecord().record->key;
   out.dhtLookups = dht.stats().lookups;
   out.hops = dht.stats().hops;
-  out.messages = net != nullptr ? net->stats().messages : 0;
+  out.messages = net != nullptr ? lht::common::u64(net->stats().messages) : 0;
   return out;
 }
 

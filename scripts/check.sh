@@ -8,23 +8,28 @@
 # perf bench, diffing its key metrics against the committed BENCH_PR2.json
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
-# Usage: scripts/check.sh [--fast] [--no-bench] [--coverage]
+# Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
 #               report line coverage for src/ (warn-only; needs gcov, and
 #               lcov when available for the per-directory summary)
+#   --tsan      also build the tsan preset and run the concurrency suites
+#               (execution engine, shard-locked substrates, obs merging)
+#               under ThreadSanitizer; a reported race fails the gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 bench=1
 coverage=0
+tsan=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
     --no-bench) bench=0 ;;
     --coverage) coverage=1 ;;
+    --tsan) tsan=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,16 +58,29 @@ if [[ "$fast" -eq 0 ]]; then
   ctest --preset asan-ubsan -j "$jobs"
 fi
 
+if [[ "$tsan" -eq 1 ]]; then
+  echo "== configure + build (tsan) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target lht_tests
+  echo "== concurrency suites under ThreadSanitizer =="
+  ctest --preset tsan -j "$jobs" -R \
+    'ThreadPoolTest|LinearizabilityTest|ConcurrentSubstrateTest|ClientFleetTest|ObsConcurrentTest|LoggingConcurrentTest'
+fi
+
 if [[ "$bench" -eq 1 ]]; then
   echo "== configure + build (release) =="
   cmake --preset release
-  cmake --build --preset release -j "$jobs" --target bench_json
+  cmake --build --preset release -j "$jobs" --target bench_json \
+    --target bench_scaling
   echo "== perf bench (release) vs committed BENCH_PR2.json (warn-only) =="
   ./build-release/bench/bench_json --out=build-release/BENCH_PR2.json \
     > /dev/null
   python3 scripts/diff_bench.py BENCH_PR2.json build-release/BENCH_PR2.json \
     || echo "check.sh: WARNING: perf metrics drifted from the committed" \
             "baseline (warn-only, see above)"
+  echo "== fleet scaling sweep (simulated-time domain, gates on >2.5x) =="
+  ./build-release/bench/bench_scaling --out=build-release/BENCH_PR4.json \
+    > /dev/null
 fi
 
 if [[ "$coverage" -eq 1 ]]; then

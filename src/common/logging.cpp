@@ -1,12 +1,18 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
+#include <mutex>
 
 namespace lht::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Guards the sink pointer AND every sink invocation: one record, one
+// locked write, no interleaving of partial lines across threads.
+std::mutex g_sinkMutex;
+LogSink g_sink;  // empty = stderr default
 
 const char* levelName(LogLevel l) {
   switch (l) {
@@ -23,8 +29,27 @@ const char* levelName(LogLevel l) {
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+void setLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
+  g_sink = std::move(sink);
+}
+
 void logMessage(LogLevel level, const std::string& message) {
-  std::cerr << "[" << levelName(level) << "] " << message << "\n";
+  // Format the complete record before taking the lock; the critical
+  // section is exactly one sink write.
+  std::string record;
+  record.reserve(message.size() + 12);
+  record += '[';
+  record += levelName(level);
+  record += "] ";
+  record += message;
+  record += '\n';
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    std::fwrite(record.data(), 1, record.size(), stderr);
+  }
 }
 
 }  // namespace lht::common

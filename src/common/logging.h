@@ -2,10 +2,17 @@
 //
 // The library is silent by default (level = Warn); simulations can raise
 // verbosity to trace DHT routing and index forwarding decisions.
+//
+// Thread safety: each record is formatted into one contiguous buffer on
+// the calling thread and handed to the sink as a SINGLE write under a
+// process-wide sink mutex, so concurrent writers can never interleave
+// partial lines — a record appears in the output atomically or not at all.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lht::common {
 
@@ -15,8 +22,18 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emits one log line (already filtered by level in the macro).
+/// Emits one log line (already filtered by level in the macro). The fully
+/// formatted record (including the trailing newline) reaches the sink as
+/// one write under the sink mutex.
 void logMessage(LogLevel level, const std::string& message);
+
+/// Replaces the output sink (default: stderr). The sink receives one
+/// complete record per call — "[LEVEL] message\n" — and is always invoked
+/// under the sink mutex, so it needs no synchronization of its own.
+/// Pass nullptr to restore the stderr default. Intended for tests and for
+/// embedding (e.g. routing into a host application's logger).
+using LogSink = std::function<void(std::string_view record)>;
+void setLogSink(LogSink sink);
 
 namespace detail {
 class LogLine {

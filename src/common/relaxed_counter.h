@@ -1,0 +1,53 @@
+// A copyable relaxed-atomic event counter.
+//
+// The stats structs scattered through the stack (DhtStats, NetStats,
+// PeerStats, decorator diagnostics) are written on every routed operation
+// and read by tests/benches after the fact. Under the concurrent execution
+// engine several client threads bump them at once; each increment is an
+// independent event with no ordering requirement against anything else, so
+// relaxed atomics are exactly right: the final totals are precise, and no
+// increment can tear or be lost.
+//
+// RelaxedCounter is deliberately copyable (snapshot semantics: copying
+// loads the current value) so the existing `stats()` accessors,
+// `*this = Stats{}` resets, and by-value snapshots keep compiling
+// unchanged. Reads convert implicitly to u64.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace lht::common {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter(u64 v = 0) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(u64 v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  RelaxedCounter& operator+=(u64 delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator-=(u64 delta) {
+    v_.fetch_sub(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() { return *this += 1; }
+
+  operator u64() const { return load(); }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] u64 load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> v_;
+};
+
+}  // namespace lht::common

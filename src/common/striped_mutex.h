@@ -1,0 +1,92 @@
+// Striped (per-shard) mutual exclusion for key-partitioned state.
+//
+// A StripedMutex owns a fixed array of mutexes; a key hash selects one
+// stripe, so operations on different shards proceed in parallel while
+// operations on the same shard serialize. This is the locking substrate
+// behind the shard-locked DHT backends (src/exec engine, DESIGN.md §10):
+// a routed op locks the stripe of its storing peer (or key shard), and
+// multi-shard protocols (replica pushes, snapshots) lock their stripe set
+// in ascending index order so lock acquisition is deadlock-free by
+// construction.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::common {
+
+class StripedMutex {
+ public:
+  /// `stripes` is rounded up to a power of two (mask selection).
+  explicit StripedMutex(size_t stripes = 64) {
+    size_t n = 1;
+    while (n < stripes) n <<= 1;
+    count_ = n;
+    mutexes_ = std::make_unique<std::mutex[]>(n);
+  }
+
+  StripedMutex(const StripedMutex&) = delete;
+  StripedMutex& operator=(const StripedMutex&) = delete;
+
+  [[nodiscard]] size_t stripeCount() const { return count_; }
+  [[nodiscard]] size_t stripeOf(u64 hash) const { return hash & (count_ - 1); }
+
+  /// Locks the stripe owning `hash` for the guard's lifetime.
+  [[nodiscard]] std::unique_lock<std::mutex> guard(u64 hash) const {
+    return std::unique_lock<std::mutex>(mutexes_[stripeOf(hash)]);
+  }
+
+  /// Locks the stripes of every hash in `hashes`, deduplicated and in
+  /// ascending stripe order (the global order that makes every MultiGuard
+  /// acquisition deadlock-free against every other).
+  class MultiGuard {
+   public:
+    MultiGuard(const StripedMutex& sm, const std::vector<u64>& hashes)
+        : sm_(sm) {
+      stripes_.reserve(hashes.size());
+      for (u64 h : hashes) stripes_.push_back(sm.stripeOf(h));
+      std::sort(stripes_.begin(), stripes_.end());
+      stripes_.erase(std::unique(stripes_.begin(), stripes_.end()),
+                     stripes_.end());
+      for (size_t s : stripes_) sm_.mutexes_[s].lock();
+    }
+    ~MultiGuard() {
+      for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+        sm_.mutexes_[*it].unlock();
+      }
+    }
+    MultiGuard(const MultiGuard&) = delete;
+    MultiGuard& operator=(const MultiGuard&) = delete;
+
+   private:
+    const StripedMutex& sm_;
+    std::vector<size_t> stripes_;
+  };
+
+  /// Locks every stripe (ascending order): whole-structure operations
+  /// (snapshots, invariant checks, replica rebuilds).
+  class AllGuard {
+   public:
+    explicit AllGuard(const StripedMutex& sm) : sm_(sm) {
+      for (size_t s = 0; s < sm_.count_; ++s) sm_.mutexes_[s].lock();
+    }
+    ~AllGuard() {
+      for (size_t s = sm_.count_; s-- > 0;) sm_.mutexes_[s].unlock();
+    }
+    AllGuard(const AllGuard&) = delete;
+    AllGuard& operator=(const AllGuard&) = delete;
+
+   private:
+    const StripedMutex& sm_;
+  };
+
+ private:
+  size_t count_ = 0;
+  mutable std::unique_ptr<std::mutex[]> mutexes_;
+};
+
+}  // namespace lht::common

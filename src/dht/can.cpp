@@ -68,10 +68,15 @@ CanDht::ZNode* CanDht::zoneAt(double x, double y) const {
 
 u64 CanDht::ownerAt(double x, double y) const { return zoneAt(x, y)->owner; }
 
-u64 CanDht::ownerOf(const Key& key) const {
+u64 CanDht::ownerOfUnlocked(const Key& key) const {
   double x, y;
   keyPoint(key, x, y);
   return ownerAt(x, y);
+}
+
+u64 CanDht::ownerOf(const Key& key) const {
+  std::shared_lock topo(topoMutex_);
+  return ownerOfUnlocked(key);
 }
 
 void CanDht::splitZone(ZNode* leaf, u64 newOwner, double px, double py) {
@@ -105,6 +110,7 @@ void CanDht::splitZone(ZNode* leaf, u64 newOwner, double px, double py) {
 }
 
 u64 CanDht::join(const std::string& name) {
+  std::unique_lock topo(topoMutex_);
   const u64 id = nextPeerId_++;
   PeerState st;
   st.netId = net_.addPeer(name);
@@ -158,6 +164,7 @@ CanDht::ZNode* CanDht::deepestLeafPair() const {
 }
 
 void CanDht::leave(u64 peerId) {
+  std::unique_lock topo(topoMutex_);
   common::checkInvariant(owners_.size() >= 2, "CanDht::leave: last peer");
   auto it = owners_.find(peerId);
   common::checkInvariant(it != owners_.end(), "CanDht::leave: unknown peer");
@@ -210,7 +217,13 @@ void CanDht::leave(u64 peerId) {
   rehomeAllKeys();
 }
 
+size_t CanDht::peerCount() const {
+  std::shared_lock topo(topoMutex_);
+  return owners_.size();
+}
+
 std::vector<u64> CanDht::peerIds() const {
+  std::shared_lock topo(topoMutex_);
   std::vector<u64> ids;
   ids.reserve(owners_.size());
   for (const auto& [id, st] : owners_) ids.push_back(id);
@@ -244,7 +257,7 @@ void CanDht::rehomeAllKeys() {
   for (auto& [id, st] : owners_) {
     std::vector<Key> out;
     for (const auto& [k, v] : st.store) {
-      if (ownerOf(k) != id) out.push_back(k);
+      if (ownerOfUnlocked(k) != id) out.push_back(k);
     }
     for (const auto& k : out) {
       auto nh = st.store.extract(k);
@@ -252,7 +265,7 @@ void CanDht::rehomeAllKeys() {
     }
   }
   for (auto& [k, v] : moving) {
-    peer(ownerOf(k)).store.emplace(k, std::move(v));
+    peer(ownerOfUnlocked(k)).store.emplace(k, std::move(v));
   }
 }
 
@@ -276,7 +289,12 @@ u64 CanDht::route(double x, double y, u64 requestBytes) {
   stats_.lookups += 1;
   auto it = owners_.begin();
   if (opts_.randomEntry && owners_.size() > 1) {
-    std::advance(it, rng_.below(static_cast<u32>(owners_.size())));
+    u32 skip;
+    {
+      std::lock_guard rngLock(rngMutex_);
+      skip = rng_.below(static_cast<u32>(owners_.size()));
+    }
+    std::advance(it, skip);
   }
   u64 cur = it->first;
   stats_.hops += 1;  // client -> entry peer
@@ -311,19 +329,23 @@ u64 CanDht::route(double x, double y, u64 requestBytes) {
 void CanDht::put(const Key& key, Value value) {
   RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
+  std::shared_lock topo(topoMutex_);
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size() + value.size());
   stats_.valueBytesMoved += value.size();
+  auto lock = storeLocks_.guard(owner);
   peer(owner).store[key] = std::move(value);
 }
 
 std::optional<Value> CanDht::get(const Key& key) {
   RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
+  std::shared_lock topo(topoMutex_);
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
+  auto lock = storeLocks_.guard(owner);
   const PeerState& st = peer(owner);
   auto it = st.store.find(key);
   if (it == st.store.end()) return std::nullopt;
@@ -334,18 +356,23 @@ std::optional<Value> CanDht::get(const Key& key) {
 bool CanDht::remove(const Key& key) {
   RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
+  std::shared_lock topo(topoMutex_);
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
+  auto lock = storeLocks_.guard(owner);
   return peer(owner).store.erase(key) > 0;
 }
 
 bool CanDht::apply(const Key& key, const Mutator& fn) {
   RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
+  std::shared_lock topo(topoMutex_);
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
+  // Mutator runs under the owner's stripe: atomic per key.
+  auto lock = storeLocks_.guard(owner);
   PeerState& st = peer(owner);
   auto it = st.store.find(key);
   const bool existed = it != st.store.end();
@@ -362,16 +389,23 @@ bool CanDht::apply(const Key& key, const Mutator& fn) {
 }
 
 void CanDht::storeDirect(const Key& key, Value value) {
-  peer(ownerOf(key)).store[key] = std::move(value);
+  std::shared_lock topo(topoMutex_);
+  const u64 owner = ownerOfUnlocked(key);
+  auto lock = storeLocks_.guard(owner);
+  peer(owner).store[key] = std::move(value);
 }
 
 size_t CanDht::size() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   size_t n = 0;
   for (const auto& [id, st] : owners_) n += st.store.size();
   return n;
 }
 
 bool CanDht::checkZones() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   std::vector<ZNode*> leaves;
   collectLeaves(root_.get(), leaves);
   if (leaves.size() != owners_.size()) return false;
@@ -390,7 +424,7 @@ bool CanDht::checkZones() const {
   // Keys sit with the owner of the zone containing their point.
   for (const auto& [id, st] : owners_) {
     for (const auto& [k, v] : st.store) {
-      if (ownerOf(k) != id) return false;
+      if (ownerOfUnlocked(k) != id) return false;
     }
     // Neighbor symmetry.
     for (u64 nb : st.neighbors) {

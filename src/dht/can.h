@@ -12,13 +12,18 @@
 // CAN's takeover rule — merge with the sibling zone if it is undivided,
 // otherwise the deepest sibling *pair* donates one peer to adopt the
 // vacated zone, so zones always remain rectangles of the partition tree.
+// Thread safety (DESIGN.md §10): shared mutex on the zone tree + peer map
+// (routed ops shared, join/leave exclusive), striped store locks keyed by
+// peer id, a small mutex around the entry-point rng.
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
 
@@ -53,7 +58,7 @@ class CanDht final : public Dht {
   /// Removes a peer via CAN's takeover rule. Requires >= 2 peers.
   void leave(common::u64 peerId);
 
-  [[nodiscard]] size_t peerCount() const { return owners_.size(); }
+  [[nodiscard]] size_t peerCount() const;
   [[nodiscard]] std::vector<common::u64> peerIds() const;
   [[nodiscard]] common::u64 ownerOf(const Key& key) const;
 
@@ -86,7 +91,10 @@ class CanDht final : public Dht {
     std::vector<common::u64> neighbors;  // owners of edge-adjacent zones
   };
 
+  // Private helpers assume topoMutex_ held; store accesses additionally
+  // need the owner's stripe (or the exclusive topology lock).
   static void keyPoint(const Key& key, double& x, double& y);
+  [[nodiscard]] common::u64 ownerOfUnlocked(const Key& key) const;
   [[nodiscard]] ZNode* zoneAt(double x, double y) const;
   [[nodiscard]] common::u64 ownerAt(double x, double y) const;
   void splitZone(ZNode* leaf, common::u64 newOwner, double px, double py);
@@ -106,6 +114,10 @@ class CanDht final : public Dht {
   std::unique_ptr<ZNode> root_;
   std::unordered_map<common::u64, PeerState> owners_;
   common::u64 nextPeerId_ = 1;
+
+  mutable std::shared_mutex topoMutex_;
+  mutable common::StripedMutex storeLocks_{64};
+  mutable std::mutex rngMutex_;
 };
 
 }  // namespace lht::dht

@@ -38,6 +38,7 @@ ChordDht::ChordDht(net::SimNetwork& network, Options options)
 }
 
 u64 ChordDht::join(const std::string& name) {
+  std::unique_lock topo(topoMutex_);
   const net::PeerId peer = net_.addPeer(name);
   u64 firstId = 0;
   for (size_t v = 0; v < opts_.virtualNodes; ++v) {
@@ -71,12 +72,19 @@ u64 ChordDht::join(const std::string& name) {
   return firstId;
 }
 
-void ChordDht::leave(u64 nodeId) { removePeer(nodeId, /*graceful=*/true); }
+void ChordDht::leave(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
+  removePeerLocked(nodeId, /*graceful=*/true);
+}
 
-void ChordDht::fail(u64 nodeId) { removePeer(nodeId, /*graceful=*/false); }
+void ChordDht::fail(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
+  removePeerLocked(nodeId, /*graceful=*/false);
+}
 
-void ChordDht::removePeer(u64 nodeId, bool graceful) {
-  common::checkInvariant(peerCount() >= 2, "ChordDht::removePeer: last peer");
+void ChordDht::removePeerLocked(u64 nodeId, bool graceful) {
+  common::checkInvariant(peerCountUnlocked() >= 2,
+                         "ChordDht::removePeer: last peer");
   const net::PeerId peer = nodeById(nodeId).peer;
 
   std::vector<u64> ids;
@@ -117,7 +125,7 @@ void ChordDht::removePeer(u64 nodeId, bool graceful) {
   rebuildReplicas();
 }
 
-size_t ChordDht::peerCount() const {
+size_t ChordDht::peerCountUnlocked() const {
   std::vector<net::PeerId> peers;
   for (const auto& [id, node] : nodes_) peers.push_back(node.peer);
   std::sort(peers.begin(), peers.end());
@@ -125,7 +133,13 @@ size_t ChordDht::peerCount() const {
   return peers.size();
 }
 
+size_t ChordDht::peerCount() const {
+  std::shared_lock topo(topoMutex_);
+  return peerCountUnlocked();
+}
+
 std::vector<u64> ChordDht::nodeIds() const {
+  std::shared_lock topo(topoMutex_);
   std::vector<u64> ids;
   ids.reserve(nodes_.size());
   for (const auto& [id, n] : nodes_) ids.push_back(id);
@@ -133,10 +147,15 @@ std::vector<u64> ChordDht::nodeIds() const {
 }
 
 u64 ChordDht::ownerOf(const Key& key) const {
+  std::shared_lock topo(topoMutex_);
   return ownerOfId(common::hash::xxhash64(key, 0));
 }
 
-size_t ChordDht::keysOn(u64 nodeId) const { return nodeById(nodeId).store.size(); }
+size_t ChordDht::keysOn(u64 nodeId) const {
+  std::shared_lock topo(topoMutex_);
+  auto lock = storeLocks_.guard(nodeId);
+  return nodeById(nodeId).store.size();
+}
 
 ChordDht::Node& ChordDht::nodeById(u64 id) {
   auto it = nodes_.find(id);
@@ -167,7 +186,7 @@ std::vector<u64> ChordDht::successorsOf(u64 id, size_t count) const {
   // owner's own virtual nodes would die with it.
   std::vector<u64> out;
   std::vector<net::PeerId> seen{nodeById(id).peer};
-  const size_t limit = std::min(count, peerCount() - 1);
+  const size_t limit = std::min(count, peerCountUnlocked() - 1);
   u64 cur = id;
   while (out.size() < limit) {
     cur = successorOf(cur);
@@ -180,6 +199,15 @@ std::vector<u64> ChordDht::successorsOf(u64 id, size_t count) const {
   return out;
 }
 
+std::vector<u64> ChordDht::writeSetOf(u64 ownerId) const {
+  std::vector<u64> set{ownerId};
+  if (opts_.replication > 1) {
+    for (u64 sid : successorsOf(ownerId, opts_.replication - 1))
+      set.push_back(sid);
+  }
+  return set;
+}
+
 void ChordDht::pushReplicas(const Node& owner, const Key& key, const Value& value) {
   if (opts_.replication <= 1) return;
   for (u64 sid : successorsOf(owner.id, opts_.replication - 1)) {
@@ -189,9 +217,14 @@ void ChordDht::pushReplicas(const Node& owner, const Key& key, const Value& valu
   }
 }
 
-void ChordDht::dropReplicas(const Key& key) {
+void ChordDht::dropReplicas(u64 ownerId, const Key& key) {
   if (opts_.replication <= 1) return;
-  for (auto& [id, node] : nodes_) node.replicas.erase(key);
+  // Between membership changes replicas live exactly on the owner's
+  // replica holders (rebuildReplicas restores that after every churn
+  // event), so the targeted erase is complete.
+  for (u64 sid : successorsOf(ownerId, opts_.replication - 1)) {
+    nodeById(sid).replicas.erase(key);
+  }
 }
 
 void ChordDht::rebuildReplicas() {
@@ -224,7 +257,12 @@ u64 ChordDht::route(u64 keyId, u64 requestBytes) {
   // Pick the entry peer (the querying client's gateway into the ring).
   auto it = nodes_.begin();
   if (opts_.randomEntry && nodes_.size() > 1) {
-    std::advance(it, rng_.below(static_cast<common::u32>(nodes_.size())));
+    common::u32 skip;
+    {
+      std::lock_guard rngLock(rngMutex_);
+      skip = rng_.below(static_cast<common::u32>(nodes_.size()));
+    }
+    std::advance(it, skip);
   }
   u64 cur = it->first;
   stats_.hops += 1;  // client -> entry peer
@@ -257,8 +295,10 @@ u64 ChordDht::route(u64 keyId, u64 requestBytes) {
 void ChordDht::put(const Key& key, Value value) {
   RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   accountValueBytes(value.size());
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
   node.store[key] = std::move(value);
   pushReplicas(node, key, node.store[key]);
@@ -267,7 +307,9 @@ void ChordDht::put(const Key& key, Value value) {
 std::optional<Value> ChordDht::get(const Key& key) {
   RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
   auto it = node.store.find(key);
   if (it == node.store.end()) return std::nullopt;
@@ -278,16 +320,22 @@ std::optional<Value> ChordDht::get(const Key& key) {
 bool ChordDht::remove(const Key& key) {
   RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   const bool existed = nodeById(owner).store.erase(key) > 0;
-  if (existed) dropReplicas(key);
+  if (existed) dropReplicas(owner, key);
   return existed;
 }
 
 bool ChordDht::apply(const Key& key, const Mutator& fn) {
   RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  // The mutator runs under the owner's stripe: apply() is atomic per key
+  // against every other routed op touching that node.
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
   auto it = node.store.find(key);
   const bool existed = it != node.store.end();
@@ -300,25 +348,31 @@ bool ChordDht::apply(const Key& key, const Mutator& fn) {
     pushReplicas(node, key, node.store[key]);
   } else if (existed) {
     node.store.erase(key);
-    dropReplicas(key);
+    dropReplicas(owner, key);
   }
   return existed;
 }
 
 void ChordDht::storeDirect(const Key& key, Value value) {
+  std::shared_lock topo(topoMutex_);
   u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
   node.store[key] = std::move(value);
   pushReplicas(node, key, node.store[key]);
 }
 
 size_t ChordDht::size() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   size_t n = 0;
   for (const auto& [id, node] : nodes_) n += node.store.size();
   return n;
 }
 
 bool ChordDht::checkRing() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   // Every stored key must sit on its owner.
   for (const auto& [id, node] : nodes_) {
     for (const auto& [k, v] : node.store) {
@@ -343,8 +397,10 @@ bool ChordDht::checkRing() const {
 }
 
 bool ChordDht::checkReplication() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   if (opts_.replication <= 1) return true;
-  const size_t copies = std::min(opts_.replication, peerCount()) - 1;
+  const size_t copies = std::min(opts_.replication, peerCountUnlocked()) - 1;
   size_t expectedReplicas = 0;
   size_t actualReplicas = 0;
   for (const auto& [id, node] : nodes_) {

@@ -7,13 +7,25 @@
 // O(log N) hops, every hop accounted on the SimNetwork. Joins and leaves
 // hand keys off to the new owner, so the stored state stays consistent
 // under churn.
+//
+// Thread safety (DESIGN.md §10): topology (the node map, fingers) is
+// guarded by a shared mutex — routed ops hold it shared for their whole
+// duration, membership changes hold it exclusive. Per-node key stores are
+// guarded by a striped mutex keyed by OWNER NODE ID (not raw key: one
+// node's unordered_map is a single object, so the stripe must cover the
+// whole node). Ops touching several nodes (replica pushes) take their
+// stripes via deadlock-free MultiGuard; membership changes need no stripe
+// locks because the exclusive topology lock already excludes every routed
+// op.
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
 
@@ -104,25 +116,35 @@ class ChordDht final : public Dht {
     std::unordered_map<Key, Value> replicas;  // copies held for predecessors
   };
 
+  // Every private helper below assumes topoMutex_ is held (shared suffices
+  // unless noted); helpers that read/write node stores additionally expect
+  // the caller to hold the relevant store stripes — or the exclusive
+  // topology lock, which subsumes them.
   Node& nodeById(common::u64 id);
   const Node& nodeById(common::u64 id) const;
   [[nodiscard]] common::u64 successorOf(common::u64 id) const;  // first id > given (wrap)
   [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
+  [[nodiscard]] size_t peerCountUnlocked() const;
   void rebuildFingers();
   /// Removes all ring nodes of the peer owning `nodeId`. Gracefully
   /// re-homes their primaries (leave) or drops them and recovers from
-  /// replicas (fail).
-  void removePeer(common::u64 nodeId, bool graceful);
+  /// replicas (fail). Requires the exclusive topology lock.
+  void removePeerLocked(common::u64 nodeId, bool graceful);
   /// The `count` ring nodes following `id` clockwise that belong to a
   /// *different peer* than `id` (replicas on one's own virtual nodes would
   /// not survive that peer's failure).
   [[nodiscard]] std::vector<common::u64> successorsOf(common::u64 id,
                                                       size_t count) const;
+  /// The stripe set a write to `key`'s owner must hold: the owner node
+  /// plus its replica holders.
+  [[nodiscard]] std::vector<common::u64> writeSetOf(common::u64 ownerId) const;
   /// Pushes fresh copies of (key, value) from its owner to the replica set.
   void pushReplicas(const Node& owner, const Key& key, const Value& value);
-  /// Drops `key`'s replicas everywhere (after a primary remove).
-  void dropReplicas(const Key& key);
+  /// Drops `key`'s replicas from its owner's replica holders (the only
+  /// nodes that can hold them between membership changes).
+  void dropReplicas(common::u64 ownerId, const Key& key);
   /// Recomputes every replica placement from the primaries (after churn).
+  /// Requires the exclusive topology lock.
   void rebuildReplicas();
   /// Routes from a (random or fixed) entry peer to the owner of keyId,
   /// accounting hops and messages. Returns the owner node id.
@@ -133,6 +155,13 @@ class ChordDht final : public Dht {
   Options opts_;
   common::Pcg32 rng_;
   std::map<common::u64, Node> nodes_;  // ordered by ring id
+
+  /// Routed ops shared, membership exclusive.
+  mutable std::shared_mutex topoMutex_;
+  /// Per-node store/replica maps, striped by owner node id.
+  mutable common::StripedMutex storeLocks_{64};
+  /// Entry-point randomness; Pcg32 is not concurrency-safe.
+  mutable std::mutex rngMutex_;
 };
 
 }  // namespace lht::dht

@@ -59,13 +59,17 @@ FlakyDht::FlakyDht(Dht& inner, double failProbability, common::u64 seed)
 }
 
 bool FlakyDht::shouldFail() {
-  if (rng_.nextDouble() < failProbability_) {
+  bool fail;
+  {
+    std::lock_guard<std::mutex> lock(rngMutex_);
+    fail = rng_.nextDouble() < failProbability_;
+  }
+  if (fail) {
     injected_ += 1;
     obs::count("fault.lost_request");
     obs::instantEvent("fault.lost_request", "fault");
-    return true;
   }
-  return false;
+  return fail;
 }
 
 void FlakyDht::maybeFail(const char* op) {
@@ -156,13 +160,17 @@ LostReplyDht::LostReplyDht(Dht& inner, double lossProbability, common::u64 seed)
 }
 
 bool LostReplyDht::shouldDrop() {
-  if (rng_.nextDouble() < lossProbability_) {
+  bool drop;
+  {
+    std::lock_guard<std::mutex> lock(rngMutex_);
+    drop = rng_.nextDouble() < lossProbability_;
+  }
+  if (drop) {
     injected_ += 1;
     obs::count("fault.lost_reply");
     obs::instantEvent("fault.lost_reply", "fault");
-    return true;
   }
-  return false;
+  return drop;
 }
 
 void LostReplyDht::maybeDropReply(const char* op) {
@@ -236,6 +244,7 @@ LatencyDht::LatencyDht(Dht& inner, net::SimClock& clock, Options options)
 void LatencyDht::charge() {
   common::u64 ms = opts_.baseMs;
   if (opts_.jitterMs > 0) {
+    std::lock_guard<std::mutex> lock(rngMutex_);
     ms += rng_.below(static_cast<common::u32>(
         std::min<common::u64>(opts_.jitterMs, 0xFFFFFFFEull) + 1));
   }
@@ -416,7 +425,10 @@ auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
   for (size_t attempt = 1;; ++attempt) {
     obs::count(attemptCounterName(op));
     try {
-      auto done = [&] { histogram_[std::min(attempt, kHistogramBins) - 1] += 1; };
+      auto done = [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
+      };
       if constexpr (std::is_void_v<decltype(f())>) {
         f();
         done();
@@ -427,9 +439,12 @@ auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
         return r;
       }
     } catch (const DhtError& e) {
-      lastError_ = e.what();
       if (attempt >= opts_.maxAttempts) {
-        exhausted_ += 1;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          lastError_ = e.what();
+          exhausted_ += 1;
+        }
         obs::count("dht.retries_exhausted");
         obs::instantEvent("dht.retries_exhausted", "dht",
                           {obs::arg("op", dhtOpName(op)),
@@ -439,14 +454,19 @@ auto RetryingDht::withRetries(DhtOp op, F&& f) -> decltype(f()) {
                 std::to_string(attempt) + " attempts (last: " + e.what() + ")",
             dhtOpName(op), attempt, e.what());
       }
-      retries_ += 1;
-      retriesPerOp_[static_cast<size_t>(op)] += 1;
+      common::u64 wait;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lastError_ = e.what();
+        retries_ += 1;
+        retriesPerOp_[static_cast<size_t>(op)] += 1;
+        wait = backoffDelayMs(attempt);
+        backoffWaitedMs_ += wait;
+      }
       obs::count("dht.retries");
       obs::instantEvent("dht.retry", "dht",
                         {obs::arg("op", dhtOpName(op)),
                          obs::arg("attempt", static_cast<common::u64>(attempt))});
-      const common::u64 wait = backoffDelayMs(attempt);
-      backoffWaitedMs_ += wait;
       if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
     }
   }
@@ -486,36 +506,40 @@ std::vector<GetOutcome> RetryingDht::multiGet(const std::vector<Key>& keys) {
     obs::count(attemptCounterName(DhtOp::Get), sub.size());
     auto round = inner_.multiGet(sub);
     std::vector<size_t> still;
-    for (size_t j = 0; j < pending.size(); ++j) {
-      const size_t idx = pending[j];
-      if (round[j].ok) {
-        histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
-        out[idx] = std::move(round[j]);
-        continue;
+    common::u64 wait = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t j = 0; j < pending.size(); ++j) {
+        const size_t idx = pending[j];
+        if (round[j].ok) {
+          histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
+          out[idx] = std::move(round[j]);
+          continue;
+        }
+        lastError_ = round[j].error;
+        if (attempt >= opts_.maxAttempts) {
+          // Per-entry exhaustion: unlike the single-op path, the rest of
+          // the batch still lands, so report instead of throwing.
+          exhausted_ += 1;
+          obs::count("dht.retries_exhausted");
+          out[idx].ok = false;
+          out[idx].error = "RetryingDht: get failed after " +
+                           std::to_string(attempt) +
+                           " attempts (last: " + round[j].error + ")";
+          continue;
+        }
+        retries_ += 1;
+        retriesPerOp_[static_cast<size_t>(DhtOp::Get)] += 1;
+        obs::count("dht.retries");
+        still.push_back(idx);
       }
-      lastError_ = round[j].error;
-      if (attempt >= opts_.maxAttempts) {
-        // Per-entry exhaustion: unlike the single-op path, the rest of
-        // the batch still lands, so report instead of throwing.
-        exhausted_ += 1;
-        obs::count("dht.retries_exhausted");
-        out[idx].ok = false;
-        out[idx].error = "RetryingDht: get failed after " +
-                         std::to_string(attempt) +
-                         " attempts (last: " + round[j].error + ")";
-        continue;
+      pending = std::move(still);
+      if (!pending.empty()) {
+        wait = backoffDelayMs(attempt);
+        backoffWaitedMs_ += wait;
       }
-      retries_ += 1;
-      retriesPerOp_[static_cast<size_t>(DhtOp::Get)] += 1;
-      obs::count("dht.retries");
-      still.push_back(idx);
     }
-    pending = std::move(still);
-    if (!pending.empty()) {
-      const common::u64 wait = backoffDelayMs(attempt);
-      backoffWaitedMs_ += wait;
-      if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
-    }
+    if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
   }
   return out;
 }
@@ -535,34 +559,38 @@ std::vector<ApplyOutcome> RetryingDht::multiApply(
     obs::count(attemptCounterName(DhtOp::Apply), sub.size());
     auto round = inner_.multiApply(sub);
     std::vector<size_t> still;
-    for (size_t j = 0; j < pending.size(); ++j) {
-      const size_t idx = pending[j];
-      if (round[j].ok) {
-        histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
-        out[idx] = std::move(round[j]);
-        continue;
+    common::u64 wait = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t j = 0; j < pending.size(); ++j) {
+        const size_t idx = pending[j];
+        if (round[j].ok) {
+          histogram_[std::min(attempt, kHistogramBins) - 1] += 1;
+          out[idx] = std::move(round[j]);
+          continue;
+        }
+        lastError_ = round[j].error;
+        if (attempt >= opts_.maxAttempts) {
+          exhausted_ += 1;
+          obs::count("dht.retries_exhausted");
+          out[idx].ok = false;
+          out[idx].error = "RetryingDht: apply failed after " +
+                           std::to_string(attempt) +
+                           " attempts (last: " + round[j].error + ")";
+          continue;
+        }
+        retries_ += 1;
+        retriesPerOp_[static_cast<size_t>(DhtOp::Apply)] += 1;
+        obs::count("dht.retries");
+        still.push_back(idx);
       }
-      lastError_ = round[j].error;
-      if (attempt >= opts_.maxAttempts) {
-        exhausted_ += 1;
-        obs::count("dht.retries_exhausted");
-        out[idx].ok = false;
-        out[idx].error = "RetryingDht: apply failed after " +
-                         std::to_string(attempt) +
-                         " attempts (last: " + round[j].error + ")";
-        continue;
+      pending = std::move(still);
+      if (!pending.empty()) {
+        wait = backoffDelayMs(attempt);
+        backoffWaitedMs_ += wait;
       }
-      retries_ += 1;
-      retriesPerOp_[static_cast<size_t>(DhtOp::Apply)] += 1;
-      obs::count("dht.retries");
-      still.push_back(idx);
     }
-    pending = std::move(still);
-    if (!pending.empty()) {
-      const common::u64 wait = backoffDelayMs(attempt);
-      backoffWaitedMs_ += wait;
-      if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
-    }
+    if (opts_.clock != nullptr && wait > 0) opts_.clock->advance(wait);
   }
   return out;
 }
@@ -579,11 +607,13 @@ CircuitBreakerDht::CircuitBreakerDht(Dht& inner, net::SimClock& clock,
 }
 
 void CircuitBreakerDht::onSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
   consecutiveFailures_ = 0;
   state_ = State::Closed;
 }
 
 void CircuitBreakerDht::onFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == State::HalfOpen) {
     // The probe failed: straight back to open, cooldown restarts.
     state_ = State::Open;
@@ -602,18 +632,22 @@ void CircuitBreakerDht::onFailure() {
   }
 }
 
+void CircuitBreakerDht::admit(const char* op, size_t rejectedOps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::Open) return;
+  if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
+    fastFailures_ += rejectedOps;
+    obs::count("breaker.fast_fail", rejectedOps);
+    throw DhtCircuitOpenError(std::string("CircuitBreakerDht: ") + op +
+                              " rejected (circuit open)");
+  }
+  state_ = State::HalfOpen;  // cooldown elapsed: allow a probe through
+  obs::instantEvent("breaker.half_open", "breaker");
+}
+
 template <typename F>
 auto CircuitBreakerDht::guarded(const char* op, F&& f) -> decltype(f()) {
-  if (state_ == State::Open) {
-    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
-      fastFailures_ += 1;
-      obs::count("breaker.fast_fail");
-      throw DhtCircuitOpenError(std::string("CircuitBreakerDht: ") + op +
-                                " rejected (circuit open)");
-    }
-    state_ = State::HalfOpen;  // cooldown elapsed: allow one probe through
-    obs::instantEvent("breaker.half_open", "breaker");
-  }
+  admit(op, 1);
   try {
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
@@ -655,17 +689,12 @@ std::vector<GetOutcome> CircuitBreakerDht::multiGet(
   std::vector<GetOutcome> out;
   if (keys.empty()) return out;
   stats_.batchRounds += 1;
-  if (state_ == State::Open) {
-    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
-      fastFailures_ += keys.size();
-      obs::count("breaker.fast_fail", keys.size());
-      out.resize(keys.size());
-      for (auto& o : out) {
-        o.error = "CircuitBreakerDht: get rejected (circuit open)";
-      }
-      return out;
-    }
-    state_ = State::HalfOpen;  // cooldown elapsed: allow one probe round
+  try {
+    admit("get", keys.size());
+  } catch (const DhtCircuitOpenError& e) {
+    out.resize(keys.size());
+    for (auto& o : out) o.error = e.what();
+    return out;
   }
   out = inner_.multiGet(keys);
   bool allOk = true;
@@ -683,17 +712,12 @@ std::vector<ApplyOutcome> CircuitBreakerDht::multiApply(
   std::vector<ApplyOutcome> out;
   if (reqs.empty()) return out;
   stats_.batchRounds += 1;
-  if (state_ == State::Open) {
-    if (clock_.nowMs() - openedAtMs_ < opts_.cooldownMs) {
-      fastFailures_ += reqs.size();
-      obs::count("breaker.fast_fail", reqs.size());
-      out.resize(reqs.size());
-      for (auto& o : out) {
-        o.error = "CircuitBreakerDht: apply rejected (circuit open)";
-      }
-      return out;
-    }
-    state_ = State::HalfOpen;
+  try {
+    admit("apply", reqs.size());
+  } catch (const DhtCircuitOpenError& e) {
+    out.resize(reqs.size());
+    for (auto& o : out) o.error = e.what();
+    return out;
   }
   out = inner_.multiApply(reqs);
   bool allOk = true;
@@ -713,6 +737,7 @@ std::vector<ApplyOutcome> CircuitBreakerDht::multiApply(
 CrashDht::CrashDht(Dht& inner) : inner_(inner) {}
 
 void CrashDht::armAfterWrites(size_t allowedWrites) {
+  std::lock_guard<std::mutex> lock(mutex_);
   armed_ = true;
   crashed_ = false;
   allowedWrites_ = allowedWrites;
@@ -720,16 +745,19 @@ void CrashDht::armAfterWrites(size_t allowedWrites) {
 }
 
 void CrashDht::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
   armed_ = false;
   crashed_ = false;
   writesCompleted_ = 0;
 }
 
 void CrashDht::beforeRead() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (crashed_) throw CrashError("CrashDht: client is down");
 }
 
 void CrashDht::beforeWrite() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (crashed_) throw CrashError("CrashDht: client is down");
   if (armed_ && writesCompleted_ >= allowedWrites_) {
     crashed_ = true;
@@ -741,10 +769,15 @@ void CrashDht::beforeWrite() {
   }
 }
 
+void CrashDht::noteWriteCompleted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writesCompleted_ += 1;
+}
+
 void CrashDht::put(const Key& key, Value value) {
   beforeWrite();
   inner_.put(key, std::move(value));
-  writesCompleted_ += 1;
+  noteWriteCompleted();
 }
 
 std::optional<Value> CrashDht::get(const Key& key) {
@@ -755,14 +788,14 @@ std::optional<Value> CrashDht::get(const Key& key) {
 bool CrashDht::remove(const Key& key) {
   beforeWrite();
   const bool existed = inner_.remove(key);
-  writesCompleted_ += 1;
+  noteWriteCompleted();
   return existed;
 }
 
 bool CrashDht::apply(const Key& key, const Mutator& fn) {
   beforeWrite();
   const bool existed = inner_.apply(key, fn);
-  writesCompleted_ += 1;
+  noteWriteCompleted();
   return existed;
 }
 
@@ -780,19 +813,23 @@ std::vector<GetOutcome> CrashDht::multiGet(const std::vector<Key>& keys) {
 std::vector<ApplyOutcome> CrashDht::multiApply(
     const std::vector<ApplyRequest>& reqs) {
   if (reqs.empty()) return {};
-  if (crashed_) throw CrashError("CrashDht: client is down");
-  stats_.batchRounds += 1;
   size_t allowed = reqs.size();
-  if (armed_) {
-    const size_t budget =
-        allowedWrites_ > writesCompleted_ ? allowedWrites_ - writesCompleted_ : 0;
-    allowed = std::min(allowed, budget);
-  }
-  std::vector<ApplyOutcome> out;
-  if (allowed == reqs.size()) {
-    out = inner_.multiApply(reqs);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_) throw CrashError("CrashDht: client is down");
+    if (armed_) {
+      const size_t budget = allowedWrites_ > writesCompleted_
+                                ? allowedWrites_ - writesCompleted_
+                                : 0;
+      allowed = std::min(allowed, budget);
+    }
+    // Reserve the budget before the inner round runs (lock is not held
+    // across it); a concurrent batch sees the budget already consumed.
     writesCompleted_ += allowed;
-    return out;
+  }
+  stats_.batchRounds += 1;
+  if (allowed == reqs.size()) {
+    return inner_.multiApply(reqs);
   }
   // The crash strikes mid-round: the allowed prefix is already in flight
   // and executes; the client dies before observing any outcome.
@@ -800,14 +837,18 @@ std::vector<ApplyOutcome> CrashDht::multiApply(
     std::vector<ApplyRequest> prefix(reqs.begin(),
                                      reqs.begin() + static_cast<long>(allowed));
     inner_.multiApply(prefix);
-    writesCompleted_ += allowed;
   }
-  crashed_ = true;
+  size_t completed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    crashed_ = true;
+    completed = writesCompleted_;
+  }
   obs::count("fault.crash");
   obs::instantEvent("fault.crash", "fault",
-                    {obs::arg("writes_completed", writesCompleted_)});
+                    {obs::arg("writes_completed", completed)});
   throw CrashError("CrashDht: client crashed after " +
-                   std::to_string(writesCompleted_) + " writes (mid-batch)");
+                   std::to_string(completed) + " writes (mid-batch)");
 }
 
 }  // namespace lht::dht

@@ -34,13 +34,22 @@
 //
 // Stack them: RetryingDht over CircuitBreakerDht over TimeoutDht over
 // LatencyDht over LostReplyDht over a real substrate.
+//
+// Thread safety (DESIGN.md §10): every decorator is re-entrant — inner
+// calls run outside any decorator lock; only the small mutable islands
+// (rng draws, diagnostics, breaker/crash state machines) are mutex-
+// guarded, and event counters are relaxed atomics. Diagnostic accessors
+// that return references (lastError, attemptHistogram) are exact only
+// once concurrent callers have quiesced (e.g. after a fleet join).
 #pragma once
 
 #include <array>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/relaxed_counter.h"
 #include "dht/dht.h"
 #include "net/sim_clock.h"
 
@@ -85,7 +94,8 @@ class FlakyDht final : public Dht {
   Dht& inner_;
   double failProbability_;
   common::Pcg32 rng_;
-  size_t injected_ = 0;
+  mutable std::mutex rngMutex_;
+  common::RelaxedCounter injected_;
 };
 
 class LostReplyDht final : public Dht {
@@ -120,7 +130,8 @@ class LostReplyDht final : public Dht {
   Dht& inner_;
   double lossProbability_;
   common::Pcg32 rng_;
-  size_t injected_ = 0;
+  mutable std::mutex rngMutex_;
+  common::RelaxedCounter injected_;
 };
 
 class LatencyDht final : public Dht {
@@ -158,7 +169,8 @@ class LatencyDht final : public Dht {
   net::SimClock& clock_;
   Options opts_;
   common::Pcg32 rng_;
-  common::u64 injectedMs_ = 0;
+  mutable std::mutex rngMutex_;
+  common::RelaxedCounter injectedMs_;
 };
 
 class TimeoutDht final : public Dht {
@@ -191,7 +203,7 @@ class TimeoutDht final : public Dht {
   Dht& inner_;
   net::SimClock& clock_;
   common::u64 deadlineMs_;
-  size_t timeouts_ = 0;
+  common::RelaxedCounter timeouts_;
 };
 
 class RetryingDht final : public Dht {
@@ -255,11 +267,15 @@ class RetryingDht final : public Dht {
  private:
   template <typename F>
   auto withRetries(DhtOp op, F&& f) -> decltype(f());
+  /// Caller must hold mutex_ (rng draw).
   common::u64 backoffDelayMs(size_t attempt);
 
   Dht& inner_;
   Options opts_;
   common::Pcg32 rng_;
+  /// Guards rng_ and all diagnostics below. Inner DHT calls never run
+  /// under it, so the decorator is re-entrant.
+  mutable std::mutex mutex_;
   size_t retries_ = 0;
   std::array<size_t, kDhtOpCount> retriesPerOp_{};
   std::array<common::u64, kHistogramBins> histogram_{};
@@ -295,7 +311,10 @@ class CircuitBreakerDht final : public Dht {
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
 
-  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
   /// Times the breaker tripped open.
   [[nodiscard]] size_t timesOpened() const { return timesOpened_; }
   /// Operations rejected without touching the inner DHT.
@@ -306,15 +325,23 @@ class CircuitBreakerDht final : public Dht {
   auto guarded(const char* op, F&& f) -> decltype(f());
   void onSuccess();
   void onFailure();
+  /// Admission decision under mutex_: throws when open and cooling down,
+  /// moves Open -> HalfOpen when the cooldown elapsed. Under concurrency
+  /// several probes may pass the half-open gate together; the state
+  /// machine stays consistent (first completion decides), it is only the
+  /// single-probe property that is relaxed.
+  void admit(const char* op, size_t rejectedOps);
 
   Dht& inner_;
   net::SimClock& clock_;
   Options opts_;
+  /// Guards the state machine; never held across inner DHT calls.
+  mutable std::mutex mutex_;
   State state_ = State::Closed;
   size_t consecutiveFailures_ = 0;
   common::u64 openedAtMs_ = 0;
-  size_t timesOpened_ = 0;
-  size_t fastFailures_ = 0;
+  common::RelaxedCounter timesOpened_;
+  common::RelaxedCounter fastFailures_;
 };
 
 class CrashDht final : public Dht {
@@ -328,11 +355,20 @@ class CrashDht final : public Dht {
   void armAfterWrites(size_t allowedWrites);
   void disarm();
 
-  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] bool crashed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return crashed_;
+  }
   /// Writes completed since the last arm/disarm (counts while disarmed
   /// too, so callers can measure a protocol's write footprint).
-  [[nodiscard]] size_t writesCompleted() const { return writesCompleted_; }
-  void resetWriteCount() { writesCompleted_ = 0; }
+  [[nodiscard]] size_t writesCompleted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writesCompleted_;
+  }
+  void resetWriteCount() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    writesCompleted_ = 0;
+  }
 
   void put(const Key& key, Value value) override;
   std::optional<Value> get(const Key& key) override;
@@ -352,8 +388,13 @@ class CrashDht final : public Dht {
  private:
   void beforeWrite();
   void beforeRead();
+  void noteWriteCompleted();
 
   Dht& inner_;
+  /// Guards the crash state machine; never held across inner DHT calls,
+  /// so the budget counts exactly the writes that completed (a write in
+  /// flight when the budget empties is not retroactively crashed).
+  mutable std::mutex mutex_;
   bool armed_ = false;
   bool crashed_ = false;
   size_t allowedWrites_ = 0;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "common/types.h"
 #include "obs/obs.h"
 
@@ -75,16 +76,18 @@ using Key = std::string;
 /// Values are opaque byte strings; the index layers own the serialization.
 using Value = std::string;
 
-/// Cumulative substrate counters.
+/// Cumulative substrate counters. Relaxed atomics: concurrent clients bump
+/// them without tearing and totals are exact once the fleet has joined;
+/// cross-field reads taken mid-run are statistical snapshots.
 struct DhtStats {
-  u64 lookups = 0;      ///< routed operations: the paper's "DHT-lookup" unit
-  u64 hops = 0;         ///< total overlay routing hops behind those lookups
-  u64 gets = 0;         ///< lookups that were gets
-  u64 puts = 0;         ///< lookups that were puts
-  u64 applies = 0;      ///< lookups that were read-modify-writes
-  u64 removes = 0;      ///< lookups that were removes
-  u64 valueBytesMoved = 0;  ///< payload bytes shipped to/from storing peers
-  u64 batchRounds = 0;      ///< multiGet/multiApply rounds issued
+  common::RelaxedCounter lookups;   ///< routed ops: the paper's "DHT-lookup"
+  common::RelaxedCounter hops;      ///< overlay routing hops behind those
+  common::RelaxedCounter gets;      ///< lookups that were gets
+  common::RelaxedCounter puts;      ///< lookups that were puts
+  common::RelaxedCounter applies;   ///< lookups that were read-modify-writes
+  common::RelaxedCounter removes;   ///< lookups that were removes
+  common::RelaxedCounter valueBytesMoved;  ///< payload bytes to/from peers
+  common::RelaxedCounter batchRounds;      ///< multiGet/multiApply rounds
   void reset() { *this = DhtStats{}; }
 };
 

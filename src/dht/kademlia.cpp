@@ -26,6 +26,7 @@ KademliaDht::KademliaDht(net::SimNetwork& network, Options options)
 }
 
 u64 KademliaDht::join(const std::string& name) {
+  std::unique_lock topo(topoMutex_);
   u64 id = common::hash::xxhash64(name, opts_.seed ^ 0x6b61646cull);
   while (nodes_.count(id) != 0) id = common::hash::splitmix64(id);
   Node node;
@@ -38,6 +39,7 @@ u64 KademliaDht::join(const std::string& name) {
 }
 
 void KademliaDht::leave(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
   common::checkInvariant(nodes_.size() >= 2, "KademliaDht::leave: last peer");
   auto it = nodes_.find(nodeId);
   common::checkInvariant(it != nodes_.end(), "KademliaDht::leave: unknown node");
@@ -56,6 +58,7 @@ void KademliaDht::leave(u64 nodeId) {
 }
 
 std::vector<u64> KademliaDht::nodeIds() const {
+  std::shared_lock topo(topoMutex_);
   std::vector<u64> ids;
   ids.reserve(nodes_.size());
   for (const auto& [id, n] : nodes_) ids.push_back(id);
@@ -63,6 +66,7 @@ std::vector<u64> KademliaDht::nodeIds() const {
 }
 
 u64 KademliaDht::ownerOf(const Key& key) const {
+  std::shared_lock topo(topoMutex_);
   return ownerOfId(common::hash::xxhash64(key, 0));
 }
 
@@ -131,7 +135,12 @@ u64 KademliaDht::route(u64 keyId, u64 requestBytes) {
   stats_.lookups += 1;
   auto it = nodes_.begin();
   if (opts_.randomEntry && nodes_.size() > 1) {
-    std::advance(it, rng_.below(static_cast<common::u32>(nodes_.size())));
+    common::u32 skip;
+    {
+      std::lock_guard rngLock(rngMutex_);
+      skip = rng_.below(static_cast<common::u32>(nodes_.size()));
+    }
+    std::advance(it, skip);
   }
   u64 cur = it->first;
   stats_.hops += 1;  // client -> entry peer
@@ -164,15 +173,19 @@ u64 KademliaDht::route(u64 keyId, u64 requestBytes) {
 void KademliaDht::put(const Key& key, Value value) {
   RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
+  auto lock = storeLocks_.guard(owner);
   nodeById(owner).store[key] = std::move(value);
 }
 
 std::optional<Value> KademliaDht::get(const Key& key) {
   RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
   auto it = node.store.find(key);
   if (it == node.store.end()) return std::nullopt;
@@ -183,14 +196,19 @@ std::optional<Value> KademliaDht::get(const Key& key) {
 bool KademliaDht::remove(const Key& key) {
   RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  auto lock = storeLocks_.guard(owner);
   return nodeById(owner).store.erase(key) > 0;
 }
 
 bool KademliaDht::apply(const Key& key, const Mutator& fn) {
   RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  // Mutator runs under the owner's stripe: atomic per key.
+  auto lock = storeLocks_.guard(owner);
   Node& node = nodeById(owner);
   auto it = node.store.find(key);
   const bool existed = it != node.store.end();
@@ -207,16 +225,23 @@ bool KademliaDht::apply(const Key& key, const Mutator& fn) {
 }
 
 void KademliaDht::storeDirect(const Key& key, Value value) {
-  nodeById(ownerOfId(common::hash::xxhash64(key, 0))).store[key] = std::move(value);
+  std::shared_lock topo(topoMutex_);
+  const u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
+  auto lock = storeLocks_.guard(owner);
+  nodeById(owner).store[key] = std::move(value);
 }
 
 size_t KademliaDht::size() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   size_t n = 0;
   for (const auto& [id, node] : nodes_) n += node.store.size();
   return n;
 }
 
 bool KademliaDht::checkTables() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   for (const auto& [id, node] : nodes_) {
     for (const auto& [k, v] : node.store) {
       if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;

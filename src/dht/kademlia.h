@@ -8,13 +8,18 @@
 // join/leave (the simulator plays omniscient bootstrap server), which keeps
 // routing exact: greedy descent provably terminates at the XOR-closest peer
 // because a bucket is empty only when its whole subtree is empty.
+// Thread safety (DESIGN.md §10): shared mutex on topology (routed ops
+// shared, join/leave exclusive), striped store locks keyed by owner node
+// id, a small mutex around the entry-point rng.
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
 
@@ -66,6 +71,8 @@ class KademliaDht final : public Dht {
     std::unordered_map<Key, Value> store;
   };
 
+  // Private helpers assume topoMutex_ held; store accesses additionally
+  // need the owner's stripe (or the exclusive topology lock).
   Node& nodeById(common::u64 id);
   const Node& nodeById(common::u64 id) const;
   [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
@@ -77,6 +84,10 @@ class KademliaDht final : public Dht {
   Options opts_;
   common::Pcg32 rng_;
   std::map<common::u64, Node> nodes_;
+
+  mutable std::shared_mutex topoMutex_;
+  mutable common::StripedMutex storeLocks_{64};
+  mutable std::mutex rngMutex_;
 };
 
 }  // namespace lht::dht

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/codec.h"
 
@@ -17,7 +18,9 @@ void LocalDht::put(const Key& key, Value value) {
   stats_.puts += 1;
   stats_.hops += 1;
   stats_.valueBytesMoved += value.size();
-  store_[key] = std::move(value);
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  s.store[key] = std::move(value);
 }
 
 std::optional<Value> LocalDht::get(const Key& key) {
@@ -25,8 +28,10 @@ std::optional<Value> LocalDht::get(const Key& key) {
   stats_.lookups += 1;
   stats_.gets += 1;
   stats_.hops += 1;
-  auto it = store_.find(key);
-  if (it == store_.end()) return std::nullopt;
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  auto it = s.store.find(key);
+  if (it == s.store.end()) return std::nullopt;
   stats_.valueBytesMoved += it->second.size();
   return it->second;
 }
@@ -36,7 +41,9 @@ bool LocalDht::remove(const Key& key) {
   stats_.lookups += 1;
   stats_.removes += 1;
   stats_.hops += 1;
-  return store_.erase(key) > 0;
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  return s.store.erase(key) > 0;
 }
 
 bool LocalDht::apply(const Key& key, const Mutator& fn) {
@@ -44,30 +51,51 @@ bool LocalDht::apply(const Key& key, const Mutator& fn) {
   stats_.lookups += 1;
   stats_.applies += 1;
   stats_.hops += 1;
-  auto it = store_.find(key);
-  const bool existed = it != store_.end();
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  auto it = s.store.find(key);
+  const bool existed = it != s.store.end();
   std::optional<Value> v;
   if (existed) v = std::move(it->second);
   fn(v);
   if (v.has_value()) {
-    store_[key] = std::move(*v);
+    s.store[key] = std::move(*v);
   } else if (existed) {
-    store_.erase(key);
+    s.store.erase(key);
   }
   return existed;
 }
 
 void LocalDht::storeDirect(const Key& key, Value value) {
-  store_[key] = std::move(value);
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  s.store[key] = std::move(value);
+}
+
+size_t LocalDht::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s.mutex);
+    total += s.store.size();
+  }
+  return total;
 }
 
 bool LocalDht::saveSnapshot(const std::string& path) const {
+  // Lock every shard for the duration so the snapshot is a consistent cut.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (const auto& s : shards_) locks.emplace_back(s.mutex);
   common::Encoder enc;
   enc.putU32(kSnapshotMagic);
-  enc.putU32(static_cast<common::u32>(store_.size()));
-  for (const auto& [k, v] : store_) {
-    enc.putString(k);
-    enc.putString(v);
+  common::u32 count = 0;
+  for (const auto& s : shards_) count += static_cast<common::u32>(s.store.size());
+  enc.putU32(count);
+  for (const auto& s : shards_) {
+    for (const auto& [k, v] : s.store) {
+      enc.putString(k);
+      enc.putString(v);
+    }
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
@@ -95,7 +123,14 @@ bool LocalDht::loadSnapshot(const std::string& path) {
     fresh.emplace(std::move(*k), std::move(*v));
   }
   if (!dec.atEnd()) return false;
-  store_ = std::move(fresh);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (auto& s : shards_) locks.emplace_back(s.mutex);
+  for (auto& s : shards_) s.store.clear();
+  for (auto& [k, v] : fresh) {
+    Shard& s = shardFor(k);
+    s.store.emplace(std::move(k), std::move(v));
+  }
   return true;
 }
 

@@ -1,11 +1,20 @@
-// Single-process DHT backend: one flat map, one logical peer.
+// Single-process DHT backend: sharded map, one logical peer.
 //
 // Functionally identical to any real substrate (same put/get contract and
 // lookup accounting, 1 hop per lookup), with no routing cost. Used by unit
 // tests and by benches whose metric is DHT-lookup counts — which the paper
 // notes are independent of network scale (their footnote 5).
+//
+// Thread safety (DESIGN.md §10): the store is split into kShards buckets,
+// each its own {mutex, map}. An op locks exactly the one shard its key
+// hashes to, so disjoint keys proceed in parallel and apply() stays atomic
+// per key (the mutator runs under the shard lock — the "executes at the
+// storing peer" contract). size() and snapshots lock all shards in index
+// order.
 #pragma once
 
+#include <array>
+#include <mutex>
 #include <unordered_map>
 
 #include "dht/dht.h"
@@ -19,7 +28,7 @@ class LocalDht final : public Dht {
   bool remove(const Key& key) override;
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
-  [[nodiscard]] size_t size() const override { return store_.size(); }
+  [[nodiscard]] size_t size() const override;
 
   /// Persists the whole store to `path` (versioned binary format); an
   /// index over a LocalDht can thus be snapshotted and reopened later.
@@ -31,7 +40,18 @@ class LocalDht final : public Dht {
   bool loadSnapshot(const std::string& path);
 
  private:
-  std::unordered_map<Key, Value> store_;
+  static constexpr size_t kShards = 64;  // power of two
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value> store;
+  };
+
+  Shard& shardFor(const Key& key) {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace lht::dht

@@ -49,6 +49,7 @@ PastryDht::PastryDht(net::SimNetwork& network, Options options)
 }
 
 u64 PastryDht::join(const std::string& name) {
+  std::unique_lock topo(topoMutex_);
   u64 id = common::hash::xxhash64(name, opts_.seed ^ 0x70617374ull);
   while (id == 0 || nodes_.count(id) != 0) id = common::hash::splitmix64(id);
   Node node;
@@ -61,6 +62,7 @@ u64 PastryDht::join(const std::string& name) {
 }
 
 void PastryDht::leave(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
   common::checkInvariant(nodes_.size() >= 2, "PastryDht::leave: last peer");
   auto it = nodes_.find(nodeId);
   common::checkInvariant(it != nodes_.end(), "PastryDht::leave: unknown node");
@@ -77,14 +79,20 @@ void PastryDht::leave(u64 nodeId) {
   rehomeAllKeys();
 }
 
-std::vector<u64> PastryDht::nodeIds() const {
+std::vector<u64> PastryDht::nodeIdsUnlocked() const {
   std::vector<u64> ids;
   ids.reserve(nodes_.size());
   for (const auto& [id, n] : nodes_) ids.push_back(id);
   return ids;
 }
 
+std::vector<u64> PastryDht::nodeIds() const {
+  std::shared_lock topo(topoMutex_);
+  return nodeIdsUnlocked();
+}
+
 u64 PastryDht::ownerOf(const Key& key) const {
+  std::shared_lock topo(topoMutex_);
   return ownerOfId(common::hash::xxhash64(key, 0));
 }
 
@@ -110,7 +118,7 @@ u64 PastryDht::ownerOfId(u64 keyId) const {
 
 void PastryDht::rebuildTables() {
   // Sorted ids for leaf-set construction.
-  std::vector<u64> ids = nodeIds();
+  std::vector<u64> ids = nodeIdsUnlocked();
   const size_t n = ids.size();
   const size_t half = std::min(opts_.leafSetHalf, n - 1);
 
@@ -166,7 +174,12 @@ u64 PastryDht::route(u64 keyId, u64 requestBytes) {
   stats_.lookups += 1;
   auto it = nodes_.begin();
   if (opts_.randomEntry && nodes_.size() > 1) {
-    std::advance(it, rng_.below(static_cast<u32>(nodes_.size())));
+    u32 skip;
+    {
+      std::lock_guard rngLock(rngMutex_);
+      skip = rng_.below(static_cast<u32>(nodes_.size()));
+    }
+    std::advance(it, skip);
   }
   u64 cur = it->first;
   stats_.hops += 1;  // client -> entry peer
@@ -231,15 +244,19 @@ u64 PastryDht::route(u64 keyId, u64 requestBytes) {
 void PastryDht::put(const Key& key, Value value) {
   RoutedOpScope scope(*this, "dht.put", key);
   stats_.puts += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
+  auto lock = storeLocks_.guard(owner);
   nodeById(owner).store[key] = std::move(value);
 }
 
 std::optional<Value> PastryDht::get(const Key& key) {
   RoutedOpScope scope(*this, "dht.get", key);
   stats_.gets += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
   auto it = node.store.find(key);
   if (it == node.store.end()) return std::nullopt;
@@ -250,14 +267,19 @@ std::optional<Value> PastryDht::get(const Key& key) {
 bool PastryDht::remove(const Key& key) {
   RoutedOpScope scope(*this, "dht.remove", key);
   stats_.removes += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  auto lock = storeLocks_.guard(owner);
   return nodeById(owner).store.erase(key) > 0;
 }
 
 bool PastryDht::apply(const Key& key, const Mutator& fn) {
   RoutedOpScope scope(*this, "dht.apply", key);
   stats_.applies += 1;
+  std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  // Mutator runs under the owner's stripe: atomic per key.
+  auto lock = storeLocks_.guard(owner);
   Node& node = nodeById(owner);
   auto it = node.store.find(key);
   const bool existed = it != node.store.end();
@@ -274,16 +296,23 @@ bool PastryDht::apply(const Key& key, const Mutator& fn) {
 }
 
 void PastryDht::storeDirect(const Key& key, Value value) {
-  nodeById(ownerOfId(common::hash::xxhash64(key, 0))).store[key] = std::move(value);
+  std::shared_lock topo(topoMutex_);
+  const u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
+  auto lock = storeLocks_.guard(owner);
+  nodeById(owner).store[key] = std::move(value);
 }
 
 size_t PastryDht::size() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   size_t n = 0;
   for (const auto& [id, node] : nodes_) n += node.store.size();
   return n;
 }
 
 bool PastryDht::checkTables() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
   for (const auto& [id, node] : nodes_) {
     for (const auto& [k, v] : node.store) {
       if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;

@@ -17,13 +17,18 @@
 // takes O(log_16 N) hops. When the required table entry's subtree is empty
 // (Pastry's "rare case"), the simulator hands the message directly to the
 // owner in one hop, standing in for Pastry's closest-known-node scan.
+// Thread safety (DESIGN.md §10): shared mutex on topology (routed ops
+// shared, join/leave exclusive), striped store locks keyed by owner node
+// id, a small mutex around the entry-point rng.
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
 
@@ -76,9 +81,12 @@ class PastryDht final : public Dht {
     std::unordered_map<Key, Value> store;
   };
 
+  // Private helpers assume topoMutex_ held; store accesses additionally
+  // need the owner's stripe (or the exclusive topology lock).
   Node& nodeById(common::u64 id);
   const Node& nodeById(common::u64 id) const;
   [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
+  [[nodiscard]] std::vector<common::u64> nodeIdsUnlocked() const;
   void rebuildTables();
   void rehomeAllKeys();
   common::u64 route(common::u64 keyId, u64 requestBytes);
@@ -87,6 +95,10 @@ class PastryDht final : public Dht {
   Options opts_;
   common::Pcg32 rng_;
   std::map<common::u64, Node> nodes_;
+
+  mutable std::shared_mutex topoMutex_;
+  mutable common::StripedMutex storeLocks_{64};
+  mutable std::mutex rngMutex_;
 };
 
 }  // namespace lht::dht

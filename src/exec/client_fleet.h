@@ -1,0 +1,135 @@
+// ClientFleet — drives a workload trace through N concurrent LHT clients
+// on a work-stealing pool (DESIGN.md §10).
+//
+// Each logical client owns the full per-client stack: a private SimClock,
+// a caller-built decorator chain over the shared substrate, an LhtIndex
+// handle (client 0 bootstraps the root leaf; the rest attach), a
+// MetricsRegistry/Tracer pair, and an op History. The trace is partitioned
+// round-robin across clients; each client executes its slice as a chain of
+// chunked, self-resubmitting pool tasks, so per-client op order is
+// preserved while different clients interleave freely across workers.
+//
+// Time: every chunk installs the client's SimClock as the thread's
+// ambient clock (net::ThreadClockScope), so decorator latency charges and
+// network RTTs advance only that client's simulated time. The fleet's
+// elapsed simulated time is the MAX over client clocks — the critical
+// path, the same rule ParallelRound applies to batched fan-out. Open-loop
+// arrival paces each client by advancing its clock to the op's due time.
+//
+// Observability: per-chunk ScopedObservability routes all ambient metrics
+// and spans to the client's private registry/tracer; at join the fleet
+// merges every client's pair into one global registry and tracer
+// (counters add, histograms merge bucket-wise, span ids are remapped).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/history.h"
+#include "exec/thread_pool.h"
+#include "lht/lht_index.h"
+#include "net/sim_clock.h"
+#include "obs/obs.h"
+#include "workload/trace.h"
+
+namespace lht::exec {
+
+/// The decorator chain a client talks through. `layers` own the chain
+/// (inner layers first); `top` is the Dht handed to the client's index —
+/// it may point into `layers` or directly at a shared substrate (then
+/// `layers` may be empty). The fleet keeps the stack alive for the run.
+struct ClientStack {
+  std::vector<std::unique_ptr<dht::Dht>> layers;
+  dht::Dht* top = nullptr;
+};
+
+/// Builds client `index`'s stack over the shared substrate. Runs on the
+/// construction thread (not a pool worker), in client order. The clock is
+/// the client's private SimClock — wire it into latency/retry decorators.
+using StackFactory =
+    std::function<ClientStack(size_t index, net::SimClock& clock)>;
+
+struct FleetOptions {
+  size_t clients = 2;
+  /// Ops executed per scheduled task before resubmitting (the quantum of
+  /// interleaving between clients on a worker).
+  size_t chunkSize = 32;
+  /// > 0: open-loop arrival — client op k becomes due at k*interarrival
+  /// on the client's clock (the clock is advanced to the due time before
+  /// the op). 0: closed loop, ops back-to-back.
+  common::u64 openLoopInterarrivalMs = 0;
+  /// Base index options; the fleet overrides attachExisting (true for
+  /// clients > 0) and clientSeed (base + index) per client. Concurrent
+  /// fleets with structural churn should set crashConsistentSplits.
+  core::LhtIndex::Options index;
+  common::u64 clientSeedBase = 1000;
+};
+
+struct FleetResult {
+  /// All clients' metrics merged (counters add, histograms bucket-wise).
+  obs::MetricsRegistry metrics;
+  /// All clients' spans on one timeline (ids remapped at merge).
+  obs::Tracer trace;
+  std::vector<History> histories;  ///< one per client, in client order
+  /// Max over client clocks — simulated critical path of the run.
+  common::u64 elapsedSimMs = 0;
+  double elapsedWallMs = 0.0;
+  size_t opsTotal = 0;
+  size_t opsFailed = 0;  ///< ops that threw a DhtError (recorded ok=false)
+  common::u64 steals = 0;
+};
+
+class ClientFleet {
+ public:
+  /// Eagerly constructs every client (stack, index, sinks) on the calling
+  /// thread in index order: client 0 bootstraps the root leaf before any
+  /// other client attaches.
+  ClientFleet(StackFactory factory, FleetOptions options);
+  ~ClientFleet();
+
+  ClientFleet(const ClientFleet&) = delete;
+  ClientFleet& operator=(const ClientFleet&) = delete;
+
+  /// Partitions `trace` round-robin over the clients and runs it to
+  /// completion on `pool`. DhtError-failures are recorded per-op
+  /// (ok=false) and do not abort the run; any non-DhtError propagates.
+  FleetResult run(const std::vector<workload::Operation>& trace,
+                  WorkStealingPool& pool);
+
+  [[nodiscard]] size_t clientCount() const { return clients_.size(); }
+  /// The client's index handle (e.g. for a post-run repairSweep / scan).
+  [[nodiscard]] core::LhtIndex& clientIndex(size_t i) {
+    return *clients_[i]->index;
+  }
+  [[nodiscard]] net::SimClock& clientClock(size_t i) {
+    return clients_[i]->clock;
+  }
+
+ private:
+  struct Client {
+    size_t id = 0;
+    net::SimClock clock;
+    ClientStack stack;
+    std::unique_ptr<core::LhtIndex> index;
+    obs::MetricsRegistry metrics;
+    obs::Tracer tracer;
+    History history{0};
+    std::vector<workload::Operation> ops;
+    size_t cursor = 0;
+  };
+
+  /// Executes up to chunkSize ops of client `c`, then resubmits itself
+  /// while ops remain. Installs the client's clock and sinks for the
+  /// chunk's duration.
+  void runChunk(Client& c, WorkStealingPool& pool);
+  /// Applies one operation to the client's index, appending to its
+  /// history. Returns whether the op failed with a DhtError.
+  bool runOp(Client& c, const workload::Operation& op);
+
+  FleetOptions opts_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace lht::exec

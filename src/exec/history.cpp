@@ -1,0 +1,23 @@
+#include "exec/history.h"
+
+#include <atomic>
+
+namespace lht::exec {
+
+std::vector<OpRecord> mergeHistories(const std::vector<History>& histories) {
+  std::vector<OpRecord> out;
+  size_t total = 0;
+  for (const auto& h : histories) total += h.size();
+  out.reserve(total);
+  for (const auto& h : histories) {
+    out.insert(out.end(), h.ops().begin(), h.ops().end());
+  }
+  return out;
+}
+
+common::u64 nextTick() {
+  static std::atomic<common::u64> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace lht::exec

@@ -163,6 +163,8 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
   // single restart completes at least one pending intent, and only a
   // bounded number of intents can exist on a root-to-leaf path, so the
   // restart budget is generous rather than load-bearing.
+  constexpr u32 kHoleRetries = 3;
+  u32 holeRetries = 0;
   for (u32 attempt = 0; attempt <= 2 * opts_.maxDepth + 2; ++attempt) {
     bool restart = false;
 
@@ -239,8 +241,15 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
       // The binary search fell into a hole — a leaf that should cover the
       // key is missing. If a half-finished split/merge is responsible, the
       // bucket holding its intent sits under one of the key's candidate
-      // prefix names; probe them all and retry.
-      if (repairProbe(key, out.stats)) continue;
+      // prefix names; probe them all and retry. Even when nothing needed
+      // repair the hole can be a concurrency artifact: the probes are not
+      // a snapshot, so a split completed by another client *between* two
+      // probes can make them collectively miss a leaf that every
+      // instantaneous state contained. A bounded number of re-searches
+      // separates that transient from a genuinely uncovered key.
+      if (repairProbe(key, out.stats) || holeRetries++ < kHoleRetries) {
+        continue;
+      }
     }
     break;
   }
@@ -510,7 +519,7 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   result.ok = true;
   result.stats = found.stats;
   chargeInsertion(found.stats.dhtLookups, 0);
-  const Interval preInterval = found.bucket->label.interval();
+  Interval preInterval = found.bucket->label.interval();
 
   // Ship the record to the bucket's peer (the paper's "DHT-put towards
   // kappa") and, when the leaf saturates, run Algorithm 1 right there: the
@@ -532,47 +541,73 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   std::optional<SplitIntent> pendingSplit;
   const u64 token = newToken();
   const u64 completionToken = newToken();
-  const bool existed = applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
-    checkInvariant(ob.has_value(), "LhtIndex::insert: bucket vanished");
-    LeafBucket& b = *ob;
-    bool changed = false;
-    // A lost reply makes a retry layer re-execute this mutator; the token
-    // check turns the re-execution into a no-op, and the outputs captured
-    // by the execution that actually applied stay valid. The staleness
-    // invariant only holds on the applying execution: once the first
-    // execution split the bucket, the staying child no longer needs to
-    // cover the key.
-    if (!b.hasApplied(token)) {
-      checkInvariant(b.covers(common::clampToUnit(record.key)),
-                     "LhtIndex::insert: stale bucket");
-      remotes.clear();
-      b.records.push_back(record);
-      b.markApplied(token);
-      b.epoch += 1;
-      // A bucket still carrying an intent defers its split to a later
-      // insert, mirroring the paper's one-split-per-insert deferral.
-      if (b.clean() && shouldSplit(b)) {
-        if (opts_.allowCascadingSplits) {
-          const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
-                                   opts_.maxDepth};
-          splitBucketRecursively(b, policy, remotes);
-        } else if (opts_.crashConsistentSplits) {
-          LeafBucket moved = splitBucket(b);
-          b.splitIntent = SplitIntent{moved.label, std::move(moved.records),
-                                      completionToken};
-        } else {
-          remotes.push_back(splitBucket(b));
-        }
+  // A concurrent client can split or merge the looked-up leaf between our
+  // lookup and our apply; the mutator then reports staleness (the stored
+  // bucket no longer covers the key, or vanished under a merge) instead
+  // of applying, and the insert re-resolves the leaf. Every retry sees a
+  // strictly newer state of that interval, so the depth budget bounds it.
+  for (u32 attempt = 0;; ++attempt) {
+    checkInvariant(attempt <= 2 * opts_.maxDepth + 2,
+                   "LhtIndex::insert: leaf kept moving under the apply");
+    bool stale = false;
+    const bool existed = applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
+      if (!ob.has_value()) {
+        stale = true;
+        return false;
       }
-      changed = true;
+      LeafBucket& b = *ob;
+      bool changed = false;
+      // A lost reply makes a retry layer re-execute this mutator; the token
+      // check turns the re-execution into a no-op, and the outputs captured
+      // by the execution that actually applied stay valid. The staleness
+      // check only runs on the applying execution: once the first
+      // execution split the bucket, the staying child no longer needs to
+      // cover the key.
+      if (!b.hasApplied(token)) {
+        if (!b.covers(common::clampToUnit(record.key))) {
+          stale = true;
+          return false;
+        }
+        remotes.clear();
+        b.records.push_back(record);
+        b.markApplied(token);
+        b.epoch += 1;
+        // A bucket still carrying an intent defers its split to a later
+        // insert, mirroring the paper's one-split-per-insert deferral.
+        if (b.clean() && shouldSplit(b)) {
+          if (opts_.allowCascadingSplits) {
+            const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
+                                     opts_.maxDepth};
+            splitBucketRecursively(b, policy, remotes);
+          } else if (opts_.crashConsistentSplits) {
+            LeafBucket moved = splitBucket(b);
+            b.splitIntent = SplitIntent{moved.label, std::move(moved.records),
+                                        completionToken};
+          } else {
+            remotes.push_back(splitBucket(b));
+          }
+        }
+        changed = true;
+      }
+      pendingSplit = b.splitIntent;
+      return changed;
+    });
+    result.stats.dhtLookups += 1;
+    result.stats.parallelSteps += 1;
+    if (existed && !stale) {
+      chargeInsertion(1, 1);
+      break;
     }
-    pendingSplit = b.splitIntent;
-    return changed;
-  });
-  checkInvariant(existed, "LhtIndex::insert: apply on missing bucket");
-  chargeInsertion(1, 1);
-  result.stats.dhtLookups += 1;
-  result.stats.parallelSteps += 1;
+    chargeInsertion(1, 0);
+    dropCached(preInterval);
+    found = lookupInternal(record.key);
+    if (!found.bucket) found = lookupLinearRef(record.key);
+    checkInvariant(found.bucket != nullptr,
+                   "LhtIndex::insert: tree does not cover the key (D too small?)");
+    chargeInsertion(found.stats.dhtLookups, 0);
+    result.stats += found.stats;
+    preInterval = found.bucket->label.interval();
+  }
   recordCount_ += 1;
 
   for (const LeafBucket& remote : remotes) {
@@ -853,26 +888,48 @@ index::UpdateResult LhtIndex::erase(double key) {
   size_t remainingEffective = 0;
   Label bucketLabel;
   const u64 token = newToken();
-  applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
-    checkInvariant(ob.has_value(), "LhtIndex::erase: bucket vanished");
-    LeafBucket& b = *ob;
-    // Token-guarded like insert: a lost-reply retry must neither remove
-    // twice (harmless here) nor clobber the outputs of the execution that
-    // actually removed the records.
-    if (b.hasApplied(token)) return false;
-    auto it = std::remove_if(b.records.begin(), b.records.end(),
-                             [&](const index::Record& r) { return r.key == key; });
-    removed = static_cast<size_t>(b.records.end() - it);
-    b.records.erase(it, b.records.end());
-    b.markApplied(token);
-    b.epoch += 1;
-    remainingEffective = b.effectiveSize(opts_.countLabelSlot);
-    bucketLabel = b.label;
-    return true;
-  });
-  chargeInsertion(1, 0);
-  result.stats.dhtLookups += 1;
-  result.stats.parallelSteps += 1;
+  // Same lookup-vs-apply race as insert: if a concurrent split/merge moved
+  // the leaf out from under us, re-resolve and retry instead of removing
+  // from (or reporting absence against) the wrong bucket.
+  for (u32 attempt = 0;; ++attempt) {
+    checkInvariant(attempt <= 2 * opts_.maxDepth + 2,
+                   "LhtIndex::erase: leaf kept moving under the apply");
+    bool stale = false;
+    const bool existed = applyBucket(found.dhtKey, [&](std::optional<LeafBucket>& ob) {
+      if (!ob.has_value()) {
+        stale = true;
+        return false;
+      }
+      LeafBucket& b = *ob;
+      // Token-guarded like insert: a lost-reply retry must neither remove
+      // twice (harmless here) nor clobber the outputs of the execution that
+      // actually removed the records.
+      if (b.hasApplied(token)) return false;
+      if (!b.covers(common::clampToUnit(key))) {
+        stale = true;
+        return false;
+      }
+      auto it = std::remove_if(b.records.begin(), b.records.end(),
+                               [&](const index::Record& r) { return r.key == key; });
+      removed = static_cast<size_t>(b.records.end() - it);
+      b.records.erase(it, b.records.end());
+      b.markApplied(token);
+      b.epoch += 1;
+      remainingEffective = b.effectiveSize(opts_.countLabelSlot);
+      bucketLabel = b.label;
+      return true;
+    });
+    chargeInsertion(1, 0);
+    result.stats.dhtLookups += 1;
+    result.stats.parallelSteps += 1;
+    if (existed && !stale) break;
+    dropCached(found.bucket->label.interval());
+    found = lookupInternal(key);
+    if (!found.bucket) found = lookupLinearRef(key);
+    checkInvariant(found.bucket != nullptr, "LhtIndex::erase: tree hole");
+    chargeInsertion(found.stats.dhtLookups, 0);
+    result.stats += found.stats;
+  }
   recordCount_ -= std::min(removed, recordCount_);
   result.ok = removed > 0;
 
@@ -977,6 +1034,14 @@ index::FindResult LhtIndex::find(double key) {
   checkInvariant(key >= 0.0 && key <= 1.0, "LhtIndex::find: key outside [0,1]");
   obs::SpanScope span("lht.find", "lht");
   auto found = lookupInternal(key);
+  if (!found.bucket) {
+    // Same defensive fallback as insert: a null bucket here would read as
+    // "key absent", which is an answer, not a shrug — so exhaust the
+    // linear walk before claiming it.
+    auto linear = lookupLinearRef(key);
+    linear.stats += found.stats;
+    found = std::move(linear);
+  }
   index::FindResult result;
   result.stats = found.stats;
   chargeQuery(found.stats.dhtLookups);
@@ -1074,21 +1139,39 @@ u64 LhtIndex::forwardRange(const LeafBucket& bucket, const Interval& range,
   }
   u64 steps = 0;
   for (const auto& t : forwardTargets(bucket, range)) {
+    BucketRef nb;
+    u64 hops = 0;
     if (t.covered) {
       // tau_i fully inside the range: one hop to its rightmost (resp.
-      // leftmost) leaf, which is the leaf named name(beta). Never fails.
-      auto nb = getBucketRef(dhtKeyFor(t.branch), st);
-      checkInvariant(nb != nullptr, "forwardRange: missing covered branch");
-      steps = std::max(steps, 1 + forwardRange(*nb, t.clip, out, st));
+      // leftmost) leaf, which is the leaf named name(beta). In a quiescent
+      // tree this never fails.
+      nb = getBucketRef(dhtKeyFor(t.branch), st);
+      hops = 1;
     } else {
       // beta_k: partially covered; enter at its boundary leaf.
-      BucketRef nb;
-      const u64 hops = fetchSubtreeEntry(t.branch, nb, st);
-      checkInvariant(nb != nullptr, "forwardRange: missing final branch");
-      steps = std::max(steps, hops + forwardRange(*nb, t.clip, out, st));
+      hops = fetchSubtreeEntry(t.branch, nb, st);
     }
+    if (!nb) {
+      // A concurrent split/merge relocated the branch's entry leaf between
+      // our read of `bucket` and this probe. Re-resolve through the
+      // repairing lookup (it finishes any half-done structural change in
+      // the way) and continue the sweep from whatever leaf covers the
+      // clip's lower bound; collection stays filtered by the clip, so
+      // nothing is double-counted.
+      nb = resolveRangeEntry(t.clip, hops, st);
+    }
+    steps = std::max(steps, hops + forwardRange(*nb, t.clip, out, st));
   }
   return steps;
+}
+
+LhtIndex::BucketRef LhtIndex::resolveRangeEntry(const Interval& clip,
+                                                u64& hops, cost::OpStats& st) {
+  auto found = lookupInternal(clip.lo);
+  checkInvariant(found.bucket != nullptr, "forwardRange: unresolvable branch");
+  st.dhtLookups += found.stats.dhtLookups;
+  hops += found.stats.parallelSteps;
+  return std::move(found.bucket);
 }
 
 void LhtIndex::expandBucket(const LeafBucket& bucket, const Interval& clip,
@@ -1125,8 +1208,15 @@ u64 LhtIndex::runFanoutRounds(std::vector<FanoutTask> frontier,
         throw dht::DhtError("LhtIndex: range fan-out entry failed: " + reply.error);
       }
       if (!reply.value.has_value()) {
-        checkInvariant(!t.covered, "forwardRange: missing covered branch");
-        checkInvariant(!t.retryUnderName, "forwardRange: missing final branch");
+        if (t.covered || t.retryUnderName) {
+          // A concurrent split/merge relocated this branch's entry leaf
+          // mid-fan-out; re-resolve through the repairing lookup and
+          // continue from the leaf covering the clip's lower bound.
+          u64 hops = 0;
+          auto nb = resolveRangeEntry(t.clip, hops, st);
+          expandBucket(*nb, t.clip, next, out, st);
+          continue;
+        }
         // The partial branch is itself a leaf (the paper's one failed
         // DHT-lookup): re-fetch it under name(branch) next round. The
         // extra round mirrors the sequential path's extra hop.
@@ -1197,14 +1287,16 @@ index::RangeResult LhtIndex::rangeQuery(double lo, double hi) {
     } else {
       u64 half = 0;
       BucketRef nb;
+      Interval clip = range.intersect({iv.lo, mid});
       u64 hops = fetchSubtreeEntry(lca.child(0), nb, result.stats);
-      checkInvariant(nb != nullptr, "rangeQuery: missing left half");
-      half = std::max(half, hops + forwardRange(*nb, range.intersect({iv.lo, mid}),
-                                                result.records, result.stats));
+      if (!nb) nb = resolveRangeEntry(clip, hops, result.stats);
+      half = std::max(half, hops + forwardRange(*nb, clip, result.records,
+                                                result.stats));
+      clip = range.intersect({mid, iv.hi});
       hops = fetchSubtreeEntry(lca.child(1), nb, result.stats);
-      checkInvariant(nb != nullptr, "rangeQuery: missing right half");
-      half = std::max(half, hops + forwardRange(*nb, range.intersect({mid, iv.hi}),
-                                                result.records, result.stats));
+      if (!nb) nb = resolveRangeEntry(clip, hops, result.stats);
+      half = std::max(half, hops + forwardRange(*nb, clip, result.records,
+                                                result.stats));
       steps += half;
     }
   }

@@ -309,6 +309,14 @@ class LhtIndex final : public index::OrderedIndex {
   common::u64 fetchSubtreeEntry(const Label& branch, BucketRef& out,
                                 cost::OpStats& st);
 
+  /// Concurrency fallback for the range sweeps: when a branch's entry-leaf
+  /// probe misses because another client split or merged it mid-query,
+  /// re-resolves through the repairing lookup (which also finishes any
+  /// half-done structural change in the way) and returns the leaf covering
+  /// the clip's lower bound. Adds the lookup's critical path to `hops`.
+  BucketRef resolveRangeEntry(const common::Interval& clip, common::u64& hops,
+                              cost::OpStats& st);
+
   /// The longest dyadic label whose interval contains [range.lo, range.hi).
   [[nodiscard]] Label computeLca(const common::Interval& range) const;
 

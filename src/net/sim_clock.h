@@ -7,7 +7,21 @@
 // timeout decorators read it to enforce deadlines, and retry backoff
 // advances it while "waiting". Experiments stay exactly reproducible
 // because time only moves when a simulated cause moves it.
+//
+// Thread-safe time-advance protocol (DESIGN.md §10): the counter is a
+// relaxed atomic, so a SHARED clock tolerates concurrent advances — time
+// never tears and never goes backward. But summing every thread's waits
+// into one clock would serialize simulated time that concurrent clients
+// actually overlap. The execution engine therefore gives each client
+// thread its OWN SimClock (the decorators of that client's stack all share
+// it), and the fleet's elapsed simulated time is the MAXIMUM over client
+// clocks — the critical path, exactly the rule SimNetwork::ParallelRound
+// applies to batched requests, lifted to whole threads. SimNetwork routes
+// per-hop charges to the calling thread's clock via ThreadClockScope
+// (sim_network.h) so substrate routing obeys the same protocol.
 #pragma once
+
+#include <atomic>
 
 #include "common/types.h"
 
@@ -16,15 +30,30 @@ namespace lht::net {
 class SimClock {
  public:
   /// Current simulated time in milliseconds since the clock's epoch.
-  [[nodiscard]] common::u64 nowMs() const { return nowMs_; }
+  [[nodiscard]] common::u64 nowMs() const {
+    return nowMs_.load(std::memory_order_relaxed);
+  }
 
-  /// Moves time forward (never backward).
-  void advance(common::u64 ms) { nowMs_ += ms; }
+  /// Moves time forward (never backward). Safe under concurrent callers:
+  /// concurrent advances accumulate, none is lost.
+  void advance(common::u64 ms) {
+    nowMs_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
-  void reset() { nowMs_ = 0; }
+  /// Moves time forward to at least `ms` (no-op when already past it).
+  /// Used by open-loop arrival pacing: a client "waits" until its next
+  /// scheduled arrival.
+  void advanceTo(common::u64 ms) {
+    common::u64 cur = nowMs_.load(std::memory_order_relaxed);
+    while (cur < ms &&
+           !nowMs_.compare_exchange_weak(cur, ms, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() { nowMs_.store(0, std::memory_order_relaxed); }
 
  private:
-  common::u64 nowMs_ = 0;
+  std::atomic<common::u64> nowMs_{0};
 };
 
 }  // namespace lht::net

@@ -1,72 +1,96 @@
 #include "net/sim_network.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/types.h"
 #include "obs/obs.h"
 
 namespace lht::net {
 
+namespace {
+// Thread-local clock override installed by ThreadClockScope.
+thread_local SimClock* tlsClock = nullptr;
+}  // namespace
+
+thread_local SimNetwork::RoundState SimNetwork::tlsRound_;
+
+ThreadClockScope::ThreadClockScope(SimClock& clock) : prev_(tlsClock) {
+  tlsClock = &clock;
+}
+
+ThreadClockScope::~ThreadClockScope() { tlsClock = prev_; }
+
+SimClock* SimNetwork::chargeClock() const {
+  return tlsClock != nullptr ? tlsClock : clock_;
+}
+
 PeerId SimNetwork::addPeer(std::string name) {
+  std::unique_lock lock(peersMutex_);
   peers_.push_back(Peer{std::move(name), true, {}});
   return static_cast<PeerId>(peers_.size() - 1);
 }
 
 void SimNetwork::setOnline(PeerId id, bool online) {
+  std::unique_lock lock(peersMutex_);
   common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
   peers_[id].online = online;
 }
 
 bool SimNetwork::isOnline(PeerId id) const {
+  std::shared_lock lock(peersMutex_);
   common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
   return peers_[id].online;
 }
 
 bool SimNetwork::send(PeerId from, PeerId to, u64 bytes) {
-  common::checkInvariant(from < peers_.size() && to < peers_.size(),
-                         "SimNetwork::send: bad peer id");
-  if (!peers_[to].online) {
-    obs::count("net.drops");
-    return false;
+  {
+    std::shared_lock lock(peersMutex_);
+    common::checkInvariant(from < peers_.size() && to < peers_.size(),
+                           "SimNetwork::send: bad peer id");
+    if (!peers_[to].online) {
+      obs::count("net.drops");
+      return false;
+    }
+    stats_.messages += 1;
+    stats_.bytes += bytes;
+    if (obs::metrics() != nullptr) {
+      obs::count("net.messages");
+      obs::count("net.bytes", bytes);
+    }
+    peers_[from].stats.messagesOut += 1;
+    peers_[from].stats.bytesOut += bytes;
+    peers_[to].stats.messagesIn += 1;
+    peers_[to].stats.bytesIn += bytes;
   }
-  stats_.messages += 1;
-  stats_.bytes += bytes;
-  if (obs::metrics() != nullptr) {
-    obs::count("net.messages");
-    obs::count("net.bytes", bytes);
-  }
-  peers_[from].stats.messagesOut += 1;
-  peers_[from].stats.bytesOut += bytes;
-  peers_[to].stats.messagesIn += 1;
-  peers_[to].stats.bytesIn += bytes;
-  if (inParallelRound_) {
-    roundEntryMs_ += perHopLatencyMs_;
-  } else if (clock_ != nullptr) {
-    clock_->advance(perHopLatencyMs_);
+  if (tlsRound_.net == this) {
+    tlsRound_.entryMs += perHopLatencyMs_;
+  } else if (SimClock* c = chargeClock(); c != nullptr) {
+    c->advance(perHopLatencyMs_);
   }
   return true;
 }
 
 void SimNetwork::beginParallelRound() {
-  common::checkInvariant(!inParallelRound_,
+  common::checkInvariant(tlsRound_.net == nullptr,
                          "SimNetwork: parallel rounds do not nest");
-  inParallelRound_ = true;
-  roundEntryMs_ = 0;
-  roundMaxMs_ = 0;
+  tlsRound_ = RoundState{this, 0, 0};
 }
 
 void SimNetwork::nextRoundEntry() {
-  roundMaxMs_ = std::max(roundMaxMs_, roundEntryMs_);
-  roundEntryMs_ = 0;
+  tlsRound_.maxMs = std::max(tlsRound_.maxMs, tlsRound_.entryMs);
+  tlsRound_.entryMs = 0;
 }
 
 void SimNetwork::endParallelRound() {
   nextRoundEntry();
-  inParallelRound_ = false;
+  const u64 maxMs = tlsRound_.maxMs;
+  tlsRound_ = RoundState{};
   // Critical-path RTT of the whole round: this is the simulated time the
   // batch actually costs, so it is what the round histogram records.
-  obs::observeMs("net.round_rtt_ms", static_cast<double>(roundMaxMs_));
-  if (clock_ != nullptr && roundMaxMs_ > 0) clock_->advance(roundMaxMs_);
+  obs::observeMs("net.round_rtt_ms", static_cast<double>(maxMs));
+  if (SimClock* c = chargeClock(); c != nullptr && maxMs > 0) c->advance(maxMs);
 }
 
 SimNetwork::ParallelRound::ParallelRound(SimNetwork& net) : net_(net) {
@@ -82,22 +106,31 @@ void SimNetwork::attachClock(SimClock* clock, u64 perHopLatencyMs) {
   perHopLatencyMs_ = perHopLatencyMs;
 }
 
-const std::string& SimNetwork::peerName(PeerId id) const {
+size_t SimNetwork::peerCount() const {
+  std::shared_lock lock(peersMutex_);
+  return peers_.size();
+}
+
+std::string SimNetwork::peerName(PeerId id) const {
+  std::shared_lock lock(peersMutex_);
   common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
   return peers_[id].name;
 }
 
-const PeerStats& SimNetwork::peerStats(PeerId id) const {
+PeerStats SimNetwork::peerStats(PeerId id) const {
+  std::shared_lock lock(peersMutex_);
   common::checkInvariant(id < peers_.size(), "SimNetwork: bad peer id");
   return peers_[id].stats;
 }
 
 void SimNetwork::resetStats() {
+  std::unique_lock lock(peersMutex_);
   stats_.reset();
   for (auto& p : peers_) p.stats = PeerStats{};
 }
 
 double SimNetwork::meanPeerLoad() const {
+  std::shared_lock lock(peersMutex_);
   u64 total = 0;
   u64 online = 0;
   for (const auto& p : peers_) {
@@ -109,9 +142,10 @@ double SimNetwork::meanPeerLoad() const {
 }
 
 u64 SimNetwork::maxPeerLoad() const {
+  std::shared_lock lock(peersMutex_);
   u64 best = 0;
   for (const auto& p : peers_)
-    if (p.online) best = std::max(best, p.stats.messagesIn);
+    if (p.online) best = std::max<u64>(best, p.stats.messagesIn);
   return best;
 }
 

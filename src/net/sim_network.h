@@ -5,12 +5,21 @@
 // paper's cost metrics (DHT-lookup counts, records moved) are network-scale
 // independent, but the hop/byte accounting lets us report the physical
 // bandwidth behind the cost-model constants i and j.
+//
+// Thread safety (DESIGN.md §10): send() may be called from many client
+// threads at once. Traffic counters are relaxed atomics; the peer table is
+// guarded by a shared mutex (sends take it shared, membership changes
+// exclusive); parallel-round deferral state is per thread. Per-hop latency
+// charges follow the thread-clock protocol: when the calling thread has a
+// ThreadClockScope installed, its own clock advances, otherwise the
+// globally attached clock does (atomically).
 #pragma once
 
+#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "common/types.h"
 #include "net/sim_clock.h"
 
@@ -23,19 +32,37 @@ using common::u64;
 using PeerId = u32;
 inline constexpr PeerId kInvalidPeer = ~0u;
 
-/// Global traffic counters.
+/// Global traffic counters (relaxed-atomic; exact totals under concurrency).
 struct NetStats {
-  u64 messages = 0;
-  u64 bytes = 0;
+  common::RelaxedCounter messages;
+  common::RelaxedCounter bytes;
   void reset() { *this = NetStats{}; }
 };
 
 /// Per-peer traffic counters (for load-balance analysis).
 struct PeerStats {
-  u64 messagesIn = 0;
-  u64 messagesOut = 0;
-  u64 bytesIn = 0;
-  u64 bytesOut = 0;
+  common::RelaxedCounter messagesIn;
+  common::RelaxedCounter messagesOut;
+  common::RelaxedCounter bytesIn;
+  common::RelaxedCounter bytesOut;
+};
+
+/// Installs a simulated clock for the CURRENT THREAD for the scope's
+/// lifetime: every per-hop latency charge and parallel-round settlement
+/// issued by this thread advances this clock instead of the network's
+/// globally attached one. This is how N concurrent clients overlap their
+/// simulated waits: each accrues time on its own clock and the fleet's
+/// elapsed simulated time is the maximum — the critical path. Scopes nest
+/// (the previous installation is restored on destruction).
+class ThreadClockScope {
+ public:
+  explicit ThreadClockScope(SimClock& clock);
+  ~ThreadClockScope();
+  ThreadClockScope(const ThreadClockScope&) = delete;
+  ThreadClockScope& operator=(const ThreadClockScope&) = delete;
+
+ private:
+  SimClock* prev_;
 };
 
 /// Registry of peers plus synchronous message accounting. Peers can be
@@ -57,26 +84,30 @@ class SimNetwork {
   /// Latency hook: when a clock is attached, every delivered message
   /// advances it by `perHopLatencyMs`, so substrate routing (one message
   /// per overlay hop) accrues simulated time that timeout/backoff
-  /// decorators can observe. Detach by passing nullptr.
+  /// decorators can observe. Detach by passing nullptr. A thread with a
+  /// ThreadClockScope installed charges its own clock instead. Not safe
+  /// to call concurrently with send().
   void attachClock(SimClock* clock, u64 perHopLatencyMs);
   [[nodiscard]] SimClock* clock() const { return clock_; }
 
-  [[nodiscard]] size_t peerCount() const { return peers_.size(); }
-  [[nodiscard]] const std::string& peerName(PeerId id) const;
+  [[nodiscard]] size_t peerCount() const;
+  [[nodiscard]] std::string peerName(PeerId id) const;
   [[nodiscard]] const NetStats& stats() const { return stats_; }
-  [[nodiscard]] const PeerStats& peerStats(PeerId id) const;
+  [[nodiscard]] PeerStats peerStats(PeerId id) const;
   void resetStats();
 
   /// Mean / max messages handled per online peer (load balance measure).
   [[nodiscard]] double meanPeerLoad() const;
   [[nodiscard]] u64 maxPeerLoad() const;
 
-  /// Scoped parallel round: while one is alive, per-hop clock advances are
-  /// deferred and accumulated per entry; on destruction the clock advances
-  /// by the LONGEST entry's total hop latency (the critical path). This is
-  /// how a batch of independent requests costs one round-trip of simulated
-  /// time while bandwidth accounting (messages/bytes) stays per hop.
-  /// Rounds do not nest.
+  /// Scoped parallel round: while one is alive ON THIS THREAD, the calling
+  /// thread's per-hop clock advances are deferred and accumulated per
+  /// entry; on destruction the clock advances by the LONGEST entry's total
+  /// hop latency (the critical path). This is how a batch of independent
+  /// requests costs one round-trip of simulated time while bandwidth
+  /// accounting (messages/bytes) stays per hop. Rounds do not nest; the
+  /// deferral state is per thread, so concurrent threads can each run
+  /// their own round against the same network.
   class ParallelRound {
    public:
     explicit ParallelRound(SimNetwork& net);
@@ -96,6 +127,9 @@ class SimNetwork {
   void beginParallelRound();
   void endParallelRound();
   void nextRoundEntry();
+  /// The clock this thread's latency charges go to: the thread-local
+  /// override when installed, else the attached global clock (may be null).
+  [[nodiscard]] SimClock* chargeClock() const;
 
   friend class ParallelRound;
   struct Peer {
@@ -103,13 +137,21 @@ class SimNetwork {
     bool online = true;
     PeerStats stats;
   };
+
+  /// Per-thread parallel-round deferral state. A thread runs at most one
+  /// round at a time (rounds do not nest), pinned to one network.
+  struct RoundState {
+    const SimNetwork* net = nullptr;  ///< non-null while a round is open
+    u64 entryMs = 0;  ///< latency accumulated by the current entry
+    u64 maxMs = 0;    ///< longest entry seen so far in the round
+  };
+  static thread_local RoundState tlsRound_;
+
+  mutable std::shared_mutex peersMutex_;  ///< membership vs. traffic
   std::vector<Peer> peers_;
   NetStats stats_;
   SimClock* clock_ = nullptr;
   u64 perHopLatencyMs_ = 0;
-  bool inParallelRound_ = false;
-  u64 roundEntryMs_ = 0;  ///< latency accumulated by the current entry
-  u64 roundMaxMs_ = 0;    ///< longest entry seen so far in the round
 };
 
 }  // namespace lht::net

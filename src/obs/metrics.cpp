@@ -23,6 +23,17 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+void Histogram::mergeFrom(const Histogram& other) {
+  common::checkInvariant(bounds_ == other.bounds_,
+                         "Histogram::mergeFrom: bucket bounds differ");
+  if (other.count_ == 0) return;
+  for (size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
 double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
@@ -150,6 +161,14 @@ void MetricsRegistry::writeJson(std::ostream& os,
        << ", \"p99\": " << h.quantile(0.99) << ", \"max\": " << h.max() << "}";
   }
   os << "\n" << indent << "}";
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value);
+  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value);
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bounds()).mergeFrom(h);
+  }
 }
 
 void MetricsRegistry::reset() {

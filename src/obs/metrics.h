@@ -60,6 +60,11 @@ class Histogram {
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   [[nodiscard]] const std::vector<u64>& bucketCounts() const { return buckets_; }
 
+  /// Bucket-wise accumulation of another histogram with identical bounds
+  /// (invariant-checked). count/sum/min/max merge exactly; quantiles stay
+  /// as accurate as a single histogram's.
+  void mergeFrom(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<u64> buckets_;
@@ -110,6 +115,13 @@ class MetricsRegistry {
   /// Flat JSON object: counters/gauges as numbers, histograms as
   /// {count, sum, mean, p50, p95, p99, max}. `indent` prefixes every line.
   void writeJson(std::ostream& os, const std::string& indent = "") const;
+
+  /// Folds another registry into this one: counters add, gauges take the
+  /// other's value (last-write-wins), histograms merge bucket-wise (series
+  /// created here on demand with the other's bounds). Used by the exec
+  /// fleet to combine per-thread registries at join; `other` is left
+  /// untouched.
+  void mergeFrom(const MetricsRegistry& other);
 
   void reset();
 

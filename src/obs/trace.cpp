@@ -104,6 +104,56 @@ void Tracer::flow(u64 fromSpan, u64 toSpan) {
   flows_.push_back({fromSpan, toSpan});
 }
 
+void Tracer::mergeFrom(const Tracer& other) {
+  // Timestamps are ns since each tracer's private epoch; put both on one
+  // timeline by rebasing this tracer onto the EARLIER of the two epochs
+  // (so no shifted stamp ever goes negative), then shifting the other's
+  // stamps by the now-nonnegative epoch delta.
+  if (other.epoch_ < epoch_) {
+    const u64 back = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(epoch_ -
+                                                             other.epoch_)
+            .count());
+    for (auto& s : spans_) {
+      s.startNs += back;
+      if (s.endNs != 0) s.endNs += back;
+    }
+    for (auto& i : instants_) i.tsNs += back;
+    epoch_ = other.epoch_;
+  }
+  const u64 deltaNs = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(other.epoch_ -
+                                                           epoch_)
+          .count());
+  const auto shift = [&](u64 ns) { return ns + deltaNs; };
+  std::unordered_map<u64, u64> remap;
+  remap.reserve(other.spans_.size());
+  for (const auto& s : other.spans_) remap.emplace(s.id, nextId_++);
+  const auto mapId = [&](u64 id) {
+    const auto it = remap.find(id);
+    return it == remap.end() ? u64{0} : it->second;
+  };
+  for (const auto& s : other.spans_) {
+    Span copy = s;
+    copy.id = mapId(s.id);
+    copy.parent = mapId(s.parent);
+    copy.startNs = shift(s.startNs);
+    copy.endNs = s.endNs == 0 ? 0 : shift(s.endNs);
+    spanIndex_.emplace(copy.id, spans_.size());
+    spans_.push_back(std::move(copy));
+  }
+  openSpans_ += other.openSpans_;
+  for (const auto& i : other.instants_) {
+    Instant copy = i;
+    copy.parent = mapId(i.parent);
+    copy.tsNs = shift(i.tsNs);
+    instants_.push_back(std::move(copy));
+  }
+  for (const auto& f : other.flows_) {
+    flows_.push_back({mapId(f.fromSpan), mapId(f.toSpan)});
+  }
+}
+
 const Tracer::Span* Tracer::findSpan(u64 id) const {
   const auto it = spanIndex_.find(id);
   return it == spanIndex_.end() ? nullptr : &spans_[it->second];

@@ -89,6 +89,13 @@ class Tracer {
   void writeChromeTrace(std::ostream& os) const;
   void writeCsv(std::ostream& os) const;
 
+  /// Appends another tracer's spans/instants/flows into this one. Span ids
+  /// are remapped into this tracer's id space (parent/flow edges follow),
+  /// and timestamps are realigned from the other tracer's epoch to this
+  /// one's, so a merged Chrome trace shows per-thread activity on a common
+  /// timeline. `other` is left untouched.
+  void mergeFrom(const Tracer& other);
+
   void clear();
 
  private:

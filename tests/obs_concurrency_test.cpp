@@ -1,0 +1,159 @@
+// Observability under concurrency: per-thread registries/tracers merged at
+// join must be exact (no lost counts, well-formed traces), and the logging
+// sink must receive whole records even under concurrent writers.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace lht {
+namespace {
+
+TEST(ObsConcurrentTest, MergedCountersAndHistogramsAreExact) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 1000;
+  std::vector<obs::MetricsRegistry> regs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&regs, t] {
+      obs::ScopedObservability install(&regs[t], nullptr);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        obs::count("work.ops");
+        obs::count("work.bytes", 10);
+        obs::observe("work.batch", static_cast<double>(i % 7));
+        obs::observeMs("work.latency_ms", static_cast<double>(t + 1));
+      }
+      obs::gaugeSet("work.last_thread", static_cast<double>(t));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  obs::MetricsRegistry global;
+  for (const auto& r : regs) global.mergeFrom(r);
+
+  EXPECT_EQ(global.counterValue("work.ops"), kThreads * kPerThread);
+  EXPECT_EQ(global.counterValue("work.bytes"), kThreads * kPerThread * 10);
+  const auto* batch = global.findHistogram("work.batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->count(), kThreads * kPerThread);
+  const auto* lat = global.findHistogram("work.latency_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), kThreads * kPerThread);
+  // Sum is exact: each thread observed (t+1) a thousand times.
+  EXPECT_DOUBLE_EQ(lat->sum(), 1000.0 * (1 + 2 + 3 + 4));
+  EXPECT_DOUBLE_EQ(lat->min(), 1.0);
+  EXPECT_DOUBLE_EQ(lat->max(), 4.0);
+}
+
+TEST(ObsConcurrentTest, HistogramMergeRejectsMismatchedBounds) {
+  obs::Histogram a({1.0, 2.0});
+  obs::Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.mergeFrom(b), common::InvariantError);
+}
+
+TEST(ObsConcurrentTest, MergedTracersKeepEverySpanWithUniqueIds) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kSpans = 50;
+  std::vector<obs::Tracer> tracers(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracers, t] {
+      obs::ScopedObservability install(nullptr, &tracers[t]);
+      for (size_t i = 0; i < kSpans; ++i) {
+        obs::SpanScope outer("outer", "test");
+        obs::SpanScope inner("inner", "test");
+        inner.arg("thread", static_cast<common::u64>(t));
+        obs::instantEvent("tick", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  obs::Tracer global;
+  for (const auto& t : tracers) global.mergeFrom(t);
+
+  ASSERT_EQ(global.spans().size(), kThreads * kSpans * 2);
+  EXPECT_EQ(global.instants().size(), kThreads * kSpans);
+  EXPECT_EQ(global.openSpanCount(), 0u);
+  std::set<common::u64> ids;
+  for (const auto& s : global.spans()) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+    EXPECT_GT(s.endNs, s.startNs);
+    if (s.name == "inner") {
+      // Parent edges survived the id remap.
+      const auto* parent = global.findSpan(s.parent);
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "outer");
+    }
+  }
+  // The merged trace still exports as one well-formed JSON document.
+  std::ostringstream os;
+  global.writeChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\n],\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  size_t depth = 0;
+  bool balanced = true;
+  for (char c : json) {
+    if (c == '{') depth += 1;
+    if (c == '}') {
+      if (depth == 0) {
+        balanced = false;
+        break;
+      }
+      depth -= 1;
+    }
+  }
+  EXPECT_TRUE(balanced);
+  EXPECT_EQ(depth, 0u);
+}
+
+TEST(LoggingConcurrentTest, SinkReceivesWholeRecordsOnly) {
+  std::mutex mu;
+  std::vector<std::string> records;
+  common::setLogSink([&](std::string_view rec) {
+    std::lock_guard<std::mutex> lock(mu);
+    records.emplace_back(rec);
+  });
+  const common::LogLevel prev = common::logLevel();
+  common::setLogLevel(common::LogLevel::Info);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kLines = 200;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string chunk(64, static_cast<char>('a' + t));
+      for (size_t i = 0; i < kLines; ++i) {
+        LHT_LOG(Info) << "t" << t << " " << chunk << " #" << i;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  common::setLogLevel(prev);
+  common::setLogSink(nullptr);
+
+  ASSERT_EQ(records.size(), kThreads * kLines);
+  for (const auto& rec : records) {
+    // One complete record per sink call: single prefix, single trailing
+    // newline, the 64-char run unbroken (an interleaved write would split
+    // or splice it).
+    EXPECT_EQ(rec.rfind("[INFO] ", 0), 0u) << rec;
+    EXPECT_EQ(rec.find('\n'), rec.size() - 1) << rec;
+    const size_t runStart = rec.find(' ', 7);
+    ASSERT_NE(runStart, std::string::npos);
+    const char runChar = rec[runStart + 1];
+    EXPECT_EQ(rec.substr(runStart + 1, 64), std::string(64, runChar)) << rec;
+  }
+}
+
+}  // namespace
+}  // namespace lht

@@ -1,0 +1,73 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace lht::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 500);
+  EXPECT_EQ(pool.threadCount(), 4u);
+}
+
+TEST(ThreadPoolTest, SelfResubmittingChainPreservesOrder) {
+  WorkStealingPool pool(3);
+  std::vector<int> order;  // appended only by the single live chain task
+  std::function<void(int)> step = [&](int i) {
+    order.push_back(i);
+    if (i + 1 < 200) pool.submit([&step, i] { step(i + 1); });
+  };
+  pool.submit([&step] { step(0); });
+  pool.wait();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromTasksAllRun) {
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 200);
+  // Steal accounting stays within the number of executed tasks.
+  EXPECT_LE(pool.stealCount(), 220u);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskExceptionAndPoolSurvives) {
+  WorkStealingPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The exception slot was cleared; the pool still runs work.
+  std::atomic<int> done{0};
+  pool.submit([&] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  WorkStealingPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(pool.stealCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lht::exec
