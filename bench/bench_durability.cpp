@@ -1,0 +1,268 @@
+// Emits BENCH_PR5.json: the cost of durability (DESIGN.md §11).
+//
+// Three insert configurations over the same workload, same sharded table:
+//   mem                — MemEngine, the volatile baseline.
+//   durable_buffered   — DurableEngine with syncEachCommit=false: every put
+//                        is written to the WAL before the table changes,
+//                        but fsync happens on sync()/rotation (one group
+//                        commit per segment). This is the mode the ≤2.5x
+//                        overhead gate applies to; an fsync per single-
+//                        threaded put would measure the disk, not the WAL.
+//   durable_synced     — syncEachCommit=true driven by many threads, so
+//                        concurrent puts share fsyncs (the group-commit
+//                        leader/waiter protocol). Reported per-op cost
+//                        shows the amortization; not part of the gate.
+//
+// Plus a recovery-time curve: populate N records, close, time a cold
+// reopen — once with the whole history in the WAL (replay-bound) and once
+// after compact() (snapshot-bound, near-empty log).
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "store/durable_engine.h"
+#include "store/mem_engine.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using lht::common::u64;
+
+struct Config {
+  size_t n = 20000;          // puts per insert configuration
+  size_t valueBytes = 128;   // payload size (below any spill threshold)
+  size_t threads = 8;        // writers for the group-commit configuration
+  u64 seed = 1;
+  std::string dir;           // scratch root
+};
+
+std::vector<std::pair<std::string, std::string>> makeWorkload(
+    const Config& cfg) {
+  lht::common::Pcg32 rng(cfg.seed, /*stream=*/0xD15Cull);
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(cfg.n);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    std::string value(cfg.valueBytes, ' ');
+    for (auto& c : value) c = static_cast<char>('a' + rng.below(26));
+    kvs.emplace_back("bucket/" + std::to_string(rng.next()) + "/" +
+                         std::to_string(i),
+                     std::move(value));
+  }
+  return kvs;
+}
+
+double nsPerOp(Clock::time_point t0, Clock::time_point t1, size_t ops) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(ops);
+}
+
+/// Single-threaded puts into `engine`; returns ns per put.
+double measurePuts(lht::store::StorageEngine& engine,
+                   const std::vector<std::pair<std::string, std::string>>& kvs) {
+  const auto t0 = Clock::now();
+  for (const auto& [k, v] : kvs) engine.put(k, v);
+  engine.sync();
+  const auto t1 = Clock::now();
+  return nsPerOp(t0, t1, kvs.size());
+}
+
+/// `threads` writers splitting the workload; returns wall-clock ns per put.
+double measurePutsThreaded(
+    lht::store::StorageEngine& engine,
+    const std::vector<std::pair<std::string, std::string>>& kvs,
+    size_t threads) {
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (size_t i = t; i < kvs.size(); i += threads) {
+        engine.put(kvs[i].first, kvs[i].second);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto t1 = Clock::now();
+  return nsPerOp(t0, t1, kvs.size());
+}
+
+lht::store::DurableOptions durableOpts(const std::string& dir,
+                                       bool syncEachCommit) {
+  lht::store::DurableOptions o;
+  o.dir = dir;
+  o.syncEachCommit = syncEachCommit;
+  o.physicalFsync = true;
+  return o;
+}
+
+struct RecoveryPoint {
+  size_t records = 0;
+  double replayMs = 0;          // reopen with the history in the WAL
+  u64 replayedRecords = 0;
+  double snapshotMs = 0;        // reopen after compact()
+  u64 snapshotReplayed = 0;
+};
+
+RecoveryPoint measureRecovery(const Config& cfg, size_t records) {
+  RecoveryPoint out;
+  out.records = records;
+  lht::common::Pcg32 rng(cfg.seed ^ records, /*stream=*/0x5EC0ull);
+  const std::string dir = cfg.dir + "/recovery_" + std::to_string(records);
+  fs::remove_all(dir);
+
+  {
+    lht::store::DurableEngine engine(durableOpts(dir, false));
+    std::string value(cfg.valueBytes, 'r');
+    for (size_t i = 0; i < records; ++i) {
+      engine.put("rec/" + std::to_string(rng.next()), value);
+    }
+    engine.sync();
+  }
+  {
+    const auto t0 = Clock::now();
+    lht::store::DurableEngine engine(durableOpts(dir, false));
+    const auto t1 = Clock::now();
+    out.replayMs =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()) /
+        1000.0;
+    out.replayedRecords = engine.recoveryInfo().replayedRecords;
+    if (engine.size() != records) {
+      std::cerr << "bench_durability: recovery lost records\n";
+      std::exit(1);
+    }
+    engine.compact();
+  }
+  {
+    const auto t0 = Clock::now();
+    lht::store::DurableEngine engine(durableOpts(dir, false));
+    const auto t1 = Clock::now();
+    out.snapshotMs =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()) /
+        1000.0;
+    out.snapshotReplayed = engine.recoveryInfo().replayedRecords;
+  }
+  fs::remove_all(dir);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lht::common::Flags flags(
+      "bench_durability",
+      "Emits BENCH_PR5.json: MemEngine vs DurableEngine insert cost and "
+      "the crash-recovery time curve");
+  flags.define("n", "20000", "puts per engine configuration");
+  flags.define("value-bytes", "128", "payload bytes per record");
+  flags.define("threads", "8", "writers for the group-commit configuration");
+  flags.define("seed", "1", "workload seed");
+  flags.define("dir", "", "scratch directory (empty = system temp)");
+  flags.define("out", "BENCH_PR5.json", "output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  Config cfg;
+  cfg.n = static_cast<size_t>(flags.getInt("n"));
+  cfg.valueBytes = static_cast<size_t>(flags.getInt("value-bytes"));
+  cfg.threads = static_cast<size_t>(flags.getInt("threads"));
+  cfg.seed = static_cast<u64>(flags.getInt("seed"));
+  cfg.dir = flags.getString("dir");
+  if (cfg.dir.empty()) {
+    cfg.dir = (fs::temp_directory_path() / "lht_bench_durability").string();
+  }
+  fs::remove_all(cfg.dir);
+  fs::create_directories(cfg.dir);
+
+  const auto kvs = makeWorkload(cfg);
+
+  double memNs = 0;
+  {
+    lht::store::MemEngine engine;
+    memNs = measurePuts(engine, kvs);
+  }
+  double bufferedNs = 0;
+  {
+    lht::store::DurableEngine engine(
+        durableOpts(cfg.dir + "/buffered", /*syncEachCommit=*/false));
+    bufferedNs = measurePuts(engine, kvs);
+  }
+  double syncedNs = 0;
+  u64 syncedFsyncShare = 0;
+  {
+    lht::store::DurableEngine engine(
+        durableOpts(cfg.dir + "/synced", /*syncEachCommit=*/true));
+    syncedNs = measurePutsThreaded(engine, kvs, cfg.threads);
+    syncedFsyncShare = engine.durableLsn();  // every put became durable
+  }
+
+  const double overhead = bufferedNs / memNs;
+
+  std::vector<RecoveryPoint> curve;
+  for (size_t records : {size_t{1000}, size_t{10000}, size_t{50000}}) {
+    curve.push_back(measureRecovery(cfg, records));
+  }
+  fs::remove_all(cfg.dir);
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"lht_durability\",\n"
+     << "  \"config\": {\"n\": " << cfg.n
+     << ", \"value_bytes\": " << cfg.valueBytes
+     << ", \"threads\": " << cfg.threads << ", \"seed\": " << cfg.seed
+     << "},\n"
+     << "  \"insert\": {\n"
+     << "    \"mem_ns_per_op\": " << memNs << ",\n"
+     << "    \"durable_buffered_ns_per_op\": " << bufferedNs << ",\n"
+     << "    \"durable_synced_group_commit_ns_per_op\": " << syncedNs
+     << ",\n"
+     << "    \"durable_synced_ops_made_durable\": " << syncedFsyncShare
+     << ",\n"
+     << "    \"buffered_overhead_vs_mem\": " << overhead << ",\n"
+     << "    \"overhead_gate\": 2.5,\n"
+     << "    \"overhead_gate_passed\": "
+     << (overhead <= 2.5 ? "true" : "false") << ",\n"
+     << "    \"note\": \"buffered = WAL written per put, fsync on "
+        "sync/rotation (the gated mode); synced = fsync-per-commit shared "
+        "across "
+     << cfg.threads << " writer threads via group commit\"\n"
+     << "  },\n"
+     << "  \"recovery\": [\n";
+  for (size_t i = 0; i < curve.size(); ++i) {
+    const auto& p = curve[i];
+    os << "    {\"records\": " << p.records
+       << ", \"wal_replay_ms\": " << p.replayMs
+       << ", \"replayed_records\": " << p.replayedRecords
+       << ", \"post_snapshot_ms\": " << p.snapshotMs
+       << ", \"post_snapshot_replayed\": " << p.snapshotReplayed << "}"
+       << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+
+  const std::string outPath = flags.getString("out");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "bench_durability: cannot write " << outPath << "\n";
+    return 1;
+  }
+  out << os.str();
+  std::cout << os.str();
+  if (overhead > 2.5) {
+    std::cerr << "bench_durability: WARNING buffered overhead " << overhead
+              << "x exceeds the 2.5x gate\n";
+  }
+  return 0;
+}

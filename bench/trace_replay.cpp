@@ -4,10 +4,12 @@
 // a file recorded with workload::writeTrace (--trace PATH), making any
 // captured workload a reproducible benchmark.
 #include <iostream>
+#include <memory>
 
 #include "common/csv.h"
 #include "common/flags.h"
 #include "dht/local_dht.h"
+#include "store/durable_engine.h"
 #include "dst/dst_index.h"
 #include "lht/lht_index.h"
 #include "pht/pht_index.h"
@@ -22,6 +24,10 @@ int main(int argc, char** argv) {
   flags.define("dist", "uniform", "uniform | gaussian | zipf");
   flags.define("trace", "", "path of a recorded trace to replay instead");
   flags.define("csv", "false", "emit CSV instead of a pretty table");
+  flags.define("durable", "",
+               "back the LHT row with a durable bucket store (WAL + "
+               "snapshots) at this directory; state survives across runs "
+               "(empty = in-memory)");
   if (!flags.parse(argc, argv)) return 1;
 
   std::vector<workload::Operation> ops;
@@ -58,9 +64,27 @@ int main(int argc, char** argv) {
   };
 
   {
-    dht::LocalDht d;
-    core::LhtIndex idx(d, {.thetaSplit = 100, .maxDepth = 22});
+    const std::string durableDir = flags.getString("durable");
+    std::unique_ptr<dht::LocalDht> d;
+    bool attach = false;
+    if (!durableDir.empty()) {
+      store::DurableOptions o;
+      o.dir = durableDir;
+      auto engine = std::make_unique<store::DurableEngine>(std::move(o));
+      const auto& r = engine->recoveryInfo();
+      attach = engine->size() > 0;  // resume the index a prior run built
+      std::cerr << "durable store " << durableDir << ": recovered "
+                << engine->size() << " buckets (snapshot lsn "
+                << r.snapshotLsn << ", " << r.replayedRecords
+                << " WAL records replayed)\n";
+      d = std::make_unique<dht::LocalDht>(std::move(engine));
+    } else {
+      d = std::make_unique<dht::LocalDht>();
+    }
+    core::LhtIndex idx(
+        *d, {.thetaSplit = 100, .maxDepth = 22, .attachExisting = attach});
     report("LHT", idx);
+    if (!durableDir.empty()) d->compactStorage();  // seal: snapshot + truncate
   }
   {
     dht::LocalDht d;

@@ -9,6 +9,7 @@
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
 # Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
+#                         [--durability]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
@@ -17,6 +18,15 @@
 #   --tsan      also build the tsan preset and run the concurrency suites
 #               (execution engine, shard-locked substrates, obs merging)
 #               under ThreadSanitizer; a reported race fails the gate
+#   --durability  also run the release durability bench (WAL overhead vs
+#               MemEngine + recovery-time curve) into
+#               build-release/BENCH_PR5.json, diffed warn-only against the
+#               committed BENCH_PR5.json
+#
+# The full crash-restart campaigns (ctest label `slow`, excluded from a
+# plain ctest run) execute here under the AddressSanitizer preset: every
+# injected kill, torn write, and recovery replay runs with memory checking
+# on. --fast skips them along with the rest of the sanitizer pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,12 +34,14 @@ fast=0
 bench=1
 coverage=0
 tsan=0
+durability=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
     --no-bench) bench=0 ;;
     --coverage) coverage=1 ;;
     --tsan) tsan=1 ;;
+    --durability) durability=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +68,8 @@ if [[ "$fast" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "$jobs"
   echo "== ctest (asan-ubsan) =="
   ctest --preset asan-ubsan -j "$jobs"
+  echo "== full crash-restart campaigns under ASan (ctest label: slow) =="
+  ctest --test-dir build-asan -C slow -L slow -j "$jobs" --output-on-failure
 fi
 
 if [[ "$tsan" -eq 1 ]]; then
@@ -81,6 +95,17 @@ if [[ "$bench" -eq 1 ]]; then
   echo "== fleet scaling sweep (simulated-time domain, gates on >2.5x) =="
   ./build-release/bench/bench_scaling --out=build-release/BENCH_PR4.json \
     > /dev/null
+fi
+
+if [[ "$durability" -eq 1 ]]; then
+  echo "== durability bench (WAL overhead + recovery curve, release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_durability
+  ./build-release/bench/bench_durability \
+    --out=build-release/BENCH_PR5.json > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR5.json build-release/BENCH_PR5.json \
+    || echo "check.sh: WARNING: durability metrics drifted from the" \
+            "committed baseline (warn-only, see above)"
 fi
 
 if [[ "$coverage" -eq 1 ]]; then

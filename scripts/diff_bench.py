@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Compares a fresh bench_json run against the committed baseline.
+"""Compares a fresh bench run against its committed baseline.
 
 Usage: diff_bench.py BASELINE.json FRESH.json
 
-Exits 1 (for the caller to warn on) when a key metric regressed beyond
-tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup)
-no longer holds. Wall-clock metrics get a generous tolerance — machines
-differ; the protocol-level counters must match exactly.
+Understands the bench_json (BENCH_PR2) and bench_durability (BENCH_PR5)
+output shapes, dispatching on the "bench" field. Exits 1 (for the caller
+to warn on) when a key metric regressed beyond tolerance or an invariant
+(the B+3 range bound, the >=2x lookup speedup, the <=2.5x WAL overhead
+gate) no longer holds. Wall-clock metrics get a generous tolerance —
+machines differ; the protocol-level counters must match exactly.
 """
 import json
 import sys
 
 # (path, kind): "exact" counters must be bit-identical run to run;
 # "ratio" wall-clock metrics may drift by the given factor either way.
-CHECKS = [
+CLIENT_CHECKS = [
     (("baseline", "lookup", "dht_lookups_per_op"), "exact", None),
     (("optimized", "lookup", "dht_lookups_per_op"), "exact", None),
     (("baseline", "range", "dht_lookups_per_op"), "exact", None),
@@ -22,6 +24,12 @@ CHECKS = [
     (("speedup", "lookup_ns"), "ratio", 2.0),
     (("speedup", "range_ns"), "ratio", 2.0),
     (("speedup", "bulk_ns"), "ratio", 2.0),
+]
+
+DURABILITY_CHECKS = [
+    (("insert", "mem_ns_per_op"), "ratio", 4.0),
+    (("insert", "durable_buffered_ns_per_op"), "ratio", 4.0),
+    (("insert", "buffered_overhead_vs_mem"), "ratio", 2.0),
 ]
 
 
@@ -40,8 +48,11 @@ def main():
     with open(sys.argv[2]) as f:
         fresh = json.load(f)
 
+    durability = fresh.get("bench") == "lht_durability"
+    checks = DURABILITY_CHECKS if durability else CLIENT_CHECKS
+
     bad = 0
-    for path, kind, tol in CHECKS:
+    for path, kind, tol in checks:
         name = ".".join(path)
         try:
             b, f_ = lookup(base, path), lookup(fresh, path)
@@ -59,13 +70,26 @@ def main():
                       f"(beyond {tol}x tolerance)")
                 bad += 1
 
-    if not fresh.get("range_bound_holds", False):
-        print("diff_bench: fresh run violates the B+3 range-round bound")
-        bad += 1
-    if fresh["speedup"]["lookup_ns"] < 2.0:
-        print(f"diff_bench: lookup speedup {fresh['speedup']['lookup_ns']:.2f}x "
-              "fell below the 2x acceptance floor")
-        bad += 1
+    if durability:
+        if not fresh["insert"].get("overhead_gate_passed", False):
+            print(f"diff_bench: buffered WAL overhead "
+                  f"{fresh['insert']['buffered_overhead_vs_mem']:.2f}x "
+                  "exceeds the 2.5x acceptance gate")
+            bad += 1
+        for point in fresh.get("recovery", []):
+            if point["replayed_records"] != point["records"]:
+                print(f"diff_bench: recovery at {point['records']} records "
+                      f"replayed {point['replayed_records']} WAL records")
+                bad += 1
+    else:
+        if not fresh.get("range_bound_holds", False):
+            print("diff_bench: fresh run violates the B+3 range-round bound")
+            bad += 1
+        if fresh["speedup"]["lookup_ns"] < 2.0:
+            print(f"diff_bench: lookup speedup "
+                  f"{fresh['speedup']['lookup_ns']:.2f}x "
+                  "fell below the 2x acceptance floor")
+            bad += 1
 
     if bad:
         return 1

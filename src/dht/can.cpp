@@ -175,7 +175,7 @@ void CanDht::leave(u64 peerId) {
   ZNode* sibling =
       parent->left.get() == zone ? parent->right.get() : parent->left.get();
   // Park the departing peer's data for re-homing below.
-  std::unordered_map<Key, Value> orphans = std::move(it->second.store);
+  auto orphans = it->second.store.drain();
   const net::PeerId fromNet = it->second.netId;
 
   if (sibling->splitDim == -1) {
@@ -211,7 +211,7 @@ void CanDht::leave(u64 peerId) {
     keyPoint(k, x, y);
     PeerState& owner = peer(ownerAt(x, y));
     net_.send(fromNet, owner.netId, k.size() + v.size());
-    owner.store.emplace(k, std::move(v));
+    owner.store.put(k, std::move(v));
   }
   net_.setOnline(fromNet, false);
   rehomeAllKeys();
@@ -256,16 +256,15 @@ void CanDht::rehomeAllKeys() {
   std::vector<std::pair<Key, Value>> moving;
   for (auto& [id, st] : owners_) {
     std::vector<Key> out;
-    for (const auto& [k, v] : st.store) {
-      if (ownerOfUnlocked(k) != id) out.push_back(k);
-    }
+    st.store.forEach([&, peerId = id](const Key& k, const Value&) {
+      if (ownerOfUnlocked(k) != peerId) out.push_back(k);
+    });
     for (const auto& k : out) {
-      auto nh = st.store.extract(k);
-      moving.emplace_back(nh.key(), std::move(nh.mapped()));
+      moving.emplace_back(k, std::move(*st.store.take(k)));
     }
   }
   for (auto& [k, v] : moving) {
-    peer(ownerOfUnlocked(k)).store.emplace(k, std::move(v));
+    peer(ownerOfUnlocked(k)).store.put(k, std::move(v));
   }
 }
 
@@ -335,7 +334,7 @@ void CanDht::put(const Key& key, Value value) {
   u64 owner = route(x, y, key.size() + value.size());
   stats_.valueBytesMoved += value.size();
   auto lock = storeLocks_.guard(owner);
-  peer(owner).store[key] = std::move(value);
+  peer(owner).store.put(key, std::move(value));
 }
 
 std::optional<Value> CanDht::get(const Key& key) {
@@ -347,10 +346,10 @@ std::optional<Value> CanDht::get(const Key& key) {
   u64 owner = route(x, y, key.size());
   auto lock = storeLocks_.guard(owner);
   const PeerState& st = peer(owner);
-  auto it = st.store.find(key);
-  if (it == st.store.end()) return std::nullopt;
-  stats_.valueBytesMoved += it->second.size();
-  return it->second;
+  const Value* v = st.store.find(key);
+  if (v == nullptr) return std::nullopt;
+  stats_.valueBytesMoved += v->size();
+  return *v;
 }
 
 bool CanDht::remove(const Key& key) {
@@ -361,7 +360,7 @@ bool CanDht::remove(const Key& key) {
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
   auto lock = storeLocks_.guard(owner);
-  return peer(owner).store.erase(key) > 0;
+  return peer(owner).store.erase(key);
 }
 
 bool CanDht::apply(const Key& key, const Mutator& fn) {
@@ -374,16 +373,12 @@ bool CanDht::apply(const Key& key, const Mutator& fn) {
   // Mutator runs under the owner's stripe: atomic per key.
   auto lock = storeLocks_.guard(owner);
   PeerState& st = peer(owner);
-  auto it = st.store.find(key);
-  const bool existed = it != st.store.end();
-  std::optional<Value> v;
-  if (existed) v = std::move(it->second);
+  std::optional<Value> v = st.store.take(key);
+  const bool existed = v.has_value();
   fn(v);
   if (v.has_value()) {
     stats_.valueBytesMoved += v->size();
-    st.store[key] = std::move(*v);
-  } else if (existed) {
-    st.store.erase(key);
+    st.store.put(key, std::move(*v));
   }
   return existed;
 }
@@ -392,7 +387,7 @@ void CanDht::storeDirect(const Key& key, Value value) {
   std::shared_lock topo(topoMutex_);
   const u64 owner = ownerOfUnlocked(key);
   auto lock = storeLocks_.guard(owner);
-  peer(owner).store[key] = std::move(value);
+  peer(owner).store.put(key, std::move(value));
 }
 
 size_t CanDht::size() const {
@@ -423,9 +418,11 @@ bool CanDht::checkZones() const {
   if (std::fabs(area - 1.0) > 1e-12) return false;
   // Keys sit with the owner of the zone containing their point.
   for (const auto& [id, st] : owners_) {
-    for (const auto& [k, v] : st.store) {
-      if (ownerOfUnlocked(k) != id) return false;
-    }
+    bool placed = true;
+    st.store.forEach([&, peerId = id](const Key& k, const Value&) {
+      if (ownerOfUnlocked(k) != peerId) placed = false;
+    });
+    if (!placed) return false;
     // Neighbor symmetry.
     for (u64 nb : st.neighbors) {
       const auto& back = peer(nb).neighbors;

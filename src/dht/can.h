@@ -26,6 +26,7 @@
 #include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
+#include "store/mem_table.h"
 
 namespace lht::dht {
 
@@ -87,7 +88,7 @@ class CanDht final : public Dht {
   struct PeerState {
     net::PeerId netId = net::kInvalidPeer;
     ZNode* zone = nullptr;
-    std::unordered_map<Key, Value> store;
+    store::MemTable store;
     std::vector<common::u64> neighbors;  // owners of edge-adjacent zones
   };
 

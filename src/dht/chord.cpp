@@ -56,16 +56,16 @@ u64 ChordDht::join(const std::string& name) {
   for (auto& [id, node] : nodes_) {
     if (node.peer == peer) continue;
     std::vector<Key> moving;
-    for (const auto& [k, v] : node.store) {
+    node.store.forEach([&](const Key& k, const Value&) {
       if (nodeById(ownerOfId(common::hash::xxhash64(k, 0))).peer == peer) {
         moving.push_back(k);
       }
-    }
+    });
     for (const auto& k : moving) {
-      auto nh = node.store.extract(k);
+      auto v = node.store.take(k);
       Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
-      net_.send(node.peer, owner.peer, k.size() + nh.mapped().size());
-      owner.store.insert(std::move(nh));
+      net_.send(node.peer, owner.peer, k.size() + v->size());
+      owner.store.put(k, std::move(*v));
     }
   }
   rebuildReplicas();
@@ -93,7 +93,7 @@ void ChordDht::removePeerLocked(u64 nodeId, bool graceful) {
     if (node.peer != peer) continue;
     ids.push_back(id);
     if (graceful) {
-      for (auto& [k, v] : node.store) orphans.emplace_back(k, std::move(v));
+      for (auto& kv : node.store.drain()) orphans.push_back(std::move(kv));
     }
   }
   for (u64 id : ids) nodes_.erase(id);
@@ -104,21 +104,21 @@ void ChordDht::removePeerLocked(u64 nodeId, bool graceful) {
     for (auto& [k, v] : orphans) {
       Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
       net_.send(peer, owner.peer, k.size() + v.size());
-      owner.store[k] = std::move(v);
+      owner.store.put(k, std::move(v));
     }
   } else {
     // Ungraceful: the peer's primaries and replicas are gone. Promote
     // surviving replicas whose primary died onto the new owners.
     std::vector<std::pair<Key, Value>> recovered;
     for (auto& [id, node] : nodes_) {
-      for (const auto& [k, v] : node.replicas) {
+      node.replicas.forEach([&](const Key& k, const Value& v) {
         const u64 owner = ownerOfId(common::hash::xxhash64(k, 0));
-        if (nodeById(owner).store.count(k) == 0) recovered.emplace_back(k, v);
-      }
+        if (!nodeById(owner).store.contains(k)) recovered.emplace_back(k, v);
+      });
     }
     for (auto& [k, v] : recovered) {
       Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
-      owner.store[k] = std::move(v);
+      owner.store.put(k, std::move(v));
     }
   }
   net_.setOnline(peer, false);
@@ -213,7 +213,7 @@ void ChordDht::pushReplicas(const Node& owner, const Key& key, const Value& valu
   for (u64 sid : successorsOf(owner.id, opts_.replication - 1)) {
     Node& holder = nodeById(sid);
     net_.send(owner.peer, holder.peer, key.size() + value.size());
-    holder.replicas[key] = value;
+    holder.replicas.put(key, value);
   }
 }
 
@@ -231,9 +231,8 @@ void ChordDht::rebuildReplicas() {
   if (opts_.replication <= 1) return;
   for (auto& [id, node] : nodes_) node.replicas.clear();
   for (auto& [id, node] : nodes_) {
-    for (const auto& [k, v] : node.store) {
-      pushReplicas(node, k, v);
-    }
+    node.store.forEach(
+        [&](const Key& k, const Value& v) { pushReplicas(node, k, v); });
   }
 }
 
@@ -300,8 +299,8 @@ void ChordDht::put(const Key& key, Value value) {
   accountValueBytes(value.size());
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
-  node.store[key] = std::move(value);
-  pushReplicas(node, key, node.store[key]);
+  pushReplicas(node, key, value);
+  node.store.put(key, std::move(value));
 }
 
 std::optional<Value> ChordDht::get(const Key& key) {
@@ -311,10 +310,10 @@ std::optional<Value> ChordDht::get(const Key& key) {
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
-  auto it = node.store.find(key);
-  if (it == node.store.end()) return std::nullopt;
-  accountValueBytes(it->second.size());
-  return it->second;
+  const Value* v = node.store.find(key);
+  if (v == nullptr) return std::nullopt;
+  accountValueBytes(v->size());
+  return *v;
 }
 
 bool ChordDht::remove(const Key& key) {
@@ -323,7 +322,7 @@ bool ChordDht::remove(const Key& key) {
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
-  const bool existed = nodeById(owner).store.erase(key) > 0;
+  const bool existed = nodeById(owner).store.erase(key);
   if (existed) dropReplicas(owner, key);
   return existed;
 }
@@ -337,17 +336,14 @@ bool ChordDht::apply(const Key& key, const Mutator& fn) {
   // against every other routed op touching that node.
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
-  auto it = node.store.find(key);
-  const bool existed = it != node.store.end();
-  std::optional<Value> v;
-  if (existed) v = std::move(it->second);
+  std::optional<Value> v = node.store.take(key);
+  const bool existed = v.has_value();
   fn(v);
   if (v.has_value()) {
     accountValueBytes(v->size());
-    node.store[key] = std::move(*v);
-    pushReplicas(node, key, node.store[key]);
+    pushReplicas(node, key, *v);
+    node.store.put(key, std::move(*v));
   } else if (existed) {
-    node.store.erase(key);
     dropReplicas(owner, key);
   }
   return existed;
@@ -358,8 +354,8 @@ void ChordDht::storeDirect(const Key& key, Value value) {
   u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
-  node.store[key] = std::move(value);
-  pushReplicas(node, key, node.store[key]);
+  pushReplicas(node, key, value);
+  node.store.put(key, std::move(value));
 }
 
 size_t ChordDht::size() const {
@@ -375,9 +371,11 @@ bool ChordDht::checkRing() const {
   common::StripedMutex::AllGuard guard(storeLocks_);
   // Every stored key must sit on its owner.
   for (const auto& [id, node] : nodes_) {
-    for (const auto& [k, v] : node.store) {
-      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;
-    }
+    bool placed = true;
+    node.store.forEach([&, nodeId = id](const Key& k, const Value&) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != nodeId) placed = false;
+    });
+    if (!placed) return false;
   }
   // Finger entries must be the true successors of their targets.
   for (const auto& [id, node] : nodes_) {
@@ -408,17 +406,19 @@ bool ChordDht::checkReplication() const {
     actualReplicas += node.replicas.size();
     // Every primary must be present on each of its owner's successors.
     auto succ = successorsOf(id, copies);
-    for (const auto& [k, v] : node.store) {
+    bool consistent = true;
+    node.store.forEach([&](const Key& k, const Value& v) {
       for (u64 sid : succ) {
-        auto hit = nodeById(sid).replicas.find(k);
-        if (hit == nodeById(sid).replicas.end() || hit->second != v) return false;
+        const Value* hit = nodeById(sid).replicas.find(k);
+        if (hit == nullptr || *hit != v) consistent = false;
       }
-    }
+    });
     // Every replica must back a live primary somewhere.
-    for (const auto& [k, v] : node.replicas) {
+    node.replicas.forEach([&](const Key& k, const Value&) {
       const u64 owner = ownerOfId(common::hash::xxhash64(k, 0));
-      if (nodeById(owner).store.count(k) == 0) return false;
-    }
+      if (!nodeById(owner).store.contains(k)) consistent = false;
+    });
+    if (!consistent) return false;
   }
   return expectedReplicas == actualReplicas;
 }

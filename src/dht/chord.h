@@ -21,13 +21,13 @@
 
 #include <map>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
+#include "store/mem_table.h"
 
 namespace lht::dht {
 
@@ -112,8 +112,8 @@ class ChordDht final : public Dht {
     common::u64 id = 0;
     net::PeerId peer = net::kInvalidPeer;
     std::vector<common::u64> fingers;  // finger[k] = successor(id + 2^k)
-    std::unordered_map<Key, Value> store;     // keys this node owns
-    std::unordered_map<Key, Value> replicas;  // copies held for predecessors
+    store::MemTable store;     // keys this node owns
+    store::MemTable replicas;  // copies held for predecessors
   };
 
   // Every private helper below assumes topoMutex_ is held (shared suffices

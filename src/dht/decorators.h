@@ -77,6 +77,8 @@ class FlakyDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// Per-entry lost requests: each entry independently fails *before*
   /// execution; the survivors travel to the inner DHT as one round.
@@ -112,6 +114,8 @@ class LostReplyDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// Per-entry lost replies: the whole round executes on the inner DHT,
   /// then each entry's reply is independently dropped (ok=false, value
@@ -152,6 +156,8 @@ class LatencyDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// A batch round is dispatched concurrently: it is charged ONE sampled
   /// latency (the critical-path RTT), not one per entry.
@@ -186,6 +192,8 @@ class TimeoutDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// The deadline applies to the whole round (it is one critical-path
   /// RTT). A missed deadline fails every entry in the round — but the
@@ -234,6 +242,8 @@ class RetryingDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// Retries only the entries that failed: each attempt re-issues the
   /// still-failing subset as one inner round, with backoff between
@@ -303,6 +313,8 @@ class CircuitBreakerDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// While open, the whole round fast-fails (every entry rejected, no
   /// inner call). Otherwise the round counts as a single observation:
@@ -376,6 +388,8 @@ class CrashDht final : public Dht {
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
 
   /// A crash can strike mid-round: if the armed write budget runs out
   /// inside a multiApply, only the allowed prefix of entries is forwarded

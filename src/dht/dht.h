@@ -164,6 +164,14 @@ class Dht {
   /// Used only to seed initial index state (e.g. the root leaf bucket).
   virtual void storeDirect(const Key& key, Value value) = 0;
 
+  /// Storage administration (unaccounted, unrouted). Substrates backed by
+  /// a durable storage engine flush pending log appends to stable storage
+  /// (syncStorage) or snapshot + truncate the log (compactStorage);
+  /// volatile substrates no-op. Decorators forward both, so a client
+  /// holding only the decorated stack can still drive durability.
+  virtual void syncStorage() {}
+  virtual void compactStorage() {}
+
   /// Number of key/value pairs currently stored (all peers).
   [[nodiscard]] virtual size_t size() const = 0;
 

@@ -44,7 +44,7 @@ void KademliaDht::leave(u64 nodeId) {
   auto it = nodes_.find(nodeId);
   common::checkInvariant(it != nodes_.end(), "KademliaDht::leave: unknown node");
   // Park the departing node's keys, drop it, then re-home.
-  std::unordered_map<Key, Value> orphans = std::move(it->second.store);
+  auto orphans = it->second.store.drain();
   net::PeerId fromPeer = it->second.peer;
   net_.setOnline(fromPeer, false);
   nodes_.erase(it);
@@ -52,7 +52,7 @@ void KademliaDht::leave(u64 nodeId) {
   for (auto& [k, v] : orphans) {
     Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
     net_.send(fromPeer, owner.peer, k.size() + v.size());
-    owner.store.emplace(k, std::move(v));
+    owner.store.put(k, std::move(v));
   }
   rehomeAllKeys();
 }
@@ -117,16 +117,15 @@ void KademliaDht::rehomeAllKeys() {
   std::vector<std::pair<Key, Value>> moving;
   for (auto& [id, node] : nodes_) {
     std::vector<Key> out;
-    for (const auto& [k, v] : node.store) {
-      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) out.push_back(k);
-    }
+    node.store.forEach([&, nodeId = id](const Key& k, const Value&) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != nodeId) out.push_back(k);
+    });
     for (const auto& k : out) {
-      auto nh = node.store.extract(k);
-      moving.emplace_back(nh.key(), std::move(nh.mapped()));
+      moving.emplace_back(k, std::move(*node.store.take(k)));
     }
   }
   for (auto& [k, v] : moving) {
-    nodeById(ownerOfId(common::hash::xxhash64(k, 0))).store.emplace(k, std::move(v));
+    nodeById(ownerOfId(common::hash::xxhash64(k, 0))).store.put(k, std::move(v));
   }
 }
 
@@ -177,7 +176,7 @@ void KademliaDht::put(const Key& key, Value value) {
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
   auto lock = storeLocks_.guard(owner);
-  nodeById(owner).store[key] = std::move(value);
+  nodeById(owner).store.put(key, std::move(value));
 }
 
 std::optional<Value> KademliaDht::get(const Key& key) {
@@ -187,10 +186,10 @@ std::optional<Value> KademliaDht::get(const Key& key) {
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
-  auto it = node.store.find(key);
-  if (it == node.store.end()) return std::nullopt;
-  stats_.valueBytesMoved += it->second.size();
-  return it->second;
+  const Value* v = node.store.find(key);
+  if (v == nullptr) return std::nullopt;
+  stats_.valueBytesMoved += v->size();
+  return *v;
 }
 
 bool KademliaDht::remove(const Key& key) {
@@ -199,7 +198,7 @@ bool KademliaDht::remove(const Key& key) {
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   auto lock = storeLocks_.guard(owner);
-  return nodeById(owner).store.erase(key) > 0;
+  return nodeById(owner).store.erase(key);
 }
 
 bool KademliaDht::apply(const Key& key, const Mutator& fn) {
@@ -210,16 +209,12 @@ bool KademliaDht::apply(const Key& key, const Mutator& fn) {
   // Mutator runs under the owner's stripe: atomic per key.
   auto lock = storeLocks_.guard(owner);
   Node& node = nodeById(owner);
-  auto it = node.store.find(key);
-  const bool existed = it != node.store.end();
-  std::optional<Value> v;
-  if (existed) v = std::move(it->second);
+  std::optional<Value> v = node.store.take(key);
+  const bool existed = v.has_value();
   fn(v);
   if (v.has_value()) {
     stats_.valueBytesMoved += v->size();
-    node.store[key] = std::move(*v);
-  } else if (existed) {
-    node.store.erase(key);
+    node.store.put(key, std::move(*v));
   }
   return existed;
 }
@@ -228,7 +223,7 @@ void KademliaDht::storeDirect(const Key& key, Value value) {
   std::shared_lock topo(topoMutex_);
   const u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
   auto lock = storeLocks_.guard(owner);
-  nodeById(owner).store[key] = std::move(value);
+  nodeById(owner).store.put(key, std::move(value));
 }
 
 size_t KademliaDht::size() const {
@@ -243,9 +238,11 @@ bool KademliaDht::checkTables() const {
   std::shared_lock topo(topoMutex_);
   common::StripedMutex::AllGuard guard(storeLocks_);
   for (const auto& [id, node] : nodes_) {
-    for (const auto& [k, v] : node.store) {
-      if (ownerOfId(common::hash::xxhash64(k, 0)) != id) return false;
-    }
+    bool placed = true;
+    node.store.forEach([&, nodeId = id](const Key& k, const Value&) {
+      if (ownerOfId(common::hash::xxhash64(k, 0)) != nodeId) placed = false;
+    });
+    if (!placed) return false;
     if (node.buckets.size() != 64) return false;
     for (size_t b = 0; b < 64; ++b) {
       for (u64 contact : node.buckets[b]) {

@@ -15,13 +15,13 @@
 
 #include <map>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
+#include "store/mem_table.h"
 
 namespace lht::dht {
 
@@ -68,7 +68,7 @@ class KademliaDht final : public Dht {
     // buckets[b] = up to k contacts whose id differs from ours first at
     // bit b (bit 63 = most significant), ordered by XOR-closeness to us.
     std::vector<std::vector<common::u64>> buckets;
-    std::unordered_map<Key, Value> store;
+    store::MemTable store;
   };
 
   // Private helpers assume topoMutex_ held; store accesses additionally

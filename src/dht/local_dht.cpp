@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/codec.h"
@@ -12,15 +13,18 @@ namespace {
 constexpr common::u32 kSnapshotMagic = 0x4C444854;  // "LDHT"
 }  // namespace
 
+LocalDht::LocalDht() : engine_(store::makeMemEngine()) {}
+
+LocalDht::LocalDht(std::unique_ptr<store::StorageEngine> engine)
+    : engine_(std::move(engine)) {}
+
 void LocalDht::put(const Key& key, Value value) {
   RoutedOpScope scope(*this, "dht.put", key);
   stats_.lookups += 1;
   stats_.puts += 1;
   stats_.hops += 1;
   stats_.valueBytesMoved += value.size();
-  Shard& s = shardFor(key);
-  std::lock_guard lock(s.mutex);
-  s.store[key] = std::move(value);
+  engine_->put(key, std::move(value));
 }
 
 std::optional<Value> LocalDht::get(const Key& key) {
@@ -28,12 +32,9 @@ std::optional<Value> LocalDht::get(const Key& key) {
   stats_.lookups += 1;
   stats_.gets += 1;
   stats_.hops += 1;
-  Shard& s = shardFor(key);
-  std::lock_guard lock(s.mutex);
-  auto it = s.store.find(key);
-  if (it == s.store.end()) return std::nullopt;
-  stats_.valueBytesMoved += it->second.size();
-  return it->second;
+  auto v = engine_->get(key);
+  if (v) stats_.valueBytesMoved += v->size();
+  return v;
 }
 
 bool LocalDht::remove(const Key& key) {
@@ -41,9 +42,7 @@ bool LocalDht::remove(const Key& key) {
   stats_.lookups += 1;
   stats_.removes += 1;
   stats_.hops += 1;
-  Shard& s = shardFor(key);
-  std::lock_guard lock(s.mutex);
-  return s.store.erase(key) > 0;
+  return engine_->erase(key);
 }
 
 bool LocalDht::apply(const Key& key, const Mutator& fn) {
@@ -51,55 +50,32 @@ bool LocalDht::apply(const Key& key, const Mutator& fn) {
   stats_.lookups += 1;
   stats_.applies += 1;
   stats_.hops += 1;
-  Shard& s = shardFor(key);
-  std::lock_guard lock(s.mutex);
-  auto it = s.store.find(key);
-  const bool existed = it != s.store.end();
-  std::optional<Value> v;
-  if (existed) v = std::move(it->second);
-  fn(v);
-  if (v.has_value()) {
-    s.store[key] = std::move(*v);
-  } else if (existed) {
-    s.store.erase(key);
-  }
-  return existed;
+  return engine_->apply(key, fn);
 }
 
 void LocalDht::storeDirect(const Key& key, Value value) {
-  Shard& s = shardFor(key);
-  std::lock_guard lock(s.mutex);
-  s.store[key] = std::move(value);
+  engine_->put(key, std::move(value));
 }
 
-size_t LocalDht::size() const {
-  size_t total = 0;
-  for (const auto& s : shards_) {
-    std::lock_guard lock(s.mutex);
-    total += s.store.size();
-  }
-  return total;
-}
+size_t LocalDht::size() const { return engine_->size(); }
 
 bool LocalDht::saveSnapshot(const std::string& path) const {
-  // Lock every shard for the duration so the snapshot is a consistent cut.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(kShards);
-  for (const auto& s : shards_) locks.emplace_back(s.mutex);
+  // The engine's forEach is one consistent cut of the whole store.
   common::Encoder enc;
   enc.putU32(kSnapshotMagic);
+  common::Encoder body;
   common::u32 count = 0;
-  for (const auto& s : shards_) count += static_cast<common::u32>(s.store.size());
+  engine_->forEach([&](const Key& k, const Value& v) {
+    body.putString(k);
+    body.putString(v);
+    ++count;
+  });
   enc.putU32(count);
-  for (const auto& s : shards_) {
-    for (const auto& [k, v] : s.store) {
-      enc.putString(k);
-      enc.putString(v);
-    }
-  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
-  const std::string& bytes = enc.buffer();
+  const std::string& head = enc.buffer();
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  const std::string& bytes = body.buffer();
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return static_cast<bool>(out);
 }
@@ -114,23 +90,17 @@ bool LocalDht::loadSnapshot(const std::string& path) {
   auto magic = dec.getU32();
   auto count = dec.getU32();
   if (!magic || *magic != kSnapshotMagic || !count) return false;
-  std::unordered_map<Key, Value> fresh;
+  std::vector<std::pair<Key, Value>> fresh;
   fresh.reserve(*count);
   for (common::u32 i = 0; i < *count; ++i) {
     auto k = dec.getString();
     auto v = dec.getString();
     if (!k || !v) return false;
-    fresh.emplace(std::move(*k), std::move(*v));
+    fresh.emplace_back(std::move(*k), std::move(*v));
   }
   if (!dec.atEnd()) return false;
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(kShards);
-  for (auto& s : shards_) locks.emplace_back(s.mutex);
-  for (auto& s : shards_) s.store.clear();
-  for (auto& [k, v] : fresh) {
-    Shard& s = shardFor(k);
-    s.store.emplace(std::move(k), std::move(v));
-  }
+  engine_->clear();
+  for (auto& [k, v] : fresh) engine_->put(k, std::move(v));
   return true;
 }
 

@@ -1,34 +1,47 @@
-// Single-process DHT backend: sharded map, one logical peer.
+// Single-process DHT backend: one logical peer over a storage engine.
 //
 // Functionally identical to any real substrate (same put/get contract and
 // lookup accounting, 1 hop per lookup), with no routing cost. Used by unit
 // tests and by benches whose metric is DHT-lookup counts — which the paper
 // notes are independent of network scale (their footnote 5).
 //
-// Thread safety (DESIGN.md §10): the store is split into kShards buckets,
-// each its own {mutex, map}. An op locks exactly the one shard its key
-// hashes to, so disjoint keys proceed in parallel and apply() stays atomic
-// per key (the mutator runs under the shard lock — the "executes at the
-// storing peer" contract). size() and snapshots lock all shards in index
-// order.
+// Storage lives behind store::StorageEngine (DESIGN.md §11): the default
+// MemEngine is the previous inline sharded map, and a DurableEngine gives
+// the peer a write-ahead-logged, snapshot-compacted disk store that
+// survives a process restart. Thread safety is the engine's contract: ops
+// on disjoint keys proceed in parallel, apply() runs its mutator atomically
+// per key ("executes at the storing peer").
 #pragma once
 
-#include <array>
-#include <mutex>
-#include <unordered_map>
+#include <memory>
 
 #include "dht/dht.h"
+#include "store/engine.h"
 
 namespace lht::dht {
 
 class LocalDht final : public Dht {
  public:
+  /// Defaults to the volatile MemEngine. Pass a DurableEngine to give this
+  /// peer a crash-surviving disk store.
+  LocalDht();
+  explicit LocalDht(std::unique_ptr<store::StorageEngine> engine);
+
   void put(const Key& key, Value value) override;
   std::optional<Value> get(const Key& key) override;
   bool remove(const Key& key) override;
   bool apply(const Key& key, const Mutator& fn) override;
   void storeDirect(const Key& key, Value value) override;
   [[nodiscard]] size_t size() const override;
+
+  /// Durability administration (unaccounted): flush / snapshot+truncate
+  /// the engine's log. No-ops on the MemEngine.
+  void syncStorage() override { engine_->sync(); }
+  void compactStorage() override { engine_->compact(); }
+
+  /// The engine backing this peer (tests, diagnostics).
+  [[nodiscard]] store::StorageEngine& engine() { return *engine_; }
+  [[nodiscard]] const store::StorageEngine& engine() const { return *engine_; }
 
   /// Persists the whole store to `path` (versioned binary format); an
   /// index over a LocalDht can thus be snapshotted and reopened later.
@@ -40,18 +53,7 @@ class LocalDht final : public Dht {
   bool loadSnapshot(const std::string& path);
 
  private:
-  static constexpr size_t kShards = 64;  // power of two
-
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, Value> store;
-  };
-
-  Shard& shardFor(const Key& key) {
-    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
-  }
-
-  std::array<Shard, kShards> shards_;
+  std::unique_ptr<store::StorageEngine> engine_;
 };
 
 }  // namespace lht::dht

@@ -24,13 +24,13 @@
 
 #include <map>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/striped_mutex.h"
 #include "dht/dht.h"
 #include "net/sim_network.h"
+#include "store/mem_table.h"
 
 namespace lht::dht {
 
@@ -78,7 +78,7 @@ class PastryDht final : public Dht {
     // 0 is used as "empty" (node ids of 0 are excluded at join).
     common::u64 routing[16][16] = {};
     std::vector<common::u64> leafSet;  // sorted circular neighbors, both sides
-    std::unordered_map<Key, Value> store;
+    store::MemTable store;
   };
 
   // Private helpers assume topoMutex_ held; store accesses additionally

@@ -32,23 +32,45 @@ void putRecords(common::Encoder& enc, const std::vector<index::Record>& records)
   }
 }
 
-bool getRecords(common::Decoder& dec, std::vector<index::Record>& out) {
+BucketDecodeError getRecords(common::Decoder& dec,
+                             std::vector<index::Record>& out) {
   auto count = dec.getU32();
-  if (!count) return false;
+  if (!count) return BucketDecodeError::Truncated;
   // Each record takes at least 12 bytes (key + payload length prefix); an
   // implausible count means a corrupt value — reject before reserving.
-  if (*count > dec.remaining() / 12) return false;
+  if (*count > dec.remaining() / 12) return BucketDecodeError::BadRecordCount;
   out.reserve(*count);
   for (common::u32 i = 0; i < *count; ++i) {
     auto key = dec.getDouble();
     auto payload = dec.getString();
-    if (!key || !payload) return false;
+    if (!key || !payload) return BucketDecodeError::Truncated;
     out.push_back(index::Record{*key, std::move(*payload)});
   }
-  return true;
+  return BucketDecodeError::None;
+}
+
+/// getLabel() consumes a u32+u64 pair and then validates it; with the
+/// bytes present, a failure means the pair itself was not a valid label.
+BucketDecodeError classifyLabelFailure(size_t remainingBefore) {
+  return remainingBefore >= 4 + 8 ? BucketDecodeError::BadLabel
+                                  : BucketDecodeError::Truncated;
 }
 
 }  // namespace
+
+const char* toString(BucketDecodeError e) {
+  switch (e) {
+    case BucketDecodeError::None: return "none";
+    case BucketDecodeError::Truncated: return "truncated";
+    case BucketDecodeError::BadVersion: return "bad_version";
+    case BucketDecodeError::BadLabel: return "bad_label";
+    case BucketDecodeError::TokenWindowOverflow: return "token_window_overflow";
+    case BucketDecodeError::BadRecordCount: return "bad_record_count";
+    case BucketDecodeError::BadIntentFlags: return "bad_intent_flags";
+    case BucketDecodeError::TrailingBytes: return "trailing_bytes";
+  }
+  return "unknown";
+}
 
 bool LeafBucket::hasApplied(common::u64 token) const {
   if (token == 0) return false;
@@ -104,50 +126,75 @@ std::string LeafBucket::serialize() const {
 }
 
 std::optional<LeafBucket> LeafBucket::deserialize(std::string_view bytes) {
+  return std::move(deserializeEx(bytes).bucket);
+}
+
+BucketDecodeResult LeafBucket::deserializeEx(std::string_view bytes) {
+  const auto fail = [](BucketDecodeError e) {
+    return BucketDecodeResult{std::nullopt, e};
+  };
   common::Decoder dec(bytes);
   auto version = dec.getU8();
-  if (!version || *version != kBucketFormatVersion) return std::nullopt;
+  if (!version) return fail(BucketDecodeError::Truncated);
+  if (*version != kBucketFormatVersion) {
+    return fail(BucketDecodeError::BadVersion);
+  }
+  size_t before = dec.remaining();
   auto label = dec.getLabel();
+  if (!label) return fail(classifyLabelFailure(before));
   auto epoch = dec.getU64();
   auto tokenCount = dec.getU32();
-  if (!label || !epoch || !tokenCount) return std::nullopt;
-  if (*tokenCount > kAppliedOpsWindow) return std::nullopt;
+  if (!epoch || !tokenCount) return fail(BucketDecodeError::Truncated);
+  if (*tokenCount > kAppliedOpsWindow) {
+    return fail(BucketDecodeError::TokenWindowOverflow);
+  }
   LeafBucket b;
   b.label = *label;
   b.epoch = *epoch;
   b.appliedOps.reserve(*tokenCount);
   for (common::u32 i = 0; i < *tokenCount; ++i) {
     auto t = dec.getU64();
-    if (!t) return std::nullopt;
+    if (!t) return fail(BucketDecodeError::Truncated);
     b.appliedOps.push_back(*t);
   }
-  if (!getRecords(dec, b.records)) return std::nullopt;
+  if (auto e = getRecords(dec, b.records); e != BucketDecodeError::None) {
+    return fail(e);
+  }
   auto flags = dec.getU8();
-  if (!flags || (*flags & ~(kHasSplitIntent | kHasMergeIntent)) != 0) {
-    return std::nullopt;
+  if (!flags) return fail(BucketDecodeError::Truncated);
+  if ((*flags & ~(kHasSplitIntent | kHasMergeIntent)) != 0) {
+    return fail(BucketDecodeError::BadIntentFlags);
   }
   if (*flags & kHasSplitIntent) {
     SplitIntent si;
+    before = dec.remaining();
     auto moved = dec.getLabel();
+    if (!moved) return fail(classifyLabelFailure(before));
     auto token = dec.getU64();
-    if (!moved || !token) return std::nullopt;
+    if (!token) return fail(BucketDecodeError::Truncated);
     si.movedLabel = *moved;
     si.token = *token;
-    if (!getRecords(dec, si.moving)) return std::nullopt;
+    if (auto e = getRecords(dec, si.moving); e != BucketDecodeError::None) {
+      return fail(e);
+    }
     b.splitIntent = std::move(si);
   }
   if (*flags & kHasMergeIntent) {
     MergeIntent mi;
+    before = dec.remaining();
     auto donor = dec.getLabel();
+    if (!donor) return fail(classifyLabelFailure(before));
     auto token = dec.getU64();
-    if (!donor || !token) return std::nullopt;
+    if (!token) return fail(BucketDecodeError::Truncated);
     mi.donorLabel = *donor;
     mi.token = *token;
-    if (!getRecords(dec, mi.moving)) return std::nullopt;
+    if (auto e = getRecords(dec, mi.moving); e != BucketDecodeError::None) {
+      return fail(e);
+    }
     b.mergeIntent = std::move(mi);
   }
-  if (!dec.atEnd()) return std::nullopt;
-  return b;
+  if (!dec.atEnd()) return fail(BucketDecodeError::TrailingBytes);
+  return BucketDecodeResult{std::move(b), BucketDecodeError::None};
 }
 
 LeafBucket splitBucket(LeafBucket& bucket) {

@@ -56,6 +56,26 @@ struct MergeIntent {
   friend bool operator==(const MergeIntent&, const MergeIntent&) = default;
 };
 
+/// Why a bucket decode was rejected. Stored bucket bytes now survive
+/// restarts (DESIGN.md §11), so a decode failure is a durability event that
+/// callers may log or alert on — "which way were the bytes bad" matters,
+/// not just that they were.
+enum class BucketDecodeError : common::u8 {
+  None = 0,            ///< decode succeeded
+  Truncated,           ///< bytes ran out in the middle of a field
+  BadVersion,          ///< unknown wire-format version byte
+  BadLabel,            ///< label length/bits pair is not a valid label
+  TokenWindowOverflow, ///< applied-op count exceeds the bounded window
+  BadRecordCount,      ///< record count larger than the bytes could hold
+  BadIntentFlags,      ///< unknown bits set in the intent presence byte
+  TrailingBytes,       ///< a complete bucket followed by extra bytes
+};
+
+/// Stable diagnostic name ("truncated", "bad_version", ...).
+[[nodiscard]] const char* toString(BucketDecodeError e);
+
+struct BucketDecodeResult;
+
 struct LeafBucket {
   Label label;
   std::vector<index::Record> records;
@@ -95,6 +115,15 @@ struct LeafBucket {
   /// Wire format for storage in the DHT (versioned; see bucket.cpp).
   [[nodiscard]] std::string serialize() const;
   static std::optional<LeafBucket> deserialize(std::string_view bytes);
+  /// Like deserialize(), but reports *why* a decode was rejected.
+  static BucketDecodeResult deserializeEx(std::string_view bytes);
+};
+
+struct BucketDecodeResult {
+  std::optional<LeafBucket> bucket;  ///< set iff error == None
+  BucketDecodeError error = BucketDecodeError::None;
+
+  [[nodiscard]] explicit operator bool() const { return bucket.has_value(); }
 };
 
 /// Algorithm 1 (leaf split), the local part: splits `bucket` at its

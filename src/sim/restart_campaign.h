@@ -1,0 +1,82 @@
+// Restart campaign: exhaustive crash-restart testing of the durable bucket
+// store under the full LHT stack (DESIGN.md §11).
+//
+// Where the fault campaign kills the *client* between DHT writes, this
+// campaign kills the *storage engine* at I/O boundaries: a per-seed shadow
+// run over a DurableEngine-backed LocalDht counts every write/fsync the
+// workload performs (index traffic plus periodic compactStorage calls),
+// then the workload is replayed once per boundary with a CrashInjector
+// armed to die exactly there — alternating clean kills with torn writes
+// that persist only a proper prefix of the final buffer, so torn WAL
+// tails, half-written segments, and half-finished snapshot compactions are
+// all actually produced on disk.
+//
+// After each kill the directory is reopened cold: a fresh DurableEngine
+// recovers (snapshot + WAL replay, checksum verification, torn-tail
+// truncation), and a fresh attaching client verifies the rebuilt index
+// differentially against a ReferenceIndex oracle — the one operation in
+// flight at the kill is "in doubt" (its effect may or may not have reached
+// the log) and may land either way; everything else must match exactly.
+// Lookup-triggered repair plus repairSweep() must then leave no intent
+// markers behind, checked structurally with exec::scanAtomicSplits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::sim {
+
+struct RestartCampaignConfig {
+  /// Independent workloads; every I/O boundary below is hit for each seed.
+  size_t seeds = 16;
+  common::u64 baseSeed = 1;
+
+  /// Workload shape (inserts drive splits, erases drive merges).
+  size_t inserts = 16;
+  size_t erases = 8;
+  common::u32 thetaSplit = 4;
+
+  /// Snapshot + log-truncation compaction runs after every this many
+  /// workload ops, so kills land inside compactions too. 0 disables.
+  size_t compactEvery = 6;
+
+  /// Engine shape: a small segment size forces WAL rotation mid-workload,
+  /// and a small spill threshold keeps most bucket values on disk behind
+  /// the mmap reader while the crashes happen.
+  common::u64 segmentBytes = 2048;
+  common::u64 spillValueBytes = 96;
+
+  /// Fsync boundaries are counted (and crashed at) either way; issuing the
+  /// physical syscall only costs time in a campaign, so default off.
+  bool physicalFsync = false;
+
+  /// Scratch directory root; empty means the system temp directory. The
+  /// campaign wipes and recreates per-scenario subdirectories under it.
+  std::string scratchRoot;
+};
+
+struct RestartCampaignReport {
+  size_t scenarios = 0;          ///< boundaries killed and recovered
+  size_t opCrashes = 0;          ///< kills inside an index operation
+  size_t compactionCrashes = 0;  ///< kills inside compactStorage()
+  size_t bootstrapCrashes = 0;   ///< kills before the index existed
+  size_t shutdownCrashes = 0;    ///< kills on the engine's shutdown flush
+  size_t tornTailRecoveries = 0; ///< reopens that truncated a torn tail
+  size_t snapshotFallbacks = 0;  ///< reopens that used an older snapshot
+  common::u64 replayedRecords = 0;  ///< WAL records replayed across reopens
+  size_t splitRepairs = 0;
+  size_t mergeRepairs = 0;
+  /// Human-readable verification failures; empty means every kill
+  /// recovered to a state consistent with the oracle.
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the full campaign. Deterministic: identical configs give identical
+/// reports (scratch I/O aside).
+RestartCampaignReport runRestartCampaign(const RestartCampaignConfig& cfg);
+
+}  // namespace lht::sim

@@ -1,0 +1,295 @@
+#include "store/durable_engine.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/obs.h"
+#include "store/snapshot.h"
+
+namespace lht::store {
+
+DurableEngine::DurableEngine(DurableOptions options)
+    : options_(std::move(options)) {
+  ensureDir(options_.dir);
+  recover();
+}
+
+// Recovery -------------------------------------------------------------------
+
+void DurableEngine::recover() {
+  // Garbage from an interrupted compaction is never trusted.
+  for (const auto& tmp : listFiles(options_.dir, "", ".tmp")) {
+    removeFile(options_.dir + "/" + tmp);
+  }
+
+  auto storeRecovered = [&](std::string&& key, std::string&& value,
+                            const std::string& file, u64 valueOffset) {
+    Entry e;
+    if (value.size() >= options_.spillValueBytes) {
+      e.spilled = true;
+      e.file = file;
+      e.offset = valueOffset;
+      e.len = value.size();
+    } else {
+      e.inlineValue = std::move(value);
+    }
+    shardFor(key).table[std::move(key)] = std::move(e);
+  };
+
+  // Newest readable snapshot wins; older ones are fallbacks for the case
+  // where the newest was damaged but its WAL prefix still exists (e.g. a
+  // crash landed between publishing a snapshot and deleting old files).
+  u64 snapLsn = 0;
+  auto snaps = listSnapshots(options_.dir);
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    try {
+      snapLsn = loadSnapshot(
+          options_.dir, *it,
+          [&](std::string&& key, std::string&& value, u64 valueOffset) {
+            storeRecovered(std::move(key), std::move(value), *it, valueOffset);
+          });
+      break;
+    } catch (const StoreCorruptionError&) {
+      for (auto& shard : shards_) shard.table.clear();
+      recovery_.usedFallbackSnapshot = true;
+      if (std::next(it) == snaps.rend()) throw;  // no snapshot left to try
+    }
+  }
+  if (snaps.empty()) recovery_.usedFallbackSnapshot = false;
+
+  const auto scan = scanWal(
+      options_.dir, snapLsn, [&](const WalRecord& rec) {
+        switch (rec.op) {
+          case WalOp::Put:
+            storeRecovered(std::string(rec.key), std::string(rec.value),
+                           walSegmentName(rec.segmentSeq), rec.valueOffset);
+            break;
+          case WalOp::Erase:
+            shardFor(rec.key).table.erase(rec.key);
+            break;
+          case WalOp::Clear:
+            for (auto& shard : shards_) shard.table.clear();
+            break;
+        }
+      });
+
+  recovery_.snapshotLsn = snapLsn;
+  recovery_.replayedRecords = scan.replayedRecords;
+  recovery_.tornBytesTruncated = scan.tornBytesTruncated;
+  recovery_.recoveredLsn = std::max(snapLsn, scan.lastLsn);
+
+  WalWriter::Options wo;
+  wo.dir = options_.dir;
+  wo.segmentBytes = options_.segmentBytes;
+  wo.bufferBytes = options_.walBufferBytes;
+  wo.physicalFsync = options_.physicalFsync;
+  wo.injector = options_.injector;
+  wal_ = std::make_unique<WalWriter>(std::move(wo), scan.maxSegmentSeq + 1,
+                                     recovery_.recoveredLsn + 1);
+}
+
+// Value representation -------------------------------------------------------
+
+DurableEngine::Entry DurableEngine::makeEntry(Value&& value,
+                                              const WalAppendResult& at) {
+  Entry e;
+  if (value.size() >= options_.spillValueBytes) {
+    e.spilled = true;
+    e.file = walSegmentName(at.segmentSeq);
+    e.offset = at.valueOffset;
+    e.len = at.valueLen;
+    obs::count("store.engine.spilled_values");
+  } else {
+    e.inlineValue = std::move(value);
+  }
+  return e;
+}
+
+Value DurableEngine::materialize(const Entry& e) const {
+  if (!e.spilled) return e.inlineValue;
+  // The slot may still sit in the WAL's user-space log buffer; push it to
+  // the OS (no fsync) so the mapping below can see it.
+  wal_->ensureFileVisible(e.file);
+  // Callers hold the entry's stripe lock, which excludes compaction — the
+  // file cannot be deleted out from under the mapping.
+  std::lock_guard lk(mmapMutex_);
+  auto it = mmaps_.find(e.file);
+  if (it == mmaps_.end()) {
+    it = mmaps_.emplace(e.file, MmapFile::open(options_.dir + "/" + e.file))
+             .first;
+  }
+  return Value(it->second.view(e.offset, e.len));
+}
+
+// StorageEngine interface ----------------------------------------------------
+
+void DurableEngine::put(const Key& key, Value value) {
+  u64 lsn = 0;
+  {
+    auto& shard = shardFor(key);
+    std::lock_guard lk(shard.mutex);
+    const auto at = wal_->append(WalOp::Put, key, value);
+    lsn = at.lsn;
+    shard.table[key] = makeEntry(std::move(value), at);
+  }
+  if (options_.syncEachCommit) wal_->waitDurable(lsn);
+}
+
+std::optional<Value> DurableEngine::get(const Key& key) const {
+  const auto& shard = shardFor(key);
+  std::lock_guard lk(shard.mutex);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return std::nullopt;
+  return materialize(it->second);
+}
+
+bool DurableEngine::erase(const Key& key) {
+  u64 lsn = 0;
+  {
+    auto& shard = shardFor(key);
+    std::lock_guard lk(shard.mutex);
+    auto it = shard.table.find(key);
+    if (it == shard.table.end()) return false;
+    lsn = wal_->append(WalOp::Erase, key, {}).lsn;
+    shard.table.erase(it);
+  }
+  if (options_.syncEachCommit) wal_->waitDurable(lsn);
+  return true;
+}
+
+bool DurableEngine::apply(const Key& key, const Mutator& fn) {
+  bool existed = false;
+  u64 lsn = 0;  // 0: the mutator was a no-op, nothing logged
+  {
+    auto& shard = shardFor(key);
+    std::lock_guard lk(shard.mutex);
+    auto it = shard.table.find(key);
+    existed = it != shard.table.end();
+    std::optional<Value> v;
+    if (existed) v = materialize(it->second);
+    fn(v);
+    if (v.has_value()) {
+      const auto at = wal_->append(WalOp::Put, key, *v);
+      lsn = at.lsn;
+      shard.table[key] = makeEntry(std::move(*v), at);
+    } else if (existed) {
+      lsn = wal_->append(WalOp::Erase, key, {}).lsn;
+      shard.table.erase(key);
+    }
+  }
+  if (lsn != 0 && options_.syncEachCommit) wal_->waitDurable(lsn);
+  return existed;
+}
+
+size_t DurableEngine::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard.mutex);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+size_t DurableEngine::spilledCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard.mutex);
+    for (const auto& [k, e] : shard.table) n += e.spilled ? 1 : 0;
+  }
+  return n;
+}
+
+void DurableEngine::forEach(
+    const std::function<void(const Key&, const Value&)>& fn) const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (const auto& shard : shards_) locks.emplace_back(shard.mutex);
+  for (const auto& shard : shards_) {
+    for (const auto& [key, entry] : shard.table) {
+      const Value v = materialize(entry);
+      fn(key, v);
+    }
+  }
+}
+
+void DurableEngine::clear() {
+  u64 lsn = 0;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(kShards);
+    for (auto& shard : shards_) locks.emplace_back(shard.mutex);
+    lsn = wal_->append(WalOp::Clear, {}, {}).lsn;
+    for (auto& shard : shards_) shard.table.clear();
+  }
+  if (options_.syncEachCommit) wal_->waitDurable(lsn);
+}
+
+void DurableEngine::sync() { wal_->waitDurable(wal_->appendedLsn()); }
+
+void DurableEngine::compact() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard compacting(compactMutex_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (auto& shard : shards_) locks.emplace_back(shard.mutex);
+
+  // Seal the log: everything appended so far becomes durable in segments
+  // <= sealedSeq; the writer moves on to a fresh segment whose records all
+  // carry lsn > snapLsn.
+  const u64 sealedSeq = wal_->rotate();
+  const u64 snapLsn = wal_->appendedLsn();
+
+  u64 count = 0;
+  for (const auto& shard : shards_) count += shard.table.size();
+
+  SnapshotWriter writer(options_.dir, snapLsn, count, options_.injector,
+                        options_.physicalFsync);
+  for (auto& shard : shards_) {
+    for (auto& [key, entry] : shard.table) {
+      const Value v = materialize(entry);
+      const u64 valueOffset = writer.add(key, v);
+      if (entry.spilled) {
+        // Re-point the slot into the snapshot: its old home (a sealed
+        // segment or an older snapshot) is deleted below.
+        entry.file = snapshotName(snapLsn);
+        entry.offset = valueOffset;
+        entry.len = v.size();
+      }
+    }
+  }
+  const std::string published = writer.finish();
+
+  // The snapshot now covers every sealed segment and supersedes every
+  // older snapshot; delete both, and drop mappings of deleted files.
+  {
+    std::lock_guard lk(mmapMutex_);
+    for (const auto& name : listFiles(options_.dir, "wal-", ".log")) {
+      // Segment names sort by sequence; keep only the writer's current one.
+      if (name < walSegmentName(sealedSeq + 1)) {
+        mmaps_.erase(name);
+        removeFile(options_.dir + "/" + name);
+      }
+    }
+    for (const auto& name : listSnapshots(options_.dir)) {
+      if (name != published) {
+        mmaps_.erase(name);
+        removeFile(options_.dir + "/" + name);
+      }
+    }
+  }
+  fsyncDir(options_.dir, options_.injector, options_.physicalFsync);
+
+  const auto ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  obs::count("store.snapshot.count");
+  obs::observeMs("store.snapshot.duration_ms", ms);
+}
+
+std::unique_ptr<StorageEngine> makeDurableEngine(DurableOptions options) {
+  return std::make_unique<DurableEngine>(std::move(options));
+}
+
+}  // namespace lht::store

@@ -1,0 +1,117 @@
+// DurableEngine: the crash-surviving storage engine (DESIGN.md §11).
+//
+// Same sharded shape as MemEngine, with every mutation logged to a
+// group-committed WAL before the in-memory table changes, periodic
+// snapshot + log-truncation compaction, and values at or above a spill
+// threshold kept on disk (served by reference through an mmap'd reader)
+// instead of inline — the table then holds only keys and slot refs, so the
+// store can exceed what the inline representation would fit in RAM.
+//
+// Construction IS recovery: open the directory, load the newest readable
+// snapshot (falling back to an older one if the newest is damaged and the
+// log still covers the difference), replay the WAL suffix with per-record
+// checksum verification, truncate a torn tail, and start a fresh segment.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "store/engine.h"
+#include "store/mmap_file.h"
+#include "store/wal.h"
+
+namespace lht::store {
+
+struct DurableOptions {
+  std::string dir;                 ///< storage directory (created on open)
+  u64 segmentBytes = 4ull << 20;   ///< WAL segment rotation size
+  u64 walBufferBytes = 256ull << 10;  ///< WAL log-buffer threshold (0: none)
+  /// Wait for group commit (fsync) before each mutation returns. Off: the
+  /// log is written eagerly but made durable only by sync()/compact()/
+  /// rotation — the usual group-commit vs. buffered trade.
+  bool syncEachCommit = false;
+  /// False counts fsync boundaries without issuing the syscall — the
+  /// restart campaign's speed knob (tearing happens at write boundaries,
+  /// which are unaffected).
+  bool physicalFsync = true;
+  /// Values with size >= this stay on disk as slot refs (mmap-served).
+  u64 spillValueBytes = u64(-1);
+  CrashInjector* injector = nullptr;  ///< crash seam; nullptr in production
+};
+
+class DurableEngine final : public StorageEngine {
+ public:
+  /// Opens (and recovers) the store at options.dir. Throws
+  /// StoreCorruptionError when the on-disk state is damaged beyond the
+  /// documented torn-tail/fallback repairs.
+  explicit DurableEngine(DurableOptions options);
+
+  void put(const Key& key, Value value) override;
+  [[nodiscard]] std::optional<Value> get(const Key& key) const override;
+  bool erase(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  [[nodiscard]] size_t size() const override;
+  void forEach(
+      const std::function<void(const Key&, const Value&)>& fn) const override;
+  void clear() override;
+  void sync() override;
+  void compact() override;
+  [[nodiscard]] const char* name() const override { return "durable"; }
+
+  struct RecoveryInfo {
+    u64 snapshotLsn = 0;        ///< LSN of the snapshot recovery loaded
+    u64 recoveredLsn = 0;       ///< LSN the store resumed at
+    u64 replayedRecords = 0;    ///< WAL records applied on top
+    u64 tornBytesTruncated = 0; ///< bytes cut off the torn tail
+    bool usedFallbackSnapshot = false;  ///< newest snapshot was unreadable
+  };
+  [[nodiscard]] const RecoveryInfo& recoveryInfo() const { return recovery_; }
+
+  [[nodiscard]] u64 appendedLsn() const { return wal_->appendedLsn(); }
+  [[nodiscard]] u64 durableLsn() const { return wal_->durableLsn(); }
+  /// Entries currently held as on-disk slot refs rather than inline.
+  [[nodiscard]] size_t spilledCount() const;
+
+  static constexpr size_t kShards = 64;  // power of two
+
+ private:
+  /// A stored value: inline bytes, or a reference into a WAL segment /
+  /// snapshot file when it met the spill threshold.
+  struct Entry {
+    Value inlineValue;
+    bool spilled = false;
+    std::string file;  ///< segment/snapshot file name (spilled only)
+    u64 offset = 0;
+    u64 len = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Entry> table;
+  };
+
+  Shard& shardFor(const Key& key) {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+  const Shard& shardFor(const Key& key) const {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+
+  Entry makeEntry(Value&& value, const WalAppendResult& at);
+  [[nodiscard]] Value materialize(const Entry& e) const;
+  void recover();
+
+  DurableOptions options_;
+  std::array<Shard, kShards> shards_;
+  std::unique_ptr<WalWriter> wal_;
+  std::mutex compactMutex_;
+  mutable std::mutex mmapMutex_;
+  mutable std::unordered_map<std::string, MmapFile> mmaps_;
+  RecoveryInfo recovery_;
+};
+
+std::unique_ptr<StorageEngine> makeDurableEngine(DurableOptions options);
+
+}  // namespace lht::store

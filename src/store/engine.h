@@ -1,0 +1,67 @@
+// StorageEngine: the storage seam of a DHT peer.
+//
+// Every substrate used to hold its stored key/value pairs in ad-hoc
+// unordered_maps; this interface extracts that into a swappable engine so
+// the same substrate can run volatile (MemEngine — the old maps, verbatim)
+// or durable (DurableEngine — a group-committed write-ahead log plus
+// snapshots, surviving a process restart). LocalDht owns exactly one
+// engine; the engine is what a "peer's disk" is in this codebase.
+//
+// Thread safety: engines are internally synchronized — concurrent calls
+// from many client threads are safe, and apply() runs its mutator
+// atomically per key (the "executes at the storing peer" contract the
+// substrates rely on). forEach observes a consistent cut.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "store/mem_table.h"
+
+namespace lht::store {
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Stores `value` under `key` (create or overwrite).
+  virtual void put(const Key& key, Value value) = 0;
+
+  /// The stored value, nullopt when absent.
+  [[nodiscard]] virtual std::optional<Value> get(const Key& key) const = 0;
+
+  /// Removes `key`; returns whether it was present.
+  virtual bool erase(const Key& key) = 0;
+
+  /// Atomic per-key read-modify-write; returns whether the key existed
+  /// before the call. The mutator runs under the engine's per-key lock.
+  virtual bool apply(const Key& key, const Mutator& fn) = 0;
+
+  /// Key/value pairs currently stored.
+  [[nodiscard]] virtual size_t size() const = 0;
+
+  /// Visits every pair as one consistent cut (no concurrent mutation is
+  /// interleaved). Administrative — snapshots, verification walks.
+  virtual void forEach(
+      const std::function<void(const Key&, const Value&)>& fn) const = 0;
+
+  /// Drops everything (logged as a single record on durable engines).
+  virtual void clear() = 0;
+
+  /// Forces every acknowledged mutation onto stable storage. No-op on
+  /// volatile engines.
+  virtual void sync() {}
+
+  /// Snapshot + log truncation on durable engines; no-op otherwise.
+  virtual void compact() {}
+
+  /// Engine kind for diagnostics ("mem", "durable").
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The default engine: the substrates' previous sharded in-memory map.
+std::unique_ptr<StorageEngine> makeMemEngine();
+
+}  // namespace lht::store

@@ -1,0 +1,204 @@
+#include "store/io_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace lht::store {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw StoreIoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// CrashInjector --------------------------------------------------------------
+
+void CrashInjector::disarm() {
+  armed_ = false;
+  crashed_ = false;
+}
+
+void CrashInjector::arm(u64 crashAtEvent, double tornFraction) {
+  armed_ = true;
+  crashed_ = false;
+  crashAtEvent_ = crashAtEvent;
+  tornFraction_ = tornFraction;
+}
+
+bool CrashInjector::crashed() const { return crashed_; }
+
+u64 CrashInjector::eventsObserved() const { return events_; }
+
+size_t CrashInjector::admitWrite(size_t len) {
+  if (crashed_) throw StoreCrashError("storage crashed (post-crash write)");
+  const u64 event = events_++;
+  if (!armed_ || event != crashAtEvent_) return len;
+  if (tornFraction_ > 0.0 && len > 1) {
+    auto prefix = static_cast<size_t>(static_cast<double>(len) * tornFraction_);
+    prefix = std::min(prefix, len - 1);  // a *proper* prefix, never the whole
+    if (prefix > 0) return prefix;      // caller persists it, then crashNow()
+  }
+  crashNow("injected crash at write boundary");
+}
+
+void CrashInjector::admitFsync() {
+  if (crashed_) throw StoreCrashError("storage crashed (post-crash fsync)");
+  const u64 event = events_++;
+  if (armed_ && event == crashAtEvent_) {
+    crashNow("injected crash at fsync boundary");
+  }
+}
+
+void CrashInjector::crashNow(const std::string& what) {
+  crashed_ = true;
+  throw StoreCrashError(what);
+}
+
+// File -----------------------------------------------------------------------
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)),
+      injector_(std::exchange(other.injector_, nullptr)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+    injector_ = std::exchange(other.injector_, nullptr);
+  }
+  return *this;
+}
+
+File File::create(const std::string& path, CrashInjector* injector) {
+  File f;
+  f.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (f.fd_ < 0) throwErrno("create", path);
+  f.path_ = path;
+  f.injector_ = injector;
+  return f;
+}
+
+File File::openAppend(const std::string& path, CrashInjector* injector) {
+  File f;
+  f.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (f.fd_ < 0) throwErrno("open", path);
+  const auto size = fileSize(path);
+  if (!size) throwErrno("stat", path);
+  f.size_ = *size;
+  f.path_ = path;
+  f.injector_ = injector;
+  return f;
+}
+
+void File::append(std::string_view bytes) {
+  if (bytes.empty()) return;
+  size_t allowed = bytes.size();
+  bool crashAfter = false;
+  if (injector_ != nullptr) {
+    allowed = injector_->admitWrite(bytes.size());
+    crashAfter = allowed < bytes.size();
+  }
+  size_t done = 0;
+  while (done < allowed) {
+    const ssize_t n = ::write(fd_, bytes.data() + done, allowed - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("write", path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  size_ += done;
+  if (crashAfter) injector_->crashNow("injected torn write");
+}
+
+void File::sync(bool physical) {
+  if (injector_ != nullptr) injector_->admitFsync();
+  if (!physical) return;
+  if (::fdatasync(fd_) != 0) throwErrno("fdatasync", path_);
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// Directory helpers ----------------------------------------------------------
+
+void ensureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw StoreIoError("mkdir " + dir + ": " + ec.message());
+}
+
+std::vector<std::string> listFiles(const std::string& dir,
+                                   std::string_view prefix,
+                                   std::string_view suffix) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    out.push_back(name);
+  }
+  if (ec) throw StoreIoError("list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void removeFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) throw StoreIoError("remove " + path + ": " + ec.message());
+}
+
+void atomicRename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) throwErrno("rename", from);
+}
+
+void fsyncDir(const std::string& dir, CrashInjector* injector, bool physical) {
+  if (injector != nullptr) injector->admitFsync();
+  if (!physical) return;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throwErrno("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throwErrno("fsync dir", dir);
+}
+
+void truncateFile(const std::string& path, u64 size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throwErrno("truncate", path);
+  }
+}
+
+std::optional<u64> fileSize(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  return static_cast<u64>(n);
+}
+
+}  // namespace lht::store

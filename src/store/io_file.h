@@ -1,0 +1,121 @@
+// Low-level file primitives of the durability layer, plus the crash
+// injection seam the restart fault campaign drives.
+//
+// Every byte the WAL and snapshot writers persist goes through File, and
+// every write()/fsync() boundary is announced to the attached CrashInjector
+// first. The injector can kill the "process" at any such boundary —
+// optionally persisting only a prefix of the crashing write (a torn write)
+// — by throwing StoreCrashError, which no layer may absorb. Reopening the
+// same directory afterwards exercises exactly the recovery path a real
+// crash-restart would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "store/store_error.h"
+
+namespace lht::store {
+
+using common::u64;
+
+/// Deterministic crash scheduler. Counts I/O boundary events (each write()
+/// and each fsync() the storage layer performs); when armed, the event with
+/// index `crashAtEvent` does not complete: a write persists only
+/// floor(len * tornFraction) bytes (0 with tornFraction <= 0), an fsync
+/// persists nothing extra, and StoreCrashError is thrown. Once crashed,
+/// every further I/O throws immediately — the engine is dead until the
+/// harness reopens the directory with a fresh one.
+class CrashInjector {
+ public:
+  /// Counts events without ever crashing (shadow pass).
+  void disarm();
+  /// Crash at 0-based event `crashAtEvent`; `tornFraction` in [0, 1) makes
+  /// the crashing write torn (a proper prefix persists).
+  void arm(u64 crashAtEvent, double tornFraction = -1.0);
+
+  [[nodiscard]] bool crashed() const;
+  /// Boundary events seen since construction (including the crashing one).
+  [[nodiscard]] u64 eventsObserved() const;
+
+  // Called by File on behalf of the storage layer ---------------------------
+  /// Announces a write of `len` bytes. Returns the byte count actually
+  /// allowed; a return < len means "persist that prefix, then crash" and
+  /// the caller must invoke crashNow() after writing it. Throws
+  /// StoreCrashError directly for clean (nothing-persists) crashes.
+  size_t admitWrite(size_t len);
+  /// Announces an fsync; throws StoreCrashError when it is the boundary.
+  void admitFsync();
+  [[noreturn]] void crashNow(const std::string& what);
+
+ private:
+  bool armed_ = false;
+  bool crashed_ = false;
+  u64 crashAtEvent_ = 0;
+  double tornFraction_ = -1.0;
+  u64 events_ = 0;
+};
+
+/// Append-oriented RAII fd wrapper. All failures throw StoreIoError; all
+/// writes and syncs are announced to the injector when one is attached.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates (or truncates) `path` for appending.
+  static File create(const std::string& path, CrashInjector* injector);
+  /// Opens an existing file for appending at `size`.
+  static File openAppend(const std::string& path, CrashInjector* injector);
+
+  /// Appends `bytes` at the end (through the injector). On a torn crash
+  /// the allowed prefix is persisted before StoreCrashError propagates.
+  void append(std::string_view bytes);
+  /// fdatasync (through the injector). When `physical` is false the
+  /// boundary is still announced but the syscall is skipped — the restart
+  /// campaign's speed knob; torn-write coverage is unaffected because
+  /// tearing happens at write boundaries.
+  void sync(bool physical = true);
+
+  void close();
+  [[nodiscard]] bool isOpen() const { return fd_ >= 0; }
+  /// Bytes appended so far (the file offset).
+  [[nodiscard]] u64 size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  u64 size_ = 0;
+  std::string path_;
+  CrashInjector* injector_ = nullptr;
+};
+
+// Directory / path helpers (throw StoreIoError on failure) -----------------
+
+/// mkdir -p.
+void ensureDir(const std::string& dir);
+/// Names (not paths) of regular files in `dir` matching prefix+suffix,
+/// sorted ascending.
+std::vector<std::string> listFiles(const std::string& dir,
+                                   std::string_view prefix,
+                                   std::string_view suffix);
+void removeFile(const std::string& path);
+/// rename(2): atomic replacement on the same filesystem.
+void atomicRename(const std::string& from, const std::string& to);
+/// fsync of the directory itself (makes renames/creates durable). The
+/// injector counts it as an fsync boundary.
+void fsyncDir(const std::string& dir, CrashInjector* injector,
+              bool physical = true);
+/// Truncates `path` to `size` bytes (recovery: cutting a torn tail).
+void truncateFile(const std::string& path, u64 size);
+/// Current size of `path`; nullopt when it does not exist.
+std::optional<u64> fileSize(const std::string& path);
+
+}  // namespace lht::store

@@ -1,0 +1,59 @@
+#include "store/mem_engine.h"
+
+#include <vector>
+
+namespace lht::store {
+
+void MemEngine::put(const Key& key, Value value) {
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  s.table.put(key, std::move(value));
+}
+
+std::optional<Value> MemEngine::get(const Key& key) const {
+  const Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  return s.table.get(key);
+}
+
+bool MemEngine::erase(const Key& key) {
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  return s.table.erase(key);
+}
+
+bool MemEngine::apply(const Key& key, const Mutator& fn) {
+  Shard& s = shardFor(key);
+  std::lock_guard lock(s.mutex);
+  return s.table.apply(key, fn);
+}
+
+size_t MemEngine::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard lock(s.mutex);
+    total += s.table.size();
+  }
+  return total;
+}
+
+void MemEngine::forEach(
+    const std::function<void(const Key&, const Value&)>& fn) const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (const auto& s : shards_) locks.emplace_back(s.mutex);
+  for (const auto& s : shards_) s.table.forEach(fn);
+}
+
+void MemEngine::clear() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (auto& s : shards_) locks.emplace_back(s.mutex);
+  for (auto& s : shards_) s.table.clear();
+}
+
+std::unique_ptr<StorageEngine> makeMemEngine() {
+  return std::make_unique<MemEngine>();
+}
+
+}  // namespace lht::store

@@ -1,0 +1,47 @@
+// MemEngine: the volatile storage engine, extracted from LocalDht.
+//
+// Structurally identical to LocalDht's previous inline storage: the key
+// space is split into kShards stripes, each its own {mutex, MemTable}. An
+// operation locks exactly the stripe its key hashes to, so disjoint keys
+// proceed in parallel and apply() stays atomic per key. forEach/clear lock
+// all stripes in index order (consistent cut, deadlock-free).
+#pragma once
+
+#include <array>
+#include <mutex>
+
+#include "store/engine.h"
+
+namespace lht::store {
+
+class MemEngine final : public StorageEngine {
+ public:
+  void put(const Key& key, Value value) override;
+  [[nodiscard]] std::optional<Value> get(const Key& key) const override;
+  bool erase(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  [[nodiscard]] size_t size() const override;
+  void forEach(
+      const std::function<void(const Key&, const Value&)>& fn) const override;
+  void clear() override;
+  [[nodiscard]] const char* name() const override { return "mem"; }
+
+  static constexpr size_t kShards = 64;  // power of two
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    MemTable table;
+  };
+
+  Shard& shardFor(const Key& key) {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+  const Shard& shardFor(const Key& key) const {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace lht::store

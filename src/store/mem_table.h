@@ -1,0 +1,107 @@
+// MemTable: the unsynchronized key/value core every in-memory store shares.
+//
+// This is the object that used to appear inline as a raw
+// std::unordered_map<Key, Value> in every DHT substrate (one per LocalDht
+// shard, one per overlay node). Extracting it into the store layer gives
+// all of them one storage primitive with the same read-modify-write
+// semantics as the full StorageEngine interface, so a substrate's per-node
+// store and a peer's durable store speak the same contract.
+//
+// Not synchronized: callers own the locking, exactly as they owned it when
+// the map was a bare member (LocalDht shard mutexes, the overlay
+// substrates' striped store locks).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lht::store {
+
+using Key = std::string;
+using Value = std::string;
+
+/// Read-modify-write body: sees the stored value (disengaged when absent)
+/// and may create, rewrite, or erase it (reset() == erase). Structurally
+/// identical to dht::Mutator; redeclared here so the store layer stays
+/// below the DHT layer.
+using Mutator = std::function<void(std::optional<Value>&)>;
+
+class MemTable {
+ public:
+  void put(const Key& key, Value value) { map_[key] = std::move(value); }
+
+  [[nodiscard]] std::optional<Value> get(const Key& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Borrowed view of a stored value (nullptr when absent). Valid until
+  /// the next mutation; used where a copy per probe would hurt (replica
+  /// pushes, consistency scans).
+  [[nodiscard]] const Value* find(const Key& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return map_.find(key) != map_.end();
+  }
+
+  /// Removes `key`; returns whether it was present.
+  bool erase(const Key& key) { return map_.erase(key) > 0; }
+
+  /// Removes and returns `key`'s value (nullopt when absent). The
+  /// key-handoff primitive of the overlay substrates' churn paths.
+  std::optional<Value> take(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    Value v = std::move(it->second);
+    map_.erase(it);
+    return v;
+  }
+
+  /// Atomic-with-respect-to-the-caller's-lock read-modify-write; returns
+  /// whether the key existed before the call.
+  bool apply(const Key& key, const Mutator& fn) {
+    auto it = map_.find(key);
+    const bool existed = it != map_.end();
+    std::optional<Value> v;
+    if (existed) v = std::move(it->second);
+    fn(v);
+    if (v.has_value()) {
+      map_[key] = std::move(*v);
+    } else if (existed) {
+      map_.erase(key);
+    }
+    return existed;
+  }
+
+  /// Drains the whole table into (key, value) pairs, leaving it empty.
+  /// Used when a peer leaves and its keys must re-home.
+  std::vector<std::pair<Key, Value>> drain() {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(map_.size());
+    for (auto& [k, v] : map_) out.emplace_back(k, std::move(v));
+    map_.clear();
+    return out;
+  }
+
+  void forEach(const std::function<void(const Key&, const Value&)>& fn) const {
+    for (const auto& [k, v] : map_) fn(k, v);
+  }
+
+  [[nodiscard]] size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+
+ private:
+  std::unordered_map<Key, Value> map_;
+};
+
+}  // namespace lht::store

@@ -1,0 +1,94 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lht::store {
+
+namespace {
+
+u64 statSize(int fd, const std::string& path) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    throw StoreIoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  return static_cast<u64>(st.st_size);
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      base_(std::exchange(other.base_, nullptr)),
+      mapped_(std::exchange(other.mapped_, 0)),
+      path_(std::move(other.path_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_ = std::exchange(other.mapped_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+MmapFile MmapFile::open(const std::string& path) {
+  MmapFile f;
+  f.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (f.fd_ < 0) {
+    throw StoreIoError("open " + path + ": " + std::strerror(errno));
+  }
+  f.path_ = path;
+  f.remap();
+  return f;
+}
+
+void MmapFile::remap() {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_);
+    base_ = nullptr;
+    mapped_ = 0;
+  }
+  const u64 size = statSize(fd_, path_);
+  if (size == 0) return;  // empty files map on first non-empty remap
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, 0);
+  if (p == MAP_FAILED) {
+    throw StoreIoError("mmap " + path_ + ": " + std::strerror(errno));
+  }
+  base_ = p;
+  mapped_ = size;
+}
+
+std::string_view MmapFile::view(u64 offset, u64 len) {
+  if (offset + len > mapped_) remap();
+  if (offset + len > mapped_) {
+    throw StoreCorruptionError("mmap range [" + std::to_string(offset) + ", +" +
+                               std::to_string(len) + ") beyond " + path_ +
+                               " (size " + std::to_string(mapped_) + ")");
+  }
+  return {static_cast<const char*>(base_) + offset, len};
+}
+
+void MmapFile::close() {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_);
+    base_ = nullptr;
+    mapped_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace lht::store

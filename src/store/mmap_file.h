@@ -1,0 +1,53 @@
+// Read-only memory mapping of a (possibly still growing) file.
+//
+// Spilled values live inside WAL segments and snapshot files; reading them
+// back should not copy the whole file through a read() loop. MmapFile maps
+// the file once and remaps lazily when a reader asks for bytes beyond the
+// mapped length (the file grew since the map was taken). Views returned by
+// view() are valid until the next remap()/close(), so callers copy out
+// before releasing the lock that protects the mapping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "store/store_error.h"
+
+namespace lht::store {
+
+using common::u64;
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only at its current size. Throws StoreIoError.
+  static MmapFile open(const std::string& path);
+
+  /// `len` bytes starting at `offset`. Remaps when the current mapping is
+  /// too short and the file has grown; throws StoreCorruptionError when the
+  /// range lies beyond the file even after remapping.
+  [[nodiscard]] std::string_view view(u64 offset, u64 len);
+
+  /// Re-takes the mapping at the file's current size.
+  void remap();
+
+  void close();
+  [[nodiscard]] bool isOpen() const { return base_ != nullptr || fd_ >= 0; }
+  [[nodiscard]] u64 mappedSize() const { return mapped_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  void* base_ = nullptr;
+  u64 mapped_ = 0;
+  std::string path_;
+};
+
+}  // namespace lht::store

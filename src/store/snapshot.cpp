@@ -1,0 +1,128 @@
+#include "store/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/codec.h"
+#include "common/hash.h"
+
+namespace lht::store {
+
+namespace {
+constexpr u64 kSnapHeaderBytes = 4 + 4 + 8 + 8;
+}  // namespace
+
+std::string snapshotName(u64 lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%020llu.snap",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+std::vector<std::string> listSnapshots(const std::string& dir) {
+  return listFiles(dir, "snap-", ".snap");
+}
+
+std::optional<u64> snapshotLsnFromName(std::string_view name) {
+  constexpr std::string_view prefix = "snap-";
+  constexpr std::string_view suffix = ".snap";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  const auto digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  u64 lsn = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    lsn = lsn * 10 + static_cast<u64>(c - '0');
+  }
+  return lsn;
+}
+
+// SnapshotWriter -------------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::string dir, u64 snapLsn, u64 count,
+                               CrashInjector* injector, bool physicalFsync)
+    : dir_(std::move(dir)),
+      finalName_(snapshotName(snapLsn)),
+      snapLsn_(snapLsn),
+      promised_(count),
+      physicalFsync_(physicalFsync),
+      injector_(injector) {
+  file_ = File::create(dir_ + "/" + finalName_ + ".tmp", injector_);
+  common::Encoder header(kSnapHeaderBytes);
+  header.putU32(kSnapMagic);
+  header.putU32(kSnapVersion);
+  header.putU64(snapLsn_);
+  header.putU64(promised_);
+  file_.append(header.buffer());
+}
+
+u64 SnapshotWriter::add(std::string_view key, std::string_view value) {
+  common::Encoder enc(4 + key.size() + 4 + value.size() + 8);
+  enc.putString(key);
+  enc.putString(value);
+  enc.putU64(common::hash::xxhash64(enc.buffer(), snapLsn_));
+  const u64 valueOffset = file_.size() + 4 + key.size() + 4;
+  file_.append(enc.buffer());
+  ++added_;
+  return valueOffset;
+}
+
+std::string SnapshotWriter::finish() {
+  common::checkInvariant(added_ == promised_,
+                         "snapshot entry count != promised header count");
+  file_.sync(physicalFsync_);
+  file_.close();
+  atomicRename(dir_ + "/" + finalName_ + ".tmp", dir_ + "/" + finalName_);
+  fsyncDir(dir_, injector_, physicalFsync_);
+  return finalName_;
+}
+
+// Reader ---------------------------------------------------------------------
+
+u64 loadSnapshot(
+    const std::string& dir, const std::string& fileName,
+    const std::function<void(std::string&& key, std::string&& value,
+                             u64 valueOffset)>& apply) {
+  const std::string path = dir + "/" + fileName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreIoError("open snapshot " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  common::Decoder dec(bytes);
+  auto magic = dec.getU32();
+  auto version = dec.getU32();
+  auto snapLsn = dec.getU64();
+  auto count = dec.getU64();
+  if (!magic || *magic != kSnapMagic || !version || *version != kSnapVersion ||
+      !snapLsn || !count) {
+    throw StoreCorruptionError("bad snapshot header: " + path);
+  }
+  u64 offset = kSnapHeaderBytes;
+  for (u64 i = 0; i < *count; ++i) {
+    auto key = dec.getString();
+    auto value = dec.getString();
+    auto checksum = dec.getU64();
+    if (!key || !value || !checksum) {
+      throw StoreCorruptionError("truncated snapshot entry in " + path);
+    }
+    const u64 entryLen = 4 + key->size() + 4 + value->size();
+    const auto entryBytes = std::string_view(bytes).substr(offset, entryLen);
+    if (common::hash::xxhash64(entryBytes, *snapLsn) != *checksum) {
+      throw StoreCorruptionError("snapshot entry checksum mismatch in " +
+                                 path + " (entry " + std::to_string(i) + ")");
+    }
+    const u64 valueOffset = offset + 4 + key->size() + 4;
+    offset += entryLen + 8;
+    apply(std::move(*key), std::move(*value), valueOffset);
+  }
+  if (!dec.atEnd()) {
+    throw StoreCorruptionError("trailing bytes after snapshot entries in " +
+                               path);
+  }
+  return *snapLsn;
+}
+
+}  // namespace lht::store

@@ -1,0 +1,79 @@
+// Checkpoint files that let compaction truncate the WAL (DESIGN.md §11).
+//
+// A snapshot named snap-<lsn>.snap captures the entire table as of LSN
+// `lsn`: every record with lsn' <= lsn is reflected, so recovery loads the
+// newest readable snapshot and replays only the WAL suffix beyond it.
+// Layout:
+//
+//   [u32 magic "LSNP"] [u32 version] [u64 snapLsn] [u64 count]
+//   count x ( [u32 klen][key] [u32 vlen][value]
+//             [u64 checksum = xxhash64(klen..value bytes, seed = snapLsn)] )
+//
+// Seeding the per-entry checksum with snapLsn ties entries to their file —
+// bytes spliced in from another snapshot fail verification. Snapshots are
+// written to a .tmp sibling, fsynced, atomically renamed into place, and
+// the directory fsynced: a crash mid-write leaves only ignorable garbage,
+// never a half-trusted snapshot.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "store/io_file.h"
+
+namespace lht::store {
+
+using common::u32;
+
+inline constexpr u32 kSnapMagic = 0x4C534E50;  // "LSNP"
+inline constexpr u32 kSnapVersion = 1;
+
+/// Snapshot file name for `lsn` ("snap-00000000000000000042.snap").
+std::string snapshotName(u64 lsn);
+
+/// Names of all snapshot files in `dir`, sorted ascending by LSN.
+std::vector<std::string> listSnapshots(const std::string& dir);
+
+/// The LSN encoded in a snapshot file name; nullopt when it does not parse.
+std::optional<u64> snapshotLsnFromName(std::string_view name);
+
+/// Streams a snapshot to disk. `count` must be known up front (it lives in
+/// the header); finish() verifies the promise, fsyncs, renames the .tmp
+/// into place and fsyncs the directory.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(std::string dir, u64 snapLsn, u64 count,
+                 CrashInjector* injector, bool physicalFsync);
+
+  /// Appends one entry; returns the absolute offset of the value bytes in
+  /// the final file (valid once finish() succeeds) for spill references.
+  u64 add(std::string_view key, std::string_view value);
+
+  /// Seals and publishes the snapshot; returns its file name.
+  std::string finish();
+
+ private:
+  std::string dir_;
+  std::string finalName_;
+  u64 snapLsn_;
+  u64 promised_;
+  u64 added_ = 0;
+  bool physicalFsync_;
+  CrashInjector* injector_;
+  File file_;
+};
+
+/// Reads `fileName` in `dir`, verifying magic/version/count and every
+/// per-entry checksum; throws StoreCorruptionError on any damage.
+/// `apply(key, value, valueOffset)` is invoked per entry with the value's
+/// absolute offset in the file. Returns the snapshot's LSN.
+u64 loadSnapshot(
+    const std::string& dir, const std::string& fileName,
+    const std::function<void(std::string&& key, std::string&& value,
+                             u64 valueOffset)>& apply);
+
+}  // namespace lht::store

@@ -1,0 +1,48 @@
+// Typed failure taxonomy of the durability layer.
+//
+// Storage faults are not DHT faults: a DhtError means a (simulated) network
+// interaction went wrong and a retry may succeed, while a StoreError means
+// the peer's own disk state is in trouble — retrying the same call cannot
+// help, and no decorator may absorb it. Keeping the hierarchies disjoint is
+// what lets the resilience stack (dht/decorators.h) retry network failures
+// aggressively while storage corruption and injected storage crashes
+// propagate straight to the harness.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lht::store {
+
+/// Base of every storage failure.
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An operating-system I/O call failed (open/write/fsync/mmap/rename).
+class StoreIoError : public StoreError {
+ public:
+  explicit StoreIoError(const std::string& what) : StoreError(what) {}
+};
+
+/// On-disk bytes failed validation: bad magic, bad version, a checksum
+/// mismatch outside the torn-tail window, or an impossible length. Raised
+/// only where corruption is NOT survivable; torn log tails are silently
+/// truncated by recovery instead (see wal.h).
+class StoreCorruptionError : public StoreError {
+ public:
+  explicit StoreCorruptionError(const std::string& what) : StoreError(what) {}
+};
+
+/// An injected storage crash (restart fault campaign). Deliberately NOT a
+/// StoreError subclass a retry layer might absorb by category — like
+/// dht::CrashError it models the death of the process, so it gets its own
+/// branch of the hierarchy and must reach the test harness.
+class StoreCrashError : public std::runtime_error {
+ public:
+  explicit StoreCrashError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace lht::store

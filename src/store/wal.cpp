@@ -1,0 +1,370 @@
+#include "store/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/codec.h"
+#include "common/hash.h"
+#include "obs/obs.h"
+
+namespace lht::store {
+
+namespace {
+
+std::string encodePayload(WalOp op, std::string_view key,
+                          std::string_view value) {
+  common::Encoder enc(1 + 4 + key.size() + 4 + value.size());
+  enc.putU8(static_cast<common::u8>(op));
+  switch (op) {
+    case WalOp::Put:
+      enc.putString(key);
+      enc.putString(value);
+      break;
+    case WalOp::Erase:
+      enc.putString(key);
+      break;
+    case WalOp::Clear:
+      break;
+  }
+  return std::move(enc).take();
+}
+
+}  // namespace
+
+std::string walSegmentName(u64 seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// WalWriter ------------------------------------------------------------------
+
+WalWriter::WalWriter(Options options, u64 segmentSeq, u64 nextLsn)
+    : options_(std::move(options)),
+      segmentSeq_(segmentSeq),
+      appendedLsn_(nextLsn == 0 ? 0 : nextLsn - 1),
+      durableLsn_(appendedLsn_) {
+  std::lock_guard lk(mutex_);
+  openSegmentLocked();
+}
+
+WalWriter::~WalWriter() {
+  // Best-effort seal; a crashed writer leaves the tail for recovery.
+  if (crashed_ || !file_.isOpen()) return;
+  try {
+    flushBufferLocked();
+    file_.sync(options_.physicalFsync);
+  } catch (...) {
+    // Destructor: the injector may fire here; recovery handles the rest.
+  }
+  file_.close();
+}
+
+void WalWriter::flushBufferLocked() {
+  if (buffer_.empty()) return;
+  file_.append(buffer_);
+  buffer_.clear();
+}
+
+void WalWriter::openSegmentLocked() {
+  const std::string path = options_.dir + "/" + walSegmentName(segmentSeq_);
+  file_ = File::create(path, options_.injector);
+  common::Encoder header(kWalHeaderBytes);
+  header.putU32(kWalMagic);
+  header.putU32(kWalVersion);
+  header.putU64(segmentSeq_);
+  header.putU64(appendedLsn_ + 1);  // firstLsn this segment can carry
+  file_.append(header.buffer());
+}
+
+WalAppendResult WalWriter::append(WalOp op, std::string_view key,
+                                  std::string_view value) {
+  const std::string payload = encodePayload(op, key, value);
+
+  std::unique_lock lk(mutex_);
+  if (crashed_) throw StoreCrashError("wal writer crashed");
+  // Rotate when full — but never while a flush leader holds the current
+  // file unlocked in an fsync; the rotation simply happens on a later
+  // append instead.
+  if (logicalSizeLocked() >= options_.segmentBytes && !flushInProgress_) {
+    try {
+      rotateLocked();
+    } catch (const StoreCrashError&) {
+      crashed_ = true;
+      cv_.notify_all();
+      throw;
+    }
+  }
+  const u64 lsn = ++appendedLsn_;
+  common::Encoder rec(kWalRecordHeaderBytes + payload.size());
+  rec.putU32(static_cast<u32>(payload.size()));
+  rec.putU64(lsn);
+  rec.putU64(common::hash::xxhash64(payload, lsn));
+  const u64 recordOffset = logicalSizeLocked();
+  WalAppendResult result;
+  result.lsn = lsn;
+  result.segmentSeq = segmentSeq_;
+  result.valueLen = value.size();
+  // Value bytes sit after the record header, op byte, key (with length
+  // prefix) and the value's own length prefix.
+  result.valueOffset =
+      recordOffset + kWalRecordHeaderBytes + 1 + 4 + key.size() + 4;
+  buffer_.append(rec.buffer());
+  buffer_.append(payload);
+  if (buffer_.size() >= std::max<u64>(options_.bufferBytes, 1)) {
+    try {
+      flushBufferLocked();
+    } catch (const StoreCrashError&) {
+      crashed_ = true;
+      cv_.notify_all();
+      throw;
+    }
+  }
+  obs::count("store.wal.appended_records");
+  obs::count("store.wal.appended_bytes",
+             kWalRecordHeaderBytes + payload.size());
+  return result;
+}
+
+void WalWriter::waitDurable(u64 lsn) {
+  std::unique_lock lk(mutex_);
+  while (true) {
+    if (crashed_) throw StoreCrashError("wal writer crashed");
+    if (durableLsn_ >= lsn) return;
+    if (!flushInProgress_) break;  // become the flush leader
+    cv_.wait(lk);
+  }
+  flushInProgress_ = true;
+  const u64 target = appendedLsn_;
+  try {
+    flushBufferLocked();  // ordered with appends, so under the lock
+  } catch (...) {
+    crashed_ = true;
+    flushInProgress_ = false;
+    cv_.notify_all();
+    throw;
+  }
+  lk.unlock();
+  try {
+    file_.sync(options_.physicalFsync);
+  } catch (...) {
+    lk.lock();
+    crashed_ = true;
+    flushInProgress_ = false;
+    cv_.notify_all();
+    throw;
+  }
+  lk.lock();
+  if (durableLsn_ < target) durableLsn_ = target;
+  flushInProgress_ = false;
+  obs::count("store.wal.fsyncs");
+  obs::count("store.wal.group_commits");
+  cv_.notify_all();
+}
+
+u64 WalWriter::rotate() {
+  std::unique_lock lk(mutex_);
+  if (crashed_) throw StoreCrashError("wal writer crashed");
+  while (flushInProgress_) cv_.wait(lk);
+  if (crashed_) throw StoreCrashError("wal writer crashed");
+  try {
+    return rotateLocked();
+  } catch (const StoreCrashError&) {
+    crashed_ = true;
+    cv_.notify_all();
+    throw;
+  }
+}
+
+void WalWriter::ensureFileVisible(const std::string& fileName) {
+  std::unique_lock lk(mutex_);
+  if (crashed_) throw StoreCrashError("wal writer crashed");
+  if (buffer_.empty() || fileName != walSegmentName(segmentSeq_)) return;
+  try {
+    flushBufferLocked();
+  } catch (const StoreCrashError&) {
+    crashed_ = true;
+    cv_.notify_all();
+    throw;
+  }
+}
+
+u64 WalWriter::rotateLocked() {
+  const u64 sealed = segmentSeq_;
+  flushBufferLocked();
+  file_.sync(options_.physicalFsync);
+  obs::count("store.wal.fsyncs");
+  file_.close();
+  durableLsn_ = appendedLsn_;
+  ++segmentSeq_;
+  openSegmentLocked();
+  obs::count("store.wal.rotations");
+  cv_.notify_all();
+  return sealed;
+}
+
+u64 WalWriter::appendedLsn() const {
+  std::lock_guard lk(mutex_);
+  return appendedLsn_;
+}
+
+u64 WalWriter::durableLsn() const {
+  std::lock_guard lk(mutex_);
+  return durableLsn_;
+}
+
+u64 WalWriter::currentSegmentSeq() const {
+  std::lock_guard lk(mutex_);
+  return segmentSeq_;
+}
+
+// Recovery scan --------------------------------------------------------------
+
+namespace {
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreIoError("open " + path + " for recovery scan");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+WalScanResult scanWal(const std::string& dir, u64 snapLsn,
+                      const std::function<void(const WalRecord&)>& apply) {
+  WalScanResult out;
+  const auto names = listFiles(dir, "wal-", ".log");
+  u64 expectLsn = 0;  // 0: take the first segment's firstLsn on faith
+  for (size_t i = 0; i < names.size(); ++i) {
+    const bool lastSegment = i + 1 == names.size();
+    const std::string path = dir + "/" + names[i];
+    const std::string bytes = readWholeFile(path);
+    common::Decoder dec(bytes);
+    auto magic = dec.getU32();
+    auto version = dec.getU32();
+    auto segmentSeq = dec.getU64();
+    auto firstLsn = dec.getU64();
+    if (!magic || *magic != kWalMagic || !version || *version != kWalVersion ||
+        !segmentSeq || !firstLsn) {
+      if (lastSegment) {
+        // Crash during segment creation: header never completed. The
+        // whole file is a torn tail.
+        out.tornBytesTruncated += bytes.size();
+        removeFile(path);
+        break;
+      }
+      throw StoreCorruptionError("bad WAL segment header: " + path);
+    }
+    if (expectLsn != 0 && *firstLsn != expectLsn) {
+      throw StoreCorruptionError(
+          "WAL segment " + path + " firstLsn " + std::to_string(*firstLsn) +
+          " != expected " + std::to_string(expectLsn));
+    }
+    if (expectLsn == 0) {
+      // First readable segment. Everything up to snapLsn is covered by the
+      // snapshot being recovered; records in (snapLsn, firstLsn) exist
+      // nowhere — that snapshot cannot be recovered from this log.
+      if (*firstLsn > snapLsn + 1) {
+        throw StoreCorruptionError(
+            "WAL gap: snapshot covers lsn <= " + std::to_string(snapLsn) +
+            " but the oldest segment starts at lsn " +
+            std::to_string(*firstLsn));
+      }
+      expectLsn = *firstLsn;
+    }
+    u64 recordStart = kWalHeaderBytes;
+    while (!dec.atEnd()) {
+      auto payloadLen = dec.getU32();
+      auto lsn = dec.getU64();
+      auto checksum = dec.getU64();
+      bool torn = !payloadLen || !lsn || !checksum ||
+                  dec.remaining() < *payloadLen;
+      std::string_view payload;
+      if (!torn) {
+        payload = std::string_view(bytes).substr(
+            recordStart + kWalRecordHeaderBytes, *payloadLen);
+        // Advance the decoder past the payload by re-seating it.
+        dec = common::Decoder(std::string_view(bytes).substr(
+            recordStart + kWalRecordHeaderBytes + *payloadLen));
+        torn = (expectLsn != 0 && *lsn != expectLsn) ||
+               common::hash::xxhash64(payload, *lsn) != *checksum;
+      }
+      if (torn) {
+        if (!lastSegment) {
+          throw StoreCorruptionError("corrupt WAL record at " + path +
+                                     " offset " + std::to_string(recordStart));
+        }
+        out.tornBytesTruncated += bytes.size() - recordStart;
+        truncateFile(path, recordStart);
+        dec = common::Decoder(std::string_view{});
+        break;
+      }
+      // Decode the payload.
+      common::Decoder pd(payload);
+      auto opByte = pd.getU8();
+      WalRecord rec;
+      bool ok = opByte.has_value();
+      if (ok) {
+        switch (static_cast<WalOp>(*opByte)) {
+          case WalOp::Put: {
+            auto k = pd.getString();
+            auto v = pd.getString();
+            ok = k && v && pd.atEnd();
+            if (ok) {
+              rec.op = WalOp::Put;
+              rec.key = std::move(*k);
+              rec.value = std::move(*v);
+              rec.valueOffset = recordStart + kWalRecordHeaderBytes + 1 + 4 +
+                                rec.key.size() + 4;
+              rec.valueLen = rec.value.size();
+            }
+            break;
+          }
+          case WalOp::Erase: {
+            auto k = pd.getString();
+            ok = k && pd.atEnd();
+            if (ok) {
+              rec.op = WalOp::Erase;
+              rec.key = std::move(*k);
+            }
+            break;
+          }
+          case WalOp::Clear:
+            ok = pd.atEnd();
+            rec.op = WalOp::Clear;
+            break;
+          default:
+            ok = false;
+        }
+      }
+      if (!ok) {
+        // The checksum matched, so these bytes are what was written — a
+        // payload that does not decode is a writer bug or real corruption,
+        // never a torn tail.
+        throw StoreCorruptionError("undecodable WAL payload at " + path +
+                                   " lsn " + std::to_string(*lsn));
+      }
+      rec.lsn = *lsn;
+      rec.segmentSeq = *segmentSeq;
+      out.lastLsn = *lsn;
+      out.scannedRecords += 1;
+      expectLsn = *lsn + 1;
+      if (*lsn > snapLsn) {
+        apply(rec);
+        out.replayedRecords += 1;
+      }
+      recordStart += kWalRecordHeaderBytes + *payloadLen;
+    }
+    out.maxSegmentSeq = std::max(out.maxSegmentSeq, *segmentSeq);
+  }
+  obs::count("store.recovery.replayed_records", out.replayedRecords);
+  return out;
+}
+
+}  // namespace lht::store

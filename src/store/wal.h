@@ -1,0 +1,156 @@
+// Segmented, checksummed write-ahead log (DESIGN.md §11).
+//
+// Segment files are named wal-<seq>.log (seq zero-padded, monotone across
+// the store's lifetime — a writer never reopens an old segment; restart
+// always starts a fresh one). Each segment begins with a fixed header
+//
+//   [u32 magic "LWAL"] [u32 version] [u64 segmentSeq] [u64 firstLsn]
+//
+// followed by records
+//
+//   [u32 payloadLen] [u64 lsn] [u64 checksum] [payload]
+//
+// where checksum = xxhash64(payload, seed = lsn) — seeding with the LSN
+// means a record blitted to the wrong position cannot masquerade as valid.
+// Payload: [u8 op] then op-specific fields (Put: key, value; Erase: key;
+// Clear: nothing), length-prefixed via the common codec.
+//
+// LSNs are assigned densely (+1 per record) across segments; a segment's
+// first record carries exactly header.firstLsn. Recovery exploits both:
+// any gap or reorder is corruption, and a malformed suffix of the *last*
+// segment is a torn tail (truncated, expected after a crash) while damage
+// anywhere else is real corruption (typed error, never silently dropped).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "store/io_file.h"
+
+namespace lht::store {
+
+using common::u32;
+
+inline constexpr u32 kWalMagic = 0x4C57414C;  // "LWAL"
+inline constexpr u32 kWalVersion = 1;
+inline constexpr u64 kWalHeaderBytes = 4 + 4 + 8 + 8;
+inline constexpr u64 kWalRecordHeaderBytes = 4 + 8 + 8;
+
+enum class WalOp : common::u8 { Put = 1, Erase = 2, Clear = 3 };
+
+/// Segment file name for `seq` ("wal-00000000000000000042.log").
+std::string walSegmentName(u64 seq);
+
+/// Where one append landed. valueOffset/valueLen locate the raw value
+/// bytes inside the segment file (Put only) so large values can be served
+/// from disk by reference instead of being kept inline.
+struct WalAppendResult {
+  u64 lsn = 0;
+  u64 segmentSeq = 0;
+  u64 valueOffset = 0;  ///< absolute file offset of the value bytes
+  u64 valueLen = 0;
+};
+
+/// Appender with group commit. append() is cheap: serialize into a
+/// user-space log buffer under a short internal lock, rotating segments as
+/// they fill. The buffer reaches the OS (one write() covering many
+/// records) on a durability barrier, on rotation, when it exceeds
+/// bufferBytes, or when a spill reader needs the bytes mmap-visible —
+/// a crash loses whatever was only buffered, which is exactly the
+/// not-yet-durable window the contract already allows. waitDurable(lsn) is
+/// the durability barrier: the first waiter becomes the flush leader and
+/// issues one fsync covering every record appended so far, while later
+/// waiters block on a condvar and are released by that same fsync — N
+/// concurrent commits cost one fsync, not N.
+class WalWriter {
+ public:
+  struct Options {
+    std::string dir;
+    u64 segmentBytes = 4ull << 20;  ///< rotate when a segment reaches this
+    u64 bufferBytes = 256ull << 10; ///< log-buffer flush threshold (0: none)
+    bool physicalFsync = true;      ///< false: count boundaries, skip syscall
+    CrashInjector* injector = nullptr;
+  };
+
+  /// Opens a fresh segment with sequence `segmentSeq`; the first record
+  /// will carry `nextLsn`.
+  WalWriter(Options options, u64 segmentSeq, u64 nextLsn);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; assigns and returns its LSN. The bytes reach the
+  /// OS (visible to mmap readers) before this returns, but are not durable
+  /// until waitDurable() covers the LSN.
+  WalAppendResult append(WalOp op, std::string_view key,
+                         std::string_view value);
+
+  /// Blocks until every record with lsn' <= lsn is on stable storage.
+  void waitDurable(u64 lsn);
+
+  /// Pushes any buffered records of segment `fileName` to the OS so mmap
+  /// readers can see them. Not a durability barrier (no fsync). No-op for
+  /// sealed segments — their bytes were flushed when the writer moved on.
+  void ensureFileVisible(const std::string& fileName);
+
+  /// Seals the current segment (fsync + close) and opens the next one.
+  /// Everything appended so far becomes durable. Returns the sealed
+  /// segment's sequence number.
+  u64 rotate();
+
+  [[nodiscard]] u64 appendedLsn() const;  ///< last LSN handed out (0: none)
+  [[nodiscard]] u64 durableLsn() const;
+  [[nodiscard]] u64 currentSegmentSeq() const;
+
+ private:
+  void openSegmentLocked();
+  u64 rotateLocked();
+  void flushBufferLocked();
+  [[nodiscard]] u64 logicalSizeLocked() const {
+    return file_.size() + buffer_.size();
+  }
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  File file_;
+  std::string buffer_;  ///< records accepted but not yet written to the OS
+  u64 segmentSeq_ = 0;
+  u64 appendedLsn_ = 0;  // last assigned
+  u64 durableLsn_ = 0;
+  bool flushInProgress_ = false;
+  bool crashed_ = false;
+};
+
+/// One decoded record during recovery.
+struct WalRecord {
+  WalOp op = WalOp::Put;
+  std::string key;
+  std::string value;
+  u64 lsn = 0;
+  u64 segmentSeq = 0;
+  u64 valueOffset = 0;  ///< absolute offset of value bytes in the segment
+  u64 valueLen = 0;
+};
+
+struct WalScanResult {
+  u64 lastLsn = 0;         ///< highest LSN seen (valid records only)
+  u64 replayedRecords = 0; ///< records with lsn > snapLsn handed to apply
+  u64 scannedRecords = 0;  ///< all valid records (checksums verified)
+  u64 maxSegmentSeq = 0;   ///< highest segment seq on disk (0: no segments)
+  u64 tornBytesTruncated = 0;
+};
+
+/// Replays every segment in `dir` in sequence order, verifying checksums
+/// and LSN continuity. Records with lsn > snapLsn are handed to `apply`
+/// (older ones are already covered by the snapshot but still verified).
+/// A malformed suffix of the final segment is cut off with truncateFile;
+/// malformation anywhere else throws StoreCorruptionError.
+WalScanResult scanWal(const std::string& dir, u64 snapLsn,
+                      const std::function<void(const WalRecord&)>& apply);
+
+}  // namespace lht::store

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "common/types.h"
 #include "obs/obs.h"
+#include "store/durable_engine.h"
 
 namespace lht::obs {
 namespace {
@@ -143,6 +145,63 @@ TEST(Metrics, ScopedObservabilityInstallsAndRestores) {
   }
   EXPECT_EQ(metrics(), nullptr);
   EXPECT_EQ(reg.counterValue("scoped"), 3u);
+}
+
+// --- Durable-store metrics (DESIGN.md §11) ---------------------------------
+
+TEST(Metrics, StoreMetricsFlowThroughRegistryAndExporter) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "lht_obs_store_metrics")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  MetricsRegistry reg;
+  {
+    ScopedObservability install(&reg, nullptr);
+    store::DurableOptions opts;
+    opts.dir = dir;
+    opts.spillValueBytes = 32;  // force the spilled-value path
+    {
+      store::DurableEngine engine(opts);
+      engine.put("small", "v");
+      engine.put("large", std::string(64, 'x'));
+      engine.sync();
+      engine.compact();
+    }
+    // Reopen: recovery replays the post-snapshot WAL tail (here none) and
+    // still bumps the replay counter series into existence.
+    store::DurableEngine reopened(opts);
+    reopened.put("tail", "after-snapshot");
+    reopened.sync();
+  }
+  {
+    ScopedObservability install(&reg, nullptr);
+    store::DurableEngine replayer({.dir = dir});  // replays "tail"
+    EXPECT_EQ(replayer.recoveryInfo().replayedRecords, 1u);
+  }
+  std::filesystem::remove_all(dir);
+
+  EXPECT_GE(reg.counterValue("store.wal.appended_records"), 3u);
+  EXPECT_GT(reg.counterValue("store.wal.appended_bytes"), 0u);
+  EXPECT_GE(reg.counterValue("store.wal.fsyncs"), 2u);
+  EXPECT_GE(reg.counterValue("store.wal.group_commits"), 2u);
+  EXPECT_EQ(reg.counterValue("store.engine.spilled_values"), 1u);
+  EXPECT_EQ(reg.counterValue("store.snapshot.count"), 1u);
+  EXPECT_EQ(reg.counterValue("store.recovery.replayed_records"), 1u);
+  ASSERT_EQ(reg.histograms().count("store.snapshot.duration_ms"), 1u);
+  EXPECT_EQ(reg.histograms().at("store.snapshot.duration_ms").count(), 1u);
+
+  // Both exporters carry the new series.
+  std::ostringstream csv, json;
+  reg.writeCsv(csv);
+  reg.writeJson(json);
+  for (const char* name :
+       {"store.wal.appended_records", "store.wal.fsyncs",
+        "store.engine.spilled_values", "store.snapshot.duration_ms",
+        "store.recovery.replayed_records"}) {
+    EXPECT_NE(csv.str().find(name), std::string::npos) << name;
+    EXPECT_NE(json.str().find(name), std::string::npos) << name;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+// Tier-1 smoke slice of the restart campaign (DESIGN.md §11): a couple of
+// seeds, every I/O boundary killed, every kill reopened cold and verified
+// against the oracle. The full 16-seed campaign lives in the `slow` ctest
+// configuration (slow_campaign_test.cpp) and runs from scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/restart_campaign.h"
+
+namespace lht::sim {
+namespace {
+
+// Each test gets its own scratch root: ctest runs discovered tests in
+// parallel, and two campaigns sharing a directory would trample each other.
+RestartCampaignConfig smokeConfig(const std::string& scratch) {
+  RestartCampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.inserts = 8;
+  cfg.erases = 4;
+  cfg.compactEvery = 4;
+  cfg.scratchRoot =
+      (std::filesystem::temp_directory_path() / scratch).string();
+  return cfg;
+}
+
+TEST(RestartCampaign, SmokeEveryBoundaryRecovers) {
+  const RestartCampaignReport report =
+      runRestartCampaign(smokeConfig("lht_restart_smoke"));
+
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok());
+
+  // Even the smoke slice must reach the states it exists to test: kills
+  // inside index ops, inside compactions, and before bootstrap finished;
+  // and at least some reopens must have truncated a genuinely torn tail.
+  EXPECT_GT(report.scenarios, 50u);
+  EXPECT_GT(report.opCrashes, 0u);
+  EXPECT_GT(report.compactionCrashes, 0u);
+  EXPECT_GT(report.bootstrapCrashes, 0u);
+  EXPECT_GT(report.tornTailRecoveries, 0u);
+  EXPECT_GT(report.replayedRecords, 0u);
+}
+
+TEST(RestartCampaign, ReportIsDeterministic) {
+  const RestartCampaignReport a =
+      runRestartCampaign(smokeConfig("lht_restart_det"));
+  const RestartCampaignReport b =
+      runRestartCampaign(smokeConfig("lht_restart_det"));
+
+  EXPECT_EQ(a.scenarios, b.scenarios);
+  EXPECT_EQ(a.opCrashes, b.opCrashes);
+  EXPECT_EQ(a.compactionCrashes, b.compactionCrashes);
+  EXPECT_EQ(a.bootstrapCrashes, b.bootstrapCrashes);
+  EXPECT_EQ(a.tornTailRecoveries, b.tornTailRecoveries);
+  EXPECT_EQ(a.replayedRecords, b.replayedRecords);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_TRUE(a.ok());
+}
+
+}  // namespace
+}  // namespace lht::sim

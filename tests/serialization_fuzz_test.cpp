@@ -121,6 +121,134 @@ TEST(SerializationFuzz, SerializedSizeMatchesWithIntents) {
   EXPECT_EQ(b.serializedSize(), b.serialize().size());
 }
 
+// --- Typed decode errors (wire format v2) ----------------------------------
+
+core::LeafBucket randomBucket(common::Pcg32& rng) {
+  const common::u32 depth = 1 + rng.below(12);
+  common::u64 bits = 0;
+  for (common::u32 i = 0; i < depth; ++i) bits = (bits << 1) | (rng.next() & 1);
+  core::LeafBucket b{common::Label::fromBits(bits, depth), {}};
+  b.epoch = rng.next64();
+  const auto randomRecords = [&](size_t maxCount) {
+    std::vector<index::Record> out;
+    const size_t n = rng.below(static_cast<common::u32>(maxCount + 1));
+    for (size_t i = 0; i < n; ++i) {
+      std::string payload(rng.below(40), 'p');
+      for (auto& c : payload) c = static_cast<char>(rng.next() & 0xFF);
+      out.push_back({rng.nextDouble(), std::move(payload)});
+    }
+    return out;
+  };
+  b.records = randomRecords(30);
+  const size_t tokens = rng.below(
+      static_cast<common::u32>(core::LeafBucket::kAppliedOpsWindow + 1));
+  for (size_t i = 0; i < tokens; ++i) b.appliedOps.push_back(1 + rng.next64());
+  if (rng.below(3) == 0) {
+    b.splitIntent =
+        core::SplitIntent{b.label.child(rng.next() & 1), randomRecords(10),
+                          rng.next64()};
+  }
+  if (rng.below(3) == 0) {
+    b.mergeIntent =
+        core::MergeIntent{b.label.child(rng.next() & 1), randomRecords(10),
+                          rng.next64()};
+  }
+  return b;
+}
+
+TEST(SerializationFuzz, RandomBucketsRoundTripThroughDeserializeEx) {
+  common::Pcg32 rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const core::LeafBucket b = randomBucket(rng);
+    const std::string bytes = b.serialize();
+    EXPECT_EQ(b.serializedSize(), bytes.size());
+    auto res = core::LeafBucket::deserializeEx(bytes);
+    ASSERT_TRUE(res) << core::toString(res.error);
+    EXPECT_EQ(res.error, core::BucketDecodeError::None);
+    EXPECT_EQ(res.bucket->label, b.label);
+    EXPECT_EQ(res.bucket->epoch, b.epoch);
+    EXPECT_EQ(res.bucket->appliedOps, b.appliedOps);
+    EXPECT_EQ(res.bucket->records, b.records);
+    EXPECT_EQ(res.bucket->splitIntent, b.splitIntent);
+    EXPECT_EQ(res.bucket->mergeIntent, b.mergeIntent);
+    // Decode-then-encode is the identity on accepted bytes.
+    EXPECT_EQ(res.bucket->serialize(), bytes);
+  }
+}
+
+TEST(SerializationFuzz, EveryTruncationYieldsATypedError) {
+  common::Pcg32 rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string bytes = randomBucket(rng).serialize();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      auto res = core::LeafBucket::deserializeEx(bytes.substr(0, cut));
+      ASSERT_FALSE(res) << "truncation at " << cut;
+      // Cutting bytes can only starve a field or orphan a count; it can
+      // never manufacture trailing bytes or bad flags.
+      EXPECT_TRUE(res.error == core::BucketDecodeError::Truncated ||
+                  res.error == core::BucketDecodeError::BadRecordCount)
+          << "cut " << cut << " -> " << core::toString(res.error);
+    }
+  }
+}
+
+TEST(SerializationFuzz, BitFlipsAreTypedOrAccepted) {
+  common::Pcg32 rng(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes = randomBucket(rng).serialize();
+    const size_t pos = rng.below(static_cast<common::u32>(bytes.size()));
+    bytes[pos] = static_cast<char>(bytes[pos] ^ (1u << rng.below(8)));
+    auto res = core::LeafBucket::deserializeEx(bytes);
+    if (res) {
+      // A flip in payload bytes can still be a valid bucket; acceptance
+      // must then be self-consistent.
+      EXPECT_EQ(res.bucket->serialize(), bytes);
+    } else {
+      EXPECT_NE(res.error, core::BucketDecodeError::None);
+      EXPECT_STRNE(core::toString(res.error), "unknown");
+    }
+  }
+}
+
+TEST(SerializationFuzz, DecodeErrorsAreSpecific) {
+  const std::string bytes = sampleBucket().serialize();
+
+  // Version byte is first on the wire.
+  std::string wrongVersion = bytes;
+  wrongVersion[0] = 99;
+  EXPECT_EQ(core::LeafBucket::deserializeEx(wrongVersion).error,
+            core::BucketDecodeError::BadVersion);
+
+  // Label length field (right after the version byte) beyond kMaxBits.
+  std::string badLabel = bytes;
+  badLabel[1] = static_cast<char>(0xFF);
+  EXPECT_EQ(core::LeafBucket::deserializeEx(badLabel).error,
+            core::BucketDecodeError::BadLabel);
+
+  // Token-window count lives after version + label + epoch.
+  std::string hugeWindow = bytes;
+  hugeWindow[1 + 12 + 8] = static_cast<char>(0xFF);
+  EXPECT_EQ(core::LeafBucket::deserializeEx(hugeWindow).error,
+            core::BucketDecodeError::TokenWindowOverflow);
+
+  // Record count follows the (empty) token window.
+  std::string hugeCount = bytes;
+  hugeCount[1 + 12 + 8 + 4 + 2] = static_cast<char>(0xFF);
+  EXPECT_EQ(core::LeafBucket::deserializeEx(hugeCount).error,
+            core::BucketDecodeError::BadRecordCount);
+
+  EXPECT_EQ(core::LeafBucket::deserializeEx(bytes + "x").error,
+            core::BucketDecodeError::TrailingBytes);
+  EXPECT_EQ(core::LeafBucket::deserializeEx({}).error,
+            core::BucketDecodeError::Truncated);
+
+  // Unknown intent flag bits: flags are the last byte of a clean bucket.
+  std::string badFlags = bytes;
+  badFlags.back() = static_cast<char>(0xF0);
+  EXPECT_EQ(core::LeafBucket::deserializeEx(badFlags).error,
+            core::BucketDecodeError::BadIntentFlags);
+}
+
 TEST(SerializationFuzz, DecoderNeverReadsPastEnd) {
   // Adversarial length prefix: a string claiming 4GB of payload.
   common::Encoder enc;

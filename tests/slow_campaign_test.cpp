@@ -1,0 +1,57 @@
+// Full-size crash campaigns, gated behind the `slow` ctest configuration
+// (plain `ctest` skips them; `ctest -C slow` or scripts/check.sh runs
+// them). Tier-1 keeps fast slices of both campaigns for every-build signal.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/fault_campaign.h"
+#include "sim/restart_campaign.h"
+
+namespace lht::sim {
+namespace {
+
+TEST(SlowRestartCampaign, SixteenSeedsEveryBoundary) {
+  RestartCampaignConfig cfg;  // defaults: 16 seeds, kills everywhere
+  cfg.scratchRoot =
+      (std::filesystem::temp_directory_path() / "lht_restart_slow").string();
+  ASSERT_GE(cfg.seeds, 16u);
+
+  const RestartCampaignReport report = runRestartCampaign(cfg);
+
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok());
+
+  // The full campaign must cover every phase it can kill in, produce
+  // genuinely torn tails, and drive structural repair on recovery.
+  EXPECT_GT(report.scenarios, 1000u);
+  EXPECT_GT(report.opCrashes, 0u);
+  EXPECT_GT(report.compactionCrashes, 0u);
+  EXPECT_GT(report.bootstrapCrashes, 0u);
+  EXPECT_GT(report.tornTailRecoveries, 0u);
+  EXPECT_GT(report.replayedRecords, 0u);
+  EXPECT_GT(report.splitRepairs + report.mergeRepairs, 0u);
+}
+
+TEST(SlowFaultCampaign, LargerWorkloadWithClientFeatures) {
+  // A heavier variant of the tier-1 fault campaign: bigger workload per
+  // seed, all client-side performance features enabled.
+  FaultCampaignConfig cfg;
+  cfg.seeds = 8;
+  cfg.inserts = 64;
+  cfg.erases = 48;
+  cfg.useLeafCache = true;
+  cfg.batchFanout = true;
+  cfg.cacheDecodedBuckets = true;
+
+  const FaultCampaignReport report = runFaultCampaign(cfg);
+
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.splitCrashes, 0u);
+  EXPECT_GT(report.mergeCrashes, 0u);
+  EXPECT_GT(report.splitRepairs + report.mergeRepairs, 0u);
+}
+
+}  // namespace
+}  // namespace lht::sim
