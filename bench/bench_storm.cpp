@@ -1,0 +1,123 @@
+// Emits BENCH_PR6.json: churn-storm survival (DESIGN.md §12).
+//
+// Runs the storm campaign twice over the same seeds — once with replica
+// failover + hedged reads ON, once with both OFF (the baseline decorator
+// stack is otherwise identical) — and reports mid-storm query
+// availability, failover/hedging traffic, and anti-entropy convergence.
+//
+// Gates (checked here and by scripts/diff_bench.py):
+//   * ON availability >= 0.99 (the floor; the run actually reaches 1.0
+//     deterministically: crash spacing + replication guarantee a live
+//     holder for every read).
+//   * OFF availability strictly below ON — the feature must be measurably
+//     load-bearing, not vacuously green.
+//   * Both runs repair to zero replica deficit after every wave with zero
+//     lost keys (report.ok()).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "sim/storm_campaign.h"
+
+using lht::common::u64;
+using lht::sim::StormConfig;
+using lht::sim::StormReport;
+
+namespace {
+
+void emitSide(std::ostringstream& os, const char* name,
+              const StormReport& rep) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"availability\": " << rep.availability << ",\n"
+     << "    \"ops_total\": " << rep.opsTotal << ",\n"
+     << "    \"ops_failed\": " << rep.opsFailed << ",\n"
+     << "    \"failover_attempts\": " << rep.failoverAttempts << ",\n"
+     << "    \"rescues\": " << rep.rescues << ",\n"
+     << "    \"hedges_fired\": " << rep.hedgesFired << ",\n"
+     << "    \"hedge_wins\": " << rep.hedgeWins << ",\n"
+     << "    \"waves\": " << rep.waves << ",\n"
+     << "    \"crashes_applied\": " << rep.crashesApplied << ",\n"
+     << "    \"repair_ticks_total\": " << rep.repairTicks << ",\n"
+     << "    \"repair_ticks_worst_wave\": " << rep.maxTicksToConverge << ",\n"
+     << "    \"dht_repair_actions\": " << rep.dhtRepairActions << ",\n"
+     << "    \"index_repairs\": " << rep.indexRepairs << ",\n"
+     << "    \"lost_keys\": " << rep.lostKeys << ",\n"
+     << "    \"converged_every_wave\": " << (rep.ok() ? "true" : "false")
+     << "\n"
+     << "  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lht::common::Flags flags(
+      "bench_storm",
+      "Emits BENCH_PR6.json: mid-storm query availability with replica "
+      "failover + hedged reads on vs off, plus anti-entropy convergence");
+  flags.define("seeds", "16", "independent storms per configuration");
+  flags.define("base-seed", "1", "first seed");
+  flags.define("waves", "3", "churn-storm waves per seed");
+  flags.define("out", "BENCH_PR6.json", "output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  StormConfig cfg;  // defaults: 24 peers, replication 3, 160 keys
+  cfg.seeds = static_cast<size_t>(flags.getInt("seeds"));
+  cfg.baseSeed = static_cast<u64>(flags.getInt("base-seed"));
+  cfg.waves = static_cast<size_t>(flags.getInt("waves"));
+
+  cfg.failover = true;
+  cfg.hedging = true;
+  const StormReport on = runStormCampaign(cfg);
+
+  cfg.failover = false;
+  cfg.hedging = false;
+  const StormReport off = runStormCampaign(cfg);
+
+  const double floor = 0.99;
+  const bool gateOn = on.availability >= floor && on.ok();
+  const bool gateOff = off.availability < on.availability && off.ok();
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"lht_churn_storm\",\n"
+     << "  \"config\": {\"seeds\": " << cfg.seeds
+     << ", \"base_seed\": " << cfg.baseSeed << ", \"peers\": " << cfg.peers
+     << ", \"replication\": " << cfg.replication
+     << ", \"keys\": " << cfg.keys << ", \"waves\": " << cfg.waves
+     << ", \"wave_joins\": " << cfg.wave.joins
+     << ", \"wave_leaves\": " << cfg.wave.leaves
+     << ", \"wave_crashes\": " << cfg.wave.crashes
+     << ", \"queries_per_wave\": " << cfg.queriesPerWave
+     << ", \"clients\": " << cfg.clients << "},\n";
+  emitSide(os, "failover_on", on);
+  os << ",\n";
+  emitSide(os, "failover_off", off);
+  os << ",\n"
+     << "  \"gates\": {\n"
+     << "    \"availability_floor\": " << floor << ",\n"
+     << "    \"on_meets_floor\": " << (gateOn ? "true" : "false") << ",\n"
+     << "    \"off_measurably_worse\": " << (gateOff ? "true" : "false")
+     << "\n"
+     << "  }\n}\n";
+
+  const std::string outPath = flags.getString("out");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "bench_storm: cannot write " << outPath << "\n";
+    return 1;
+  }
+  out << os.str();
+  std::cout << os.str();
+
+  for (const auto& f : on.failures) std::cerr << "ON:  " << f << "\n";
+  for (const auto& f : off.failures) std::cerr << "OFF: " << f << "\n";
+  if (!gateOn || !gateOff) {
+    std::cerr << "bench_storm: GATE FAILURE (on_meets_floor="
+              << (gateOn ? "true" : "false") << ", off_measurably_worse="
+              << (gateOff ? "true" : "false") << ")\n";
+    return 1;
+  }
+  return 0;
+}

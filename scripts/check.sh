@@ -9,7 +9,7 @@
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
 # Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
-#                         [--durability]
+#                         [--durability] [--churn]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
@@ -22,6 +22,11 @@
 #               MemEngine + recovery-time curve) into
 #               build-release/BENCH_PR5.json, diffed warn-only against the
 #               committed BENCH_PR5.json
+#   --churn     also run the 16-seed churn-storm campaign under ASan (the
+#               slow.storm_campaign ctest) and the release storm bench
+#               (availability with failover/hedging on vs off) into
+#               build-release/BENCH_PR6.json, diffed warn-only against the
+#               committed BENCH_PR6.json
 #
 # The full crash-restart campaigns (ctest label `slow`, excluded from a
 # plain ctest run) execute here under the AddressSanitizer preset: every
@@ -35,6 +40,7 @@ bench=1
 coverage=0
 tsan=0
 durability=0
+churn=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
@@ -42,6 +48,7 @@ for arg in "$@"; do
     --coverage) coverage=1 ;;
     --tsan) tsan=1 ;;
     --durability) durability=1 ;;
+    --churn) churn=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -105,6 +112,22 @@ if [[ "$durability" -eq 1 ]]; then
     --out=build-release/BENCH_PR5.json > /dev/null
   python3 scripts/diff_bench.py BENCH_PR5.json build-release/BENCH_PR5.json \
     || echo "check.sh: WARNING: durability metrics drifted from the" \
+            "committed baseline (warn-only, see above)"
+fi
+
+if [[ "$churn" -eq 1 ]]; then
+  echo "== 16-seed churn-storm campaign under ASan (ctest: slow.storm_campaign) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target lht_slow_tests
+  ctest --test-dir build-asan -C slow -L slow -R slow.storm_campaign \
+    -j "$jobs" --output-on-failure
+  echo "== churn-storm bench (availability + convergence, release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_storm
+  ./build-release/bench/bench_storm --out=build-release/BENCH_PR6.json \
+    > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR6.json build-release/BENCH_PR6.json \
+    || echo "check.sh: WARNING: churn-storm metrics drifted from the" \
             "committed baseline (warn-only, see above)"
 fi
 

@@ -3,12 +3,13 @@
 
 Usage: diff_bench.py BASELINE.json FRESH.json
 
-Understands the bench_json (BENCH_PR2) and bench_durability (BENCH_PR5)
-output shapes, dispatching on the "bench" field. Exits 1 (for the caller
-to warn on) when a key metric regressed beyond tolerance or an invariant
-(the B+3 range bound, the >=2x lookup speedup, the <=2.5x WAL overhead
-gate) no longer holds. Wall-clock metrics get a generous tolerance —
-machines differ; the protocol-level counters must match exactly.
+Understands the bench_json (BENCH_PR2), bench_durability (BENCH_PR5), and
+bench_storm (BENCH_PR6) output shapes, dispatching on the "bench" field.
+Exits 1 (for the caller to warn on) when a key metric regressed beyond
+tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup,
+the <=2.5x WAL overhead gate, the 0.99 availability floor) no longer
+holds. Wall-clock metrics get a generous tolerance — machines differ; the
+protocol-level counters must match exactly.
 """
 import json
 import sys
@@ -32,6 +33,19 @@ DURABILITY_CHECKS = [
     (("insert", "buffered_overhead_vs_mem"), "ratio", 2.0),
 ]
 
+# The storm campaign runs in simulated time, so every metric is a
+# deterministic protocol-level counter: all exact.
+STORM_CHECKS = [
+    (("failover_on", "availability"), "exact", None),
+    (("failover_on", "ops_total"), "exact", None),
+    (("failover_on", "ops_failed"), "exact", None),
+    (("failover_on", "rescues"), "exact", None),
+    (("failover_on", "lost_keys"), "exact", None),
+    (("failover_off", "availability"), "exact", None),
+    (("failover_off", "ops_failed"), "exact", None),
+    (("failover_off", "lost_keys"), "exact", None),
+]
+
 
 def lookup(doc, path):
     for key in path:
@@ -48,8 +62,15 @@ def main():
     with open(sys.argv[2]) as f:
         fresh = json.load(f)
 
-    durability = fresh.get("bench") == "lht_durability"
-    checks = DURABILITY_CHECKS if durability else CLIENT_CHECKS
+    kind = fresh.get("bench")
+    durability = kind == "lht_durability"
+    storm = kind == "lht_churn_storm"
+    if durability:
+        checks = DURABILITY_CHECKS
+    elif storm:
+        checks = STORM_CHECKS
+    else:
+        checks = CLIENT_CHECKS
 
     bad = 0
     for path, kind, tol in checks:
@@ -70,7 +91,29 @@ def main():
                       f"(beyond {tol}x tolerance)")
                 bad += 1
 
-    if durability:
+    if storm:
+        gates = fresh.get("gates", {})
+        on = fresh.get("failover_on", {})
+        off = fresh.get("failover_off", {})
+        if not gates.get("on_meets_floor", False):
+            print(f"diff_bench: failover-on availability "
+                  f"{on.get('availability', 0):.4f} fell below the "
+                  f"{gates.get('availability_floor', 0.99)} floor")
+            bad += 1
+        if not gates.get("off_measurably_worse", False):
+            print("diff_bench: the failover-off baseline is not measurably "
+                  "below the failover-on run (feature not load-bearing?)")
+            bad += 1
+        for side, rep in (("failover_on", on), ("failover_off", off)):
+            if not rep.get("converged_every_wave", False):
+                print(f"diff_bench: {side} failed to repair to zero "
+                      "replica deficit after some wave")
+                bad += 1
+            if rep.get("lost_keys", 1) != 0:
+                print(f"diff_bench: {side} lost {rep.get('lost_keys')} keys "
+                      "despite replication")
+                bad += 1
+    elif durability:
         if not fresh["insert"].get("overhead_gate_passed", False):
             print(f"diff_bench: buffered WAL overhead "
                   f"{fresh['insert']['buffered_overhead_vs_mem']:.2f}x "

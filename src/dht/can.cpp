@@ -129,6 +129,7 @@ u64 CanDht::join(const std::string& name) {
   }
   rebuildNeighbors();
   rehomeAllKeys();
+  rebuildReplicas();
   return id;
 }
 
@@ -165,17 +166,29 @@ CanDht::ZNode* CanDht::deepestLeafPair() const {
 
 void CanDht::leave(u64 peerId) {
   std::unique_lock topo(topoMutex_);
-  common::checkInvariant(owners_.size() >= 2, "CanDht::leave: last peer");
+  removePeerLocked(peerId, /*graceful=*/true);
+}
+
+void CanDht::fail(u64 peerId) {
+  std::unique_lock topo(topoMutex_);
+  removePeerLocked(peerId, /*graceful=*/false);
+}
+
+void CanDht::removePeerLocked(u64 peerId, bool graceful) {
+  common::checkInvariant(owners_.size() >= 2, "CanDht::removePeer: last peer");
   auto it = owners_.find(peerId);
-  common::checkInvariant(it != owners_.end(), "CanDht::leave: unknown peer");
+  common::checkInvariant(it != owners_.end(), "CanDht::removePeer: unknown peer");
   ZNode* zone = it->second.zone;
   ZNode* parent = zone->parent;
-  common::checkInvariant(parent != nullptr, "CanDht::leave: root with peers left");
+  common::checkInvariant(parent != nullptr,
+                         "CanDht::removePeer: root with peers left");
 
   ZNode* sibling =
       parent->left.get() == zone ? parent->right.get() : parent->left.get();
-  // Park the departing peer's data for re-homing below.
-  auto orphans = it->second.store.drain();
+  // Park the departing peer's data for re-homing below (a failed peer's
+  // data is simply gone).
+  auto orphans =
+      graceful ? it->second.store.drain() : std::vector<std::pair<Key, Value>>{};
   const net::PeerId fromNet = it->second.netId;
 
   if (sibling->splitDim == -1) {
@@ -190,7 +203,8 @@ void CanDht::leave(u64 peerId) {
     // CAN's defragmenting takeover: the deepest sibling leaf pair donates
     // one peer — its pair merges, and the donated peer adopts this zone.
     ZNode* pairParent = deepestLeafPair();
-    common::checkInvariant(pairParent != nullptr, "CanDht::leave: no leaf pair");
+    common::checkInvariant(pairParent != nullptr,
+                           "CanDht::removePeer: no leaf pair");
     const u64 donated = pairParent->left->owner;
     const u64 keeper = pairParent->right->owner;
     pairParent->splitDim = -1;
@@ -204,17 +218,90 @@ void CanDht::leave(u64 peerId) {
 
   owners_.erase(it);
   rebuildNeighbors();
-  // Ship the departing peer's keys to their (new) owners, then fix any
-  // keys displaced by the takeover merge.
-  for (auto& [k, v] : orphans) {
-    double x, y;
-    keyPoint(k, x, y);
-    PeerState& owner = peer(ownerAt(x, y));
-    net_.send(fromNet, owner.netId, k.size() + v.size());
-    owner.store.put(k, std::move(v));
+  if (graceful) {
+    // Ship the departing peer's keys to their (new) owners, then fix any
+    // keys displaced by the takeover merge.
+    for (auto& [k, v] : orphans) {
+      double x, y;
+      keyPoint(k, x, y);
+      PeerState& owner = peer(ownerAt(x, y));
+      net_.send(fromNet, owner.netId, k.size() + v.size());
+      owner.store.put(k, std::move(v));
+    }
+  } else {
+    // Promote surviving replicas whose primary died onto the new owners.
+    std::vector<std::pair<Key, Value>> recovered;
+    for (auto& [id, st] : owners_) {
+      st.replicas.forEach([&](const Key& k, const Value& v) {
+        if (!peer(ownerOfUnlocked(k)).store.contains(k)) {
+          recovered.emplace_back(k, v);
+        }
+      });
+    }
+    for (auto& [k, v] : recovered) {
+      PeerState& owner = peer(ownerOfUnlocked(k));
+      if (!owner.store.contains(k)) owner.store.put(k, std::move(v));
+    }
   }
   net_.setOnline(fromNet, false);
   rehomeAllKeys();
+  rebuildReplicas();
+}
+
+std::vector<u64> CanDht::replicaHoldersOf(u64 ownerId) const {
+  std::vector<u64> out;
+  if (opts_.replication <= 1) return out;
+  const size_t want = std::min(opts_.replication, owners_.size()) - 1;
+  out = peer(ownerId).neighbors;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > want) {
+    out.resize(want);
+  } else if (out.size() < want) {
+    // Tiny network or few-neighbor corner zone: pad deterministically
+    // from the sorted peer list.
+    std::vector<u64> all;
+    all.reserve(owners_.size());
+    for (const auto& [id, st] : owners_) all.push_back(id);
+    std::sort(all.begin(), all.end());
+    for (u64 id : all) {
+      if (out.size() >= want) break;
+      if (id == ownerId) continue;
+      if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<u64> CanDht::writeSetOf(u64 ownerId) const {
+  std::vector<u64> set{ownerId};
+  for (u64 hid : replicaHoldersOf(ownerId)) set.push_back(hid);
+  return set;
+}
+
+void CanDht::pushReplicas(const PeerState& owner, u64 ownerId, const Key& key,
+                          const Value& value) {
+  for (u64 hid : replicaHoldersOf(ownerId)) {
+    PeerState& holder = peer(hid);
+    net_.send(owner.netId, holder.netId, key.size() + value.size());
+    holder.replicas.put(key, value);
+  }
+}
+
+void CanDht::dropReplicas(u64 ownerId, const Key& key) {
+  for (u64 hid : replicaHoldersOf(ownerId)) {
+    peer(hid).replicas.erase(key);
+  }
+}
+
+void CanDht::rebuildReplicas() {
+  if (opts_.replication <= 1) return;
+  for (auto& [id, st] : owners_) st.replicas.clear();
+  for (auto& [id, st] : owners_) {
+    st.store.forEach([&, ownerId = id](const Key& k, const Value& v) {
+      pushReplicas(st, ownerId, k, v);
+    });
+  }
 }
 
 size_t CanDht::peerCount() const {
@@ -333,8 +420,10 @@ void CanDht::put(const Key& key, Value value) {
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size() + value.size());
   stats_.valueBytesMoved += value.size();
-  auto lock = storeLocks_.guard(owner);
-  peer(owner).store.put(key, std::move(value));
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  PeerState& st = peer(owner);
+  pushReplicas(st, owner, key, value);
+  st.store.put(key, std::move(value));
 }
 
 std::optional<Value> CanDht::get(const Key& key) {
@@ -359,7 +448,8 @@ bool CanDht::remove(const Key& key) {
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
-  auto lock = storeLocks_.guard(owner);
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  dropReplicas(owner, key);
   return peer(owner).store.erase(key);
 }
 
@@ -370,15 +460,18 @@ bool CanDht::apply(const Key& key, const Mutator& fn) {
   double x, y;
   keyPoint(key, x, y);
   u64 owner = route(x, y, key.size());
-  // Mutator runs under the owner's stripe: atomic per key.
-  auto lock = storeLocks_.guard(owner);
+  // Mutator runs under the write set's stripes: atomic per key.
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   PeerState& st = peer(owner);
   std::optional<Value> v = st.store.take(key);
   const bool existed = v.has_value();
   fn(v);
   if (v.has_value()) {
     stats_.valueBytesMoved += v->size();
+    pushReplicas(st, owner, key, *v);
     st.store.put(key, std::move(*v));
+  } else if (existed) {
+    dropReplicas(owner, key);
   }
   return existed;
 }
@@ -386,8 +479,10 @@ bool CanDht::apply(const Key& key, const Mutator& fn) {
 void CanDht::storeDirect(const Key& key, Value value) {
   std::shared_lock topo(topoMutex_);
   const u64 owner = ownerOfUnlocked(key);
-  auto lock = storeLocks_.guard(owner);
-  peer(owner).store.put(key, std::move(value));
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  PeerState& st = peer(owner);
+  pushReplicas(st, owner, key, value);
+  st.store.put(key, std::move(value));
 }
 
 size_t CanDht::size() const {

@@ -36,6 +36,11 @@ class CanDht final : public Dht {
     size_t initialPeers = 32;
     common::u64 seed = 1;
     bool randomEntry = true;
+    /// Copies of every key (1 = none). With r >= 2 each key is also held
+    /// by r-1 of its owner's zone neighbors (lowest peer ids, padded from
+    /// the global peer list when the zone has too few neighbors), so data
+    /// survives an ungraceful failure (see fail()).
+    size_t replication = 1;
   };
 
   CanDht(net::SimNetwork& network, Options options);
@@ -58,6 +63,10 @@ class CanDht final : public Dht {
   common::u64 join(const std::string& name);
   /// Removes a peer via CAN's takeover rule. Requires >= 2 peers.
   void leave(common::u64 peerId);
+  /// Ungraceful failure: the zone is taken over but the peer's data is
+  /// gone. Surviving replicas (Options::replication >= 2) are promoted on
+  /// the new owners; without replication its keys are lost.
+  void fail(common::u64 peerId);
 
   [[nodiscard]] size_t peerCount() const;
   [[nodiscard]] std::vector<common::u64> peerIds() const;
@@ -89,6 +98,7 @@ class CanDht final : public Dht {
     net::PeerId netId = net::kInvalidPeer;
     ZNode* zone = nullptr;
     store::MemTable store;
+    store::MemTable replicas;  ///< copies held for other owners
     std::vector<common::u64> neighbors;  // owners of edge-adjacent zones
   };
 
@@ -103,6 +113,22 @@ class CanDht final : public Dht {
   void collectLeaves(ZNode* node, std::vector<ZNode*>& out) const;
   void rebuildNeighbors();
   void rehomeAllKeys();
+  /// Zone takeover shared by leave (graceful) and fail: re-homes the
+  /// departing peer's primaries when graceful, otherwise drops them and
+  /// promotes surviving replicas. Requires the exclusive topology lock.
+  void removePeerLocked(common::u64 peerId, bool graceful);
+  /// The replication-1 peers holding copies of `ownerId`'s keys: its
+  /// lowest-id zone neighbors, padded from the sorted peer list.
+  [[nodiscard]] std::vector<common::u64> replicaHoldersOf(
+      common::u64 ownerId) const;
+  /// The stripe set a write to `ownerId` must hold: owner plus holders.
+  [[nodiscard]] std::vector<common::u64> writeSetOf(common::u64 ownerId) const;
+  void pushReplicas(const PeerState& owner, common::u64 ownerId,
+                    const Key& key, const Value& value);
+  void dropReplicas(common::u64 ownerId, const Key& key);
+  /// Recomputes every replica placement from the primaries (after churn).
+  /// Requires the exclusive topology lock.
+  void rebuildReplicas();
   /// Torus distance from point to rectangle (0 when inside).
   [[nodiscard]] static double torusDistToRect(double x, double y, const ZRect& r);
   common::u64 route(double x, double y, u64 requestBytes);

@@ -39,6 +39,8 @@ ChordDht::ChordDht(net::SimNetwork& network, Options options)
 
 u64 ChordDht::join(const std::string& name) {
   std::unique_lock topo(topoMutex_);
+  common::checkInvariant(crashedPeers_.empty(),
+                         "ChordDht::join: crashes pending — run repairStep");
   const net::PeerId peer = net_.addPeer(name);
   u64 firstId = 0;
   for (size_t v = 0; v < opts_.virtualNodes; ++v) {
@@ -85,6 +87,11 @@ void ChordDht::fail(u64 nodeId) {
 void ChordDht::removePeerLocked(u64 nodeId, bool graceful) {
   common::checkInvariant(peerCountUnlocked() >= 2,
                          "ChordDht::removePeer: last peer");
+  // Graceful departures and instant-recovery failures assume a clean ring:
+  // with crashes pending, excision must run first so the handoff targets
+  // (new owners, replica holders) are all live.
+  common::checkInvariant(crashedPeers_.empty(),
+                         "ChordDht::removePeer: crashes pending — run repairStep");
   const net::PeerId peer = nodeById(nodeId).peer;
 
   std::vector<u64> ids;
@@ -212,6 +219,9 @@ void ChordDht::pushReplicas(const Node& owner, const Key& key, const Value& valu
   if (opts_.replication <= 1) return;
   for (u64 sid : successorsOf(owner.id, opts_.replication - 1)) {
     Node& holder = nodeById(sid);
+    // A dark holder cannot take the copy; anti-entropy re-pushes it after
+    // the crashed peer is excised and placement settles.
+    if (nodeDown(holder)) continue;
     net_.send(owner.peer, holder.peer, key.size() + value.size());
     holder.replicas.put(key, value);
   }
@@ -223,7 +233,11 @@ void ChordDht::dropReplicas(u64 ownerId, const Key& key) {
   // replica holders (rebuildReplicas restores that after every churn
   // event), so the targeted erase is complete.
   for (u64 sid : successorsOf(ownerId, opts_.replication - 1)) {
-    nodeById(sid).replicas.erase(key);
+    Node& holder = nodeById(sid);
+    // A dark holder keeps its stale copy; it dies with the peer at
+    // excision (the copy never rejoins the ring).
+    if (nodeDown(holder)) continue;
+    holder.replicas.erase(key);
   }
 }
 
@@ -263,6 +277,16 @@ u64 ChordDht::route(u64 keyId, u64 requestBytes) {
     }
     std::advance(it, skip);
   }
+  // Clients never enter through a dark peer (a gateway that does not
+  // answer is re-picked immediately; the fast path costs nothing).
+  if (!crashedPeers_.empty()) {
+    auto start = it;
+    while (nodeDown(it->second)) {
+      ++it;
+      if (it == nodes_.end()) it = nodes_.begin();
+      common::checkInvariant(it != start, "ChordDht::route: no live peer");
+    }
+  }
   u64 cur = it->first;
   stats_.hops += 1;  // client -> entry peer
 
@@ -296,6 +320,7 @@ void ChordDht::put(const Key& key, Value value) {
   stats_.puts += 1;
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
+  throwIfDown(owner, "put");
   accountValueBytes(value.size());
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
@@ -308,6 +333,7 @@ std::optional<Value> ChordDht::get(const Key& key) {
   stats_.gets += 1;
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  throwIfDown(owner, "get");
   auto lock = storeLocks_.guard(owner);
   const Node& node = nodeById(owner);
   const Value* v = node.store.find(key);
@@ -321,6 +347,7 @@ bool ChordDht::remove(const Key& key) {
   stats_.removes += 1;
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  throwIfDown(owner, "remove");
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   const bool existed = nodeById(owner).store.erase(key);
   if (existed) dropReplicas(owner, key);
@@ -332,6 +359,7 @@ bool ChordDht::apply(const Key& key, const Mutator& fn) {
   stats_.applies += 1;
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
+  throwIfDown(owner, "apply");
   // The mutator runs under the owner's stripe: apply() is atomic per key
   // against every other routed op touching that node.
   common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
@@ -421,6 +449,231 @@ bool ChordDht::checkReplication() const {
     if (!consistent) return false;
   }
   return expectedReplicas == actualReplicas;
+}
+
+// Crash mode ----------------------------------------------------------------
+
+void ChordDht::crash(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
+  common::checkInvariant(livePeerCountUnlocked() >= 2,
+                         "ChordDht::crash: would take down the last live peer");
+  const net::PeerId peer = nodeById(nodeId).peer;
+  common::checkInvariant(crashedPeers_.count(peer) == 0,
+                         "ChordDht::crash: peer already down");
+  crashedPeers_.insert(peer);
+  net_.setOnline(peer, false);
+}
+
+void ChordDht::throwIfDown(u64 ownerId, const char* op) const {
+  const Node& owner = nodeById(ownerId);
+  if (nodeDown(owner)) {
+    throw DhtPeerDownError(std::string("ChordDht::") + op + ": peer '" +
+                           net_.peerName(owner.peer) + "' is down");
+  }
+}
+
+size_t ChordDht::livePeerCountUnlocked() const {
+  return peerCountUnlocked() - crashedPeers_.size();
+}
+
+size_t ChordDht::livePeerCount() const {
+  std::shared_lock topo(topoMutex_);
+  return livePeerCountUnlocked();
+}
+
+size_t ChordDht::crashedPeerCount() const {
+  std::shared_lock topo(topoMutex_);
+  return crashedPeers_.size();
+}
+
+std::vector<u64> ChordDht::liveNodeIds() const {
+  std::shared_lock topo(topoMutex_);
+  std::vector<u64> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    if (!nodeDown(node)) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool ChordDht::crashWouldLoseData(u64 nodeId) const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
+  std::set<net::PeerId> dead = crashedPeers_;
+  dead.insert(nodeById(nodeId).peer);
+  const size_t copies =
+      opts_.replication > 0
+          ? std::min(opts_.replication, peerCountUnlocked()) - 1
+          : 0;
+  for (const auto& [id, node] : nodes_) {
+    if (dead.count(node.peer) == 0) continue;
+    const auto holders = successorsOf(id, copies);
+    bool unsafe = false;
+    node.store.forEach([&](const Key& k, const Value&) {
+      if (unsafe) return;
+      for (u64 hid : holders) {
+        const Node& h = nodeById(hid);
+        if (dead.count(h.peer) == 0 && h.replicas.contains(k)) return;
+      }
+      unsafe = true;
+    });
+    if (unsafe) return true;
+  }
+  return false;
+}
+
+void ChordDht::exciseCrashedLocked() {
+  if (crashedPeers_.empty()) return;
+  // Keys whose primary copy dies with the crashed peers — checked against
+  // the post-excision ring below to count what no replica resurrected.
+  std::vector<Key> atRisk;
+  std::vector<u64> deadIds;
+  for (auto& [id, node] : nodes_) {
+    if (crashedPeers_.count(node.peer) == 0) continue;
+    deadIds.push_back(id);
+    node.store.forEach(
+        [&](const Key& k, const Value&) { atRisk.push_back(k); });
+  }
+  for (u64 id : deadIds) nodes_.erase(id);
+  crashedPeers_.clear();
+  rebuildFingers();
+
+  // Promote surviving replicas whose primary died onto the new owners, in
+  // the same exclusive section as the excision: between the two, a routed
+  // get would report the key absent (a silent miss) instead of failing.
+  struct Recovered {
+    Key key;
+    Value value;
+    net::PeerId from;
+  };
+  std::vector<Recovered> recovered;
+  for (auto& [id, node] : nodes_) {
+    node.replicas.forEach([&, holder = node.peer](const Key& k, const Value& v) {
+      const u64 owner = ownerOfId(common::hash::xxhash64(k, 0));
+      if (!nodeById(owner).store.contains(k)) recovered.push_back({k, v, holder});
+    });
+  }
+  for (auto& r : recovered) {
+    Node& owner = nodeById(ownerOfId(common::hash::xxhash64(r.key, 0)));
+    if (owner.store.contains(r.key)) continue;  // an earlier copy won
+    if (owner.peer != r.from) {
+      net_.send(r.from, owner.peer, r.key.size() + r.value.size());
+    }
+    owner.store.put(r.key, std::move(r.value));
+  }
+  for (const Key& k : atRisk) {
+    if (!nodeById(ownerOfId(common::hash::xxhash64(k, 0))).store.contains(k)) {
+      lostKeys_ += 1;
+    }
+  }
+}
+
+void ChordDht::collectRepairActions(std::vector<RepairAction>& out) const {
+  if (opts_.replication <= 1) return;
+  const size_t copies = std::min(opts_.replication, peerCountUnlocked()) - 1;
+  for (const auto& [id, node] : nodes_) {
+    // Pass 1: primaries missing or stale on a required holder.
+    const auto holders = successorsOf(id, copies);
+    node.store.forEach([&, ownerId = id](const Key& k, const Value& v) {
+      for (u64 hid : holders) {
+        const Value* hit = nodeById(hid).replicas.find(k);
+        if (hit == nullptr || *hit != v) {
+          out.push_back({RepairAction::Kind::Push, ownerId, hid, k});
+        }
+      }
+    });
+    // Pass 2: held replicas that back no primary, or sit off-placement
+    // (promotion leaves both behind; checkReplication rejects either).
+    node.replicas.forEach([&, holderId = id](const Key& k, const Value&) {
+      const u64 ownerId = ownerOfId(common::hash::xxhash64(k, 0));
+      const auto want = successorsOf(ownerId, copies);
+      const bool placed =
+          std::find(want.begin(), want.end(), holderId) != want.end();
+      if (!placed || !nodeById(ownerId).store.contains(k)) {
+        out.push_back({RepairAction::Kind::Drop, ownerId, holderId, k});
+      }
+    });
+  }
+}
+
+size_t ChordDht::repairStep(size_t maxKeys) {
+  // The exclusive topology lock subsumes every store stripe.
+  std::unique_lock topo(topoMutex_);
+  exciseCrashedLocked();
+  if (opts_.replication <= 1) return 0;
+  std::vector<RepairAction> actions;
+  collectRepairActions(actions);
+  size_t applied = 0;
+  for (const RepairAction& a : actions) {
+    if (applied >= maxKeys) break;
+    if (a.kind == RepairAction::Kind::Push) {
+      Node& owner = nodeById(a.ownerId);
+      const Value* v = owner.store.find(a.key);
+      if (v == nullptr) continue;  // removed since the scan
+      Node& holder = nodeById(a.holderId);
+      net_.send(owner.peer, holder.peer, a.key.size() + v->size());
+      holder.replicas.put(a.key, *v);
+    } else {
+      nodeById(a.holderId).replicas.erase(a.key);
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+size_t ChordDht::replicaDeficit() const {
+  std::shared_lock topo(topoMutex_);
+  common::StripedMutex::AllGuard guard(storeLocks_);
+  if (!crashedPeers_.empty()) {
+    // Pre-excision the gauge counts the promotions repair owes: every
+    // primary stranded on a dark peer. (Post-excision it switches to the
+    // re-push backlog, so the value can legitimately rise across the
+    // first repairStep as anti-entropy discovers the full fix-up set.)
+    size_t owed = 0;
+    for (const auto& [id, node] : nodes_) {
+      if (crashedPeers_.count(node.peer) != 0) owed += node.store.size();
+    }
+    return owed;
+  }
+  if (opts_.replication <= 1) return 0;
+  std::vector<RepairAction> actions;
+  collectRepairActions(actions);
+  return actions.size();
+}
+
+bool ChordDht::repairConverged() const {
+  {
+    std::shared_lock topo(topoMutex_);
+    if (!crashedPeers_.empty()) return false;
+  }
+  return replicaDeficit() == 0;
+}
+
+std::optional<Value> ChordDht::getReplica(const Key& key, size_t replicaIndex) {
+  RoutedOpScope scope(*this, "dht.get_replica", key);
+  stats_.gets += 1;
+  std::shared_lock topo(topoMutex_);
+  if (opts_.replication <= 1) {
+    throw DhtError("ChordDht::getReplica: replication disabled");
+  }
+  const u64 ownerId = ownerOfId(common::hash::xxhash64(key, 0));
+  const auto holders = successorsOf(ownerId, opts_.replication - 1);
+  if (replicaIndex >= holders.size()) {
+    throw DhtError("ChordDht::getReplica: no replica " +
+                   std::to_string(replicaIndex) + " (ring too small)");
+  }
+  // Route to the holder's own ring id — it is the successor of itself, so
+  // the normal lookup machinery (and its accounting) reaches the holder.
+  const u64 holderId = holders[replicaIndex];
+  route(holderId, key.size());
+  throwIfDown(holderId, "getReplica");
+  auto lock = storeLocks_.guard(holderId);
+  const Node& holder = nodeById(holderId);
+  const Value* v = holder.replicas.find(key);
+  if (v == nullptr) v = holder.store.find(key);  // promoted home post-repair
+  if (v == nullptr) return std::nullopt;
+  accountValueBytes(v->size());
+  return *v;
 }
 
 std::vector<GetOutcome> ChordDht::multiGet(const std::vector<Key>& keys) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <shared_mutex>
 #include <vector>
 
@@ -81,9 +82,75 @@ class ChordDht final : public Dht {
   /// without handing anything off. Surviving replicas
   /// (Options::replication >= 2) are promoted on the new owners; without
   /// replication the failed peer's keys are lost. Requires >= two peers.
+  /// Recovery is INSTANT — fail() models a ring whose stabilization
+  /// outruns the observer. Use crash() to model the window in between.
   void fail(common::u64 nodeId);
 
-  /// Number of physical peers currently in the ring.
+  // Crash mode (availability under churn) -----------------------------------
+  /// Crash-mode failure of the peer owning ring id `nodeId`: the peer goes
+  /// dark but its ring nodes STAY in the topology until repairStep()
+  /// excises them, so routed operations whose owner is down fail loudly
+  /// with DhtPeerDownError instead of silently reporting the key absent
+  /// (a silent miss would mis-steer the index's binary search). Replica
+  /// reads (getReplica) against surviving holders keep working — that is
+  /// the failover window the availability layer exploits. Intermediate
+  /// routing hops ignore down peers (fast-stabilizing fingers); only the
+  /// terminal owner matters. Crashes accumulate until repaired; graceful
+  /// join/leave/fail are rejected while crashes are pending.
+  void crash(common::u64 nodeId);
+
+  /// One bounded anti-entropy repair slice. The first call after crashes
+  /// excises the dead ring nodes and promotes surviving replicas onto the
+  /// new owners in the same step (promotion is local inheritance on the
+  /// successor — splitting it from excision would open a silent-miss
+  /// window). Every call then applies up to `maxKeys` replica fix-ups
+  /// (re-pushing missing copies, dropping misplaced ones), recomputed
+  /// from a fresh placement scan so concurrent client writes are never
+  /// double-repaired. Returns fix-ups applied; 0 means converged.
+  size_t repairStep(size_t maxKeys);
+
+  /// Replica placements still missing or misplaced (0 when the ring is
+  /// whole). Before excision this counts the promotions repair owes —
+  /// the gauge may legitimately rise once excision exposes the full
+  /// re-push backlog.
+  [[nodiscard]] size_t replicaDeficit() const;
+
+  /// True when no crashes are pending and every replica sits where the
+  /// placement rule wants it (checkReplication() would pass).
+  [[nodiscard]] bool repairConverged() const;
+
+  /// Keys destroyed by crashes that no surviving replica could resurrect
+  /// (only possible with replication == 1 or correlated crashes).
+  [[nodiscard]] common::u64 lostKeys() const { return lostKeys_; }
+
+  /// Whether crashing `nodeId`'s peer — on top of any crashes already
+  /// pending — would destroy the last live copy of some key. Storm drivers
+  /// use it to space wave victims across replica sets (the paper's
+  /// fluctuation model assumes independent, not targeted, failures).
+  [[nodiscard]] bool crashWouldLoseData(common::u64 nodeId) const;
+
+  /// Peers currently dark (crashed, not yet excised by repairStep).
+  [[nodiscard]] size_t crashedPeerCount() const;
+
+  /// Physical peers that are up (peerCount() minus crashed).
+  [[nodiscard]] size_t livePeerCount() const;
+
+  /// Ring ids of nodes on live (non-crashed) peers, sorted.
+  [[nodiscard]] std::vector<common::u64> liveNodeIds() const;
+
+  // Replica reads ------------------------------------------------------------
+  [[nodiscard]] size_t replicaFanout() const override {
+    return opts_.replication > 0 ? opts_.replication - 1 : 0;
+  }
+
+  /// Routes to the key's `replicaIndex`-th distinct-peer successor and
+  /// reads the copy it holds (its replica table, or its primary store once
+  /// repair promoted the key). Throws DhtPeerDownError when that holder is
+  /// down too.
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
+
+  /// Number of physical peers currently in the ring (crashed peers still
+  /// count until repairStep() excises them).
   [[nodiscard]] size_t peerCount() const;
 
   /// Copies kept of every key (Options::replication as configured).
@@ -146,6 +213,31 @@ class ChordDht final : public Dht {
   /// Recomputes every replica placement from the primaries (after churn).
   /// Requires the exclusive topology lock.
   void rebuildReplicas();
+  /// Whether the node's peer is crashed (caller holds topoMutex_).
+  [[nodiscard]] bool nodeDown(const Node& node) const {
+    return crashedPeers_.count(node.peer) != 0;
+  }
+  /// Throws DhtPeerDownError when the routed-to owner is dark.
+  void throwIfDown(common::u64 ownerId, const char* op) const;
+  /// Distinct live peers (caller holds topoMutex_).
+  [[nodiscard]] size_t livePeerCountUnlocked() const;
+  /// Removes crashed peers' ring nodes and promotes surviving replicas
+  /// onto the new owners (exclusive topology lock required).
+  void exciseCrashedLocked();
+  /// One replica fix-up: push a missing/stale copy owner -> holder, or
+  /// drop a copy no placement accounts for.
+  struct RepairAction {
+    enum class Kind { Push, Drop };
+    Kind kind = Kind::Push;
+    common::u64 ownerId = 0;
+    common::u64 holderId = 0;
+    Key key;
+  };
+  /// Scans placement vs the rule and emits the fix-ups that would make
+  /// checkReplication() pass. Assumes no crashes pending (post-excision);
+  /// caller holds topoMutex_ plus the store stripes (or the exclusive
+  /// lock).
+  void collectRepairActions(std::vector<RepairAction>& out) const;
   /// Routes from a (random or fixed) entry peer to the owner of keyId,
   /// accounting hops and messages. Returns the owner node id.
   common::u64 route(common::u64 keyId, u64 requestBytes);
@@ -155,6 +247,10 @@ class ChordDht final : public Dht {
   Options opts_;
   common::Pcg32 rng_;
   std::map<common::u64, Node> nodes_;  // ordered by ring id
+  /// Peers that crashed and await excision by repairStep(). Guarded by
+  /// topoMutex_ like the node map it shadows.
+  std::set<net::PeerId> crashedPeers_;
+  common::u64 lostKeys_ = 0;  ///< keys destroyed with no surviving replica
 
   /// Routed ops shared, membership exclusive.
   mutable std::shared_mutex topoMutex_;

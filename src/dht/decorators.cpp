@@ -149,6 +149,11 @@ std::vector<ApplyOutcome> FlakyDht::multiApply(
   return out;
 }
 
+std::optional<Value> FlakyDht::getReplica(const Key& key, size_t replicaIndex) {
+  maybeFail("getReplica");
+  return inner_.getReplica(key, replicaIndex);
+}
+
 // ---------------------------------------------------------------------------
 // LostReplyDht — the mutation lands, the acknowledgement does not
 // ---------------------------------------------------------------------------
@@ -234,6 +239,13 @@ std::vector<ApplyOutcome> LostReplyDht::multiApply(
   return out;
 }
 
+std::optional<Value> LostReplyDht::getReplica(const Key& key,
+                                              size_t replicaIndex) {
+  auto v = inner_.getReplica(key, replicaIndex);
+  maybeDropReply("getReplica");
+  return v;
+}
+
 // ---------------------------------------------------------------------------
 // LatencyDht
 // ---------------------------------------------------------------------------
@@ -290,6 +302,12 @@ std::vector<ApplyOutcome> LatencyDht::multiApply(
   stats_.batchRounds += 1;
   charge();
   return inner_.multiApply(reqs);
+}
+
+std::optional<Value> LatencyDht::getReplica(const Key& key,
+                                            size_t replicaIndex) {
+  charge();
+  return inner_.getReplica(key, replicaIndex);
 }
 
 // ---------------------------------------------------------------------------
@@ -389,6 +407,14 @@ std::vector<ApplyOutcome> TimeoutDht::multiApply(
     }
   }
   return out;
+}
+
+std::optional<Value> TimeoutDht::getReplica(const Key& key,
+                                            size_t replicaIndex) {
+  const common::u64 t0 = clock_.nowMs();
+  auto v = inner_.getReplica(key, replicaIndex);
+  checkDeadline(t0, "getReplica");
+  return v;
 }
 
 // ---------------------------------------------------------------------------
@@ -728,6 +754,144 @@ std::vector<ApplyOutcome> CircuitBreakerDht::multiApply(
     onFailure();
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// FailoverDht
+// ---------------------------------------------------------------------------
+
+FailoverDht::FailoverDht(Dht& inner, net::SimClock& clock, Options options)
+    : inner_(inner), clock_(clock), opts_(options) {
+  common::checkInvariant(
+      opts_.hedgeQuantile > 0.0 && opts_.hedgeQuantile <= 1.0,
+      "FailoverDht: hedge quantile must be in (0, 1]");
+}
+
+common::u64 FailoverDht::hedgeThresholdMs() const {
+  common::u64 t = opts_.hedgeMinMs;
+  if (const auto* reg = obs::metrics()) {
+    if (const auto* h = reg->findHistogram("dht.get.latency_ms")) {
+      const double q = h->quantile(opts_.hedgeQuantile);
+      if (q > static_cast<double>(t)) t = static_cast<common::u64>(q);
+    }
+  }
+  return t;
+}
+
+std::optional<Value> FailoverDht::rescueRead(const Key& key, bool hedged) {
+  const size_t fanout = std::min(inner_.replicaFanout(), opts_.maxReplicas);
+  for (size_t i = 0; i < fanout; ++i) {
+    failoverAttempts_ += 1;
+    obs::count("dht.failover.attempts");
+    // A rescue is another issue of the same logical get: it joins the
+    // attempt ledger but never the logical one.
+    obs::count(attemptCounterName(DhtOp::Get));
+    try {
+      auto v = inner_.getReplica(key, i);
+      rescues_ += 1;
+      obs::count("dht.failover.rescues");
+      obs::instantEvent("dht.failover.rescue", "dht",
+                        {obs::arg("replica", static_cast<common::u64>(i))});
+      if (hedged) {
+        hedgeWins_ += 1;
+        obs::count("dht.hedge.wins");
+      }
+      return v;
+    } catch (const CrashError&) {
+      throw;  // the dying client, not the substrate — never absorbed
+    } catch (const DhtError&) {
+      // This holder is down or unreachable too: try the next one.
+    }
+  }
+  // Every holder failed (or there are none): surface the PRIMARY failure —
+  // it names the owner, which is what the caller's error handling keys on.
+  throw;
+}
+
+std::optional<Value> FailoverDht::get(const Key& key) {
+  // The threshold is sampled before the read so the read's own latency
+  // cannot move its trigger.
+  const common::u64 threshold = opts_.hedging ? hedgeThresholdMs() : 0;
+  const common::u64 t0 = clock_.nowMs();
+  try {
+    auto v = inner_.get(key);
+    const common::u64 elapsed = clock_.nowMs() - t0;
+    obs::observeMs("dht.get.latency_ms", static_cast<double>(elapsed));
+    if (opts_.hedging && elapsed >= threshold) {
+      // The backup read was in flight when the primary answered: it is
+      // cancelled, but it fired — the accounting must show the overhead.
+      hedgesFired_ += 1;
+      hedgesCancelled_ += 1;
+      obs::count("dht.hedge.fired");
+      obs::count("dht.hedge.cancelled");
+    }
+    return v;
+  } catch (const CrashError&) {
+    throw;
+  } catch (const DhtError&) {
+    const common::u64 elapsed = clock_.nowMs() - t0;
+    obs::observeMs("dht.get.latency_ms", static_cast<double>(elapsed));
+    // A failed primary is rescued when failover is on, or when the hedge
+    // had already fired (its backup read IS the rescue read).
+    const bool hedged = opts_.hedging && elapsed >= threshold;
+    if (hedged) {
+      hedgesFired_ += 1;
+      obs::count("dht.hedge.fired");
+    }
+    if (!opts_.failover && !hedged) throw;
+    return rescueRead(key, hedged);
+  }
+}
+
+void FailoverDht::put(const Key& key, Value value) {
+  inner_.put(key, std::move(value));
+}
+
+bool FailoverDht::remove(const Key& key) { return inner_.remove(key); }
+
+bool FailoverDht::apply(const Key& key, const Mutator& fn) {
+  return inner_.apply(key, fn);
+}
+
+void FailoverDht::storeDirect(const Key& key, Value value) {
+  inner_.storeDirect(key, std::move(value));
+}
+
+std::vector<GetOutcome> FailoverDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  stats_.batchRounds += 1;
+  auto out = inner_.multiGet(keys);
+  if (!opts_.failover) return out;
+  const size_t fanout = std::min(inner_.replicaFanout(), opts_.maxReplicas);
+  if (fanout == 0) return out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].ok) continue;
+    for (size_t r = 0; r < fanout; ++r) {
+      failoverAttempts_ += 1;
+      obs::count("dht.failover.attempts");
+      obs::count(attemptCounterName(DhtOp::Get));
+      try {
+        out[i].value = inner_.getReplica(keys[i], r);
+        out[i].ok = true;
+        out[i].error.clear();
+        rescues_ += 1;
+        obs::count("dht.failover.rescues");
+        break;
+      } catch (const CrashError&) {
+        throw;
+      } catch (const DhtError&) {
+        // Next holder; the entry keeps its original failure if all fail.
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> FailoverDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  stats_.batchRounds += 1;
+  return inner_.multiApply(reqs);
 }
 
 // ---------------------------------------------------------------------------

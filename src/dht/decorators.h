@@ -26,6 +26,10 @@
 //  * CircuitBreakerDht fails fast after a run of consecutive failures and
 //    re-probes after a cooldown (half-open), protecting a client from
 //    hammering a dead substrate.
+//  * FailoverDht rescues failed reads from the key's replica holders
+//    (Dht::getReplica) and optionally hedges tail-latency reads against a
+//    replica — first answer wins. This is what keeps queries answerable
+//    while the substrate is mid-churn.
 //  * CrashDht kills the *client* between DHT writes: after a configured
 //    number of writes complete, every further operation throws
 //    CrashError (not a DhtError — no retry layer may absorb it). The
@@ -86,6 +90,13 @@ class FlakyDht final : public Dht {
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
 
+  /// Replica reads are routed operations too: they can be lost like any
+  /// other request.
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
+
   /// Failures injected so far.
   [[nodiscard]] size_t injectedFailures() const { return injected_; }
 
@@ -123,6 +134,12 @@ class LostReplyDht final : public Dht {
   std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
+
+  /// A replica read executes at the holder, then its reply may drop.
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
 
   /// Replies dropped so far (each one a successfully executed operation).
   [[nodiscard]] size_t injectedLostReplies() const { return injected_; }
@@ -165,6 +182,12 @@ class LatencyDht final : public Dht {
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
 
+  /// Each replica read is its own round trip and is charged like one.
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
+
   /// Total simulated milliseconds injected so far.
   [[nodiscard]] common::u64 injectedLatencyMs() const { return injectedMs_; }
 
@@ -201,6 +224,13 @@ class TimeoutDht final : public Dht {
   std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
+
+  /// Each replica read gets its own deadline (it is an independent
+  /// request, not part of the primary's budget).
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
 
   /// Deadline misses so far.
   [[nodiscard]] size_t timeouts() const { return timeouts_; }
@@ -253,6 +283,16 @@ class RetryingDht final : public Dht {
   std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
+
+  /// Replica reads forward untouched: FailoverDht owns the iteration over
+  /// holders, so wrapping each rescue in this decorator's retry loop would
+  /// multiply the recovery machinery against itself.
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override {
+    return inner_.getReplica(key, replicaIndex);
+  }
 
   // Diagnostics --------------------------------------------------------------
   /// Retries performed so far (failures absorbed), total and per op type.
@@ -323,6 +363,17 @@ class CircuitBreakerDht final : public Dht {
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
 
+  /// Replica rescues bypass the breaker: a rescue read is what *prevents*
+  /// a primary failure from becoming a client-visible one, so it must run
+  /// exactly when the substrate looks unhealthy. The primary op's outcome
+  /// still feeds the state machine (FailoverDht sits below this layer).
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override {
+    return inner_.getReplica(key, replicaIndex);
+  }
+
   [[nodiscard]] State state() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return state_;
@@ -354,6 +405,101 @@ class CircuitBreakerDht final : public Dht {
   common::u64 openedAtMs_ = 0;
   common::RelaxedCounter timesOpened_;
   common::RelaxedCounter fastFailures_;
+};
+
+/// Availability layer for reads: when the primary lookup fails (its owner
+/// crashed, the request or reply was lost, the deadline passed), the read
+/// is retried against the key's replica holders via Dht::getReplica — the
+/// first holder that answers wins and the caller never sees the failure.
+/// Optionally hedges slow reads: once the primary has consumed more
+/// simulated time than a configured quantile of the observed
+/// "dht.get.latency_ms" histogram, a backup read is (conceptually) in
+/// flight at a replica; if the primary still answers first the hedge is
+/// cancelled, if the primary fails the hedge's answer is the rescue.
+///
+/// Accounting discipline: a rescued read stays ONE logical operation.
+/// Rescue reads bump dht.get.attempts and dht.failover.attempts (plus the
+/// substrate's own dht.get_replica.raw); successes bump
+/// dht.failover.rescues; hedging bumps dht.hedge.{fired,wins,cancelled}.
+/// The cost model prices logical ops only, so failover overhead is visible
+/// but never inflates the paper's DHT-lookup metric.
+///
+/// Stack position: below RetryingDht and CircuitBreakerDht (a rescued read
+/// is a success — it must not trip the breaker or burn retry attempts) and
+/// above TimeoutDht/LatencyDht (each rescue is charged and deadlined like
+/// the independent request it models).
+class FailoverDht final : public Dht {
+ public:
+  struct Options {
+    /// Rescue failed reads from replicas. Off = pure pass-through (the
+    /// baseline configuration storm campaigns compare against).
+    bool failover = true;
+    /// Hedge slow reads once their latency crosses the quantile below.
+    bool hedging = false;
+    /// Quantile of the ambient "dht.get.latency_ms" histogram that arms
+    /// the hedge (tail-latency trigger, "the 95th percentile rule").
+    double hedgeQuantile = 0.95;
+    /// Floor under the sampled threshold: with an empty histogram (cold
+    /// start) the hedge arms at this latency.
+    common::u64 hedgeMinMs = 1;
+    /// Cap on rescue fan-out (default: every available replica).
+    size_t maxReplicas = static_cast<size_t>(-1);
+  };
+
+  FailoverDht(Dht& inner, net::SimClock& clock, Options options);
+
+  void put(const Key& key, Value value) override;
+  std::optional<Value> get(const Key& key) override;
+  bool remove(const Key& key) override;
+  bool apply(const Key& key, const Mutator& fn) override;
+  void storeDirect(const Key& key, Value value) override;
+  [[nodiscard]] size_t size() const override { return inner_.size(); }
+  void syncStorage() override { inner_.syncStorage(); }
+  void compactStorage() override { inner_.compactStorage(); }
+
+  /// Batch reads: the round executes once, then each failed entry is
+  /// individually rescued from replicas (batches are not hedged — the
+  /// round already costs one critical-path RTT).
+  std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
+  std::vector<ApplyOutcome> multiApply(
+      const std::vector<ApplyRequest>& reqs) override;
+
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override {
+    return inner_.getReplica(key, replicaIndex);
+  }
+
+  // Diagnostics --------------------------------------------------------------
+  /// Replica reads issued while rescuing failed primaries.
+  [[nodiscard]] size_t failoverAttempts() const { return failoverAttempts_; }
+  /// Failed primary reads a replica answered (caller saw success).
+  [[nodiscard]] size_t rescues() const { return rescues_; }
+  /// Hedges armed (primary latency crossed the threshold).
+  [[nodiscard]] size_t hedgesFired() const { return hedgesFired_; }
+  /// Hedges whose replica answer was the one returned.
+  [[nodiscard]] size_t hedgeWins() const { return hedgeWins_; }
+  /// Hedges cancelled because the primary answered after all.
+  [[nodiscard]] size_t hedgesCancelled() const { return hedgesCancelled_; }
+  /// The latency threshold a hedge currently arms at (quantile sample
+  /// with the hedgeMinMs floor; exposed for tests and dashboards).
+  [[nodiscard]] common::u64 hedgeThresholdMs() const;
+
+ private:
+  /// Rescue loop over the replica holders; returns the first answer.
+  /// Rethrows the in-flight primary failure when every holder fails.
+  /// `hedged` routes the success accounting to hedge wins.
+  std::optional<Value> rescueRead(const Key& key, bool hedged);
+
+  Dht& inner_;
+  net::SimClock& clock_;
+  Options opts_;
+  common::RelaxedCounter failoverAttempts_;
+  common::RelaxedCounter rescues_;
+  common::RelaxedCounter hedgesFired_;
+  common::RelaxedCounter hedgeWins_;
+  common::RelaxedCounter hedgesCancelled_;
 };
 
 class CrashDht final : public Dht {
@@ -398,6 +544,15 @@ class CrashDht final : public Dht {
   std::vector<GetOutcome> multiGet(const std::vector<Key>& keys) override;
   std::vector<ApplyOutcome> multiApply(
       const std::vector<ApplyRequest>& reqs) override;
+
+  /// A dead client cannot issue rescue reads either.
+  [[nodiscard]] size_t replicaFanout() const override {
+    return inner_.replicaFanout();
+  }
+  std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override {
+    beforeRead();
+    return inner_.getReplica(key, replicaIndex);
+  }
 
  private:
   void beforeWrite();

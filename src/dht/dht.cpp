@@ -22,6 +22,12 @@ Dht::RoutedOpScope::~RoutedOpScope() {
   span_.arg("hops", hops);
 }
 
+std::optional<Value> Dht::getReplica(const Key& key, size_t replicaIndex) {
+  (void)key;
+  throw DhtError("Dht: replica " + std::to_string(replicaIndex) +
+                 " read unsupported by this substrate");
+}
+
 // Base batch rounds: sequential loops with per-entry error translation.
 // Substrates and decorators override these to add round-level latency and
 // fault semantics; the base keeps the contract (DhtError -> failed entry,

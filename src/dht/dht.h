@@ -61,6 +61,15 @@ class DhtCircuitOpenError : public DhtError {
   explicit DhtCircuitOpenError(const std::string& what) : DhtError(what) {}
 };
 
+/// The peer responsible for the key is down (crashed, not yet repaired).
+/// Distinct from a key that is absent — an absent key is a successful
+/// lookup returning nothing, a down owner is a failed lookup. Failover
+/// layers catch this and retry against the key's replica holders.
+class DhtPeerDownError : public DhtError {
+ public:
+  explicit DhtPeerDownError(const std::string& what) : DhtError(what) {}
+};
+
 /// A simulated client crash. Deliberately NOT a DhtError: retry layers
 /// absorb substrate failures, but nothing may absorb the death of the
 /// client itself.
@@ -163,6 +172,21 @@ class Dht {
   /// Out-of-band bootstrap write: stores without routing or accounting.
   /// Used only to seed initial index state (e.g. the root leaf bucket).
   virtual void storeDirect(const Key& key, Value value) = 0;
+
+  // Replica failover reads ---------------------------------------------------
+  /// How many replica copies of a key can be read besides the primary
+  /// (substrate replication factor - 1). 0 means replica reads are
+  /// unsupported; decorators forward to their inner DHT.
+  [[nodiscard]] virtual size_t replicaFanout() const { return 0; }
+
+  /// Reads `key` from its `replicaIndex`-th replica holder instead of the
+  /// primary owner (0 = first holder). One routed operation, accounted
+  /// like a get but under its own "dht.get_replica" span so the retry
+  /// ledger can separate rescue reads from logical gets. Throws
+  /// DhtPeerDownError when that holder is itself down, DhtError when
+  /// replicaIndex >= replicaFanout(). A disengaged result means the key is
+  /// genuinely absent (not a failure).
+  virtual std::optional<Value> getReplica(const Key& key, size_t replicaIndex);
 
   /// Storage administration (unaccounted, unrouted). Substrates backed by
   /// a durable storage engine flush pending log appends to stable storage

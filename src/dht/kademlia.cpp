@@ -35,6 +35,7 @@ u64 KademliaDht::join(const std::string& name) {
   nodes_.emplace(id, std::move(node));
   rebuildBuckets();
   rehomeAllKeys();
+  rebuildReplicas();
   return id;
 }
 
@@ -55,6 +56,78 @@ void KademliaDht::leave(u64 nodeId) {
     owner.store.put(k, std::move(v));
   }
   rehomeAllKeys();
+  rebuildReplicas();
+}
+
+void KademliaDht::fail(u64 nodeId) {
+  std::unique_lock topo(topoMutex_);
+  common::checkInvariant(nodes_.size() >= 2, "KademliaDht::fail: last peer");
+  auto it = nodes_.find(nodeId);
+  common::checkInvariant(it != nodes_.end(), "KademliaDht::fail: unknown node");
+  // The peer vanishes with its primaries and replicas; nothing is handed
+  // off. (Removal cannot change the XOR-closest node of keys stored on
+  // the survivors, so no re-homing is needed.)
+  net_.setOnline(it->second.peer, false);
+  nodes_.erase(it);
+  rebuildBuckets();
+  // Promote surviving replicas whose primary died onto the new owners.
+  std::vector<std::pair<Key, Value>> recovered;
+  for (auto& [id, node] : nodes_) {
+    node.replicas.forEach([&](const Key& k, const Value& v) {
+      if (!nodeById(ownerOfId(common::hash::xxhash64(k, 0))).store.contains(k)) {
+        recovered.emplace_back(k, v);
+      }
+    });
+  }
+  for (auto& [k, v] : recovered) {
+    Node& owner = nodeById(ownerOfId(common::hash::xxhash64(k, 0)));
+    if (!owner.store.contains(k)) owner.store.put(k, std::move(v));
+  }
+  rebuildReplicas();
+}
+
+std::vector<u64> KademliaDht::replicaHoldersOf(u64 ownerId) const {
+  std::vector<u64> out;
+  if (opts_.replication <= 1) return out;
+  const size_t want = std::min(opts_.replication, nodes_.size()) - 1;
+  out.reserve(nodes_.size() - 1);
+  for (const auto& [id, n] : nodes_) {
+    if (id != ownerId) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end(),
+            [ownerId](u64 a, u64 b) { return (a ^ ownerId) < (b ^ ownerId); });
+  out.resize(want);
+  return out;
+}
+
+std::vector<u64> KademliaDht::writeSetOf(u64 ownerId) const {
+  std::vector<u64> set{ownerId};
+  for (u64 hid : replicaHoldersOf(ownerId)) set.push_back(hid);
+  return set;
+}
+
+void KademliaDht::pushReplicas(const Node& owner, const Key& key,
+                               const Value& value) {
+  for (u64 hid : replicaHoldersOf(owner.id)) {
+    Node& holder = nodeById(hid);
+    net_.send(owner.peer, holder.peer, key.size() + value.size());
+    holder.replicas.put(key, value);
+  }
+}
+
+void KademliaDht::dropReplicas(u64 ownerId, const Key& key) {
+  for (u64 hid : replicaHoldersOf(ownerId)) {
+    nodeById(hid).replicas.erase(key);
+  }
+}
+
+void KademliaDht::rebuildReplicas() {
+  if (opts_.replication <= 1) return;
+  for (auto& [id, node] : nodes_) node.replicas.clear();
+  for (auto& [id, node] : nodes_) {
+    node.store.forEach(
+        [&](const Key& k, const Value& v) { pushReplicas(node, k, v); });
+  }
 }
 
 std::vector<u64> KademliaDht::nodeIds() const {
@@ -175,8 +248,10 @@ void KademliaDht::put(const Key& key, Value value) {
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size() + value.size());
   stats_.valueBytesMoved += value.size();
-  auto lock = storeLocks_.guard(owner);
-  nodeById(owner).store.put(key, std::move(value));
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  Node& node = nodeById(owner);
+  pushReplicas(node, key, value);
+  node.store.put(key, std::move(value));
 }
 
 std::optional<Value> KademliaDht::get(const Key& key) {
@@ -197,8 +272,10 @@ bool KademliaDht::remove(const Key& key) {
   stats_.removes += 1;
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
-  auto lock = storeLocks_.guard(owner);
-  return nodeById(owner).store.erase(key);
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  const bool existed = nodeById(owner).store.erase(key);
+  if (existed) dropReplicas(owner, key);
+  return existed;
 }
 
 bool KademliaDht::apply(const Key& key, const Mutator& fn) {
@@ -207,14 +284,17 @@ bool KademliaDht::apply(const Key& key, const Mutator& fn) {
   std::shared_lock topo(topoMutex_);
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   // Mutator runs under the owner's stripe: atomic per key.
-  auto lock = storeLocks_.guard(owner);
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
   Node& node = nodeById(owner);
   std::optional<Value> v = node.store.take(key);
   const bool existed = v.has_value();
   fn(v);
   if (v.has_value()) {
     stats_.valueBytesMoved += v->size();
+    pushReplicas(node, key, *v);
     node.store.put(key, std::move(*v));
+  } else if (existed) {
+    dropReplicas(owner, key);
   }
   return existed;
 }
@@ -222,8 +302,10 @@ bool KademliaDht::apply(const Key& key, const Mutator& fn) {
 void KademliaDht::storeDirect(const Key& key, Value value) {
   std::shared_lock topo(topoMutex_);
   const u64 owner = ownerOfId(common::hash::xxhash64(key, 0));
-  auto lock = storeLocks_.guard(owner);
-  nodeById(owner).store.put(key, std::move(value));
+  common::StripedMutex::MultiGuard guard(storeLocks_, writeSetOf(owner));
+  Node& node = nodeById(owner);
+  pushReplicas(node, key, value);
+  node.store.put(key, std::move(value));
 }
 
 size_t KademliaDht::size() const {

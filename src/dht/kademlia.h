@@ -32,6 +32,10 @@ class KademliaDht final : public Dht {
     common::u64 seed = 1;
     size_t bucketSize = 8;  ///< k: max contacts kept per bucket
     bool randomEntry = true;
+    /// Copies of every key (1 = none). With r >= 2 each key is also held
+    /// by the r-1 nodes XOR-closest to its owner, so data survives an
+    /// ungraceful failure (see fail()).
+    size_t replication = 1;
   };
 
   KademliaDht(net::SimNetwork& network, Options options);
@@ -54,6 +58,10 @@ class KademliaDht final : public Dht {
   common::u64 join(const std::string& name);
   /// Removes a peer; its keys re-home to their new closest owners.
   void leave(common::u64 nodeId);
+  /// Ungraceful failure: the peer vanishes without handing anything off.
+  /// Surviving replicas (Options::replication >= 2) are promoted on the
+  /// new owners; without replication its keys are lost.
+  void fail(common::u64 nodeId);
 
   [[nodiscard]] std::vector<common::u64> nodeIds() const;
   [[nodiscard]] common::u64 ownerOf(const Key& key) const;
@@ -69,6 +77,7 @@ class KademliaDht final : public Dht {
     // bit b (bit 63 = most significant), ordered by XOR-closeness to us.
     std::vector<std::vector<common::u64>> buckets;
     store::MemTable store;
+    store::MemTable replicas;  ///< copies held for other owners
   };
 
   // Private helpers assume topoMutex_ held; store accesses additionally
@@ -78,6 +87,17 @@ class KademliaDht final : public Dht {
   [[nodiscard]] common::u64 ownerOfId(common::u64 keyId) const;
   void rebuildBuckets();
   void rehomeAllKeys();
+  /// The replication-1 nodes XOR-closest to `ownerId` (excluding it) —
+  /// the holders of its keys' replica copies.
+  [[nodiscard]] std::vector<common::u64> replicaHoldersOf(
+      common::u64 ownerId) const;
+  /// The stripe set a write to `ownerId` must hold: owner plus holders.
+  [[nodiscard]] std::vector<common::u64> writeSetOf(common::u64 ownerId) const;
+  void pushReplicas(const Node& owner, const Key& key, const Value& value);
+  void dropReplicas(common::u64 ownerId, const Key& key);
+  /// Recomputes every replica placement from the primaries (after churn).
+  /// Requires the exclusive topology lock.
+  void rebuildReplicas();
   common::u64 route(common::u64 keyId, u64 requestBytes);
 
   net::SimNetwork& net_;

@@ -41,6 +41,10 @@ class PastryDht final : public Dht {
     common::u64 seed = 1;
     size_t leafSetHalf = 4;  ///< L/2: leaf-set members per side
     bool randomEntry = true;
+    /// Copies of every key (1 = none). With r >= 2 each key is also held
+    /// by the r-1 nodes numerically closest to its owner (its nearest
+    /// leaf-set members), so data survives an ungraceful failure.
+    size_t replication = 1;
   };
 
   PastryDht(net::SimNetwork& network, Options options);
@@ -63,6 +67,10 @@ class PastryDht final : public Dht {
   common::u64 join(const std::string& name);
   /// Gracefully removes a peer; its keys move to their new owners.
   void leave(common::u64 nodeId);
+  /// Ungraceful failure: the peer vanishes without handing anything off.
+  /// Surviving replicas (Options::replication >= 2) are promoted on the
+  /// new owners; without replication its keys are lost.
+  void fail(common::u64 nodeId);
 
   [[nodiscard]] std::vector<common::u64> nodeIds() const;
   [[nodiscard]] common::u64 ownerOf(const Key& key) const;
@@ -79,6 +87,7 @@ class PastryDht final : public Dht {
     common::u64 routing[16][16] = {};
     std::vector<common::u64> leafSet;  // sorted circular neighbors, both sides
     store::MemTable store;
+    store::MemTable replicas;  ///< copies held for other owners
   };
 
   // Private helpers assume topoMutex_ held; store accesses additionally
@@ -89,6 +98,17 @@ class PastryDht final : public Dht {
   [[nodiscard]] std::vector<common::u64> nodeIdsUnlocked() const;
   void rebuildTables();
   void rehomeAllKeys();
+  /// The replication-1 nodes numerically closest to `ownerId` (excluding
+  /// it) — the holders of its keys' replica copies.
+  [[nodiscard]] std::vector<common::u64> replicaHoldersOf(
+      common::u64 ownerId) const;
+  /// The stripe set a write to `ownerId` must hold: owner plus holders.
+  [[nodiscard]] std::vector<common::u64> writeSetOf(common::u64 ownerId) const;
+  void pushReplicas(const Node& owner, const Key& key, const Value& value);
+  void dropReplicas(common::u64 ownerId, const Key& key);
+  /// Recomputes every replica placement from the primaries (after churn).
+  /// Requires the exclusive topology lock.
+  void rebuildReplicas();
   common::u64 route(common::u64 keyId, u64 requestBytes);
 
   net::SimNetwork& net_;

@@ -58,7 +58,10 @@ ClientFleet::ClientFleet(StackFactory factory, FleetOptions options)
     common::checkInvariant(c->stack.top != nullptr,
                            "ClientFleet: StackFactory returned a null top");
     core::LhtIndex::Options io = opts_.index;
-    io.attachExisting = i > 0;  // client 0 bootstraps the root leaf
+    // Client 0 bootstraps the root leaf — unless the caller attaches the
+    // whole fleet to an index that already exists (e.g. querying a
+    // preloaded tree mid-churn), in which case nobody may clobber it.
+    io.attachExisting = opts_.index.attachExisting || i > 0;
     io.clientSeed = opts_.clientSeedBase + i;
     // Construction writes (the bootstrap put) charge this client's clock
     // and land in its private registry, same as its ops will.

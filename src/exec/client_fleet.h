@@ -60,8 +60,10 @@ struct FleetOptions {
   /// on the client's clock (the clock is advanced to the due time before
   /// the op). 0: closed loop, ops back-to-back.
   common::u64 openLoopInterarrivalMs = 0;
-  /// Base index options; the fleet overrides attachExisting (true for
-  /// clients > 0) and clientSeed (base + index) per client. Concurrent
+  /// Base index options; the fleet overrides clientSeed (base + index)
+  /// per client. attachExisting=false lets client 0 bootstrap the root
+  /// leaf (clients > 0 always attach); attachExisting=true attaches the
+  /// whole fleet to a pre-existing index without touching it. Concurrent
   /// fleets with structural churn should set crashConsistentSplits.
   core::LhtIndex::Options index;
   common::u64 clientSeedBase = 1000;

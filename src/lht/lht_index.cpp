@@ -176,7 +176,18 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
     if (opts_.useLeafCache) {
       if (auto cached = leafCache_.find(key)) {
         const std::string nm = dhtKeyFor(cached->label);
-        auto bucket = getBucketRef(nm, out.stats);
+        BucketRef bucket;
+        try {
+          bucket = getBucketRef(nm, out.stats);
+        } catch (const dht::DhtError&) {
+          // The peer holding the cached location is unreachable (crashed
+          // and not yet repaired away). The leaf will move during repair,
+          // so stop advertising the stale location before the failure
+          // surfaces — the next lookup after recovery re-resolves from
+          // the binary search instead of probing the dead owner again.
+          dropCached(cached->label.interval());
+          throw;
+        }
         if (bucket && !bucket->clean()) {
           dropCached(bucket->label.interval());
           repairBucket(nm, *bucket, out.stats);
@@ -466,6 +477,21 @@ size_t LhtIndex::repairSweep() {
       continue;
     }
     cursor = covering->label.interval().hi;
+  }
+  return static_cast<size_t>((repairStats_.splitRepairs - before.splitRepairs) +
+                             (repairStats_.mergeRepairs - before.mergeRepairs));
+}
+
+size_t LhtIndex::repairSweepStep(double& cursor, size_t maxBuckets) {
+  const RepairStats before = repairStats_;
+  cost::OpStats scratch;
+  size_t visited = 0;
+  while (cursor < 1.0 && visited < maxBuckets) {
+    auto out = lookupInternal(cursor);
+    checkInvariant(out.bucket != nullptr, "repairSweepStep: unrecoverable hole");
+    scratch += out.stats;
+    cursor = out.bucket->label.interval().hi;
+    ++visited;
   }
   return static_cast<size_t>((repairStats_.splitRepairs - before.splitRepairs) +
                              (repairStats_.mergeRepairs - before.mergeRepairs));

@@ -195,6 +195,14 @@ class LhtIndex final : public index::OrderedIndex {
   /// the number of repairs completed.
   size_t repairSweep();
 
+  /// Bounded, resumable slice of repairSweep for an anti-entropy scheduler:
+  /// walks at most `maxBuckets` leaves forward from `cursor` (a key in
+  /// [0, 1]), completing any half-finished split/merge encountered, and
+  /// advances `cursor` to the upper bound of the last leaf visited. The
+  /// sweep is complete once `cursor` reaches 1.0; restart it at 0.0.
+  /// Returns the number of repairs completed in this slice.
+  size_t repairSweepStep(double& cursor, size_t maxBuckets);
+
   [[nodiscard]] const Options& options() const { return opts_; }
 
   /// Client-side cache observability (tests, benches).

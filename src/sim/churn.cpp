@@ -4,6 +4,10 @@
 
 namespace lht::sim {
 
+std::string churnJoinName(size_t eventIndex) {
+  return "churn-" + std::to_string(eventIndex);
+}
+
 ChurnDriver::ChurnDriver(dht::ChordDht& dht, ChurnConfig config)
     : dht_(dht), cfg_(config), rng_(config.seed, /*stream=*/0xC5u) {
   common::checkInvariant(cfg_.period >= 1, "ChurnDriver: period must be >= 1");
@@ -22,6 +26,17 @@ ChurnDriver::ChurnDriver(dht::ChordDht& dht, ChurnConfig config)
       "(ungraceful failures would lose data)");
 }
 
+void ChurnDriver::record(ChurnEvent::Type type, common::u64 nodeId) {
+  events_.push_back(ChurnEvent{type, nodeId, nowMs()});
+}
+
+common::u64 ChurnDriver::applyJoin() {
+  const common::u64 id = dht_.join(churnJoinName(events_.size()));
+  record(ChurnEvent::Type::Join, id);
+  joins_ += 1;
+  return id;
+}
+
 bool ChurnDriver::maybeChurn() {
   counter_ += 1;
   if (rng_.below(cfg_.period) != 0) return false;
@@ -36,8 +51,7 @@ void ChurnDriver::churnOnce() {
   const bool canShrink = dht_.peerCount() > cfg_.minPeers;
 
   if (pick < cfg_.joinWeight || !canShrink) {
-    dht_.join("churn-" + std::to_string(counter_) + "-" + std::to_string(joins_));
-    joins_ += 1;
+    applyJoin();
     return;
   }
   pick -= cfg_.joinWeight;
@@ -45,10 +59,81 @@ void ChurnDriver::churnOnce() {
       ids[rng_.below(static_cast<common::u32>(ids.size()))];
   if (pick < cfg_.leaveWeight) {
     dht_.leave(victim);
+    record(ChurnEvent::Type::Leave, victim);
     leaves_ += 1;
   } else {
     dht_.fail(victim);
+    record(ChurnEvent::Type::Fail, victim);
     fails_ += 1;
+  }
+}
+
+size_t ChurnDriver::wave(const WaveConfig& wave) {
+  // Joins and graceful leaves first: ChordDht rejects both while crashes
+  // are pending, so a wave's crash burst always comes last.
+  for (size_t i = 0; i < wave.joins; ++i) applyJoin();
+  for (size_t i = 0; i < wave.leaves; ++i) {
+    if (dht_.peerCount() <= cfg_.minPeers) break;
+    const auto ids = dht_.nodeIds();
+    const common::u64 victim =
+        ids[rng_.below(static_cast<common::u32>(ids.size()))];
+    dht_.leave(victim);
+    record(ChurnEvent::Type::Leave, victim);
+    leaves_ += 1;
+  }
+  size_t crashed = 0;
+  for (size_t i = 0; i < wave.crashes; ++i) {
+    if (dht_.livePeerCount() <= std::max<size_t>(cfg_.minPeers, 2)) break;
+    // Spacing: pick a live victim whose crash (on top of those already
+    // dark) still leaves every key at least one live copy. A few random
+    // draws suffice; when none qualifies the wave is saturated.
+    const auto live = dht_.liveNodeIds();
+    common::u64 victim = 0;
+    for (size_t tries = 0; tries < live.size() + 8; ++tries) {
+      const common::u64 cand =
+          live[rng_.below(static_cast<common::u32>(live.size()))];
+      if (!dht_.crashWouldLoseData(cand)) {
+        victim = cand;
+        break;
+      }
+    }
+    if (victim == 0) break;
+    dht_.crash(victim);
+    record(ChurnEvent::Type::Crash, victim);
+    crashes_ += 1;
+    crashed += 1;
+  }
+  return crashed;
+}
+
+void ChurnDriver::replay(const std::vector<ChurnEvent>& log) {
+  for (const ChurnEvent& ev : log) {
+    switch (ev.type) {
+      case ChurnEvent::Type::Join: {
+        const common::u64 id = dht_.join(churnJoinName(events_.size()));
+        common::checkInvariant(id == ev.nodeId,
+                               "ChurnDriver::replay: join diverged from log "
+                               "(substrate not in the recorded start state?)");
+        record(ChurnEvent::Type::Join, id);
+        joins_ += 1;
+        break;
+      }
+      case ChurnEvent::Type::Leave:
+        dht_.leave(ev.nodeId);
+        record(ChurnEvent::Type::Leave, ev.nodeId);
+        leaves_ += 1;
+        break;
+      case ChurnEvent::Type::Fail:
+        dht_.fail(ev.nodeId);
+        record(ChurnEvent::Type::Fail, ev.nodeId);
+        fails_ += 1;
+        break;
+      case ChurnEvent::Type::Crash:
+        dht_.crash(ev.nodeId);
+        record(ChurnEvent::Type::Crash, ev.nodeId);
+        crashes_ += 1;
+        break;
+    }
   }
 }
 

@@ -2,14 +2,37 @@
 // the networks"). Interleaves join / graceful-leave / ungraceful-fail
 // events with index operations on a Chord substrate, so experiments can
 // measure index behaviour and DHT recovery traffic under dynamism.
+//
+// Every event is appended to a deterministic log (type, node id, sim
+// time), so any run is reproducible from its seed — or replayable
+// event-for-event onto a fresh identical substrate with replay().
+// wave() fires a churn *storm*: a burst of mass joins, leaves and
+// crashes (crash() marks peers dark for the anti-entropy repair
+// scheduler to excise, unlike fail()'s immediate removal).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "dht/chord.h"
+#include "net/sim_network.h"
 
 namespace lht::sim {
+
+/// One churn event, as applied. `simTimeMs` is the SimClock reading at
+/// the moment the event fired (0 when the driver has no clock).
+struct ChurnEvent {
+  enum class Type { Join, Leave, Fail, Crash };
+  Type type = Type::Join;
+  common::u64 nodeId = 0;     ///< joined node's first ring id, or the victim
+  common::u64 simTimeMs = 0;  ///< simulated time when the event was applied
+};
+
+/// Canonical name for the peer added by the log's `eventIndex`-th event
+/// (when it is a Join). Join placement is a pure function of the name, so
+/// replaying the log with these names reproduces the exact topology.
+[[nodiscard]] std::string churnJoinName(size_t eventIndex);
 
 struct ChurnConfig {
   /// Relative weights of the three event types when an event fires.
@@ -21,6 +44,18 @@ struct ChurnConfig {
   /// The ring never shrinks below this.
   size_t minPeers = 4;
   common::u64 seed = 1;
+  /// Timestamps events in the log when set (SimNetwork::clock()).
+  const net::SimClock* clock = nullptr;
+};
+
+/// One churn-storm wave for ChurnDriver::wave(): a burst of topology
+/// events applied back-to-back. Joins and graceful leaves land first
+/// (they are rejected while crashes are pending); the crashes come last
+/// and stay dark until an anti-entropy scheduler runs repairStep().
+struct WaveConfig {
+  size_t joins = 0;
+  size_t leaves = 0;
+  size_t crashes = 0;
 };
 
 class ChurnDriver {
@@ -34,18 +69,49 @@ class ChurnDriver {
   /// Forces one event of a random (weighted) type immediately.
   void churnOnce();
 
+  /// Fires one storm wave: `joins` joins, then `leaves` graceful leaves,
+  /// then `crashes` crash() events on randomly chosen live peers. Crash
+  /// victims are spaced by crashWouldLoseData(): a victim whose loss (on
+  /// top of the crashes already pending) would destroy the last copy of
+  /// some key is skipped, so a wave never exceeds what the replication
+  /// factor can absorb. Returns the number of crashes actually applied.
+  size_t wave(const WaveConfig& wave);
+
+  /// Every event applied by this driver, in order.
+  [[nodiscard]] const std::vector<ChurnEvent>& eventLog() const {
+    return events_;
+  }
+
+  /// Replays `log` event-for-event onto this driver's substrate (which
+  /// must be in the same state the recording run started from). Joins use
+  /// churnJoinName(i), reproducing the recorded node ids exactly — the
+  /// invariant is checked per event. The replayed events are appended to
+  /// this driver's own log.
+  void replay(const std::vector<ChurnEvent>& log);
+
   [[nodiscard]] size_t joins() const { return joins_; }
   [[nodiscard]] size_t leaves() const { return leaves_; }
   [[nodiscard]] size_t fails() const { return fails_; }
-  [[nodiscard]] size_t events() const { return joins_ + leaves_ + fails_; }
+  [[nodiscard]] size_t crashes() const { return crashes_; }
+  [[nodiscard]] size_t events() const {
+    return joins_ + leaves_ + fails_ + crashes_;
+  }
 
  private:
+  [[nodiscard]] common::u64 nowMs() const {
+    return cfg_.clock != nullptr ? cfg_.clock->nowMs() : 0;
+  }
+  common::u64 applyJoin();
+  void record(ChurnEvent::Type type, common::u64 nodeId);
+
   dht::ChordDht& dht_;
   ChurnConfig cfg_;
   common::Pcg32 rng_;
+  std::vector<ChurnEvent> events_;
   size_t joins_ = 0;
   size_t leaves_ = 0;
   size_t fails_ = 0;
+  size_t crashes_ = 0;
   size_t counter_ = 0;
 };
 

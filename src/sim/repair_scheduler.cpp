@@ -1,0 +1,69 @@
+#include "sim/repair_scheduler.h"
+
+#include "common/types.h"
+#include "obs/obs.h"
+
+namespace lht::sim {
+
+RepairScheduler::RepairScheduler(dht::ChordDht& dht, core::LhtIndex* index,
+                                 RepairSchedulerConfig config)
+    : dht_(dht), index_(index), cfg_(config) {
+  common::checkInvariant(cfg_.dhtKeysPerTick >= 1,
+                         "RepairScheduler: dhtKeysPerTick must be >= 1");
+  // An index with no sweep budget never converges its half of the check;
+  // treat "no index pass" as a null index instead.
+  if (cfg_.indexBucketsPerTick == 0) index_ = nullptr;
+  sweepDone_ = index_ == nullptr;
+}
+
+void RepairScheduler::noteChurn() {
+  sweepCursor_ = 0.0;
+  sweepDone_ = index_ == nullptr;
+}
+
+size_t RepairScheduler::tick() {
+  progress_.ticks += 1;
+  obs::count("repair.ticks");
+  size_t work = 0;
+
+  // DHT side: excise pending crashes (first slice after a storm) and
+  // apply a bounded batch of replica fix-ups.
+  const size_t applied = dht_.repairStep(cfg_.dhtKeysPerTick);
+  progress_.dhtActions += applied;
+  work += applied;
+  if (applied != 0) obs::count("repair.dht_actions", applied);
+  obs::gaugeSet("repair.replica_deficit",
+                static_cast<double>(dht_.replicaDeficit()));
+
+  // Index side: resume the bounded sweep where the last tick stopped.
+  if (index_ != nullptr && !sweepDone_) {
+    const size_t repaired =
+        index_->repairSweepStep(sweepCursor_, cfg_.indexBucketsPerTick);
+    progress_.indexRepairs += repaired;
+    if (repaired != 0) obs::count("repair.index_repairs", repaired);
+    work += repaired;
+    if (sweepCursor_ >= 1.0) {
+      sweepDone_ = true;
+      progress_.sweepPasses += 1;
+    } else {
+      work += 1;  // the walk itself is progress: the pass is not done
+    }
+  }
+  return work;
+}
+
+bool RepairScheduler::converged() const {
+  return dht_.repairConverged() && sweepDone_;
+}
+
+size_t RepairScheduler::runToConvergence() {
+  size_t spent = 0;
+  while (!converged()) {
+    common::checkInvariant(++spent <= cfg_.maxTicks,
+                           "RepairScheduler: no convergence within maxTicks");
+    tick();
+  }
+  return spent;
+}
+
+}  // namespace lht::sim

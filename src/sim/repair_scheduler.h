@@ -1,0 +1,75 @@
+// Anti-entropy repair scheduler: drives the system back to full
+// replication and a structurally converged index after churn, in bounded
+// slices instead of one stop-the-world pass.
+//
+// Each tick() runs (a) one ChordDht::repairStep slice — excising crashed
+// peers on the first slice after a storm, then at most dhtKeysPerTick
+// replica fix-ups — and (b) one LhtIndex::repairSweepStep slice of at
+// most indexBucketsPerTick leaves, completing any half-finished
+// split/merge in its path. The scheduler owns the sweep cursor, so the
+// index pass resumes where the previous tick stopped; noteChurn()
+// restarts it (new damage may sit behind the cursor).
+//
+// Convergence = the DHT reports zero replica deficit with no crashes
+// pending AND the index sweep has completed a full [0,1) pass since the
+// last churn notification. Progress is mirrored into the ambient obs
+// registry: counters "repair.ticks" / "repair.dht_actions" /
+// "repair.index_repairs", gauge "repair.replica_deficit".
+#pragma once
+
+#include "dht/chord.h"
+#include "lht/lht_index.h"
+
+namespace lht::sim {
+
+struct RepairSchedulerConfig {
+  /// Max replica fix-ups (push/drop) applied per tick on the DHT.
+  size_t dhtKeysPerTick = 64;
+  /// Max leaf buckets the index sweep visits per tick (0: no index pass).
+  size_t indexBucketsPerTick = 8;
+  /// Runaway guard for runToConvergence().
+  size_t maxTicks = 1u << 16;
+};
+
+/// Cumulative work done by the scheduler (since construction).
+struct RepairProgress {
+  size_t ticks = 0;
+  size_t dhtActions = 0;    ///< replica fix-ups applied by repairStep
+  size_t indexRepairs = 0;  ///< split/merge intents completed by the sweep
+  size_t sweepPasses = 0;   ///< full [0,1) index passes completed
+};
+
+class RepairScheduler {
+ public:
+  /// `index` may be null: DHT-only repair (no LHT client on this node).
+  RepairScheduler(dht::ChordDht& dht, core::LhtIndex* index,
+                  RepairSchedulerConfig config);
+
+  /// One bounded repair slice; returns the work units done (DHT fix-ups +
+  /// index repairs, plus 1 while the sweep is still walking). Zero means
+  /// the tick found nothing to do — converged() is then true.
+  size_t tick();
+
+  /// Call after churn events land: restarts the index sweep pass (the
+  /// DHT side needs no nudge — repairStep rescans on every tick).
+  void noteChurn();
+
+  [[nodiscard]] bool converged() const;
+
+  /// Ticks until converged (or maxTicks, which trips an invariant).
+  /// Returns the ticks spent in this call.
+  size_t runToConvergence();
+
+  [[nodiscard]] const RepairProgress& progress() const { return progress_; }
+  [[nodiscard]] double sweepCursor() const { return sweepCursor_; }
+
+ private:
+  dht::ChordDht& dht_;
+  core::LhtIndex* index_;
+  RepairSchedulerConfig cfg_;
+  RepairProgress progress_;
+  double sweepCursor_ = 0.0;
+  bool sweepDone_ = false;
+};
+
+}  // namespace lht::sim

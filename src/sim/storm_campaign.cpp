@@ -1,0 +1,183 @@
+#include "sim/storm_campaign.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dht/decorators.h"
+#include "exec/client_fleet.h"
+#include "exec/thread_pool.h"
+#include "lht/lht_index.h"
+#include "net/sim_network.h"
+#include "sim/repair_scheduler.h"
+#include "workload/trace.h"
+
+namespace lht::sim {
+
+namespace {
+
+core::LhtIndex::Options indexOptions(const StormConfig& cfg, common::u64 seed,
+                                     bool attach) {
+  core::LhtIndex::Options io;
+  io.thetaSplit = cfg.thetaSplit;
+  io.useLeafCache = true;  // the PR2 cache must compose with failover reads
+  io.attachExisting = attach;
+  io.clientSeed = seed;
+  return io;
+}
+
+}  // namespace
+
+StormReport runStormCampaign(const StormConfig& cfg) {
+  common::checkInvariant(cfg.replication >= 2,
+                         "StormCampaign: replication >= 2 required "
+                         "(crashes would lose data)");
+  common::checkInvariant(cfg.keys >= 1 && cfg.queriesPerWave >= 1,
+                         "StormCampaign: empty workload");
+  StormReport rep;
+  rep.seeds = cfg.seeds;
+  exec::WorkStealingPool pool(4);
+
+  for (size_t s = 0; s < cfg.seeds; ++s) {
+    const common::u64 seed = cfg.baseSeed + s;
+    net::SimNetwork net;
+    net::SimClock simClock;
+    net.attachClock(&simClock, /*perHopLatencyMs=*/1);
+
+    dht::ChordDht::Options co;
+    co.initialPeers = cfg.peers;
+    co.seed = seed;
+    co.replication = cfg.replication;
+    dht::ChordDht chord(net, co);
+
+    // Preload through a plain client; the oracle is the inserted set.
+    core::LhtIndex loader(chord, indexOptions(cfg, seed * 131, false));
+    common::Pcg32 rng(seed, /*stream=*/0x5708u);
+    std::vector<index::Record> oracle;
+    oracle.reserve(cfg.keys);
+    for (size_t i = 0; i < cfg.keys; ++i) {
+      index::Record r;
+      // Stratified keys: distinct by construction, uniform in [0, 1).
+      r.key = (static_cast<double>(i) + rng.nextDouble()) /
+              static_cast<double>(cfg.keys);
+      r.payload = "storm-" + std::to_string(i);
+      loader.insert(r);
+      oracle.push_back(std::move(r));
+    }
+
+    ChurnConfig cc;
+    cc.seed = seed;
+    cc.minPeers = 4;
+    cc.clock = net.clock();
+    ChurnDriver driver(chord, cc);
+
+    for (size_t w = 0; w < cfg.waves; ++w) {
+      const size_t joinsBefore = driver.joins();
+      const size_t leavesBefore = driver.leaves();
+      rep.crashesApplied += driver.wave(cfg.wave);
+      rep.joinsApplied += driver.joins() - joinsBefore;
+      rep.leavesApplied += driver.leaves() - leavesBefore;
+      rep.waves += 1;
+
+      // Mid-storm load: query-only trace against the wounded substrate.
+      std::vector<workload::Operation> trace;
+      trace.reserve(cfg.queriesPerWave);
+      for (size_t q = 0; q < cfg.queriesPerWave; ++q) {
+        workload::Operation op;
+        op.kind = workload::Operation::Kind::Find;
+        op.key =
+            oracle[rng.below(static_cast<common::u32>(oracle.size()))].key;
+        trace.push_back(std::move(op));
+      }
+
+      exec::FleetOptions fo;
+      fo.clients = cfg.clients;
+      fo.chunkSize = 16;
+      fo.clientSeedBase = seed * 10'000 + w * 100;
+      fo.index = indexOptions(cfg, /*unused: per-client override*/ 1, true);
+      exec::ClientFleet fleet(
+          [&](size_t i, net::SimClock& clock) {
+            exec::ClientStack stack;
+            auto latency = std::make_unique<dht::LatencyDht>(
+                chord, clock,
+                dht::LatencyDht::Options{
+                    .baseMs = 2, .jitterMs = 1, .seed = seed * 31 + w * 7 + i});
+            dht::FailoverDht::Options fopts;
+            fopts.failover = cfg.failover;
+            fopts.hedging = cfg.hedging;
+            fopts.hedgeMinMs = 4;
+            auto failover = std::make_unique<dht::FailoverDht>(
+                *latency, clock, fopts);
+            stack.top = failover.get();
+            stack.layers.push_back(std::move(latency));
+            stack.layers.push_back(std::move(failover));
+            return stack;
+          },
+          fo);
+      exec::FleetResult result = fleet.run(trace, pool);
+      rep.opsTotal += result.opsTotal;
+      rep.opsFailed += result.opsFailed;
+      rep.failoverAttempts +=
+          result.metrics.counterValue("dht.failover.attempts");
+      rep.rescues += result.metrics.counterValue("dht.failover.rescues");
+      rep.hedgesFired += result.metrics.counterValue("dht.hedge.fired");
+      rep.hedgeWins += result.metrics.counterValue("dht.hedge.wins");
+
+      // Anti-entropy: bounded slices until full replication + a clean
+      // index sweep. The scheduler's first slice excises the dark peers.
+      core::LhtIndex repairClient(
+          chord, indexOptions(cfg, seed * 977 + w + 1, true));
+      RepairSchedulerConfig rc;
+      rc.dhtKeysPerTick = cfg.dhtKeysPerTick;
+      rc.indexBucketsPerTick = cfg.indexBucketsPerTick;
+      RepairScheduler sched(chord, &repairClient, rc);
+      sched.noteChurn();
+      const size_t ticks = sched.runToConvergence();
+      rep.repairTicks += ticks;
+      rep.maxTicksToConverge = std::max(rep.maxTicksToConverge, ticks);
+      rep.dhtRepairActions += sched.progress().dhtActions;
+      rep.indexRepairs += sched.progress().indexRepairs;
+      if (!chord.checkReplication()) {
+        rep.failures.push_back("seed " + std::to_string(seed) + " wave " +
+                               std::to_string(w) +
+                               ": checkReplication failed post-repair");
+      }
+      if (sched.progress().sweepPasses == 0) {
+        rep.failures.push_back("seed " + std::to_string(seed) + " wave " +
+                               std::to_string(w) +
+                               ": index sweep never completed a pass");
+      }
+    }
+
+    rep.lostKeys += chord.lostKeys();
+    if (chord.lostKeys() != 0) {
+      rep.failures.push_back("seed " + std::to_string(seed) + ": " +
+                             std::to_string(chord.lostKeys()) +
+                             " keys lost despite crash spacing");
+    }
+
+    // Post-storm verification: every preloaded record is reachable and
+    // intact through a fresh client.
+    core::LhtIndex verifier(chord, indexOptions(cfg, seed * 4099, true));
+    for (const index::Record& r : oracle) {
+      auto found = verifier.find(r.key);
+      if (!found.record.has_value() || found.record->payload != r.payload) {
+        rep.failures.push_back("seed " + std::to_string(seed) +
+                               ": record at key " + std::to_string(r.key) +
+                               (found.record.has_value() ? " corrupted"
+                                                         : " missing"));
+        break;  // one example per seed keeps the report readable
+      }
+    }
+  }
+
+  rep.availability =
+      rep.opsTotal == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(rep.opsFailed) /
+                      static_cast<double>(rep.opsTotal);
+  return rep;
+}
+
+}  // namespace lht::sim

@@ -1,0 +1,100 @@
+// Churn-storm campaign: measures LHT query availability while the
+// substrate is actively dark, and time-to-repair-convergence afterwards.
+//
+// Per seed the campaign preloads a Chord-backed index (replication >= 2),
+// then fires `waves` churn storms. Each wave: (1) ChurnDriver::wave()
+// applies a burst of joins, graceful leaves, and crash() events — the
+// crashed peers stay dark in the ring; (2) a *mid-storm* query-only
+// ClientFleet runs against the wounded substrate through a per-client
+// Latency + Failover decorator stack (failover / hedged reads are the
+// knobs under test — with both off the same stack is the baseline);
+// (3) a RepairScheduler ticks bounded anti-entropy slices (replica
+// fix-ups + index sweep) until convergence, which is asserted via
+// ChordDht::checkReplication(). After the last wave every preloaded
+// record is verified against the oracle through a fresh client.
+//
+// availability = 1 - failed ops / total ops across every mid-storm fleet.
+// With replication >= 2, crash spacing (crashWouldLoseData) guarantees a
+// live copy of every key exists, so the failover configuration must reach
+// availability 1.0; the baseline measurably cannot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/churn.h"
+
+namespace lht::sim {
+
+struct StormConfig {
+  size_t seeds = 16;
+  common::u64 baseSeed = 1;
+
+  /// Substrate shape at preload time.
+  size_t peers = 24;
+  size_t replication = 3;
+
+  /// Index preload: `keys` records under theta_split = `thetaSplit`.
+  size_t keys = 160;
+  common::u32 thetaSplit = 8;
+
+  /// Storm shape: `waves` bursts of this composition per seed. Keep
+  /// crashes per wave <= replication - 1: crashWouldLoseData spaces
+  /// crashes so *stored* keys keep a live copy, but LHT's binary search
+  /// also probes names that exist nowhere, and those reads are only
+  /// guaranteed a live holder (for an authoritative miss) when fewer
+  /// peers are dark at once than the key has holders.
+  size_t waves = 3;
+  WaveConfig wave{/*joins=*/2, /*leaves=*/2, /*crashes=*/2};
+
+  /// Mid-storm load: `queriesPerWave` finds of preloaded keys spread over
+  /// `clients` concurrent clients.
+  size_t queriesPerWave = 96;
+  size_t clients = 3;
+
+  /// Resilience features under test (the campaign's independent variable).
+  bool failover = true;
+  bool hedging = true;
+
+  /// Anti-entropy slice sizes (see RepairSchedulerConfig).
+  size_t dhtKeysPerTick = 64;
+  size_t indexBucketsPerTick = 8;
+};
+
+struct StormReport {
+  size_t seeds = 0;
+  size_t waves = 0;            ///< waves executed (seeds * cfg.waves)
+  size_t crashesApplied = 0;   ///< crash() events across all waves
+  size_t joinsApplied = 0;
+  size_t leavesApplied = 0;
+
+  // Mid-storm availability.
+  size_t opsTotal = 0;
+  size_t opsFailed = 0;
+  double availability = 1.0;
+
+  // Failover / hedging accounting (merged fleet metrics).
+  common::u64 failoverAttempts = 0;
+  common::u64 rescues = 0;
+  common::u64 hedgesFired = 0;
+  common::u64 hedgeWins = 0;
+
+  // Repair convergence.
+  size_t repairTicks = 0;           ///< total scheduler ticks, all waves
+  size_t maxTicksToConverge = 0;    ///< worst single wave
+  common::u64 dhtRepairActions = 0; ///< replica fix-ups applied
+  common::u64 indexRepairs = 0;     ///< split/merge intents completed
+  common::u64 lostKeys = 0;         ///< must stay 0 with replication >= 2
+
+  /// Human-readable check failures; empty means every wave converged and
+  /// the final index matched the oracle exactly.
+  std::vector<std::string> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the campaign. Deterministic: identical configs give identical
+/// reports (modulo wall-clock fields, of which there are none).
+StormReport runStormCampaign(const StormConfig& cfg);
+
+}  // namespace lht::sim

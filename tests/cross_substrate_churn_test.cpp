@@ -111,6 +111,102 @@ TEST(CrossSubstrateChurn, PhtOnChord) {
   EXPECT_TRUE(d.checkRing());
 }
 
+/// Ungraceful-failure coverage for the non-Chord substrates: with
+/// replication >= 2 a fail() must lose nothing (surviving replicas are
+/// promoted onto the new owners), and with replication == 1 — and only
+/// then — the victim's keys are genuinely gone.
+template <typename DhtT, typename IdsFn, typename CheckFn>
+void runFailThenRead(DhtT& d, IdsFn ids, CheckFn check, size_t replication,
+                     common::u64 seed) {
+  constexpr size_t kKeys = 120;
+  for (size_t i = 0; i < kKeys; ++i) {
+    d.put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  common::Pcg32 pick(seed);
+  for (int round = 0; round < 4; ++round) {
+    auto victims = ids();
+    ASSERT_GT(victims.size(), 4u);
+    d.fail(victims[pick.below(static_cast<common::u32>(victims.size()))]);
+  }
+  size_t alive = 0;
+  for (size_t i = 0; i < kKeys; ++i) {
+    auto v = d.get("k" + std::to_string(i));
+    if (!v.has_value()) continue;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+    alive += 1;
+  }
+  if (replication >= 2) {
+    // Four spaced single-peer failures can never outrun one spare copy.
+    EXPECT_EQ(alive, kKeys);
+  } else {
+    EXPECT_LT(alive, kKeys);  // unreplicated: the victims' keys are gone
+  }
+  EXPECT_TRUE(check());
+}
+
+TEST(CrossSubstrateFail, KademliaReplicatedSurvivesUnreplicatedLoses) {
+  for (size_t replication : {size_t{3}, size_t{1}}) {
+    net::SimNetwork net;
+    dht::KademliaDht::Options o;
+    o.initialPeers = 12;
+    o.replication = replication;
+    dht::KademliaDht d(net, o);
+    SCOPED_TRACE("replication=" + std::to_string(replication));
+    runFailThenRead(
+        d, [&] { return d.nodeIds(); }, [&] { return d.checkTables(); },
+        replication, 31);
+  }
+}
+
+TEST(CrossSubstrateFail, PastryReplicatedSurvivesUnreplicatedLoses) {
+  for (size_t replication : {size_t{3}, size_t{1}}) {
+    net::SimNetwork net;
+    dht::PastryDht::Options o;
+    o.initialPeers = 12;
+    o.replication = replication;
+    dht::PastryDht d(net, o);
+    SCOPED_TRACE("replication=" + std::to_string(replication));
+    runFailThenRead(
+        d, [&] { return d.nodeIds(); }, [&] { return d.checkTables(); },
+        replication, 32);
+  }
+}
+
+TEST(CrossSubstrateFail, CanReplicatedSurvivesUnreplicatedLoses) {
+  for (size_t replication : {size_t{3}, size_t{1}}) {
+    net::SimNetwork net;
+    dht::CanDht::Options o;
+    o.initialPeers = 12;
+    o.replication = replication;
+    dht::CanDht d(net, o);
+    SCOPED_TRACE("replication=" + std::to_string(replication));
+    runFailThenRead(
+        d, [&] { return d.peerIds(); }, [&] { return d.checkZones(); },
+        replication, 33);
+  }
+}
+
+TEST(CrossSubstrateFail, LhtStaysOracleCorrectOverReplicatedKademlia) {
+  // The full index over a replicated XOR substrate under fail()-churn:
+  // the "robustness is the DHT's job" division of labour, now including
+  // ungraceful exits.
+  net::SimNetwork net;
+  dht::KademliaDht::Options o;
+  o.initialPeers = 12;
+  o.replication = 3;
+  dht::KademliaDht d(net, o);
+  core::LhtIndex idx(d, {.thetaSplit = 8, .maxDepth = 24});
+  common::Pcg32 pick(6);
+  runChurnWorkload(
+      d, idx, [&](const std::string& n) { d.join(n); },
+      [&] {
+        auto ids = d.nodeIds();
+        if (ids.size() > 4) d.fail(ids[pick.below(static_cast<common::u32>(ids.size()))]);
+      },
+      16);
+  EXPECT_TRUE(d.checkTables());
+}
+
 TEST(CrossSubstrateChurn, PhtOnPastry) {
   net::SimNetwork net;
   dht::PastryDht::Options o;

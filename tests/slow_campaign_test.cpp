@@ -7,6 +7,7 @@
 
 #include "sim/fault_campaign.h"
 #include "sim/restart_campaign.h"
+#include "sim/storm_campaign.h"
 
 namespace lht::sim {
 namespace {
@@ -51,6 +52,37 @@ TEST(SlowFaultCampaign, LargerWorkloadWithClientFeatures) {
   EXPECT_GT(report.splitCrashes, 0u);
   EXPECT_GT(report.mergeCrashes, 0u);
   EXPECT_GT(report.splitRepairs + report.mergeRepairs, 0u);
+}
+
+TEST(SlowStormCampaign, SixteenSeedFullStorm) {
+  // The full-size gate (BENCH_PR6.json mirrors this run): 16 seeds of the
+  // default storm, both configurations. Failover + hedging must keep
+  // availability at 1.0 against an availability floor of 0.99, the
+  // baseline must be measurably below it, and every wave must repair to
+  // zero replica deficit.
+  StormConfig on;  // defaults: 16 seeds, 24 peers, replication 3
+  ASSERT_GE(on.seeds, 16u);
+  on.failover = true;
+  on.hedging = true;
+  const StormReport repOn = runStormCampaign(on);
+  for (const auto& f : repOn.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(repOn.ok());
+  EXPECT_GT(repOn.crashesApplied, 0u);
+  EXPECT_GE(repOn.availability, 0.99);
+  EXPECT_EQ(repOn.opsFailed, 0u);
+  EXPECT_GT(repOn.rescues, 0u);
+  EXPECT_GT(repOn.hedgesFired, 0u);
+  EXPECT_EQ(repOn.lostKeys, 0u);
+
+  StormConfig off = on;
+  off.failover = false;
+  off.hedging = false;
+  const StormReport repOff = runStormCampaign(off);
+  for (const auto& f : repOff.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(repOff.ok());
+  EXPECT_LT(repOff.availability, repOn.availability);
+  EXPECT_GT(repOff.opsFailed, 0u);
+  EXPECT_EQ(repOff.lostKeys, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+// Tier-1 smoke slice of the churn-storm campaign (the 16-seed full run
+// lives behind the `slow` ctest label, see slow_campaign_test.cpp): two
+// seeds, both decorator configurations, asserting the headline claim —
+// with replica failover + hedging ON every mid-storm query survives the
+// dark peers, while the baseline measurably fails some, and both
+// configurations repair to full replication after every wave.
+#include <gtest/gtest.h>
+
+#include "sim/storm_campaign.h"
+
+namespace lht::sim {
+namespace {
+
+StormConfig smokeConfig(bool resilient) {
+  StormConfig cfg;
+  cfg.seeds = 2;
+  cfg.peers = 16;
+  cfg.replication = 3;
+  cfg.keys = 96;
+  cfg.waves = 2;
+  cfg.wave = {/*joins=*/1, /*leaves=*/1, /*crashes=*/2};
+  cfg.queriesPerWave = 64;
+  cfg.clients = 2;
+  cfg.failover = resilient;
+  cfg.hedging = resilient;
+  return cfg;
+}
+
+TEST(StormCampaignSmoke, FailoverOnKeepsEveryQueryAlive) {
+  const StormReport rep = runStormCampaign(smokeConfig(true));
+  for (const auto& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.seeds, 2u);
+  EXPECT_EQ(rep.waves, 4u);
+  EXPECT_GT(rep.crashesApplied, 0u);
+  EXPECT_EQ(rep.opsFailed, 0u);
+  EXPECT_EQ(rep.availability, 1.0);
+  EXPECT_GT(rep.rescues, 0u);  // dark owners were actually hit
+  EXPECT_EQ(rep.lostKeys, 0u);
+  EXPECT_GT(rep.repairTicks, 0u);
+  EXPECT_GT(rep.maxTicksToConverge, 0u);
+}
+
+TEST(StormCampaignSmoke, BaselineWithoutFailoverLosesAvailability) {
+  const StormReport rep = runStormCampaign(smokeConfig(false));
+  // Repair still converges and no data is lost — only *availability*
+  // during the storm suffers without failover.
+  for (const auto& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_GT(rep.crashesApplied, 0u);
+  EXPECT_GT(rep.opsFailed, 0u);
+  EXPECT_LT(rep.availability, 1.0);
+  EXPECT_EQ(rep.rescues, 0u);
+  EXPECT_EQ(rep.lostKeys, 0u);
+}
+
+}  // namespace
+}  // namespace lht::sim
