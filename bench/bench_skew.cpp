@@ -1,0 +1,131 @@
+// Emits BENCH_PR8.json: hot-leaf read load balance under zipfian skew
+// (DESIGN.md §13).
+//
+// Runs the skew campaign twice over the same seeds and traces — once with
+// lease-based replicated reads + access-adaptive splits ON, once with both
+// OFF (same ring, same replication, same leaf cache) — and reports the
+// per-peer served-read load summaries (max / mean / p99 / imbalance) plus
+// the lease-protocol accounting.
+//
+// Gates (checked here and by scripts/diff_bench.py):
+//   * imbalance improvement off.max_over_mean_avg / on.max_over_mean_avg
+//     >= 3.0 — the balancing features must flatten the hot-leaf bottleneck
+//     by at least 3x, not marginally.
+//   * Both runs verify every seed against the oracle with zero failed ops
+//     (report.ok()), and the ON run actually served lease reads.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "sim/skew_campaign.h"
+
+using lht::common::u64;
+using lht::sim::SkewCampaignConfig;
+using lht::sim::SkewReport;
+
+namespace {
+
+void emitSide(std::ostringstream& os, const char* name,
+              const SkewReport& rep) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"ops_total\": " << rep.opsTotal << ",\n"
+     << "    \"ops_failed\": " << rep.opsFailed << ",\n"
+     << "    \"reads_total\": " << rep.readsTotal << ",\n"
+     << "    \"node_reads_max_sum\": " << rep.readsMaxSum << ",\n"
+     << "    \"max_over_mean_avg\": " << rep.maxOverMeanAvg << ",\n"
+     << "    \"max_over_mean_worst\": " << rep.maxOverMeanWorst << ",\n"
+     << "    \"node_reads_p99_avg\": " << rep.p99Avg << ",\n"
+     << "    \"effective_parallelism\": " << rep.effectiveParallelism << ",\n"
+     << "    \"lease_grants\": " << rep.leaseGrants << ",\n"
+     << "    \"lease_reads\": " << rep.leaseReads << ",\n"
+     << "    \"lease_stale\": " << rep.leaseStale << ",\n"
+     << "    \"lease_expired\": " << rep.leaseExpired << ",\n"
+     << "    \"lease_drops\": " << rep.leaseDrops << ",\n"
+     << "    \"splits\": " << rep.splits << ",\n"
+     << "    \"oracle_ok\": " << (rep.ok() ? "true" : "false") << "\n"
+     << "  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lht::common::Flags flags(
+      "bench_skew",
+      "Emits BENCH_PR8.json: per-peer read-load balance under zipfian skew "
+      "with leased reads + adaptive splits on vs off");
+  flags.define("seeds", "8", "independent runs per configuration");
+  flags.define("base-seed", "1", "first seed");
+  flags.define("ops", "4000", "trace length per seed");
+  flags.define("out", "BENCH_PR8.json", "output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  SkewCampaignConfig cfg;  // defaults: 16 peers, replication 4, zipf 0.99
+  cfg.seeds = static_cast<size_t>(flags.getInt("seeds"));
+  cfg.baseSeed = static_cast<u64>(flags.getInt("base-seed"));
+  cfg.opsPerSeed = static_cast<size_t>(flags.getInt("ops"));
+
+  cfg.leasedReads = true;
+  cfg.adaptiveSplits = true;
+  const SkewReport on = runSkewCampaign(cfg);
+
+  cfg.leasedReads = false;
+  cfg.adaptiveSplits = false;
+  const SkewReport off = runSkewCampaign(cfg);
+
+  const double floor = 3.0;
+  const double improvement =
+      on.maxOverMeanAvg > 0.0 ? off.maxOverMeanAvg / on.maxOverMeanAvg : 0.0;
+  const bool gateImprove = improvement >= floor;
+  const bool gateOn = on.ok() && on.leaseReads > 0;
+  const bool gateOff = off.ok() && off.leaseReads == 0;
+
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"lht_skew\",\n"
+     << "  \"config\": {\"seeds\": " << cfg.seeds
+     << ", \"base_seed\": " << cfg.baseSeed << ", \"peers\": " << cfg.peers
+     << ", \"replication\": " << cfg.replication
+     << ", \"theta_split\": " << cfg.thetaSplit
+     << ", \"zipf_s\": " << cfg.skew.s
+     << ", \"universe\": " << cfg.skew.universe
+     << ", \"ops_per_seed\": " << cfg.opsPerSeed
+     << ", \"clients\": " << cfg.clients
+     << ", \"find_weight\": " << cfg.mix.find
+     << ", \"insert_weight\": " << cfg.mix.insert
+     << ", \"lease_ttl_ms\": " << cfg.leaseTtlMs
+     << ", \"hot_leaf_reads\": " << cfg.hotLeafReads
+     << ", \"hot_split_divisor\": " << cfg.hotSplitDivisor << "},\n";
+  emitSide(os, "balanced_on", on);
+  os << ",\n";
+  emitSide(os, "balanced_off", off);
+  os << ",\n"
+     << "  \"gates\": {\n"
+     << "    \"improvement_floor\": " << floor << ",\n"
+     << "    \"imbalance_improvement\": " << improvement << ",\n"
+     << "    \"improvement_meets_floor\": " << (gateImprove ? "true" : "false")
+     << ",\n"
+     << "    \"on_ok\": " << (gateOn ? "true" : "false") << ",\n"
+     << "    \"off_ok\": " << (gateOff ? "true" : "false") << "\n"
+     << "  }\n}\n";
+
+  const std::string outPath = flags.getString("out");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "bench_skew: cannot write " << outPath << "\n";
+    return 1;
+  }
+  out << os.str();
+  std::cout << os.str();
+
+  for (const auto& f : on.failures) std::cerr << "ON:  " << f << "\n";
+  for (const auto& f : off.failures) std::cerr << "OFF: " << f << "\n";
+  if (!gateImprove || !gateOn || !gateOff) {
+    std::cerr << "bench_skew: GATE FAILURE (improvement=" << improvement
+              << " floor=" << floor << ", on_ok=" << (gateOn ? "true" : "false")
+              << ", off_ok=" << (gateOff ? "true" : "false") << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "lht/lht_index.h"
 #include "lht/tree_stats.h"
 #include "net/sim_network.h"
+#include "obs/load.h"
 #include "workload/generators.h"
 
 using namespace lht;
@@ -25,9 +26,14 @@ int main(int argc, char** argv) {
   const auto n = static_cast<size_t>(flags.getInt("datasize"));
   const auto theta = static_cast<common::u32>(flags.getInt("theta"));
 
+  // Alongside storage placement, measure *served-read* balance: a
+  // zipfian read stream against the built tree, per-peer reads summarized
+  // as the max/mean imbalance ratio (DESIGN.md §13). Virtual nodes are
+  // the paper-era comparison arm; the lease/adaptive-split arm lives in
+  // bench_skew.
   common::Table t({"dist", "peers", "vnodes", "leaves", "mean_buckets_per_peer",
-                   "max_buckets_on_ring_point", "tree_depth_mean",
-                   "tree_depth_max"});
+                   "max_buckets_on_ring_point", "read_max_over_mean",
+                   "tree_depth_mean", "tree_depth_max"});
   for (auto dist : {workload::Distribution::Uniform, workload::Distribution::Gaussian,
                     workload::Distribution::Zipf}) {
     for (auto [peers, vnodes] : {std::pair<size_t, size_t>{16, 1},
@@ -48,6 +54,13 @@ int main(int argc, char** argv) {
       for (auto id : dht.nodeIds()) perPeer.push_back(dht.keysOn(id));
       const size_t maxBuckets = *std::max_element(perPeer.begin(), perPeer.end());
 
+      dht.resetReadLoad();
+      workload::SkewedKeyGenerator skewed({/*s=*/0.99, /*universe=*/256,
+                                           /*flashEvery=*/0, /*flashJump=*/0},
+                                          /*seed=*/7);
+      for (size_t i = 0; i < 4096; ++i) idx.find(skewed.next());
+      const auto readLoad = obs::summarizeLoad(dht.readLoadByPeer());
+
       t.row()
           .add(workload::distributionName(dist))
           .add(static_cast<common::i64>(peers))
@@ -55,6 +68,7 @@ int main(int argc, char** argv) {
           .add(static_cast<common::i64>(stats.leafCount))
           .add(static_cast<double>(stats.leafCount) / static_cast<double>(peers))
           .add(static_cast<common::i64>(maxBuckets))
+          .add(readLoad.maxOverMean)
           .add(stats.meanDepth)
           .add(static_cast<common::i64>(stats.maxDepth));
     }
@@ -68,6 +82,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nexpected: buckets spread near-uniformly over peers even for "
                "skewed key distributions, because the naming function's "
-               "output is uniform-hashed — the paper's load-balance argument\n";
+               "output is uniform-hashed — the paper's load-balance argument.\n"
+               "read_max_over_mean: virtual nodes smooth arc-length ownership "
+               "but cannot split one hot leaf's reads across peers — that "
+               "takes the leased replicated reads measured in bench_skew\n";
   return 0;
 }

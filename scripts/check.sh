@@ -9,7 +9,7 @@
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
 # Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
-#                         [--durability] [--churn]
+#                         [--durability] [--churn] [--skew]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
@@ -27,6 +27,13 @@
 #               (availability with failover/hedging on vs off) into
 #               build-release/BENCH_PR6.json, diffed warn-only against the
 #               committed BENCH_PR6.json
+#   --skew      also run the 16-seed lease-linearizability campaign and the
+#               full skew balance gate under ASan (the slow.lease_campaign
+#               and slow.skew_campaign ctests; with --tsan the lease
+#               campaign repeats under ThreadSanitizer) and the release
+#               skew bench (read balance with leases + adaptive splits on
+#               vs off) into build-release/BENCH_PR8.json, diffed warn-only
+#               against the committed BENCH_PR8.json
 #
 # The full crash-restart campaigns (ctest label `slow`, excluded from a
 # plain ctest run) execute here under the AddressSanitizer preset: every
@@ -41,6 +48,7 @@ coverage=0
 tsan=0
 durability=0
 churn=0
+skew=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
@@ -49,6 +57,7 @@ for arg in "$@"; do
     --tsan) tsan=1 ;;
     --durability) durability=1 ;;
     --churn) churn=1 ;;
+    --skew) skew=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -129,6 +138,33 @@ if [[ "$churn" -eq 1 ]]; then
   python3 scripts/diff_bench.py BENCH_PR6.json build-release/BENCH_PR6.json \
     || echo "check.sh: WARNING: churn-storm metrics drifted from the" \
             "committed baseline (warn-only, see above)"
+fi
+
+if [[ "$skew" -eq 1 ]]; then
+  echo "== 16-seed lease-linearizability + skew campaigns under ASan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target lht_slow_tests
+  ctest --test-dir build-asan -C slow -L slow \
+    -R 'slow.lease_campaign|slow.skew_campaign' \
+    -j "$jobs" --output-on-failure
+  if [[ "$tsan" -eq 1 ]]; then
+    echo "== 16-seed lease-linearizability campaign under TSan =="
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$jobs" --target lht_slow_tests
+    # Same TSAN_OPTIONS as the tsan test preset (AllGuard exceeds TSan's
+    # 64-lock deadlock-detector cap; races still fail the gate).
+    TSAN_OPTIONS="halt_on_error=1:detect_deadlocks=0" \
+      ctest --test-dir build-tsan -C slow -L slow -R slow.lease_campaign \
+      -j "$jobs" --output-on-failure
+  fi
+  echo "== skew bench (read balance + lease accounting, release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_skew
+  ./build-release/bench/bench_skew --out=build-release/BENCH_PR8.json \
+    > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR8.json build-release/BENCH_PR8.json \
+    || echo "check.sh: WARNING: skew metrics drifted from the committed" \
+            "baseline (warn-only, see above)"
 fi
 
 if [[ "$coverage" -eq 1 ]]; then

@@ -3,12 +3,13 @@
 
 Usage: diff_bench.py BASELINE.json FRESH.json
 
-Understands the bench_json (BENCH_PR2), bench_durability (BENCH_PR5), and
-bench_storm (BENCH_PR6) output shapes, dispatching on the "bench" field.
+Understands the bench_json (BENCH_PR2), bench_durability (BENCH_PR5),
+bench_storm (BENCH_PR6), and bench_skew (BENCH_PR8) output shapes,
+dispatching on the "bench" field.
 Exits 1 (for the caller to warn on) when a key metric regressed beyond
 tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup,
-the <=2.5x WAL overhead gate, the 0.99 availability floor) no longer
-holds. Wall-clock metrics get a generous tolerance — machines differ; the
+the <=2.5x WAL overhead gate, the 0.99 availability floor, the 3x
+read-imbalance improvement) no longer holds. Wall-clock metrics get a generous tolerance — machines differ; the
 protocol-level counters must match exactly.
 """
 import json
@@ -47,6 +48,25 @@ STORM_CHECKS = [
 ]
 
 
+# The skew campaign also runs in simulated time: deterministic counters
+# are exact, the per-peer load summaries are doubles computed from them
+# (exact too — same seeds, same traces, same arithmetic).
+SKEW_CHECKS = [
+    (("balanced_on", "ops_total"), "exact", None),
+    (("balanced_on", "ops_failed"), "exact", None),
+    (("balanced_on", "reads_total"), "exact", None),
+    (("balanced_on", "node_reads_max_sum"), "exact", None),
+    (("balanced_on", "lease_grants"), "exact", None),
+    (("balanced_on", "lease_reads"), "exact", None),
+    (("balanced_on", "splits"), "exact", None),
+    (("balanced_off", "ops_total"), "exact", None),
+    (("balanced_off", "ops_failed"), "exact", None),
+    (("balanced_off", "reads_total"), "exact", None),
+    (("balanced_off", "node_reads_max_sum"), "exact", None),
+    (("balanced_off", "lease_reads"), "exact", None),
+]
+
+
 def lookup(doc, path):
     for key in path:
         doc = doc[key]
@@ -65,10 +85,13 @@ def main():
     kind = fresh.get("bench")
     durability = kind == "lht_durability"
     storm = kind == "lht_churn_storm"
+    skew = kind == "lht_skew"
     if durability:
         checks = DURABILITY_CHECKS
     elif storm:
         checks = STORM_CHECKS
+    elif skew:
+        checks = SKEW_CHECKS
     else:
         checks = CLIENT_CHECKS
 
@@ -112,6 +135,25 @@ def main():
             if rep.get("lost_keys", 1) != 0:
                 print(f"diff_bench: {side} lost {rep.get('lost_keys')} keys "
                       "despite replication")
+                bad += 1
+    elif skew:
+        gates = fresh.get("gates", {})
+        if not gates.get("improvement_meets_floor", False):
+            print(f"diff_bench: read-imbalance improvement "
+                  f"{gates.get('imbalance_improvement', 0):.2f}x fell below "
+                  f"the {gates.get('improvement_floor', 3.0)}x gate")
+            bad += 1
+        if not gates.get("on_ok", False):
+            print("diff_bench: the leases+adaptive-splits run failed its "
+                  "oracle check or served no lease reads")
+            bad += 1
+        if not gates.get("off_ok", False):
+            print("diff_bench: the baseline run failed its oracle check or "
+                  "unexpectedly served lease reads")
+            bad += 1
+        for side in ("balanced_on", "balanced_off"):
+            if not fresh.get(side, {}).get("oracle_ok", False):
+                print(f"diff_bench: {side} failed oracle verification")
                 bad += 1
     elif durability:
         if not fresh["insert"].get("overhead_gate_passed", False):

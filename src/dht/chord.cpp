@@ -335,7 +335,8 @@ std::optional<Value> ChordDht::get(const Key& key) {
   u64 owner = route(common::hash::xxhash64(key, 0), key.size());
   throwIfDown(owner, "get");
   auto lock = storeLocks_.guard(owner);
-  const Node& node = nodeById(owner);
+  Node& node = nodeById(owner);
+  node.servedReads += 1;
   const Value* v = node.store.find(key);
   if (v == nullptr) return std::nullopt;
   accountValueBytes(v->size());
@@ -668,12 +669,34 @@ std::optional<Value> ChordDht::getReplica(const Key& key, size_t replicaIndex) {
   route(holderId, key.size());
   throwIfDown(holderId, "getReplica");
   auto lock = storeLocks_.guard(holderId);
-  const Node& holder = nodeById(holderId);
+  Node& holder = nodeById(holderId);
+  holder.servedReads += 1;
   const Value* v = holder.replicas.find(key);
   if (v == nullptr) v = holder.store.find(key);  // promoted home post-repair
   if (v == nullptr) return std::nullopt;
   accountValueBytes(v->size());
   return *v;
+}
+
+std::vector<common::u64> ChordDht::readLoadByPeer() const {
+  std::shared_lock topo(topoMutex_);
+  std::vector<common::u64> out;
+  std::map<net::PeerId, size_t> slot;  // peer -> index, ring order of first node
+  for (const auto& [id, node] : nodes_) {
+    auto [it, fresh] = slot.emplace(node.peer, out.size());
+    if (fresh) out.push_back(0);
+    auto lock = storeLocks_.guard(id);
+    out[it->second] += node.servedReads;
+  }
+  return out;
+}
+
+void ChordDht::resetReadLoad() {
+  std::shared_lock topo(topoMutex_);
+  for (auto& [id, node] : nodes_) {
+    auto lock = storeLocks_.guard(id);
+    node.servedReads = 0;
+  }
 }
 
 std::vector<GetOutcome> ChordDht::multiGet(const std::vector<Key>& keys) {

@@ -149,6 +149,16 @@ class ChordDht final : public Dht {
   /// down too.
   std::optional<Value> getReplica(const Key& key, size_t replicaIndex) override;
 
+  /// Reads served per physical peer (primary gets plus replica reads,
+  /// multiGet entries included), in ring order of each peer's first
+  /// node. The skew campaign's load-balance measure: with hot leaves the
+  /// max/mean of this vector is the read bottleneck.
+  [[nodiscard]] std::vector<common::u64> readLoadByPeer() const;
+
+  /// Zeroes the per-node served-read counters (e.g. after preload, so a
+  /// measurement window sees only its own traffic).
+  void resetReadLoad();
+
   /// Number of physical peers currently in the ring (crashed peers still
   /// count until repairStep() excises them).
   [[nodiscard]] size_t peerCount() const;
@@ -181,6 +191,9 @@ class ChordDht final : public Dht {
     std::vector<common::u64> fingers;  // finger[k] = successor(id + 2^k)
     store::MemTable store;     // keys this node owns
     store::MemTable replicas;  // copies held for predecessors
+    /// Reads this node served (primary or as replica holder). Guarded by
+    /// the node's store stripe, like the tables it measures.
+    common::u64 servedReads = 0;
   };
 
   // Every private helper below assumes topoMutex_ is held (shared suffices

@@ -63,6 +63,9 @@ ClientFleet::ClientFleet(StackFactory factory, FleetOptions options)
     // preloaded tree mid-churn), in which case nobody may clobber it.
     io.attachExisting = opts_.index.attachExisting || i > 0;
     io.clientSeed = opts_.clientSeedBase + i;
+    // Lease expiry must tick on the clock the client's latency decorators
+    // advance, so each client's leases age with its own simulated time.
+    if (io.leasedReads && io.leaseClock == nullptr) io.leaseClock = &c->clock;
     // Construction writes (the bootstrap put) charge this client's clock
     // and land in its private registry, same as its ops will.
     net::ThreadClockScope clockScope(c->clock);

@@ -65,6 +65,9 @@ struct FleetOptions {
   /// leaf (clients > 0 always attach); attachExisting=true attaches the
   /// whole fleet to a pre-existing index without touching it. Concurrent
   /// fleets with structural churn should set crashConsistentSplits.
+  /// With leasedReads and no explicit leaseClock, each client's index is
+  /// wired to that client's private SimClock so leases age with the
+  /// client's own simulated time.
   core::LhtIndex::Options index;
   common::u64 clientSeedBase = 1000;
 };

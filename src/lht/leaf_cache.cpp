@@ -29,7 +29,8 @@ std::optional<LeafCache::Entry> LeafCache::find(double key) {
   return it->second;
 }
 
-void LeafCache::note(const common::Label& label, common::u64 epoch) {
+void LeafCache::note(const common::Label& label, common::u64 epoch,
+                     common::u64 leaseExpiresAtMs) {
   invalidate(label.interval());
   if (byLo_.size() >= capacity_) {
     // Cheap overflow policy: flush. Leaf counts in our workloads sit far
@@ -38,7 +39,7 @@ void LeafCache::note(const common::Label& label, common::u64 epoch) {
     byLo_.clear();
     flushes_ += 1;
   }
-  byLo_[label.interval().lo] = Entry{label, epoch};
+  byLo_[label.interval().lo] = Entry{label, epoch, leaseExpiresAtMs};
 }
 
 void LeafCache::invalidate(const common::Interval& iv) {
@@ -56,6 +57,27 @@ void LeafCache::invalidate(const common::Interval& iv) {
     it = byLo_.erase(it);
     invalidations_ += 1;
   }
+}
+
+void LeafCache::dropLease(const common::Interval& iv) {
+  auto it = byLo_.lower_bound(iv.lo);
+  if (it != byLo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.label.interval().hi > iv.lo) it = prev;
+  }
+  for (; it != byLo_.end() && it->first < iv.hi; ++it) {
+    if (!it->second.label.interval().overlaps(iv)) continue;
+    if (it->second.leaseExpiresAtMs != 0) {
+      it->second.leaseExpiresAtMs = 0;
+      leaseDrops_ += 1;
+    }
+  }
+}
+
+common::u32 LeafCache::bumpReplicaCursor(const common::Label& label) {
+  auto it = byLo_.find(label.interval().lo);
+  if (it == byLo_.end() || !(it->second.label == label)) return 0;
+  return it->second.replicaCursor++;
 }
 
 void LeafCache::clear() { byLo_.clear(); }

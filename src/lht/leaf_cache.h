@@ -10,6 +10,16 @@
 // location cache subsuming the single-slot depth hint. Epochs (bucket wire
 // format v2) are remembered so callers can observe how stale an entry was.
 //
+// Leases (DESIGN.md §13): an entry can additionally carry a time-bounded
+// *read lease* over the epoch-stamped bucket snapshot. While the lease is
+// unexpired, the index may serve lookups for the interval from the leaf's
+// replica holders, accepting a replica bucket only when its epoch equals
+// the leased epoch — any split/merge/insert bumps the epoch, so a stale
+// replica can never satisfy a lease. The cache stores and rotates the
+// lease state; the index drives the protocol and reports outcomes back
+// through the note*() counters below, so hit accounting separates
+// lease-served (replica) reads from primary reads.
+//
 // BucketStore — decoded-bucket cache: LHT stores buckets as opaque bytes,
 // so every read pays a full deserialize even when the bytes have not
 // changed. The store keys decoded buckets by DHT key and revalidates each
@@ -36,6 +46,13 @@ class LeafCache {
   struct Entry {
     common::Label label;
     common::u64 epoch = 0;
+    /// Lease expiry on the granting client's clock; 0 = no lease (the
+    /// entry is a plain location, replica reads are not authorized).
+    common::u64 leaseExpiresAtMs = 0;
+    /// Rotation cursor over the leaf's read servers (replica holders plus
+    /// the primary), advanced by bumpReplicaCursor.
+    common::u32 replicaCursor = 0;
+    [[nodiscard]] bool leased() const { return leaseExpiresAtMs != 0; }
   };
 
   explicit LeafCache(size_t capacity = 4096);
@@ -45,11 +62,23 @@ class LeafCache {
 
   /// Records an observed clean leaf. Entries overlapping its interval are
   /// dropped first (sibling leaves that no longer exist after a merge).
-  void note(const common::Label& label, common::u64 epoch);
+  /// leaseExpiresAtMs != 0 grants (or renews) a read lease on the entry.
+  void note(const common::Label& label, common::u64 epoch,
+            common::u64 leaseExpiresAtMs = 0);
 
   /// Drops every entry overlapping `iv` (after an observed or performed
   /// split/merge whose old leaves covered `iv`).
   void invalidate(const common::Interval& iv);
+
+  /// Revokes leases overlapping `iv` without dropping the locations: a
+  /// dead or stale replica holder says nothing about where the leaf
+  /// lives, only that replica reads must stop until a primary read
+  /// re-grants. Counted under leaseDrops().
+  void dropLease(const common::Interval& iv);
+
+  /// Post-increments the rotation cursor of the entry for `label`
+  /// (0 when the entry is gone — the caller's read then revalidates).
+  common::u32 bumpReplicaCursor(const common::Label& label);
 
   void clear();
 
@@ -58,6 +87,20 @@ class LeafCache {
   [[nodiscard]] common::u64 misses() const { return misses_; }
   [[nodiscard]] common::u64 invalidations() const { return invalidations_; }
   [[nodiscard]] common::u64 flushes() const { return flushes_; }
+
+  // Served-read accounting, reported by the index so load-balancing can be
+  // observed: a location hit (hits() above) resolves to either a
+  // lease-served replica read or a primary read — the split the single
+  // hit counter used to hide.
+  void notePrimaryServed() { primaryHits_ += 1; }
+  void noteLeaseServed() { leaseHits_ += 1; }
+  void noteLeaseStale() { leaseStale_ += 1; }
+  void noteLeaseExpired() { leaseExpired_ += 1; }
+  [[nodiscard]] common::u64 primaryHits() const { return primaryHits_; }
+  [[nodiscard]] common::u64 leaseHits() const { return leaseHits_; }
+  [[nodiscard]] common::u64 leaseStale() const { return leaseStale_; }
+  [[nodiscard]] common::u64 leaseExpired() const { return leaseExpired_; }
+  [[nodiscard]] common::u64 leaseDrops() const { return leaseDrops_; }
 
  private:
   size_t capacity_;
@@ -69,6 +112,11 @@ class LeafCache {
   common::u64 misses_ = 0;
   common::u64 invalidations_ = 0;
   common::u64 flushes_ = 0;
+  common::u64 primaryHits_ = 0;
+  common::u64 leaseHits_ = 0;
+  common::u64 leaseStale_ = 0;
+  common::u64 leaseExpired_ = 0;
+  common::u64 leaseDrops_ = 0;
 };
 
 class BucketStore {

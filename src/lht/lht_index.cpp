@@ -109,13 +109,93 @@ LhtIndex::BucketRef LhtIndex::getBucketRef(const std::string& key,
 }
 
 void LhtIndex::noteLeaf(const LeafBucket& bucket) {
-  if (opts_.useLeafCache && bucket.clean()) {
-    leafCache_.note(bucket.label, bucket.epoch);
+  if (!opts_.useLeafCache || !bucket.clean()) return;
+  u64 leaseExpiry = 0;
+  if (opts_.leasedReads && dht_.replicaFanout() > 0) {
+    // A primary observation of a clean leaf is a lease grant: for the TTL
+    // the replica holders may serve this interval, validated by epoch
+    // equality against the snapshot observed here.
+    leaseExpiry = leaseNowMs() + std::max<u64>(1, opts_.leaseTtlMs);
+    obs::count("dht.lease.grants");
   }
+  leafCache_.note(bucket.label, bucket.epoch, leaseExpiry);
 }
 
 void LhtIndex::dropCached(const Interval& iv) {
   if (opts_.useLeafCache) leafCache_.invalidate(iv);
+}
+
+u64 LhtIndex::leaseNowMs() const {
+  return opts_.leaseClock != nullptr ? opts_.leaseClock->nowMs() : 0;
+}
+
+bool LhtIndex::leaseUsable(const LeafCache::Entry& e) {
+  if (!opts_.leasedReads || !e.leased() || dht_.replicaFanout() == 0) {
+    return false;
+  }
+  if (leaseNowMs() >= e.leaseExpiresAtMs) {
+    leafCache_.noteLeaseExpired();
+    leafCache_.dropLease(e.label.interval());
+    obs::count("dht.lease.expired");
+    return false;
+  }
+  return true;
+}
+
+LhtIndex::BucketRef LhtIndex::tryLeaseRead(const std::string& nm,
+                                           const LeafCache::Entry& lease,
+                                           double key, cost::OpStats& st) {
+  const size_t fanout = dht_.replicaFanout();
+  // Rotate over fanout replica holders plus the primary, so the leaf's
+  // read load spreads over its full replication set and the lease is
+  // renewed (by the primary read) every fanout+1 turns.
+  const size_t slot = leafCache_.bumpReplicaCursor(lease.label) % (fanout + 1);
+  if (slot == fanout) return nullptr;  // the primary's turn
+  std::optional<dht::Value> v;
+  try {
+    st.dhtLookups += 1;
+    v = dht_.getReplica(nm, slot);
+  } catch (const dht::DhtError&) {
+    // The holder is unreachable. That says nothing about where the leaf
+    // lives, so only the lease is revoked (PR6 drops *locations* for dead
+    // owners; dead holders stop replica reads instead) and the primary
+    // read below decides.
+    leafCache_.dropLease(lease.label.interval());
+    obs::count("dht.lease.drops");
+    return nullptr;
+  }
+  if (v.has_value()) {
+    auto ref = store_.decode(nm, *v);
+    if (ref->clean() && ref->epoch == lease.epoch && ref->covers(key)) {
+      leafCache_.noteLeaseServed();
+      obs::count("dht.lease.reads");
+      return ref;
+    }
+  }
+  // The snapshot moved on — an insert/split/merge bumped the epoch (or
+  // the copy predates the grant). The lease is dead; re-anchor at the
+  // primary, which re-grants at the current epoch.
+  leafCache_.noteLeaseStale();
+  leafCache_.dropLease(lease.label.interval());
+  obs::count("dht.lease.stale");
+  return nullptr;
+}
+
+void LhtIndex::noteLeafRead(const std::string& dhtKey) {
+  if (!opts_.adaptiveSplits) return;
+  leafReads_[dhtKey] += 1;
+  if (++leafReadsSinceDecay_ < 4096) return;
+  leafReadsSinceDecay_ = 0;
+  for (auto it = leafReads_.begin(); it != leafReads_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? leafReads_.erase(it) : std::next(it);
+  }
+}
+
+bool LhtIndex::leafIsHot(const std::string& dhtKey) const {
+  if (!opts_.adaptiveSplits) return false;
+  auto it = leafReads_.find(dhtKey);
+  return it != leafReads_.end() && it->second >= opts_.hotLeafReads;
 }
 
 dht::Mutator LhtIndex::makeBucketMutator(std::string key, BucketMutator fn) {
@@ -146,7 +226,13 @@ LhtIndex::LookupOutcome LhtIndex::toOutcome(LookupRef&& ref) {
 }
 
 bool LhtIndex::shouldSplit(const LeafBucket& b) const {
-  if (b.effectiveSize(opts_.countLabelSlot) < opts_.thetaSplit) return false;
+  u32 threshold = opts_.thetaSplit;
+  if (opts_.adaptiveSplits && leafIsHot(dhtKeyFor(b.label))) {
+    // A persistently hot leaf splits early so its read traffic spreads
+    // over more owners; the floor keeps the split meaningful.
+    threshold = std::max<u32>(2, opts_.thetaSplit / opts_.hotSplitDivisor);
+  }
+  if (b.effectiveSize(opts_.countLabelSlot) < threshold) return false;
   return b.label.length() < opts_.maxDepth;
 }
 
@@ -177,16 +263,28 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
       if (auto cached = leafCache_.find(key)) {
         const std::string nm = dhtKeyFor(cached->label);
         BucketRef bucket;
-        try {
-          bucket = getBucketRef(nm, out.stats);
-        } catch (const dht::DhtError&) {
-          // The peer holding the cached location is unreachable (crashed
-          // and not yet repaired away). The leaf will move during repair,
-          // so stop advertising the stale location before the failure
-          // surfaces — the next lookup after recovery re-resolves from
-          // the binary search instead of probing the dead owner again.
-          dropCached(cached->label.interval());
-          throw;
+        bool leaseServed = false;
+        if (leaseUsable(*cached)) {
+          // Lease protocol: serve the read from a replica holder while
+          // the leased epoch still matches the stored snapshot. A failed
+          // turn (primary's rotation slot, stale epoch, dead holder)
+          // falls through to the primary read below.
+          bucket = tryLeaseRead(nm, *cached, key, out.stats);
+          leaseServed = bucket != nullptr;
+        }
+        if (!bucket) {
+          try {
+            bucket = getBucketRef(nm, out.stats);
+          } catch (const dht::DhtError&) {
+            // The peer holding the cached location is unreachable
+            // (crashed and not yet repaired away). The leaf will move
+            // during repair, so stop advertising the stale location
+            // before the failure surfaces — the next lookup after
+            // recovery re-resolves from the binary search instead of
+            // probing the dead owner again.
+            dropCached(cached->label.interval());
+            throw;
+          }
         }
         if (bucket && !bucket->clean()) {
           dropCached(bucket->label.interval());
@@ -194,6 +292,7 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
           continue;  // restart against the repaired tree
         }
         if (bucket && bucket->covers(key)) {
+          if (!leaseServed) leafCache_.notePrimaryServed();
           depthHint_ = bucket->label.length();
           out.bucket = std::move(bucket);
           out.dhtKey = nm;
@@ -265,7 +364,10 @@ LhtIndex::LookupRef LhtIndex::lookupInternal(double key) {
     break;
   }
   out.stats.parallelSteps = out.stats.dhtLookups;  // strictly sequential
-  if (out.bucket) out.stats.bucketsTouched = 1;
+  if (out.bucket) {
+    out.stats.bucketsTouched = 1;
+    noteLeafRead(out.dhtKey);
+  }
   return out;
 }
 
@@ -565,6 +667,7 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
   // reader can finish.
   std::vector<LeafBucket> remotes;
   std::optional<SplitIntent> pendingSplit;
+  bool earlySplit = false;  // hot-leaf split below theta: no alpha sample
   const u64 token = newToken();
   const u64 completionToken = newToken();
   // A concurrent client can split or merge the looked-up leaf between our
@@ -595,12 +698,15 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
           return false;
         }
         remotes.clear();
+        earlySplit = false;
         b.records.push_back(record);
         b.markApplied(token);
         b.epoch += 1;
         // A bucket still carrying an intent defers its split to a later
         // insert, mirroring the paper's one-split-per-insert deferral.
         if (b.clean() && shouldSplit(b)) {
+          earlySplit =
+              b.effectiveSize(opts_.countLabelSlot) < opts_.thetaSplit;
           if (opts_.allowCascadingSplits) {
             const SplitPolicy policy{opts_.thetaSplit, opts_.countLabelSlot,
                                      opts_.maxDepth};
@@ -650,11 +756,13 @@ index::UpdateResult LhtIndex::insert(const index::Record& record) {
     chargeMaintenance(0, movedCount);
     noteSplit();
     result.splitOrMerged = true;
-    recordAlpha(
-        static_cast<double>(movedCount + (opts_.countLabelSlot ? 1 : 0)) /
-        static_cast<double>(opts_.thetaSplit));
+    if (!earlySplit) {
+      recordAlpha(
+          static_cast<double>(movedCount + (opts_.countLabelSlot ? 1 : 0)) /
+          static_cast<double>(opts_.thetaSplit));
+    }
   }
-  if (remotes.size() == 1) {
+  if (remotes.size() == 1 && !earlySplit) {
     const double remoteSize =
         static_cast<double>(remotes.front().effectiveSize(opts_.countLabelSlot));
     recordAlpha(remoteSize / static_cast<double>(opts_.thetaSplit));

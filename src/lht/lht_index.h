@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/label.h"
@@ -31,6 +32,7 @@
 #include "index/ordered_index.h"
 #include "lht/bucket.h"
 #include "lht/leaf_cache.h"
+#include "net/sim_clock.h"
 
 namespace lht::core {
 
@@ -91,6 +93,40 @@ class LhtIndex final : public index::OrderedIndex {
     /// Stale entries are detected and invalidated, never trusted.
     bool useLeafCache = false;
     size_t leafCacheCapacity = 4096;
+
+    /// Lease-based replicated reads (off by default; needs useLeafCache
+    /// and a substrate with replicaFanout() >= 1). Every clean leaf
+    /// observed by a primary read becomes a read lease: for leaseTtlMs on
+    /// leaseClock, lookups covered by the cached entry rotate over the
+    /// leaf's replica holders and its primary owner, and a replica bucket
+    /// is served only when its epoch EQUALS the leased epoch. Any insert,
+    /// split, or merge bumps the leaf epoch, so a lagging replica can
+    /// never satisfy a lease — an epoch mismatch revokes the lease and
+    /// the read re-anchors at the primary, which re-grants at the new
+    /// epoch. Replica-read failures (dead holder) revoke the lease the
+    /// same way dead-owner reads drop cached locations. Lease reads are
+    /// priced like any other DHT-lookup in the Ψ meters but are surfaced
+    /// under dht.lease.* — they never touch the dht.<op>.logical ledger
+    /// (they route through getReplica, which the retry layer does not
+    /// own; same rule as PR6 rescue reads).
+    bool leasedReads = false;
+    common::u64 leaseTtlMs = 200;
+    /// Time source for lease expiry. nullptr pins "now" at 0: leases then
+    /// never expire by time and only epoch validation bounds staleness
+    /// (fine for single-clock tests; fleets wire the per-client clock).
+    net::SimClock* leaseClock = nullptr;
+
+    /// Access-frequency-adaptive splits (off by default): the client
+    /// counts lookups per leaf (halved every 4096 to track the recent
+    /// window); a leaf that has absorbed >= hotLeafReads of them is *hot*
+    /// and splits at max(2, thetaSplit / hotSplitDivisor) instead of
+    /// thetaSplit, so persistently hot leaves fragment earlier and their
+    /// load spreads across more owners. Alpha statistics are not recorded
+    /// for early (hot-triggered) splits — the paper defines them at
+    /// theta-triggered splits only.
+    bool adaptiveSplits = false;
+    common::u32 hotLeafReads = 64;
+    common::u32 hotSplitDivisor = 4;
 
     /// Issue range fan-out, bulk-load applies, and repair probes as
     /// multiGet/multiApply batch rounds (off by default). DHT-lookup
@@ -240,11 +276,32 @@ class LhtIndex final : public index::OrderedIndex {
   /// existed before the call.
   bool applyBucket(const std::string& key, const BucketMutator& fn);
 
-  /// Records an observed clean leaf in the location cache.
+  /// Records an observed clean leaf in the location cache; with
+  /// leasedReads this also grants/renews a read lease on the entry.
   void noteLeaf(const LeafBucket& bucket);
   /// Invalidates location-cache entries overlapping `iv` (after a
   /// split/merge whose old leaves covered it).
   void dropCached(const common::Interval& iv);
+
+  /// "Now" on the lease clock (0 without one — leases never time out).
+  [[nodiscard]] common::u64 leaseNowMs() const;
+  /// Whether `e` authorizes a replica-served read right now. Expired
+  /// leases are revoked (and counted) as a side effect.
+  bool leaseUsable(const LeafCache::Entry& e);
+  /// One turn of the lease protocol for the cached leaf stored under
+  /// `nm`: rotates over the replica holders and the primary; on a replica
+  /// turn issues one accounted getReplica and serves the bucket iff it is
+  /// clean, covers `key`, and its epoch equals the leased epoch. Returns
+  /// nullptr when the turn belongs to the primary or the lease died
+  /// (stale epoch, dead holder) — the caller then reads the primary,
+  /// which re-grants.
+  BucketRef tryLeaseRead(const std::string& nm, const LeafCache::Entry& lease,
+                         double key, cost::OpStats& st);
+
+  /// Access-frequency tracking for adaptive splits: bumps the leaf's read
+  /// count (halving all counts every 4096 to keep a recent window).
+  void noteLeafRead(const std::string& dhtKey);
+  [[nodiscard]] bool leafIsHot(const std::string& dhtKey) const;
 
   /// Shared walk for find/insert target resolution.
   LookupRef lookupInternal(double key);
@@ -387,6 +444,10 @@ class LhtIndex final : public index::OrderedIndex {
   RepairStats repairStats_;
   BucketStore store_;
   LeafCache leafCache_;
+  /// Per-leaf lookup counts (adaptive splits), keyed by DHT key; halved
+  /// wholesale every 4096 observations so heat tracks the recent window.
+  std::unordered_map<std::string, common::u32> leafReads_;
+  common::u64 leafReadsSinceDecay_ = 0;
 };
 
 }  // namespace lht::core

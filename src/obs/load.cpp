@@ -1,0 +1,33 @@
+#include "obs/load.h"
+
+#include <algorithm>
+
+namespace lht::obs {
+
+LoadSummary summarizeLoad(std::vector<common::u64> loads) {
+  LoadSummary s;
+  s.servers = loads.size();
+  if (loads.empty()) return s;
+  std::sort(loads.begin(), loads.end());
+  for (common::u64 v : loads) s.total += v;
+  s.max = loads.back();
+  s.mean = static_cast<double>(s.total) / static_cast<double>(loads.size());
+  // Nearest-rank p99: the smallest value with >= 99% of servers at or
+  // below it (the max for vectors shorter than 100).
+  const size_t rank =
+      (loads.size() * 99 + 99) / 100;  // ceil(0.99 * n), 1-based
+  s.p99 = static_cast<double>(loads[std::min(loads.size(), rank) - 1]);
+  if (s.mean > 0.0) s.maxOverMean = static_cast<double>(s.max) / s.mean;
+  return s;
+}
+
+void exportLoadSummary(MetricsRegistry& reg, const std::string& prefix,
+                       const LoadSummary& s) {
+  reg.gauge(prefix + ".servers").set(static_cast<double>(s.servers));
+  reg.gauge(prefix + ".max").set(static_cast<double>(s.max));
+  reg.gauge(prefix + ".mean").set(s.mean);
+  reg.gauge(prefix + ".p99").set(s.p99);
+  reg.gauge(prefix + ".max_over_mean").set(s.maxOverMean);
+}
+
+}  // namespace lht::obs

@@ -1,0 +1,37 @@
+// Load-vector summaries for skew experiments (DESIGN.md §13).
+//
+// A load vector is "work items served per server" — e.g. reads served per
+// physical DHT peer (ChordDht::readLoadByPeer) or records read per leaf.
+// The summary reduces it to the figures the load-balancing literature
+// gates on: max, mean, p99, and the max/mean imbalance ratio (1.0 =
+// perfectly balanced, N = one server does everything).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace lht::obs {
+
+struct LoadSummary {
+  size_t servers = 0;       ///< vector length (idle servers count)
+  common::u64 total = 0;
+  common::u64 max = 0;
+  double mean = 0.0;
+  double p99 = 0.0;         ///< nearest-rank 99th percentile
+  /// Imbalance ratio max/mean; 0 when the vector is empty or all-zero.
+  double maxOverMean = 0.0;
+};
+
+/// Summarizes `loads` (order irrelevant; copied because the percentile
+/// needs a sort).
+LoadSummary summarizeLoad(std::vector<common::u64> loads);
+
+/// Publishes the summary as gauges "<prefix>.max" / ".mean" / ".p99" /
+/// ".max_over_mean" / ".servers" on `reg`.
+void exportLoadSummary(MetricsRegistry& reg, const std::string& prefix,
+                       const LoadSummary& s);
+
+}  // namespace lht::obs

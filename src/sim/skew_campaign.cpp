@@ -1,0 +1,416 @@
+#include "sim/skew_campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dht/decorators.h"
+#include "exec/client_fleet.h"
+#include "exec/history.h"
+#include "exec/linearizability.h"
+#include "exec/thread_pool.h"
+#include "lht/lht_index.h"
+#include "net/sim_network.h"
+#include "obs/load.h"
+#include "sim/repair_scheduler.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace lht::sim {
+
+namespace {
+
+/// Race-heavy trace for the lease linearizability campaign. Unlike
+/// makeSkewedTrace (whose finds only target preloaded cell centers), a
+/// third of the finds here target keys THIS trace inserted earlier —
+/// executed by a different client, often concurrently — so a lease-served
+/// snapshot that is older than a completed insert's epoch would return
+/// "absent" for a definite key and fail the grow-only checker.
+/// `genSeed` fixes the zipf cell permutation (shared across phases, so
+/// both hammer the same hot leaves); `mixSeed` varies the op mix.
+std::vector<workload::Operation> makeLeaseRaceTrace(
+    const workload::SkewConfig& skew, size_t ops, common::u64 genSeed,
+    common::u64 mixSeed, const std::string& tag) {
+  common::Pcg32 rng(mixSeed, /*stream=*/0x11cdu);
+  workload::SkewedKeyGenerator gen(skew, genSeed);
+  const double cellWidth = 1.0 / static_cast<double>(gen.config().universe);
+  std::vector<workload::Operation> out;
+  out.reserve(ops);
+  std::vector<double> inserted;
+  for (size_t i = 0; i < ops; ++i) {
+    workload::Operation op;
+    const double center = gen.next();
+    const double pick = rng.nextDouble();
+    if (pick < 0.30 || inserted.empty()) {
+      op.kind = workload::Operation::Kind::Insert;
+      double k = center + (rng.nextDouble() - 0.5) * cellWidth * 0.98;
+      if (k == center) k += cellWidth * 0.25;
+      op.key = std::min(std::max(k, 0.0), 1.0);
+      op.payload = tag + std::to_string(i);
+      inserted.push_back(op.key);
+    } else if (pick < 0.65) {
+      op.kind = workload::Operation::Kind::Find;
+      op.key = inserted[rng.below(static_cast<common::u32>(inserted.size()))];
+    } else {
+      op.kind = workload::Operation::Kind::Find;
+      op.key = center;  // preloaded cell center — always a hit
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace
+
+SkewReport runSkewCampaign(const SkewCampaignConfig& cfg) {
+  common::checkInvariant(cfg.seeds >= 1 && cfg.opsPerSeed >= 1,
+                         "SkewCampaign: empty workload");
+  common::checkInvariant(cfg.skew.universe >= 1,
+                         "SkewCampaign: empty key universe");
+  SkewReport rep;
+  rep.seeds = cfg.seeds;
+  exec::WorkStealingPool pool(4);
+  double maxOverMeanSum = 0.0;
+  double p99Sum = 0.0;
+
+  for (size_t s = 0; s < cfg.seeds; ++s) {
+    const common::u64 seed = cfg.baseSeed + s;
+    net::SimNetwork net;
+    net::SimClock simClock;
+    net.attachClock(&simClock, /*perHopLatencyMs=*/1);
+
+    dht::ChordDht::Options co;
+    co.initialPeers = cfg.peers;
+    co.seed = seed;
+    co.replication = cfg.replication;
+    co.virtualNodes = cfg.virtualNodes;
+    dht::ChordDht chord(net, co);
+
+    auto indexOptions = [&](common::u64 clientSeed, bool attach,
+                            bool featured) {
+      core::LhtIndex::Options io;
+      io.thetaSplit = cfg.thetaSplit;
+      io.maxDepth = cfg.maxDepth;
+      io.useLeafCache = true;
+      io.cacheDecodedBuckets = true;
+      io.attachExisting = attach;
+      io.clientSeed = clientSeed;
+      if (featured) {
+        io.crashConsistentSplits = true;  // concurrent structural churn
+        io.leasedReads = cfg.leasedReads;
+        io.leaseTtlMs = cfg.leaseTtlMs;
+        io.adaptiveSplits = cfg.adaptiveSplits;
+        io.hotLeafReads = cfg.hotLeafReads;
+        io.hotSplitDivisor = cfg.hotSplitDivisor;
+      }
+      return io;
+    };
+
+    // Preload one record per cell. makeSkewedTrace aims its finds at cell
+    // centers, so the hot-leaf read traffic hits real records, and the
+    // preload doubles as the oracle.
+    core::LhtIndex loader(chord, indexOptions(seed * 131, false, false));
+    std::vector<index::Record> oracle;
+    oracle.reserve(cfg.skew.universe);
+    for (common::u32 cell = 0; cell < cfg.skew.universe; ++cell) {
+      index::Record r;
+      r.key = (static_cast<double>(cell) + 0.5) /
+              static_cast<double>(cfg.skew.universe);
+      r.payload = "cell-" + std::to_string(cell);
+      loader.insert(r);
+      oracle.push_back(std::move(r));
+    }
+
+    const auto trace =
+        workload::makeSkewedTrace(cfg.opsPerSeed, cfg.skew, cfg.mix,
+                                  /*seed=*/seed * 7919);
+
+    exec::FleetOptions fo;
+    fo.clients = cfg.clients;
+    fo.chunkSize = 16;
+    fo.clientSeedBase = seed * 10'000;
+    fo.index = indexOptions(/*unused: per-client override*/ 1, true, true);
+    exec::ClientFleet fleet(
+        [&](size_t i, net::SimClock& clock) {
+          exec::ClientStack stack;
+          auto latency = std::make_unique<dht::LatencyDht>(
+              chord, clock,
+              dht::LatencyDht::Options{
+                  .baseMs = 2, .jitterMs = 1, .seed = seed * 31 + i});
+          stack.top = latency.get();
+          stack.layers.push_back(std::move(latency));
+          return stack;
+        },
+        fo);
+
+    // Only the measured trace counts toward the load vector.
+    chord.resetReadLoad();
+    exec::FleetResult result = fleet.run(trace, pool);
+    rep.opsTotal += result.opsTotal;
+    rep.opsFailed += result.opsFailed;
+    if (result.opsFailed != 0) {
+      rep.failures.push_back("seed " + std::to_string(seed) + ": " +
+                             std::to_string(result.opsFailed) +
+                             " ops failed with no faults injected");
+    }
+    rep.leaseGrants += static_cast<common::u64>(
+        result.metrics.counterValue("dht.lease.grants"));
+    rep.leaseReads += static_cast<common::u64>(
+        result.metrics.counterValue("dht.lease.reads"));
+    rep.leaseStale += static_cast<common::u64>(
+        result.metrics.counterValue("dht.lease.stale"));
+    rep.leaseExpired += static_cast<common::u64>(
+        result.metrics.counterValue("dht.lease.expired"));
+    rep.leaseDrops += static_cast<common::u64>(
+        result.metrics.counterValue("dht.lease.drops"));
+    rep.splits += static_cast<common::u64>(
+        result.metrics.counterValue("lht.cost.maintenance.splits"));
+
+    const obs::LoadSummary load = obs::summarizeLoad(chord.readLoadByPeer());
+    rep.readsTotal += load.total;
+    rep.readsMaxSum += load.max;
+    maxOverMeanSum += load.maxOverMean;
+    p99Sum += load.p99;
+    rep.maxOverMeanWorst = std::max(rep.maxOverMeanWorst, load.maxOverMean);
+
+    // The balancing features must not cost correctness: every preloaded
+    // record is still reachable and intact through a fresh plain client.
+    core::LhtIndex verifier(chord, indexOptions(seed * 4099, true, false));
+    for (const index::Record& r : oracle) {
+      auto found = verifier.find(r.key);
+      if (!found.record.has_value() || found.record->payload != r.payload) {
+        rep.failures.push_back("seed " + std::to_string(seed) +
+                               ": record at key " + std::to_string(r.key) +
+                               (found.record.has_value() ? " corrupted"
+                                                         : " missing"));
+        break;  // one example per seed keeps the report readable
+      }
+    }
+  }
+
+  rep.maxOverMeanAvg = maxOverMeanSum / static_cast<double>(cfg.seeds);
+  rep.p99Avg = p99Sum / static_cast<double>(cfg.seeds);
+  rep.effectiveParallelism =
+      rep.readsMaxSum == 0
+          ? 0.0
+          : static_cast<double>(rep.readsTotal) /
+                static_cast<double>(rep.readsMaxSum);
+  if (cfg.leasedReads && cfg.replication >= 2 && rep.leaseReads == 0) {
+    rep.failures.push_back(
+        "lease reads never exercised despite leasedReads=on");
+  }
+  return rep;
+}
+
+LeaseLinReport runLeaseLinCampaign(const LeaseLinConfig& cfg) {
+  common::checkInvariant(cfg.replication >= 2,
+                         "LeaseLinCampaign: replication >= 2 required "
+                         "(crashes would lose data)");
+  common::checkInvariant(cfg.seeds >= 1 && cfg.opsPerPhase >= 1,
+                         "LeaseLinCampaign: empty workload");
+  LeaseLinReport rep;
+  rep.seeds = cfg.seeds;
+  exec::WorkStealingPool pool(4);
+
+  for (size_t s = 0; s < cfg.seeds; ++s) {
+    const common::u64 seed = cfg.baseSeed + s;
+    net::SimNetwork net;
+    net::SimClock simClock;
+    net.attachClock(&simClock, /*perHopLatencyMs=*/1);
+
+    dht::ChordDht::Options co;
+    co.initialPeers = cfg.peers;
+    co.seed = seed;
+    co.replication = cfg.replication;
+    dht::ChordDht chord(net, co);
+
+    auto indexOptions = [&](common::u64 clientSeed, bool attach,
+                            bool featured) {
+      core::LhtIndex::Options io;
+      io.thetaSplit = cfg.thetaSplit;
+      io.maxDepth = cfg.maxDepth;
+      io.useLeafCache = true;
+      io.cacheDecodedBuckets = true;
+      io.attachExisting = attach;
+      io.clientSeed = clientSeed;
+      if (featured) {
+        io.crashConsistentSplits = true;
+        io.leasedReads = true;
+        io.leaseTtlMs = cfg.leaseTtlMs;
+        io.adaptiveSplits = true;
+        io.hotLeafReads = cfg.hotLeafReads;
+        io.hotSplitDivisor = cfg.hotSplitDivisor;
+      }
+      return io;
+    };
+
+    // Preload one record per cell, and synthesize its insert records into
+    // a history of their own: the grow-only checker rejects a find that
+    // returns a record no logged insert accounts for, so the preload must
+    // be part of the checked history (its ticks precede every fleet op —
+    // real-time order is preserved).
+    core::LhtIndex loader(chord, indexOptions(seed * 131, false, false));
+    exec::History preloadHist(/*clientId=*/cfg.clients);
+    std::vector<index::Record> oracle;
+    oracle.reserve(cfg.skew.universe);
+    for (common::u32 cell = 0; cell < cfg.skew.universe; ++cell) {
+      index::Record r;
+      r.key = (static_cast<double>(cell) + 0.5) /
+              static_cast<double>(cfg.skew.universe);
+      r.payload = "cell-" + std::to_string(cell);
+      exec::OpRecord pr;
+      pr.kind = exec::OpKind::Insert;
+      pr.key = r.key;
+      pr.value = r.payload;
+      pr.invokeMs = exec::nextTick();
+      loader.insert(r);
+      pr.returnMs = exec::nextTick();
+      pr.ok = true;
+      preloadHist.append(std::move(pr));
+      oracle.push_back(std::move(r));
+    }
+
+    const common::u64 genSeed = seed ^ 0x5EEDull;
+    const std::string tag = std::to_string(seed);
+    const auto traceA = makeLeaseRaceTrace(cfg.skew, cfg.opsPerPhase, genSeed,
+                                           seed * 7919 + 1, "ra" + tag + "-");
+    const auto traceB = makeLeaseRaceTrace(cfg.skew, cfg.opsPerPhase, genSeed,
+                                           seed * 7919 + 2, "rb" + tag + "-");
+
+    exec::FleetOptions fo;
+    fo.clients = cfg.clients;
+    fo.chunkSize = 8;
+    fo.clientSeedBase = seed * 10'000;
+    fo.index = indexOptions(/*unused: per-client override*/ 1, true, true);
+    exec::ClientFleet fleet(
+        [&](size_t i, net::SimClock& clock) {
+          exec::ClientStack stack;
+          auto latency = std::make_unique<dht::LatencyDht>(
+              chord, clock,
+              dht::LatencyDht::Options{
+                  .baseMs = 2, .jitterMs = 1, .seed = seed * 31 + i});
+          // Failover keeps primary reads answerable while the crashed
+          // holder is dark; it forwards getReplica untouched, so lease
+          // reads still see the dead peer and must drop the lease.
+          dht::FailoverDht::Options fopts;
+          fopts.failover = true;
+          fopts.hedging = false;
+          auto failover =
+              std::make_unique<dht::FailoverDht>(*latency, clock, fopts);
+          stack.top = failover.get();
+          stack.layers.push_back(std::move(latency));
+          stack.layers.push_back(std::move(failover));
+          return stack;
+        },
+        fo);
+
+    // Phase A: warm the tree, the adaptive splits, and the leases.
+    exec::FleetResult resultA = fleet.run(traceA, pool);
+    rep.opsTotal += resultA.opsTotal;
+
+    // Crash a replica holder of the hottest leaf while phase-A leases on
+    // it are live. With virtualNodes=1 the leaf's replica holders are
+    // exactly the next replication-1 ring nodes after its owner.
+    if (cfg.crashReplica && chord.peerCount() > 2) {
+      workload::SkewedKeyGenerator gen(cfg.skew, genSeed);
+      core::LhtIndex hotProbe(chord, indexOptions(seed * 677, true, false));
+      const std::string hotLeaf = hotProbe.lookup(gen.keyOfRank(1)).dhtKey;
+      const common::u64 ownerId = chord.ownerOf(hotLeaf);
+      const auto ids = chord.nodeIds();
+      auto it = std::upper_bound(ids.begin(), ids.end(), ownerId);
+      for (size_t probe = 0; probe + 1 < ids.size(); ++probe) {
+        if (it == ids.end()) it = ids.begin();
+        const common::u64 victim = *it;
+        ++it;
+        if (victim == ownerId) continue;
+        if (chord.crashWouldLoseData(victim)) continue;
+        chord.crash(victim);
+        rep.crashes += 1;
+        break;
+      }
+    }
+
+    // Phase B through the SAME fleet: live leases race the dark holder.
+    // Post-crash write failures (dark owners) are expected and recorded
+    // ok=false — the checkers treat them as maybe-applied.
+    exec::FleetResult resultB = fleet.run(traceB, pool);
+    rep.opsTotal += resultB.opsTotal;
+    // Per-client metrics and histories accumulate across runs, so the
+    // phase-B result already covers phase A.
+    rep.opsFailed += resultB.opsFailed;
+    rep.leaseGrants += static_cast<common::u64>(
+        resultB.metrics.counterValue("dht.lease.grants"));
+    rep.leaseReads += static_cast<common::u64>(
+        resultB.metrics.counterValue("dht.lease.reads"));
+    rep.leaseStale += static_cast<common::u64>(
+        resultB.metrics.counterValue("dht.lease.stale"));
+    rep.leaseExpired += static_cast<common::u64>(
+        resultB.metrics.counterValue("dht.lease.expired"));
+    rep.leaseDrops += static_cast<common::u64>(
+        resultB.metrics.counterValue("dht.lease.drops"));
+
+    // Repair to convergence: excise the dark peer, re-push replicas,
+    // complete any split/merge the crash window aborted.
+    core::LhtIndex repairClient(chord, indexOptions(seed * 977, true, false));
+    RepairSchedulerConfig rc;
+    RepairScheduler sched(chord, &repairClient, rc);
+    sched.noteChurn();
+    rep.repairTicks += sched.runToConvergence();
+    if (!chord.checkReplication()) {
+      rep.failures.push_back("seed " + std::to_string(seed) +
+                             ": checkReplication failed post-repair");
+    }
+    if (chord.lostKeys() != 0) {
+      rep.failures.push_back("seed " + std::to_string(seed) + ": " +
+                             std::to_string(chord.lostKeys()) +
+                             " keys lost despite crash spacing");
+    }
+
+    // Safety: merged histories (preload + both phases) must be a valid
+    // grow-only set under real-time precedence — a lease read that served
+    // a snapshot older than a completed insert would surface here as a
+    // missed definite key.
+    std::vector<exec::History> histories;
+    histories.reserve(resultB.histories.size() + 1);
+    histories.push_back(preloadHist);
+    for (const auto& h : resultB.histories) histories.push_back(h);
+    const auto merged = exec::mergeHistories(histories);
+    const auto grow = exec::checkGrowOnlySet(merged);
+    if (!grow.ok) {
+      rep.failures.push_back("seed " + std::to_string(seed) +
+                             ": grow-only violation: " + grow.explanation);
+    }
+
+    core::LhtIndex verifier(chord, indexOptions(seed * 4099, true, false));
+    const auto scan = exec::scanAtomicSplits(verifier, definiteKeys(merged),
+                                             maybeKeys(merged));
+    if (!scan.ok) {
+      rep.failures.push_back("seed " + std::to_string(seed) +
+                             ": split scan: " + scan.explanation);
+    }
+    for (const index::Record& r : oracle) {
+      auto found = verifier.find(r.key);
+      if (!found.record.has_value() || found.record->payload != r.payload) {
+        rep.failures.push_back("seed " + std::to_string(seed) +
+                               ": record at key " + std::to_string(r.key) +
+                               (found.record.has_value() ? " corrupted"
+                                                         : " missing"));
+        break;
+      }
+    }
+  }
+
+  if (rep.leaseReads == 0) {
+    rep.failures.push_back("lease reads never exercised");
+  }
+  if (rep.crashes > 0 && rep.leaseDrops == 0) {
+    rep.failures.push_back(
+        "no lease was dropped on a dead replica holder despite crashes");
+  }
+  return rep;
+}
+
+}  // namespace lht::sim

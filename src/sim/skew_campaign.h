@@ -1,0 +1,165 @@
+// Zipfian skew campaign (DESIGN.md §13): measures how hot-leaf read
+// traffic concentrates on the DHT's physical peers, and whether the
+// lease-based replicated-read protocol plus access-adaptive splits
+// actually flatten it.
+//
+// runSkewCampaign — the load-balance measurement. Per seed it preloads
+// one record per key-space cell on a replicated Chord ring, zeroes the
+// per-peer served-read counters, then drives a zipfian find/insert trace
+// (workload::makeSkewedTrace) through a concurrent ClientFleet. The
+// independent variable is {leasedReads, adaptiveSplits}: the bench runs
+// the campaign twice on identical traces and compares
+// ChordDht::readLoadByPeer() summaries (max/mean/p99) between the arms.
+// Every seed is oracle-verified through a fresh client afterwards — the
+// balancing features must not cost correctness.
+//
+// runLeaseLinCampaign — the safety side. Per seed, concurrent clients run
+// a race-heavy trace (finds of keys other clients are concurrently
+// inserting into the same hot leaves, which bump epochs and invalidate
+// leases) with leases and adaptive splits ON; mid-campaign one replica
+// holder of the hottest leaf is crash()ed, so lease reads hit a dark
+// peer and must drop the lease rather than hang or lie. After repair
+// convergence the merged histories (including synthesized records for the
+// preload, so finds of preloaded keys are justified) must pass the
+// Wing&Gong-style grow-only-set checker — a lease-served read that
+// returned a snapshot older than a completed insert would violate its
+// real-time staleness bound — plus the atomic-split scan and the oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace lht::sim {
+
+struct SkewCampaignConfig {
+  size_t seeds = 8;
+  common::u64 baseSeed = 1;
+
+  /// Substrate shape. Replication >= 2 is what gives leases replicas to
+  /// read; the OFF arm keeps the same ring so the comparison is fair.
+  /// Virtual nodes (the paper's load-spreading lever, also compared in
+  /// table_load_balance) smooth arc-length ownership in BOTH arms — they
+  /// scatter a leaf's replica successors across random peers, but cannot
+  /// split one hot name's primary traffic, which is the leases' job.
+  size_t peers = 16;
+  size_t replication = 4;
+  size_t virtualNodes = 8;
+
+  /// Index shape. A theta_split comfortably above the per-leaf preload
+  /// leaves the initial tree coarse — several cells per leaf — which is
+  /// exactly the regime where a hot cell pins one peer.
+  common::u32 thetaSplit = 96;
+  common::u32 maxDepth = 18;
+
+  /// Workload: zipf(s) popularity over `universe` cells, find-heavy.
+  workload::SkewConfig skew{/*s=*/0.99, /*universe=*/64,
+                            /*flashEvery=*/0, /*flashJump=*/0};
+  workload::SkewMix mix{/*find=*/0.94, /*insert=*/0.06};
+  size_t opsPerSeed = 4000;
+  size_t clients = 4;
+
+  /// The features under test (the campaign's independent variable).
+  bool leasedReads = true;
+  bool adaptiveSplits = true;
+  /// Generous TTL relative to the simulated run length: epoch bumps (not
+  /// expiry) are the interesting invalidation path under a split-heavy
+  /// zipfian load; expiry hygiene is covered by the lease unit tests.
+  common::u64 leaseTtlMs = 20'000;
+  common::u32 hotLeafReads = 48;
+  common::u32 hotSplitDivisor = 12;
+};
+
+struct SkewReport {
+  size_t seeds = 0;
+  size_t opsTotal = 0;
+  size_t opsFailed = 0;
+
+  // Read-load over physical peers, measurement window only (preload and
+  // fleet construction excluded via resetReadLoad).
+  common::u64 readsTotal = 0;
+  /// Sum over seeds of the per-seed busiest peer's reads — the bottleneck
+  /// work the slowest server performs.
+  common::u64 readsMaxSum = 0;
+  double maxOverMeanAvg = 0.0;    ///< mean over seeds of max/mean imbalance
+  double maxOverMeanWorst = 0.0;  ///< worst single seed
+  double p99Avg = 0.0;            ///< mean over seeds of p99 peer load
+  /// readsTotal / readsMaxSum: how many peers' worth of parallel read
+  /// service the ring effectively delivered (upper bound: peers).
+  double effectiveParallelism = 0.0;
+
+  // Lease-protocol accounting (merged fleet metrics across seeds).
+  common::u64 leaseGrants = 0;
+  common::u64 leaseReads = 0;
+  common::u64 leaseStale = 0;
+  common::u64 leaseExpired = 0;
+  common::u64 leaseDrops = 0;
+  common::u64 splits = 0;
+
+  /// Human-readable check failures; empty means every seed verified
+  /// against the oracle with zero failed ops.
+  std::vector<std::string> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the campaign. Deterministic: identical configs give identical
+/// reports.
+SkewReport runSkewCampaign(const SkewCampaignConfig& cfg);
+
+struct LeaseLinConfig {
+  size_t seeds = 16;
+  common::u64 baseSeed = 1;
+
+  size_t peers = 12;
+  size_t replication = 3;
+  common::u32 thetaSplit = 12;
+  common::u32 maxDepth = 18;
+
+  /// No flash crowds here: a stable hot cell keeps lease traffic pinned
+  /// on the leaf whose replica holder the campaign crashes.
+  workload::SkewConfig skew{/*s=*/0.99, /*universe=*/48,
+                            /*flashEvery=*/0, /*flashJump=*/0};
+  /// Ops per fleet phase; each seed runs two phases (pre- and post-crash)
+  /// through the SAME fleet, so phase-A leases are live when the holder
+  /// goes dark.
+  size_t opsPerPhase = 600;
+  size_t clients = 4;
+
+  common::u64 leaseTtlMs = 300;
+  common::u32 hotLeafReads = 24;
+  common::u32 hotSplitDivisor = 4;
+
+  /// Crash a replica holder of the hottest leaf between the phases.
+  bool crashReplica = true;
+};
+
+struct LeaseLinReport {
+  size_t seeds = 0;
+  size_t opsTotal = 0;
+  /// Ops that failed with a DhtError. Non-zero is EXPECTED post-crash
+  /// (writes whose owner or replica holder is dark fail loudly); the
+  /// checkers treat them as maybe-applied.
+  size_t opsFailed = 0;
+
+  common::u64 leaseGrants = 0;
+  common::u64 leaseReads = 0;
+  common::u64 leaseStale = 0;
+  common::u64 leaseExpired = 0;
+  /// Leases dropped on dead-peer read errors — must be > 0 when crashes
+  /// were applied (the campaign's reason for crashing a lease holder).
+  common::u64 leaseDrops = 0;
+
+  size_t crashes = 0;
+  size_t repairTicks = 0;
+
+  std::vector<std::string> failures;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the lease linearizability campaign. Deterministic.
+LeaseLinReport runLeaseLinCampaign(const LeaseLinConfig& cfg);
+
+}  // namespace lht::sim

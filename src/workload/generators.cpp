@@ -1,5 +1,8 @@
 #include "workload/generators.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/types.h"
 
 namespace lht::workload {
@@ -57,6 +60,50 @@ RangeSpec makeRange(double span, common::Pcg32& rng) {
   common::checkInvariant(span > 0.0 && span <= 1.0, "makeRange: bad span");
   const double lo = rng.nextDouble() * (1.0 - span);
   return RangeSpec{lo, lo + span};
+}
+
+// ---------------------------------------------------------------------------
+// SkewedKeyGenerator
+// ---------------------------------------------------------------------------
+
+SkewedKeyGenerator::SkewedKeyGenerator(SkewConfig cfg, common::u64 seed)
+    : cfg_(cfg),
+      rng_(seed, /*stream=*/0x5ce3u),
+      zipf_(std::max<common::u32>(1, cfg.universe), cfg.s) {
+  common::checkInvariant(cfg_.universe >= 1,
+                         "SkewedKeyGenerator: empty universe");
+  if (cfg_.flashJump == 0) cfg_.flashJump = cfg_.universe / 2 + 1;
+  // The permutation draws from its own stream, so the placement of the
+  // hot cells depends only on the seed, never on how many keys were drawn.
+  common::Pcg32 permRng(seed, /*stream=*/0x9e37u);
+  perm_.resize(cfg_.universe);
+  for (common::u32 i = 0; i < cfg_.universe; ++i) perm_[i] = i;
+  for (common::u32 i = cfg_.universe; i > 1; --i) {
+    std::swap(perm_[i - 1], perm_[permRng.below(i)]);
+  }
+}
+
+common::u32 SkewedKeyGenerator::cellOfRank(common::u32 rank) const {
+  common::checkInvariant(rank >= 1 && rank <= cfg_.universe,
+                         "SkewedKeyGenerator: rank out of range");
+  const common::u64 base = perm_[rank - 1];
+  const common::u64 offset =
+      static_cast<common::u64>(shifts_) * cfg_.flashJump;
+  return static_cast<common::u32>((base + offset) % cfg_.universe);
+}
+
+double SkewedKeyGenerator::keyOfRank(common::u32 rank) const {
+  return (static_cast<double>(cellOfRank(rank)) + 0.5) /
+         static_cast<double>(cfg_.universe);
+}
+
+double SkewedKeyGenerator::next() {
+  if (cfg_.flashEvery > 0 && draws_ > 0 && draws_ % cfg_.flashEvery == 0) {
+    shifts_ += 1;
+  }
+  lastRank_ = zipf_.sample(rng_);
+  draws_ += 1;
+  return keyOfRank(lastRank_);
 }
 
 }  // namespace lht::workload

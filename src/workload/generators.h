@@ -50,4 +50,58 @@ struct RangeSpec {
 };
 RangeSpec makeRange(double span, common::Pcg32& rng);
 
+// Zipfian + flash-crowd key streams (DESIGN.md §13) -------------------------
+//
+// The skew campaign's workload family: keys live on a `universe`-cell grid
+// over [0, 1); a draw samples a zipf rank and maps it through a
+// seed-derived random permutation of the cells, so the popular cells land
+// at unpredictable positions in key space (a fixed rank->position map
+// would always make the leftmost leaf hot). Flash crowds rotate the whole
+// rank->cell mapping by `flashJump` cells every `flashEvery` draws: the
+// hot set relocates instantaneously, at an exactly known draw index —
+// property tests pin the shift timing, and campaigns use it to yank the
+// hot set out from under warmed caches and leases.
+
+struct SkewConfig {
+  double s = 0.99;           ///< zipf exponent (the acceptance gate's skew)
+  common::u32 universe = 1024;  ///< grid cells (= distinct key positions)
+  /// Draws between hot-set shifts; 0 = static popularity (no flash crowd).
+  size_t flashEvery = 0;
+  /// Cells the mapping rotates per shift; 0 picks universe/2 + 1 (odd, so
+  /// consecutive hot sets never overlap for universe >= 4).
+  common::u32 flashJump = 0;
+};
+
+/// Deterministic zipfian key stream with flash-crowd shifts. Emitted keys
+/// are cell centers ((cell + 0.5) / universe), so a campaign can preload
+/// exactly the keys the stream will query.
+class SkewedKeyGenerator {
+ public:
+  SkewedKeyGenerator(SkewConfig cfg, common::u64 seed);
+
+  /// Next key. Applies a pending hot-set shift first (at draw indexes
+  /// flashEvery, 2*flashEvery, ... — draw 0 is pre-shift).
+  double next();
+
+  /// Key of zipf rank `rank` (1-based) under the CURRENT hot-set
+  /// placement. Consumes no randomness.
+  [[nodiscard]] double keyOfRank(common::u32 rank) const;
+
+  [[nodiscard]] const SkewConfig& config() const { return cfg_; }
+  [[nodiscard]] common::u32 lastRank() const { return lastRank_; }
+  [[nodiscard]] size_t draws() const { return draws_; }
+  [[nodiscard]] common::u32 shifts() const { return shifts_; }
+
+ private:
+  [[nodiscard]] common::u32 cellOfRank(common::u32 rank) const;
+
+  SkewConfig cfg_;
+  common::Pcg32 rng_;
+  common::Zipf zipf_;
+  std::vector<common::u32> perm_;  ///< rank-1 -> base cell (seed-derived)
+  size_t draws_ = 0;
+  common::u32 shifts_ = 0;
+  common::u32 lastRank_ = 1;
+};
+
 }  // namespace lht::workload

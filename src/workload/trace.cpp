@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -99,6 +100,35 @@ std::vector<Operation> makeMixedTrace(Distribution dist, size_t ops,
       op.hi = spec.hi;
     } else {
       op.kind = rng.below(2) == 0 ? Operation::Kind::Min : Operation::Kind::Max;
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::vector<Operation> makeSkewedTrace(size_t ops, const SkewConfig& skew,
+                                       const SkewMix& mix, common::u64 seed) {
+  const double total = mix.find + mix.insert;
+  common::checkInvariant(total > 0.0, "makeSkewedTrace: all weights zero");
+  common::Pcg32 rng(seed, /*stream=*/0x5de7u);
+  SkewedKeyGenerator gen(skew, seed ^ 0x5EEDull);
+  const double cellWidth = 1.0 / static_cast<double>(gen.config().universe);
+  std::vector<Operation> out;
+  out.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    Operation op;
+    const double center = gen.next();
+    if (rng.nextDouble() * total < mix.find) {
+      op.kind = Operation::Kind::Find;
+      op.key = center;
+    } else {
+      op.kind = Operation::Kind::Insert;
+      // Uniform within the drawn cell, nudged off the exact center so
+      // inserted keys never collide with the preloaded center records.
+      double k = center + (rng.nextDouble() - 0.5) * cellWidth * 0.98;
+      if (k == center) k += cellWidth * 0.25;
+      op.key = std::min(std::max(k, 0.0), 1.0);
+      op.payload = "sk" + std::to_string(i);
     }
     out.push_back(std::move(op));
   }

@@ -60,6 +60,22 @@ struct TraceMix {
 std::vector<Operation> makeMixedTrace(Distribution dist, size_t ops,
                                       const TraceMix& mix, common::u64 seed);
 
+/// Mix weights for skewed traces (normalized internally): read-heavy by
+/// default — the hot-leaf read-balancing scenario.
+struct SkewMix {
+  double find = 0.9;
+  double insert = 0.1;
+};
+
+/// Generates a find/insert trace whose keys follow a SkewedKeyGenerator
+/// stream (zipfian popularity + optional flash-crowd shifts). Finds hit
+/// the drawn cell's center key — exactly what a campaign preloads via
+/// keyOfRank — so hot-leaf read traffic is real, not probable misses.
+/// Inserts jitter uniformly within the drawn cell (distinct keys), which
+/// keeps feeding the hot leaves the records that trigger their splits.
+std::vector<Operation> makeSkewedTrace(size_t ops, const SkewConfig& skew,
+                                       const SkewMix& mix, common::u64 seed);
+
 /// Aggregate results of replaying a trace.
 struct ReplayStats {
   size_t inserts = 0;

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "dht/chord.h"
 #include "dht/decorators.h"
 #include "dht/local_dht.h"
 #include "lht/lht_index.h"
+#include "net/sim_network.h"
 #include "obs/obs.h"
 #include "pht/pht_index.h"
 #include "workload/generators.h"
@@ -270,6 +272,93 @@ TEST(CostConformance, MinMaxCostTheorem3) {
             mn.stats.dhtLookups + mx.stats.dhtLookups);
   EXPECT_EQ(reg.counterValue("lht.minRecord.count"), 1u);
   EXPECT_EQ(reg.counterValue("lht.maxRecord.count"), 1u);
+}
+
+// --- Shape: leased replica reads --------------------------------------------
+
+/// Lease-served reads are priced in Psi exactly like primary reads (one
+/// query DHT-lookup each) and land in their own "dht.lease.*" ledger —
+/// they must never inflate "dht.get.logical", which counts logical
+/// primary gets only. Regression for the leased-read protocol's cost
+/// accounting: the ON and OFF stacks run the identical read-only phase,
+/// so logical(OFF) must equal logical(ON) + lease reads(ON) exactly.
+TEST(CostConformance, LeaseReadsChargeLeaseLedgerNotLogical) {
+  auto records = dataset(240, 61);
+  constexpr size_t kReads = 200;
+
+  struct Side {
+    u64 getLogical = 0;
+    u64 leaseReads = 0;
+    u64 leaseGrants = 0;
+    u64 leaseStale = 0;
+    u64 queryLookups = 0;
+    u64 queryMoved = 0;
+  };
+  const auto run = [&](bool leased) {
+    net::SimNetwork net;
+    dht::ChordDht::Options copts;
+    copts.initialPeers = 8;
+    copts.seed = 5;
+    copts.replication = 2;  // fanout 1: rotation alternates replica/primary
+    dht::ChordDht chord(net, copts);
+    dht::RetryingDht retrying(chord, /*maxAttempts=*/4);
+    core::LhtIndex::Options opts;
+    opts.thetaSplit = kTheta;
+    opts.useLeafCache = true;
+    opts.leasedReads = leased;
+    core::LhtIndex idx(retrying, opts);
+
+    // Warm phase under a throwaway registry: grow the tree, warm the
+    // location cache, and (ON side) grant leases via primary reads.
+    {
+      obs::MetricsRegistry warm;
+      obs::ScopedObservability install(&warm, nullptr);
+      for (const auto& r : records) idx.insert(r);
+      for (size_t i = 0; i < 32; ++i) idx.find(records[i % records.size()].key);
+    }
+
+    // Measured phase: read-only, warm cache, fresh registry. No writes
+    // means no epoch bumps, so every replica turn serves successfully.
+    obs::MetricsRegistry reg;
+    obs::ScopedObservability install(&reg, nullptr);
+    const cost::MeterSet before = idx.meters();
+    for (size_t i = 0; i < kReads; ++i) {
+      auto r = idx.find(records[i % 16].key);  // hot subset
+      EXPECT_TRUE(r.record.has_value());
+    }
+    Side s;
+    s.getLogical = reg.counterValue("dht.get.logical");
+    s.leaseReads = reg.counterValue("dht.lease.reads");
+    s.leaseGrants = reg.counterValue("dht.lease.grants");
+    s.leaseStale = reg.counterValue("dht.lease.stale") +
+                   reg.counterValue("dht.lease.expired") +
+                   reg.counterValue("dht.lease.drops");
+    s.queryLookups = idx.meters().query.dhtLookups - before.query.dhtLookups;
+    s.queryMoved = idx.meters().query.recordsMoved - before.query.recordsMoved;
+    return s;
+  };
+
+  const Side on = run(true);
+  const Side off = run(false);
+
+  // The protocol actually ran on the ON side and only there.
+  ASSERT_GT(on.leaseReads, 0u);
+  EXPECT_GT(on.leaseGrants, 0u);
+  EXPECT_EQ(on.leaseStale, 0u);  // read-only: nothing invalidates
+  EXPECT_EQ(off.leaseReads, 0u);
+  EXPECT_EQ(off.leaseGrants, 0u);
+
+  // Ledger split: every read is either a logical primary get or a lease
+  // read — lease reads never double-count into dht.get.logical.
+  EXPECT_EQ(off.getLogical, static_cast<u64>(kReads));
+  EXPECT_EQ(on.getLogical + on.leaseReads, static_cast<u64>(kReads));
+  EXPECT_LT(on.getLogical, off.getLogical);
+
+  // Psi pricing: a lease read costs exactly one query DHT-lookup, same
+  // as the warm primary read it replaces — identical meters both sides.
+  EXPECT_EQ(on.queryLookups, off.queryLookups);
+  EXPECT_EQ(on.queryLookups, static_cast<u64>(kReads));
+  EXPECT_EQ(on.queryMoved, off.queryMoved);
 }
 
 // --- Breakdown arithmetic ---------------------------------------------------

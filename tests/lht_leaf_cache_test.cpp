@@ -4,15 +4,21 @@
 // store never changes observable behavior — only wall-clock cost.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "dht/can.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
 #include "dht/local_dht.h"
+#include "dht/pastry.h"
 #include "lht/leaf_cache.h"
 #include "lht/lht_index.h"
+#include "net/sim_network.h"
 
 namespace lht::core {
 namespace {
@@ -259,6 +265,183 @@ TEST(LeafCacheIndex, OracleDifferentialWithAllFeaturesOn) {
   // The features actually ran: cache hits and batch rounds both nonzero.
   EXPECT_GT(idx.leafCache().hits(), 0u);
   EXPECT_GT(store.stats().batchRounds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Read leases (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST(LeafCacheUnit, LeaseGrantRotateAndDropKeepLocation) {
+  LeafCache cache(8);
+  const Label l = *Label::parse("#001");  // [0.25, 0.5)
+
+  // A plain note is a location only; a note with an expiry grants a lease.
+  cache.note(l, 3);
+  EXPECT_FALSE(cache.find(0.3)->leased());
+  cache.note(l, 3, /*leaseExpiresAtMs=*/500);
+  ASSERT_TRUE(cache.find(0.3)->leased());
+  EXPECT_EQ(cache.find(0.3)->leaseExpiresAtMs, 500u);
+
+  // The rotation cursor post-increments per read turn (find() never
+  // advances it); a label with no entry reports slot 0 — the caller's
+  // read then revalidates.
+  EXPECT_EQ(cache.bumpReplicaCursor(l), 0u);
+  EXPECT_EQ(cache.bumpReplicaCursor(l), 1u);
+  EXPECT_EQ(cache.bumpReplicaCursor(l), 2u);
+  EXPECT_EQ(cache.bumpReplicaCursor(*Label::parse("#01")), 0u);
+
+  // dropLease revokes the lease but keeps the location: the leaf did not
+  // move just because a replica holder died.
+  cache.dropLease(l.interval());
+  ASSERT_TRUE(cache.find(0.3).has_value());
+  EXPECT_FALSE(cache.find(0.3)->leased());
+  EXPECT_EQ(cache.leaseDrops(), 1u);
+
+  // Served-read accounting is explicit and separate.
+  cache.notePrimaryServed();
+  cache.noteLeaseServed();
+  cache.noteLeaseServed();
+  cache.noteLeaseStale();
+  cache.noteLeaseExpired();
+  EXPECT_EQ(cache.primaryHits(), 1u);
+  EXPECT_EQ(cache.leaseHits(), 2u);
+  EXPECT_EQ(cache.leaseStale(), 1u);
+  EXPECT_EQ(cache.leaseExpired(), 1u);
+}
+
+LhtIndex::Options leasedOpts(common::u32 theta = 16) {
+  LhtIndex::Options o = cachedOpts(theta);
+  o.leasedReads = true;
+  o.leaseTtlMs = 60'000;
+  return o;
+}
+
+TEST(LeafCacheIndex, LeaseHitsCountedSeparatelyFromPrimaryHits) {
+  net::SimNetwork net;
+  dht::ChordDht::Options copts;
+  copts.initialPeers = 8;
+  copts.seed = 9;
+  copts.replication = 2;  // fanout 1: turns alternate replica / primary
+  dht::ChordDht chord(net, copts);
+  LhtIndex idx(chord, leasedOpts());
+  const auto recs = distinctRecords(64, 21);
+  for (const auto& r : recs) idx.insert(r);
+
+  // Warm pass: primary reads re-anchor every leaf's entry at the current
+  // epoch and grant leases. (During the inserts above, each insert bumps
+  // its leaf's epoch ahead of the client's cached lease, so some earlier
+  // replica turns legitimately went stale — cumulative counters include
+  // those.)
+  for (const auto& r : recs) ASSERT_TRUE(idx.find(r.key).record.has_value());
+  const common::u64 primaryBefore = idx.leafCache().primaryHits();
+  const common::u64 leaseBefore = idx.leafCache().leaseHits();
+  const common::u64 staleBefore = idx.leafCache().leaseStale();
+  const common::u64 dropsBefore = idx.leafCache().leaseDrops();
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& r : recs) {
+      ASSERT_TRUE(idx.find(r.key).record.has_value());
+    }
+  }
+  const auto& cache = idx.leafCache();
+  EXPECT_GT(cache.leaseHits(), leaseBefore);
+  EXPECT_GT(cache.primaryHits(), primaryBefore);
+  // Every location-cache hit resolved to exactly one of the two buckets.
+  EXPECT_LE(cache.leaseHits() + cache.primaryHits(), cache.hits());
+  // Read-only traffic: epochs never moved, so no lease went stale and
+  // none was dropped during the rotation rounds.
+  EXPECT_EQ(cache.leaseStale(), staleBefore);
+  EXPECT_EQ(cache.leaseDrops(), dropsBefore);
+}
+
+TEST(LeafCacheIndex, DeadReplicaHolderDropsLeaseNotLocation) {
+  net::SimNetwork net;
+  dht::ChordDht::Options copts;
+  copts.initialPeers = 8;
+  copts.seed = 4;
+  copts.replication = 3;
+  dht::ChordDht chord(net, copts);
+  LhtIndex idx(chord, leasedOpts());
+  const auto recs = distinctRecords(48, 33);
+  for (const auto& r : recs) idx.insert(r);
+  const double hotKey = recs[0].key;
+  ASSERT_TRUE(idx.find(hotKey).record.has_value());  // location + lease
+
+  // Crash the first replica holder of the hot leaf (its owner's first
+  // distinct ring successor — virtualNodes defaults to 1).
+  const std::string leafKey = idx.lookup(hotKey).dhtKey;
+  const common::u64 ownerId = chord.ownerOf(leafKey);
+  const auto ids = chord.nodeIds();
+  auto it = std::upper_bound(ids.begin(), ids.end(), ownerId);
+  bool crashed = false;
+  for (size_t probe = 0; probe + 1 < ids.size() && !crashed; ++probe) {
+    if (it == ids.end()) it = ids.begin();
+    const common::u64 victim = *it;
+    ++it;
+    if (victim == ownerId || chord.crashWouldLoseData(victim)) continue;
+    chord.crash(victim);
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  // Reads keep succeeding: a replica turn that hits the dark holder
+  // drops the lease (not the location) and the primary serves instead.
+  const common::u64 missesBefore = idx.leafCache().misses();
+  for (int i = 0; i < 12; ++i) {
+    auto r = idx.find(hotKey);
+    ASSERT_TRUE(r.record.has_value()) << "read " << i << " failed";
+    EXPECT_EQ(r.record->payload, recs[0].payload);
+  }
+  EXPECT_GT(idx.leafCache().leaseDrops(), 0u);
+  // The location survived every drop: no full binary-search re-resolve
+  // was ever needed (misses only grow when the location is gone).
+  EXPECT_EQ(idx.leafCache().misses(), missesBefore);
+}
+
+// On substrates without replica-read support (Kademlia, Pastry, CAN keep
+// replicas for durability but expose no getReplica path), enabling
+// leasedReads must be safely inert: replicaFanout() == 0 means no lease
+// is ever granted and every read is a correct primary read.
+TEST(LeafCacheIndex, LeasesSafelyInertWithoutReplicaReadSupport) {
+  const auto exercise = [](dht::Dht& d) {
+    ASSERT_EQ(d.replicaFanout(), 0u);
+    LhtIndex idx(d, leasedOpts());
+    const auto recs = distinctRecords(48, 55);
+    for (const auto& r : recs) idx.insert(r);
+    for (int round = 0; round < 2; ++round) {
+      for (const auto& r : recs) {
+        auto res = idx.find(r.key);
+        ASSERT_TRUE(res.record.has_value());
+        EXPECT_EQ(res.record->payload, r.payload);
+      }
+    }
+    EXPECT_EQ(idx.leafCache().leaseHits(), 0u);
+    EXPECT_EQ(idx.leafCache().leaseDrops(), 0u);
+    EXPECT_GT(idx.leafCache().primaryHits(), 0u);
+  };
+  {
+    net::SimNetwork net;
+    dht::KademliaDht::Options o;
+    o.initialPeers = 8;
+    o.replication = 2;
+    dht::KademliaDht d(net, o);
+    exercise(d);
+  }
+  {
+    net::SimNetwork net;
+    dht::PastryDht::Options o;
+    o.initialPeers = 8;
+    o.replication = 2;
+    dht::PastryDht d(net, o);
+    exercise(d);
+  }
+  {
+    net::SimNetwork net;
+    dht::CanDht::Options o;
+    o.initialPeers = 8;
+    o.replication = 2;
+    dht::CanDht d(net, o);
+    exercise(d);
+  }
 }
 
 }  // namespace

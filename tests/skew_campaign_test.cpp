@@ -1,0 +1,90 @@
+// Tier-1 smoke slices of the zipfian skew campaigns (the 16-seed full
+// runs live behind the `slow` ctest label, see slow_campaign_test.cpp):
+// two seeds each.
+//
+// SkewCampaignSmoke — the balance claim in miniature: with leases +
+// adaptive splits ON the busiest peer's share of the read load drops
+// versus the OFF arm on identical traces, every seed oracle-verifies,
+// and the lease counters show the protocol actually ran.
+//
+// LeaseLinSmoke — the safety claim: racing lease reads against
+// concurrent inserts/splits plus a mid-campaign crash of a lease-holding
+// replica passes the grow-only-set linearizability checker, and the
+// dead-peer reads provably dropped their leases.
+#include <gtest/gtest.h>
+
+#include "sim/skew_campaign.h"
+
+namespace lht::sim {
+namespace {
+
+SkewCampaignConfig smokeConfig(bool featured) {
+  SkewCampaignConfig cfg;
+  cfg.seeds = 2;
+  cfg.opsPerSeed = 1500;
+  cfg.leasedReads = featured;
+  cfg.adaptiveSplits = featured;
+  return cfg;
+}
+
+TEST(SkewCampaignSmoke, LeasesAndAdaptiveSplitsFlattenHotLeafLoad) {
+  const SkewReport on = runSkewCampaign(smokeConfig(true));
+  for (const auto& f : on.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(on.ok());
+  EXPECT_EQ(on.seeds, 2u);
+  EXPECT_EQ(on.opsFailed, 0u);
+  EXPECT_GT(on.leaseGrants, 0u);
+  EXPECT_GT(on.leaseReads, 0u);
+  EXPECT_GT(on.splits, 0u);  // adaptive splits fired on hot leaves
+  EXPECT_GT(on.effectiveParallelism, 1.0);
+
+  const SkewReport off = runSkewCampaign(smokeConfig(false));
+  for (const auto& f : off.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(off.ok());
+  EXPECT_EQ(off.leaseGrants, 0u);
+  EXPECT_EQ(off.leaseReads, 0u);
+
+  // Identical traces, same ring: the featured arm must spread reads
+  // measurably better. The full >= 3x gate lives in the slow campaign
+  // and the bench; the smoke slice just requires a real improvement.
+  EXPECT_LT(on.maxOverMeanAvg, off.maxOverMeanAvg / 1.5);
+  EXPECT_GT(on.effectiveParallelism, off.effectiveParallelism);
+}
+
+TEST(LeaseLinSmoke, LeaseReadsRacingSplitsAndCrashStayLinearizable) {
+  LeaseLinConfig cfg;
+  cfg.seeds = 2;
+  cfg.opsPerPhase = 400;
+
+  const LeaseLinReport rep = runLeaseLinCampaign(cfg);
+  for (const auto& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.seeds, 2u);
+  EXPECT_EQ(rep.opsTotal, 2u * 2u * 400u);  // two phases per seed
+  EXPECT_GT(rep.leaseGrants, 0u);
+  EXPECT_GT(rep.leaseReads, 0u);
+  // Epoch bumps from the racing inserts/splits invalidated live leases.
+  EXPECT_GT(rep.leaseStale + rep.leaseExpired, 0u);
+  // One replica holder of the hottest leaf crashed per seed, and lease
+  // reads that hit it dropped the lease instead of hanging or lying.
+  EXPECT_EQ(rep.crashes, 2u);
+  EXPECT_GT(rep.leaseDrops, 0u);
+  EXPECT_GT(rep.repairTicks, 0u);
+}
+
+TEST(LeaseLinSmoke, NoCrashVariantRunsCleanly) {
+  LeaseLinConfig cfg;
+  cfg.seeds = 1;
+  cfg.opsPerPhase = 300;
+  cfg.crashReplica = false;
+
+  const LeaseLinReport rep = runLeaseLinCampaign(cfg);
+  for (const auto& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.crashes, 0u);
+  EXPECT_EQ(rep.opsFailed, 0u);  // nothing dark, nothing fails
+  EXPECT_GT(rep.leaseReads, 0u);
+}
+
+}  // namespace
+}  // namespace lht::sim

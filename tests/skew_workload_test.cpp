@@ -1,0 +1,177 @@
+// Property tests for the zipfian + flash-crowd workload family
+// (DESIGN.md §13): the rank distribution must actually be zipf-shaped
+// (chi-square goodness of fit), flash-crowd shifts must land at exactly
+// the configured draw indexes and rotate the hot set by exactly the
+// configured jump, and both the generator and makeSkewedTrace must be
+// bit-exact deterministic — the skew campaign replays the same trace
+// against both arms and relies on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace lht::workload {
+namespace {
+
+using common::u32;
+using common::u64;
+
+// --- Zipf shape --------------------------------------------------------------
+
+TEST(SkewedKeys, RankFrequenciesAreZipfChiSquare) {
+  const SkewConfig cfg{/*s=*/0.99, /*universe=*/16, /*flashEvery=*/0,
+                       /*flashJump=*/0};
+  SkewedKeyGenerator gen(cfg, /*seed=*/42);
+
+  const size_t draws = 40'000;
+  std::vector<u64> rankCount(cfg.universe + 1, 0);
+  std::map<double, u64> keyCount;
+  for (size_t i = 0; i < draws; ++i) {
+    const double k = gen.next();
+    ASSERT_GE(gen.lastRank(), 1u);
+    ASSERT_LE(gen.lastRank(), cfg.universe);
+    rankCount[gen.lastRank()] += 1;
+    keyCount[k] += 1;
+  }
+
+  // Expected counts from the zipf pmf p(r) = r^-s / H_{n,s}.
+  double harmonic = 0.0;
+  for (u32 r = 1; r <= cfg.universe; ++r)
+    harmonic += 1.0 / std::pow(static_cast<double>(r), cfg.s);
+  double chi2 = 0.0;
+  for (u32 r = 1; r <= cfg.universe; ++r) {
+    const double expected = static_cast<double>(draws) /
+                            (std::pow(static_cast<double>(r), cfg.s) * harmonic);
+    ASSERT_GT(expected, 5.0);  // chi-square validity (all cells well fed)
+    const double diff = static_cast<double>(rankCount[r]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  // df = 15; the alpha = 0.001 critical value is 37.70. The generator is
+  // deterministic, so this never flakes — the margin covers nothing but
+  // the fixed seed's luck.
+  EXPECT_LT(chi2, 37.70) << "rank distribution is not zipf(s=0.99)";
+
+  // The rank->key mapping is a bijection under a static hot set: the key
+  // observed for rank r is exactly keyOfRank(r), and emitted keys are
+  // cell centers (so campaigns can preload precisely the queried keys).
+  EXPECT_EQ(keyCount.size(), static_cast<size_t>(cfg.universe));
+  for (u32 r = 1; r <= cfg.universe; ++r) {
+    if (rankCount[r] == 0) continue;
+    const double key = gen.keyOfRank(r);
+    ASSERT_TRUE(keyCount.count(key)) << "rank " << r;
+    EXPECT_EQ(keyCount[key], rankCount[r]) << "rank " << r;
+    const double cell = key * cfg.universe - 0.5;
+    EXPECT_DOUBLE_EQ(cell, std::round(cell)) << "key not a cell center";
+  }
+}
+
+// --- Flash-crowd shift timing ------------------------------------------------
+
+TEST(SkewedKeys, FlashShiftsLandExactlyOnSchedule) {
+  const SkewConfig cfg{/*s=*/0.99, /*universe=*/16, /*flashEvery=*/100,
+                       /*flashJump=*/3};
+  SkewedKeyGenerator gen(cfg, /*seed=*/7);
+
+  // Draw 0..99 are pre-shift.
+  const double hot0 = gen.keyOfRank(1);
+  for (size_t i = 0; i < 100; ++i) gen.next();
+  EXPECT_EQ(gen.shifts(), 0u);
+  EXPECT_EQ(gen.keyOfRank(1), hot0);
+
+  // Draw index 100 applies the first shift before emitting.
+  gen.next();
+  EXPECT_EQ(gen.shifts(), 1u);
+  const double hot1 = gen.keyOfRank(1);
+  EXPECT_NE(hot1, hot0);
+  // The whole mapping rotated by exactly flashJump cells.
+  const auto cellOf = [&](double key) {
+    return static_cast<u32>(std::llround(key * cfg.universe - 0.5));
+  };
+  EXPECT_EQ(cellOf(hot1), (cellOf(hot0) + cfg.flashJump) % cfg.universe);
+
+  // Next shift at draw index 200: 99 more draws stay put, the 100th moves.
+  for (size_t i = 0; i < 99; ++i) gen.next();
+  EXPECT_EQ(gen.shifts(), 1u);
+  gen.next();
+  EXPECT_EQ(gen.shifts(), 2u);
+  EXPECT_EQ(cellOf(gen.keyOfRank(1)), (cellOf(hot0) + 2 * cfg.flashJump) % cfg.universe);
+}
+
+TEST(SkewedKeys, DefaultFlashJumpIsOddHalfUniverse) {
+  // flashJump = 0 picks universe/2 + 1 — odd, so consecutive hot ranks
+  // never map to the same cell twice in a row.
+  const SkewConfig cfg{/*s=*/0.99, /*universe=*/16, /*flashEvery=*/10,
+                       /*flashJump=*/0};
+  SkewedKeyGenerator gen(cfg, /*seed=*/3);
+  const double hot0 = gen.keyOfRank(1);
+  for (size_t i = 0; i <= 10; ++i) gen.next();
+  EXPECT_EQ(gen.shifts(), 1u);
+  const auto cellOf = [&](double key) {
+    return static_cast<u32>(std::llround(key * cfg.universe - 0.5));
+  };
+  EXPECT_EQ(cellOf(gen.keyOfRank(1)), (cellOf(hot0) + 9) % cfg.universe);
+}
+
+// --- Determinism -------------------------------------------------------------
+
+TEST(SkewedKeys, SameSeedIsBitExactDifferentSeedDiverges) {
+  const SkewConfig cfg{/*s=*/0.99, /*universe=*/64, /*flashEvery=*/500,
+                       /*flashJump=*/0};
+  SkewedKeyGenerator a(cfg, /*seed=*/99);
+  SkewedKeyGenerator b(cfg, /*seed=*/99);
+  SkewedKeyGenerator c(cfg, /*seed=*/100);
+  bool diverged = false;
+  for (size_t i = 0; i < 5000; ++i) {
+    const double ka = a.next();
+    ASSERT_EQ(ka, b.next()) << "draw " << i;  // bit-exact, not approx
+    ASSERT_EQ(a.lastRank(), b.lastRank());
+    if (ka != c.next()) diverged = true;
+  }
+  EXPECT_EQ(a.shifts(), b.shifts());
+  EXPECT_EQ(a.draws(), b.draws());
+  EXPECT_TRUE(diverged) << "different seeds produced identical streams";
+}
+
+TEST(SkewedTrace, IsDeterministicAndRespectsMixAndCells) {
+  const SkewConfig skew{/*s=*/0.99, /*universe=*/32, /*flashEvery=*/0,
+                        /*flashJump=*/0};
+  const SkewMix mix{/*find=*/0.9, /*insert=*/0.1};
+  const auto trace = makeSkewedTrace(4000, skew, mix, /*seed=*/11);
+  const auto again = makeSkewedTrace(4000, skew, mix, /*seed=*/11);
+  EXPECT_EQ(trace, again);  // Operation has operator==: bit-exact replay
+
+  const double cellWidth = 1.0 / skew.universe;
+  size_t finds = 0, inserts = 0;
+  for (const auto& op : trace) {
+    if (op.kind == Operation::Kind::Find) {
+      finds += 1;
+      // Finds target exact cell centers (the preloaded oracle keys).
+      const double cell = op.key * skew.universe - 0.5;
+      EXPECT_DOUBLE_EQ(cell, std::round(cell));
+    } else {
+      ASSERT_EQ(op.kind, Operation::Kind::Insert);
+      inserts += 1;
+      EXPECT_FALSE(op.payload.empty());
+      // Inserts jitter inside the drawn cell but never hit its center, so
+      // they cannot collide with (or overwrite) the preloaded records.
+      const u32 cell = std::min(static_cast<u32>(op.key * skew.universe),
+                                skew.universe - 1);
+      const double center = (cell + 0.5) * cellWidth;
+      EXPECT_NE(op.key, center);
+      EXPECT_LE(std::abs(op.key - center), cellWidth * 0.5);
+      EXPECT_GE(op.key, 0.0);
+      EXPECT_LE(op.key, 1.0);
+    }
+  }
+  EXPECT_EQ(finds + inserts, trace.size());
+  // 90/10 mix with 4000 ops: both kinds present in sensible proportion.
+  EXPECT_GT(finds, inserts * 4);
+  EXPECT_GT(inserts, 100u);
+}
+
+}  // namespace
+}  // namespace lht::workload

@@ -7,6 +7,7 @@
 
 #include "sim/fault_campaign.h"
 #include "sim/restart_campaign.h"
+#include "sim/skew_campaign.h"
 #include "sim/storm_campaign.h"
 
 namespace lht::sim {
@@ -83,6 +84,55 @@ TEST(SlowStormCampaign, SixteenSeedFullStorm) {
   EXPECT_LT(repOff.availability, repOn.availability);
   EXPECT_GT(repOff.opsFailed, 0u);
   EXPECT_EQ(repOff.lostKeys, 0u);
+}
+
+TEST(SlowSkewCampaign, FullSkewGateLeasesBeatBaselineThreeFold) {
+  // The full-size balance gate (BENCH_PR8.json mirrors this run): default
+  // 8-seed zipfian campaign, both arms on identical traces. Leases +
+  // adaptive splits must cut the busiest peer's max/mean read imbalance
+  // by at least 3x and every seed must oracle-verify in both arms.
+  SkewCampaignConfig on;  // defaults: 8 seeds, 16 peers, replication 4
+  ASSERT_GE(on.seeds, 8u);
+  const SkewReport repOn = runSkewCampaign(on);
+  for (const auto& f : repOn.failures) ADD_FAILURE() << "ON: " << f;
+  EXPECT_TRUE(repOn.ok());
+  EXPECT_EQ(repOn.opsFailed, 0u);
+  EXPECT_GT(repOn.leaseGrants, 0u);
+  EXPECT_GT(repOn.leaseReads, 0u);
+  EXPECT_GT(repOn.splits, 0u);
+
+  SkewCampaignConfig off = on;
+  off.leasedReads = false;
+  off.adaptiveSplits = false;
+  const SkewReport repOff = runSkewCampaign(off);
+  for (const auto& f : repOff.failures) ADD_FAILURE() << "OFF: " << f;
+  EXPECT_TRUE(repOff.ok());
+  EXPECT_EQ(repOff.leaseReads, 0u);
+
+  EXPECT_GE(repOff.maxOverMeanAvg / repOn.maxOverMeanAvg, 3.0)
+      << "imbalance improvement below the 3x gate: on="
+      << repOn.maxOverMeanAvg << " off=" << repOff.maxOverMeanAvg;
+  EXPECT_GT(repOn.effectiveParallelism, repOff.effectiveParallelism);
+}
+
+TEST(SlowLeaseCampaign, SixteenSeedLeaseLinearizability) {
+  // The full-size safety gate: 16 seeds of lease reads racing concurrent
+  // inserts/splits, with a lease-holding replica crashed mid-campaign in
+  // every seed. The merged histories (plus synthesized preload inserts)
+  // must pass the grow-only-set checker — a lease-served read returning a
+  // snapshot older than a completed insert would fail it — and every
+  // dead-peer lease read must drop its lease.
+  LeaseLinConfig cfg;  // defaults: 16 seeds, 12 peers, replication 3
+  ASSERT_GE(cfg.seeds, 16u);
+  const LeaseLinReport rep = runLeaseLinCampaign(cfg);
+  for (const auto& f : rep.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.crashes, cfg.seeds);
+  EXPECT_GT(rep.leaseGrants, 0u);
+  EXPECT_GT(rep.leaseReads, 0u);
+  EXPECT_GT(rep.leaseStale + rep.leaseExpired, 0u);
+  EXPECT_GT(rep.leaseDrops, 0u);
+  EXPECT_GT(rep.repairTicks, 0u);
 }
 
 }  // namespace
