@@ -1,0 +1,378 @@
+// Emits BENCH_PR9.json: the networked transport's cost profile
+// (DESIGN.md §14).
+//
+// Three phases over the same mixed KV workload (NetDht, replication=2,
+// oracle-verified against an in-memory map):
+//   * in_process  — NetDht over the SimHub twin (NodeServers inline, no
+//     sockets): the protocol's CPU floor.
+//   * networked   — the same NetDht over real UDP sockets against
+//     fork/exec'd lht_noded daemons on localhost: what a process boundary
+//     and the kernel's loopback stack add.
+//   * batching    — datagrams spent reading K keys one get() at a time vs
+//     one multiGet() round (clean SimHub, deterministic counts).
+//
+// Gates (checked here and by scripts/diff_bench.py):
+//   * every phase verifies against the oracle with zero failed ops;
+//   * batching ratio (unbatched / batched datagrams) >= 3.0 — the batch
+//     rounds must collapse per-key datagrams into per-node datagrams.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "dht/net_dht.h"
+#include "rpc/node_server.h"
+#include "rpc/sim_transport.h"
+#include "rpc/udp_transport.h"
+
+using lht::common::u64;
+using lht::dht::NetDht;
+namespace rpc = lht::rpc;
+
+namespace {
+
+struct WorkloadResult {
+  u64 ops = 0;
+  u64 opsFailed = 0;
+  double nsPerOp = 0.0;
+  double opsPerSec = 0.0;
+  bool oracleOk = false;
+};
+
+/// Mixed KV trace: 50% get / 30% put / 20% apply over a bounded keyspace,
+/// verified against an in-memory oracle afterwards. Deterministic per seed.
+WorkloadResult runWorkload(lht::dht::Dht& dht, u64 ops, u64 seed) {
+  lht::common::Pcg32 rng(seed);
+  const size_t keyspace = 512;
+  std::map<std::string, std::string> oracle;
+  // Preload half the keyspace so gets mostly hit.
+  for (size_t i = 0; i < keyspace; i += 2) {
+    const std::string k = "k" + std::to_string(i);
+    const std::string v = "v" + std::to_string(i);
+    dht.put(k, v);
+    oracle[k] = v;
+  }
+
+  WorkloadResult res;
+  res.ops = ops;
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < ops; ++i) {
+    const std::string k = "k" + std::to_string(rng.below(keyspace));
+    const u64 dice = rng.below(10);
+    try {
+      if (dice < 5) {
+        auto got = dht.get(k);
+        auto it = oracle.find(k);
+        const bool want = it != oracle.end();
+        if (got.has_value() != want || (want && *got != it->second)) {
+          res.opsFailed += 1;
+        }
+      } else if (dice < 8) {
+        const std::string v = "w" + std::to_string(i);
+        dht.put(k, v);
+        oracle[k] = v;
+      } else {
+        dht.apply(k, [](std::optional<lht::dht::Value>& v) {
+          v = v.value_or("") + "+";
+        });
+        oracle[k] += "+";
+      }
+    } catch (const lht::dht::DhtError& e) {
+      res.opsFailed += 1;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  res.nsPerOp = ns / static_cast<double>(ops);
+  res.opsPerSec = ops / (ns / 1e9);
+
+  // Full oracle sweep: every key the oracle holds must read back exactly.
+  res.oracleOk = res.opsFailed == 0;
+  for (const auto& [k, v] : oracle) {
+    auto got = dht.get(k);
+    if (!got.has_value() || *got != v) {
+      res.oracleOk = false;
+      break;
+    }
+  }
+  return res;
+}
+
+/// N NodeServers inline in a SimHub, ports 6000..6000+N-1.
+struct SimCluster {
+  rpc::SimHub hub;
+  std::vector<std::unique_ptr<rpc::NodeServer>> servers;
+  std::vector<rpc::NetAddr> addrs;
+
+  explicit SimCluster(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      auto server = std::make_unique<rpc::NodeServer>();
+      const auto port = static_cast<rpc::u16>(6000 + i);
+      hub.registerHandler(
+          port, [srv = server.get()](const rpc::Datagram& d,
+                                     const std::function<void(std::string)>& reply) {
+            std::string out = srv->handle(d.from, d.payload);
+            if (!out.empty()) reply(std::move(out));
+          });
+      servers.push_back(std::move(server));
+      addrs.push_back(rpc::NetAddr{0, port});
+    }
+  }
+
+  std::unique_ptr<NetDht> makeDht(size_t replication) {
+    NetDht::Options o;
+    o.nodes = addrs;
+    o.replication = replication;
+    return std::make_unique<NetDht>(o, [this] { return hub.makeEndpoint(); });
+  }
+};
+
+struct Daemon {
+  pid_t pid = -1;
+  rpc::u16 port = 0;
+};
+
+std::string findNoded(const char* argv0) {
+  if (const char* env = std::getenv("LHT_NODED_PATH")) {
+    if (::access(env, X_OK) == 0) return env;
+  }
+  std::string dir(argv0);
+  const size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  for (const char* rel : {"/../src/rpc/lht_noded", "/lht_noded"}) {
+    const std::string candidate = dir + rel;
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return {};
+}
+
+bool spawnDaemon(const std::string& binary, Daemon& out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    char* argv[] = {const_cast<char*>(binary.c_str()),
+                    const_cast<char*>("--port=0"),
+                    const_cast<char*>("--quiet=true"), nullptr};
+    ::execv(binary.c_str(), argv);
+    _exit(127);
+  }
+  ::close(fds[1]);
+  FILE* pipe = ::fdopen(fds[0], "r");
+  char line[256] = {0};
+  const bool gotLine = pipe != nullptr && std::fgets(line, sizeof(line), pipe);
+  if (pipe != nullptr) std::fclose(pipe);
+  unsigned port = 0;
+  if (!gotLine ||
+      std::sscanf(line, "lht_noded: ready on 127.0.0.1:%u", &port) != 1 ||
+      port == 0 || port > 65535) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out.pid = pid;
+  out.port = static_cast<rpc::u16>(port);
+  return true;
+}
+
+void stopDaemons(std::vector<Daemon>& daemons) {
+  for (auto& d : daemons) {
+    if (d.pid > 0) ::kill(d.pid, SIGTERM);
+  }
+  for (auto& d : daemons) {
+    if (d.pid > 0) ::waitpid(d.pid, nullptr, 0);
+    d.pid = -1;
+  }
+}
+
+void emitWorkload(std::ostringstream& os, const char* name,
+                  const WorkloadResult& r, const NetDht::NetStats& net) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"ops\": " << r.ops << ",\n"
+     << "    \"ops_failed\": " << r.opsFailed << ",\n"
+     << "    \"ns_per_op\": " << r.nsPerOp << ",\n"
+     << "    \"ops_per_sec\": " << r.opsPerSec << ",\n"
+     << "    \"datagrams_sent\": " << net.datagramsSent << ",\n"
+     << "    \"retransmits\": " << net.retransmits << ",\n"
+     << "    \"timeouts\": " << net.timeouts << ",\n"
+     << "    \"oracle_ok\": " << (r.oracleOk ? "true" : "false") << "\n"
+     << "  },\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lht::common::Flags flags(
+      "bench_net",
+      "Emits BENCH_PR9.json: in-process vs multi-process NetDht throughput "
+      "plus the multiGet batching economy, with oracle verification.");
+  flags.define("nodes", "8", "cluster size (both phases)");
+  flags.define("ops", "4000", "workload operations per phase");
+  flags.define("batch-keys", "256", "keys in the batching comparison");
+  flags.define("replication", "2", "total copies per key");
+  flags.define("seed", "42", "workload seed");
+  flags.define("out", "BENCH_PR9.json", "output path");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const size_t nodes = static_cast<size_t>(flags.getInt("nodes"));
+  const u64 ops = static_cast<u64>(flags.getInt("ops"));
+  const size_t batchKeys = static_cast<size_t>(flags.getInt("batch-keys"));
+  const size_t replication = static_cast<size_t>(flags.getInt("replication"));
+  const u64 seed = static_cast<u64>(flags.getInt("seed"));
+
+  // Phase 1: in-process (SimHub) ---------------------------------------------
+  WorkloadResult inProc;
+  NetDht::NetStats inProcNet;
+  {
+    SimCluster cluster(nodes);
+    auto dht = cluster.makeDht(replication);
+    inProc = runWorkload(*dht, ops, seed);
+    inProcNet = dht->netStats();
+  }
+
+  // Phase 2: networked (fork/exec lht_noded, real UDP) -----------------------
+  const std::string noded = findNoded(argv[0]);
+  if (noded.empty()) {
+    std::fprintf(stderr,
+                 "bench_net: lht_noded binary not found (build it, or set "
+                 "LHT_NODED_PATH)\n");
+    return 1;
+  }
+  WorkloadResult networked;
+  NetDht::NetStats networkedNet;
+  {
+    std::vector<Daemon> daemons(nodes);
+    for (size_t i = 0; i < nodes; ++i) {
+      if (!spawnDaemon(noded, daemons[i])) {
+        std::fprintf(stderr, "bench_net: failed to spawn daemon %zu\n", i);
+        stopDaemons(daemons);
+        return 1;
+      }
+    }
+    NetDht::Options o;
+    for (const auto& d : daemons) {
+      o.nodes.push_back(rpc::NetAddr{rpc::kLoopbackHost, d.port});
+    }
+    o.replication = replication;
+    NetDht dht(o, [] {
+      return std::make_unique<rpc::UdpTransport>(rpc::UdpTransport::Options{});
+    });
+    if (!dht.pingAll(10'000)) {
+      std::fprintf(stderr, "bench_net: cluster did not answer pings\n");
+      stopDaemons(daemons);
+      return 1;
+    }
+    networked = runWorkload(dht, ops, seed);
+    networkedNet = dht.netStats();
+    stopDaemons(daemons);
+  }
+
+  // Phase 3: batching economy (clean SimHub, deterministic) ------------------
+  u64 unbatchedDatagrams = 0;
+  u64 batchedDatagrams = 0;
+  u64 batchRounds = 0;
+  bool batchOracleOk = true;
+  {
+    SimCluster cluster(nodes);
+    auto dht = cluster.makeDht(replication);
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < batchKeys; ++i) {
+      keys.push_back("batch" + std::to_string(i));
+      dht->put(keys.back(), "v" + std::to_string(i));
+    }
+    const auto afterLoad = dht->netStats();
+    for (const auto& k : keys) {
+      auto got = dht->get(k);
+      if (!got.has_value()) batchOracleOk = false;
+    }
+    const auto afterSingles = dht->netStats();
+    auto outcomes = dht->multiGet(keys);
+    const auto afterBatch = dht->netStats();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].ok || outcomes[i].value != "v" + std::to_string(i)) {
+        batchOracleOk = false;
+      }
+    }
+    unbatchedDatagrams = afterSingles.datagramsSent - afterLoad.datagramsSent;
+    batchedDatagrams = afterBatch.datagramsSent - afterSingles.datagramsSent;
+    batchRounds = 1;
+  }
+  const double batchRatio =
+      batchedDatagrams == 0
+          ? 0.0
+          : static_cast<double>(unbatchedDatagrams) / batchedDatagrams;
+
+  const bool oracleOk =
+      inProc.oracleOk && networked.oracleOk && batchOracleOk;
+  const bool batchRatioOk = batchRatio >= 3.0;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"lht_net\",\n"
+     << "  \"config\": {\n"
+     << "    \"nodes\": " << nodes << ",\n"
+     << "    \"ops\": " << ops << ",\n"
+     << "    \"batch_keys\": " << batchKeys << ",\n"
+     << "    \"replication\": " << replication << ",\n"
+     << "    \"seed\": " << seed << "\n"
+     << "  },\n";
+  emitWorkload(os, "in_process", inProc, inProcNet);
+  emitWorkload(os, "networked", networked, networkedNet);
+  os << "  \"batching\": {\n"
+     << "    \"keys\": " << batchKeys << ",\n"
+     << "    \"unbatched_datagrams\": " << unbatchedDatagrams << ",\n"
+     << "    \"batched_datagrams\": " << batchedDatagrams << ",\n"
+     << "    \"batch_rounds\": " << batchRounds << ",\n"
+     << "    \"ratio\": " << batchRatio << "\n"
+     << "  },\n"
+     << "  \"gates\": {\n"
+     << "    \"oracle_ok\": " << (oracleOk ? "true" : "false") << ",\n"
+     << "    \"batch_ratio\": " << batchRatio << ",\n"
+     << "    \"batch_ratio_floor\": 3.0,\n"
+     << "    \"batch_ratio_ok\": " << (batchRatioOk ? "true" : "false") << "\n"
+     << "  }\n"
+     << "}\n";
+
+  const std::string outPath = flags.getString("out");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  out << os.str();
+  std::cout << os.str();
+
+  if (!oracleOk) {
+    std::fprintf(stderr, "bench_net: GATE FAILED: oracle verification\n");
+    return 4;
+  }
+  if (!batchRatioOk) {
+    std::fprintf(stderr,
+                 "bench_net: GATE FAILED: batching ratio %.2f < 3.0\n",
+                 batchRatio);
+    return 5;
+  }
+  return 0;
+}

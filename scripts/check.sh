@@ -9,7 +9,7 @@
 # baseline (warn-only: perf drift is reported, never fails the gate).
 #
 # Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
-#                         [--durability] [--churn] [--skew]
+#                         [--durability] [--churn] [--skew] [--net]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
@@ -34,6 +34,14 @@
 #               skew bench (read balance with leases + adaptive splits on
 #               vs off) into build-release/BENCH_PR8.json, diffed warn-only
 #               against the committed BENCH_PR8.json
+#   --net       also run the wire-format, transport, NetDht, and two-process
+#               loopback suites under ASan+UBSan (the fuzz decoders' no-
+#               over-read guarantee is only meaningful with ASan watching),
+#               then the release networked bench (in-process vs N-process
+#               throughput + batching economy) into
+#               build-release/BENCH_PR9.json, diffed warn-only against the
+#               committed BENCH_PR9.json, and an 8-node run_cluster.sh
+#               smoke run with oracle verification
 #
 # The full crash-restart campaigns (ctest label `slow`, excluded from a
 # plain ctest run) execute here under the AddressSanitizer preset: every
@@ -49,6 +57,7 @@ tsan=0
 durability=0
 churn=0
 skew=0
+net=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
@@ -58,6 +67,7 @@ for arg in "$@"; do
     --durability) durability=1 ;;
     --churn) churn=1 ;;
     --skew) skew=1 ;;
+    --net) net=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -165,6 +175,26 @@ if [[ "$skew" -eq 1 ]]; then
   python3 scripts/diff_bench.py BENCH_PR8.json build-release/BENCH_PR8.json \
     || echo "check.sh: WARNING: skew metrics drifted from the committed" \
             "baseline (warn-only, see above)"
+fi
+
+if [[ "$net" -eq 1 ]]; then
+  echo "== wire/transport/NetDht/loopback suites under ASan+UBSan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target lht_tests \
+    --target lht_noded
+  ctest --test-dir build-asan -j "$jobs" --output-on-failure \
+    -R 'Varint|RpcWire|SimTransport|RpcClient|NodeServer|NetDht|NetLoopback'
+  echo "== networked bench (in-process vs N-process + batching, release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_net \
+    --target lht_net_trace
+  ./build-release/bench/bench_net --out=build-release/BENCH_PR9.json \
+    > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR9.json build-release/BENCH_PR9.json \
+    || echo "check.sh: WARNING: networked metrics drifted from the" \
+            "committed baseline (warn-only, see above)"
+  echo "== 8-node localhost cluster smoke (run_cluster.sh) =="
+  BUILD_DIR=build-release scripts/run_cluster.sh 8 8 2000
 fi
 
 if [[ "$coverage" -eq 1 ]]; then

@@ -4,8 +4,8 @@
 Usage: diff_bench.py BASELINE.json FRESH.json
 
 Understands the bench_json (BENCH_PR2), bench_durability (BENCH_PR5),
-bench_storm (BENCH_PR6), and bench_skew (BENCH_PR8) output shapes,
-dispatching on the "bench" field.
+bench_storm (BENCH_PR6), bench_skew (BENCH_PR8), and bench_net
+(BENCH_PR9) output shapes, dispatching on the "bench" field.
 Exits 1 (for the caller to warn on) when a key metric regressed beyond
 tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup,
 the <=2.5x WAL overhead gate, the 0.99 availability floor, the 3x
@@ -67,6 +67,19 @@ SKEW_CHECKS = [
 ]
 
 
+# The batching comparison runs over the clean in-process hub, so its
+# datagram counts are deterministic protocol facts: exact. Throughput is
+# wall-clock (and the networked phase crosses the kernel): generous ratios.
+NET_CHECKS = [
+    (("batching", "unbatched_datagrams"), "exact", None),
+    (("batching", "batched_datagrams"), "exact", None),
+    (("in_process", "ops_failed"), "exact", None),
+    (("networked", "ops_failed"), "exact", None),
+    (("in_process", "ns_per_op"), "ratio", 5.0),
+    (("networked", "ns_per_op"), "ratio", 5.0),
+]
+
+
 def lookup(doc, path):
     for key in path:
         doc = doc[key]
@@ -86,12 +99,15 @@ def main():
     durability = kind == "lht_durability"
     storm = kind == "lht_churn_storm"
     skew = kind == "lht_skew"
+    net = kind == "lht_net"
     if durability:
         checks = DURABILITY_CHECKS
     elif storm:
         checks = STORM_CHECKS
     elif skew:
         checks = SKEW_CHECKS
+    elif net:
+        checks = NET_CHECKS
     else:
         checks = CLIENT_CHECKS
 
@@ -155,6 +171,21 @@ def main():
             if not fresh.get(side, {}).get("oracle_ok", False):
                 print(f"diff_bench: {side} failed oracle verification")
                 bad += 1
+    elif net:
+        gates = fresh.get("gates", {})
+        if not gates.get("oracle_ok", False):
+            print("diff_bench: a bench_net phase failed oracle verification")
+            bad += 1
+        if not gates.get("batch_ratio_ok", False):
+            print(f"diff_bench: batching ratio "
+                  f"{gates.get('batch_ratio', 0):.2f}x fell below the "
+                  f"{gates.get('batch_ratio_floor', 3.0)}x gate")
+            bad += 1
+        if fresh.get("networked", {}).get("timeouts", 1) != 0:
+            print(f"diff_bench: the networked phase saw "
+                  f"{fresh['networked'].get('timeouts')} request timeouts "
+                  "on loopback")
+            bad += 1
     elif durability:
         if not fresh["insert"].get("overhead_gate_passed", False):
             print(f"diff_bench: buffered WAL overhead "

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Runs a real networked LHT cluster on localhost: N lht_noded daemon
+# processes (one UDP port each), then lht_net_trace — a multi-threaded
+# ClientFleet speaking the binary wire protocol through NetDht — preloads
+# an oracle data set, replays a mixed trace, and verifies every surviving
+# record against the oracle. Exit 0 means the whole distributed run was
+# verified correct.
+#
+# Usage: scripts/run_cluster.sh [NODES] [CLIENTS] [OPS]
+#   NODES    daemon processes to launch   (default 8)
+#   CLIENTS  fleet client threads         (default 8)
+#   OPS      trace operations             (default 2000)
+#
+# Environment:
+#   BUILD_DIR    build tree holding the binaries (default: build)
+#   BASE_PORT    first UDP port (default 9301; daemon i gets BASE_PORT+i)
+#   REPLICATION  total copies per key (default 2)
+#
+# Teardown guard: an EXIT/INT/TERM trap SIGTERMs every daemon this script
+# spawned and then VERIFIES each one actually died (escalating to SIGKILL
+# after a grace period) — a wedged daemon fails the run instead of leaking
+# a process that holds the port and poisons the next invocation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+nodes="${1:-8}"
+clients="${2:-8}"
+ops="${3:-2000}"
+build_dir="${BUILD_DIR:-build}"
+base_port="${BASE_PORT:-9301}"
+replication="${REPLICATION:-2}"
+
+noded="$build_dir/src/rpc/lht_noded"
+trace="$build_dir/src/rpc/lht_net_trace"
+for bin in "$noded" "$trace"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run_cluster: missing $bin (build first: cmake --build $build_dir)" >&2
+    exit 2
+  fi
+done
+
+pids=()
+
+teardown() {
+  local status=$?
+  trap - EXIT INT TERM
+  if [[ "${#pids[@]}" -gt 0 ]]; then
+    for pid in "${pids[@]}"; do
+      kill -TERM "$pid" 2> /dev/null || true
+    done
+    # Verify every daemon actually exits; escalate to SIGKILL after ~2s.
+    local leaked=0
+    for pid in "${pids[@]}"; do
+      for _ in $(seq 1 20); do
+        kill -0 "$pid" 2> /dev/null || break
+        sleep 0.1
+      done
+      if kill -0 "$pid" 2> /dev/null; then
+        echo "run_cluster: daemon pid $pid ignored SIGTERM, killing" >&2
+        kill -KILL "$pid" 2> /dev/null || true
+        leaked=1
+      fi
+      wait "$pid" 2> /dev/null || true
+    done
+    if [[ "$leaked" -eq 1 && "$status" -eq 0 ]]; then
+      status=3
+    fi
+  fi
+  exit "$status"
+}
+trap teardown EXIT INT TERM
+
+echo "run_cluster: launching $nodes daemons on 127.0.0.1:$base_port..." >&2
+ports=()
+for i in $(seq 0 $((nodes - 1))); do
+  port=$((base_port + i))
+  "$noded" --port="$port" --name="node-$i" --quiet=true &
+  pids+=($!)
+  ports+=("$port")
+done
+
+node_list="$(IFS=,; echo "${ports[*]}")"
+echo "run_cluster: $clients clients x $ops ops against $node_list" >&2
+"$trace" --nodes="$node_list" --clients="$clients" --ops="$ops" \
+  --replication="$replication"
+echo "run_cluster: verified OK" >&2

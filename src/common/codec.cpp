@@ -42,6 +42,20 @@ std::optional<std::string> Decoder::getString() {
   return s;
 }
 
+std::optional<u64> Decoder::getVarint() { return decodeVarint(data_, &pos_); }
+
+std::optional<std::string> Decoder::getVarBytes() {
+  const size_t mark = pos_;
+  auto n = getVarint();
+  if (!n || data_.size() - pos_ < *n) {
+    pos_ = mark;
+    return std::nullopt;
+  }
+  std::string s(data_.substr(pos_, *n));
+  pos_ += *n;
+  return s;
+}
+
 std::optional<Label> Decoder::getLabel() {
   auto len = getU32();
   auto bits = getU64();

@@ -14,6 +14,7 @@
 
 #include "common/label.h"
 #include "common/types.h"
+#include "common/varint.h"
 
 namespace lht::common {
 
@@ -40,6 +41,15 @@ class Encoder {
     putU64(l.bits());
   }
 
+  /// ULEB128 (common/varint.h): 1 byte for values < 128, at most 10. The
+  /// RPC wire format (src/rpc/wire.h) frames everything with these.
+  void putVarint(u64 v) { appendVarint(buf_, v); }
+  /// Varint-length-prefixed bytes: the compact counterpart of putString.
+  void putVarBytes(std::string_view s) {
+    putVarint(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
   /// Finishes encoding and releases the buffer.
   [[nodiscard]] std::string take() && { return std::move(buf_); }
   [[nodiscard]] const std::string& buffer() const { return buf_; }
@@ -64,6 +74,8 @@ class Decoder {
   std::optional<double> getDouble();
   std::optional<std::string> getString();
   std::optional<Label> getLabel();
+  std::optional<u64> getVarint();
+  std::optional<std::string> getVarBytes();
 
   /// Bytes not yet consumed.
   [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }

@@ -1,0 +1,48 @@
+#include "common/varint.h"
+
+namespace lht::common {
+
+void appendVarint(std::string& out, u64 value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+size_t varintSize(u64 value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    n += 1;
+  }
+  return n;
+}
+
+std::optional<u64> decodeVarint(std::string_view data, size_t* pos) {
+  u64 value = 0;
+  size_t p = *pos;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (p >= data.size()) return std::nullopt;  // truncated
+    const u8 byte = static_cast<u8>(data[p]);
+    p += 1;
+    if (i == kMaxVarintBytes - 1) {
+      // Tenth byte: only bit 0 may be set (64 = 9*7 + 1), and it must be
+      // the final byte. Anything else overflows or is overlong.
+      if (byte > 1) return std::nullopt;
+    }
+    value |= static_cast<u64>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      // Canonicality: a multi-byte encoding must not end in a zero payload
+      // byte (the value would fit in fewer bytes). Accepting overlong
+      // forms would let one value have many encodings — poison for the
+      // dedup caches and byte-exact tests downstream.
+      if (byte == 0 && i > 0) return std::nullopt;
+      *pos = p;
+      return value;
+    }
+  }
+  return std::nullopt;  // 10 continuation bytes: unterminated
+}
+
+}  // namespace lht::common

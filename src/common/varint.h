@@ -1,0 +1,40 @@
+// ULEB128 variable-length integer encoding (satellite of the RPC wire
+// format; DESIGN.md §14).
+//
+// Small values dominate both the RPC headers (request ids, list counts,
+// string lengths) and the WAL record framing, so the classic LEB128
+// 7-bits-per-byte encoding shrinks them to 1-2 bytes while still covering
+// the full u64 range in at most 10. Shared here in src/common so the
+// message codec (src/rpc/wire.h) and, later, the WAL can use one
+// implementation.
+//
+// Decoding is total: malformed input (truncation, >10 bytes, non-canonical
+// overlong final byte) returns nullopt instead of reading past the buffer
+// — the same contract as common::Decoder, because these bytes cross
+// process boundaries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace lht::common {
+
+/// Longest ULEB128 encoding of a u64 (ceil(64 / 7) bytes).
+inline constexpr size_t kMaxVarintBytes = 10;
+
+/// Appends the ULEB128 encoding of `value` to `out`.
+void appendVarint(std::string& out, u64 value);
+
+/// Bytes appendVarint would emit for `value` (1..10).
+[[nodiscard]] size_t varintSize(u64 value);
+
+/// Decodes one ULEB128 value from `data` starting at `*pos`, advancing
+/// `*pos` past it. Returns nullopt (and leaves `*pos` untouched) on
+/// truncated, overlong, or out-of-range input.
+[[nodiscard]] std::optional<u64> decodeVarint(std::string_view data,
+                                              size_t* pos);
+
+}  // namespace lht::common

@@ -1,0 +1,568 @@
+#include "dht/net_dht.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace lht::dht {
+
+using common::u64;
+using namespace rpc::wire;  // NOLINT — this file IS the protocol client
+
+// --- Connection pool --------------------------------------------------------
+
+class NetDht::Lease {
+ public:
+  explicit Lease(const NetDht& dht) : dht_(dht) {
+    std::lock_guard<std::mutex> lock(dht_.poolMutex_);
+    if (dht_.freeConns_.empty()) {
+      auto conn = std::make_unique<Conn>();
+      conn->transport = dht_.makeTransport_();
+      conn->rpc = std::make_unique<rpc::RpcClient>(*conn->transport,
+                                                   dht_.opts_.rpc);
+      dht_.conns_.push_back(std::move(conn));
+      idx_ = dht_.conns_.size() - 1;
+    } else {
+      idx_ = dht_.freeConns_.back();
+      dht_.freeConns_.pop_back();
+    }
+  }
+  ~Lease() {
+    std::lock_guard<std::mutex> lock(dht_.poolMutex_);
+    dht_.freeConns_.push_back(idx_);
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+
+  [[nodiscard]] rpc::RpcClient& rpc() { return *dht_.conns_[idx_]->rpc; }
+
+ private:
+  const NetDht& dht_;
+  size_t idx_;
+};
+
+// --- Construction -----------------------------------------------------------
+
+NetDht::NetDht(Options options, TransportFactory makeTransport)
+    : opts_(std::move(options)),
+      ring_(opts_.nodes.size(), opts_.virtualNodes),
+      makeTransport_(std::move(makeTransport)) {
+  common::checkInvariant(!opts_.nodes.empty(), "NetDht: need >= 1 node");
+  common::checkInvariant(opts_.replication >= 1, "NetDht: replication >= 1");
+  common::checkInvariant(opts_.maxKeysPerDatagram >= 1,
+                         "NetDht: maxKeysPerDatagram >= 1");
+}
+
+NetDht::~NetDht() = default;
+
+size_t NetDht::replicaFanout() const {
+  return std::min(opts_.replication, opts_.nodes.size()) - 1;
+}
+
+std::vector<size_t> NetDht::holdersOf(const Key& key) const {
+  return ring_.holders(key, replicaFanout());
+}
+
+// --- Helpers ----------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throwTimeout(const char* op, const Key& key) {
+  throw DhtTimeoutError(std::string("NetDht::") + op + ": rpc timeout on \"" +
+                        key + "\"");
+}
+
+void checkStatus(const rpc::RpcClient::Result& r, const char* op,
+                 const Key& key) {
+  if (r.timedOut) throwTimeout(op, key);
+  if (r.status != Status::Ok) {
+    throw DhtError(std::string("NetDht::") + op + ": status " +
+                   statusName(r.status) + " on \"" + key + "\"");
+  }
+}
+
+}  // namespace
+
+void NetDht::replicate(rpc::RpcClient& cli, const std::vector<size_t>& holders,
+                       const Key& key, const std::optional<Value>& value,
+                       u64 version) {
+  if (holders.size() <= 1) return;
+  std::vector<rpc::RpcClient::Token> tokens;
+  tokens.reserve(holders.size() - 1);
+  for (size_t i = 1; i < holders.size(); ++i) {
+    if (value.has_value()) {
+      tokens.push_back(cli.call(addrOf(holders[i]),
+                                ReplicaPutReq{key, *value, version}));
+    } else {
+      tokens.push_back(cli.call(addrOf(holders[i]), ReplicaRemoveReq{key}));
+    }
+  }
+  cli.settle();
+  // Best-effort: the primary already committed. A silent holder shows up
+  // in netStats().timeouts; a later read of that replica misses (stale),
+  // which failover treats as any other replica miss.
+  for (auto t : tokens) (void)cli.take(t);
+}
+
+// --- Single-key ops ---------------------------------------------------------
+
+void NetDht::put(const Key& key, Value value) {
+  RoutedOpScope scope(*this, "dht.put", key);
+  stats_.lookups += 1;
+  stats_.puts += 1;
+  stats_.hops += 1;  // client -> owner, single-hop by construction
+  stats_.valueBytesMoved += value.size();
+  Lease lease(*this);
+  const auto holders = holdersOf(key);
+  auto r = lease.rpc().callOne(addrOf(holders[0]), PutReq{key, value});
+  checkStatus(r, "put", key);
+  const u64 version = std::get<PutRep>(r.body).version;
+  replicate(lease.rpc(), holders, key, value, version);
+}
+
+std::optional<Value> NetDht::get(const Key& key) {
+  RoutedOpScope scope(*this, "dht.get", key);
+  stats_.lookups += 1;
+  stats_.gets += 1;
+  stats_.hops += 1;
+  Lease lease(*this);
+  auto r = lease.rpc().callOne(addrOf(ring_.ownerIndex(key)), GetReq{key});
+  checkStatus(r, "get", key);
+  auto& rep = std::get<GetRep>(r.body);
+  if (!rep.present) return std::nullopt;
+  stats_.valueBytesMoved += rep.value.size();
+  return std::move(rep.value);
+}
+
+bool NetDht::remove(const Key& key) {
+  RoutedOpScope scope(*this, "dht.remove", key);
+  stats_.lookups += 1;
+  stats_.removes += 1;
+  stats_.hops += 1;
+  Lease lease(*this);
+  const auto holders = holdersOf(key);
+  auto r = lease.rpc().callOne(addrOf(holders[0]), RemoveReq{key});
+  checkStatus(r, "remove", key);
+  const bool existed = std::get<RemoveRep>(r.body).existed;
+  if (existed) replicate(lease.rpc(), holders, key, std::nullopt, 0);
+  return existed;
+}
+
+bool NetDht::apply(const Key& key, const Mutator& fn) {
+  RoutedOpScope scope(*this, "dht.apply", key);
+  stats_.lookups += 1;
+  stats_.applies += 1;
+  stats_.hops += 1;
+  Lease lease(*this);
+  rpc::RpcClient& cli = lease.rpc();
+  const auto holders = holdersOf(key);
+  const rpc::NetAddr& owner = addrOf(holders[0]);
+
+  auto g = cli.callOne(owner, GetReq{key});
+  checkStatus(g, "apply", key);
+  auto& snap = std::get<GetRep>(g.body);
+  bool present = snap.present;
+  u64 version = snap.version;
+  Value current = std::move(snap.value);
+
+  for (size_t attempt = 0; attempt < opts_.casRetries; ++attempt) {
+    std::optional<Value> v =
+        present ? std::optional<Value>(current) : std::nullopt;
+    const bool existedBefore = present;
+    fn(v);
+    if (!v.has_value() && !present) return false;   // absent -> absent
+    if (v.has_value() && present && *v == current) return true;  // no change
+    if (v.has_value()) stats_.valueBytesMoved += v->size();
+
+    CasReq cas{key, version, v.has_value(), v.value_or(Value{})};
+    auto r = cli.callOne(owner, std::move(cas));
+    checkStatus(r, "apply", key);
+    auto& rep = std::get<CasRep>(r.body);
+    if (rep.applied) {
+      replicate(cli, holders, key, v, rep.currentVersion);
+      return existedBefore;
+    }
+    // Conflict: the reply carries the fresh state — retry the mutator
+    // against it without another GET round.
+    present = rep.currentPresent;
+    version = rep.currentVersion;
+    current = std::move(rep.currentValue);
+  }
+  throw DhtError("NetDht::apply: CAS contention exhausted " +
+                 std::to_string(opts_.casRetries) + " attempts on \"" + key +
+                 "\"");
+}
+
+// --- Batch rounds -----------------------------------------------------------
+
+namespace {
+
+/// One outgoing batch datagram: entry indices packed for one node.
+struct Chunk {
+  size_t node = 0;
+  std::vector<size_t> entries;
+};
+
+/// Groups entry indices by owner node, splitting whenever a chunk hits
+/// the key-count or byte cap. `byteCost(i)` approximates entry i's wire
+/// footprint.
+template <typename ByteCost>
+std::vector<Chunk> packChunks(const std::vector<size_t>& owners,
+                              size_t maxKeys, size_t maxBytes,
+                              ByteCost byteCost) {
+  std::vector<Chunk> chunks;
+  std::vector<int> openChunk(
+      *std::max_element(owners.begin(), owners.end()) + 1, -1);
+  std::vector<size_t> chunkBytes;
+  for (size_t i = 0; i < owners.size(); ++i) {
+    const size_t node = owners[i];
+    int c = openChunk[node];
+    const size_t cost = byteCost(i);
+    if (c < 0 || chunks[c].entries.size() >= maxKeys ||
+        chunkBytes[c] + cost > maxBytes) {
+      openChunk[node] = static_cast<int>(chunks.size());
+      chunks.push_back(Chunk{node, {}});
+      chunkBytes.push_back(0);
+      c = openChunk[node];
+    }
+    chunks[c].entries.push_back(i);
+    chunkBytes[c] += cost;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+std::vector<GetOutcome> NetDht::multiGet(const std::vector<Key>& keys) {
+  if (keys.empty()) return {};
+  obs::SpanScope span("dht.multiGet", "dht");
+  stats_.batchRounds += 1;
+  stats_.lookups += keys.size();
+  stats_.gets += keys.size();
+  stats_.hops += keys.size();
+
+  std::vector<size_t> owners(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) owners[i] = ring_.ownerIndex(keys[i]);
+  const auto chunks =
+      packChunks(owners, opts_.maxKeysPerDatagram, opts_.maxBytesPerDatagram,
+                 [&](size_t i) { return keys[i].size() + 8; });
+
+  Lease lease(*this);
+  rpc::RpcClient& cli = lease.rpc();
+  std::vector<rpc::RpcClient::Token> tokens;
+  tokens.reserve(chunks.size());
+  for (const Chunk& c : chunks) {
+    MultiGetReq req;
+    req.entries.reserve(c.entries.size());
+    for (size_t i : c.entries) req.entries.push_back(GetReq{keys[i]});
+    tokens.push_back(cli.call(addrOf(c.node), std::move(req)));
+  }
+  cli.settle();
+
+  std::vector<GetOutcome> out(keys.size());
+  for (size_t ci = 0; ci < chunks.size(); ++ci) {
+    auto r = cli.take(tokens[ci]);
+    if (r.timedOut || r.status != Status::Ok) {
+      const std::string err = r.timedOut
+                                  ? "NetDht::multiGet: rpc timeout"
+                                  : std::string("NetDht::multiGet: status ") +
+                                        statusName(r.status);
+      for (size_t i : chunks[ci].entries) out[i].error = err;
+      continue;
+    }
+    auto& rep = std::get<MultiGetRep>(r.body);
+    common::checkInvariant(rep.entries.size() == chunks[ci].entries.size(),
+                           "NetDht::multiGet: entry count mismatch");
+    for (size_t j = 0; j < rep.entries.size(); ++j) {
+      GetOutcome& o = out[chunks[ci].entries[j]];
+      o.ok = true;
+      if (rep.entries[j].present) {
+        stats_.valueBytesMoved += rep.entries[j].value.size();
+        o.value = std::move(rep.entries[j].value);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ApplyOutcome> NetDht::multiApply(
+    const std::vector<ApplyRequest>& reqs) {
+  if (reqs.empty()) return {};
+  obs::SpanScope span("dht.multiApply", "dht");
+  stats_.batchRounds += 1;
+  stats_.lookups += reqs.size();
+  stats_.applies += reqs.size();
+  stats_.hops += reqs.size();
+
+  std::vector<ApplyOutcome> out(reqs.size());
+  Lease lease(*this);
+  rpc::RpcClient& cli = lease.rpc();
+
+  // Per-entry CAS state, refreshed by GET rounds / conflict replies.
+  struct State {
+    bool present = false;
+    u64 version = 0;
+    Value value;
+    bool existedAtFirstCas = false;
+  };
+  std::vector<State> state(reqs.size());
+  std::vector<size_t> owners(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    owners[i] = ring_.ownerIndex(reqs[i].key);
+  }
+
+  // Round 0: snapshot every key (batched GETs).
+  std::vector<size_t> active;
+  {
+    const auto chunks =
+        packChunks(owners, opts_.maxKeysPerDatagram, opts_.maxBytesPerDatagram,
+                   [&](size_t i) { return reqs[i].key.size() + 8; });
+    std::vector<rpc::RpcClient::Token> tokens;
+    tokens.reserve(chunks.size());
+    for (const Chunk& c : chunks) {
+      MultiGetReq req;
+      for (size_t i : c.entries) req.entries.push_back(GetReq{reqs[i].key});
+      tokens.push_back(cli.call(addrOf(c.node), std::move(req)));
+    }
+    cli.settle();
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      auto r = cli.take(tokens[ci]);
+      if (r.timedOut || r.status != Status::Ok) {
+        for (size_t i : chunks[ci].entries) {
+          out[i].error = "NetDht::multiApply: snapshot rpc timeout";
+        }
+        continue;
+      }
+      auto& rep = std::get<MultiGetRep>(r.body);
+      for (size_t j = 0; j < rep.entries.size(); ++j) {
+        const size_t i = chunks[ci].entries[j];
+        state[i].present = rep.entries[j].present;
+        state[i].version = rep.entries[j].version;
+        state[i].value = std::move(rep.entries[j].value);
+        active.push_back(i);
+      }
+    }
+  }
+
+  // CAS rounds: run mutators locally, batch the writes, retry conflicts.
+  std::vector<std::pair<Key, std::pair<std::optional<Value>, u64>>> toReplicate;
+  for (size_t round = 0; round < opts_.casRetries && !active.empty(); ++round) {
+    std::vector<size_t> casEntries;   // indices into reqs
+    std::vector<CasReq> casReqs;
+    for (size_t i : active) {
+      State& s = state[i];
+      std::optional<Value> v =
+          s.present ? std::optional<Value>(s.value) : std::nullopt;
+      reqs[i].fn(v);
+      if (!v.has_value() && !s.present) {  // absent -> absent: no-op
+        out[i].ok = true;
+        out[i].existed = false;
+        continue;
+      }
+      if (v.has_value() && s.present && *v == s.value) {  // no change
+        out[i].ok = true;
+        out[i].existed = true;
+        continue;
+      }
+      if (v.has_value()) stats_.valueBytesMoved += v->size();
+      s.existedAtFirstCas = s.present;
+      casEntries.push_back(i);
+      casReqs.push_back(
+          CasReq{reqs[i].key, s.version, v.has_value(), v.value_or(Value{})});
+    }
+    active.clear();
+    if (casEntries.empty()) break;
+
+    std::vector<size_t> casOwners(casEntries.size());
+    for (size_t j = 0; j < casEntries.size(); ++j) {
+      casOwners[j] = owners[casEntries[j]];
+    }
+    const auto chunks = packChunks(
+        casOwners, opts_.maxKeysPerDatagram, opts_.maxBytesPerDatagram,
+        [&](size_t j) { return casReqs[j].key.size() + casReqs[j].value.size() + 16; });
+    std::vector<rpc::RpcClient::Token> tokens;
+    tokens.reserve(chunks.size());
+    for (const Chunk& c : chunks) {
+      MultiCasReq req;
+      for (size_t j : c.entries) req.entries.push_back(casReqs[j]);
+      tokens.push_back(cli.call(addrOf(c.node), std::move(req)));
+    }
+    cli.settle();
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      auto r = cli.take(tokens[ci]);
+      if (r.timedOut || r.status != Status::Ok) {
+        // Lost reply: the CAS may or may not have executed — exactly the
+        // documented lost-reply semantics for a failed apply entry.
+        for (size_t j : chunks[ci].entries) {
+          out[casEntries[j]].error = "NetDht::multiApply: cas rpc timeout";
+        }
+        continue;
+      }
+      auto& rep = std::get<MultiCasRep>(r.body);
+      for (size_t k = 0; k < rep.entries.size(); ++k) {
+        const size_t j = chunks[ci].entries[k];
+        const size_t i = casEntries[j];
+        CasRep& cr = rep.entries[k];
+        if (cr.applied) {
+          out[i].ok = true;
+          out[i].existed = state[i].existedAtFirstCas;
+          toReplicate.emplace_back(
+              reqs[i].key,
+              std::make_pair(casReqs[j].present
+                                 ? std::optional<Value>(casReqs[j].value)
+                                 : std::nullopt,
+                             cr.currentVersion));
+        } else {
+          state[i].present = cr.currentPresent;
+          state[i].version = cr.currentVersion;
+          state[i].value = std::move(cr.currentValue);
+          active.push_back(i);  // conflict: retry next round
+        }
+      }
+    }
+  }
+  for (size_t i : active) {
+    out[i].error = "NetDht::multiApply: CAS contention exhausted";
+  }
+
+  // Replica pushes for every applied mutation, all in one settle.
+  if (replicaFanout() > 0 && !toReplicate.empty()) {
+    std::vector<rpc::RpcClient::Token> tokens;
+    for (const auto& [key, vv] : toReplicate) {
+      const auto holders = holdersOf(key);
+      for (size_t h = 1; h < holders.size(); ++h) {
+        if (vv.first.has_value()) {
+          tokens.push_back(cli.call(
+              addrOf(holders[h]), ReplicaPutReq{key, *vv.first, vv.second}));
+        } else {
+          tokens.push_back(cli.call(addrOf(holders[h]), ReplicaRemoveReq{key}));
+        }
+      }
+    }
+    cli.settle();
+    for (auto t : tokens) (void)cli.take(t);
+  }
+  return out;
+}
+
+// --- Unrouted / admin -------------------------------------------------------
+
+void NetDht::unaccountedPut(const Key& key, Value value) {
+  Lease lease(*this);
+  const auto holders = holdersOf(key);
+  auto r = lease.rpc().callOne(addrOf(holders[0]), PutReq{key, value});
+  checkStatus(r, "storeDirect", key);
+  replicate(lease.rpc(), holders, key, value,
+            std::get<PutRep>(r.body).version);
+}
+
+void NetDht::storeDirect(const Key& key, Value value) {
+  unaccountedPut(key, std::move(value));
+}
+
+std::optional<Value> NetDht::getReplica(const Key& key, size_t replicaIndex) {
+  RoutedOpScope scope(*this, "dht.get_replica", key);
+  stats_.lookups += 1;
+  stats_.gets += 1;
+  stats_.hops += 1;
+  if (replicaIndex >= replicaFanout()) {
+    throw DhtError("NetDht::getReplica: no replica " +
+                   std::to_string(replicaIndex) + " (fanout " +
+                   std::to_string(replicaFanout()) + ")");
+  }
+  const auto holders = holdersOf(key);
+  Lease lease(*this);
+  auto r = lease.rpc().callOne(addrOf(holders[replicaIndex + 1]),
+                               ReplicaGetReq{key});
+  if (r.timedOut) {
+    // A holder that stays silent through every retransmit is down, as far
+    // as this client can tell — that is the failover decorators' cue.
+    throw DhtPeerDownError("NetDht::getReplica: holder " +
+                           addrOf(holders[replicaIndex + 1]).str() +
+                           " unresponsive for \"" + key + "\"");
+  }
+  checkStatus(r, "getReplica", key);
+  auto& rep = std::get<GetRep>(r.body);
+  if (!rep.present) return std::nullopt;
+  stats_.valueBytesMoved += rep.value.size();
+  return std::move(rep.value);
+}
+
+void NetDht::syncStorage() {
+  Lease lease(*this);
+  std::vector<rpc::RpcClient::Token> tokens;
+  for (size_t n = 0; n < opts_.nodes.size(); ++n) {
+    tokens.push_back(lease.rpc().call(addrOf(n), SyncReq{}));
+  }
+  lease.rpc().settle();
+  for (auto t : tokens) (void)lease.rpc().take(t);
+}
+
+void NetDht::compactStorage() {
+  Lease lease(*this);
+  std::vector<rpc::RpcClient::Token> tokens;
+  for (size_t n = 0; n < opts_.nodes.size(); ++n) {
+    tokens.push_back(lease.rpc().call(addrOf(n), CompactReq{}));
+  }
+  lease.rpc().settle();
+  for (auto t : tokens) (void)lease.rpc().take(t);
+}
+
+size_t NetDht::size() const {
+  Lease lease(*this);
+  std::vector<rpc::RpcClient::Token> tokens;
+  for (size_t n = 0; n < opts_.nodes.size(); ++n) {
+    tokens.push_back(lease.rpc().call(addrOf(n), SizeReq{}));
+  }
+  lease.rpc().settle();
+  size_t total = 0;
+  for (auto t : tokens) {
+    auto r = lease.rpc().take(t);
+    if (r.timedOut) {
+      throw DhtTimeoutError("NetDht::size: a node did not answer");
+    }
+    total += static_cast<size_t>(std::get<SizeRep>(r.body).primaryKeys);
+  }
+  return total;
+}
+
+bool NetDht::pingAll(u64 deadlineMs) {
+  Lease lease(*this);
+  rpc::RpcClient& cli = lease.rpc();
+  const u64 start = cli.transport().nowMs();
+  std::vector<bool> up(opts_.nodes.size(), false);
+  size_t remaining = opts_.nodes.size();
+  while (remaining > 0) {
+    for (size_t n = 0; n < opts_.nodes.size(); ++n) {
+      if (up[n]) continue;
+      auto r = cli.callOne(addrOf(n), PingReq{});
+      if (!r.timedOut && r.status == Status::Ok) {
+        up[n] = true;
+        remaining -= 1;
+      }
+    }
+    if (remaining == 0) return true;
+    if (cli.transport().nowMs() - start >= deadlineMs) return false;
+  }
+  return true;
+}
+
+NetDht::NetStats NetDht::netStats() const {
+  NetStats s;
+  std::lock_guard<std::mutex> lock(poolMutex_);
+  for (const auto& conn : conns_) {
+    const auto& t = conn->transport->stats();
+    s.datagramsSent += t.datagramsSent;
+    s.datagramsReceived += t.datagramsReceived;
+    s.bytesSent += t.bytesSent;
+    s.bytesReceived += t.bytesReceived;
+    const auto& r = conn->rpc->stats();
+    s.requestsStarted += r.requestsStarted;
+    s.retransmits += r.retransmits;
+    s.timeouts += r.timeouts;
+  }
+  s.connections = conns_.size();
+  return s;
+}
+
+}  // namespace lht::dht

@@ -31,6 +31,15 @@ std::optional<LeafCache::Entry> LeafCache::find(double key) {
 
 void LeafCache::note(const common::Label& label, common::u64 epoch,
                      common::u64 leaseExpiresAtMs) {
+  // Re-noting the same leaf (every primary read does) must not restart
+  // replica rotation: a reset cursor pins the next lease reads back onto
+  // slot 0 — exactly the holder that may have just timed out. Carry the
+  // cursor across the erase/re-insert.
+  common::u32 cursor = 0;
+  auto prev = byLo_.find(label.interval().lo);
+  if (prev != byLo_.end() && prev->second.label == label) {
+    cursor = prev->second.replicaCursor;
+  }
   invalidate(label.interval());
   if (byLo_.size() >= capacity_) {
     // Cheap overflow policy: flush. Leaf counts in our workloads sit far
@@ -39,7 +48,7 @@ void LeafCache::note(const common::Label& label, common::u64 epoch,
     byLo_.clear();
     flushes_ += 1;
   }
-  byLo_[label.interval().lo] = Entry{label, epoch, leaseExpiresAtMs};
+  byLo_[label.interval().lo] = Entry{label, epoch, leaseExpiresAtMs, cursor};
 }
 
 void LeafCache::invalidate(const common::Interval& iv) {

@@ -96,11 +96,17 @@ class LeafCache {
   void noteLeaseServed() { leaseHits_ += 1; }
   void noteLeaseStale() { leaseStale_ += 1; }
   void noteLeaseExpired() { leaseExpired_ += 1; }
+  /// A replica read hit a transport-level timeout (NetDht deadline, as
+  /// opposed to a substrate that *knows* the peer is down and throws
+  /// DhtPeerDownError). Counted apart from generic drops so a networked
+  /// run can tell silent holders from stale ones.
+  void noteLeaseTimeout() { leaseTimeouts_ += 1; }
   [[nodiscard]] common::u64 primaryHits() const { return primaryHits_; }
   [[nodiscard]] common::u64 leaseHits() const { return leaseHits_; }
   [[nodiscard]] common::u64 leaseStale() const { return leaseStale_; }
   [[nodiscard]] common::u64 leaseExpired() const { return leaseExpired_; }
   [[nodiscard]] common::u64 leaseDrops() const { return leaseDrops_; }
+  [[nodiscard]] common::u64 leaseTimeouts() const { return leaseTimeouts_; }
 
  private:
   size_t capacity_;
@@ -117,6 +123,7 @@ class LeafCache {
   common::u64 leaseStale_ = 0;
   common::u64 leaseExpired_ = 0;
   common::u64 leaseDrops_ = 0;
+  common::u64 leaseTimeouts_ = 0;
 };
 
 class BucketStore {

@@ -155,6 +155,19 @@ LhtIndex::BucketRef LhtIndex::tryLeaseRead(const std::string& nm,
   try {
     st.dhtLookups += 1;
     v = dht_.getReplica(nm, slot);
+  } catch (const dht::DhtTimeoutError&) {
+    // A real-network holder that never answers looks like this — not like
+    // DhtPeerDownError, which only substrates with perfect failure
+    // knowledge can throw. Same remedy (revoke the lease, keep the
+    // location, let the primary read decide), separate ledger entry; and
+    // because note() now preserves the rotation cursor across the
+    // re-grant, the next lease read moves PAST the silent holder instead
+    // of being pinned back onto it.
+    leafCache_.noteLeaseTimeout();
+    leafCache_.dropLease(lease.label.interval());
+    obs::count("dht.lease.timeout_drops");
+    obs::count("dht.lease.drops");
+    return nullptr;
   } catch (const dht::DhtError&) {
     // The holder is unreachable. That says nothing about where the leaf
     // lives, so only the lease is revoked (PR6 drops *locations* for dead

@@ -1,0 +1,57 @@
+#include "rpc/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace lht::rpc {
+
+namespace {
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) throwErrno("EventLoop: epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epollFd_ >= 0) ::close(epollFd_);
+}
+
+void EventLoop::add(int fd, Callback onReadable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throwErrno("EventLoop: epoll_ctl(ADD)");
+  }
+  callbacks_[fd] = std::move(onReadable);
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::runOnce(int timeoutMs) {
+  constexpr int kMaxEvents = 16;
+  epoll_event events[kMaxEvents];
+  const int n = ::epoll_wait(epollFd_, events, kMaxEvents, timeoutMs);
+  if (n < 0) {
+    if (errno == EINTR) return 0;  // signal: let the caller re-check state
+    throwErrno("EventLoop: epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    auto it = callbacks_.find(events[i].data.fd);
+    if (it != callbacks_.end()) it->second();
+  }
+  return n;
+}
+
+}  // namespace lht::rpc

@@ -1,0 +1,46 @@
+// Thin epoll wrapper: level-triggered readiness dispatch for the UDP
+// transport and the lht_noded serve loop.
+//
+// Deliberately minimal — register fds with a readable-callback, then pump
+// runOnce() with a timeout. Signals interrupt epoll_wait (runOnce returns
+// 0 on EINTR), which is how the daemon notices SIGTERM between batches of
+// datagrams without a self-pipe.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace lht::rpc {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Throws std::system_error when epoll_create1 fails.
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (level-triggered, EPOLLIN); `onReadable` runs from
+  /// runOnce() whenever the fd has data. Throws std::system_error on
+  /// epoll_ctl failure.
+  void add(int fd, Callback onReadable);
+  void remove(int fd);
+
+  /// Waits up to `timeoutMs` (-1 = forever, 0 = poll) and dispatches the
+  /// ready callbacks. Returns the number of ready fds handled; 0 on
+  /// timeout or signal interruption. Throws std::system_error on a real
+  /// epoll_wait failure.
+  int runOnce(int timeoutMs);
+
+  [[nodiscard]] int fd() const { return epollFd_; }
+
+ private:
+  int epollFd_ = -1;
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace lht::rpc

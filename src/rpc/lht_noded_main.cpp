@@ -1,0 +1,80 @@
+// lht_noded: one storage peer of a networked LHT cluster.
+//
+// Binds a UDP port on localhost, answers the 13-opcode wire protocol
+// (rpc/wire.h) until SIGTERM/SIGINT. Deliberately tiny: all routing and
+// index logic lives in the clients (NetDht); this process is a versioned
+// KV store with a socket.
+//
+//   lht_noded --port=9101 --name=node-1
+//   lht_noded --port=0          # ephemeral; reads the line it prints
+//
+// Prints exactly one line when it is ready to serve:
+//   lht_noded: ready on 127.0.0.1:<port>
+// Parents (run_cluster.sh, the loopback ctest, bench_net) parse that
+// line, so it is part of the daemon's contract.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/flags.h"
+#include "rpc/node_server.h"
+#include "rpc/udp_transport.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void onSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lht;
+  common::Flags flags("lht_noded",
+                      "networked LHT storage peer (UDP, localhost)");
+  flags.define("port", "0", "UDP port to bind (0 = ephemeral)");
+  flags.define("name", "node", "peer name reported by ping");
+  flags.define("quiet", "false", "suppress the shutdown summary");
+  if (!flags.parse(argc, argv)) return 2;
+
+  // SIGTERM/SIGINT flip the stop flag; epoll_wait returns with EINTR and
+  // the serve loop notices. No SA_RESTART, by design.
+  struct sigaction sa{};
+  sa.sa_handler = onSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  rpc::UdpTransport::Options topts;
+  topts.bindPort = static_cast<rpc::u16>(flags.getInt("port"));
+  std::unique_ptr<rpc::UdpTransport> transport;
+  try {
+    transport = std::make_unique<rpc::UdpTransport>(topts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lht_noded: %s\n", e.what());
+    return 1;
+  }
+
+  rpc::NodeServer::Options nopts;
+  nopts.name = flags.getString("name");
+  rpc::NodeServer server(nopts);
+
+  std::printf("lht_noded: ready on %s\n", transport->localAddr().str().c_str());
+  std::fflush(stdout);
+
+  server.serve(*transport, g_stop);
+
+  if (!flags.getBool("quiet")) {
+    std::fprintf(stderr,
+                 "lht_noded: %s stopping (handled=%llu dedup_hits=%llu "
+                 "bad=%llu primary_keys=%zu)\n",
+                 nopts.name.c_str(),
+                 static_cast<unsigned long long>(server.stats().requestsHandled),
+                 static_cast<unsigned long long>(server.stats().dedupHits),
+                 static_cast<unsigned long long>(server.stats().badRequests),
+                 server.primaryKeyCount());
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// lht_net_trace: drives a real LHT client fleet against a running
+// lht_noded cluster and verifies the result against an oracle.
+//
+// The cluster is someone else's problem (run_cluster.sh / bench_net fork
+// the daemons); this binary is pure client: build a NetDht over UDP,
+// wait for every node to answer ping, preload one record per oracle
+// cell through a loader index, run a mixed insert/find/range trace
+// through a concurrent ClientFleet, then re-read every preloaded record
+// through a fresh verifier client and compare payloads.
+//
+// Prints one JSON object on stdout. Exit codes: 0 ok, 3 cluster never
+// came up, 4 trace ops failed, 5 oracle mismatch.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "dht/net_dht.h"
+#include "exec/client_fleet.h"
+#include "exec/thread_pool.h"
+#include "lht/lht_index.h"
+#include "rpc/udp_transport.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace lht;
+
+std::vector<rpc::NetAddr> parsePorts(const std::string& csv) {
+  std::vector<rpc::NetAddr> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const int port = std::stoi(csv.substr(pos, comma - pos));
+    out.push_back(rpc::NetAddr{rpc::kLoopbackHost,
+                               static_cast<rpc::u16>(port)});
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Flags flags("lht_net_trace",
+                      "mixed-trace client fleet against an lht_noded cluster");
+  flags.define("nodes", "", "comma-separated UDP ports of the cluster");
+  flags.define("clients", "8", "concurrent fleet clients");
+  flags.define("ops", "2000", "trace operations");
+  flags.define("preload", "64", "oracle records preloaded before the trace");
+  flags.define("replication", "2", "copies per key (primary + replicas)");
+  flags.define("dist", "uniform", "key distribution: uniform|gaussian|zipf");
+  flags.define("seed", "42", "workload seed");
+  flags.define("ping-deadline-ms", "10000", "how long to wait for the cluster");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const auto nodes = parsePorts(flags.getString("nodes"));
+  if (nodes.empty()) {
+    std::fprintf(stderr, "lht_net_trace: --nodes is required\n");
+    return 2;
+  }
+  const auto clients = static_cast<size_t>(flags.getInt("clients"));
+  const auto ops = static_cast<size_t>(flags.getInt("ops"));
+  const auto preload = static_cast<size_t>(flags.getInt("preload"));
+  const common::u64 seed = static_cast<common::u64>(flags.getInt("seed"));
+
+  dht::NetDht::Options no;
+  no.nodes = nodes;
+  no.replication = static_cast<size_t>(flags.getInt("replication"));
+  dht::NetDht ndht(no, [] {
+    return std::make_unique<rpc::UdpTransport>(rpc::UdpTransport::Options{});
+  });
+
+  if (!ndht.pingAll(
+          static_cast<common::u64>(flags.getInt("ping-deadline-ms")))) {
+    std::fprintf(stderr, "lht_net_trace: cluster did not answer ping\n");
+    return 3;
+  }
+
+  auto indexOptions = [&](common::u64 clientSeed, bool attach) {
+    core::LhtIndex::Options io;
+    io.useLeafCache = true;
+    io.cacheDecodedBuckets = true;
+    io.crashConsistentSplits = true;  // concurrent structural churn
+    io.attachExisting = attach;
+    io.clientSeed = clientSeed;
+    return io;
+  };
+
+  // Preload doubles as the oracle (same pattern as the skew campaign):
+  // trace erases only target keys the trace itself inserted, so these
+  // records must all survive the run bit-for-bit.
+  core::LhtIndex loader(ndht, indexOptions(seed * 131, false));
+  std::vector<index::Record> oracle;
+  oracle.reserve(preload);
+  for (size_t i = 0; i < preload; ++i) {
+    index::Record r;
+    r.key = (static_cast<double>(i) + 0.5) / static_cast<double>(preload);
+    r.payload = "oracle-" + std::to_string(i);
+    loader.insert(r);
+    oracle.push_back(std::move(r));
+  }
+
+  const auto trace = workload::makeMixedTrace(
+      workload::parseDistribution(flags.getString("dist")), ops,
+      workload::TraceMix{}, seed * 7919);
+
+  exec::FleetOptions fo;
+  fo.clients = clients;
+  fo.chunkSize = 16;
+  fo.clientSeedBase = seed * 10'000;
+  fo.index = indexOptions(/*per-client override*/ 1, true);
+  exec::ClientFleet fleet(
+      [&](size_t, net::SimClock&) {
+        exec::ClientStack stack;
+        stack.top = &ndht;  // straight onto the wire: no sim decorators
+        return stack;
+      },
+      fo);
+  exec::WorkStealingPool pool(4);
+  exec::FleetResult result = fleet.run(trace, pool);
+
+  // Oracle pass through a fresh client (no cache warm-up from the run).
+  core::LhtIndex verifier(ndht, indexOptions(seed * 4099, true));
+  size_t oracleMisses = 0;
+  for (const index::Record& r : oracle) {
+    auto found = verifier.find(r.key);
+    if (!found.record.has_value() || found.record->payload != r.payload) {
+      oracleMisses += 1;
+    }
+  }
+
+  const auto ns = ndht.netStats();
+  std::printf(
+      "{\"nodes\": %zu, \"clients\": %zu, \"ops\": %zu, \"ops_failed\": %zu, "
+      "\"elapsed_wall_ms\": %.1f, \"oracle_records\": %zu, "
+      "\"oracle_misses\": %zu, \"oracle_ok\": %s, "
+      "\"net\": {\"datagrams_sent\": %llu, \"datagrams_received\": %llu, "
+      "\"retransmits\": %llu, \"timeouts\": %llu, \"connections\": %llu}, "
+      "\"dht\": {\"lookups\": %llu, \"batch_rounds\": %llu}}\n",
+      nodes.size(), clients, result.opsTotal, result.opsFailed,
+      result.elapsedWallMs, oracle.size(), oracleMisses,
+      oracleMisses == 0 ? "true" : "false",
+      static_cast<unsigned long long>(ns.datagramsSent),
+      static_cast<unsigned long long>(ns.datagramsReceived),
+      static_cast<unsigned long long>(ns.retransmits),
+      static_cast<unsigned long long>(ns.timeouts),
+      static_cast<unsigned long long>(ns.connections),
+      static_cast<unsigned long long>(ndht.stats().lookups.load()),
+      static_cast<unsigned long long>(ndht.stats().batchRounds.load()));
+  if (result.opsFailed != 0) return 4;
+  if (oracleMisses != 0) return 5;
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "rpc/node_server.h"
+
+#include "common/types.h"
+
+namespace lht::rpc {
+
+using namespace wire;  // NOLINT — implementation file for the wire protocol
+
+NodeServer::NodeServer(Options options) : opts_(std::move(options)) {}
+
+size_t NodeServer::primaryKeyCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return primary_.size();
+}
+
+size_t NodeServer::replicaKeyCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.size();
+}
+
+std::optional<std::string> NodeServer::primaryValue(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = primary_.find(key);
+  if (it == primary_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<std::string> NodeServer::replicaValue(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = replica_.find(key);
+  if (it == replica_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+GetRep NodeServer::doGet(const std::string& key) const {
+  // Caller holds mutex_.
+  GetRep rep;
+  auto it = primary_.find(key);
+  if (it != primary_.end()) {
+    rep.present = true;
+    rep.version = it->second.version;
+    rep.value = it->second.value;
+  }
+  return rep;
+}
+
+CasRep NodeServer::doCas(const CasReq& entry) {
+  // Caller holds mutex_.
+  CasRep rep;
+  auto it = primary_.find(entry.key);
+  const u64 storedVersion = (it == primary_.end()) ? 0 : it->second.version;
+  rep.existedBefore = it != primary_.end();
+  if (storedVersion != entry.expectedVersion) {
+    // Conflict: ship back current state so the client can re-run its
+    // mutator without another GET round.
+    rep.applied = false;
+    rep.currentVersion = storedVersion;
+    if (it != primary_.end()) {
+      rep.currentPresent = true;
+      rep.currentValue = it->second.value;
+    }
+    return rep;
+  }
+  rep.applied = true;
+  if (entry.present) {
+    Stored& s = primary_[entry.key];
+    s.version = storedVersion + 1;
+    s.value = entry.value;
+    rep.currentVersion = s.version;
+    rep.currentPresent = true;
+  } else {
+    if (it != primary_.end()) primary_.erase(it);
+    rep.currentVersion = storedVersion + 1;  // erases advance versions too
+    rep.currentPresent = false;
+  }
+  return rep;
+}
+
+ReplyBody NodeServer::dispatch(const RequestBody& req) {
+  // Caller holds mutex_.
+  return std::visit(
+      [this](const auto& body) -> ReplyBody {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PingReq>) {
+          return PingRep{opts_.name};
+        } else if constexpr (std::is_same_v<T, PutReq>) {
+          Stored& s = primary_[body.key];
+          s.version += 1;
+          s.value = body.value;
+          return PutRep{s.version};
+        } else if constexpr (std::is_same_v<T, GetReq>) {
+          return doGet(body.key);
+        } else if constexpr (std::is_same_v<T, RemoveReq>) {
+          const bool existed = primary_.erase(body.key) > 0;
+          return RemoveRep{existed};
+        } else if constexpr (std::is_same_v<T, CasReq>) {
+          return doCas(body);
+        } else if constexpr (std::is_same_v<T, MultiGetReq>) {
+          MultiGetRep rep;
+          rep.entries.reserve(body.entries.size());
+          for (const GetReq& g : body.entries) rep.entries.push_back(doGet(g.key));
+          return rep;
+        } else if constexpr (std::is_same_v<T, MultiCasReq>) {
+          MultiCasRep rep;
+          rep.entries.reserve(body.entries.size());
+          for (const CasReq& c : body.entries) rep.entries.push_back(doCas(c));
+          return rep;
+        } else if constexpr (std::is_same_v<T, ReplicaPutReq>) {
+          Stored& s = replica_[body.key];
+          s.version = body.version;
+          s.value = body.value;
+          return ReplicaPutRep{};
+        } else if constexpr (std::is_same_v<T, ReplicaRemoveReq>) {
+          const bool existed = replica_.erase(body.key) > 0;
+          return ReplicaRemoveRep{existed};
+        } else if constexpr (std::is_same_v<T, ReplicaGetReq>) {
+          GetRep rep;
+          auto it = replica_.find(body.key);
+          if (it != replica_.end()) {
+            rep.present = true;
+            rep.version = it->second.version;
+            rep.value = it->second.value;
+          }
+          return rep;
+        } else if constexpr (std::is_same_v<T, SizeReq>) {
+          return SizeRep{primary_.size()};
+        } else if constexpr (std::is_same_v<T, SyncReq>) {
+          return SyncRep{};  // store is always in-memory-durable here
+        } else {
+          static_assert(std::is_same_v<T, CompactReq>);
+          return CompactRep{};
+        }
+      },
+      req);
+}
+
+std::string NodeServer::handle(const NetAddr& from, std::string_view payload) {
+  auto decoded = decodeRequest(payload);
+  if (std::holds_alternative<DecodeError>(decoded)) {
+    stats_.badRequests += 1;
+    // Reply only when the header (magic, version, opcode, id) parsed
+    // cleanly: then a broken body earns a BadRequest so the client fails
+    // fast instead of retransmitting a poison request until deadline.
+    // Anything less trustworthy — noise, foreign traffic, truncated
+    // headers — is dropped silently to avoid amplifying junk.
+    auto h = decodeHeader(payload);
+    if (std::holds_alternative<DecodeError>(h)) return {};
+    const Header& hd = std::get<Header>(h);
+    if (hd.isReply) return {};
+    return encodeReply(hd.requestId, hd.op, Status::BadRequest, EmptyRep{});
+  }
+
+  const Request& req = std::get<Request>(decoded);
+  const DedupKey dkey{from.host, from.port, req.header.requestId};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto cached = dedup_.find(dkey);
+  if (cached != dedup_.end()) {
+    stats_.dedupHits += 1;
+    return cached->second;
+  }
+  const ReplyBody rep = dispatch(req.body);
+  std::string encoded =
+      encodeReply(req.header.requestId, req.header.op, Status::Ok, rep);
+  if (encoded.size() > kMaxDatagramBytes) {
+    encoded =
+        encodeReply(req.header.requestId, req.header.op, Status::TooLarge,
+                    EmptyRep{});
+  }
+  dedup_.emplace(dkey, encoded);
+  dedupOrder_.push_back(dkey);
+  while (dedupOrder_.size() > opts_.dedupCapacity) {
+    dedup_.erase(dedupOrder_.front());
+    dedupOrder_.pop_front();
+  }
+  stats_.requestsHandled += 1;
+  return encoded;
+}
+
+void NodeServer::serve(Transport& transport, const std::atomic<bool>& stop) {
+  std::vector<Datagram> batch;
+  while (!stop.load(std::memory_order_relaxed)) {
+    batch.clear();
+    transport.receive(batch, 200);  // short timeout: re-check stop flag
+    for (const Datagram& d : batch) {
+      std::string reply = handle(d.from, d.payload);
+      if (!reply.empty()) transport.send(d.from, reply);
+    }
+  }
+}
+
+}  // namespace lht::rpc

@@ -1,0 +1,109 @@
+// The peer daemon's brain: a versioned KV store behind the wire protocol.
+//
+// A node is deliberately dumb — it knows nothing about the ring, other
+// nodes, or LHT. It stores (key -> {version, value}) twice over: a
+// primary map (keys this node owns) and a replica map (keys it holds for
+// fanout reads), mirroring Chord's primary/replica split so getReplica
+// and failover reads work identically over the network. All routing and
+// replication intelligence stays in the client (NetDht), which is what
+// keeps the node protocol at 13 flat opcodes.
+//
+// Versioned CAS: every stored value carries a u64 version, bumped on each
+// mutation. Dht::apply's read-modify-write becomes GET (value, version) →
+// run mutator client-side → CAS(expectedVersion). A CAS against a stale
+// version fails and returns the current (version, value) so the client
+// retries the mutator without an extra round. expectedVersion 0 means
+// "expect absent".
+//
+// At-most-once: retransmitted requests must not re-execute mutations
+// (a retried CAS would spuriously conflict with its own first execution).
+// A bounded FIFO cache keyed by (source host, port, requestId) replays
+// the original reply bytes instead.
+//
+// handle() is the entire protocol; serve() is a convenience loop for the
+// daemon. handle() is mutex-guarded and safe to call from many threads
+// (the SimHub invokes it inline from concurrent fleet clients).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+
+namespace lht::rpc {
+
+class NodeServer {
+ public:
+  struct Options {
+    std::string name = "node";
+    size_t dedupCapacity = 4096;
+  };
+
+  struct Stats {
+    common::RelaxedCounter requestsHandled;
+    common::RelaxedCounter dedupHits;    ///< replayed cached replies
+    common::RelaxedCounter badRequests;  ///< undecodable / rejected
+  };
+
+  NodeServer() : NodeServer(Options{}) {}
+  explicit NodeServer(Options options);
+
+  /// Processes one request datagram. Returns the encoded reply, or an
+  /// empty string when the datagram must be dropped silently (bad magic /
+  /// truncated garbage — replying to noise would amplify junk traffic).
+  [[nodiscard]] std::string handle(const NetAddr& from,
+                                   std::string_view payload);
+
+  /// Pumps `transport` until `stop` becomes true: receive, handle, reply.
+  void serve(Transport& transport, const std::atomic<bool>& stop);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] size_t primaryKeyCount() const;
+  [[nodiscard]] size_t replicaKeyCount() const;
+  [[nodiscard]] std::optional<std::string> primaryValue(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> replicaValue(
+      const std::string& key) const;
+
+ private:
+  struct Stored {
+    u64 version = 0;
+    std::string value;
+  };
+  struct DedupKey {
+    u32 host = 0;
+    u16 port = 0;
+    u64 requestId = 0;
+    bool operator==(const DedupKey& o) const {
+      return host == o.host && port == o.port && requestId == o.requestId;
+    }
+  };
+  struct DedupKeyHash {
+    size_t operator()(const DedupKey& k) const {
+      u64 h = k.requestId * 0x9E3779B97F4A7C15ull;
+      h ^= (u64(k.host) << 16) | k.port;
+      h *= 0xFF51AFD7ED558CCDull;
+      return static_cast<size_t>(h ^ (h >> 33));
+    }
+  };
+
+  wire::ReplyBody dispatch(const wire::RequestBody& req);
+  wire::GetRep doGet(const std::string& key) const;
+  wire::CasRep doCas(const wire::CasReq& entry);
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Stored> primary_;
+  std::unordered_map<std::string, Stored> replica_;
+  // Dedup: map for lookup + deque for FIFO eviction.
+  std::unordered_map<DedupKey, std::string, DedupKeyHash> dedup_;
+  std::deque<DedupKey> dedupOrder_;
+  Stats stats_;
+};
+
+}  // namespace lht::rpc

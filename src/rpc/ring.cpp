@@ -1,0 +1,58 @@
+#include "rpc/ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace lht::rpc {
+
+using common::u64;
+
+HashRing::HashRing(size_t nodeCount, size_t virtualNodes)
+    : nodeCount_(nodeCount) {
+  common::checkInvariant(nodeCount > 0, "HashRing: need at least one node");
+  common::checkInvariant(virtualNodes > 0, "HashRing: need virtual nodes");
+  points_.reserve(nodeCount * virtualNodes);
+  for (size_t n = 0; n < nodeCount; ++n) {
+    for (size_t v = 0; v < virtualNodes; ++v) {
+      // Same derivation on every client — ring agreement needs nothing
+      // but the node list.
+      const u64 h = common::hash::xxhash64((u64(n) << 20) | u64(v),
+                                           /*seed=*/0x1b7);
+      points_.push_back(Point{h, n});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+size_t HashRing::pointAtOrAfter(u64 h) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, u64 target) { return p.hash < target; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return static_cast<size_t>(it - points_.begin());
+}
+
+size_t HashRing::ownerIndex(std::string_view key) const {
+  return points_[pointAtOrAfter(common::hash::xxhash64(key))].node;
+}
+
+std::vector<size_t> HashRing::holders(std::string_view key,
+                                      size_t replicas) const {
+  const size_t want = std::min(1 + replicas, nodeCount_);
+  std::vector<size_t> out;
+  out.reserve(want);
+  size_t i = pointAtOrAfter(common::hash::xxhash64(key));
+  for (size_t seen = 0; seen < points_.size() && out.size() < want; ++seen) {
+    const size_t node = points_[(i + seen) % points_.size()].node;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace lht::rpc

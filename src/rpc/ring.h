@@ -1,0 +1,50 @@
+// Client-side consistent-hash ring over a fixed node list.
+//
+// NetDht routes every key in ONE hop: hash the key, binary-search the
+// ring, talk straight to the owner. This is the client-routed single-hop
+// design (vs Chord's O(log n) overlay routing) — viable here because the
+// cluster membership is a static launch-time list, so every client can
+// hold the whole ring. Virtual nodes (default 32 points per physical
+// node) smooth the key distribution, same trick as ChordDht's ring.
+//
+// holders(key) returns the owner followed by its distinct successors —
+// the replica set, mirroring ChordDht::successorsOf so getReplica and
+// failover semantics carry over to the network unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lht::rpc {
+
+class HashRing {
+ public:
+  /// `nodeCount` physical nodes (identified by index 0..n-1, which NetDht
+  /// maps to addresses). `virtualNodes` ring points per physical node.
+  HashRing(size_t nodeCount, size_t virtualNodes = 32);
+
+  /// Physical node owning `key` (first ring point at/after hash(key)).
+  [[nodiscard]] size_t ownerIndex(std::string_view key) const;
+
+  /// Owner + up to `replicas` DISTINCT successor nodes, in ring order.
+  /// Size is min(1 + replicas, nodeCount).
+  [[nodiscard]] std::vector<size_t> holders(std::string_view key,
+                                            size_t replicas) const;
+
+  [[nodiscard]] size_t nodeCount() const { return nodeCount_; }
+
+ private:
+  struct Point {
+    common::u64 hash;
+    size_t node;
+  };
+  [[nodiscard]] size_t pointAtOrAfter(common::u64 h) const;
+
+  size_t nodeCount_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace lht::rpc

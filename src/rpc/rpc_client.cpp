@@ -1,0 +1,111 @@
+#include "rpc/rpc_client.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace lht::rpc {
+
+using wire::decodeReply;
+using wire::DecodeError;
+using wire::encodeRequest;
+using wire::Reply;
+
+RpcClient::RpcClient(Transport& transport, Options options)
+    : transport_(transport), opts_(options) {}
+
+RpcClient::Token RpcClient::call(const NetAddr& to, RequestBody body) {
+  const u64 id = nextId_++;
+  const u64 now = transport_.nowMs();
+  Pending p;
+  p.to = to;
+  p.wire = encodeRequest(id, body);
+  p.deadlineAtMs = now + opts_.requestDeadlineMs;
+  p.backoffMs = opts_.initialRetransmitMs;
+  p.nextSendAtMs = now + p.backoffMs;
+  p.result.sends = 1;
+  transport_.send(to, p.wire);
+  requests_.emplace(id, std::move(p));
+  pendingLive_ += 1;
+  stats_.requestsStarted += 1;
+  return id;
+}
+
+void RpcClient::handleDatagram(const Datagram& d) {
+  auto decoded = decodeReply(d.payload);
+  if (std::holds_alternative<DecodeError>(decoded)) {
+    stats_.staleReplies += 1;  // garbage or foreign traffic; drop
+    return;
+  }
+  auto& reply = std::get<Reply>(decoded);
+  auto it = requests_.find(reply.header.requestId);
+  if (it == requests_.end() || it->second.resolved) {
+    stats_.staleReplies += 1;  // late duplicate after resolution
+    return;
+  }
+  // Paranoia: a reply must come from where the request went. A stale
+  // datagram from a previous endpoint reusing our port could otherwise
+  // be matched by id alone.
+  if (!(d.from == it->second.to)) {
+    stats_.staleReplies += 1;
+    return;
+  }
+  Pending& p = it->second;
+  p.result.timedOut = false;
+  p.result.status = reply.header.status;
+  p.result.op = reply.header.op;
+  p.result.body = std::move(reply.body);
+  p.resolved = true;
+  pendingLive_ -= 1;
+}
+
+u64 RpcClient::pump(u64 now) {
+  u64 nextTimer = ~u64{0};
+  for (auto& [id, p] : requests_) {
+    if (p.resolved) continue;
+    if (now >= p.deadlineAtMs) {
+      p.result.timedOut = true;
+      p.resolved = true;
+      pendingLive_ -= 1;
+      stats_.timeouts += 1;
+      continue;
+    }
+    if (now >= p.nextSendAtMs) {
+      transport_.send(p.to, p.wire);
+      p.result.sends += 1;
+      stats_.retransmits += 1;
+      p.backoffMs = std::min(p.backoffMs * 2, opts_.maxRetransmitMs);
+      p.nextSendAtMs = now + p.backoffMs;
+    }
+    nextTimer = std::min(nextTimer, std::min(p.nextSendAtMs, p.deadlineAtMs));
+  }
+  return nextTimer == ~u64{0} ? 0 : nextTimer - now;
+}
+
+void RpcClient::settle() {
+  while (pendingLive_ > 0) {
+    const u64 wait = pump(transport_.nowMs());
+    if (pendingLive_ == 0) break;
+    rxBuf_.clear();
+    transport_.receive(rxBuf_, std::max<u64>(wait, 1));
+    for (const Datagram& d : rxBuf_) handleDatagram(d);
+  }
+}
+
+RpcClient::Result RpcClient::take(Token token) {
+  auto it = requests_.find(token);
+  common::checkInvariant(it != requests_.end(), "RpcClient::take: unknown token");
+  common::checkInvariant(it->second.resolved,
+                         "RpcClient::take: request still pending (settle first)");
+  Result r = std::move(it->second.result);
+  requests_.erase(it);
+  return r;
+}
+
+RpcClient::Result RpcClient::callOne(const NetAddr& to, RequestBody body) {
+  const Token t = call(to, std::move(body));
+  settle();
+  return take(t);
+}
+
+}  // namespace lht::rpc

@@ -1,0 +1,111 @@
+// Async request/reply layer over a datagram Transport.
+//
+// UDP gives us nothing: no delivery, no ordering, no dedup. This layer
+// adds the client half of a classic at-most-once RPC (Birrell & Nelson):
+// every request gets a fresh id, sits in a request table, and is
+// retransmitted on a doubling backoff until a reply with that id arrives
+// or the per-request deadline passes. Many requests can be in flight at
+// once — NetDht leans on that to run a whole batched round (one datagram
+// per node) as a single settle().
+//
+// Usage:
+//   Token t1 = client.call(nodeA, GetReq{key1});
+//   Token t2 = client.call(nodeB, GetReq{key2});
+//   client.settle();                      // drives transport until done
+//   Result r = client.take(t1);           // r.timedOut / r.status / r.body
+//
+// The server half (dedup cache keyed by (addr, requestId)) lives in
+// NodeServer; together they make retransmitted non-idempotent ops safe.
+#pragma once
+
+#include <unordered_map>
+
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+
+namespace lht::rpc {
+
+// The RPC layer speaks the wire vocabulary natively.
+using wire::Op;
+using wire::ReplyBody;
+using wire::RequestBody;
+using wire::Status;
+
+class RpcClient {
+ public:
+  struct Options {
+    /// First retransmit fires this long after the initial send; doubles
+    /// each time (capped) — classic exponential backoff.
+    u64 initialRetransmitMs = 40;
+    u64 maxRetransmitMs = 400;
+    /// A request unanswered this long is resolved as timed out.
+    u64 requestDeadlineMs = 2000;
+  };
+
+  struct Stats {
+    common::RelaxedCounter requestsStarted;  ///< logical calls
+    common::RelaxedCounter retransmits;      ///< extra datagrams beyond the first
+    common::RelaxedCounter timeouts;
+    common::RelaxedCounter staleReplies;     ///< replies with no pending request
+  };
+
+  using Token = u64;
+
+  struct Result {
+    bool timedOut = false;
+    Status status = Status::Ok;
+    Op op = Op::Ping;
+    ReplyBody body;
+    u32 sends = 0;  ///< datagrams spent on this request (1 = no retransmit)
+
+    [[nodiscard]] bool ok() const { return !timedOut && status == Status::Ok; }
+  };
+
+  explicit RpcClient(Transport& transport) : RpcClient(transport, Options{}) {}
+  RpcClient(Transport& transport, Options options);
+
+  /// Starts a request: encodes, sends, registers in the table. The token
+  /// stays valid until take()n. Does not block.
+  Token call(const NetAddr& to, RequestBody body);
+
+  /// Drives the transport (receive + retransmit + expire) until every
+  /// pending request is resolved. Safe to call with none pending.
+  void settle();
+
+  /// Removes and returns a resolved request's outcome. checkInvariant
+  /// fails on an unknown or still-pending token — settle() first.
+  Result take(Token token);
+
+  /// Convenience for the one-shot case.
+  Result callOne(const NetAddr& to, RequestBody body);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Transport& transport() { return transport_; }
+  [[nodiscard]] size_t pendingCount() const { return pendingLive_; }
+
+ private:
+  struct Pending {
+    NetAddr to;
+    std::string wire;
+    u64 deadlineAtMs = 0;
+    u64 nextSendAtMs = 0;
+    u64 backoffMs = 0;
+    bool resolved = false;
+    Result result;
+  };
+
+  void handleDatagram(const Datagram& d);
+  /// Retransmits due requests / expires past-deadline ones; returns the
+  /// ms until the next timer fires (for the receive timeout).
+  u64 pump(u64 now);
+
+  Transport& transport_;
+  Options opts_;
+  Stats stats_;
+  u64 nextId_ = 1;
+  size_t pendingLive_ = 0;  ///< unresolved entries in requests_
+  std::unordered_map<u64, Pending> requests_;
+  std::vector<Datagram> rxBuf_;
+};
+
+}  // namespace lht::rpc

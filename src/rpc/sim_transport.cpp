@@ -1,0 +1,142 @@
+#include "rpc/sim_transport.h"
+
+#include "common/types.h"
+
+namespace lht::rpc {
+
+SimHub::SimHub(Options options) : opts_(options), rng_(options.seed) {}
+
+void SimHub::dropNext(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forcedDrops_ += n;
+}
+
+void SimHub::setOnline(u16 port, bool online) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  offline_[port] = !online;
+}
+
+void SimHub::registerHandler(u16 port, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  common::checkInvariant(queues_.find(port) == queues_.end(),
+                         "SimHub: port already has a queue endpoint");
+  handlers_[port] = std::move(handler);
+}
+
+void SimHub::unregisterHandler(u16 port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.erase(port);
+}
+
+std::unique_ptr<SimTransport> SimHub::makeEndpoint(u16 port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (port == 0) port = nextAutoPort_++;
+  common::checkInvariant(queues_.find(port) == queues_.end() &&
+                             handlers_.find(port) == handlers_.end(),
+                         "SimHub: port already registered");
+  auto queue = std::make_shared<Queue>();
+  queues_[port] = queue;
+  return std::unique_ptr<SimTransport>(
+      new SimTransport(*this, port, std::move(queue)));
+}
+
+bool SimHub::shouldDrop() {
+  // Caller holds mutex_.
+  if (forcedDrops_ > 0) {
+    forcedDrops_ -= 1;
+    return true;
+  }
+  return opts_.dropProbability > 0.0 &&
+         rng_.nextDouble() < opts_.dropProbability;
+}
+
+bool SimHub::route(const NetAddr& from, u16 to, std::string_view payload) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto off = offline_.find(to);
+    if ((off != offline_.end() && off->second) || shouldDrop()) {
+      dropped_ += 1;
+      return false;
+    }
+    const bool duplicate = opts_.duplicateProbability > 0.0 &&
+                           rng_.nextDouble() < opts_.duplicateProbability;
+    const bool reorder = opts_.reorderProbability > 0.0 &&
+                         rng_.nextDouble() < opts_.reorderProbability;
+    auto qit = queues_.find(to);
+    if (qit != queues_.end()) {
+      Datagram d{from, std::string(payload)};
+      for (int copy = 0; copy < (duplicate ? 2 : 1); ++copy) {
+        if (reorder) {
+          qit->second->inbound.push_front(d);
+        } else {
+          qit->second->inbound.push_back(d);
+        }
+      }
+      routed_ += 1;
+      return true;
+    }
+    auto hit = handlers_.find(to);
+    if (hit == handlers_.end()) {
+      dropped_ += 1;
+      return false;
+    }
+    handler = hit->second;  // invoke outside the hub lock (it will send)
+  }
+  Datagram d{from, std::string(payload)};
+  const u16 handlerPort = to;
+  const u16 replyPort = from.port;
+  auto sendReply = [this, handlerPort, replyPort](std::string reply) {
+    route(NetAddr{0, handlerPort}, replyPort, reply);
+  };
+  handler(d, sendReply);
+  routed_ += 1;
+  return true;
+}
+
+void SimHub::detach(u16 port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queues_.erase(port);
+  offline_.erase(port);
+}
+
+SimTransport::SimTransport(SimHub& hub, u16 port,
+                           std::shared_ptr<SimHub::Queue> queue)
+    : hub_(hub), port_(port), queue_(std::move(queue)) {}
+
+SimTransport::~SimTransport() { hub_.detach(port_); }
+
+bool SimTransport::send(const NetAddr& to, std::string_view payload) {
+  if (payload.size() > kMaxDatagramBytes) {
+    stats_.sendErrors += 1;
+    return false;
+  }
+  stats_.datagramsSent += 1;
+  stats_.bytesSent += payload.size();
+  // Drops are indistinguishable from network loss on purpose: the real
+  // socket reports success there too. Counted in the hub, not surfaced.
+  hub_.route(localAddr(), to.port, payload);
+  return true;
+}
+
+size_t SimTransport::receive(std::vector<Datagram>& out, u64 timeoutMs) {
+  size_t appended = 0;
+  {
+    std::lock_guard<std::mutex> lock(hub_.mutex_);
+    while (!queue_->inbound.empty()) {
+      out.push_back(std::move(queue_->inbound.front()));
+      queue_->inbound.pop_front();
+      stats_.datagramsReceived += 1;
+      stats_.bytesReceived += out.back().payload.size();
+      appended += 1;
+    }
+  }
+  if (appended == 0) {
+    // Nothing buffered and (in this synchronous model) nothing in flight:
+    // the wait would have run its full course. Charge it to virtual time.
+    now_ += timeoutMs;
+  }
+  return appended;
+}
+
+}  // namespace lht::rpc

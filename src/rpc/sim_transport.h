@@ -1,0 +1,121 @@
+// Deterministic in-process twin of the UDP transport (DESIGN.md §14).
+//
+// A SimHub is the "ether": endpoints register under a port, sends route
+// through the hub, and the hub injects faults — seeded probabilistic
+// drops, forced drops of the next N datagrams, reordering, dead endpoints
+// — so the RPC layer's retransmit/deadline/dedup machinery is exercised
+// byte-for-byte identically to the real network, but reproducibly and in
+// ctest.
+//
+// Two endpoint flavors:
+//  * queue endpoints (SimTransport): inbound datagrams buffer until
+//    receive() is called — this is what RPC clients use.
+//  * handler endpoints (registerHandler): delivery invokes the handler
+//    inline on the SENDER's thread, and anything the handler sends routes
+//    back through the hub before the sender's next receive(). This is how
+//    NodeServers run "in" the hub with no threads of their own, keeping
+//    tests single-threaded and deterministic. (Handlers must do their own
+//    locking when a multi-threaded fleet drives the hub — NodeServer
+//    does.)
+//
+// Time: each SimTransport keeps a private virtual clock. receive() with an
+// empty queue advances it by the full timeout (simulated waiting), which
+// is exactly what makes retransmit backoff and request deadlines testable
+// without wall-clock sleeps.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "rpc/transport.h"
+
+namespace lht::rpc {
+
+class SimTransport;
+
+class SimHub {
+ public:
+  struct Options {
+    double dropProbability = 0.0;      ///< each datagram, independently
+    double duplicateProbability = 0.0; ///< delivered twice
+    /// Probability a delivered datagram is pushed to the FRONT of the
+    /// destination queue (reordering past already-queued traffic).
+    double reorderProbability = 0.0;
+    common::u64 seed = 1;
+  };
+
+  SimHub() : SimHub(Options{}) {}
+  explicit SimHub(Options options);
+
+  /// Force-drops the next `n` datagrams entering the hub (deterministic
+  /// loss for tests: lose exactly the first reply, etc.).
+  void dropNext(size_t n);
+
+  /// Marks an endpoint dead/alive: all traffic to a dead port vanishes
+  /// (the node-crash model; senders see silence, then time out).
+  void setOnline(u16 port, bool online);
+
+  /// Registers an inline handler endpoint (a server living "in" the hub).
+  /// The handler receives each datagram and a reply function that routes
+  /// back through the hub (subject to the same fault injection).
+  using Handler =
+      std::function<void(const Datagram&, const std::function<void(std::string)>&)>;
+  void registerHandler(u16 port, Handler handler);
+  void unregisterHandler(u16 port);
+
+  /// Creates a queue endpoint. port 0 auto-assigns from a private range.
+  std::unique_ptr<SimTransport> makeEndpoint(u16 port = 0);
+
+  [[nodiscard]] common::u64 datagramsRouted() const { return routed_; }
+  [[nodiscard]] common::u64 datagramsDropped() const { return dropped_; }
+
+ private:
+  friend class SimTransport;
+  struct Queue {
+    std::deque<Datagram> inbound;
+  };
+
+  /// Routes one datagram from `from` to `to`. Returns false when dropped.
+  bool route(const NetAddr& from, u16 to, std::string_view payload);
+  void detach(u16 port);
+  bool shouldDrop();
+
+  Options opts_;
+  std::mutex mutex_;
+  common::Pcg32 rng_;
+  size_t forcedDrops_ = 0;
+  u16 nextAutoPort_ = 40000;
+  std::unordered_map<u16, std::shared_ptr<Queue>> queues_;
+  std::unordered_map<u16, Handler> handlers_;
+  std::unordered_map<u16, bool> offline_;
+  common::RelaxedCounter routed_;
+  common::RelaxedCounter dropped_;
+};
+
+class SimTransport final : public Transport {
+ public:
+  ~SimTransport() override;
+
+  bool send(const NetAddr& to, std::string_view payload) override;
+  size_t receive(std::vector<Datagram>& out, u64 timeoutMs) override;
+  /// Virtual time, private to this endpoint; advanced by empty waits.
+  u64 nowMs() override { return now_; }
+  [[nodiscard]] NetAddr localAddr() const override {
+    return NetAddr{0, port_};
+  }
+
+ private:
+  friend class SimHub;
+  SimTransport(SimHub& hub, u16 port, std::shared_ptr<SimHub::Queue> queue);
+
+  SimHub& hub_;
+  u16 port_;
+  std::shared_ptr<SimHub::Queue> queue_;
+  u64 now_ = 0;
+};
+
+}  // namespace lht::rpc

@@ -1,0 +1,51 @@
+// Real-socket transport: one non-blocking UDP socket on an epoll loop.
+//
+// send() is a sendto(); receive() parks in epoll_wait up to the caller's
+// timeout, then drains the socket without blocking. One UdpTransport is
+// one endpoint: a daemon binds a fixed port, a client binds an ephemeral
+// one (bindPort 0) and learns it from localAddr(). All RPC reliability
+// (retransmit, deadlines, dedup) lives above, in rpc_client/node_server —
+// this layer is datagrams in, datagrams out.
+#pragma once
+
+#include <memory>
+
+#include "rpc/event_loop.h"
+#include "rpc/transport.h"
+
+namespace lht::rpc {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    u16 bindPort = 0;          ///< 0 = ephemeral
+    u32 bindHost = kLoopbackHost;
+    /// Kernel buffer request (SO_RCVBUF); bursts of batched replies from
+    /// 8+ nodes can exceed the default on some systems.
+    int rcvbufBytes = 1 << 20;
+  };
+
+  /// Binds the socket; throws std::system_error on failure (port in use).
+  explicit UdpTransport(Options options);
+  ~UdpTransport() override;
+
+  bool send(const NetAddr& to, std::string_view payload) override;
+  size_t receive(std::vector<Datagram>& out, u64 timeoutMs) override;
+  u64 nowMs() override;
+  [[nodiscard]] NetAddr localAddr() const override { return local_; }
+
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The epoll loop the socket is registered on (the daemon shares it).
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+  /// Drains every datagram currently readable (non-blocking) into `out`.
+  /// Exposed so a serve loop driving its own epoll can pump the socket.
+  size_t drain(std::vector<Datagram>& out);
+
+ private:
+  int fd_ = -1;
+  NetAddr local_;
+  EventLoop loop_;
+};
+
+}  // namespace lht::rpc

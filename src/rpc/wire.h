@@ -1,0 +1,221 @@
+// RPC wire format: compact binary messages over unreliable datagrams.
+//
+// Every message is one datagram: a fixed 4-byte header (magic, version,
+// opcode, status) followed by a ULEB128 request id and an op-specific
+// body. Strings and list counts are varint-framed (common/varint.h), so a
+// small GET is ~20 bytes on the wire. Replies echo the request's id and
+// set the high bit of its opcode.
+//
+//   offset  field
+//   0       magic   0xA7
+//   1       version 1
+//   2       opcode  (Op; replies: Op | 0x80)
+//   3       status  (Status; 0 on requests)
+//   4..     request id (varint)
+//   ..      body
+//
+// Decoding is total: any truncated, overlong, or type-violating input
+// yields a typed DecodeError, never a crash or an over-read — these bytes
+// arrive from the network, and the fuzz suite (rpc_wire_test) bit-flips
+// and truncates every message kind under ASan to hold the codec to that.
+//
+// Payload values reuse the index layers' existing serialization (bucket
+// wire-format-v2 bytes travel opaquely in `value` fields), so the codec
+// composes with, and never re-interprets, what the DHT stores.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/types.h"
+
+namespace lht::rpc::wire {
+
+using common::u8;
+using common::u64;
+
+inline constexpr u8 kMagic = 0xA7;
+inline constexpr u8 kVersion = 1;
+inline constexpr u8 kReplyBit = 0x80;
+
+/// Request opcodes. Replica* ops address a holder's replica table (the
+/// client routes them; the server never re-routes anything).
+enum class Op : u8 {
+  Ping = 1,
+  Put = 2,
+  Get = 3,
+  Remove = 4,
+  Cas = 5,
+  MultiGet = 6,
+  MultiCas = 7,
+  ReplicaPut = 8,
+  ReplicaRemove = 9,
+  ReplicaGet = 10,
+  Size = 11,
+  Sync = 12,
+  Compact = 13,
+};
+[[nodiscard]] const char* opName(Op op);
+[[nodiscard]] bool opKnown(u8 raw);
+
+/// Reply status. In-band outcomes (key absent, CAS conflict) are NOT
+/// errors — they live in the reply bodies; Status covers only requests the
+/// server could not execute.
+enum class Status : u8 {
+  Ok = 0,
+  BadRequest = 1,   ///< body failed to decode
+  UnknownOp = 2,
+  TooLarge = 3,     ///< reply would exceed kMaxDatagramBytes
+};
+[[nodiscard]] const char* statusName(Status s);
+
+/// Why a datagram failed to decode (typed, for tests and metrics).
+enum class DecodeError : u8 {
+  Truncated = 1,     ///< ran out of bytes mid-field
+  BadMagic = 2,      ///< first byte is not kMagic (not ours; drop silently)
+  BadVersion = 3,
+  BadOpcode = 4,
+  BadField = 5,      ///< a field violates its invariant (flag byte > 1, …)
+  TrailingBytes = 6, ///< body decoded but bytes remain
+};
+[[nodiscard]] const char* decodeErrorName(DecodeError e);
+
+/// Decoded message header.
+struct Header {
+  Op op = Op::Ping;
+  bool isReply = false;
+  Status status = Status::Ok;
+  u64 requestId = 0;
+};
+
+// --- Request bodies --------------------------------------------------------
+
+struct PingReq {};
+struct PutReq {
+  std::string key;
+  std::string value;
+};
+struct GetReq {
+  std::string key;
+};
+struct RemoveReq {
+  std::string key;
+};
+/// Optimistic read-modify-write: applies iff the key's stored version
+/// still equals expectedVersion (0 = expect absent). present=false erases.
+struct CasReq {
+  std::string key;
+  u64 expectedVersion = 0;
+  bool present = true;
+  std::string value;
+};
+struct MultiGetReq {
+  std::vector<GetReq> entries;
+};
+struct MultiCasReq {
+  std::vector<CasReq> entries;
+};
+/// Replica copy install: carries the primary's version so a holder's copy
+/// is identifiable with the snapshot it mirrors.
+struct ReplicaPutReq {
+  std::string key;
+  std::string value;
+  u64 version = 0;
+};
+struct ReplicaRemoveReq {
+  std::string key;
+};
+struct ReplicaGetReq {
+  std::string key;
+};
+struct SizeReq {};
+struct SyncReq {};
+struct CompactReq {};
+
+// --- Reply bodies ----------------------------------------------------------
+
+struct PingRep {
+  std::string nodeName;
+};
+struct PutRep {
+  u64 version = 0;  ///< version assigned to the stored value
+};
+struct GetRep {
+  bool present = false;
+  u64 version = 0;
+  std::string value;
+};
+struct RemoveRep {
+  bool existed = false;
+};
+struct CasRep {
+  bool applied = false;
+  bool existedBefore = false;
+  /// Current state after (applied) or instead of (conflict) the write;
+  /// on conflict the value rides along so the caller can re-run its
+  /// mutator without another GET round.
+  u64 currentVersion = 0;
+  bool currentPresent = false;
+  std::string currentValue;
+};
+struct MultiGetRep {
+  std::vector<GetRep> entries;
+};
+struct MultiCasRep {
+  std::vector<CasRep> entries;
+};
+struct ReplicaPutRep {};
+struct ReplicaRemoveRep {
+  bool existed = false;
+};
+struct SizeRep {
+  u64 primaryKeys = 0;
+};
+struct SyncRep {};
+struct CompactRep {};
+struct EmptyRep {};  ///< non-Ok replies carry no body
+
+using RequestBody =
+    std::variant<PingReq, PutReq, GetReq, RemoveReq, CasReq, MultiGetReq,
+                 MultiCasReq, ReplicaPutReq, ReplicaRemoveReq, ReplicaGetReq,
+                 SizeReq, SyncReq, CompactReq>;
+using ReplyBody =
+    std::variant<EmptyRep, PingRep, PutRep, GetRep, RemoveRep, CasRep,
+                 MultiGetRep, MultiCasRep, ReplicaPutRep, ReplicaRemoveRep,
+                 SizeRep, SyncRep, CompactRep>;
+
+struct Request {
+  Header header;
+  RequestBody body;
+};
+struct Reply {
+  Header header;
+  ReplyBody body;
+};
+
+// --- Encode ----------------------------------------------------------------
+
+[[nodiscard]] std::string encodeRequest(u64 requestId, const RequestBody& body);
+[[nodiscard]] std::string encodeReply(u64 requestId, Op op, Status status,
+                                      const ReplyBody& body);
+
+// --- Decode ----------------------------------------------------------------
+
+template <typename T>
+using DecodeResult = std::variant<T, DecodeError>;
+
+/// Decodes a request datagram (server side).
+[[nodiscard]] DecodeResult<Request> decodeRequest(std::string_view datagram);
+
+/// Decodes a reply datagram (client side). The body variant matches the
+/// header's opcode; non-Ok statuses decode to EmptyRep.
+[[nodiscard]] DecodeResult<Reply> decodeReply(std::string_view datagram);
+
+/// Peeks at the header only (dispatch without full body decode).
+[[nodiscard]] DecodeResult<Header> decodeHeader(std::string_view datagram);
+
+}  // namespace lht::rpc::wire

@@ -76,6 +76,41 @@ TEST(LeafCacheUnit, NotingAnAncestorDropsOverlappingEntries) {
   EXPECT_EQ(cache.find(0.3)->label, *Label::parse("#00"));
 }
 
+TEST(LeafCacheUnit, ReGrantPreservesReplicaCursor) {
+  // A lease re-grant for the SAME leaf must not reset the rotation
+  // cursor: on a transport-timeout substrate the next primary read
+  // re-grants immediately, and a reset would pin rotation back onto the
+  // holder that just timed out.
+  LeafCache cache(8);
+  const Label l = *Label::parse("#001");
+  cache.note(l, 3, /*leaseExpiresAtMs=*/100);
+  cache.bumpReplicaCursor(l);
+  cache.bumpReplicaCursor(l);
+  ASSERT_EQ(cache.find(0.3)->replicaCursor, 2u);
+  cache.note(l, 3, /*leaseExpiresAtMs=*/200);  // renewal, same label
+  EXPECT_EQ(cache.find(0.3)->replicaCursor, 2u);
+  EXPECT_EQ(cache.find(0.3)->leaseExpiresAtMs, 200u);
+  // A different label covering the interval is a different leaf (split or
+  // merge happened): its rotation state starts fresh.
+  cache.note(*Label::parse("#00"), 4, /*leaseExpiresAtMs=*/300);
+  EXPECT_EQ(cache.find(0.3)->replicaCursor, 0u);
+}
+
+TEST(LeafCacheUnit, TimeoutDropAccounting) {
+  LeafCache cache(8);
+  const Label l = *Label::parse("#001");
+  cache.note(l, 1, /*leaseExpiresAtMs=*/100);
+  EXPECT_EQ(cache.leaseTimeouts(), 0u);
+  cache.noteLeaseTimeout();
+  cache.dropLease(l.interval());
+  EXPECT_EQ(cache.leaseTimeouts(), 1u);
+  EXPECT_EQ(cache.leaseDrops(), 1u);
+  // Location survives; only the lease is gone.
+  auto e = cache.find(0.3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(e->leased());
+}
+
 TEST(LeafCacheUnit, OverflowFlushesInsteadOfEvicting) {
   LeafCache cache(2);
   cache.note(*Label::parse("#000"), 1);

@@ -1,0 +1,227 @@
+// RPC layer over the deterministic SimHub twin: retransmit-on-drop,
+// deadline timeouts, reordering tolerance, and at-most-once execution
+// (server dedup replaying a lost reply instead of re-executing).
+#include "rpc/rpc_client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "rpc/node_server.h"
+#include "rpc/sim_transport.h"
+
+namespace lht::rpc {
+namespace {
+
+using namespace wire;
+
+/// A NodeServer living "in" the hub at `port` (handler endpoint).
+void attachServer(SimHub& hub, NodeServer& server, u16 port) {
+  hub.registerHandler(port, [&server](const Datagram& d,
+                                      const std::function<void(std::string)>& reply) {
+    std::string out = server.handle(d.from, d.payload);
+    if (!out.empty()) reply(std::move(out));
+  });
+}
+
+TEST(SimTransport, DeliversAndCounts) {
+  SimHub hub;
+  auto a = hub.makeEndpoint(100);
+  auto b = hub.makeEndpoint(200);
+  EXPECT_TRUE(a->send(NetAddr{0, 200}, "hello"));
+  std::vector<Datagram> got;
+  EXPECT_EQ(b->receive(got, 0), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, "hello");
+  EXPECT_EQ(got[0].from.port, 100);
+  EXPECT_EQ(a->stats().datagramsSent.load(), 1u);
+  EXPECT_EQ(b->stats().datagramsReceived.load(), 1u);
+}
+
+TEST(SimTransport, EmptyWaitAdvancesVirtualClock) {
+  SimHub hub;
+  auto a = hub.makeEndpoint();
+  std::vector<Datagram> got;
+  const u64 before = a->nowMs();
+  EXPECT_EQ(a->receive(got, 250), 0u);
+  EXPECT_EQ(a->nowMs(), before + 250);
+}
+
+TEST(SimTransport, OversizedSendRejected) {
+  SimHub hub;
+  auto a = hub.makeEndpoint();
+  std::string big(kMaxDatagramBytes + 1, 'x');
+  EXPECT_FALSE(a->send(NetAddr{0, 999}, big));
+  EXPECT_EQ(a->stats().sendErrors.load(), 1u);
+}
+
+TEST(RpcClient, BasicCall) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+  auto r = cli.callOne(NetAddr{0, 1000}, PutReq{"k", "v"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::get<PutRep>(r.body).version, 1u);
+  r = cli.callOne(NetAddr{0, 1000}, GetReq{"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::get<GetRep>(r.body).present);
+  EXPECT_EQ(std::get<GetRep>(r.body).value, "v");
+  EXPECT_EQ(r.sends, 1u);
+}
+
+TEST(RpcClient, RetransmitRecoversDroppedRequest) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+  hub.dropNext(1);  // lose the first request datagram
+  auto r = cli.callOne(NetAddr{0, 1000}, PutReq{"k", "v"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.sends, 2u);
+  EXPECT_GE(cli.stats().retransmits.load(), 1u);
+  EXPECT_EQ(server.primaryValue("k"), "v");
+}
+
+TEST(RpcClient, LostReplyDoesNotReExecute) {
+  SimHub hub;
+  NodeServer server;
+  // A handler that executes every request but swallows its first reply:
+  // the "request arrived, reply lost" half of the at-most-once problem.
+  int replyDrops = 1;
+  hub.registerHandler(
+      1000, [&](const Datagram& d, const std::function<void(std::string)>& reply) {
+        std::string out = server.handle(d.from, d.payload);
+        if (out.empty()) return;
+        if (replyDrops > 0) {
+          --replyDrops;
+          return;
+        }
+        reply(std::move(out));
+      });
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+
+  // CAS at expectedVersion 0 (expect-absent). The first request executes
+  // (version -> 1) but its reply is lost; the retransmit must be answered
+  // from the dedup cache, NOT re-executed — a re-execution would see
+  // version 1 != expected 0 and spuriously conflict.
+  auto r = cli.callOne(NetAddr{0, 1000}, CasReq{"k", 0, true, "v1"});
+  ASSERT_TRUE(r.ok());
+  const auto& rep = std::get<CasRep>(r.body);
+  EXPECT_TRUE(rep.applied);
+  EXPECT_GE(r.sends, 2u);
+  EXPECT_GE(server.stats().dedupHits.load(), 1u);
+  EXPECT_EQ(server.primaryValue("k"), "v1");
+}
+
+TEST(RpcClient, DeadEndpointTimesOut) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  hub.setOnline(1000, false);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient::Options opts;
+  opts.requestDeadlineMs = 500;
+  RpcClient cli(*endpoint, opts);
+  auto r = cli.callOne(NetAddr{0, 1000}, GetReq{"k"});
+  EXPECT_TRUE(r.timedOut);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(r.sends, 2u);  // it kept trying until the deadline
+  EXPECT_EQ(cli.stats().timeouts.load(), 1u);
+  // Virtual time advanced past the deadline, not unboundedly.
+  EXPECT_GE(endpoint->nowMs(), 500u);
+  EXPECT_LT(endpoint->nowMs(), 5000u);
+}
+
+TEST(RpcClient, ManyInFlightSettleTogether) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+  std::vector<RpcClient::Token> tokens;
+  for (int i = 0; i < 64; ++i) {
+    tokens.push_back(cli.call(NetAddr{0, 1000},
+                              PutReq{"k" + std::to_string(i), "v"}));
+  }
+  // Replies are already queued (inline hub) but not yet processed.
+  EXPECT_EQ(cli.pendingCount(), 64u);
+  cli.settle();
+  EXPECT_EQ(cli.pendingCount(), 0u);
+  for (auto t : tokens) EXPECT_TRUE(cli.take(t).ok());
+  EXPECT_EQ(server.primaryKeyCount(), 64u);
+}
+
+TEST(RpcClient, SeededLossStillCompletes) {
+  SimHub::Options hopts;
+  hopts.dropProbability = 0.2;
+  hopts.duplicateProbability = 0.05;
+  hopts.reorderProbability = 0.1;
+  hopts.seed = 99;
+  SimHub hub(hopts);
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient::Options opts;
+  opts.initialRetransmitMs = 10;
+  opts.requestDeadlineMs = 60'000;
+  RpcClient cli(*endpoint, opts);
+  for (int i = 0; i < 200; ++i) {
+    auto r = cli.callOne(NetAddr{0, 1000},
+                         PutReq{"k" + std::to_string(i), std::to_string(i)});
+    ASSERT_TRUE(r.ok()) << "op " << i;
+  }
+  EXPECT_EQ(server.primaryKeyCount(), 200u);
+  EXPECT_GT(cli.stats().retransmits.load(), 0u);
+  EXPECT_GT(hub.datagramsDropped(), 0u);
+  // At-most-once held under duplicates+retransmits: every stored value
+  // is the one its own put wrote.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(server.primaryValue("k" + std::to_string(i)),
+              std::to_string(i));
+  }
+}
+
+TEST(NodeServer, SilentOnGarbageRepliesOnBrokenBody) {
+  NodeServer server;
+  // Pure noise: silence.
+  EXPECT_TRUE(server.handle(NetAddr{0, 7}, "not-a-message").empty());
+  // Valid header, truncated body: a BadRequest reply.
+  std::string req = encodeRequest(42, PutReq{"key", "value"});
+  std::string truncated = req.substr(0, req.size() - 3);
+  std::string reply = server.handle(NetAddr{0, 7}, truncated);
+  ASSERT_FALSE(reply.empty());
+  auto decoded = decodeReply(reply);
+  ASSERT_TRUE(std::holds_alternative<Reply>(decoded));
+  EXPECT_EQ(std::get<Reply>(decoded).header.status, Status::BadRequest);
+  EXPECT_EQ(std::get<Reply>(decoded).header.requestId, 42u);
+}
+
+TEST(NodeServer, VersionsAdvancePerKey) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 10);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+  auto call = [&](const RequestBody& body) -> ReplyBody {
+    auto res = cli.callOne(NetAddr{0, 10}, body);
+    EXPECT_TRUE(res.ok());
+    return res.body;
+  };
+  EXPECT_EQ(std::get<PutRep>(call(PutReq{"a", "1"})).version, 1u);
+  EXPECT_EQ(std::get<PutRep>(call(PutReq{"a", "2"})).version, 2u);
+  auto cas = std::get<CasRep>(call(CasReq{"a", 2, true, "3"}));
+  EXPECT_TRUE(cas.applied);
+  EXPECT_EQ(cas.currentVersion, 3u);
+  auto conflict = std::get<CasRep>(call(CasReq{"a", 1, true, "x"}));
+  EXPECT_FALSE(conflict.applied);
+  EXPECT_EQ(conflict.currentVersion, 3u);
+  EXPECT_EQ(conflict.currentValue, "3");
+}
+
+}  // namespace
+}  // namespace lht::rpc

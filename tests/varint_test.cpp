@@ -1,0 +1,139 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/random.h"
+
+namespace lht::common {
+namespace {
+
+u64 roundTrip(u64 v) {
+  std::string buf;
+  appendVarint(buf, v);
+  EXPECT_EQ(buf.size(), varintSize(v));
+  size_t pos = 0;
+  auto back = decodeVarint(buf, &pos);
+  EXPECT_TRUE(back.has_value());
+  EXPECT_EQ(pos, buf.size());
+  return *back;
+}
+
+TEST(Varint, KnownEncodings) {
+  std::string buf;
+  appendVarint(buf, 0);
+  EXPECT_EQ(buf, std::string(1, '\0'));
+  buf.clear();
+  appendVarint(buf, 127);
+  EXPECT_EQ(buf, "\x7f");
+  buf.clear();
+  appendVarint(buf, 128);
+  EXPECT_EQ(buf, std::string("\x80\x01", 2));
+  buf.clear();
+  appendVarint(buf, 300);
+  EXPECT_EQ(buf, std::string("\xac\x02", 2));
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  // All the 7-bit group boundaries, +/- 1.
+  for (int shift = 0; shift <= 63; shift += 7) {
+    const u64 v = u64{1} << shift;
+    EXPECT_EQ(roundTrip(v - 1), v - 1);
+    EXPECT_EQ(roundTrip(v), v);
+    EXPECT_EQ(roundTrip(v + 1), v + 1);
+  }
+  EXPECT_EQ(roundTrip(std::numeric_limits<u64>::max()),
+            std::numeric_limits<u64>::max());
+}
+
+TEST(Varint, RoundTripRandom) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    // Mix widths: pure 32-bit draws rarely exercise long encodings.
+    u64 v = (u64{rng.next()} << 32) | rng.next();
+    v >>= rng.below(64);
+    EXPECT_EQ(roundTrip(v), v);
+  }
+}
+
+TEST(Varint, SizeMonotonic) {
+  EXPECT_EQ(varintSize(0), 1u);
+  EXPECT_EQ(varintSize(127), 1u);
+  EXPECT_EQ(varintSize(128), 2u);
+  EXPECT_EQ(varintSize(std::numeric_limits<u64>::max()), kMaxVarintBytes);
+}
+
+TEST(Varint, TruncatedFails) {
+  std::string buf;
+  appendVarint(buf, u64{1} << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    EXPECT_FALSE(decodeVarint(std::string_view(buf).substr(0, cut), &pos));
+    EXPECT_EQ(pos, 0u) << "failed decode must not advance pos";
+  }
+}
+
+TEST(Varint, OverlongRejected) {
+  // 0 encoded in two bytes (continuation + zero payload) is non-canonical.
+  const std::string overlong("\x80\x00", 2);
+  size_t pos = 0;
+  EXPECT_FALSE(decodeVarint(overlong, &pos));
+  // 11 continuation bytes exceed the 10-byte cap.
+  std::string tooLong(11, '\x80');
+  pos = 0;
+  EXPECT_FALSE(decodeVarint(tooLong, &pos));
+  // Max value's encoding is accepted; a 10th byte > 1 overflows u64.
+  std::string maxEnc;
+  appendVarint(maxEnc, std::numeric_limits<u64>::max());
+  ASSERT_EQ(maxEnc.size(), kMaxVarintBytes);
+  pos = 0;
+  EXPECT_TRUE(decodeVarint(maxEnc, &pos));
+  maxEnc.back() = static_cast<char>(maxEnc.back() | 0x02);
+  pos = 0;
+  EXPECT_FALSE(decodeVarint(maxEnc, &pos));
+}
+
+TEST(Varint, DecodeConsumesExactly) {
+  std::string buf;
+  appendVarint(buf, 5);
+  appendVarint(buf, 1000);
+  appendVarint(buf, 0);
+  buf += "tail";
+  size_t pos = 0;
+  EXPECT_EQ(decodeVarint(buf, &pos), 5u);
+  EXPECT_EQ(decodeVarint(buf, &pos), 1000u);
+  EXPECT_EQ(decodeVarint(buf, &pos), 0u);
+  EXPECT_EQ(buf.substr(pos), "tail");
+}
+
+TEST(Varint, CodecIntegration) {
+  Encoder e;
+  e.putVarint(0);
+  e.putVarint(300);
+  e.putVarBytes("hello");
+  e.putVarBytes("");
+  const std::string bytes = std::move(e).take();
+
+  Decoder d(bytes);
+  EXPECT_EQ(d.getVarint(), 0u);
+  EXPECT_EQ(d.getVarint(), 300u);
+  EXPECT_EQ(d.getVarBytes(), "hello");
+  EXPECT_EQ(d.getVarBytes(), "");
+  EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Varint, CodecVarBytesTruncated) {
+  Encoder e;
+  e.putVarBytes("payload");
+  const std::string bytes = std::move(e).take();
+  // Length varint claims 7 bytes; give it fewer.
+  Decoder d(std::string_view(bytes).substr(0, bytes.size() - 2));
+  EXPECT_FALSE(d.getVarBytes().has_value());
+}
+
+}  // namespace
+}  // namespace lht::common
