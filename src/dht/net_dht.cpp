@@ -26,6 +26,11 @@ class NetDht::Lease {
       idx_ = dht_.freeConns_.back();
       dht_.freeConns_.pop_back();
     }
+    // Resolve the Conn pointer while still holding poolMutex_: a
+    // concurrent Lease's push_back may reallocate conns_'s buffer, so
+    // rpc() must never re-index it unlocked. The unique_ptr pointee is
+    // stable across reallocation, and this slot is ours until ~Lease.
+    conn_ = dht_.conns_[idx_].get();
   }
   ~Lease() {
     std::lock_guard<std::mutex> lock(dht_.poolMutex_);
@@ -34,11 +39,12 @@ class NetDht::Lease {
   Lease(const Lease&) = delete;
   Lease& operator=(const Lease&) = delete;
 
-  [[nodiscard]] rpc::RpcClient& rpc() { return *dht_.conns_[idx_]->rpc; }
+  [[nodiscard]] rpc::RpcClient& rpc() { return *conn_->rpc; }
 
  private:
   const NetDht& dht_;
   size_t idx_;
+  Conn* conn_;
 };
 
 // --- Construction -----------------------------------------------------------
@@ -533,9 +539,18 @@ bool NetDht::pingAll(u64 deadlineMs) {
   std::vector<bool> up(opts_.nodes.size(), false);
   size_t remaining = opts_.nodes.size();
   while (remaining > 0) {
+    // Ping every still-silent node concurrently: a round costs at most
+    // one requestDeadline regardless of how many nodes are down, so the
+    // overshoot past deadlineMs is bounded by a single request deadline
+    // — not one per unresponsive node.
+    std::vector<std::pair<size_t, rpc::RpcClient::Token>> round;
+    round.reserve(remaining);
     for (size_t n = 0; n < opts_.nodes.size(); ++n) {
-      if (up[n]) continue;
-      auto r = cli.callOne(addrOf(n), PingReq{});
+      if (!up[n]) round.emplace_back(n, cli.call(addrOf(n), PingReq{}));
+    }
+    cli.settle();
+    for (const auto& [n, t] : round) {
+      auto r = cli.take(t);
       if (!r.timedOut && r.status == Status::Ok) {
         up[n] = true;
         remaining -= 1;

@@ -140,15 +140,20 @@ std::string NodeServer::handle(const NetAddr& from, std::string_view payload) {
   auto decoded = decodeRequest(payload);
   if (std::holds_alternative<DecodeError>(decoded)) {
     stats_.badRequests += 1;
-    // Reply only when the header (magic, version, opcode, id) parsed
-    // cleanly: then a broken body earns a BadRequest so the client fails
-    // fast instead of retransmitting a poison request until deadline.
-    // Anything less trustworthy — noise, foreign traffic, truncated
-    // headers — is dropped silently to avoid amplifying junk.
+    // Reply only when the header (magic, version, id) parsed cleanly:
+    // then a future opcode earns an UnknownOp (echoing the raw opcode —
+    // decodeHeader is lenient there) and a broken body a BadRequest, so
+    // the client fails fast instead of retransmitting a poison request
+    // until deadline. Anything less trustworthy — noise, foreign
+    // traffic, truncated headers — is dropped silently to avoid
+    // amplifying junk.
     auto h = decodeHeader(payload);
     if (std::holds_alternative<DecodeError>(h)) return {};
     const Header& hd = std::get<Header>(h);
     if (hd.isReply) return {};
+    if (!opKnown(static_cast<u8>(hd.op))) {
+      return encodeReply(hd.requestId, hd.op, Status::UnknownOp, EmptyRep{});
+    }
     return encodeReply(hd.requestId, hd.op, Status::BadRequest, EmptyRep{});
   }
 

@@ -1,6 +1,7 @@
 #include "rpc/rpc_client.h"
 
 #include <algorithm>
+#include <random>
 
 #include "common/types.h"
 
@@ -12,22 +13,44 @@ using wire::encodeRequest;
 using wire::Reply;
 
 RpcClient::RpcClient(Transport& transport, Options options)
-    : transport_(transport), opts_(options) {}
+    : transport_(transport), opts_(options) {
+  // Start ids at a random point per incarnation: a restarted client that
+  // inherits its predecessor's ephemeral port and restarts at id 1 would
+  // otherwise match the server dedup cache's (host, port, requestId)
+  // keys and be answered with replayed replies to someone else's calls.
+  std::random_device rd;
+  nextId_ = (u64{rd()} << 16) | 1;
+}
 
 RpcClient::Token RpcClient::call(const NetAddr& to, RequestBody body) {
   const u64 id = nextId_++;
   const u64 now = transport_.nowMs();
   Pending p;
   p.to = to;
+  p.result.op = wire::opOf(body);
   p.wire = encodeRequest(id, body);
+  stats_.requestsStarted += 1;
+  if (p.wire.size() > kMaxDatagramBytes) {
+    // No datagram transport will carry this; retransmitting it until the
+    // deadline would only dress a deterministic local failure up as a
+    // remote timeout 2 s later. Resolve immediately with an in-band
+    // status instead (sends stays 0: nothing touched the wire).
+    p.resolved = true;
+    p.result.status = Status::TooLarge;
+    stats_.oversized += 1;
+    requests_.emplace(id, std::move(p));
+    return id;
+  }
   p.deadlineAtMs = now + opts_.requestDeadlineMs;
   p.backoffMs = opts_.initialRetransmitMs;
   p.nextSendAtMs = now + p.backoffMs;
   p.result.sends = 1;
+  // A failed send here (or on retransmit) is treated like any lost
+  // datagram — the retransmit timer is the recovery path. Only the
+  // oversized case above fails deterministically on every attempt.
   transport_.send(to, p.wire);
   requests_.emplace(id, std::move(p));
   pendingLive_ += 1;
-  stats_.requestsStarted += 1;
   return id;
 }
 
@@ -51,9 +74,18 @@ void RpcClient::handleDatagram(const Datagram& d) {
     return;
   }
   Pending& p = it->second;
+  // A reply must also echo the op the request went out under. A server
+  // dedup cache keyed by (host, port, requestId) can replay a previous
+  // incarnation's reply for a colliding id; accepting it would hand the
+  // caller the wrong ReplyBody alternative (std::bad_variant_access in
+  // NetDht). Id randomization makes collisions unlikely; this makes
+  // them harmless.
+  if (reply.header.op != p.result.op) {
+    stats_.staleReplies += 1;
+    return;
+  }
   p.result.timedOut = false;
   p.result.status = reply.header.status;
-  p.result.op = reply.header.op;
   p.result.body = std::move(reply.body);
   p.resolved = true;
   pendingLive_ -= 1;

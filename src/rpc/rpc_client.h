@@ -46,7 +46,12 @@ class RpcClient {
     common::RelaxedCounter requestsStarted;  ///< logical calls
     common::RelaxedCounter retransmits;      ///< extra datagrams beyond the first
     common::RelaxedCounter timeouts;
-    common::RelaxedCounter staleReplies;     ///< replies with no pending request
+    /// Replies dropped unmatched: no pending request, wrong source
+    /// address, or an op that is not the one the request was sent under.
+    common::RelaxedCounter staleReplies;
+    /// Requests too large for any datagram, failed locally (TooLarge)
+    /// without ever touching the transport.
+    common::RelaxedCounter oversized;
   };
 
   using Token = u64;
@@ -54,6 +59,9 @@ class RpcClient {
   struct Result {
     bool timedOut = false;
     Status status = Status::Ok;
+    /// The op the request was sent under (set at call() time). A reply
+    /// is only accepted if it echoes this op, so `body` always holds the
+    /// variant alternative the op implies.
     Op op = Op::Ping;
     ReplyBody body;
     u32 sends = 0;  ///< datagrams spent on this request (1 = no retransmit)
@@ -102,6 +110,8 @@ class RpcClient {
   Transport& transport_;
   Options opts_;
   Stats stats_;
+  /// Randomized per incarnation (see constructor) so a restarted client
+  /// cannot collide with its predecessor's ids in a server dedup cache.
   u64 nextId_ = 1;
   size_t pendingLive_ = 0;  ///< unresolved entries in requests_
   std::unordered_map<u64, Pending> requests_;

@@ -154,11 +154,8 @@ std::optional<u64> getCount(Decoder& d) {
 
 }  // namespace
 
-// --- Encode ----------------------------------------------------------------
-
-std::string encodeRequest(u64 requestId, const RequestBody& body) {
-  Encoder e(64);
-  const Op op = std::visit(
+Op opOf(const RequestBody& body) {
+  return std::visit(
       [](const auto& b) -> Op {
         using T = std::decay_t<decltype(b)>;
         if constexpr (std::is_same_v<T, PingReq>) return Op::Ping;
@@ -176,7 +173,13 @@ std::string encodeRequest(u64 requestId, const RequestBody& body) {
         else return Op::Compact;
       },
       body);
-  putHeader(e, static_cast<u8>(op), Status::Ok, requestId);
+}
+
+// --- Encode ----------------------------------------------------------------
+
+std::string encodeRequest(u64 requestId, const RequestBody& body) {
+  Encoder e(64);
+  putHeader(e, static_cast<u8>(opOf(body)), Status::Ok, requestId);
   std::visit(
       [&e](const auto& b) {
         using T = std::decay_t<decltype(b)>;
@@ -245,7 +248,7 @@ std::string encodeReply(u64 requestId, Op op, Status status,
 
 namespace {
 
-DecodeResult<Header> decodeHeaderFrom(Decoder& d) {
+DecodeResult<Header> decodeHeaderFrom(Decoder& d, bool requireKnownOp) {
   auto magic = d.getU8();
   if (!magic) return DecodeError::Truncated;
   if (*magic != kMagic) return DecodeError::BadMagic;
@@ -255,7 +258,9 @@ DecodeResult<Header> decodeHeaderFrom(Decoder& d) {
   auto opByte = d.getU8();
   auto statusByte = d.getU8();
   if (!opByte || !statusByte) return DecodeError::Truncated;
-  if (!opKnown(*opByte & ~kReplyBit)) return DecodeError::BadOpcode;
+  if (requireKnownOp && !opKnown(*opByte & ~kReplyBit)) {
+    return DecodeError::BadOpcode;
+  }
   if (*statusByte > static_cast<u8>(Status::TooLarge)) {
     return DecodeError::BadField;
   }
@@ -273,12 +278,14 @@ DecodeResult<Header> decodeHeaderFrom(Decoder& d) {
 
 DecodeResult<Header> decodeHeader(std::string_view datagram) {
   Decoder d(datagram);
-  return decodeHeaderFrom(d);
+  // Lenient about the opcode (see header comment): the op field carries
+  // the raw value through so callers can answer unknown-op requests.
+  return decodeHeaderFrom(d, /*requireKnownOp=*/false);
 }
 
 DecodeResult<Request> decodeRequest(std::string_view datagram) {
   Decoder d(datagram);
-  auto h = decodeHeaderFrom(d);
+  auto h = decodeHeaderFrom(d, /*requireKnownOp=*/true);
   if (auto* err = std::get_if<DecodeError>(&h)) return *err;
   Request req;
   req.header = std::get<Header>(h);
@@ -367,7 +374,7 @@ DecodeResult<Request> decodeRequest(std::string_view datagram) {
 
 DecodeResult<Reply> decodeReply(std::string_view datagram) {
   Decoder d(datagram);
-  auto h = decodeHeaderFrom(d);
+  auto h = decodeHeaderFrom(d, /*requireKnownOp=*/true);
   if (auto* err = std::get_if<DecodeError>(&h)) return *err;
   Reply rep;
   rep.header = std::get<Header>(h);

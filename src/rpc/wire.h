@@ -68,8 +68,9 @@ enum class Op : u8 {
 enum class Status : u8 {
   Ok = 0,
   BadRequest = 1,   ///< body failed to decode
-  UnknownOp = 2,
-  TooLarge = 3,     ///< reply would exceed kMaxDatagramBytes
+  UnknownOp = 2,    ///< header parsed but the opcode is from a future protocol
+  TooLarge = 3,     ///< message would exceed kMaxDatagramBytes (replies:
+                    ///< server-side; requests: failed locally by RpcClient)
 };
 [[nodiscard]] const char* statusName(Status s);
 
@@ -197,6 +198,9 @@ struct Reply {
   ReplyBody body;
 };
 
+/// The opcode a request body travels under.
+[[nodiscard]] Op opOf(const RequestBody& body);
+
 // --- Encode ----------------------------------------------------------------
 
 [[nodiscard]] std::string encodeRequest(u64 requestId, const RequestBody& body);
@@ -215,7 +219,11 @@ using DecodeResult = std::variant<T, DecodeError>;
 /// header's opcode; non-Ok statuses decode to EmptyRep.
 [[nodiscard]] DecodeResult<Reply> decodeReply(std::string_view datagram);
 
-/// Peeks at the header only (dispatch without full body decode).
+/// Peeks at the header only (dispatch without full body decode). Unlike
+/// the full decoders, an UNKNOWN opcode passes through (`op` then holds
+/// the raw value) so a server can answer a future client's opcode with
+/// Status::UnknownOp instead of silence — check opKnown() before
+/// treating `op` as a member of the enum.
 [[nodiscard]] DecodeResult<Header> decodeHeader(std::string_view datagram);
 
 }  // namespace lht::rpc::wire

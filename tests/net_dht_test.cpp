@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -90,6 +93,74 @@ TEST(NetDht, PutGetRemove) {
   EXPECT_FALSE(dht->remove("a"));
   EXPECT_FALSE(dht->get("a").has_value());
   EXPECT_EQ(dht->size(), 1u);
+}
+
+TEST(NetDht, ConcurrentClientsGrowPoolSafely) {
+  // A cluster whose servers hold each RPC open for ~1ms of wall time, so
+  // concurrent callers' leases genuinely overlap: the pool must grow, and
+  // every thread's first Lease push_back can reallocate conns_ while
+  // other threads are mid-RPC — the reallocation window each Lease must
+  // pin its Conn* across (the fleet-warmup shape lht_net_trace drives).
+  rpc::SimHub hub;
+  std::vector<std::unique_ptr<rpc::NodeServer>> servers;
+  std::vector<rpc::NetAddr> addrs;
+  for (rpc::u16 port : {5100, 5101}) {
+    servers.push_back(std::make_unique<rpc::NodeServer>());
+    hub.registerHandler(
+        port, [srv = servers.back().get()](
+                  const rpc::Datagram& d,
+                  const std::function<void(std::string)>& reply) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          std::string out = srv->handle(d.from, d.payload);
+          if (!out.empty()) reply(std::move(out));
+        });
+    addrs.push_back(rpc::NetAddr{0, port});
+  }
+  NetDht::Options o;
+  o.nodes = addrs;
+  auto dht =
+      std::make_unique<NetDht>(o, [&hub] { return hub.makeEndpoint(); });
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dht, &ready, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        dht->put(key, key);
+        EXPECT_EQ(dht->get(key), key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dht->size(), size_t{kThreads} * kOpsPerThread);
+  EXPECT_GE(dht->netStats().connections, 2u);
+}
+
+TEST(NetDht, PingAllReportsClusterHealthWithinDeadline) {
+  Cluster c(4);
+  auto dht = c.makeDht(1, /*deadlineMs=*/200);
+  EXPECT_TRUE(dht->pingAll(1000));
+  // Half the cluster dark: pings go out concurrently, so giving up costs
+  // the deadline plus at most ONE request deadline — not one per down
+  // node. The requests-started delta stays a few rounds' worth.
+  c.hub.setOnline(5002, false);
+  c.hub.setOnline(5003, false);
+  const auto before = dht->netStats().requestsStarted;
+  EXPECT_FALSE(dht->pingAll(500));
+  const auto after = dht->netStats().requestsStarted;
+  // Round 1 pings all 4 nodes; later rounds only the 2 still-silent
+  // ones; ceil(500 / 200) = 3 rounds before the deadline check fires.
+  EXPECT_LE(after - before, 12u);
+  c.hub.setOnline(5002, true);
+  c.hub.setOnline(5003, true);
+  EXPECT_TRUE(dht->pingAll(1000));
 }
 
 TEST(NetDht, ApplyCreatesMutatesErases) {

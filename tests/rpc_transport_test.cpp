@@ -186,6 +186,67 @@ TEST(RpcClient, SeededLossStillCompletes) {
   }
 }
 
+TEST(RpcClient, OversizedRequestFailsFastLocally) {
+  SimHub hub;
+  NodeServer server;
+  attachServer(hub, server, 1000);
+  auto endpoint = hub.makeEndpoint();
+  RpcClient cli(*endpoint);
+  const u64 before = endpoint->nowMs();
+  auto r = cli.callOne(NetAddr{0, 1000},
+                       PutReq{"k", std::string(kMaxDatagramBytes, 'x')});
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.timedOut);  // a local failure, not a fake remote timeout
+  EXPECT_EQ(r.status, Status::TooLarge);
+  EXPECT_EQ(r.sends, 0u);  // never touched the wire
+  EXPECT_EQ(cli.stats().oversized.load(), 1u);
+  EXPECT_EQ(endpoint->stats().datagramsSent.load(), 0u);
+  // Resolved immediately: no request deadline burned waiting on silence.
+  EXPECT_EQ(endpoint->nowMs(), before);
+  // The client stays usable for normal traffic afterwards.
+  EXPECT_TRUE(cli.callOne(NetAddr{0, 1000}, PutReq{"k", "v"}).ok());
+}
+
+TEST(RpcClient, MismatchedOpReplyIgnored) {
+  SimHub hub;
+  // A peer that echoes our ids under the wrong op — the shape a dedup
+  // cache replaying a previous incarnation's reply takes. Accepting it
+  // would hand a GetRep to a caller that sent a Put (bad_variant_access
+  // downstream); the client must drop it as stale and time out instead.
+  hub.registerHandler(
+      1000, [](const Datagram& d, const std::function<void(std::string)>& reply) {
+        auto decoded = decodeRequest(d.payload);
+        if (!std::holds_alternative<Request>(decoded)) return;
+        reply(encodeReply(std::get<Request>(decoded).header.requestId, Op::Get,
+                          Status::Ok, GetRep{}));
+      });
+  auto endpoint = hub.makeEndpoint();
+  RpcClient::Options opts;
+  opts.requestDeadlineMs = 300;
+  RpcClient cli(*endpoint, opts);
+  auto r = cli.callOne(NetAddr{0, 1000}, PutReq{"k", "v"});
+  EXPECT_TRUE(r.timedOut);
+  EXPECT_EQ(r.op, Op::Put);  // the request's op survives the timeout
+  EXPECT_GE(cli.stats().staleReplies.load(), 1u);
+}
+
+TEST(NodeServer, UnknownOpcodeGetsUnknownOpReply) {
+  NodeServer server;
+  // Hand-build a framed request carrying a future opcode (99): a newer
+  // client must get a fast UnknownOp echo, not a silent timeout.
+  std::string req = encodeRequest(7, PingReq{});
+  req[2] = static_cast<char>(99);
+  std::string reply = server.handle(NetAddr{0, 7}, req);
+  ASSERT_FALSE(reply.empty());
+  auto h = decodeHeader(reply);  // lenient peek: unknown op passes through
+  ASSERT_TRUE(std::holds_alternative<Header>(h));
+  const Header& hd = std::get<Header>(h);
+  EXPECT_TRUE(hd.isReply);
+  EXPECT_EQ(hd.status, Status::UnknownOp);
+  EXPECT_EQ(hd.requestId, 7u);
+  EXPECT_EQ(static_cast<u8>(hd.op), 99u);
+}
+
 TEST(NodeServer, SilentOnGarbageRepliesOnBrokenBody) {
   NodeServer server;
   // Pure noise: silence.
