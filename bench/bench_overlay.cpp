@@ -1,0 +1,459 @@
+// Emits BENCH_PR10.json: the self-routing overlay's cost profile
+// (DESIGN.md §15).
+//
+// Every phase runs against REAL overlay daemons — fork/exec'd lht_noded
+// --overlay=true processes on localhost UDP, grown from one seed exactly
+// the way scripts/run_cluster.sh deploys them — driven by a RoutedNetDht
+// client that knows only the seed address:
+//   * warm_routing — mixed KV workload (oracle-verified), then a
+//     measured read sweep over a settled view: warm lookups must route
+//     straight to their owner (mean hops <= 1.2, the ISSUE gate).
+//   * live_join   — a new daemon joins the LIVE cluster while the client
+//     hammers reads of the preloaded records; availability during the
+//     join (+ view heal) must stay >= 0.99.
+//   * graceful_leave — SIGUSR1 one member (stream keys out, announce
+//     Left, exit); afterwards every record the oracle holds must still
+//     read back: lost_keys == 0 through the whole grow/shrink story.
+//
+// Gates (checked here and by scripts/diff_bench.py):
+//   * warm mean hops <= 1.2;
+//   * read availability during the live join >= 0.99;
+//   * lost_keys == 0 after join AND after leave;
+//   * every phase's oracle verification passes.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "dht/routed_net_dht.h"
+#include "rpc/udp_transport.h"
+
+using lht::common::u64;
+using lht::dht::RoutedNetDht;
+namespace rpc = lht::rpc;
+
+namespace {
+
+struct Daemon {
+  pid_t pid = -1;
+  rpc::u16 port = 0;
+};
+
+std::string findNoded(const char* argv0) {
+  if (const char* env = std::getenv("LHT_NODED_PATH")) {
+    if (::access(env, X_OK) == 0) return env;
+  }
+  std::string dir(argv0);
+  const size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  for (const char* rel : {"/../src/rpc/lht_noded", "/lht_noded"}) {
+    const std::string candidate = dir + rel;
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return {};
+}
+
+/// fork/execs one overlay daemon and blocks until its ready line (which
+/// overlay joiners print BEFORE the join handshake — the join itself
+/// happens live, which is what the live_join phase measures).
+bool spawnDaemon(const std::string& binary,
+                 const std::vector<std::string>& extraArgs, Daemon& out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const auto& a : extraArgs) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(fds[1]);
+  FILE* pipe = ::fdopen(fds[0], "r");
+  char line[256] = {0};
+  const bool gotLine = pipe != nullptr && std::fgets(line, sizeof(line), pipe);
+  if (pipe != nullptr) std::fclose(pipe);
+  unsigned port = 0;
+  if (!gotLine ||
+      std::sscanf(line, "lht_noded: ready on 127.0.0.1:%u", &port) != 1 ||
+      port == 0 || port > 65535) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  out.pid = pid;
+  out.port = static_cast<rpc::u16>(port);
+  return true;
+}
+
+void stopDaemons(std::vector<Daemon>& daemons) {
+  for (auto& d : daemons) {
+    if (d.pid > 0) ::kill(d.pid, SIGTERM);
+  }
+  for (auto& d : daemons) {
+    if (d.pid > 0) ::waitpid(d.pid, nullptr, 0);
+    d.pid = -1;
+  }
+}
+
+/// One read attempt, churn-tolerant accounting: correct value = available,
+/// anything else (miss, stale, DhtError) = an unavailable sample.
+bool readOk(RoutedNetDht& dht, const std::string& key,
+            const std::string& expect) {
+  try {
+    auto got = dht.get(key);
+    return got.has_value() && *got == expect;
+  } catch (const lht::dht::DhtError&) {
+    return false;
+  }
+}
+
+/// Retry-until-deadline read: only a key still wrong at the deadline is
+/// actually lost (the run_cluster.sh verify model).
+bool eventuallyReads(RoutedNetDht& dht, const std::string& key,
+                     const std::string& expect, int deadlineSeconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(deadlineSeconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (readOk(dht, key, expect)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+struct WorkloadResult {
+  u64 ops = 0;
+  u64 opsFailed = 0;
+  double nsPerOp = 0.0;
+  double opsPerSec = 0.0;
+  bool oracleOk = false;
+};
+
+/// Mixed KV trace (50% get / 30% put / 20% apply) over a bounded
+/// keyspace, oracle-verified afterwards. Deterministic per seed.
+WorkloadResult runWorkload(RoutedNetDht& dht, u64 ops, u64 seed,
+                           std::map<std::string, std::string>& oracle) {
+  lht::common::Pcg32 rng(seed);
+  const size_t keyspace = 512;
+  for (size_t i = 0; i < keyspace; i += 2) {
+    const std::string k = "k" + std::to_string(i);
+    const std::string v = "v" + std::to_string(i);
+    dht.put(k, v);
+    oracle[k] = v;
+  }
+
+  WorkloadResult res;
+  res.ops = ops;
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < ops; ++i) {
+    const std::string k = "k" + std::to_string(rng.below(keyspace));
+    const u64 dice = rng.below(10);
+    try {
+      if (dice < 5) {
+        auto got = dht.get(k);
+        auto it = oracle.find(k);
+        const bool want = it != oracle.end();
+        if (got.has_value() != want || (want && *got != it->second)) {
+          res.opsFailed += 1;
+        }
+      } else if (dice < 8) {
+        const std::string v = "w" + std::to_string(i);
+        dht.put(k, v);
+        oracle[k] = v;
+      } else {
+        dht.apply(k, [](std::optional<lht::dht::Value>& v) {
+          v = v.value_or("") + "+";
+        });
+        oracle[k] += "+";
+      }
+    } catch (const lht::dht::DhtError&) {
+      res.opsFailed += 1;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  res.nsPerOp = ns / static_cast<double>(ops);
+  res.opsPerSec = ops / (ns / 1e9);
+
+  res.oracleOk = res.opsFailed == 0;
+  for (const auto& [k, v] : oracle) {
+    auto got = dht.get(k);
+    if (!got.has_value() || *got != v) {
+      res.oracleOk = false;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lht::common::Flags flags(
+      "bench_overlay",
+      "Emits BENCH_PR10.json: warm routing hops, availability during a "
+      "live join, and zero-loss grow/shrink over real overlay daemons.");
+  flags.define("nodes", "8", "initial cluster size");
+  flags.define("ops", "3000", "mixed workload operations (warm phase)");
+  flags.define("replication", "2", "copies per key (overlay + client)");
+  flags.define("seed", "42", "workload seed");
+  flags.define("out", "BENCH_PR10.json", "output path");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const size_t nodes = static_cast<size_t>(flags.getInt("nodes"));
+  const u64 ops = static_cast<u64>(flags.getInt("ops"));
+  const size_t replication = static_cast<size_t>(flags.getInt("replication"));
+  const u64 seed = static_cast<u64>(flags.getInt("seed"));
+
+  const std::string noded = findNoded(argv[0]);
+  if (noded.empty()) {
+    std::fprintf(stderr,
+                 "bench_overlay: lht_noded binary not found (build it, or "
+                 "set LHT_NODED_PATH)\n");
+    return 1;
+  }
+
+  const std::string repFlag = "--replication=" + std::to_string(replication);
+  auto overlayArgs = [&](size_t i, rpc::u16 seedPort) {
+    std::vector<std::string> args = {"--port=0", "--quiet=true",
+                                     "--overlay=true", repFlag,
+                                     "--name=bench-" + std::to_string(i)};
+    if (seedPort != 0) {
+      args.push_back("--seed-port=" + std::to_string(seedPort));
+    }
+    return args;
+  };
+
+  // Grow the cluster from one seed, the run_cluster.sh way.
+  std::vector<Daemon> daemons(nodes);
+  if (!spawnDaemon(noded, overlayArgs(0, 0), daemons[0])) {
+    std::fprintf(stderr, "bench_overlay: failed to spawn the seed daemon\n");
+    return 1;
+  }
+  bool spawnedAll = true;
+  for (size_t i = 1; i < nodes && spawnedAll; ++i) {
+    spawnedAll = spawnDaemon(noded, overlayArgs(i, daemons[0].port), daemons[i]);
+  }
+  if (!spawnedAll) {
+    std::fprintf(stderr, "bench_overlay: failed to spawn a member daemon\n");
+    stopDaemons(daemons);
+    return 1;
+  }
+
+  RoutedNetDht::Options ro;
+  ro.seed = rpc::NetAddr{rpc::kLoopbackHost, daemons[0].port};
+  ro.replication = replication;
+  RoutedNetDht dht(ro, [] {
+    return std::make_unique<rpc::UdpTransport>(rpc::UdpTransport::Options{});
+  });
+  // The members may still be mid-join: retry the bootstrap until the
+  // client's view holds the whole launch set.
+  const auto formDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (dht.knownMembers() < nodes &&
+         std::chrono::steady_clock::now() < formDeadline) {
+    dht.bootstrap(/*deadlineMs=*/2000);
+    if (dht.knownMembers() < nodes) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  if (dht.knownMembers() < nodes) {
+    std::fprintf(stderr, "bench_overlay: cluster never formed (%zu/%zu)\n",
+                 dht.knownMembers(), nodes);
+    stopDaemons(daemons);
+    return 1;
+  }
+
+  // Phase 1: mixed workload, then the measured warm-hop sweep -----------------
+  std::map<std::string, std::string> oracle;
+  const WorkloadResult warm = runWorkload(dht, ops, seed, oracle);
+  const u64 hopsBefore = dht.stats().hops;
+  const u64 lookupsBefore = dht.stats().lookups;
+  bool warmSweepOk = true;
+  for (const auto& [k, v] : oracle) {
+    if (!readOk(dht, k, v)) warmSweepOk = false;
+  }
+  const u64 warmLookups = u64{dht.stats().lookups} - lookupsBefore;
+  const u64 warmHops = u64{dht.stats().hops} - hopsBefore;
+  const double warmMeanHops =
+      warmLookups == 0 ? 0.0
+                       : static_cast<double>(warmHops) /
+                             static_cast<double>(warmLookups);
+
+  // Phase 2: live join under read load ----------------------------------------
+  // The joiner daemon prints its ready line before the join handshake, so
+  // the availability loop below runs concurrently with the actual key
+  // streaming and ring change, and keeps running until the CLIENT's view
+  // has healed to the grown ring (or a generous wall cap).
+  Daemon joiner;
+  if (!spawnDaemon(noded, overlayArgs(nodes, daemons[0].port), joiner)) {
+    std::fprintf(stderr, "bench_overlay: failed to spawn the joiner\n");
+    stopDaemons(daemons);
+    return 1;
+  }
+  daemons.push_back(joiner);
+  u64 joinReadsOk = 0;
+  u64 joinReadsBad = 0;
+  std::vector<std::pair<std::string, std::string>> records(oracle.begin(),
+                                                           oracle.end());
+  const auto joinCap =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool joinHealed = false;
+  while (true) {
+    for (const auto& [k, v] : records) {
+      if (readOk(dht, k, v)) {
+        joinReadsOk += 1;
+      } else {
+        joinReadsBad += 1;
+      }
+    }
+    joinHealed = dht.knownMembers() == nodes + 1;
+    if (joinHealed || std::chrono::steady_clock::now() > joinCap) break;
+  }
+  const double joinAvailability =
+      joinReadsOk + joinReadsBad == 0
+          ? 0.0
+          : static_cast<double>(joinReadsOk) /
+                static_cast<double>(joinReadsOk + joinReadsBad);
+  u64 lostAfterJoin = 0;
+  for (const auto& [k, v] : records) {
+    if (!eventuallyReads(dht, k, v, 15)) lostAfterJoin += 1;
+  }
+
+  // Phase 3: graceful leave ----------------------------------------------------
+  // SIGUSR1 the last original member: it streams every key to the new
+  // owners, announces Left, and exits 0. Nothing may be lost.
+  Daemon& leaver = daemons[nodes - 1];
+  ::kill(leaver.pid, SIGUSR1);
+  int leaveStatus = -1;
+  ::waitpid(leaver.pid, &leaveStatus, 0);
+  const bool leaverExitedClean =
+      WIFEXITED(leaveStatus) && WEXITSTATUS(leaveStatus) == 0;
+  leaver.pid = -1;
+  u64 lostAfterLeave = 0;
+  for (const auto& [k, v] : records) {
+    if (!eventuallyReads(dht, k, v, 15)) lostAfterLeave += 1;
+  }
+
+  const auto rs = dht.routedStats();
+  stopDaemons(daemons);
+
+  const bool warmHopsOk = warmMeanHops <= 1.2 && warmLookups > 0;
+  const bool availabilityOk = joinAvailability >= 0.99 && joinHealed;
+  const u64 lostKeys = lostAfterJoin + lostAfterLeave;
+  const bool lostKeysOk = lostKeys == 0 && leaverExitedClean;
+  const bool oracleOk = warm.oracleOk && warmSweepOk;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"lht_overlay\",\n"
+     << "  \"config\": {\n"
+     << "    \"nodes\": " << nodes << ",\n"
+     << "    \"ops\": " << ops << ",\n"
+     << "    \"replication\": " << replication << ",\n"
+     << "    \"seed\": " << seed << "\n"
+     << "  },\n"
+     << "  \"warm_routing\": {\n"
+     << "    \"ops\": " << warm.ops << ",\n"
+     << "    \"ops_failed\": " << warm.opsFailed << ",\n"
+     << "    \"ns_per_op\": " << warm.nsPerOp << ",\n"
+     << "    \"ops_per_sec\": " << warm.opsPerSec << ",\n"
+     << "    \"sweep_lookups\": " << warmLookups << ",\n"
+     << "    \"sweep_hops\": " << warmHops << ",\n"
+     << "    \"mean_hops\": " << warmMeanHops << ",\n"
+     << "    \"oracle_ok\": " << (oracleOk ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"live_join\": {\n"
+     << "    \"reads_ok\": " << joinReadsOk << ",\n"
+     << "    \"reads_bad\": " << joinReadsBad << ",\n"
+     << "    \"availability\": " << joinAvailability << ",\n"
+     << "    \"view_healed\": " << (joinHealed ? "true" : "false") << ",\n"
+     << "    \"lost_keys\": " << lostAfterJoin << "\n"
+     << "  },\n"
+     << "  \"graceful_leave\": {\n"
+     << "    \"leaver_exited_clean\": "
+     << (leaverExitedClean ? "true" : "false") << ",\n"
+     << "    \"lost_keys\": " << lostAfterLeave << "\n"
+     << "  },\n"
+     << "  \"client\": {\n"
+     << "    \"bootstraps\": " << rs.bootstraps << ",\n"
+     << "    \"refreshes\": " << rs.refreshes << ",\n"
+     << "    \"redirects_followed\": " << rs.redirectsFollowed << ",\n"
+     << "    \"stale_hints\": " << rs.staleHints << ",\n"
+     << "    \"retries_after_timeout\": " << rs.retriesAfterTimeout << "\n"
+     << "  },\n"
+     << "  \"gates\": {\n"
+     << "    \"warm_mean_hops\": " << warmMeanHops << ",\n"
+     << "    \"warm_mean_hops_ceiling\": 1.2,\n"
+     << "    \"warm_hops_ok\": " << (warmHopsOk ? "true" : "false") << ",\n"
+     << "    \"join_availability\": " << joinAvailability << ",\n"
+     << "    \"join_availability_floor\": 0.99,\n"
+     << "    \"availability_ok\": " << (availabilityOk ? "true" : "false")
+     << ",\n"
+     << "    \"lost_keys\": " << lostKeys << ",\n"
+     << "    \"lost_keys_ok\": " << (lostKeysOk ? "true" : "false") << ",\n"
+     << "    \"oracle_ok\": " << (oracleOk ? "true" : "false") << "\n"
+     << "  }\n"
+     << "}\n";
+
+  const std::string outPath = flags.getString("out");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::fprintf(stderr, "bench_overlay: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  out << os.str();
+  std::cout << os.str();
+
+  if (!oracleOk) {
+    std::fprintf(stderr, "bench_overlay: GATE FAILED: oracle verification\n");
+    return 4;
+  }
+  if (!warmHopsOk) {
+    std::fprintf(stderr,
+                 "bench_overlay: GATE FAILED: warm mean hops %.3f > 1.2\n",
+                 warmMeanHops);
+    return 5;
+  }
+  if (!availabilityOk) {
+    std::fprintf(
+        stderr,
+        "bench_overlay: GATE FAILED: join availability %.4f < 0.99 "
+        "(healed=%d)\n",
+        joinAvailability, joinHealed ? 1 : 0);
+    return 6;
+  }
+  if (!lostKeysOk) {
+    std::fprintf(stderr,
+                 "bench_overlay: GATE FAILED: %llu keys lost "
+                 "(leaver_clean=%d)\n",
+                 static_cast<unsigned long long>(lostKeys),
+                 leaverExitedClean ? 1 : 0);
+    return 7;
+  }
+  return 0;
+}

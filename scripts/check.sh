@@ -10,6 +10,7 @@
 #
 # Usage: scripts/check.sh [--fast] [--no-bench] [--coverage] [--tsan]
 #                         [--durability] [--churn] [--skew] [--net]
+#                         [--overlay]
 #   --fast      skip the sanitizer pass (normal build + tests only)
 #   --no-bench  skip the release build + perf-baseline diff
 #   --coverage  also build the coverage preset, run the tests under it, and
@@ -42,6 +43,16 @@
 #               build-release/BENCH_PR9.json, diffed warn-only against the
 #               committed BENCH_PR9.json, and an 8-node run_cluster.sh
 #               smoke run with oracle verification
+#   --overlay   also run the overlay membership/routing/elasticity suites
+#               under ASan+UBSan (gossip merge, forward/redirect, live
+#               join/leave/crash in the sim twin, RoutedNetDht, dedup
+#               bounds, rpc.* exporters), then the release overlay bench
+#               (warm hops ceiling + live-join availability floor + zero
+#               lost keys over real UDP daemons) into
+#               build-release/BENCH_PR10.json, diffed warn-only against
+#               the committed BENCH_PR10.json, and an 8-node
+#               run_cluster.sh --churn run (live join, graceful leave,
+#               crash — oracle-verified after every step)
 #
 # The full crash-restart campaigns (ctest label `slow`, excluded from a
 # plain ctest run) execute here under the AddressSanitizer preset: every
@@ -58,6 +69,7 @@ durability=0
 churn=0
 skew=0
 net=0
+overlay=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
@@ -68,6 +80,7 @@ for arg in "$@"; do
     --churn) churn=1 ;;
     --skew) skew=1 ;;
     --net) net=1 ;;
+    --overlay) overlay=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -195,6 +208,26 @@ if [[ "$net" -eq 1 ]]; then
             "committed baseline (warn-only, see above)"
   echo "== 8-node localhost cluster smoke (run_cluster.sh) =="
   BUILD_DIR=build-release scripts/run_cluster.sh 8 8 2000
+fi
+
+if [[ "$overlay" -eq 1 ]]; then
+  echo "== overlay membership/routing/elasticity suites under ASan+UBSan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target lht_tests \
+    --target lht_noded
+  ctest --test-dir build-asan -j "$jobs" --output-on-failure \
+    -R 'NodeId|MembershipTable|MemberRing|OverlayNode|RoutedNetDht|NodeServerDedup|RpcMetrics|RpcWire'
+  echo "== overlay bench (warm hops + live-join availability, release) =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_overlay \
+    --target lht_net_trace
+  ./build-release/bench/bench_overlay --out=build-release/BENCH_PR10.json \
+    > /dev/null
+  python3 scripts/diff_bench.py BENCH_PR10.json build-release/BENCH_PR10.json \
+    || echo "check.sh: WARNING: overlay metrics drifted from the" \
+            "committed baseline (warn-only, see above)"
+  echo "== 8-node live grow/shrink cluster run (run_cluster.sh --churn) =="
+  BUILD_DIR=build-release scripts/run_cluster.sh 8 8 2000 --churn
 fi
 
 if [[ "$coverage" -eq 1 ]]; then

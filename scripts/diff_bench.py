@@ -4,8 +4,9 @@
 Usage: diff_bench.py BASELINE.json FRESH.json
 
 Understands the bench_json (BENCH_PR2), bench_durability (BENCH_PR5),
-bench_storm (BENCH_PR6), bench_skew (BENCH_PR8), and bench_net
-(BENCH_PR9) output shapes, dispatching on the "bench" field.
+bench_storm (BENCH_PR6), bench_skew (BENCH_PR8), bench_net (BENCH_PR9),
+and bench_overlay (BENCH_PR10) output shapes, dispatching on the "bench"
+field.
 Exits 1 (for the caller to warn on) when a key metric regressed beyond
 tolerance or an invariant (the B+3 range bound, the >=2x lookup speedup,
 the <=2.5x WAL overhead gate, the 0.99 availability floor, the 3x
@@ -80,6 +81,21 @@ NET_CHECKS = [
 ]
 
 
+# The overlay bench runs over real UDP daemons with live churn, so most
+# of its numbers are wall-clock-adjacent; what must hold run to run are
+# the correctness counters (zero failed ops, zero lost keys — exact) and
+# the gates themselves (hops ceiling, availability floor). sweep_lookups
+# is one read per oracle key, a deterministic function of the seed.
+OVERLAY_CHECKS = [
+    (("warm_routing", "ops"), "exact", None),
+    (("warm_routing", "ops_failed"), "exact", None),
+    (("warm_routing", "sweep_lookups"), "exact", None),
+    (("warm_routing", "ns_per_op"), "ratio", 5.0),
+    (("live_join", "lost_keys"), "exact", None),
+    (("graceful_leave", "lost_keys"), "exact", None),
+]
+
+
 def lookup(doc, path):
     for key in path:
         doc = doc[key]
@@ -100,6 +116,7 @@ def main():
     storm = kind == "lht_churn_storm"
     skew = kind == "lht_skew"
     net = kind == "lht_net"
+    overlay = kind == "lht_overlay"
     if durability:
         checks = DURABILITY_CHECKS
     elif storm:
@@ -108,6 +125,8 @@ def main():
         checks = SKEW_CHECKS
     elif net:
         checks = NET_CHECKS
+    elif overlay:
+        checks = OVERLAY_CHECKS
     else:
         checks = CLIENT_CHECKS
 
@@ -185,6 +204,27 @@ def main():
             print(f"diff_bench: the networked phase saw "
                   f"{fresh['networked'].get('timeouts')} request timeouts "
                   "on loopback")
+            bad += 1
+    elif overlay:
+        gates = fresh.get("gates", {})
+        if not gates.get("warm_hops_ok", False):
+            print(f"diff_bench: warm mean hops "
+                  f"{gates.get('warm_mean_hops', 0):.3f} exceeded the "
+                  f"{gates.get('warm_mean_hops_ceiling', 1.2)} ceiling")
+            bad += 1
+        if not gates.get("availability_ok", False):
+            print(f"diff_bench: read availability during the live join "
+                  f"{gates.get('join_availability', 0):.4f} fell below the "
+                  f"{gates.get('join_availability_floor', 0.99)} floor "
+                  "(or the client view never healed)")
+            bad += 1
+        if not gates.get("lost_keys_ok", False):
+            print(f"diff_bench: {gates.get('lost_keys', '?')} keys lost "
+                  "across the join/leave churn (or the leaver exited dirty)")
+            bad += 1
+        if not gates.get("oracle_ok", False):
+            print("diff_bench: the overlay warm phase failed oracle "
+                  "verification")
             bad += 1
     elif durability:
         if not fresh["insert"].get("overhead_gate_passed", False):

@@ -1,33 +1,63 @@
 #!/usr/bin/env bash
 # Runs a real networked LHT cluster on localhost: N lht_noded daemon
 # processes (one UDP port each), then lht_net_trace — a multi-threaded
-# ClientFleet speaking the binary wire protocol through NetDht — preloads
-# an oracle data set, replays a mixed trace, and verifies every surviving
-# record against the oracle. Exit 0 means the whole distributed run was
-# verified correct.
+# ClientFleet speaking the binary wire protocol — preloads an oracle data
+# set, replays a mixed trace, and verifies every surviving record against
+# the oracle. Exit 0 means the whole distributed run was verified correct.
 #
-# Usage: scripts/run_cluster.sh [NODES] [CLIENTS] [OPS]
+# Usage: scripts/run_cluster.sh [NODES] [CLIENTS] [OPS] [flags]
 #   NODES    daemon processes to launch   (default 8)
 #   CLIENTS  fleet client threads         (default 8)
 #   OPS      trace operations             (default 2000)
+# Flags (anywhere on the command line):
+#   --overlay  run the self-routing overlay: daemons gossip membership and
+#              forward/redirect misrouted ops; the client is a
+#              RoutedNetDht that bootstraps from the first node only
+#   --churn    after the trace, grow and shrink the LIVE cluster —
+#              join a new daemon, SIGUSR1 one member (graceful leave),
+#              SIGKILL another (crash) — re-verifying the full oracle
+#              after every step. Implies --overlay.
 #
 # Environment:
 #   BUILD_DIR    build tree holding the binaries (default: build)
-#   BASE_PORT    first UDP port (default 9301; daemon i gets BASE_PORT+i)
+#   BASE_PORT    fixed first UDP port (default: unset — every daemon binds
+#                an ephemeral port and reports it through a port file in a
+#                per-run mktemp dir, so concurrent invocations never
+#                collide)
 #   REPLICATION  total copies per key (default 2)
 #
 # Teardown guard: an EXIT/INT/TERM trap SIGTERMs every daemon this script
 # spawned and then VERIFIES each one actually died (escalating to SIGKILL
 # after a grace period) — a wedged daemon fails the run instead of leaking
-# a process that holds the port and poisons the next invocation.
+# a process that holds the port and poisons the next invocation. The
+# per-run temp dir is removed on the way out.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-nodes="${1:-8}"
-clients="${2:-8}"
-ops="${3:-2000}"
+nodes=""
+clients=""
+ops=""
+overlay=0
+churn=0
+for arg in "$@"; do
+  case "$arg" in
+    --overlay) overlay=1 ;;
+    --churn) overlay=1; churn=1 ;;
+    --*) echo "run_cluster: unknown flag $arg" >&2; exit 2 ;;
+    *)
+      if [[ -z "$nodes" ]]; then nodes="$arg"
+      elif [[ -z "$clients" ]]; then clients="$arg"
+      elif [[ -z "$ops" ]]; then ops="$arg"
+      else echo "run_cluster: too many positional args" >&2; exit 2
+      fi
+      ;;
+  esac
+done
+nodes="${nodes:-8}"
+clients="${clients:-8}"
+ops="${ops:-2000}"
 build_dir="${BUILD_DIR:-build}"
-base_port="${BASE_PORT:-9301}"
+base_port="${BASE_PORT:-}"
 replication="${REPLICATION:-2}"
 
 noded="$build_dir/src/rpc/lht_noded"
@@ -39,6 +69,7 @@ for bin in "$noded" "$trace"; do
   fi
 done
 
+rundir="$(mktemp -d "${TMPDIR:-/tmp}/lht_cluster.XXXXXX")"
 pids=()
 
 teardown() {
@@ -66,21 +97,103 @@ teardown() {
       status=3
     fi
   fi
+  rm -rf "$rundir"
   exit "$status"
 }
 trap teardown EXIT INT TERM
 
-echo "run_cluster: launching $nodes daemons on 127.0.0.1:$base_port..." >&2
-ports=()
-for i in $(seq 0 $((nodes - 1))); do
-  port=$((base_port + i))
-  "$noded" --port="$port" --name="node-$i" --quiet=true &
+# launch_daemon INDEX [extra lht_noded flags...]
+# Starts daemon INDEX (ephemeral port unless BASE_PORT pins it), records
+# its pid, and leaves its bound port in $rundir/node<INDEX>.port.
+launch_daemon() {
+  local i="$1"; shift
+  local port=0
+  if [[ -n "$base_port" ]]; then port=$((base_port + i)); fi
+  "$noded" --port="$port" --port-file="$rundir/node$i.port" \
+    --name="node-$i" --quiet=true "$@" &
   pids+=($!)
-  ports+=("$port")
-done
+}
+
+# wait_port INDEX -> echoes the daemon's bound port (fails after ~10s).
+wait_port() {
+  local i="$1"
+  local f="$rundir/node$i.port"
+  for _ in $(seq 1 100); do
+    if [[ -s "$f" ]]; then cat "$f"; return 0; fi
+    sleep 0.1
+  done
+  echo "run_cluster: daemon $i never wrote $f" >&2
+  return 1
+}
+
+overlay_flags=()
+if [[ "$overlay" -eq 1 ]]; then
+  overlay_flags=(--overlay=true --replication="$replication")
+fi
+
+echo "run_cluster: launching $nodes daemons (rundir $rundir)..." >&2
+ports=()
+if [[ "$overlay" -eq 1 ]]; then
+  # Seed node first; everyone else joins through it, so the cluster forms
+  # the same way a live deployment grows.
+  launch_daemon 0 "${overlay_flags[@]}"
+  seed="$(wait_port 0)"
+  ports+=("$seed")
+  for i in $(seq 1 $((nodes - 1))); do
+    launch_daemon "$i" "${overlay_flags[@]}" --seed-port="$seed"
+  done
+  for i in $(seq 1 $((nodes - 1))); do
+    ports+=("$(wait_port "$i")")
+  done
+else
+  for i in $(seq 0 $((nodes - 1))); do
+    launch_daemon "$i"
+  done
+  for i in $(seq 0 $((nodes - 1))); do
+    ports+=("$(wait_port "$i")")
+  done
+fi
 
 node_list="$(IFS=,; echo "${ports[*]}")"
-echo "run_cluster: $clients clients x $ops ops against $node_list" >&2
+routed_flag="false"
+if [[ "$overlay" -eq 1 ]]; then routed_flag="true"; fi
+echo "run_cluster: $clients clients x $ops ops against $node_list (routed=$routed_flag)" >&2
 "$trace" --nodes="$node_list" --clients="$clients" --ops="$ops" \
-  --replication="$replication"
+  --replication="$replication" --routed="$routed_flag"
+
+if [[ "$churn" -eq 1 ]]; then
+  verify() {
+    local label="$1"
+    echo "run_cluster: verifying oracle after $label..." >&2
+    "$trace" --nodes="$seed" --routed=true --mode=verify \
+      --replication="$replication" --retry-for-ms=15000
+  }
+
+  echo "run_cluster: churn step 1 — JOIN a new daemon" >&2
+  joiner=$nodes
+  launch_daemon "$joiner" "${overlay_flags[@]}" --seed-port="$seed"
+  wait_port "$joiner" > /dev/null
+  verify "join"
+
+  echo "run_cluster: churn step 2 — graceful LEAVE (SIGUSR1 node-1)" >&2
+  leaver_pid="${pids[1]}"
+  kill -USR1 "$leaver_pid"
+  for _ in $(seq 1 150); do
+    kill -0 "$leaver_pid" 2> /dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$leaver_pid" 2> /dev/null; then
+    echo "run_cluster: node-1 did not exit after SIGUSR1" >&2
+    exit 4
+  fi
+  verify "leave"
+
+  echo "run_cluster: churn step 3 — CRASH (SIGKILL node-2)" >&2
+  kill -KILL "${pids[2]}" 2> /dev/null || true
+  wait "${pids[2]}" 2> /dev/null || true
+  # Survivors need a few gossip rounds to mark the node dead and promote
+  # replicas; the verify pass retries through that window.
+  verify "crash"
+fi
+
 echo "run_cluster: verified OK" >&2

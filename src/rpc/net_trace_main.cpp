@@ -1,23 +1,36 @@
 // lht_net_trace: drives a real LHT client fleet against a running
 // lht_noded cluster and verifies the result against an oracle.
 //
-// The cluster is someone else's problem (run_cluster.sh / bench_net fork
-// the daemons); this binary is pure client: build a NetDht over UDP,
-// wait for every node to answer ping, preload one record per oracle
-// cell through a loader index, run a mixed insert/find/range trace
-// through a concurrent ClientFleet, then re-read every preloaded record
-// through a fresh verifier client and compare payloads.
+// The cluster is someone else's problem (run_cluster.sh / bench_net /
+// bench_overlay fork the daemons); this binary is pure client: build a
+// NetDht (static node list) or RoutedNetDht (--routed: one seed, ring
+// learned via gossip pull + redirects) over UDP, preload one record per
+// oracle cell through a loader index, run a mixed insert/find/range
+// trace through a concurrent ClientFleet, then re-read every preloaded
+// record through a fresh verifier client and compare payloads.
+//
+// --mode splits the phases so churn scripts can interleave topology
+// changes between them:
+//   run      preload + trace + verify (default, the PR 9 behavior)
+//   preload  preload the oracle records, verify they read back, exit
+//   verify   only re-read the oracle (reconstructed from --preload/--seed)
+// A verify against a cluster mid-join/leave/repair sets --retry-for-ms:
+// a missing or timed-out record is retried until the window closes, so
+// transient unavailability is separated from actual data loss.
 //
 // Prints one JSON object on stdout. Exit codes: 0 ok, 3 cluster never
 // came up, 4 trace ops failed, 5 oracle mismatch.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
 #include "dht/net_dht.h"
+#include "dht/routed_net_dht.h"
 #include "exec/client_fleet.h"
 #include "exec/thread_pool.h"
 #include "lht/lht_index.h"
@@ -42,6 +55,12 @@ std::vector<rpc::NetAddr> parsePorts(const std::string& csv) {
   return out;
 }
 
+double nowWallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +74,12 @@ int main(int argc, char** argv) {
   flags.define("dist", "uniform", "key distribution: uniform|gaussian|zipf");
   flags.define("seed", "42", "workload seed");
   flags.define("ping-deadline-ms", "10000", "how long to wait for the cluster");
+  flags.define("routed", "false",
+               "use RoutedNetDht: bootstrap from the first --nodes port, "
+               "learn the ring from gossip/redirects");
+  flags.define("mode", "run", "run | preload | verify (see header comment)");
+  flags.define("retry-for-ms", "0",
+               "verify: retry a missing/timed-out oracle record this long");
   if (!flags.parse(argc, argv)) return 2;
 
   const auto nodes = parsePorts(flags.getString("nodes"));
@@ -66,19 +91,47 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<size_t>(flags.getInt("ops"));
   const auto preload = static_cast<size_t>(flags.getInt("preload"));
   const common::u64 seed = static_cast<common::u64>(flags.getInt("seed"));
-
-  dht::NetDht::Options no;
-  no.nodes = nodes;
-  no.replication = static_cast<size_t>(flags.getInt("replication"));
-  dht::NetDht ndht(no, [] {
-    return std::make_unique<rpc::UdpTransport>(rpc::UdpTransport::Options{});
-  });
-
-  if (!ndht.pingAll(
-          static_cast<common::u64>(flags.getInt("ping-deadline-ms")))) {
-    std::fprintf(stderr, "lht_net_trace: cluster did not answer ping\n");
-    return 3;
+  const bool routed = flags.getBool("routed");
+  const std::string mode = flags.getString("mode");
+  const double retryForMs = static_cast<double>(flags.getInt("retry-for-ms"));
+  if (mode != "run" && mode != "preload" && mode != "verify") {
+    std::fprintf(stderr, "lht_net_trace: bad --mode=%s\n", mode.c_str());
+    return 2;
   }
+
+  auto makeTransport = [] {
+    return std::make_unique<rpc::UdpTransport>(rpc::UdpTransport::Options{});
+  };
+  const auto pingDeadline =
+      static_cast<common::u64>(flags.getInt("ping-deadline-ms"));
+
+  std::unique_ptr<dht::NetDht> staticDht;
+  std::unique_ptr<dht::RoutedNetDht> routedDht;
+  dht::Dht* dhtPtr = nullptr;
+  if (routed) {
+    dht::RoutedNetDht::Options ro;
+    ro.seed = nodes[0];
+    ro.replication = static_cast<size_t>(flags.getInt("replication"));
+    routedDht = std::make_unique<dht::RoutedNetDht>(ro, makeTransport);
+    if (!routedDht->bootstrap(pingDeadline)) {
+      std::fprintf(stderr,
+                   "lht_net_trace: overlay seed %s never answered\n",
+                   nodes[0].str().c_str());
+      return 3;
+    }
+    dhtPtr = routedDht.get();
+  } else {
+    dht::NetDht::Options no;
+    no.nodes = nodes;
+    no.replication = static_cast<size_t>(flags.getInt("replication"));
+    staticDht = std::make_unique<dht::NetDht>(no, makeTransport);
+    if (!staticDht->pingAll(pingDeadline)) {
+      std::fprintf(stderr, "lht_net_trace: cluster did not answer ping\n");
+      return 3;
+    }
+    dhtPtr = staticDht.get();
+  }
+  dht::Dht& ndht = *dhtPtr;
 
   auto indexOptions = [&](common::u64 clientSeed, bool attach) {
     core::LhtIndex::Options io;
@@ -90,67 +143,116 @@ int main(int argc, char** argv) {
     return io;
   };
 
-  // Preload doubles as the oracle (same pattern as the skew campaign):
-  // trace erases only target keys the trace itself inserted, so these
-  // records must all survive the run bit-for-bit.
-  core::LhtIndex loader(ndht, indexOptions(seed * 131, false));
+  // The oracle is a pure function of (preload, i): churn scripts rebuild
+  // it in --mode=verify without any state carried between invocations.
   std::vector<index::Record> oracle;
   oracle.reserve(preload);
   for (size_t i = 0; i < preload; ++i) {
     index::Record r;
     r.key = (static_cast<double>(i) + 0.5) / static_cast<double>(preload);
     r.payload = "oracle-" + std::to_string(i);
-    loader.insert(r);
     oracle.push_back(std::move(r));
   }
 
-  const auto trace = workload::makeMixedTrace(
-      workload::parseDistribution(flags.getString("dist")), ops,
-      workload::TraceMix{}, seed * 7919);
+  // Preload doubles as the oracle (same pattern as the skew campaign):
+  // the trace erases only keys it itself inserted, so these records must
+  // all survive the run bit-for-bit.
+  if (mode != "verify") {
+    core::LhtIndex loader(ndht, indexOptions(seed * 131, false));
+    for (const index::Record& r : oracle) loader.insert(r);
+  }
 
-  exec::FleetOptions fo;
-  fo.clients = clients;
-  fo.chunkSize = 16;
-  fo.clientSeedBase = seed * 10'000;
-  fo.index = indexOptions(/*per-client override*/ 1, true);
-  exec::ClientFleet fleet(
-      [&](size_t, net::SimClock&) {
-        exec::ClientStack stack;
-        stack.top = &ndht;  // straight onto the wire: no sim decorators
-        return stack;
-      },
-      fo);
-  exec::WorkStealingPool pool(4);
-  exec::FleetResult result = fleet.run(trace, pool);
+  exec::FleetResult result;
+  if (mode == "run") {
+    const auto trace = workload::makeMixedTrace(
+        workload::parseDistribution(flags.getString("dist")), ops,
+        workload::TraceMix{}, seed * 7919);
+    exec::FleetOptions fo;
+    fo.clients = clients;
+    fo.chunkSize = 16;
+    fo.clientSeedBase = seed * 10'000;
+    fo.index = indexOptions(/*per-client override*/ 1, true);
+    exec::ClientFleet fleet(
+        [&](size_t, net::SimClock&) {
+          exec::ClientStack stack;
+          stack.top = &ndht;  // straight onto the wire: no sim decorators
+          return stack;
+        },
+        fo);
+    exec::WorkStealingPool pool(4);
+    result = fleet.run(trace, pool);
+  }
 
   // Oracle pass through a fresh client (no cache warm-up from the run).
-  core::LhtIndex verifier(ndht, indexOptions(seed * 4099, true));
+  // Under --retry-for-ms, misses and timeouts are retried: a cluster
+  // mid-join/leave may be transiently unable to serve a key that is
+  // nonetheless safe; only a record still missing when the window closes
+  // counts as lost.
   size_t oracleMisses = 0;
-  for (const index::Record& r : oracle) {
-    auto found = verifier.find(r.key);
-    if (!found.record.has_value() || found.record->payload != r.payload) {
-      oracleMisses += 1;
+  size_t verifyRetries = 0;
+  {  // every mode ends with a verify pass
+    core::LhtIndex verifier(ndht, indexOptions(seed * 4099, true));
+    const double verifyDeadline = nowWallMs() + retryForMs;
+    for (const index::Record& r : oracle) {
+      bool ok = false;
+      while (true) {
+        try {
+          auto found = verifier.find(r.key);
+          ok = found.record.has_value() && found.record->payload == r.payload;
+        } catch (const dht::DhtError&) {
+          ok = false;  // timeout / redirect storm: retryable
+        }
+        if (ok || nowWallMs() >= verifyDeadline) break;
+        verifyRetries += 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (!ok) oracleMisses += 1;
     }
   }
 
-  const auto ns = ndht.netStats();
+  const auto& ds = ndht.stats();
+  const double meanHops =
+      ds.lookups.load() == 0
+          ? 0.0
+          : static_cast<double>(ds.hops.load()) /
+                static_cast<double>(ds.lookups.load());
   std::printf(
-      "{\"nodes\": %zu, \"clients\": %zu, \"ops\": %zu, \"ops_failed\": %zu, "
-      "\"elapsed_wall_ms\": %.1f, \"oracle_records\": %zu, "
-      "\"oracle_misses\": %zu, \"oracle_ok\": %s, "
-      "\"net\": {\"datagrams_sent\": %llu, \"datagrams_received\": %llu, "
-      "\"retransmits\": %llu, \"timeouts\": %llu, \"connections\": %llu}, "
-      "\"dht\": {\"lookups\": %llu, \"batch_rounds\": %llu}}\n",
-      nodes.size(), clients, result.opsTotal, result.opsFailed,
-      result.elapsedWallMs, oracle.size(), oracleMisses,
-      oracleMisses == 0 ? "true" : "false",
-      static_cast<unsigned long long>(ns.datagramsSent),
-      static_cast<unsigned long long>(ns.datagramsReceived),
-      static_cast<unsigned long long>(ns.retransmits),
-      static_cast<unsigned long long>(ns.timeouts),
-      static_cast<unsigned long long>(ns.connections),
-      static_cast<unsigned long long>(ndht.stats().lookups.load()),
-      static_cast<unsigned long long>(ndht.stats().batchRounds.load()));
+      "{\"mode\": \"%s\", \"routed\": %s, \"nodes\": %zu, \"clients\": %zu, "
+      "\"ops\": %zu, \"ops_failed\": %zu, \"elapsed_wall_ms\": %.1f, "
+      "\"oracle_records\": %zu, \"oracle_misses\": %zu, \"oracle_ok\": %s, "
+      "\"verify_retries\": %zu, ",
+      mode.c_str(), routed ? "true" : "false", nodes.size(), clients,
+      result.opsTotal, result.opsFailed, result.elapsedWallMs, oracle.size(),
+      oracleMisses, oracleMisses == 0 ? "true" : "false", verifyRetries);
+  if (routed) {
+    const auto rs = routedDht->routedStats();
+    std::printf(
+        "\"routed_stats\": {\"bootstraps\": %llu, \"refreshes\": %llu, "
+        "\"redirects_followed\": %llu, \"stale_hints\": %llu, "
+        "\"retries_after_timeout\": %llu, \"known_members\": %zu}, ",
+        static_cast<unsigned long long>(rs.bootstraps),
+        static_cast<unsigned long long>(rs.refreshes),
+        static_cast<unsigned long long>(rs.redirectsFollowed),
+        static_cast<unsigned long long>(rs.staleHints),
+        static_cast<unsigned long long>(rs.retriesAfterTimeout),
+        routedDht->knownMembers());
+  } else {
+    const auto ns = staticDht->netStats();
+    std::printf(
+        "\"net\": {\"datagrams_sent\": %llu, \"datagrams_received\": %llu, "
+        "\"retransmits\": %llu, \"timeouts\": %llu, \"connections\": %llu}, ",
+        static_cast<unsigned long long>(ns.datagramsSent),
+        static_cast<unsigned long long>(ns.datagramsReceived),
+        static_cast<unsigned long long>(ns.retransmits),
+        static_cast<unsigned long long>(ns.timeouts),
+        static_cast<unsigned long long>(ns.connections));
+  }
+  std::printf(
+      "\"dht\": {\"lookups\": %llu, \"hops\": %llu, \"mean_hops\": %.3f, "
+      "\"batch_rounds\": %llu}}\n",
+      static_cast<unsigned long long>(ds.lookups.load()),
+      static_cast<unsigned long long>(ds.hops.load()), meanHops,
+      static_cast<unsigned long long>(ds.batchRounds.load()));
   if (result.opsFailed != 0) return 4;
   if (oracleMisses != 0) return 5;
   return 0;

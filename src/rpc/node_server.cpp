@@ -34,6 +34,82 @@ std::optional<std::string> NodeServer::replicaValue(
   return it->second.value;
 }
 
+std::optional<std::pair<u64, std::string>> NodeServer::primaryRecord(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = primary_.find(key);
+  if (it == primary_.end()) return std::nullopt;
+  return std::make_pair(it->second.version, it->second.value);
+}
+
+std::optional<std::pair<u64, std::string>> NodeServer::replicaRecord(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = replica_.find(key);
+  if (it == replica_.end()) return std::nullopt;
+  return std::make_pair(it->second.version, it->second.value);
+}
+
+std::vector<HandoffEntry> NodeServer::collectPrimary(
+    const std::function<bool(const std::string&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HandoffEntry> out;
+  for (const auto& [key, stored] : primary_) {
+    if (!pred(key)) continue;
+    out.push_back(HandoffEntry{key, stored.version, stored.value});
+  }
+  return out;
+}
+
+bool NodeServer::installPrimary(const std::string& key, u64 version,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = primary_.find(key);
+  if (it != primary_.end() && it->second.version >= version) return false;
+  Stored& s = primary_[key];
+  s.version = version;
+  s.value = value;
+  return true;
+}
+
+size_t NodeServer::demotePrimary(
+    const std::function<bool(const std::string&)>& pred) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t moved = 0;
+  for (auto it = primary_.begin(); it != primary_.end();) {
+    if (!pred(it->first)) {
+      ++it;
+      continue;
+    }
+    auto rit = replica_.find(it->first);
+    if (rit == replica_.end() || rit->second.version < it->second.version) {
+      replica_[it->first] = std::move(it->second);
+    }
+    it = primary_.erase(it);
+    moved += 1;
+  }
+  return moved;
+}
+
+size_t NodeServer::promoteReplica(
+    const std::function<bool(const std::string&)>& pred) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t moved = 0;
+  for (auto it = replica_.begin(); it != replica_.end();) {
+    if (!pred(it->first)) {
+      ++it;
+      continue;
+    }
+    auto pit = primary_.find(it->first);
+    if (pit == primary_.end() || pit->second.version < it->second.version) {
+      primary_[it->first] = std::move(it->second);
+    }
+    it = replica_.erase(it);
+    moved += 1;
+  }
+  return moved;
+}
+
 GetRep NodeServer::doGet(const std::string& key) const {
   // Caller holds mutex_.
   GetRep rep;
@@ -128,9 +204,33 @@ ReplyBody NodeServer::dispatch(const RequestBody& req) {
           return SizeRep{primary_.size()};
         } else if constexpr (std::is_same_v<T, SyncReq>) {
           return SyncRep{};  // store is always in-memory-durable here
-        } else {
-          static_assert(std::is_same_v<T, CompactReq>);
+        } else if constexpr (std::is_same_v<T, CompactReq>) {
           return CompactRep{};
+        } else if constexpr (std::is_same_v<T, HandoffReq>) {
+          // Bulk key install (overlay join streaming / reconcile).
+          // Max-version: a retransmitted batch is idempotent, and a client
+          // write that raced ahead of the stream is never rolled back.
+          HandoffRep rep;
+          for (const HandoffEntry& h : body.entries) {
+            auto it = primary_.find(h.key);
+            if (it != primary_.end() && it->second.version >= h.version) {
+              continue;
+            }
+            Stored& s = primary_[h.key];
+            s.version = h.version;
+            s.value = h.value;
+            rep.installed += 1;
+          }
+          return rep;
+        } else if constexpr (std::is_same_v<T, GossipSyncReq>) {
+          // A plain node has no membership table; the empty reply tells an
+          // overlay-aware caller this endpoint is not running the overlay.
+          return GossipSyncRep{};
+        } else if constexpr (std::is_same_v<T, JoinReq>) {
+          return JoinRep{};  // accepted=false: plain nodes refuse joins
+        } else {
+          static_assert(std::is_same_v<T, LeaveReq>);
+          return LeaveRep{};  // known=false
         }
       },
       req);
@@ -172,6 +272,7 @@ std::string NodeServer::handle(const NetAddr& from, std::string_view payload) {
     encoded =
         encodeReply(req.header.requestId, req.header.op, Status::TooLarge,
                     EmptyRep{});
+    stats_.oversizedReplies += 1;
   }
   dedup_.emplace(dkey, encoded);
   dedupOrder_.push_back(dkey);

@@ -5,8 +5,11 @@
 // primary map (keys this node owns) and a replica map (keys it holds for
 // fanout reads), mirroring Chord's primary/replica split so getReplica
 // and failover reads work identically over the network. All routing and
-// replication intelligence stays in the client (NetDht), which is what
-// keeps the node protocol at 13 flat opcodes.
+// replication intelligence stays in the client (NetDht) or in the
+// OverlayNode wrapper (src/overlay), which is what keeps the node
+// protocol flat. A plain NodeServer answers the overlay membership ops
+// (GossipSync/Join/Leave) with inert refusals; Handoff it executes for
+// real, since bulk key install is pure storage.
 //
 // Versioned CAS: every stored value carries a u64 version, bumped on each
 // mutation. Dht::apply's read-modify-write becomes GET (value, version) →
@@ -27,10 +30,13 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "rpc/transport.h"
 #include "rpc/wire.h"
@@ -48,6 +54,7 @@ class NodeServer {
     common::RelaxedCounter requestsHandled;
     common::RelaxedCounter dedupHits;    ///< replayed cached replies
     common::RelaxedCounter badRequests;  ///< undecodable / rejected
+    common::RelaxedCounter oversizedReplies;  ///< downgraded to TooLarge
   };
 
   NodeServer() : NodeServer(Options{}) {}
@@ -69,6 +76,39 @@ class NodeServer {
       const std::string& key) const;
   [[nodiscard]] std::optional<std::string> replicaValue(
       const std::string& key) const;
+  /// Records with their versions — the overlay's warm-miss check and its
+  /// read fallback for a key this node just demoted (a forwarded read
+  /// racing the handoff).
+  [[nodiscard]] std::optional<std::pair<u64, std::string>> primaryRecord(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<std::pair<u64, std::string>> replicaRecord(
+      const std::string& key) const;
+
+  // --- Overlay storage primitives ------------------------------------------
+  // OverlayNode (src/overlay) drives key movement during join/leave/repair
+  // through these. Predicates are evaluated under the storage mutex and
+  // must be pure key-classification functions (no blocking, no RPC).
+
+  /// Snapshot of primary records whose key satisfies `pred`, in handoff
+  /// wire form — the source side of join streaming and reconcile.
+  [[nodiscard]] std::vector<wire::HandoffEntry> collectPrimary(
+      const std::function<bool(const std::string&)>& pred) const;
+
+  /// Installs a primary record iff `version` beats the stored one (handoff
+  /// receive path; max-version keeps retransmitted batches idempotent and
+  /// never rolls back a concurrent client write). Returns true if stored.
+  bool installPrimary(const std::string& key, u64 version,
+                      const std::string& value);
+
+  /// Moves matching primary records into the replica table (this node just
+  /// lost ownership of them). Max-version wins on collision. Returns the
+  /// number of records moved.
+  size_t demotePrimary(const std::function<bool(const std::string&)>& pred);
+
+  /// Moves matching replica records into the primary table (this node just
+  /// gained ownership; its replica copy seeds the primary). Max-version
+  /// wins on collision. Returns the number of records moved.
+  size_t promoteReplica(const std::function<bool(const std::string&)>& pred);
 
  private:
   struct Stored {

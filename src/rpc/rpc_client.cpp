@@ -22,13 +22,14 @@ RpcClient::RpcClient(Transport& transport, Options options)
   nextId_ = (u64{rd()} << 16) | 1;
 }
 
-RpcClient::Token RpcClient::call(const NetAddr& to, RequestBody body) {
+RpcClient::Token RpcClient::call(const NetAddr& to, RequestBody body,
+                                 bool noForward) {
   const u64 id = nextId_++;
   const u64 now = transport_.nowMs();
   Pending p;
   p.to = to;
   p.result.op = wire::opOf(body);
-  p.wire = encodeRequest(id, body);
+  p.wire = encodeRequest(id, body, noForward);
   stats_.requestsStarted += 1;
   if (p.wire.size() > kMaxDatagramBytes) {
     // No datagram transport will carry this; retransmitting it until the
@@ -87,6 +88,7 @@ void RpcClient::handleDatagram(const Datagram& d) {
   p.result.timedOut = false;
   p.result.status = reply.header.status;
   p.result.body = std::move(reply.body);
+  p.result.hint = reply.hint;
   p.resolved = true;
   pendingLive_ -= 1;
 }
@@ -122,6 +124,13 @@ void RpcClient::settle() {
     transport_.receive(rxBuf_, std::max<u64>(wait, 1));
     for (const Datagram& d : rxBuf_) handleDatagram(d);
   }
+}
+
+bool RpcClient::resolved(Token token) const {
+  auto it = requests_.find(token);
+  common::checkInvariant(it != requests_.end(),
+                         "RpcClient::resolved: unknown token");
+  return it->second.resolved;
 }
 
 RpcClient::Result RpcClient::take(Token token) {

@@ -18,6 +18,7 @@
 // NodeServer; together they make retransmitted non-idempotent ops safe.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 
 #include "rpc/transport.h"
@@ -65,6 +66,8 @@ class RpcClient {
     Op op = Op::Ping;
     ReplyBody body;
     u32 sends = 0;  ///< datagrams spent on this request (1 = no retransmit)
+    /// Piggybacked membership freshness, when the server attached one.
+    std::optional<wire::GossipHint> hint;
 
     [[nodiscard]] bool ok() const { return !timedOut && status == Status::Ok; }
   };
@@ -73,8 +76,10 @@ class RpcClient {
   RpcClient(Transport& transport, Options options);
 
   /// Starts a request: encodes, sends, registers in the table. The token
-  /// stays valid until take()n. Does not block.
-  Token call(const NetAddr& to, RequestBody body);
+  /// stays valid until take()n. Does not block. `noForward` stamps
+  /// wire::kNoForwardBit — set by overlay nodes when relaying a request
+  /// one hop, so the receiver never forwards it again.
+  Token call(const NetAddr& to, RequestBody body, bool noForward = false);
 
   /// Drives the transport (receive + retransmit + expire) until every
   /// pending request is resolved. Safe to call with none pending.
@@ -86,6 +91,24 @@ class RpcClient {
 
   /// Convenience for the one-shot case.
   Result callOne(const NetAddr& to, RequestBody body);
+
+  // --- Shared-transport driving ---------------------------------------------
+  // An overlay node multiplexes one socket between its server role and its
+  // outgoing calls, so it cannot let settle() own the transport's receive.
+  // Instead its event loop routes inbound reply datagrams here and calls
+  // pump() on its own cadence, polling resolved() per token.
+
+  /// Feeds one inbound reply datagram to the request table. Garbage,
+  /// duplicates, and unmatched replies are counted and dropped.
+  void deliver(const Datagram& d) { handleDatagram(d); }
+
+  /// Retransmits due requests and expires past-deadline ones. Returns the
+  /// ms until the next timer fires (0 = nothing pending).
+  u64 pump(u64 now);
+
+  /// Whether take(token) would succeed. checkInvariant-fails on a token
+  /// that was never issued or already taken.
+  [[nodiscard]] bool resolved(Token token) const;
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] Transport& transport() { return transport_; }
@@ -103,9 +126,6 @@ class RpcClient {
   };
 
   void handleDatagram(const Datagram& d);
-  /// Retransmits due requests / expires past-deadline ones; returns the
-  /// ms until the next timer fires (for the receive timeout).
-  u64 pump(u64 now);
 
   Transport& transport_;
   Options opts_;

@@ -20,12 +20,16 @@ const char* opName(Op op) {
     case Op::Size: return "size";
     case Op::Sync: return "sync";
     case Op::Compact: return "compact";
+    case Op::GossipSync: return "gossip_sync";
+    case Op::Join: return "join";
+    case Op::Leave: return "leave";
+    case Op::Handoff: return "handoff";
   }
   return "?";
 }
 
 bool opKnown(u8 raw) {
-  return raw >= static_cast<u8>(Op::Ping) && raw <= static_cast<u8>(Op::Compact);
+  return raw >= static_cast<u8>(Op::Ping) && raw <= static_cast<u8>(Op::Handoff);
 }
 
 const char* statusName(Status s) {
@@ -34,6 +38,7 @@ const char* statusName(Status s) {
     case Status::BadRequest: return "bad_request";
     case Status::UnknownOp: return "unknown_op";
     case Status::TooLarge: return "too_large";
+    case Status::Redirect: return "redirect";
   }
   return "?";
 }
@@ -152,6 +157,54 @@ std::optional<u64> getCount(Decoder& d) {
   return n;
 }
 
+void putNodeEntry(Encoder& e, const NodeEntry& n) {
+  e.putVarint(n.id);
+  e.putU32(n.host);
+  e.putVarint(n.port);
+  e.putVarint(n.incarnation);
+  e.putU8(n.state);
+  e.putVarint(n.ringBase);
+}
+
+bool getNodeEntry(Decoder& d, NodeEntry& out) {
+  auto id = d.getVarint();
+  if (!id) return false;
+  auto host = d.getU32();
+  if (!host) return false;
+  auto port = d.getVarint();
+  if (!port || *port > 65535) return false;
+  auto inc = d.getVarint();
+  if (!inc) return false;
+  auto state = d.getU8();
+  if (!state || *state > kMaxNodeState) return false;
+  auto ring = d.getVarint();
+  if (!ring) return false;
+  out.id = *id;
+  out.host = *host;
+  out.port = static_cast<u16>(*port);
+  out.incarnation = *inc;
+  out.state = *state;
+  out.ringBase = *ring;
+  return true;
+}
+
+void putNodeEntries(Encoder& e, const std::vector<NodeEntry>& entries) {
+  e.putVarint(entries.size());
+  for (const NodeEntry& n : entries) putNodeEntry(e, n);
+}
+
+bool getNodeEntries(Decoder& d, std::vector<NodeEntry>& out) {
+  auto n = getCount(d);
+  if (!n) return false;
+  out.reserve(*n);
+  for (u64 i = 0; i < *n; ++i) {
+    NodeEntry entry;
+    if (!getNodeEntry(d, entry)) return false;
+    out.push_back(entry);
+  }
+  return true;
+}
+
 }  // namespace
 
 Op opOf(const RequestBody& body) {
@@ -170,16 +223,25 @@ Op opOf(const RequestBody& body) {
         else if constexpr (std::is_same_v<T, ReplicaGetReq>) return Op::ReplicaGet;
         else if constexpr (std::is_same_v<T, SizeReq>) return Op::Size;
         else if constexpr (std::is_same_v<T, SyncReq>) return Op::Sync;
-        else return Op::Compact;
+        else if constexpr (std::is_same_v<T, CompactReq>) return Op::Compact;
+        else if constexpr (std::is_same_v<T, GossipSyncReq>) return Op::GossipSync;
+        else if constexpr (std::is_same_v<T, JoinReq>) return Op::Join;
+        else if constexpr (std::is_same_v<T, LeaveReq>) return Op::Leave;
+        else return Op::Handoff;
       },
       body);
 }
 
 // --- Encode ----------------------------------------------------------------
 
-std::string encodeRequest(u64 requestId, const RequestBody& body) {
+std::string encodeRequest(u64 requestId, const RequestBody& body,
+                          bool noForward) {
   Encoder e(64);
-  putHeader(e, static_cast<u8>(opOf(body)), Status::Ok, requestId);
+  e.putU8(kMagic);
+  e.putU8(kVersion);
+  e.putU8(static_cast<u8>(opOf(body)));
+  e.putU8(noForward ? kNoForwardBit : 0);
+  e.putVarint(requestId);
   std::visit(
       [&e](const auto& b) {
         using T = std::decay_t<decltype(b)>;
@@ -203,6 +265,22 @@ std::string encodeRequest(u64 requestId, const RequestBody& body) {
           e.putVarBytes(b.key);
           e.putVarBytes(b.value);
           e.putVarint(b.version);
+        } else if constexpr (std::is_same_v<T, GossipSyncReq>) {
+          e.putVarint(b.senderId);
+          e.putVarint(b.version);
+          putNodeEntries(e, b.entries);
+        } else if constexpr (std::is_same_v<T, JoinReq>) {
+          putNodeEntry(e, b.joiner);
+        } else if constexpr (std::is_same_v<T, LeaveReq>) {
+          e.putVarint(b.nodeId);
+          e.putVarint(b.incarnation);
+        } else if constexpr (std::is_same_v<T, HandoffReq>) {
+          e.putVarint(b.entries.size());
+          for (const HandoffEntry& h : b.entries) {
+            e.putVarBytes(h.key);
+            e.putVarint(h.version);
+            e.putVarBytes(h.value);
+          }
         }
         // Ping/Size/Sync/Compact: empty bodies.
       },
@@ -237,11 +315,40 @@ std::string encodeReply(u64 requestId, Op op, Status status,
           e.putU8(b.existed ? 1 : 0);
         } else if constexpr (std::is_same_v<T, SizeRep>) {
           e.putVarint(b.primaryKeys);
+        } else if constexpr (std::is_same_v<T, GossipSyncRep>) {
+          e.putVarint(b.version);
+          putNodeEntries(e, b.entries);
+        } else if constexpr (std::is_same_v<T, JoinRep>) {
+          e.putU8(b.accepted ? 1 : 0);
+          e.putVarint(b.keysStreamed);
+          e.putVarint(b.version);
+          putNodeEntries(e, b.entries);
+        } else if constexpr (std::is_same_v<T, LeaveRep>) {
+          e.putU8(b.known ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, HandoffRep>) {
+          e.putVarint(b.installed);
+        } else if constexpr (std::is_same_v<T, RedirectRep>) {
+          e.putVarint(b.ownerId);
+          e.putU32(b.host);
+          e.putVarint(b.port);
+          e.putVarint(b.version);
         }
         // EmptyRep/ReplicaPutRep/SyncRep/CompactRep: empty bodies.
       },
       body);
   return std::move(e).take();
+}
+
+void appendGossipHint(std::string& encodedReply, const GossipHint& hint) {
+  // Byte 3 is the status byte of every well-formed reply this code ever
+  // produced; the trailer rides after the body, where only hint-aware
+  // decoders look.
+  common::checkInvariant(encodedReply.size() >= 4,
+                         "appendGossipHint: not an encoded reply");
+  encodedReply[3] = static_cast<char>(
+      static_cast<u8>(encodedReply[3]) | kGossipHintBit);
+  common::appendVarint(encodedReply, hint.senderId);
+  common::appendVarint(encodedReply, hint.version);
 }
 
 // --- Decode ----------------------------------------------------------------
@@ -261,17 +368,39 @@ DecodeResult<Header> decodeHeaderFrom(Decoder& d, bool requireKnownOp) {
   if (requireKnownOp && !opKnown(*opByte & ~kReplyBit)) {
     return DecodeError::BadOpcode;
   }
-  if (*statusByte > static_cast<u8>(Status::TooLarge)) {
-    return DecodeError::BadField;
-  }
-  auto id = d.getVarint();
-  if (!id) return DecodeError::Truncated;
   Header h;
   h.op = static_cast<Op>(*opByte & ~kReplyBit);
   h.isReply = (*opByte & kReplyBit) != 0;
-  h.status = static_cast<Status>(*statusByte);
+  if (h.isReply) {
+    // Replies: low 7 bits are the status, bit 7 flags a gossip trailer.
+    const u8 status = *statusByte & static_cast<u8>(~kGossipHintBit);
+    if (status > static_cast<u8>(Status::Redirect)) return DecodeError::BadField;
+    h.status = static_cast<Status>(status);
+    h.hasGossipHint = (*statusByte & kGossipHintBit) != 0;
+  } else {
+    // Requests: the byte is a flags field; only kNoForwardBit is defined.
+    if ((*statusByte & static_cast<u8>(~kNoForwardBit)) != 0) {
+      return DecodeError::BadField;
+    }
+    h.status = Status::Ok;
+    h.noForward = (*statusByte & kNoForwardBit) != 0;
+  }
+  auto id = d.getVarint();
+  if (!id) return DecodeError::Truncated;
   h.requestId = *id;
   return h;
+}
+
+DecodeResult<Reply> decodeGossipTrailer(Decoder& d, Reply rep) {
+  if (rep.header.hasGossipHint) {
+    auto sender = d.getVarint();
+    if (!sender) return DecodeError::Truncated;
+    auto version = d.getVarint();
+    if (!version) return DecodeError::Truncated;
+    rep.hint = GossipHint{*sender, *version};
+  }
+  if (!d.atEnd()) return DecodeError::TrailingBytes;
+  return rep;
 }
 
 }  // namespace
@@ -290,7 +419,6 @@ DecodeResult<Request> decodeRequest(std::string_view datagram) {
   Request req;
   req.header = std::get<Header>(h);
   if (req.header.isReply) return DecodeError::BadOpcode;
-  if (req.header.status != Status::Ok) return DecodeError::BadField;
 
   auto fail = [&]() -> DecodeError {
     return d.remaining() == 0 ? DecodeError::Truncated : DecodeError::BadField;
@@ -367,6 +495,56 @@ DecodeResult<Request> decodeRequest(std::string_view datagram) {
       req.body = std::move(b);
       break;
     }
+    case Op::GossipSync: {
+      GossipSyncReq b;
+      auto sender = d.getVarint();
+      if (!sender) return fail();
+      auto ver = d.getVarint();
+      if (!ver) return fail();
+      b.senderId = *sender;
+      b.version = *ver;
+      if (!getNodeEntries(d, b.entries)) return fail();
+      req.body = std::move(b);
+      break;
+    }
+    case Op::Join: {
+      JoinReq b;
+      if (!getNodeEntry(d, b.joiner)) return fail();
+      req.body = std::move(b);
+      break;
+    }
+    case Op::Leave: {
+      LeaveReq b;
+      auto id = d.getVarint();
+      if (!id) return fail();
+      auto inc = d.getVarint();
+      if (!inc) return fail();
+      b.nodeId = *id;
+      b.incarnation = *inc;
+      req.body = std::move(b);
+      break;
+    }
+    case Op::Handoff: {
+      auto n = getCount(d);
+      if (!n) return fail();
+      HandoffReq b;
+      b.entries.reserve(*n);
+      for (u64 i = 0; i < *n; ++i) {
+        HandoffEntry h2;
+        auto key = d.getVarBytes();
+        if (!key) return fail();
+        auto ver = d.getVarint();
+        if (!ver) return fail();
+        auto value = d.getVarBytes();
+        if (!value) return fail();
+        h2.key = std::move(*key);
+        h2.version = *ver;
+        h2.value = std::move(*value);
+        b.entries.push_back(std::move(h2));
+      }
+      req.body = std::move(b);
+      break;
+    }
   }
   if (!d.atEnd()) return DecodeError::TrailingBytes;
   return req;
@@ -382,10 +560,26 @@ DecodeResult<Reply> decodeReply(std::string_view datagram) {
   auto fail = [&]() -> DecodeError {
     return d.remaining() == 0 ? DecodeError::Truncated : DecodeError::BadField;
   };
+  if (rep.header.status == Status::Redirect) {
+    RedirectRep b;
+    auto owner = d.getVarint();
+    if (!owner) return fail();
+    auto host = d.getU32();
+    if (!host) return fail();
+    auto port = d.getVarint();
+    if (!port || *port > 65535) return fail();
+    auto ver = d.getVarint();
+    if (!ver) return fail();
+    b.ownerId = *owner;
+    b.host = *host;
+    b.port = static_cast<u16>(*port);
+    b.version = *ver;
+    rep.body = std::move(b);
+    return decodeGossipTrailer(d, std::move(rep));
+  }
   if (rep.header.status != Status::Ok) {
     rep.body = EmptyRep{};
-    if (!d.atEnd()) return DecodeError::TrailingBytes;
-    return rep;
+    return decodeGossipTrailer(d, std::move(rep));
   }
   switch (rep.header.op) {
     case Op::Ping: {
@@ -459,9 +653,44 @@ DecodeResult<Reply> decodeReply(std::string_view datagram) {
     }
     case Op::Sync: rep.body = SyncRep{}; break;
     case Op::Compact: rep.body = CompactRep{}; break;
+    case Op::GossipSync: {
+      GossipSyncRep b;
+      auto ver = d.getVarint();
+      if (!ver) return fail();
+      b.version = *ver;
+      if (!getNodeEntries(d, b.entries)) return fail();
+      rep.body = std::move(b);
+      break;
+    }
+    case Op::Join: {
+      JoinRep b;
+      auto accepted = getFlag(d);
+      if (!accepted) return fail();
+      auto streamed = d.getVarint();
+      if (!streamed) return fail();
+      auto ver = d.getVarint();
+      if (!ver) return fail();
+      b.accepted = *accepted;
+      b.keysStreamed = *streamed;
+      b.version = *ver;
+      if (!getNodeEntries(d, b.entries)) return fail();
+      rep.body = std::move(b);
+      break;
+    }
+    case Op::Leave: {
+      auto known = getFlag(d);
+      if (!known) return fail();
+      rep.body = LeaveRep{*known};
+      break;
+    }
+    case Op::Handoff: {
+      auto installed = d.getVarint();
+      if (!installed) return fail();
+      rep.body = HandoffRep{*installed};
+      break;
+    }
   }
-  if (!d.atEnd()) return DecodeError::TrailingBytes;
-  return rep;
+  return decodeGossipTrailer(d, std::move(rep));
 }
 
 }  // namespace lht::rpc::wire

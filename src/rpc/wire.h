@@ -10,9 +10,13 @@
 //   0       magic   0xA7
 //   1       version 1
 //   2       opcode  (Op; replies: Op | 0x80)
-//   3       status  (Status; 0 on requests)
+//   3       status  (replies: Status in the low 7 bits, bit 7 = a gossip
+//                    hint trailer follows the body; requests: flags —
+//                    bit 0 = kNoForwardBit, all other bits must be 0)
 //   4..     request id (varint)
 //   ..      body
+//   ..      gossip hint trailer (replies, only when bit 7 of status set):
+//           sender node id (varint), membership version (varint)
 //
 // Decoding is total: any truncated, overlong, or type-violating input
 // yields a typed DecodeError, never a crash or an over-read — these bytes
@@ -24,6 +28,7 @@
 // composes with, and never re-interprets, what the DHT stores.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -36,14 +41,26 @@
 namespace lht::rpc::wire {
 
 using common::u8;
+using common::u32;
 using common::u64;
+using u16 = std::uint16_t;
 
 inline constexpr u8 kMagic = 0xA7;
 inline constexpr u8 kVersion = 1;
 inline constexpr u8 kReplyBit = 0x80;
+/// Reply status byte, bit 7: a gossip hint trailer (sender node id +
+/// membership version, both varints) follows the body. Overlay nodes set
+/// it on every reply so clients learn about membership changes for free.
+inline constexpr u8 kGossipHintBit = 0x80;
+/// Request status byte, bit 0: this request was already forwarded once by
+/// an overlay node — the receiver must answer locally or redirect, never
+/// forward again (one-hop forwarding, loop-free by construction).
+inline constexpr u8 kNoForwardBit = 0x01;
 
 /// Request opcodes. Replica* ops address a holder's replica table (the
-/// client routes them; the server never re-routes anything).
+/// client routes them). GossipSync/Join/Leave/Handoff are the overlay
+/// membership protocol (src/overlay): plain NodeServers answer them with
+/// empty/refusal bodies, OverlayNode implements them for real.
 enum class Op : u8 {
   Ping = 1,
   Put = 2,
@@ -58,19 +75,25 @@ enum class Op : u8 {
   Size = 11,
   Sync = 12,
   Compact = 13,
+  GossipSync = 14,  ///< anti-entropy membership exchange (push + pull)
+  Join = 15,        ///< join handshake: stream my future keys to me
+  Leave = 16,       ///< graceful departure announcement
+  Handoff = 17,     ///< bulk key transfer (join streaming / reconcile)
 };
 [[nodiscard]] const char* opName(Op op);
 [[nodiscard]] bool opKnown(u8 raw);
 
 /// Reply status. In-band outcomes (key absent, CAS conflict) are NOT
 /// errors — they live in the reply bodies; Status covers only requests the
-/// server could not execute.
+/// server could not execute. Redirect is the overlay's routing outcome:
+/// "not my key" plus the fresh owner endpoint in a RedirectRep body.
 enum class Status : u8 {
   Ok = 0,
   BadRequest = 1,   ///< body failed to decode
   UnknownOp = 2,    ///< header parsed but the opcode is from a future protocol
   TooLarge = 3,     ///< message would exceed kMaxDatagramBytes (replies:
                     ///< server-side; requests: failed locally by RpcClient)
+  Redirect = 4,     ///< wrong node for this key; body is a RedirectRep
 };
 [[nodiscard]] const char* statusName(Status s);
 
@@ -91,6 +114,31 @@ struct Header {
   bool isReply = false;
   Status status = Status::Ok;
   u64 requestId = 0;
+  bool noForward = false;   ///< requests: kNoForwardBit was set
+  bool hasGossipHint = false;  ///< replies: a hint trailer follows the body
+};
+
+/// One membership table entry as it travels on the wire. `state` is the
+/// overlay NodeState (0 alive, 1 suspect, 2 dead, 3 left); `ringBase` is
+/// the node's ring position seed (virtual-node points derive from it), so
+/// every participant computes the identical ring from the same table.
+struct NodeEntry {
+  u64 id = 0;
+  u32 host = 0;
+  u16 port = 0;
+  u64 incarnation = 0;
+  u8 state = 0;
+  u64 ringBase = 0;
+
+  friend bool operator==(const NodeEntry&, const NodeEntry&) = default;
+};
+inline constexpr u8 kMaxNodeState = 3;
+
+/// Piggybacked membership freshness: appended to replies so clients and
+/// peers notice a stale view without dedicated gossip traffic.
+struct GossipHint {
+  u64 senderId = 0;
+  u64 version = 0;
 };
 
 // --- Request bodies --------------------------------------------------------
@@ -136,6 +184,33 @@ struct ReplicaGetReq {
 struct SizeReq {};
 struct SyncReq {};
 struct CompactReq {};
+/// Anti-entropy exchange: the sender pushes its table, the receiver merges
+/// and answers with its own (post-merge) table. A client pulls by sending
+/// senderId 0 with no entries.
+struct GossipSyncReq {
+  u64 senderId = 0;
+  u64 version = 0;
+  std::vector<NodeEntry> entries;
+};
+/// Join handshake, sent by the joiner to every current member: "stream the
+/// primary keys I will own to my endpoint". The receiver streams via
+/// Handoff batches before replying.
+struct JoinReq {
+  NodeEntry joiner;
+};
+struct LeaveReq {
+  u64 nodeId = 0;
+  u64 incarnation = 0;
+};
+/// One transferred record (primary copy with its version).
+struct HandoffEntry {
+  std::string key;
+  u64 version = 0;
+  std::string value;
+};
+struct HandoffReq {
+  std::vector<HandoffEntry> entries;
+};
 
 // --- Reply bodies ----------------------------------------------------------
 
@@ -178,16 +253,43 @@ struct SizeRep {
 };
 struct SyncRep {};
 struct CompactRep {};
-struct EmptyRep {};  ///< non-Ok replies carry no body
+struct GossipSyncRep {
+  u64 version = 0;
+  std::vector<NodeEntry> entries;
+};
+struct JoinRep {
+  bool accepted = false;
+  u64 keysStreamed = 0;
+  u64 version = 0;
+  std::vector<NodeEntry> entries;  ///< the member's current table
+};
+struct LeaveRep {
+  bool known = false;
+};
+struct HandoffRep {
+  u64 installed = 0;
+};
+/// Status::Redirect body: the receiver's idea of the key's owner, so the
+/// client retries in one extra hop and knows its table (at `version`) is
+/// stale.
+struct RedirectRep {
+  u64 ownerId = 0;
+  u32 host = 0;
+  u16 port = 0;
+  u64 version = 0;
+};
+struct EmptyRep {};  ///< other non-Ok replies carry no body
 
 using RequestBody =
     std::variant<PingReq, PutReq, GetReq, RemoveReq, CasReq, MultiGetReq,
                  MultiCasReq, ReplicaPutReq, ReplicaRemoveReq, ReplicaGetReq,
-                 SizeReq, SyncReq, CompactReq>;
+                 SizeReq, SyncReq, CompactReq, GossipSyncReq, JoinReq,
+                 LeaveReq, HandoffReq>;
 using ReplyBody =
     std::variant<EmptyRep, PingRep, PutRep, GetRep, RemoveRep, CasRep,
                  MultiGetRep, MultiCasRep, ReplicaPutRep, ReplicaRemoveRep,
-                 SizeRep, SyncRep, CompactRep>;
+                 SizeRep, SyncRep, CompactRep, GossipSyncRep, JoinRep,
+                 LeaveRep, HandoffRep, RedirectRep>;
 
 struct Request {
   Header header;
@@ -196,6 +298,7 @@ struct Request {
 struct Reply {
   Header header;
   ReplyBody body;
+  std::optional<GossipHint> hint;  ///< piggybacked trailer, when present
 };
 
 /// The opcode a request body travels under.
@@ -203,9 +306,16 @@ struct Reply {
 
 // --- Encode ----------------------------------------------------------------
 
-[[nodiscard]] std::string encodeRequest(u64 requestId, const RequestBody& body);
+[[nodiscard]] std::string encodeRequest(u64 requestId, const RequestBody& body,
+                                        bool noForward = false);
 [[nodiscard]] std::string encodeReply(u64 requestId, Op op, Status status,
                                       const ReplyBody& body);
+
+/// Stamps a gossip hint onto an already-encoded reply in place: sets
+/// kGossipHintBit in the status byte and appends the trailer. Lets the
+/// overlay piggyback on NodeServer's (and its dedup cache's) reply bytes
+/// without re-encoding the body.
+void appendGossipHint(std::string& encodedReply, const GossipHint& hint);
 
 // --- Decode ----------------------------------------------------------------
 

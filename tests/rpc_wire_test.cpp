@@ -41,6 +41,20 @@ std::vector<RequestBody> sampleRequests() {
   out.push_back(SizeReq{});
   out.push_back(SyncReq{});
   out.push_back(CompactReq{});
+  // Overlay membership protocol (DESIGN.md §15).
+  GossipSyncReq gs;
+  gs.senderId = 0xAB54A98CEB1F0AD2ull;
+  gs.version = 17;
+  gs.entries.push_back(NodeEntry{0x1111, 0x7F000001u, 9001, 3, 1, 0x1111});
+  gs.entries.push_back(NodeEntry{0x2222, 0, 9002, 1, 0, 0x2222});
+  out.push_back(std::move(gs));
+  out.push_back(GossipSyncReq{});  // a client pull: senderId 0, no entries
+  out.push_back(JoinReq{NodeEntry{0x3333, 0x7F000001u, 9003, 1, 0, 0x3333}});
+  out.push_back(LeaveReq{0x4444, 12});
+  HandoffReq ho;
+  ho.entries.push_back(HandoffEntry{"leaf/0101", 5, std::string("\x00z", 2)});
+  ho.entries.push_back(HandoffEntry{"", 0, ""});
+  out.push_back(std::move(ho));
   return out;
 }
 
@@ -72,6 +86,18 @@ std::vector<SampleReply> sampleReplies() {
   out.push_back({Op::Size, SizeRep{123456}});
   out.push_back({Op::Sync, SyncRep{}});
   out.push_back({Op::Compact, CompactRep{}});
+  GossipSyncRep gs;
+  gs.version = 9;
+  gs.entries.push_back(NodeEntry{0x5555, 0x7F000001u, 9005, 2, 2, 0x5555});
+  out.push_back({Op::GossipSync, std::move(gs)});
+  JoinRep jr;
+  jr.accepted = true;
+  jr.keysStreamed = 40;
+  jr.version = 11;
+  jr.entries.push_back(NodeEntry{0x6666, 0, 9006, 1, 0, 0x6666});
+  out.push_back({Op::Join, std::move(jr)});
+  out.push_back({Op::Leave, LeaveRep{true}});
+  out.push_back({Op::Handoff, HandoffRep{32}});
   return out;
 }
 
@@ -229,6 +255,110 @@ TEST(RpcWire, CompactEncoding) {
   // The design claim: a small GET is ~20 bytes on the wire.
   const std::string bytes = encodeRequest(1, GetReq{"leaf/01011010"});
   EXPECT_LE(bytes.size(), 4 + 1 + 1 + 13u);  // header + id + len + key
+}
+
+TEST(RpcWire, NoForwardBitRoundTrips) {
+  const std::string plain = encodeRequest(5, GetReq{"k"});
+  const std::string marked = encodeRequest(5, GetReq{"k"}, /*noForward=*/true);
+  auto d1 = decodeRequest(plain);
+  auto d2 = decodeRequest(marked);
+  ASSERT_TRUE(std::holds_alternative<Request>(d1));
+  ASSERT_TRUE(std::holds_alternative<Request>(d2));
+  EXPECT_FALSE(std::get<Request>(d1).header.noForward);
+  EXPECT_TRUE(std::get<Request>(d2).header.noForward);
+}
+
+TEST(RpcWire, UndefinedRequestFlagBitsRejected) {
+  // Byte 3 of a request is the flags field; only kNoForwardBit is
+  // defined, so any other set bit is a future protocol — reject, don't
+  // guess.
+  std::string bytes = encodeRequest(5, GetReq{"k"}, /*noForward=*/true);
+  bytes[3] = static_cast<char>(static_cast<u8>(bytes[3]) | 0x02);
+  auto decoded = decodeRequest(bytes);
+  ASSERT_TRUE(std::holds_alternative<DecodeError>(decoded));
+  EXPECT_EQ(std::get<DecodeError>(decoded), DecodeError::BadField);
+}
+
+TEST(RpcWire, GossipHintTrailerRoundTrips) {
+  std::string bytes = encodeReply(9, Op::Get, Status::Ok,
+                                  GetRep{true, 4, "value"});
+  const std::string withoutHint = bytes;
+  appendGossipHint(bytes, GossipHint{0xFEEDu, 23});
+
+  auto plain = decodeReply(withoutHint);
+  ASSERT_TRUE(std::holds_alternative<Reply>(plain));
+  EXPECT_FALSE(std::get<Reply>(plain).hint.has_value());
+
+  auto hinted = decodeReply(bytes);
+  ASSERT_TRUE(std::holds_alternative<Reply>(hinted));
+  const Reply& rep = std::get<Reply>(hinted);
+  EXPECT_EQ(rep.header.status, Status::Ok);  // hint bit masked back out
+  ASSERT_TRUE(rep.hint.has_value());
+  EXPECT_EQ(rep.hint->senderId, 0xFEEDu);
+  EXPECT_EQ(rep.hint->version, 23u);
+  const auto& body = std::get<GetRep>(rep.body);  // body survives the trailer
+  EXPECT_TRUE(body.present);
+  EXPECT_EQ(body.value, "value");
+
+  // A hinted reply with the trailer torn off mid-varint is Truncated.
+  auto torn = decodeReply(std::string_view(bytes).substr(0, bytes.size() - 1));
+  if (std::holds_alternative<DecodeError>(torn)) {
+    EXPECT_EQ(std::get<DecodeError>(torn), DecodeError::Truncated);
+  }
+}
+
+TEST(RpcWire, RedirectCarriesOwnerAndHint) {
+  // Status::Redirect is the one non-Ok status with a body: the fresh
+  // owner endpoint. The gossip trailer composes with it.
+  std::string bytes = encodeReply(
+      4, Op::Put, Status::Redirect, RedirectRep{0xABCDu, 0x7F000001u, 9007, 6});
+  appendGossipHint(bytes, GossipHint{0x1234u, 6});
+  auto decoded = decodeReply(bytes);
+  ASSERT_TRUE(std::holds_alternative<Reply>(decoded));
+  const Reply& rep = std::get<Reply>(decoded);
+  EXPECT_EQ(rep.header.status, Status::Redirect);
+  const auto& body = std::get<RedirectRep>(rep.body);
+  EXPECT_EQ(body.ownerId, 0xABCDu);
+  EXPECT_EQ(body.host, 0x7F000001u);
+  EXPECT_EQ(body.port, 9007u);
+  EXPECT_EQ(body.version, 6u);
+  ASSERT_TRUE(rep.hint.has_value());
+  EXPECT_EQ(rep.hint->senderId, 0x1234u);
+}
+
+TEST(RpcWire, NodeEntryBadStateRejected) {
+  // NodeState stops at Left (3); a table entry claiming state 7 is a
+  // corrupted or future datagram, typed BadField.
+  GossipSyncReq gs;
+  gs.senderId = 1;
+  gs.version = 1;
+  NodeEntry bad;
+  bad.id = 42;
+  bad.port = 9001;
+  bad.state = 7;
+  gs.entries.push_back(bad);
+  auto decoded = decodeRequest(encodeRequest(3, gs));
+  ASSERT_TRUE(std::holds_alternative<DecodeError>(decoded));
+  EXPECT_EQ(std::get<DecodeError>(decoded), DecodeError::BadField);
+}
+
+TEST(RpcWire, OverlayFieldFidelity) {
+  JoinReq in{NodeEntry{0x77, 0x7F000001u, 9010, 3, 1, 0x78}};
+  auto decoded = decodeRequest(encodeRequest(11, in));
+  ASSERT_TRUE(std::holds_alternative<Request>(decoded));
+  const auto& join = std::get<JoinReq>(std::get<Request>(decoded).body);
+  EXPECT_EQ(join.joiner, in.joiner);
+
+  HandoffReq ho;
+  ho.entries.push_back(HandoffEntry{"leaf/0", 9, std::string("\x00\x01", 2)});
+  auto hod = decodeRequest(encodeRequest(12, ho));
+  ASSERT_TRUE(std::holds_alternative<Request>(hod));
+  const auto& entries =
+      std::get<HandoffReq>(std::get<Request>(hod).body).entries;
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "leaf/0");
+  EXPECT_EQ(entries[0].version, 9u);
+  EXPECT_EQ(entries[0].value, std::string("\x00\x01", 2));
 }
 
 }  // namespace
